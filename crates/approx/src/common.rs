@@ -1,0 +1,116 @@
+//! Shared plumbing for the approximation algorithms: the result type and the
+//! trivial fast paths every algorithm shares (empty instances, all-zero
+//! instances, and the `m ≥ |C|` one-machine-per-class case of Note 1).
+
+use msrs_core::{
+    bounds::lower_bound, Assignment, Block, Instance, Schedule, ScheduleBuilder, Time,
+};
+
+/// Output of an approximation algorithm: the schedule plus the certified
+/// lower bound `T` it was built against and the makespan horizon `⌊ρ·T⌋` it
+/// guarantees.
+#[derive(Debug, Clone)]
+pub struct ApproxResult {
+    /// The produced (valid) schedule.
+    pub schedule: Schedule,
+    /// The lower bound `T ≤ OPT` the algorithm certified.
+    pub lower_bound: Time,
+    /// The guaranteed makespan horizon `⌊ρ·T⌋` (every job completes by it).
+    pub horizon: Time,
+}
+
+impl ApproxResult {
+    /// Makespan of the produced schedule.
+    pub fn makespan(&self, inst: &Instance) -> Time {
+        self.schedule.makespan(inst)
+    }
+
+    /// Empirical approximation ratio against the certified lower bound,
+    /// `Cmax / T` (an upper bound on the true ratio `Cmax / OPT`).
+    pub fn ratio_vs_bound(&self, inst: &Instance) -> f64 {
+        if self.lower_bound == 0 {
+            return 1.0;
+        }
+        self.makespan(inst) as f64 / self.lower_bound as f64
+    }
+}
+
+/// Fast paths shared by all algorithms. Returns `Some` when the instance is
+/// degenerate (no jobs / zero load) or when `m ≥ |C|` so one machine per
+/// class is optimal (Note 1 of the paper).
+pub fn trivial(inst: &Instance) -> Option<ApproxResult> {
+    if inst.num_jobs() == 0 {
+        return Some(ApproxResult {
+            schedule: Schedule::new(Vec::new()),
+            lower_bound: 0,
+            horizon: 0,
+        });
+    }
+    if inst.total_load() == 0 {
+        // Every job has size zero: all at time 0 on machine 0 is valid.
+        let assignments =
+            vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+        return Some(ApproxResult {
+            schedule: Schedule::new(assignments),
+            lower_bound: 0,
+            horizon: 0,
+        });
+    }
+    let k = inst.num_nonempty_classes();
+    if inst.machines() >= k {
+        // One machine per class: makespan = max_c p(c) = lower bound ⇒ optimal.
+        let t = lower_bound(inst);
+        let mut b = ScheduleBuilder::new(inst, t);
+        for (machine, c) in inst.nonempty_classes().enumerate() {
+            b.push_bottom(machine, Block::whole_class(inst, c));
+        }
+        let schedule = b.finalize().expect("one block per class places all jobs");
+        return Some(ApproxResult { schedule, lower_bound: t, horizon: t });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::validate;
+
+    #[test]
+    fn empty_instance_short_circuits() {
+        let inst = Instance::new(3, vec![]).unwrap();
+        let r = trivial(&inst).unwrap();
+        assert_eq!(r.lower_bound, 0);
+        assert!(r.schedule.is_empty());
+    }
+
+    #[test]
+    fn all_zero_loads_short_circuit() {
+        let inst = Instance::from_classes(2, &[vec![0, 0], vec![0], vec![0], vec![0]]).unwrap();
+        let r = trivial(&inst).unwrap();
+        assert_eq!(validate(&inst, &r.schedule), Ok(()));
+        assert_eq!(r.makespan(&inst), 0);
+    }
+
+    #[test]
+    fn per_class_schedule_when_enough_machines() {
+        let inst = Instance::from_classes(3, &[vec![4, 2], vec![5]]).unwrap();
+        let r = trivial(&inst).unwrap();
+        assert_eq!(validate(&inst, &r.schedule), Ok(()));
+        // Optimal: max class load.
+        assert_eq!(r.makespan(&inst), 6);
+        assert_eq!(r.lower_bound, 6);
+    }
+
+    #[test]
+    fn not_trivial_when_classes_exceed_machines() {
+        let inst = Instance::from_classes(2, &[vec![4], vec![5], vec![6]]).unwrap();
+        assert!(trivial(&inst).is_none());
+    }
+
+    #[test]
+    fn ratio_vs_bound_is_one_for_trivial() {
+        let inst = Instance::from_classes(3, &[vec![4, 2], vec![5]]).unwrap();
+        let r = trivial(&inst).unwrap();
+        assert!((r.ratio_vs_bound(&inst) - 1.0).abs() < 1e-12);
+    }
+}

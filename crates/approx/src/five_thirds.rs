@@ -1,0 +1,237 @@
+//! `Algorithm_5/3` — the simple and fast 5/3-approximation (paper Section 2).
+//!
+//! With `T = max{⌈p(J)/m⌉, max_c p(c), p_(m) + p_(m+1)}` the algorithm places
+//! whole classes in three passes and guarantees every job completes by
+//! `H = ⌊(5/3)T⌋`:
+//!
+//! 1. every class containing a job `> T/2` (the set `C_{B+}`, at most `m`
+//!    classes by Observation 4) goes on its own machine;
+//! 2. classes with `p(c) > (2/3)T` are added to those machines in order
+//!    (whole if the result stays under `H`, otherwise split by Lemma 5: the
+//!    larger part top-aligned at `H`, the smaller part inserted at time 0 of
+//!    the *next* machine, delaying that machine's jobs);
+//! 3. the remaining classes (`p(c) ≤ (2/3)T`) are added greedily, closing
+//!    each machine once its load reaches `T`.
+//!
+//! Machines are *closed* once their load reaches `T` (the paper's "load in
+//! `(1, 5/3]`" rule); since the total load is at most `mT`, an open machine
+//! always exists while jobs remain. All anchors are integral: the flooring
+//! survives every inequality of Lemma 6 because job sizes are integers (see
+//! `msrs_core::frac`).
+
+use msrs_core::{bounds::lower_bound, frac, Block, ClassId, Instance, ScheduleBuilder};
+
+use crate::common::{trivial, ApproxResult};
+use crate::partition;
+
+/// Runs `Algorithm_5/3` on `inst`, producing a valid schedule with makespan
+/// at most `⌊(5/3)·T⌋ ≤ (5/3)·OPT` in `O(|I|)` time.
+pub fn five_thirds(inst: &Instance) -> ApproxResult {
+    if let Some(r) = trivial(inst) {
+        return r;
+    }
+    let t = lower_bound(inst);
+    debug_assert!(t > 0, "zero bound handled by the trivial path");
+    let h = frac::floor_mul(5, 3, t);
+    let m = inst.machines();
+    let mut b = ScheduleBuilder::new(inst, h);
+
+    // Classify: C_{B+} (job > T/2), large (p(c) > 2T/3, not C_{B+}), rest.
+    // Zero-load classes are placed immediately (they occupy no time and are
+    // outside the load-accounting argument).
+    let mut cb_plus: Vec<ClassId> = Vec::new();
+    let mut large: Vec<ClassId> = Vec::new();
+    let mut rest: Vec<ClassId> = Vec::new();
+    for c in inst.nonempty_classes() {
+        if inst.class_load(c) == 0 {
+            b.push_bottom(0, Block::whole_class(inst, c));
+        } else if frac::gt(inst.class_max_job(c), 1, 2, t) {
+            cb_plus.push(c);
+        } else if frac::gt(inst.class_load(c), 2, 3, t) {
+            large.push(c);
+        } else {
+            rest.push(c);
+        }
+    }
+    assert!(
+        cb_plus.len() <= m,
+        "Observation 4 violated: {} classes with a job > T/2 on {m} machines",
+        cb_plus.len()
+    );
+
+    // Step 1: each C_{B+} class on its own machine (machines 0..|C_{B+}|).
+    for (machine, &c) in cb_plus.iter().enumerate() {
+        b.push_bottom(machine, Block::whole_class(inst, c));
+    }
+
+    let mut closed = vec![false; m];
+    let mut cur = 0usize;
+
+    // Step 2: place the large classes, splitting when they do not fit whole.
+    for &c in &large {
+        let pc = inst.class_load(c);
+        while cur < m && closed[cur] {
+            cur += 1;
+        }
+        assert!(cur < m, "invariant violation: no open machine left in Step 2");
+        if b.load(cur) + pc <= h {
+            b.push_bottom(cur, Block::whole_class(inst, c));
+            if b.load(cur) >= t {
+                closed[cur] = true;
+            }
+        } else {
+            let split = partition::lemma5(inst, inst.class_jobs(c), t);
+            // Larger part top-aligned at H on the current machine; close it.
+            b.push_top(cur, Block::from_jobs(inst, split.hat));
+            closed[cur] = true;
+            cur += 1;
+            while cur < m && closed[cur] {
+                cur += 1;
+            }
+            assert!(cur < m, "invariant violation: no machine for the split part");
+            // Smaller part at time 0 of the next machine, delaying its jobs.
+            if !split.check.is_empty() {
+                b.push_bottom_front(cur, Block::from_jobs(inst, split.check));
+            }
+            if b.load(cur) >= t {
+                closed[cur] = true;
+            }
+        }
+    }
+
+    // Step 3: greedily place the remaining classes on open machines.
+    let mut cur = 0usize;
+    for &c in &rest {
+        loop {
+            assert!(cur < m, "invariant violation: no open machine left in Step 3");
+            if closed[cur] || b.load(cur) >= t {
+                closed[cur] = true;
+                cur += 1;
+                continue;
+            }
+            break;
+        }
+        b.push_bottom(cur, Block::whole_class(inst, c));
+        if b.load(cur) >= t {
+            closed[cur] = true;
+            cur += 1;
+        }
+    }
+
+    let schedule = b.finalize().expect("Algorithm_5/3 places every class");
+    ApproxResult { schedule, lower_bound: t, horizon: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::{validate, Instance, Time};
+
+    fn check(inst: &Instance) -> ApproxResult {
+        let r = five_thirds(inst);
+        assert_eq!(validate(inst, &r.schedule), Ok(()), "invalid schedule");
+        let cmax = r.makespan(inst);
+        assert!(
+            cmax <= frac::floor_mul(5, 3, r.lower_bound).max(r.lower_bound),
+            "makespan {cmax} exceeds 5/3·T (T={})",
+            r.lower_bound
+        );
+        r
+    }
+
+    #[test]
+    fn single_class_many_machines() {
+        let inst = Instance::from_classes(4, &[vec![3, 3, 3]]).unwrap();
+        let r = check(&inst);
+        assert_eq!(r.makespan(&inst), 9); // sequential class = optimal
+    }
+
+    #[test]
+    fn big_job_classes_get_own_machines() {
+        // T = 10 (area): two classes led by jobs > T/2.
+        let inst =
+            Instance::from_classes(2, &[vec![7, 3], vec![7, 3]]).unwrap();
+        let r = check(&inst);
+        assert_eq!(r.lower_bound, 10);
+        assert_eq!(r.makespan(&inst), 10); // each class fits one machine
+    }
+
+    #[test]
+    fn large_class_split_path() {
+        // Force a split: m=2; CB+ class occupying machine 0 with load T, and
+        // two large classes.
+        // classes: {6,5} (11), {4,4} (8), {4,4} (8); m=2: p(J)=27 → T=⌈27/2⌉=14,
+        // max class 11, p̃_2+p̃_3=5+4=9 → T=14. H=⌊70/3⌋=23.
+        // CB+: job > 7: none (6 ≤ 7). large: p(c) > 28/3≈9.33: class {6,5}=11.
+        // Step 2: 11 on empty machine fits whole. Step 3 greedy: the rest.
+        let inst = Instance::from_classes(2, &[vec![6, 5], vec![4, 4], vec![4, 4]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn genuine_split_with_delay() {
+        // m=2. Classes: A={9,8} (17), B={5,5,5} (15), C={2} (2).
+        // p(J)=34 → 17; max class 17; sizes sorted 9,8,5,5,5,2 → p̃_2+p̃_3=13.
+        // T=17, H=⌊85/3⌋=28. CB+: job > 8.5 → A (job 9). large: p>34/3≈11.3 → B.
+        // Step 1: A on machine 0 (load 17 = T, stays open but load ≥ T).
+        // Step 2: B on machine 0? load 17 + 15 = 32 > 28 → split.
+        let inst =
+            Instance::from_classes(2, &[vec![9, 8], vec![5, 5, 5], vec![2]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn all_unit_jobs_round_robin_classes() {
+        let inst = Instance::from_classes(
+            3,
+            &[vec![1; 10], vec![1; 10], vec![1; 10], vec![1; 10], vec![1; 10]],
+        )
+        .unwrap();
+        let r = check(&inst);
+        // T = ⌈50/3⌉ = 17; greedy must fit everything under ⌊85/3⌋ = 28.
+        assert!(r.makespan(&inst) <= 28);
+    }
+
+    #[test]
+    fn trivial_paths_used() {
+        let inst = Instance::from_classes(5, &[vec![4], vec![5], vec![6]]).unwrap();
+        let r = check(&inst);
+        assert_eq!(r.makespan(&inst), 6);
+    }
+
+    #[test]
+    fn zero_size_jobs_mixed_in() {
+        let inst =
+            Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn boundary_two_thirds_classes() {
+        // Classes exactly at 2T/3: T = 12 area bound with m = 3.
+        // classes of load 8 = 2T/3 are NOT large (strict >).
+        let inst = Instance::from_classes(
+            3,
+            &[vec![8], vec![8], vec![8], vec![4, 4], vec![4]],
+        )
+        .unwrap();
+        let r = check(&inst);
+        assert!(r.lower_bound >= 12);
+    }
+
+    #[test]
+    fn stress_many_shapes() {
+        // A deterministic mini-sweep over structured shapes.
+        let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
+            (2, vec![vec![10], vec![9, 1], vec![8, 2], vec![1, 1, 1]]),
+            (3, vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]]),
+            (4, vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]]),
+            (2, vec![vec![1], vec![1], vec![1]]),
+            (3, vec![vec![2, 2], vec![2, 2], vec![2, 2], vec![2, 2]]),
+        ];
+        for (m, classes) in shapes {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            check(&inst);
+        }
+    }
+}

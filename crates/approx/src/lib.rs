@@ -1,0 +1,36 @@
+//! # msrs-approx — approximation algorithms for MSRS
+//!
+//! Implements the two main contributions of Deppert, Jansen, Maack, Pukrop &
+//! Rau, *Scheduling with Many Shared Resources* (2023):
+//!
+//! * [`five_thirds`] — the simple, `O(|I|)` 5/3-approximation (§2, Thm 2);
+//! * [`three_halves`] — the involved `O(n + m log m)` 1.5-approximation
+//!   (§3, Thm 7), built from the Lemma 9 bound search, the Lemma 10/11 class
+//!   partitions, `Algorithm_no_huge`, and the general Steps 1–10 including
+//!   the rotation argument;
+//!
+//! plus the prior-work baselines the paper compares against
+//! ([`baselines::merged_lpt`], [`baselines::hebrard_greedy`],
+//! [`baselines::list_scheduler`]).
+//!
+//! Every algorithm returns an [`ApproxResult`] carrying the certified lower
+//! bound `T ≤ OPT` and the makespan horizon it guarantees; schedules are
+//! plain [`msrs_core::Schedule`]s that can be re-validated exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod common;
+mod five_thirds;
+mod no_huge;
+pub mod partition;
+pub mod tbound;
+mod three_halves;
+pub mod trace;
+mod vclass;
+
+pub use common::ApproxResult;
+pub use five_thirds::five_thirds;
+pub use three_halves::{three_halves, three_halves_traced};
+pub use trace::StepTrace;

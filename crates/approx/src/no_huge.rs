@@ -1,0 +1,446 @@
+//! `Algorithm_no_huge` — the 3/2-approximation for instances without huge
+//! jobs (paper §3.1, Lemma 12).
+//!
+//! Preconditions (established by the caller, `Algorithm_3/2`):
+//!
+//! * no virtual class contains a job `> (3/4)T`;
+//! * every virtual class has total `≤ T`;
+//! * the total load of the given classes is at most `|pool| · T`.
+//!
+//! The algorithm packs combinations of classes that fill one, two or three
+//! machines at an average load of at least `T` each (Steps 2–4), then
+//! dispatches on the number of remaining classes heavier than `T/2`
+//! (Steps 5–7), and finally places all classes `≤ T/2` greedily. Every job
+//! completes by the builder's horizon `H = ⌊(3/2)T⌋`.
+
+use std::collections::VecDeque;
+
+use msrs_core::{frac, Instance, MachineId, ScheduleBuilder, Time};
+
+use crate::trace::StepTrace;
+use crate::vclass::{Cat, VClass};
+
+fn take(pool: &mut VecDeque<MachineId>, step: &str) -> MachineId {
+    pool.pop_front().unwrap_or_else(|| {
+        panic!("invariant violation: no unused machine available in {step}")
+    })
+}
+
+/// Greedily places the `≤ T/2` classes: first onto the partially filled
+/// `fronts` machines (in order), then onto fresh pool machines. A machine is
+/// abandoned once its load reaches `T`; by the load accounting of Lemma 12 a
+/// class always fits the current machine's free gap while its load is below
+/// `T`.
+pub(crate) fn greedy_fill(
+    inst: &Instance,
+    b: &mut ScheduleBuilder<'_>,
+    t: Time,
+    fronts: Vec<MachineId>,
+    pool: &mut VecDeque<MachineId>,
+    smalls: Vec<VClass>,
+    trace: &mut StepTrace,
+) {
+    let mut fronts = VecDeque::from(fronts);
+    let mut next = |pool: &mut VecDeque<MachineId>| -> Option<MachineId> {
+        fronts.pop_front().or_else(|| pool.pop_front())
+    };
+    let mut cur = None;
+    for vc in smalls {
+        loop {
+            let m = match cur {
+                Some(m) => m,
+                None => {
+                    let m = next(pool).unwrap_or_else(|| {
+                        panic!("invariant violation: greedy fill ran out of machines")
+                    });
+                    cur = Some(m);
+                    m
+                }
+            };
+            if b.load(m) >= t || b.gap(m) < vc.total {
+                // Full (or the mid-gap of Step 6.2b cannot host this class —
+                // which, per the proof, implies the load already exceeds T).
+                debug_assert!(
+                    b.load(m) >= t,
+                    "class of load {} does not fit gap {} on machine {m} with load {} < T={t}",
+                    vc.total,
+                    b.gap(m),
+                    b.load(m)
+                );
+                cur = None;
+                continue;
+            }
+            b.push_bottom(m, vc.block_all(inst));
+            trace.nh_greedy_placements += 1;
+            if b.load(m) >= t {
+                cur = None;
+            }
+            break;
+        }
+    }
+}
+
+/// Runs `Algorithm_no_huge` for the virtual classes `classes` on the unused
+/// machines in `pool`, writing placements into `b` (horizon `⌊(3/2)T⌋`).
+pub(crate) fn no_huge(
+    inst: &Instance,
+    b: &mut ScheduleBuilder<'_>,
+    pool: &mut VecDeque<MachineId>,
+    t: Time,
+    classes: Vec<VClass>,
+    trace: &mut StepTrace,
+) {
+    trace.no_huge_called = true;
+    let h = b.horizon();
+    let mut mids: Vec<VClass> = Vec::new();
+    let mut bigs: Vec<VClass> = Vec::new();
+    let mut smalls: Vec<VClass> = Vec::new();
+    for vc in classes {
+        match vc.cat {
+            Cat::Huge => panic!("invariant violation: huge class passed to no_huge"),
+            Cat::BigGe34 | Cat::Ge34 => bigs.push(vc),
+            Cat::BigMid | Cat::Mid => mids.push(vc),
+            Cat::Small => smalls.push(vc),
+        }
+    }
+
+    // Step 2: pair classes with total ∈ (T/2, (3/4)T): one at 0, one ending
+    // at H. Their sizes are < (3/4)T each, so they cannot collide, and the
+    // pair's load exceeds T.
+    while mids.len() >= 2 {
+        trace.nh_step2_pairs += 1;
+        let c1 = mids.pop().expect("len checked");
+        let c2 = mids.pop().expect("len checked");
+        let m = take(pool, "Step 2");
+        b.push_bottom(m, c1.block_all(inst));
+        b.push_top(m, c2.block_all(inst));
+    }
+
+    // Step 3: four classes ≥ (3/4)T fill three machines.
+    while bigs.len() >= 4 {
+        trace.nh_step3_quads += 1;
+        let c1 = bigs.pop().expect("len checked");
+        let c2 = bigs.pop().expect("len checked");
+        let c3 = bigs.pop().expect("len checked");
+        let c4 = bigs.pop().expect("len checked");
+        let ma = take(pool, "Step 3");
+        b.push_bottom(ma, c1.block_hat(inst));
+        b.push_top(ma, c2.block_hat(inst));
+        let mb = take(pool, "Step 3");
+        b.push_bottom(mb, c3.block_all(inst));
+        if let Some(blk) = c1.block_check(inst) {
+            b.push_top(mb, blk);
+        }
+        let mc = take(pool, "Step 3");
+        if let Some(blk) = c2.block_check(inst) {
+            b.push_bottom(mc, blk);
+        }
+        b.push_bottom(mc, c4.block_all(inst));
+    }
+
+    // Step 4: two classes ≥ (3/4)T plus the last mid class fill two machines.
+    if bigs.len() >= 2 && mids.len() == 1 {
+        trace.nh_step4 = true;
+        let c1 = bigs.pop().expect("len checked");
+        let c2 = bigs.pop().expect("len checked");
+        let c3 = mids.pop().expect("len checked");
+        let ma = take(pool, "Step 4");
+        b.push_bottom(ma, c3.block_all(inst));
+        b.push_top(ma, c1.block_hat(inst));
+        let mb = take(pool, "Step 4");
+        if let Some(blk) = c1.block_check(inst) {
+            b.push_bottom(mb, blk);
+        }
+        b.push_bottom(mb, c2.block_all(inst));
+    }
+
+    // Dispatch on the remaining classes heavier than T/2.
+    let mut over: Vec<VClass> = Vec::new();
+    over.append(&mut bigs);
+    over.append(&mut mids);
+    debug_assert!(over.len() <= 3, "Steps 2–4 leave at most three classes > T/2");
+
+    match over.len() {
+        0 | 1 => {
+            // Step 5: place the single class (if any), then greedy.
+            let mut fronts = Vec::new();
+            if let Some(c) = over.pop() {
+                trace.nh_step5_single = true;
+                let m = take(pool, "Step 5");
+                b.push_bottom(m, c.block_all(inst));
+                fronts.push(m);
+            }
+            greedy_fill(inst, b, t, fronts, pool, smalls, trace);
+        }
+        2 => {
+            // Step 6. c1 is the larger class; since Step 2 left at most one
+            // mid class, c1 has total ≥ (3/4)T.
+            over.sort_by_key(|c| c.total);
+            let c1 = over.pop().expect("len checked");
+            let c2 = over.pop().expect("len checked");
+            debug_assert!(frac::ge(c1.total, 3, 4, t));
+            if frac::le(c2.total, 3, 4, t) {
+                if c1.total + c2.total <= h {
+                    // 6.1a: both on one machine.
+                    trace.nh_step6.case_1a += 1;
+                    let m = take(pool, "Step 6.1a");
+                    b.push_bottom(m, c1.block_all(inst));
+                    b.push_top(m, c2.block_all(inst));
+                    greedy_fill(inst, b, t, Vec::new(), pool, smalls, trace);
+                } else {
+                    // 6.1b: c2 then ĉ1 top-aligned; č1 seeds the next machine.
+                    trace.nh_step6.case_1b += 1;
+                    let ma = take(pool, "Step 6.1b");
+                    b.push_bottom(ma, c2.block_all(inst));
+                    b.push_top(ma, c1.block_hat(inst));
+                    let mb = take(pool, "Step 6.1b");
+                    if let Some(blk) = c1.block_check(inst) {
+                        b.push_bottom(mb, blk);
+                    }
+                    greedy_fill(inst, b, t, vec![mb], pool, smalls, trace);
+                }
+            } else if c1.p_hat + c2.p_hat <= t {
+                // 6.2a: c2 followed by ĉ1 on one machine; č1 seeds the next.
+                trace.nh_step6.case_2a += 1;
+                let ma = take(pool, "Step 6.2a");
+                b.push_bottom(ma, c2.block_all(inst));
+                b.push_bottom(ma, c1.block_hat(inst));
+                let mb = take(pool, "Step 6.2a");
+                if let Some(blk) = c1.block_check(inst) {
+                    b.push_bottom(mb, blk);
+                }
+                greedy_fill(inst, b, t, vec![mb], pool, smalls, trace);
+            } else {
+                // 6.2b: hats share one machine; checks bracket the next, and
+                // the greedy classes fill the gap between them.
+                trace.nh_step6.case_2b += 1;
+                let ma = take(pool, "Step 6.2b");
+                b.push_bottom(ma, c1.block_hat(inst));
+                b.push_top(ma, c2.block_hat(inst));
+                let mb = take(pool, "Step 6.2b");
+                if let Some(blk) = c2.block_check(inst) {
+                    b.push_bottom(mb, blk);
+                }
+                if let Some(blk) = c1.block_check(inst) {
+                    b.push_top(mb, blk);
+                }
+                greedy_fill(inst, b, t, vec![mb], pool, smalls, trace);
+            }
+        }
+        3 => {
+            // Step 7: all three remaining classes have total ≥ (3/4)T.
+            debug_assert!(over.iter().all(|c| frac::ge(c.total, 3, 4, t)));
+            if let Some(i) = (0..3).find(|&i| frac::le(over[i].p_hat, 1, 2, t)) {
+                // 7.1: some ĉ ≤ T/2.
+                trace.nh_step7.case_1 += 1;
+                let c1 = over.swap_remove(i);
+                let c3 = over.pop().expect("len checked");
+                let c2 = over.pop().expect("len checked");
+                let ma = take(pool, "Step 7.1");
+                b.push_bottom(ma, c1.block_hat(inst));
+                b.push_bottom(ma, c2.block_all(inst));
+                let mb = take(pool, "Step 7.1");
+                b.push_bottom(mb, c3.block_all(inst));
+                if let Some(blk) = c1.block_check(inst) {
+                    b.push_top(mb, blk);
+                }
+                greedy_fill(inst, b, t, Vec::new(), pool, smalls, trace);
+            } else {
+                // 7.2: all hats > T/2. Order so that p(č1) ≥ p(č2), which
+                // guarantees p(č1) > T/4 in case 7.2b.
+                if over[0].p_check < over[1].p_check {
+                    over.swap(0, 1);
+                }
+                let c3 = over.pop().expect("len checked");
+                let c2 = over.pop().expect("len checked");
+                let c1 = over.pop().expect("len checked");
+                let ma = take(pool, "Step 7.2");
+                b.push_bottom(ma, c1.block_hat(inst));
+                b.push_top(ma, c2.block_hat(inst));
+                if c1.p_check + c2.p_check + c3.total <= h {
+                    // 7.2a: č2, c3, č1 share the second machine.
+                    trace.nh_step7.case_2a += 1;
+                    let mb = take(pool, "Step 7.2a");
+                    if let Some(blk) = c2.block_check(inst) {
+                        b.push_bottom(mb, blk);
+                    }
+                    b.push_bottom(mb, c3.block_all(inst));
+                    if let Some(blk) = c1.block_check(inst) {
+                        b.push_top(mb, blk);
+                    }
+                    greedy_fill(inst, b, t, Vec::new(), pool, smalls, trace);
+                } else {
+                    // 7.2b: c3 + č1 close machine B; č2 seeds machine C.
+                    trace.nh_step7.case_2b += 1;
+                    let mb = take(pool, "Step 7.2b");
+                    b.push_bottom(mb, c3.block_all(inst));
+                    if let Some(blk) = c1.block_check(inst) {
+                        b.push_top(mb, blk);
+                    }
+                    let mc = take(pool, "Step 7.2b");
+                    if let Some(blk) = c2.block_check(inst) {
+                        b.push_bottom(mc, blk);
+                    }
+                    greedy_fill(inst, b, t, vec![mc], pool, smalls, trace);
+                }
+            }
+        }
+        _ => unreachable!("at most three classes > T/2 remain after Steps 2-4"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::{validate, Instance};
+
+    /// Helper: run no_huge standalone over whole classes of `inst` with bound
+    /// `t` and horizon ⌊3t/2⌋; validate and bound-check the result.
+    fn run(inst: &Instance, t: Time) {
+        let h = frac::floor_mul(3, 2, t);
+        let mut b = ScheduleBuilder::new(inst, h);
+        let mut pool: VecDeque<MachineId> = (0..inst.machines()).collect();
+        let classes: Vec<VClass> = inst
+            .nonempty_classes()
+            .map(|c| VClass::new(inst, inst.class_jobs(c).to_vec(), t))
+            .collect();
+        no_huge(inst, &mut b, &mut pool, t, classes, &mut StepTrace::default());
+        let s = b.finalize().expect("all jobs placed");
+        assert_eq!(validate(inst, &s), Ok(()), "invalid schedule");
+        assert!(s.makespan(inst) <= h, "makespan {} > H {h}", s.makespan(inst));
+    }
+
+    #[test]
+    fn step2_pairs_mid_classes() {
+        // t = 12: four classes of total 7 ∈ (6, 9).
+        let inst = Instance::from_classes(
+            2,
+            &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]],
+        )
+        .unwrap();
+        // total 28 ≤ 2·t? No — need pool·t ≥ 28 → t = 14: mids need ∈ (7, 10.5).
+        // Use t = 14: totals 7 not > 7. Use classes of 8 instead:
+        let inst2 = Instance::from_classes(
+            2,
+            &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]],
+        )
+        .unwrap();
+        // t = 14: totals 8 ∈ (7, 10.5) → mids; small {3}. Load 27 ≤ 28 ✓.
+        run(&inst2, 14);
+        let _ = inst;
+    }
+
+    #[test]
+    fn step3_four_heavy_classes() {
+        // t = 8: four classes of total ≥ 6 (= 3t/4), no job > 6.
+        // loads: 4×7 = 28 ≤ m·t with m = 4: 32 ✓.
+        let inst = Instance::from_classes(
+            4,
+            &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]],
+        )
+        .unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn step4_two_heavy_one_mid() {
+        // t = 8: two classes ≥ 6, one mid ∈ (4, 6), fillers.
+        // {4,3}=7, {4,3}=7, {5}=5; total 19 ≤ 3·8 ✓ m=3.
+        let inst =
+            Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![5]]).unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn step5_single_over_half() {
+        // t = 8: one class of 7, smalls.
+        let inst =
+            Instance::from_classes(2, &[vec![4, 3], vec![2, 2], vec![2, 2]]).unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn step6_cases() {
+        // 6.1a: c1 + c2 ≤ H.
+        let a = Instance::from_classes(2, &[vec![4, 3], vec![5]], ).unwrap();
+        run(&a, 8); // 7 + 5 = 12 = ⌊12⌋ ✓ one machine; H = 12.
+        // 6.1b: c1 + c2 > H: c1 = 8 (t=8: ≥ 6), c2 = 5 ∈ (4,6): 13 > 12.
+        let b2 = Instance::from_classes(2, &[vec![4, 4], vec![5], vec![2]]).unwrap();
+        run(&b2, 8);
+        // 6.2: both ≥ 6 with t = 8.
+        let c = Instance::from_classes(2, &[vec![4, 3], vec![4, 3], vec![1, 1]]).unwrap();
+        run(&c, 8);
+    }
+
+    #[test]
+    fn step6_2b_gap_filling() {
+        // Force 6.2b: hats sum > t. t = 8: classes {4,4} (hat 4, check 4)…
+        // hats must each be > 4: jobs of 5 > t/2 are big (≤ 6 ok).
+        // {5,3}: hat 5 (big job), check 3. Two of them: hats 5+5 = 10 > 8 ✓.
+        // Plus smalls to fill the bracket machine: {2,2}, {2}.
+        // Load: 8+8+4+2 = 22 ≤ 3·8 = 24, m = 3.
+        let inst = Instance::from_classes(
+            3,
+            &[vec![5, 3], vec![5, 3], vec![2, 2], vec![2]],
+        )
+        .unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn step7_three_heavy() {
+        // Three classes ≥ 6 at t = 8, m = 3: loads 7,7,7 = 21 ≤ 24.
+        let inst =
+            Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![4, 3]]).unwrap();
+        run(&inst, 8);
+        // 7.2 variant: hats > 4: {5,2} (hat 5 check 2) ×3, total 21.
+        let inst2 =
+            Instance::from_classes(3, &[vec![5, 2], vec![5, 2], vec![5, 2]]).unwrap();
+        run(&inst2, 8);
+    }
+
+    #[test]
+    fn step7_2b_path() {
+        // Make č1+č2+c3 > H: checks of 3 each, c3 = 8: 3+3+8 = 14 > 12 = H.
+        // classes {5,3} hat5/check3, {5,3}, {4,4} (c3, total 8).
+        // t = 8: loads 8,8,8 = 24 ≤ 4·8, m = 4 (7.2b opens a third machine).
+        let inst = Instance::from_classes(
+            4,
+            &[vec![5, 3], vec![5, 3], vec![4, 4], vec![2, 2]],
+        )
+        .unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn greedy_fill_only() {
+        // All classes ≤ t/2.
+        let inst = Instance::from_classes(
+            2,
+            &[vec![3], vec![3], vec![3], vec![3], vec![2, 1]],
+        )
+        .unwrap();
+        run(&inst, 8);
+    }
+
+    #[test]
+    fn greedy_fill_respects_gap() {
+        // Direct greedy_fill exercise with a bracket machine.
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        let t: Time = 8;
+        let mut b = ScheduleBuilder::new(&inst, 12);
+        let mut pool: VecDeque<MachineId> = VecDeque::from(vec![1]);
+        // bracket machine 0: bottom 4, top 4 → gap 4 in [4, 8).
+        b.push_bottom(0, msrs_core::Block::whole_class(&inst, 0));
+        b.push_top(0, msrs_core::Block::whole_class(&inst, 1));
+        let smalls = vec![
+            VClass::new(&inst, inst.class_jobs(2).to_vec(), t),
+            VClass::new(&inst, inst.class_jobs(3).to_vec(), t),
+        ];
+        greedy_fill(&inst, &mut b, t, vec![0], &mut pool, smalls, &mut StepTrace::default());
+        let s = b.finalize().unwrap();
+        assert_eq!(validate(&inst, &s), Ok(()));
+        assert!(s.makespan(&inst) <= 12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Class partitions of Lemmas 5, 10 and 11.
+//!
+//! All three lemmas split a class into two parts scheduled on different
+//! machines; each returns `(larger, smaller)` by total processing time with
+//! the exact properties the paper states:
+//!
+//! * **Lemma 5** (`p(c) > (2/3)T`, no job `> T/2`): parts with
+//!   `p(smaller) ≤ p(larger) ≤ (2/3)T` and `p(larger) ≥ (1/3)T`.
+//! * **Lemma 10** (`p(c) ≥ (3/4)T`, no job `> (3/4)T`): parts `ĉ, č` with
+//!   `p(č) ≤ p(ĉ) ≤ (3/4)T` and `p(č) ≤ T/2`; moreover if no job exceeds
+//!   `T/2`, one part lies in `(T/4, T/2]`.
+//! * **Lemma 11** (`p(c) ∈ (T/2, (3/4)T)`, no job `> T/2`): parts with
+//!   `p(č) ≤ p(ĉ) ≤ T/2` and `p(ĉ) > T/4`.
+//!
+//! The smaller part may be empty only in the Lemma 10 case of a single job of
+//! size exactly `(3/4)T` (then `p(ĉ) = p(c)`).
+
+use msrs_core::{frac, Instance, JobId, Time};
+
+/// A two-way split of a set of jobs of one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// The larger part (`ĉ`), by total processing time.
+    pub hat: Vec<JobId>,
+    /// Total processing time of `hat`.
+    pub p_hat: Time,
+    /// The smaller part (`č`); may be empty (see module docs).
+    pub check: Vec<JobId>,
+    /// Total processing time of `check`.
+    pub p_check: Time,
+}
+
+fn load(inst: &Instance, jobs: &[JobId]) -> Time {
+    jobs.iter().map(|&j| inst.size(j)).sum()
+}
+
+fn ordered(inst: &Instance, a: Vec<JobId>, b: Vec<JobId>) -> Split {
+    let (pa, pb) = (load(inst, &a), load(inst, &b));
+    if pa >= pb {
+        Split { hat: a, p_hat: pa, check: b, p_check: pb }
+    } else {
+        Split { hat: b, p_hat: pb, check: a, p_check: pa }
+    }
+}
+
+/// Splits off either the single largest job (if it exceeds `T/4`) or a greedy
+/// prefix of total `∈ (T/4, T/2]`. Requires no job `> T/2` and total `> T/2`.
+fn split_quarter(inst: &Instance, jobs: &[JobId], t: Time) -> (Vec<JobId>, Vec<JobId>) {
+    let &max_job = jobs
+        .iter()
+        .max_by_key(|&&j| inst.size(j))
+        .expect("split_quarter needs a non-empty class");
+    if frac::gt(inst.size(max_job), 1, 4, t) {
+        // Largest job in (T/4, T/2]: it alone is the pivot part.
+        let rest: Vec<JobId> = jobs.iter().copied().filter(|&j| j != max_job).collect();
+        (vec![max_job], rest)
+    } else {
+        // All jobs ≤ T/4: greedily fill until the prefix exceeds T/4 (then it
+        // is at most T/2).
+        let mut prefix = Vec::new();
+        let mut p: Time = 0;
+        let mut rest = Vec::new();
+        for &j in jobs {
+            if frac::le(p, 1, 4, t) {
+                p += inst.size(j);
+                prefix.push(j);
+            } else {
+                rest.push(j);
+            }
+        }
+        (prefix, rest)
+    }
+}
+
+/// Lemma 5 partition. Requires `p(c) > (2/3)T` and no job `> T/2`.
+pub fn lemma5(inst: &Instance, jobs: &[JobId], t: Time) -> Split {
+    let total = load(inst, jobs);
+    debug_assert!(frac::gt(total, 2, 3, t), "Lemma 5 requires p(c) > (2/3)T");
+    debug_assert!(
+        jobs.iter().all(|&j| frac::le(inst.size(j), 1, 2, t)),
+        "Lemma 5 requires no job > T/2"
+    );
+    // A job > T/3 (necessarily ≤ T/2) alone; otherwise greedy until ≥ T/3.
+    let big = jobs.iter().copied().find(|&j| frac::gt(inst.size(j), 1, 3, t));
+    let (a, b) = if let Some(big) = big {
+        (vec![big], jobs.iter().copied().filter(|&j| j != big).collect())
+    } else {
+        let mut prefix = Vec::new();
+        let mut p: Time = 0;
+        let mut rest = Vec::new();
+        for &j in jobs {
+            if frac::lt(p, 1, 3, t) {
+                p += inst.size(j);
+                prefix.push(j);
+            } else {
+                rest.push(j);
+            }
+        }
+        (prefix, rest)
+    };
+    let split = ordered(inst, a, b);
+    debug_assert!(frac::le(split.p_hat, 2, 3, t));
+    debug_assert!(frac::ge(split.p_hat, 1, 3, t));
+    split
+}
+
+/// Lemma 10 partition. Requires `p(c) ≥ (3/4)T` and no job `> (3/4)T`.
+pub fn lemma10(inst: &Instance, jobs: &[JobId], t: Time) -> Split {
+    let total = load(inst, jobs);
+    debug_assert!(frac::ge(total, 3, 4, t), "Lemma 10 requires p(c) ≥ (3/4)T");
+    let &max_job = jobs
+        .iter()
+        .max_by_key(|&&j| inst.size(j))
+        .expect("Lemma 10 needs a non-empty class");
+    let pmax = inst.size(max_job);
+    debug_assert!(frac::le(pmax, 3, 4, t), "Lemma 10 requires no job > (3/4)T");
+    let split = if frac::gt(pmax, 1, 2, t) {
+        // The big job alone is ĉ; the rest (≤ T − T/2 = T/2) is č.
+        let rest: Vec<JobId> = jobs.iter().copied().filter(|&j| j != max_job).collect();
+        let (ph, pc) = (pmax, total - pmax);
+        Split { hat: vec![max_job], p_hat: ph, check: rest, p_check: pc }
+    } else {
+        let (a, b) = split_quarter(inst, jobs, t);
+        ordered(inst, a, b)
+    };
+    debug_assert!(frac::le(split.p_hat, 3, 4, t));
+    debug_assert!(frac::le(split.p_check, 1, 2, t));
+    split
+}
+
+/// Lemma 11 partition. Requires `p(c) ∈ (T/2, (3/4)T)` and no job `> T/2`.
+pub fn lemma11(inst: &Instance, jobs: &[JobId], t: Time) -> Split {
+    let total = load(inst, jobs);
+    debug_assert!(
+        frac::gt(total, 1, 2, t) && frac::lt(total, 3, 4, t),
+        "Lemma 11 requires p(c) ∈ (T/2, (3/4)T)"
+    );
+    debug_assert!(
+        jobs.iter().all(|&j| frac::le(inst.size(j), 1, 2, t)),
+        "Lemma 11 requires no job > T/2"
+    );
+    let (a, b) = split_quarter(inst, jobs, t);
+    let split = ordered(inst, a, b);
+    debug_assert!(frac::le(split.p_hat, 1, 2, t));
+    debug_assert!(frac::gt(split.p_hat, 1, 4, t));
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::Instance;
+
+    fn inst_of(sizes: &[Time]) -> Instance {
+        Instance::from_classes(1, &[sizes.to_vec()]).unwrap()
+    }
+
+    fn all_jobs(inst: &Instance) -> Vec<JobId> {
+        (0..inst.num_jobs()).collect()
+    }
+
+    #[test]
+    fn lemma5_big_job_case() {
+        // T = 12: job 5 ∈ (4, 6] is the pivot.
+        let inst = inst_of(&[5, 2, 2]);
+        let s = lemma5(&inst, &all_jobs(&inst), 12);
+        // parts: {5} and {2,2}: larger is 5.
+        assert_eq!(s.p_hat, 5);
+        assert_eq!(s.p_check, 4);
+        assert!(s.p_hat * 3 <= 2 * 12);
+        assert!(s.p_hat * 3 >= 12);
+    }
+
+    #[test]
+    fn lemma5_greedy_case() {
+        // T = 12, all jobs ≤ 4 = T/3; total 9 > 8 = 2T/3.
+        let inst = inst_of(&[3, 3, 3]);
+        let s = lemma5(&inst, &all_jobs(&inst), 12);
+        // Greedy prefix: 3 (<4), 3 → 6 ≥ 4 stop: hat {3,3}=6, check {3}.
+        assert_eq!(s.p_hat, 6);
+        assert_eq!(s.p_check, 3);
+    }
+
+    #[test]
+    fn lemma5_parts_cover_class() {
+        let inst = inst_of(&[4, 4, 1]);
+        let s = lemma5(&inst, &all_jobs(&inst), 12);
+        let mut all: Vec<_> = s.hat.iter().chain(s.check.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, all_jobs(&inst));
+        assert_eq!(s.p_hat + s.p_check, 9);
+    }
+
+    #[test]
+    fn lemma10_big_job_case() {
+        // T = 12: job 7 ∈ (6, 9]; class total 12 ≥ 9.
+        let inst = inst_of(&[7, 3, 2]);
+        let s = lemma10(&inst, &all_jobs(&inst), 12);
+        assert_eq!(s.hat, vec![0]);
+        assert_eq!(s.p_hat, 7);
+        assert_eq!(s.p_check, 5);
+        assert!(2 * s.p_check <= 12);
+    }
+
+    #[test]
+    fn lemma10_medium_pivot_case() {
+        // T = 12: max 4 ∈ (3, 6]; total 12.
+        let inst = inst_of(&[4, 4, 4]);
+        let s = lemma10(&inst, &all_jobs(&inst), 12);
+        // pivot {4}, rest {4,4}: hat = rest (8 ≤ 9), check = {4}.
+        assert_eq!(s.p_hat, 8);
+        assert_eq!(s.p_check, 4);
+        // extra property: one part in (T/4, T/2] = (3, 6]
+        assert!(s.p_check > 3 && s.p_check <= 6);
+    }
+
+    #[test]
+    fn lemma10_greedy_case_and_quarter_property() {
+        // T = 16: all jobs ≤ 4 = T/4; total 13 ≥ 12.
+        let inst = inst_of(&[3, 3, 3, 2, 2]);
+        let s = lemma10(&inst, &all_jobs(&inst), 16);
+        assert!(4 * s.p_hat <= 3 * 16);
+        assert!(2 * s.p_check <= 16);
+        // one part in (4, 8]
+        let q = |p: Time| p > 4 && p <= 8;
+        assert!(q(s.p_hat) || q(s.p_check), "{s:?}");
+    }
+
+    #[test]
+    fn lemma10_single_job_three_quarters() {
+        // T = 4, single job of exactly 3 = (3/4)T: check is empty.
+        let inst = inst_of(&[3]);
+        let s = lemma10(&inst, &all_jobs(&inst), 4);
+        assert_eq!(s.p_hat, 3);
+        assert!(s.check.is_empty());
+    }
+
+    #[test]
+    fn lemma11_pivot_case() {
+        // T = 12: total 8 ∈ (6, 9), max 4 ∈ (3, 6].
+        let inst = inst_of(&[4, 2, 2]);
+        let s = lemma11(&inst, &all_jobs(&inst), 12);
+        assert!(s.p_hat <= 6);
+        assert!(s.p_hat > 3);
+        assert!(s.p_check <= s.p_hat);
+        assert_eq!(s.p_hat + s.p_check, 8);
+    }
+
+    #[test]
+    fn lemma11_greedy_case() {
+        // T = 16: total 9 ∈ (8, 12), all jobs ≤ 4 = T/4.
+        let inst = inst_of(&[3, 2, 2, 2]);
+        let s = lemma11(&inst, &all_jobs(&inst), 16);
+        assert!(2 * s.p_hat <= 16);
+        assert!(4 * s.p_hat > 16);
+        assert!(!s.check.is_empty());
+    }
+
+    #[test]
+    fn lemma11_never_empty_check() {
+        // total > T/2 and both parts ≤ T/2 forces two non-empty parts.
+        for sizes in [vec![4u64, 4], vec![2, 2, 2, 2], vec![4, 2, 1]] {
+            let inst = inst_of(&sizes);
+            let total: Time = sizes.iter().sum();
+            let t = (total * 2) - 1; // ensures total > t/2
+            let t = t.max((total * 4).div_ceil(3) + 1); // ensures total < (3/4)t
+            if !(frac::gt(total, 1, 2, t) && frac::lt(total, 3, 4, t)) {
+                continue;
+            }
+            let s = lemma11(&inst, &all_jobs(&inst), t);
+            assert!(!s.check.is_empty(), "sizes {sizes:?} t {t}");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! `Algorithm_3/2` — the 1.5-approximation for general instances (paper
+//! §3.2, Theorem 7).
+//!
+//! Outline (Steps 1–10 of the paper):
+//!
+//! 1. classes are simplified into [`VClass`]es (huge classes glued into one
+//!    block; heavier classes pre-partitioned by Lemmas 10/11 or the `C_B`
+//!    rule);
+//! 2. every huge-job class opens its own machine (`M_H`); machines reaching
+//!    load exactly `T` are closed immediately;
+//! 3. classes `≤ T/2` greedily fill the open `M_H` machines;
+//! 4. pairs of open `M_H` machines absorb the `(T/2, (3/4)T)` non-`C_B`
+//!    classes (one part top-aligned on each);
+//! 5. with a single open `M_H` machine left, a `(T/4, T/2]` part of some
+//!    non-`C_B` class tops it off, `Algorithm_no_huge` schedules the rest,
+//!    and a final *rotation* of the machine removes the intra-class conflict;
+//! 6. an open `M_H` machine plus a fresh machine absorb one `C_{≥3/4}` class
+//!    and one `C_B ∩ C_{(1/2,3/4)}` class;
+//! 7. leftover `C_B ∩ C_{(1/2,3/4)}` classes get individual machines;
+//! 8. pairs of open `M_H` machines plus one fresh machine absorb two
+//!    `C_{≥3/4}` classes;
+//! 9. with two or more open `M_H` machines (or only `C_B` classes left), each
+//!    remaining class gets an individual machine;
+//! 10. otherwise the Step 5 move finishes the last open `M_H` machine.
+//!
+//! Steps 6 and 7 take the `∩ C_B` reading of the class set (see DESIGN.md:
+//! the paper's `\` is inconsistent with its own claims and proofs).
+
+use std::collections::VecDeque;
+
+use msrs_core::{frac, Block, Instance, MachineId, ScheduleBuilder, Time};
+
+use crate::common::{trivial, ApproxResult};
+use crate::no_huge::no_huge;
+use crate::tbound::lemma9_t;
+use crate::trace::StepTrace;
+use crate::vclass::{Cat, VClass};
+
+/// The per-category worklists of `Algorithm_3/2`.
+#[derive(Debug, Default)]
+struct Cats {
+    big_ge34: Vec<VClass>,
+    ge34: Vec<VClass>,
+    big_mid: Vec<VClass>,
+    mid: Vec<VClass>,
+    small: Vec<VClass>,
+}
+
+impl Cats {
+    fn residual(&mut self) -> Vec<VClass> {
+        let mut out = Vec::new();
+        out.append(&mut self.big_ge34);
+        out.append(&mut self.ge34);
+        out.append(&mut self.big_mid);
+        out.append(&mut self.mid);
+        out.append(&mut self.small);
+        out
+    }
+
+    fn is_empty(&self) -> bool {
+        self.big_ge34.is_empty()
+            && self.ge34.is_empty()
+            && self.big_mid.is_empty()
+            && self.mid.is_empty()
+            && self.small.is_empty()
+    }
+}
+
+fn take(pool: &mut VecDeque<MachineId>, step: &str) -> MachineId {
+    pool.pop_front().unwrap_or_else(|| {
+        panic!("invariant violation: no unused machine available in {step}")
+    })
+}
+
+fn finalize(b: ScheduleBuilder<'_>, t: Time, h: Time, inst: &Instance) -> ApproxResult {
+    let schedule = b.finalize().expect("Algorithm_3/2 places every job");
+    debug_assert!(schedule.makespan(inst) <= h);
+    ApproxResult { schedule, lower_bound: t, horizon: h }
+}
+
+/// Runs `Algorithm_3/2` on `inst`: a valid schedule with makespan at most
+/// `⌊(3/2)·T⌋ ≤ (3/2)·OPT`, in `O(n + m log m)` time.
+pub fn three_halves(inst: &Instance) -> ApproxResult {
+    three_halves_traced(inst).0
+}
+
+/// As [`three_halves`], additionally returning the [`StepTrace`] of which
+/// algorithm steps fired (the E6 "figure anatomy" telemetry).
+pub fn three_halves_traced(inst: &Instance) -> (ApproxResult, StepTrace) {
+    let mut trace = StepTrace::default();
+    let r = run(inst, &mut trace);
+    (r, trace)
+}
+
+fn run(inst: &Instance, trace: &mut StepTrace) -> ApproxResult {
+    if let Some(r) = trivial(inst) {
+        trace.trivial = true;
+        return r;
+    }
+    let t = lemma9_t(inst);
+    debug_assert!(t > 0);
+    let h = frac::floor_mul(3, 2, t);
+    let mut b = ScheduleBuilder::new(inst, h);
+    let mut pool: VecDeque<MachineId> = (0..inst.machines()).collect();
+
+    // Step 1: simplify all classes into virtual classes. Zero-load classes
+    // are placed immediately (they occupy no time and are outside the load
+    // accounting).
+    let mut huge: Vec<VClass> = Vec::new();
+    let mut cats = Cats::default();
+    for c in inst.nonempty_classes() {
+        if inst.class_load(c) == 0 {
+            b.push_bottom(0, Block::whole_class(inst, c));
+            continue;
+        }
+        let vc = VClass::new(inst, inst.class_jobs(c).to_vec(), t);
+        match vc.cat {
+            Cat::Huge => huge.push(vc),
+            Cat::BigGe34 => cats.big_ge34.push(vc),
+            Cat::Ge34 => cats.ge34.push(vc),
+            Cat::BigMid => cats.big_mid.push(vc),
+            Cat::Mid => cats.mid.push(vc),
+            Cat::Small => cats.small.push(vc),
+        }
+    }
+
+    // Step 2: open one machine per huge class; close those filled to exactly T.
+    let mut mh: VecDeque<MachineId> = VecDeque::new();
+    for hc in huge {
+        trace.step2_huge_machines += 1;
+        let m = take(&mut pool, "Step 2 (|C_H| ≤ m by Lemma 9)");
+        b.push_bottom(m, hc.block_all(inst));
+        if b.load(m) < t {
+            mh.push_back(m);
+        }
+    }
+
+    // Step 3: greedily add classes ≤ T/2 to the open M_H machines.
+    while !cats.small.is_empty() {
+        let Some(&m0) = mh.front() else { break };
+        if b.load(m0) >= t {
+            mh.pop_front();
+            continue;
+        }
+        let vc = cats.small.pop().expect("non-empty checked");
+        b.push_bottom(m0, vc.block_all(inst));
+        trace.step3_fills += 1;
+        if b.load(m0) >= t {
+            mh.pop_front();
+        }
+    }
+    if mh.is_empty() {
+        no_huge(inst, &mut b, &mut pool, t, cats.residual(), trace);
+        return finalize(b, t, h, inst);
+    }
+    debug_assert!(cats.small.is_empty());
+
+    // Step 4: two open M_H machines absorb one (T/2, 3/4T) non-C_B class.
+    while mh.len() >= 2 && !cats.mid.is_empty() {
+        trace.step4 += 1;
+        let c = cats.mid.pop().expect("non-empty checked");
+        let m1 = mh.pop_front().expect("len checked");
+        let m2 = mh.pop_front().expect("len checked");
+        // Shift m2's content up so its last job ends at H, then č starts at 0.
+        b.raise_to_top(m2);
+        b.push_top(m1, Block::from_jobs(inst, c.hat));
+        if !c.check.is_empty() {
+            b.push_bottom(m2, Block::from_jobs(inst, c.check));
+        }
+    }
+    if mh.is_empty() {
+        no_huge(inst, &mut b, &mut pool, t, cats.residual(), trace);
+        return finalize(b, t, h, inst);
+    }
+
+    // Step 5: a single open M_H machine finishes via the rotation move.
+    if mh.len() == 1 {
+        let m0 = mh[0];
+        let r = rotate_and_finish(inst, b, pool, t, h, m0, cats, trace);
+        trace.step5_rotation = trace.rotation_done;
+        trace.step5_cb_fallback = trace.cb_fallback_done;
+        return r;
+    }
+
+    // Step 6: one open M_H machine + one fresh machine absorb a C_{≥3/4}
+    // class and a C_B ∩ C_{(1/2,3/4)} class.
+    while !mh.is_empty() && !cats.big_mid.is_empty() {
+        let Some(c) = cats.big_ge34.pop().or_else(|| cats.ge34.pop()) else { break };
+        trace.step6 += 1;
+        let bcl = cats.big_mid.pop().expect("non-empty checked");
+        let m1 = mh.pop_front().expect("non-empty checked");
+        let m2 = take(&mut pool, "Step 6");
+        if !c.check.is_empty() {
+            b.push_top(m1, Block::from_jobs(inst, c.check));
+        }
+        b.push_bottom(m2, Block::from_jobs(inst, c.hat));
+        b.push_top(m2, bcl.block_all(inst));
+    }
+    if mh.is_empty() {
+        if !cats.is_empty() {
+            no_huge(inst, &mut b, &mut pool, t, cats.residual(), trace);
+        }
+        return finalize(b, t, h, inst);
+    }
+
+    // Step 7: leftover C_B ∩ C_{(1/2,3/4)} classes get individual machines
+    // (only possible when no C_{≥3/4} classes remain).
+    if !cats.big_mid.is_empty() {
+        debug_assert!(cats.big_ge34.is_empty() && cats.ge34.is_empty());
+        for c in cats.big_mid.drain(..) {
+            trace.step7_classes += 1;
+            let m = take(&mut pool, "Step 7 (|M̄_u| ≥ |C̄_B|)");
+            b.push_bottom(m, c.block_all(inst));
+        }
+        debug_assert!(cats.is_empty());
+        return finalize(b, t, h, inst);
+    }
+
+    // Step 8: two open M_H machines + one fresh machine absorb two C_{≥3/4}
+    // classes (preferring the C_B ones).
+    while mh.len() >= 2 && cats.big_ge34.len() + cats.ge34.len() >= 2 {
+        trace.step8 += 1;
+        let c1 = cats
+            .big_ge34
+            .pop()
+            .or_else(|| cats.ge34.pop())
+            .expect("count checked");
+        let c2 = cats
+            .big_ge34
+            .pop()
+            .or_else(|| cats.ge34.pop())
+            .expect("count checked");
+        let m1 = mh.pop_front().expect("len checked");
+        let m2 = mh.pop_front().expect("len checked");
+        let m3 = take(&mut pool, "Step 8");
+        b.raise_to_top(m2);
+        if !c1.check.is_empty() {
+            b.push_top(m1, Block::from_jobs(inst, c1.check.clone()));
+        }
+        if !c2.check.is_empty() {
+            b.push_bottom(m2, Block::from_jobs(inst, c2.check.clone()));
+        }
+        b.push_bottom(m3, Block::from_jobs(inst, c1.hat));
+        b.push_top(m3, Block::from_jobs(inst, c2.hat));
+    }
+    if mh.is_empty() {
+        if !cats.is_empty() {
+            no_huge(inst, &mut b, &mut pool, t, cats.residual(), trace);
+        }
+        return finalize(b, t, h, inst);
+    }
+
+    // Step 9: with ≥ 2 open M_H machines at most one class remains; and if
+    // only C_B classes remain they fit on individual machines either way.
+    if mh.len() >= 2 || cats.ge34.is_empty() {
+        debug_assert!(
+            mh.len() < 2 || cats.big_ge34.len() + cats.ge34.len() <= 1,
+            "Step 8 leaves at most one class when two M_H machines remain"
+        );
+        for c in cats.big_ge34.drain(..).chain(cats.ge34.drain(..)) {
+            trace.step9_classes += 1;
+            let m = take(&mut pool, "Step 9");
+            b.push_bottom(m, c.block_all(inst));
+        }
+        debug_assert!(cats.is_empty());
+        return finalize(b, t, h, inst);
+    }
+
+    // Step 10: exactly one open M_H machine and a non-C_B class ≥ (3/4)T
+    // remain — same rotation move as Step 5.
+    let m0 = mh[0];
+    let r = rotate_and_finish(inst, b, pool, t, h, m0, cats, trace);
+    trace.step10_rotation = trace.rotation_done;
+    r
+}
+
+/// Steps 5/10: pick a non-`C_B` class `c`, place its `(T/4, T/2]` part `c'`
+/// on the last open `M_H` machine `m0`, schedule everything else (including
+/// the counterpart `c''`) with `Algorithm_no_huge`, then *rotate* `m0` so
+/// that `c'` avoids the time window of `c''`.
+#[allow(clippy::too_many_arguments)]
+fn rotate_and_finish<'a>(
+    inst: &'a Instance,
+    mut b: ScheduleBuilder<'a>,
+    mut pool: VecDeque<MachineId>,
+    t: Time,
+    h: Time,
+    m0: MachineId,
+    mut cats: Cats,
+    trace: &mut StepTrace,
+) -> ApproxResult {
+    let picked = cats.mid.pop().or_else(|| cats.ge34.pop());
+    let Some(c) = picked else {
+        // All residual classes contain a big job: one machine each suffices
+        // (|M̄_u| ≥ |C̄_B| by the invariant).
+        trace.cb_fallback_done = true;
+        for c in cats.big_mid.drain(..).chain(cats.big_ge34.drain(..)) {
+            let m = take(&mut pool, "Step 5/10 (C_B fallback)");
+            b.push_bottom(m, c.block_all(inst));
+        }
+        debug_assert!(cats.is_empty());
+        return finalize(b, t, h, inst);
+    };
+    trace.rotation_done = true;
+
+    // c' ∈ (T/4, T/2] exists by Lemma 10 (max job ≤ T/2) resp. Lemma 11.
+    let (cp, cp_p, cpp) = if frac::gt(c.p_hat, 1, 4, t) && frac::le(c.p_hat, 1, 2, t) {
+        (c.hat, c.p_hat, c.check)
+    } else {
+        (c.check.clone(), c.p_check, c.hat)
+    };
+    assert!(
+        frac::gt(cp_p, 1, 4, t) && frac::le(cp_p, 1, 2, t),
+        "Lemma 10/11 quarter-part property violated"
+    );
+    debug_assert!(!cpp.is_empty(), "counterpart part c'' is empty");
+    let cp_first = cp[0];
+    let cpp_first = cpp[0];
+    b.push_bottom(m0, Block::from_jobs(inst, cp));
+
+    // Schedule the residual instance including c'' with Algorithm_no_huge.
+    let cpp_vc = VClass::new(inst, cpp, t);
+    debug_assert!(
+        matches!(cpp_vc.cat, Cat::Mid | Cat::Small),
+        "c'' must be lighter than (3/4)T and contain no big job"
+    );
+    let mut residual = cats.residual();
+    residual.push(cpp_vc);
+    no_huge(inst, &mut b, &mut pool, t, residual, trace);
+
+    // Rotation: c'' sits at [s, e) on some other machine; place c' at the
+    // bottom ([0, p(c'))) if s ≥ p(c'), else top-aligned ([H − p(c'), H)).
+    // One of the two always works since p(c) + p(c') ≤ T + T/2 ≤ H.
+    let (_, s, e) = b
+        .find_block_by_first_job(cpp_first)
+        .expect("c'' is placed as a single block by Algorithm_no_huge");
+    let idx = b
+        .find_bottom_block(m0, cp_first)
+        .expect("c' was pushed on m0's bottom stack");
+    if s >= cp_p {
+        b.rotate_bottom_block_to_front(m0, idx);
+    } else {
+        debug_assert!(
+            e + cp_p <= h,
+            "rotation impossible: c''=[{s},{e}) and p(c')={cp_p} with H={h}"
+        );
+        b.rotate_bottom_block_to_top(m0, idx);
+    }
+    finalize(b, t, h, inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::validate;
+
+    fn check(inst: &Instance) -> ApproxResult {
+        let r = three_halves(inst);
+        assert_eq!(validate(inst, &r.schedule), Ok(()), "invalid schedule");
+        let cmax = r.makespan(inst);
+        assert!(
+            cmax <= frac::floor_mul(3, 2, r.lower_bound).max(r.lower_bound),
+            "makespan {cmax} exceeds 3/2·T (T={})",
+            r.lower_bound
+        );
+        r
+    }
+
+    #[test]
+    fn no_huge_jobs_delegates() {
+        let inst = Instance::from_classes(
+            2,
+            &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]],
+        )
+        .unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn single_huge_class() {
+        // One class with a huge job, fillers: T via Lemma 9.
+        let inst =
+            Instance::from_classes(2, &[vec![10], vec![3, 3], vec![3, 3]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step3_fills_huge_machines() {
+        // Huge machine at load 10/12; smalls of ≤ 6 fill it past T.
+        let inst = Instance::from_classes(
+            2,
+            &[vec![10], vec![5], vec![4], vec![3]],
+        )
+        .unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step4_two_huge_one_mid() {
+        // Two huge classes and one mid (non-C_B) class.
+        // sizes: 10, 10, {4,4}: T: p(J)=28, m=3 → ⌈28/3⌉=10; max class 10;
+        // p̃_3+p̃_4 = 8+4? sorted: 10,10,4,4 → p̃_3+p̃_4 = 8. base = 10.
+        // At T=10: huge > 7.5: both 10s ✓. mid: total 8 ∈ (5, 7.5)? No - 8 ≥ 7.5
+        // → heavy-total. Adjust: {3,4} total 7 ∈ (5, 7.5) ✓.
+        let inst = Instance::from_classes(3, &[vec![10], vec![10], vec![3, 4]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step5_rotation_path() {
+        // One huge class (left open below T) + one non-C_B class > T/2 whose
+        // counterpart must be scheduled by no_huge and rotated around.
+        // m=2: huge {9} and mid {4,3} with smalls.
+        // p(J) = 9+7+2 = 18 → ⌈18/2⌉ = 9; sizes 9,4,3,2: p̃_2+p̃_3 = 7 → T=9.
+        // huge > 6.75 ✓. mid total 7 ∈ (4.5, 6.75)? 7 > 6.75 → heavy-total
+        // (Ge34). Still exercises Step 5 via ge34 pick.
+        let inst = Instance::from_classes(2, &[vec![9], vec![4, 3], vec![2]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step6_7_big_mid_classes() {
+        // Huge machine + C_B∩(1/2,3/4) class + heavy class.
+        // m=3: {10}, {7,1} (big job 7, total 8 ≥ 7.5 → BigGe34 at T=10),
+        // {6} big job, total 6 ∈ (5, 7.5) → BigMid.
+        let inst = Instance::from_classes(3, &[vec![10], vec![7, 1], vec![6]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step8_pairs_of_heavy_classes() {
+        // Two huge machines + two heavy classes.
+        let inst = Instance::from_classes(
+            4,
+            &[vec![11], vec![11], vec![5, 4], vec![5, 4], vec![2]],
+        )
+        .unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn step9_individual_machines() {
+        // Two huge + one heavy class.
+        let inst =
+            Instance::from_classes(3, &[vec![11], vec![11], vec![5, 4]]).unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn many_huge_classes() {
+        let inst = Instance::from_classes(
+            4,
+            &[vec![9], vec![9], vec![9], vec![9], vec![2, 2], vec![1, 1, 1]],
+        )
+        .unwrap();
+        check(&inst);
+    }
+
+    #[test]
+    fn mixed_stress_shapes() {
+        let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
+            (2, vec![vec![10], vec![9, 1], vec![8, 2], vec![1, 1, 1]]),
+            (3, vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]]),
+            (4, vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]]),
+            (2, vec![vec![1], vec![1], vec![1]]),
+            (3, vec![vec![2, 2], vec![2, 2], vec![2, 2], vec![2, 2]]),
+            (2, vec![vec![6, 5], vec![4, 4], vec![4, 4]]),
+            (2, vec![vec![9, 8], vec![5, 5, 5], vec![2]]),
+        ];
+        for (m, classes) in shapes {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn zero_size_jobs_tolerated() {
+        let inst =
+            Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
+        check(&inst);
+    }
+}

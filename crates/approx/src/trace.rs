@@ -1,0 +1,136 @@
+//! Execution telemetry for `Algorithm_3/2` / `Algorithm_no_huge`.
+//!
+//! The paper's Figures 2–4 illustrate the *steps* of the algorithms; the E6
+//! experiment regenerates them as step-execution counts over instance
+//! corpora. [`StepTrace`] records how often every step (and sub-case) fired
+//! during one run; `three_halves_traced` returns it alongside the schedule.
+
+/// Which branch Step 6 of `Algorithm_no_huge` took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoHugeStep6 {
+    /// 6.1a — both classes on one machine.
+    pub case_1a: u32,
+    /// 6.1b — split `c1`, seed the next machine with `č1`.
+    pub case_1b: u32,
+    /// 6.2a — `c2` followed by `ĉ1`.
+    pub case_2a: u32,
+    /// 6.2b — hats bracket one machine, checks bracket the next.
+    pub case_2b: u32,
+}
+
+/// Which branch Step 7 of `Algorithm_no_huge` took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoHugeStep7 {
+    /// 7.1 — some `ĉ ≤ T/2`.
+    pub case_1: u32,
+    /// 7.2a — checks and `c3` share a machine.
+    pub case_2a: u32,
+    /// 7.2b — `č2` seeds a third machine.
+    pub case_2b: u32,
+}
+
+/// Step counters for one `Algorithm_3/2` run (general steps and the
+/// `Algorithm_no_huge` subroutine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepTrace {
+    /// Trivial fast path taken (Note 1 / degenerate instance).
+    pub trivial: bool,
+    /// Huge classes opened in Step 2 (= `|C_H|`).
+    pub step2_huge_machines: u32,
+    /// Classes `≤ T/2` placed onto `M_H` machines in Step 3.
+    pub step3_fills: u32,
+    /// Step 4 iterations (two `M_H` machines + one mid class).
+    pub step4: u32,
+    /// Step 5 taken with the rotation move.
+    pub step5_rotation: bool,
+    /// Step 5/10 fallback: all residual classes were `C_B`.
+    pub step5_cb_fallback: bool,
+    /// Step 6 iterations (one `M_H` machine + fresh machine).
+    pub step6: u32,
+    /// Step 7: `C_B ∩ (T/2, 3/4T)` classes placed on own machines.
+    pub step7_classes: u32,
+    /// Step 8 iterations (two `M_H` machines + fresh machine).
+    pub step8: u32,
+    /// Step 9: residual classes placed on own machines.
+    pub step9_classes: u32,
+    /// Step 10 taken with the rotation move.
+    pub step10_rotation: bool,
+    /// `Algorithm_no_huge` invoked.
+    pub no_huge_called: bool,
+    /// no_huge Step 2 pairs.
+    pub nh_step2_pairs: u32,
+    /// no_huge Step 3 quadruples.
+    pub nh_step3_quads: u32,
+    /// no_huge Step 4 taken.
+    pub nh_step4: bool,
+    /// no_huge Step 5 single class placed.
+    pub nh_step5_single: bool,
+    /// no_huge Step 6 sub-cases.
+    pub nh_step6: NoHugeStep6,
+    /// no_huge Step 7 sub-cases.
+    pub nh_step7: NoHugeStep7,
+    /// Classes placed by the final greedy fill.
+    pub nh_greedy_placements: u32,
+    /// Internal scratch: the last rotate_and_finish call used the rotation
+    /// branch (copied into `step5_rotation` / `step10_rotation`).
+    pub(crate) rotation_done: bool,
+    /// Internal scratch: the last rotate_and_finish call used the all-C_B
+    /// fallback.
+    pub(crate) cb_fallback_done: bool,
+}
+
+impl StepTrace {
+    /// Merges another trace into this one (corpus aggregation).
+    pub fn absorb(&mut self, other: &StepTrace) {
+        self.trivial |= other.trivial;
+        self.step2_huge_machines += other.step2_huge_machines;
+        self.step3_fills += other.step3_fills;
+        self.step4 += other.step4;
+        self.step5_rotation |= other.step5_rotation;
+        self.step5_cb_fallback |= other.step5_cb_fallback;
+        self.step6 += other.step6;
+        self.step7_classes += other.step7_classes;
+        self.step8 += other.step8;
+        self.step9_classes += other.step9_classes;
+        self.step10_rotation |= other.step10_rotation;
+        self.no_huge_called |= other.no_huge_called;
+        self.nh_step2_pairs += other.nh_step2_pairs;
+        self.nh_step3_quads += other.nh_step3_quads;
+        self.nh_step4 |= other.nh_step4;
+        self.nh_step5_single |= other.nh_step5_single;
+        self.nh_step6.case_1a += other.nh_step6.case_1a;
+        self.nh_step6.case_1b += other.nh_step6.case_1b;
+        self.nh_step6.case_2a += other.nh_step6.case_2a;
+        self.nh_step6.case_2b += other.nh_step6.case_2b;
+        self.nh_step7.case_1 += other.nh_step7.case_1;
+        self.nh_step7.case_2a += other.nh_step7.case_2a;
+        self.nh_step7.case_2b += other.nh_step7.case_2b;
+        self.nh_greedy_placements += other.nh_greedy_placements;
+    }
+
+    /// Whether any rotation (Step 5 or 10) happened.
+    pub fn rotated(&self) -> bool {
+        self.step5_rotation || self.step10_rotation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = StepTrace { step4: 2, nh_step2_pairs: 1, ..Default::default() };
+        let b = StepTrace {
+            step4: 3,
+            step5_rotation: true,
+            nh_step6: NoHugeStep6 { case_2b: 1, ..Default::default() },
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.step4, 5);
+        assert_eq!(a.nh_step2_pairs, 1);
+        assert!(a.rotated());
+        assert_eq!(a.nh_step6.case_2b, 1);
+    }
+}

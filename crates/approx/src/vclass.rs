@@ -1,0 +1,197 @@
+//! Virtual classes: the unit `Algorithm_3/2` and `Algorithm_no_huge` operate
+//! on.
+//!
+//! A [`VClass`] is a set of jobs of one class (usually the whole class; for
+//! the split class of Steps 5/10 only its counterpart part `c''`) together
+//! with its Step 1 simplification: the category against the scaled bound `T`
+//! and — where the algorithms need it — the two-part partition of Lemma 10 /
+//! Lemma 11 / the `C_B` rule (`ĉ` = the big job, `č` = the rest).
+
+use msrs_core::{frac, Block, Instance, JobId, Time};
+
+use crate::partition;
+
+/// Category of a virtual class against the scaled bound `T` (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cat {
+    /// Contains a job `> (3/4)T` (`C_H`).
+    Huge,
+    /// Contains a big job (`∈ (T/2, (3/4)T]`) and has total `≥ (3/4)T`
+    /// (`C_B ∩ C_{≥3/4}`).
+    BigGe34,
+    /// Total `≥ (3/4)T`, no big or huge job (`C_{≥3/4} \ (C_H ∪ C_B)`).
+    Ge34,
+    /// Contains a big job, total `∈ (T/2, (3/4)T)` (`C_B ∩ C_{(1/2,3/4)}`).
+    BigMid,
+    /// Total `∈ (T/2, (3/4)T)`, no big job (`C_{(1/2,3/4)} \ C_B`).
+    Mid,
+    /// Total `≤ T/2`.
+    Small,
+}
+
+/// A set of jobs of a single class plus its Step 1 simplification.
+#[derive(Debug, Clone)]
+pub(crate) struct VClass {
+    /// The jobs (all of one class).
+    pub jobs: Vec<JobId>,
+    /// Total processing time.
+    pub total: Time,
+    /// Category against `T`.
+    pub cat: Cat,
+    /// Larger part `ĉ` of the partition (empty unless partitioned).
+    pub hat: Vec<JobId>,
+    /// `p(ĉ)`.
+    pub p_hat: Time,
+    /// Smaller part `č` (may be empty even for partitioned classes, see
+    /// [`partition`]).
+    pub check: Vec<JobId>,
+    /// `p(č)`.
+    pub p_check: Time,
+}
+
+impl VClass {
+    /// Builds the virtual class for `jobs` (all of one class) against `t`.
+    pub fn new(inst: &Instance, jobs: Vec<JobId>, t: Time) -> Self {
+        debug_assert!(!jobs.is_empty());
+        let total: Time = jobs.iter().map(|&j| inst.size(j)).sum();
+        let max_job = jobs.iter().map(|&j| inst.size(j)).max().unwrap_or(0);
+        let (cat, split) = if frac::gt(max_job, 3, 4, t) {
+            (Cat::Huge, None)
+        } else if frac::ge(total, 3, 4, t) {
+            let split = partition::lemma10(inst, &jobs, t);
+            if frac::gt(max_job, 1, 2, t) {
+                (Cat::BigGe34, Some(split))
+            } else {
+                (Cat::Ge34, Some(split))
+            }
+        } else if frac::gt(total, 1, 2, t) {
+            if frac::gt(max_job, 1, 2, t) {
+                // C_B rule: ĉ = the big job, č = the rest.
+                let big = *jobs
+                    .iter()
+                    .max_by_key(|&&j| inst.size(j))
+                    .expect("non-empty class");
+                let rest: Vec<JobId> =
+                    jobs.iter().copied().filter(|&j| j != big).collect();
+                let p_rest = total - inst.size(big);
+                (
+                    Cat::BigMid,
+                    Some(partition::Split {
+                        hat: vec![big],
+                        p_hat: inst.size(big),
+                        check: rest,
+                        p_check: p_rest,
+                    }),
+                )
+            } else {
+                (Cat::Mid, Some(partition::lemma11(inst, &jobs, t)))
+            }
+        } else {
+            (Cat::Small, None)
+        };
+        match split {
+            Some(s) => VClass {
+                jobs,
+                total,
+                cat,
+                hat: s.hat,
+                p_hat: s.p_hat,
+                check: s.check,
+                p_check: s.p_check,
+            },
+            None => VClass {
+                jobs,
+                total,
+                cat,
+                hat: Vec::new(),
+                p_hat: 0,
+                check: Vec::new(),
+                p_check: 0,
+            },
+        }
+    }
+
+    /// One block holding all jobs (the class scheduled consecutively).
+    pub fn block_all(&self, inst: &Instance) -> Block {
+        Block::from_jobs(inst, self.jobs.clone())
+    }
+
+    /// The `ĉ` part as a block.
+    pub fn block_hat(&self, inst: &Instance) -> Block {
+        debug_assert!(!self.hat.is_empty(), "hat requested for unpartitioned class");
+        Block::from_jobs(inst, self.hat.clone())
+    }
+
+    /// The `č` part as a block, if non-empty.
+    pub fn block_check(&self, inst: &Instance) -> Option<Block> {
+        if self.check.is_empty() {
+            None
+        } else {
+            Some(Block::from_jobs(inst, self.check.clone()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::Instance;
+
+    fn vc(sizes: &[Time], t: Time) -> VClass {
+        let inst = Instance::from_classes(1, &[sizes.to_vec()]).unwrap();
+        VClass::new(&inst, (0..sizes.len()).collect(), t)
+    }
+
+    #[test]
+    fn categories() {
+        // t = 12: huge > 9, big ∈ (6,9], mid totals (6,9), heavy ≥ 9.
+        assert_eq!(vc(&[10], 12).cat, Cat::Huge);
+        assert_eq!(vc(&[7, 3], 12).cat, Cat::BigGe34); // total 10 ≥ 9
+        assert_eq!(vc(&[7], 12).cat, Cat::BigMid); // total 7 ∈ (6,9)
+        assert_eq!(vc(&[5, 5], 12).cat, Cat::Ge34); // total 10 ≥ 9, max ≤ 6
+        assert_eq!(vc(&[4, 4], 12).cat, Cat::Mid); // total 8 ∈ (6,9)
+        assert_eq!(vc(&[3, 3], 12).cat, Cat::Small); // total 6 ≤ 6
+    }
+
+    #[test]
+    fn big_mid_partition_isolates_big_job() {
+        let v = vc(&[7, 1], 12);
+        assert_eq!(v.cat, Cat::BigMid);
+        assert_eq!(v.p_hat, 7);
+        assert_eq!(v.p_check, 1);
+    }
+
+    #[test]
+    fn ge34_partition_has_quarter_part() {
+        let v = vc(&[5, 5], 12);
+        // Lemma 10 with max ≤ T/2: one part in (3, 6].
+        let q = |p: Time| p > 3 && p <= 6;
+        assert!(q(v.p_hat) || q(v.p_check));
+        assert!(4 * v.p_hat <= 3 * 12);
+        assert!(2 * v.p_check <= 12);
+    }
+
+    #[test]
+    fn mid_partition_bounds() {
+        let v = vc(&[4, 4], 12);
+        assert!(2 * v.p_hat <= 12);
+        assert!(4 * v.p_hat > 12);
+        assert!(v.p_check <= v.p_hat);
+    }
+
+    #[test]
+    fn small_and_huge_have_no_parts() {
+        assert!(vc(&[3, 3], 12).hat.is_empty());
+        assert!(vc(&[10], 12).hat.is_empty());
+    }
+
+    #[test]
+    fn parts_cover_jobs() {
+        let v = vc(&[5, 3, 2], 12); // total 10 ≥ 9, max 5 ≤ 6 → Ge34
+        assert_eq!(v.cat, Cat::Ge34);
+        let mut ids: Vec<_> = v.hat.iter().chain(v.check.iter()).copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(v.p_hat + v.p_check, v.total);
+    }
+}

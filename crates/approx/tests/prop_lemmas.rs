@@ -1,0 +1,125 @@
+//! Property tests for the paper's structural lemmas: the class partitions
+//! (Lemmas 5, 10, 11) and the Lemma 9 bound search must satisfy their exact
+//! stated properties on arbitrary inputs.
+
+use msrs_approx::partition::{lemma10, lemma11, lemma5};
+use msrs_approx::tbound::{categorize, lemma8_count, lemma9_t, Category};
+use msrs_core::{bounds::lower_bound, frac, Instance, Time};
+use proptest::prelude::*;
+
+/// A class (job sizes) plus a draw used to derive an admissible T per lemma.
+fn arb_class_and_draw() -> impl Strategy<Value = (Vec<Time>, u64)> {
+    (prop::collection::vec(1u64..=30, 1..=8), any::<u64>())
+}
+
+fn cover(sizes: &[Time], hat: &[usize], check: &[usize]) -> bool {
+    let mut ids: Vec<usize> = hat.iter().chain(check.iter()).copied().collect();
+    ids.sort_unstable();
+    ids == (0..sizes.len()).collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn lemma5_properties((sizes, draw) in arb_class_and_draw()) {
+        let total: Time = sizes.iter().sum();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        // Derive T with p(c) ∈ ((2/3)T, T]: T ∈ [total, 3·total/2).
+        let span = (total / 2).max(1);
+        let t = total + draw % span;
+        prop_assume!(frac::gt(total, 2, 3, t));
+        prop_assume!(frac::le(max, 1, 2, t));
+        let inst = Instance::from_classes(1, std::slice::from_ref(&sizes)).unwrap();
+        let jobs: Vec<usize> = (0..sizes.len()).collect();
+        let s = lemma5(&inst, &jobs, t);
+        prop_assert!(cover(&sizes, &s.hat, &s.check));
+        prop_assert!(frac::le(s.p_hat, 2, 3, t), "p(ĉ) ≤ 2T/3");
+        prop_assert!(frac::ge(s.p_hat, 1, 3, t), "p(ĉ) ≥ T/3");
+        prop_assert!(s.p_check <= s.p_hat);
+        prop_assert_eq!(s.p_hat + s.p_check, total);
+    }
+
+    #[test]
+    fn lemma10_properties((sizes, draw) in arb_class_and_draw()) {
+        let total: Time = sizes.iter().sum();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        // Derive T with p(c) ∈ [(3/4)T, T]: T ∈ [total, 4·total/3].
+        let span = (total / 3 + 1).max(1);
+        let t = total + draw % span;
+        prop_assume!(frac::ge(total, 3, 4, t));
+        prop_assume!(frac::le(max, 3, 4, t));
+        let inst = Instance::from_classes(1, std::slice::from_ref(&sizes)).unwrap();
+        let jobs: Vec<usize> = (0..sizes.len()).collect();
+        let s = lemma10(&inst, &jobs, t);
+        prop_assert!(cover(&sizes, &s.hat, &s.check));
+        prop_assert!(frac::le(s.p_hat, 3, 4, t), "p(ĉ) ≤ 3T/4");
+        prop_assert!(frac::le(s.p_check, 1, 2, t), "p(č) ≤ T/2");
+        prop_assert!(s.p_check <= s.p_hat);
+        // Extra property when no job exceeds T/2.
+        if frac::le(max, 1, 2, t) {
+            let quarter = |p: Time| frac::gt(p, 1, 4, t) && frac::le(p, 1, 2, t);
+            prop_assert!(quarter(s.p_hat) || quarter(s.p_check),
+                "one part must land in (T/4, T/2]: {s:?} t={t}");
+        }
+    }
+
+    #[test]
+    fn lemma11_properties((sizes, draw) in arb_class_and_draw()) {
+        let total: Time = sizes.iter().sum();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        // Derive T with p(c) ∈ (T/2, (3/4)T): T ∈ (4·total/3, 2·total).
+        let lo = frac::floor_mul(4, 3, total) + 1;
+        let hi = 2 * total - 1;
+        prop_assume!(lo <= hi);
+        let t = lo + draw % (hi - lo + 1);
+        prop_assume!(frac::gt(total, 1, 2, t) && frac::lt(total, 3, 4, t));
+        prop_assume!(frac::le(max, 1, 2, t));
+        let inst = Instance::from_classes(1, std::slice::from_ref(&sizes)).unwrap();
+        let jobs: Vec<usize> = (0..sizes.len()).collect();
+        let s = lemma11(&inst, &jobs, t);
+        prop_assert!(cover(&sizes, &s.hat, &s.check));
+        prop_assert!(frac::le(s.p_hat, 1, 2, t), "p(ĉ) ≤ T/2");
+        prop_assert!(frac::gt(s.p_hat, 1, 4, t), "p(ĉ) > T/4");
+        prop_assert!(s.p_check <= s.p_hat);
+    }
+
+    #[test]
+    fn lemma9_returns_minimal_valid_t(
+        m in 1usize..=4,
+        classes in prop::collection::vec(prop::collection::vec(1u64..=20, 1..=4), 1..=8),
+    ) {
+        let inst = Instance::from_classes(m, &classes).unwrap();
+        let t = lemma9_t(&inst);
+        let base = lower_bound(&inst);
+        prop_assert!(t >= base);
+        let summaries: Vec<(Time, Time)> = inst
+            .nonempty_classes()
+            .map(|c| (inst.class_max_job(c), inst.class_load(c)))
+            .collect();
+        prop_assert!(lemma8_count(&summaries, t) <= m, "condition violated at returned T");
+        // Minimality over every smaller integer ≥ base.
+        for smaller in base..t {
+            prop_assert!(
+                lemma8_count(&summaries, smaller) > m,
+                "T = {smaller} < {t} already satisfies the condition"
+            );
+        }
+    }
+
+    #[test]
+    fn categories_are_monotone_in_t(q in 1u64..=40, p in 1u64..=60, t in 1u64..=80) {
+        // As T grows, a class only moves "down" the hierarchy
+        // Huge → Big → HeavyTotal → Plain (never up).
+        prop_assume!(p >= q);
+        let rank = |cat: Category| match cat {
+            Category::Huge => 3,
+            Category::Big => 2,
+            Category::HeavyTotal => 1,
+            Category::Plain => 0,
+        };
+        let a = rank(categorize(q, p, t));
+        let b = rank(categorize(q, p, t + 1));
+        prop_assert!(b <= a, "category rank increased: t={t} {a} → {b}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: on arbitrary instances, `Algorithm_5/3` and
+//! `Algorithm_3/2` must (a) produce valid schedules and (b) respect their
+//! makespan horizons `⌊(5/3)T⌋` resp. `⌊(3/2)T⌋`. These invariants encode
+//! Lemma 6 and Theorem 7 of the paper; any placement bug (overlap, class
+//! conflict, accounting failure, machine exhaustion panic) surfaces here.
+
+use msrs_approx::{five_thirds, three_halves};
+use msrs_core::{frac, validate, Instance, Time};
+use proptest::prelude::*;
+
+/// Arbitrary instance: m ∈ [1, 8], up to 14 classes of up to 6 jobs with
+/// sizes ≤ 24 (including zero-size jobs occasionally).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=8,
+        prop::collection::vec(
+            prop::collection::vec(0u64..=24, 1..=6),
+            1..=14,
+        ),
+    )
+        .prop_map(|(m, classes)| {
+            Instance::from_classes(m, &classes).expect("valid instance")
+        })
+}
+
+/// Instances biased towards the boundary thresholds of the case analyses.
+fn arb_boundary_instance() -> impl Strategy<Value = Instance> {
+    let anchored = prop::sample::select(vec![
+        3u64, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 18, 23, 24, 25,
+    ]);
+    (
+        1usize..=6,
+        prop::collection::vec(prop::collection::vec(anchored, 1..=4), 1..=10),
+    )
+        .prop_map(|(m, classes)| {
+            Instance::from_classes(m, &classes).expect("valid instance")
+        })
+}
+
+/// Huge-job-heavy instances: many classes led by a dominant job.
+fn arb_huge_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=8,
+        prop::collection::vec(
+            (18u64..=30, prop::collection::vec(0u64..=8, 0..=4)),
+            1..=10,
+        ),
+    )
+        .prop_map(|(m, leaders)| {
+            let classes: Vec<Vec<Time>> = leaders
+                .into_iter()
+                .map(|(lead, mut tail)| {
+                    let mut v = vec![lead];
+                    v.append(&mut tail);
+                    v
+                })
+                .collect();
+            Instance::from_classes(m, &classes).expect("valid instance")
+        })
+}
+
+fn check_five_thirds(inst: &Instance) {
+    let r = five_thirds(inst);
+    prop_assert_eq_ok(validate(inst, &r.schedule));
+    let cap = frac::floor_mul(5, 3, r.lower_bound).max(r.lower_bound);
+    assert!(
+        r.makespan(inst) <= cap,
+        "5/3 bound violated: Cmax={} T={} cap={cap}",
+        r.makespan(inst),
+        r.lower_bound
+    );
+}
+
+fn check_three_halves(inst: &Instance) {
+    let r = three_halves(inst);
+    prop_assert_eq_ok(validate(inst, &r.schedule));
+    let cap = frac::floor_mul(3, 2, r.lower_bound).max(r.lower_bound);
+    assert!(
+        r.makespan(inst) <= cap,
+        "3/2 bound violated: Cmax={} T={} cap={cap}",
+        r.makespan(inst),
+        r.lower_bound
+    );
+}
+
+fn prop_assert_eq_ok(r: Result<(), msrs_core::ValidationError>) {
+    if let Err(e) = r {
+        panic!("schedule invalid: {e}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn five_thirds_valid_and_bounded(inst in arb_instance()) {
+        check_five_thirds(&inst);
+    }
+
+    #[test]
+    fn three_halves_valid_and_bounded(inst in arb_instance()) {
+        check_three_halves(&inst);
+    }
+
+    #[test]
+    fn five_thirds_boundary_sizes(inst in arb_boundary_instance()) {
+        check_five_thirds(&inst);
+    }
+
+    #[test]
+    fn three_halves_boundary_sizes(inst in arb_boundary_instance()) {
+        check_three_halves(&inst);
+    }
+
+    #[test]
+    fn five_thirds_huge_leaders(inst in arb_huge_instance()) {
+        check_five_thirds(&inst);
+    }
+
+    #[test]
+    fn three_halves_huge_leaders(inst in arb_huge_instance()) {
+        check_three_halves(&inst);
+    }
+
+    #[test]
+    fn three_halves_never_worse_horizon_than_five_thirds(inst in arb_instance()) {
+        // The 3/2 guarantee dominates the 5/3 guarantee (both certify their
+        // own T; horizons compare accordingly on the same instance).
+        let r53 = five_thirds(&inst);
+        let r32 = three_halves(&inst);
+        // Both must be valid; makespans can differ, but each within bound.
+        prop_assert!(validate(&inst, &r53.schedule).is_ok());
+        prop_assert!(validate(&inst, &r32.schedule).is_ok());
+    }
+
+    #[test]
+    fn baselines_always_valid(inst in arb_instance()) {
+        for r in [
+            msrs_approx::baselines::merged_lpt(&inst),
+            msrs_approx::baselines::hebrard_greedy(&inst),
+            msrs_approx::baselines::list_scheduler(&inst),
+        ] {
+            prop_assert!(validate(&inst, &r.schedule).is_ok());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Step-coverage audit: crafted instances must drive `Algorithm_3/2` through
+//! each general step and each `Algorithm_no_huge` sub-case — if a step
+//! becomes unreachable after a refactor, this test catches it. The instances
+//! were verified to exercise exactly these paths (see the E6 experiment).
+
+use msrs_approx::{three_halves_traced, StepTrace};
+use msrs_core::{validate, Instance};
+
+fn traced(m: usize, classes: &[Vec<u64>]) -> StepTrace {
+    let inst = Instance::from_classes(m, classes).unwrap();
+    let (r, trace) = three_halves_traced(&inst);
+    assert_eq!(validate(&inst, &r.schedule), Ok(()));
+    assert!(!trace.trivial, "instance unexpectedly trivial: {trace:?}");
+    trace
+}
+
+#[test]
+fn step4_fires_on_two_huge_plus_mid() {
+    let t = traced(3, &[vec![9], vec![9], vec![4, 3], vec![4, 3]]);
+    assert!(t.step4 >= 1, "{t:?}");
+    assert_eq!(t.step2_huge_machines, 2);
+}
+
+#[test]
+fn step5_rotation_fires_on_single_open_huge_machine() {
+    let t = traced(2, &[vec![9], vec![4, 3], vec![4, 2]]);
+    assert!(t.step5_rotation, "{t:?}");
+    assert!(t.no_huge_called);
+}
+
+#[test]
+fn step6_fires_on_two_huge_plus_bigmid_plus_heavy() {
+    // Two huge classes survive Step 3; Step 6 pairs the C_B∩(1/2,3/4) class
+    // with a C_{≥3/4} class; the leftover Ge34 class then triggers the
+    // Step 10 rotation on the last open M_H machine.
+    let t = traced(4, &[vec![10], vec![10], vec![7, 3], vec![7, 1], vec![5, 4]]);
+    assert_eq!(t.step6, 1, "{t:?}");
+    assert!(t.step10_rotation, "{t:?}");
+}
+
+#[test]
+fn step8_fires_on_paired_huge_machines() {
+    let t = traced(4, &[vec![10], vec![10], vec![7, 3], vec![7, 3], vec![5, 5]]);
+    assert_eq!(t.step8, 1, "{t:?}");
+    assert!(t.no_huge_called, "leftover Ge34 class goes to no_huge: {t:?}");
+}
+
+#[test]
+fn no_huge_step3_quadruple() {
+    let t = traced(4, &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3], vec![1]]);
+    assert_eq!(t.nh_step3_quads, 1, "{t:?}");
+}
+
+#[test]
+fn no_huge_step6_2b_bracket() {
+    let t = traced(3, &[vec![5, 3], vec![5, 3], vec![2, 2], vec![2]]);
+    assert!(t.nh_step6.case_2b >= 1, "{t:?}");
+    assert!(t.nh_greedy_placements >= 1, "{t:?}");
+}
+
+#[test]
+fn no_huge_step2_pairs_mids() {
+    // With the fifth class, T grows past 4/3 of the 9s (they stop being
+    // huge) and all five classes flow into no_huge, whose Step 2 pairs the
+    // (T/2, 3/4T) classes.
+    let t = traced(3, &[vec![9], vec![9], vec![4, 3], vec![4, 3], vec![4, 3]]);
+    assert!(t.nh_step2_pairs >= 1, "{t:?}");
+    assert!(t.no_huge_called, "{t:?}");
+}
+
+#[test]
+fn randomized_corpus_stays_valid_and_aggregates() {
+    let mut agg = StepTrace::default();
+    for seed in 0..120u64 {
+        let m = 2 + (seed % 5) as usize;
+        for inst in [
+            msrs_gen::huge_heavy(seed, m, m, 2 * m, 40 + (seed % 30)),
+            msrs_gen::boundary_stress(seed, m, 3 * m, 60),
+            msrs_gen::uniform(seed, m, 8 * m, 3 * m, 1, 40),
+        ] {
+            let (r, trace) = three_halves_traced(&inst);
+            assert_eq!(validate(&inst, &r.schedule), Ok(()));
+            agg.absorb(&trace);
+        }
+    }
+    // Collective coverage of the common phases on random data.
+    assert!(agg.step2_huge_machines > 0, "no huge classes ever: {agg:?}");
+    assert!(agg.step3_fills > 0, "Step 3 never fired: {agg:?}");
+    assert!(agg.no_huge_called, "no_huge never invoked: {agg:?}");
+    assert!(agg.nh_greedy_placements > 0, "greedy never placed: {agg:?}");
+}
+
+#[test]
+fn trivial_path_is_traced() {
+    let inst = Instance::from_classes(5, &[vec![3], vec![4]]).unwrap();
+    let (_, trace) = three_halves_traced(&inst);
+    assert!(trace.trivial);
+}

@@ -1,0 +1,23 @@
+//! E1 (timing side): throughput of the 5/3- and 3/2-approximations across
+//! the workload families of the quality table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_families");
+    group.sample_size(20);
+    for (family, gen) in msrs_bench::corpus::families() {
+        let inst = gen(7, 8);
+        group.bench_with_input(BenchmarkId::new("five_thirds", family), &inst, |b, i| {
+            b.iter(|| msrs_approx::five_thirds(black_box(i)))
+        });
+        group.bench_with_input(BenchmarkId::new("three_halves", family), &inst, |b, i| {
+            b.iter(|| msrs_approx::three_halves(black_box(i)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 (timing side): all five algorithms on the adversarial `2m/(m+1)`
+//! family at m = 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = msrs_gen::adversarial_merged_lpt(8, 60);
+    let mut group = c.benchmark_group("e2_adversarial_m8");
+    group.sample_size(20);
+    group.bench_function("five_thirds", |b| {
+        b.iter(|| msrs_approx::five_thirds(black_box(&inst)))
+    });
+    group.bench_function("three_halves", |b| {
+        b.iter(|| msrs_approx::three_halves(black_box(&inst)))
+    });
+    group.bench_function("merged_lpt", |b| {
+        b.iter(|| msrs_approx::baselines::merged_lpt(black_box(&inst)))
+    });
+    group.bench_function("hebrard_greedy", |b| {
+        b.iter(|| msrs_approx::baselines::hebrard_greedy(black_box(&inst)))
+    });
+    group.bench_function("list_scheduler", |b| {
+        b.iter(|| msrs_approx::baselines::list_scheduler(black_box(&inst)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E3: the linear-time claims — runtime vs n for Theorem 2 (`O(|I|)`) and
+//! Theorem 7 (`O(n + m log m)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let inst = msrs_gen::uniform(7, 32, n, n / 10 + 1, 1, 1000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("five_thirds", n), &inst, |b, i| {
+            b.iter(|| msrs_approx::five_thirds(black_box(i)))
+        });
+        group.bench_with_input(BenchmarkId::new("three_halves", n), &inst, |b, i| {
+            b.iter(|| msrs_approx::three_halves(black_box(i)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

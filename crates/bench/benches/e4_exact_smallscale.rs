@@ -1,0 +1,37 @@
+//! E4 (timing side): the exact branch-and-bound on representative small
+//! instances (the ground-truth generator of the ratio table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrs_core::Instance;
+use msrs_exact::{optimal, SolveLimits};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_exact");
+    group.sample_size(10);
+    let instances = vec![
+        (
+            "6 jobs tight",
+            Instance::from_classes(2, &[vec![4, 3], vec![5, 2], vec![3, 3]]).unwrap(),
+        ),
+        (
+            "8 jobs",
+            Instance::from_classes(2, &[vec![7, 5], vec![6, 4], vec![5, 3], vec![4, 2]])
+                .unwrap(),
+        ),
+        (
+            "9 jobs 3m",
+            Instance::from_classes(3, &[vec![5, 4], vec![5, 3], vec![4, 3], vec![6, 2, 1]])
+                .unwrap(),
+        ),
+    ];
+    for (name, inst) in &instances {
+        group.bench_with_input(BenchmarkId::new("bnb", name), inst, |b, i| {
+            b.iter(|| optimal(black_box(i), SolveLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

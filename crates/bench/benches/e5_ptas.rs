@@ -1,0 +1,25 @@
+//! E5 (timing side): the EPTAS pipeline end-to-end at several ε, both
+//! variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrs_ptas::{eptas_augmented, eptas_fixed_m, EptasConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_eptas");
+    group.sample_size(10);
+    let inst = msrs_bench::corpus::ptas_corpus().remove(0);
+    for k in [2u64, 3, 4] {
+        let cfg = EptasConfig { eps_k: k, node_budget: 500_000 };
+        group.bench_with_input(BenchmarkId::new("fixed_m", k), &inst, |b, i| {
+            b.iter(|| eptas_fixed_m(black_box(i), cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("augmented", k), &inst, |b, i| {
+            b.iter(|| eptas_augmented(black_box(i), cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

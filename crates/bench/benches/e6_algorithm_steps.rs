@@ -1,0 +1,25 @@
+//! E6 (timing side): schedule-construction substrate throughput — exact
+//! validation at scale (the machinery behind the Figure 1–4 anatomy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msrs_core::validate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_substrate");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let inst = msrs_gen::uniform(3, 16, n, n / 8 + 1, 1, 50);
+        let sched = msrs_approx::three_halves(&inst).schedule;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("validate", n),
+            &(&inst, &sched),
+            |b, (i, s)| b.iter(|| validate(black_box(i), black_box(s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E7 (timing side): Dinic on Figure 5 placeholder networks of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrs_flow::PlaceholderProblem;
+use std::hint::black_box;
+
+fn make(classes: usize, layers: usize) -> PlaceholderProblem {
+    // Dense allowed-matrix with demand ~ layers/2 per class.
+    PlaceholderProblem {
+        demand: vec![(layers / 2) as u64; classes],
+        allowed: vec![vec![true; layers]; classes],
+        slots: vec![classes as u64; layers],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_flow");
+    group.sample_size(20);
+    for (classes, layers) in [(8usize, 12usize), (32, 24), (128, 48)] {
+        let prob = make(classes, layers);
+        let id = format!("{classes}x{layers}");
+        group.bench_with_input(BenchmarkId::new("solve", id), &prob, |b, p| {
+            b.iter(|| black_box(p).solve())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

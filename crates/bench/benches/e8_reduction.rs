@@ -1,0 +1,32 @@
+//! E8 (timing side): reduction construction, DPLL, and the makespan-4
+//! schedule build at growing formula sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrs_multires::{dpll, Fidelity, Monotone3Sat22, Reduction};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_reduction");
+    group.sample_size(10);
+    for nx in [12usize, 30, 60] {
+        let f = Monotone3Sat22::random(5, nx);
+        group.bench_with_input(BenchmarkId::new("dpll", nx), &f, |b, f| {
+            b.iter(|| dpll(black_box(&f.cnf)))
+        });
+        group.bench_with_input(BenchmarkId::new("build", nx), &f, |b, f| {
+            b.iter(|| Reduction::build(black_box(f.clone()), Fidelity::Repaired))
+        });
+        if let Some(asg) = dpll(&f.cnf) {
+            let red = Reduction::build(f.clone(), Fidelity::Repaired);
+            group.bench_with_input(
+                BenchmarkId::new("makespan4", nx),
+                &(red, asg),
+                |b, (red, asg)| b.iter(|| red.schedule_makespan4(black_box(asg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Named instance corpora shared by the experiments.
+
+use msrs_core::Instance;
+
+/// A named generator family (seeded, parameterized by machine count).
+pub type Family = (&'static str, fn(u64, usize) -> Instance);
+
+/// The six generator families of E1 (plus the adversarial family).
+pub fn families() -> Vec<Family> {
+    vec![
+        ("uniform", |seed, m| msrs_gen::uniform(seed, m, 40 * m, 6 * m, 1, 100)),
+        ("zipf", |seed, m| msrs_gen::zipf_classes(seed, m, 40 * m, 6 * m, 1, 100)),
+        ("satellite", |seed, m| msrs_gen::satellite(seed, m, 3 * m, 10)),
+        ("photolitho", |seed, m| msrs_gen::photolithography(seed, m, 3 * m, 8)),
+        ("boundary", |seed, m| msrs_gen::boundary_stress(seed, m, 3 * m, 120)),
+        ("huge-heavy", |seed, m| msrs_gen::huge_heavy(seed, m, m, 2 * m, 96)),
+        ("adversarial", |_, m| msrs_gen::adversarial_merged_lpt(m, 60)),
+    ]
+}
+
+/// Small-instance corpus for the exact-OPT experiment (E4): an exhaustive
+/// canonical sweep capped at `cap` instances per machine count.
+pub fn exact_corpus(cap: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for m in [2usize, 3] {
+        out.extend(msrs_gen::SmallInstances::new(m, 6, 4, 3).take(cap / 2));
+    }
+    // Plus random small instances with larger sizes.
+    for seed in 0..(cap / 20).max(4) as u64 {
+        out.push(msrs_gen::uniform(seed, 2, 7, 3, 1, 30));
+        out.push(msrs_gen::uniform(seed, 3, 8, 4, 1, 25));
+    }
+    out
+}
+
+/// Structured instances for the PTAS experiment (E5): sizes large enough
+/// that the additive layer slack is second-order, small enough for the exact
+/// ground truth.
+pub fn ptas_corpus() -> Vec<Instance> {
+    vec![
+        Instance::from_classes(2, &[vec![80, 40], vec![60, 60], vec![100]]).unwrap(),
+        Instance::from_classes(2, &[vec![120], vec![90, 30], vec![60, 60]]).unwrap(),
+        Instance::from_classes(3, &[vec![100], vec![100], vec![100], vec![50, 50]])
+            .unwrap(),
+        Instance::from_classes(2, &[vec![70, 70], vec![70], vec![70]]).unwrap(),
+        Instance::from_classes(3, &[vec![90, 30], vec![80, 40], vec![60, 60], vec![120]])
+            .unwrap(),
+        Instance::from_classes(3, &[vec![110, 10], vec![60, 60], vec![40, 40, 40], vec![90]])
+            .unwrap(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_generate_nonempty_instances() {
+        for (name, f) in families() {
+            let inst = f(1, 4);
+            assert!(inst.num_jobs() > 0, "{name} generated an empty instance");
+            assert_eq!(inst.machines(), 4, "{name} wrong machine count");
+        }
+    }
+
+    #[test]
+    fn exact_corpus_is_bounded_and_small() {
+        let c = exact_corpus(100);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|i| i.num_jobs() <= 8));
+    }
+
+    #[test]
+    fn ptas_corpus_is_well_formed() {
+        for inst in ptas_corpus() {
+            assert!(inst.num_jobs() >= 3);
+            assert!(inst.machines() >= 2);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # msrs-bench — the experiment harness
+//!
+//! The paper is a theory paper: its "evaluation" is the set of proven
+//! guarantees plus six structural figures. This crate regenerates each of
+//! them empirically (experiments E1–E8, see DESIGN.md §4):
+//!
+//! | Exp | Paper artifact | Harness output |
+//! |-----|----------------|----------------|
+//! | E1  | Thm 2 / Thm 7 guarantees | ratio tables per workload family |
+//! | E2  | "beats 2m/(m+1) from m = 6 / m = 4 on" | ratio-vs-m series |
+//! | E3  | `O(|I|)` and `O(n + m log m)` running times | runtime scaling |
+//! | E4  | approximation ratios | ratios vs exact OPT (small instances) |
+//! | E5  | Thm 14 (EPTAS variants) | quality vs ε, machines used |
+//! | E6  | Figures 1–4 | per-step schedule anatomy (ASCII Gantt) |
+//! | E7  | Figure 5 | placeholder flow-network statistics |
+//! | E8  | Thm 23 / Lemma 24 / Fig 6 | reduction: SAT ⇒ 4 vs 5 tables |
+//!
+//! Run `cargo run -p msrs-bench --bin experiments --release [-- e1 e5 …]`
+//! for the tables and `cargo bench -p msrs-bench` for the Criterion timings.
+
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod table;
+
+/// Scale knob so the test-suite can exercise every experiment cheaply while
+/// the binary runs the full size.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Random seeds per configuration.
+    pub seeds: u64,
+    /// "Large" instance size used by scaling experiments.
+    pub big_n: usize,
+    /// Exact-solver corpus cap.
+    pub exact_cap: usize,
+}
+
+impl Scale {
+    /// Full experiment scale (the binary).
+    pub fn full() -> Self {
+        Scale { seeds: 12, big_n: 200_000, exact_cap: 4000 }
+    }
+
+    /// Smoke-test scale (CI).
+    pub fn smoke() -> Self {
+        Scale { seeds: 2, big_n: 5_000, exact_cap: 120 }
+    }
+}

@@ -1,0 +1,128 @@
+//! Lower bounds on the optimal makespan (paper Note 1 and Theorem 2).
+//!
+//! For any instance: `OPT ≥ p(J)/m` (area bound), `OPT ≥ max_c p(c)` (each
+//! class is sequential), and — with `p_(k)` the `k`-th largest processing
+//! time — `OPT ≥ p_(m) + p_(m+1)` whenever `n > m`, since two of the `m+1`
+//! largest jobs must share a machine or two of the first `m` do.
+//!
+//! Because OPT is integral, the area bound may be rounded up, giving the
+//! integral combined bound used to drive the 5/3- and 3/2-approximations.
+
+use crate::frac::ceil_div;
+use crate::instance::{Instance, Time};
+
+/// The three lower-bound components of Note 1 / Theorem 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBounds {
+    /// `⌈p(J)/m⌉` — average machine load, rounded up (OPT is integral).
+    pub avg_load: Time,
+    /// `max_c p(c)` — heaviest class.
+    pub max_class: Time,
+    /// `p_(m) + p_(m+1)` if `n > m`, else 0.
+    pub two_jobs: Time,
+}
+
+impl LowerBounds {
+    /// The combined bound `T = max{⌈p(J)/m⌉, max_c p(c), p_(m)+p_(m+1)}`.
+    pub fn combined(&self) -> Time {
+        self.avg_load.max(self.max_class).max(self.two_jobs)
+    }
+}
+
+/// Computes all three lower-bound components for `inst` in `O(n)`.
+pub fn lower_bounds(inst: &Instance) -> LowerBounds {
+    let m = inst.machines() as Time;
+    let avg_load = if inst.num_jobs() == 0 { 0 } else { ceil_div(inst.total_load(), m) };
+    let max_class =
+        (0..inst.num_classes()).map(|c| inst.class_load(c)).max().unwrap_or(0);
+    let two_jobs = if inst.num_jobs() > inst.machines() {
+        inst.kth_largest_size(inst.machines()).unwrap_or(0)
+            + inst.kth_largest_size(inst.machines() + 1).unwrap_or(0)
+    } else {
+        0
+    };
+    LowerBounds { avg_load, max_class, two_jobs }
+}
+
+/// The combined lower bound `T` of Theorem 2 (see [`LowerBounds::combined`]).
+pub fn lower_bound(inst: &Instance) -> Time {
+    lower_bounds(inst).combined()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    #[test]
+    fn area_bound_dominates() {
+        // 2 machines, 4 unit classes of size 5 → p(J)/m = 10.
+        let inst = Instance::from_classes(2, &[vec![5], vec![5], vec![5], vec![5]]).unwrap();
+        let b = lower_bounds(inst_ref(&inst));
+        assert_eq!(b.avg_load, 10);
+        assert_eq!(b.max_class, 5);
+        assert_eq!(b.two_jobs, 10); // p_(2)+p_(3) = 5+5
+        assert_eq!(b.combined(), 10);
+    }
+
+    fn inst_ref(i: &Instance) -> &Instance {
+        i
+    }
+
+    #[test]
+    fn class_bound_dominates() {
+        let inst = Instance::from_classes(4, &[vec![3, 3, 3, 3], vec![1]]).unwrap();
+        let b = lower_bounds(&inst);
+        assert_eq!(b.max_class, 12);
+        assert_eq!(b.avg_load, 4); // ⌈13/4⌉
+        assert_eq!(b.combined(), 12);
+    }
+
+    #[test]
+    fn two_job_bound_dominates() {
+        // m = 2, three jobs of size 7 in distinct classes: two must share a
+        // machine → OPT ≥ 14, while area bound is ⌈21/2⌉ = 11.
+        let inst = Instance::from_classes(2, &[vec![7], vec![7], vec![7]]).unwrap();
+        let b = lower_bounds(&inst);
+        assert_eq!(b.two_jobs, 14);
+        assert_eq!(b.avg_load, 11);
+        assert_eq!(b.combined(), 14);
+    }
+
+    #[test]
+    fn two_job_bound_absent_when_few_jobs() {
+        let inst = Instance::from_classes(3, &[vec![9], vec![9]]).unwrap();
+        let b = lower_bounds(&inst);
+        assert_eq!(b.two_jobs, 0);
+        assert_eq!(b.combined(), 9);
+    }
+
+    #[test]
+    fn area_bound_rounds_up() {
+        let inst = Instance::from_classes(2, &[vec![1], vec![1], vec![1]]).unwrap();
+        let b = lower_bounds(&inst);
+        assert_eq!(b.avg_load, 2); // ⌈3/2⌉
+        assert_eq!(b.two_jobs, 2); // 1 + 1
+        assert_eq!(b.combined(), 2);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(3, vec![]).unwrap();
+        assert_eq!(lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn bound_is_at_most_any_trivial_schedule() {
+        // Sanity: combined bound never exceeds total load (1-machine upper
+        // bound), for a few shapes.
+        for (m, classes) in [
+            (2usize, vec![vec![4, 4], vec![3]]),
+            (3, vec![vec![10], vec![1, 1, 1], vec![2, 2]]),
+            (1, vec![vec![5, 5, 5]]),
+        ] {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            assert!(lower_bound(&inst) <= inst.total_load().max(1));
+        }
+    }
+}

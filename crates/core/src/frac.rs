@@ -1,0 +1,123 @@
+//! Exact rational threshold arithmetic.
+//!
+//! The paper normalizes instances by `1/T` and classifies jobs and classes
+//! against rational thresholds (`1/4`, `1/2`, `2/3`, `3/4`, …). We never scale
+//! the instance; instead every comparison `p ⋛ (num/den)·T` is evaluated
+//! exactly as `den·p ⋛ num·T` in `u128`, and every anchor like "ends at
+//! `(3/2)T`" becomes the integral horizon `⌊(3/2)T⌋` via [`floor_mul`].
+//!
+//! Key fact used throughout the algorithm crates: if `x` is an integer and
+//! `den·x ≤ num·T`, then `x ≤ ⌊num·T/den⌋` — so packing arguments carried out
+//! over rationals in the paper survive flooring verbatim.
+
+use crate::instance::Time;
+
+/// Is `p > (num/den)·t`?
+#[inline]
+pub fn gt(p: Time, num: u64, den: u64, t: Time) -> bool {
+    (p as u128) * (den as u128) > (num as u128) * (t as u128)
+}
+
+/// Is `p ≥ (num/den)·t`?
+#[inline]
+pub fn ge(p: Time, num: u64, den: u64, t: Time) -> bool {
+    (p as u128) * (den as u128) >= (num as u128) * (t as u128)
+}
+
+/// Is `p < (num/den)·t`?
+#[inline]
+pub fn lt(p: Time, num: u64, den: u64, t: Time) -> bool {
+    !ge(p, num, den, t)
+}
+
+/// Is `p ≤ (num/den)·t`?
+#[inline]
+pub fn le(p: Time, num: u64, den: u64, t: Time) -> bool {
+    !gt(p, num, den, t)
+}
+
+/// `⌊(num/den)·t⌋`. Panics if `den == 0` or the result exceeds `u64::MAX`.
+#[inline]
+pub fn floor_mul(num: u64, den: u64, t: Time) -> Time {
+    let v = (num as u128) * (t as u128) / (den as u128);
+    u64::try_from(v).expect("floor_mul overflow")
+}
+
+/// `⌈(num/den)·t⌉`. Panics if `den == 0` or the result exceeds `u64::MAX`.
+#[inline]
+pub fn ceil_mul(num: u64, den: u64, t: Time) -> Time {
+    let n = (num as u128) * (t as u128);
+    let d = den as u128;
+    u64::try_from(n.div_ceil(d)).expect("ceil_mul overflow")
+}
+
+/// `⌈a / b⌉` for integers.
+#[inline]
+pub fn ceil_div(a: Time, b: Time) -> Time {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_and_weak_comparisons() {
+        // p vs (1/2)·10 = 5
+        assert!(gt(6, 1, 2, 10));
+        assert!(!gt(5, 1, 2, 10));
+        assert!(ge(5, 1, 2, 10));
+        assert!(lt(4, 1, 2, 10));
+        assert!(!lt(5, 1, 2, 10));
+        assert!(le(5, 1, 2, 10));
+        assert!(!le(6, 1, 2, 10));
+    }
+
+    #[test]
+    fn non_integral_thresholds() {
+        // (2/3)·10 = 6.666…
+        assert!(gt(7, 2, 3, 10));
+        assert!(!gt(6, 2, 3, 10));
+        assert!(!ge(6, 2, 3, 10));
+        assert!(lt(6, 2, 3, 10));
+        assert!(le(6, 2, 3, 10));
+    }
+
+    #[test]
+    fn floor_and_ceil_mul() {
+        assert_eq!(floor_mul(5, 3, 10), 16); // ⌊50/3⌋
+        assert_eq!(ceil_mul(5, 3, 10), 17);
+        assert_eq!(floor_mul(3, 2, 10), 15);
+        assert_eq!(ceil_mul(3, 2, 10), 15);
+        assert_eq!(floor_mul(3, 2, 0), 0);
+    }
+
+    #[test]
+    fn floor_identity_for_integral_bounds() {
+        // den·x ≤ num·t  ⟹  x ≤ floor_mul(num, den, t): spot-check the fact
+        // the packing arguments rely on.
+        for t in 0..50u64 {
+            let h = floor_mul(5, 3, t);
+            for x in 0..=(5 * t) {
+                if 3 * x <= 5 * t {
+                    assert!(x <= h, "x={x} t={t} h={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_overflow_at_large_values() {
+        let big = u64::MAX / 2;
+        assert!(gt(big, 1, 3, big)); // big > big/3
+        assert_eq!(floor_mul(1, 1, big), big);
+        assert!(ge(big, 1, 1, big));
+    }
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(0, 5), 0);
+    }
+}

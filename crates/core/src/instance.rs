@@ -1,0 +1,267 @@
+//! Problem instances: jobs, processing times, classes (shared resources).
+
+use std::fmt;
+
+/// Integral time unit. Processing times, start times and makespans are `u64`;
+/// products against rational thresholds are computed in `u128` (see
+/// [`crate::frac`]), so instances with sizes up to `2^63` are safe.
+pub type Time = u64;
+
+/// Index of a job (position in [`Instance::jobs`]).
+pub type JobId = usize;
+
+/// Index of a class, i.e. of the shared resource the class corresponds to.
+pub type ClassId = usize;
+
+/// Index of a machine, `0..m`.
+pub type MachineId = usize;
+
+/// A single job: a processing time and the class (shared resource) it needs.
+///
+/// The paper allows `p_j ∈ ℕ≥0`; zero-size jobs are legal and occupy the empty
+/// interval `[t, t)`, which never conflicts with anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Processing time `p_j`.
+    pub size: Time,
+    /// Class / shared resource required by this job.
+    pub class: ClassId,
+}
+
+impl Job {
+    /// Creates a job with processing time `size` in class `class`.
+    pub fn new(size: Time, class: ClassId) -> Self {
+        Job { size, class }
+    }
+}
+
+/// Errors raised when constructing an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// The machine count was zero.
+    NoMachines,
+    /// A job referenced a class id `>= num_classes`.
+    ClassOutOfRange {
+        /// The offending job.
+        job: JobId,
+        /// Its class id.
+        class: ClassId,
+        /// Number of classes declared.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NoMachines => write!(f, "instance must have at least one machine"),
+            InstanceError::ClassOutOfRange { job, class, num_classes } => write!(
+                f,
+                "job {job} references class {class}, but only {num_classes} classes exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An MSRS instance: `m` identical machines and a set of jobs partitioned into
+/// classes. Each class corresponds to exactly one shared resource; no two jobs
+/// of the same class may run concurrently in a valid schedule.
+///
+/// Jobs that need no resource are modelled — exactly as the paper notes — by
+/// private singleton classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    machines: usize,
+    jobs: Vec<Job>,
+    /// For every class id, the jobs belonging to it (possibly empty for
+    /// declared-but-unused class ids).
+    classes: Vec<Vec<JobId>>,
+}
+
+impl Instance {
+    /// Builds an instance from raw jobs. The number of classes is inferred as
+    /// `max class id + 1` (all ids below that are legal, even if unused).
+    pub fn new(machines: usize, jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        if machines == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        let num_classes = jobs.iter().map(|j| j.class + 1).max().unwrap_or(0);
+        let mut classes = vec![Vec::new(); num_classes];
+        for (id, job) in jobs.iter().enumerate() {
+            classes[job.class].push(id);
+        }
+        Ok(Instance { machines, jobs, classes })
+    }
+
+    /// Builds an instance from per-class job size lists: `class_sizes[c]` are
+    /// the processing times of the jobs of class `c`. Job ids are assigned in
+    /// iteration order.
+    pub fn from_classes(
+        machines: usize,
+        class_sizes: &[Vec<Time>],
+    ) -> Result<Self, InstanceError> {
+        let mut jobs = Vec::with_capacity(class_sizes.iter().map(Vec::len).sum());
+        for (c, sizes) in class_sizes.iter().enumerate() {
+            for &s in sizes {
+                jobs.push(Job::new(s, c));
+            }
+        }
+        if machines == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        let mut classes = vec![Vec::new(); class_sizes.len()];
+        for (id, job) in jobs.iter().enumerate() {
+            classes[job.class].push(id);
+        }
+        Ok(Instance { machines, jobs, classes })
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of declared classes (including empty ones).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of classes that actually contain at least one job.
+    pub fn num_nonempty_classes(&self) -> usize {
+        self.classes.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// All jobs, indexed by [`JobId`].
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Processing time of job `j`.
+    #[inline]
+    pub fn size(&self, j: JobId) -> Time {
+        self.jobs[j].size
+    }
+
+    /// Class of job `j`.
+    #[inline]
+    pub fn class_of(&self, j: JobId) -> ClassId {
+        self.jobs[j].class
+    }
+
+    /// Jobs of class `c`.
+    #[inline]
+    pub fn class_jobs(&self, c: ClassId) -> &[JobId] {
+        &self.classes[c]
+    }
+
+    /// Total processing time `p(c)` of class `c`.
+    pub fn class_load(&self, c: ClassId) -> Time {
+        self.classes[c].iter().map(|&j| self.jobs[j].size).sum()
+    }
+
+    /// Largest job size within class `c` (0 for an empty class).
+    pub fn class_max_job(&self, c: ClassId) -> Time {
+        self.classes[c].iter().map(|&j| self.jobs[j].size).max().unwrap_or(0)
+    }
+
+    /// Total processing time `p(J)` over all jobs.
+    pub fn total_load(&self) -> Time {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// Iterator over non-empty class ids.
+    pub fn nonempty_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes.iter().enumerate().filter(|(_, v)| !v.is_empty()).map(|(c, _)| c)
+    }
+
+    /// The `k`-th largest processing time over all jobs (`k` is 1-based);
+    /// `None` if `k > n`. Used for the `p_(m) + p_(m+1)` lower bound.
+    pub fn kth_largest_size(&self, k: usize) -> Option<Time> {
+        if k == 0 || k > self.jobs.len() {
+            return None;
+        }
+        let mut sizes: Vec<Time> = self.jobs.iter().map(|j| j.size).collect();
+        // Select the k-th largest = (k-1)-th in descending order.
+        let (_, kth, _) = sizes.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+        Some(*kth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::from_classes(3, &[vec![5, 3], vec![7], vec![2, 2, 2]]).unwrap()
+    }
+
+    #[test]
+    fn from_classes_assigns_ids_in_order() {
+        let inst = sample();
+        assert_eq!(inst.num_jobs(), 6);
+        assert_eq!(inst.class_of(0), 0);
+        assert_eq!(inst.class_of(2), 1);
+        assert_eq!(inst.class_of(5), 2);
+        assert_eq!(inst.size(2), 7);
+    }
+
+    #[test]
+    fn class_accessors() {
+        let inst = sample();
+        assert_eq!(inst.class_load(0), 8);
+        assert_eq!(inst.class_load(2), 6);
+        assert_eq!(inst.class_max_job(0), 5);
+        assert_eq!(inst.class_max_job(2), 2);
+        assert_eq!(inst.total_load(), 21);
+        assert_eq!(inst.num_nonempty_classes(), 3);
+    }
+
+    #[test]
+    fn new_infers_classes_from_ids() {
+        let inst =
+            Instance::new(2, vec![Job::new(4, 2), Job::new(1, 0), Job::new(2, 2)]).unwrap();
+        assert_eq!(inst.num_classes(), 3);
+        assert_eq!(inst.class_jobs(2), &[0, 2]);
+        assert!(inst.class_jobs(1).is_empty());
+        assert_eq!(inst.num_nonempty_classes(), 2);
+    }
+
+    #[test]
+    fn zero_machines_rejected() {
+        assert_eq!(Instance::new(0, vec![]).unwrap_err(), InstanceError::NoMachines);
+        assert_eq!(
+            Instance::from_classes(0, &[vec![1]]).unwrap_err(),
+            InstanceError::NoMachines
+        );
+    }
+
+    #[test]
+    fn kth_largest() {
+        let inst = sample(); // sizes 5,3,7,2,2,2
+        assert_eq!(inst.kth_largest_size(1), Some(7));
+        assert_eq!(inst.kth_largest_size(2), Some(5));
+        assert_eq!(inst.kth_largest_size(3), Some(3));
+        assert_eq!(inst.kth_largest_size(6), Some(2));
+        assert_eq!(inst.kth_largest_size(7), None);
+        assert_eq!(inst.kth_largest_size(0), None);
+    }
+
+    #[test]
+    fn empty_instance_is_legal() {
+        let inst = Instance::new(1, vec![]).unwrap();
+        assert_eq!(inst.num_jobs(), 0);
+        assert_eq!(inst.total_load(), 0);
+        assert_eq!(inst.num_classes(), 0);
+    }
+}

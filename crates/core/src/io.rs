@@ -1,0 +1,279 @@
+//! Plain-text serialization for instances and schedules.
+//!
+//! A simple line-oriented format so instances can be shared, diffed, and fed
+//! to external tools:
+//!
+//! ```text
+//! msrs-instance v1
+//! machines 3
+//! class 4 3
+//! class 5
+//! class 2 2 2
+//! ```
+//!
+//! ```text
+//! msrs-schedule v1
+//! job 0 machine 1 start 5
+//! job 1 machine 0 start 0
+//! ```
+//!
+//! `#`-prefixed lines and blank lines are ignored. Round trips are exact.
+
+use std::fmt;
+
+use crate::instance::{Instance, Time};
+use crate::schedule::{Assignment, Schedule};
+
+/// Parse errors for the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong header line.
+    BadHeader {
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A malformed line, with its 1-based number.
+    BadLine {
+        /// Line number (1-based, counting all lines).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The parsed content is inconsistent (e.g. duplicate job ids).
+    Inconsistent(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader { expected } => {
+                write!(f, "missing or invalid header; expected `{expected}`")
+            }
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Inconsistent(msg) => write!(f, "inconsistent input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes an instance to the text format.
+pub fn write_instance(inst: &Instance) -> String {
+    let mut out = String::from("msrs-instance v1\n");
+    out.push_str(&format!("machines {}\n", inst.machines()));
+    for c in 0..inst.num_classes() {
+        out.push_str("class");
+        for &j in inst.class_jobs(c) {
+            out.push_str(&format!(" {}", inst.size(j)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an instance from the text format. Job ids are assigned class by
+/// class in declaration order (matching [`Instance::from_classes`]).
+pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    match header {
+        Some((_, l)) if l.trim() == "msrs-instance v1" => {}
+        _ => return Err(ParseError::BadHeader { expected: "msrs-instance v1" }),
+    }
+    let mut machines: Option<usize> = None;
+    let mut classes: Vec<Vec<Time>> = Vec::new();
+    for (i, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("machines") => {
+                let v = parts
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| ParseError::BadLine {
+                        line: i + 1,
+                        reason: "expected `machines <count>`".into(),
+                    })?;
+                machines = Some(v);
+            }
+            Some("class") => {
+                let sizes: Result<Vec<Time>, _> = parts
+                    .map(|s| {
+                        s.parse::<Time>().map_err(|_| ParseError::BadLine {
+                            line: i + 1,
+                            reason: format!("bad size `{s}`"),
+                        })
+                    })
+                    .collect();
+                let sizes = sizes?;
+                if sizes.is_empty() {
+                    return Err(ParseError::BadLine {
+                        line: i + 1,
+                        reason: "class needs at least one job".into(),
+                    });
+                }
+                classes.push(sizes);
+            }
+            Some(other) => {
+                return Err(ParseError::BadLine {
+                    line: i + 1,
+                    reason: format!("unknown directive `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    let machines =
+        machines.ok_or(ParseError::Inconsistent("no `machines` line".into()))?;
+    Instance::from_classes(machines, &classes)
+        .map_err(|e| ParseError::Inconsistent(e.to_string()))
+}
+
+/// Serializes a schedule to the text format.
+pub fn write_schedule(schedule: &Schedule) -> String {
+    let mut out = String::from("msrs-schedule v1\n");
+    for (j, a) in schedule.assignments().iter().enumerate() {
+        out.push_str(&format!("job {j} machine {} start {}\n", a.machine, a.start));
+    }
+    out
+}
+
+/// Parses a schedule from the text format. Jobs must appear exactly once
+/// each, covering `0..n` for some `n`.
+pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    match header {
+        Some((_, l)) if l.trim() == "msrs-schedule v1" => {}
+        _ => return Err(ParseError::BadHeader { expected: "msrs-schedule v1" }),
+    }
+    let mut entries: Vec<(usize, Assignment)> = Vec::new();
+    for (i, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad = |reason: &str| ParseError::BadLine { line: i + 1, reason: reason.into() };
+        if toks.len() != 6 || toks[0] != "job" || toks[2] != "machine" || toks[4] != "start"
+        {
+            return Err(bad("expected `job <id> machine <q> start <t>`"));
+        }
+        let job: usize = toks[1].parse().map_err(|_| bad("bad job id"))?;
+        let machine: usize = toks[3].parse().map_err(|_| bad("bad machine"))?;
+        let start: Time = toks[5].parse().map_err(|_| bad("bad start"))?;
+        entries.push((job, Assignment { machine, start }));
+    }
+    entries.sort_by_key(|&(j, _)| j);
+    for (k, &(j, _)) in entries.iter().enumerate() {
+        if j != k {
+            return Err(ParseError::Inconsistent(format!(
+                "job ids must cover 0..n exactly once (saw {j} at position {k})"
+            )));
+        }
+    }
+    Ok(Schedule::new(entries.into_iter().map(|(_, a)| a).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::from_classes(3, &[vec![4, 3], vec![5], vec![2, 2, 2]]).unwrap()
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let s = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 2, start: 4 },
+            Assignment { machine: 1, start: 9 },
+        ]);
+        let text = write_schedule(&s);
+        assert_eq!(read_schedule(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\nmsrs-instance v1\nmachines 2\n# inline\nclass 1 2\n";
+        let inst = read_instance(text).unwrap();
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.num_jobs(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            read_instance("msrs-schedule v1\n"),
+            Err(ParseError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            read_schedule("nope\n"),
+            Err(ParseError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_lines_reported_with_numbers() {
+        let text = "msrs-instance v1\nmachines 2\nclass 1 x\n";
+        match read_instance(text) {
+            Err(ParseError::BadLine { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        let text = "msrs-instance v1\nmachines 2\nclass\n";
+        assert!(matches!(read_instance(text), Err(ParseError::BadLine { .. })));
+    }
+
+    #[test]
+    fn missing_machines_rejected() {
+        let text = "msrs-instance v1\nclass 1\n";
+        assert!(matches!(read_instance(text), Err(ParseError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn schedule_gap_in_job_ids_rejected() {
+        let text = "msrs-schedule v1\njob 0 machine 0 start 0\njob 2 machine 0 start 5\n";
+        assert!(matches!(read_schedule(text), Err(ParseError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn pipeline_round_trip_with_algorithms() {
+        // Serialize an instance, read it back, schedule it, serialize the
+        // schedule, read it back, and validate.
+        let inst = sample();
+        let inst2 = read_instance(&write_instance(&inst)).unwrap();
+        let r = msrs_test_helpers_three_halves(&inst2);
+        let s2 = read_schedule(&write_schedule(&r)).unwrap();
+        assert_eq!(crate::validate::validate(&inst2, &s2), Ok(()));
+    }
+
+    /// Local stand-in: core cannot depend on msrs-approx, so build a trivial
+    /// valid schedule (one machine per class) for the round-trip test.
+    fn msrs_test_helpers_three_halves(inst: &Instance) -> Schedule {
+        let mut b = crate::builder::ScheduleBuilder::new(inst, inst.total_load().max(1));
+        for (machine, c) in inst.nonempty_classes().enumerate() {
+            b.push_bottom(machine % inst.machines(), crate::builder::Block::whole_class(inst, c));
+        }
+        b.finalize().unwrap()
+    }
+}

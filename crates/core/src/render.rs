@@ -1,0 +1,117 @@
+//! ASCII Gantt rendering in the visual style of the paper's Figures 1–4.
+//!
+//! Machines are rows, time flows left to right, and each job is drawn as a
+//! bracketed box labelled with its class. Used by the examples and by the E6
+//! experiment ("algorithm-step anatomy") to regenerate the figure content.
+
+use crate::instance::{Instance, Time};
+use crate::schedule::Schedule;
+
+/// Renders `schedule` as an ASCII Gantt chart, `width` characters of timeline
+/// per row. Zero-size jobs are omitted (they occupy no time).
+pub fn render_gantt(inst: &Instance, schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let horizon = schedule.makespan(inst).max(1);
+    let scale = |t: Time| -> usize { ((t as u128 * width as u128) / horizon as u128) as usize };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time 0 {:>w$}\n",
+        format!("{horizon}"),
+        w = width.saturating_sub(5)
+    ));
+    for machine in 0..inst.machines() {
+        let mut row = vec![b' '; width + 1];
+        for j in schedule.machine_jobs(machine) {
+            let p = inst.size(j);
+            if p == 0 {
+                continue;
+            }
+            let a = schedule.assignment(j);
+            let (s, e) = (scale(a.start), scale(a.start + p).max(scale(a.start) + 1));
+            let e = e.min(width);
+            for cell in row.iter_mut().take(e).skip(s) {
+                *cell = b'-';
+            }
+            row[s] = b'|';
+            if e > s {
+                row[e.min(width)] = b'|';
+            }
+            let label = format!("c{}", inst.class_of(j));
+            let mid = s + 1;
+            for (k, ch) in label.bytes().enumerate() {
+                if mid + k < e {
+                    row[mid + k] = ch;
+                }
+            }
+        }
+        out.push_str(&format!("M{machine:<3}|{}\n", String::from_utf8_lossy(&row)));
+    }
+    out
+}
+
+/// One line per machine: `machine: load / makespan`, a compact numeric view
+/// used by the experiment tables.
+pub fn render_loads(inst: &Instance, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let cmax = schedule.makespan(inst);
+    for machine in 0..inst.machines() {
+        let load = schedule.machine_load(inst, machine);
+        out.push_str(&format!("M{machine}: load {load} (makespan {cmax})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::schedule::{Assignment, Schedule};
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::from_classes(2, &[vec![4, 2], vec![3]]).unwrap();
+        let sched = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 1, start: 4 },
+            Assignment { machine: 1, start: 0 },
+        ]);
+        (inst, sched)
+    }
+
+    #[test]
+    fn renders_all_machines() {
+        let (inst, sched) = setup();
+        let g = render_gantt(&inst, &sched, 40);
+        assert!(g.contains("M0"));
+        assert!(g.contains("M1"));
+        assert!(g.contains("c0"));
+        assert!(g.contains("c1"));
+    }
+
+    #[test]
+    fn render_is_stable_for_empty_schedule() {
+        let inst = Instance::new(2, vec![]).unwrap();
+        let sched = Schedule::new(vec![]);
+        let g = render_gantt(&inst, &sched, 20);
+        assert!(g.contains("M0"));
+    }
+
+    #[test]
+    fn loads_summary_contains_loads() {
+        let (inst, sched) = setup();
+        let l = render_loads(&inst, &sched);
+        assert!(l.contains("M0: load 4"));
+        assert!(l.contains("M1: load 5"));
+    }
+
+    #[test]
+    fn zero_size_jobs_are_skipped() {
+        let inst = Instance::from_classes(1, &[vec![0, 3]]).unwrap();
+        let sched = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 0, start: 0 },
+        ]);
+        let g = render_gantt(&inst, &sched, 20);
+        assert!(g.contains("c0"));
+    }
+}

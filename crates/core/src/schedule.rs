@@ -1,0 +1,162 @@
+//! Schedule representation: per-job machine assignment and start time.
+
+use crate::instance::{Instance, JobId, MachineId, Time};
+
+/// Placement of a single job: the machine `σ(j)` and the start time `t(j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// Machine executing the job.
+    pub machine: MachineId,
+    /// Integral start time.
+    pub start: Time,
+}
+
+/// A complete schedule `(σ, t)`: one [`Assignment`] per job, indexed by
+/// [`JobId`]. Construction does not check validity — use
+/// [`crate::validate::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<Assignment>,
+}
+
+impl Schedule {
+    /// Wraps raw assignments (one per job, in job-id order).
+    pub fn new(assignments: Vec<Assignment>) -> Self {
+        Schedule { assignments }
+    }
+
+    /// The assignment of job `j`.
+    #[inline]
+    pub fn assignment(&self, j: JobId) -> Assignment {
+        self.assignments[j]
+    }
+
+    /// All assignments, indexed by [`JobId`].
+    #[inline]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Number of scheduled jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the schedule contains no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Completion time of job `j` under `inst`.
+    #[inline]
+    pub fn completion(&self, inst: &Instance, j: JobId) -> Time {
+        self.assignments[j].start + inst.size(j)
+    }
+
+    /// The makespan `C_max = max_j t(j) + p_j` (0 for an empty schedule).
+    pub fn makespan(&self, inst: &Instance) -> Time {
+        self.assignments
+            .iter()
+            .enumerate()
+            .map(|(j, a)| a.start + inst.size(j))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total load assigned to `machine`.
+    pub fn machine_load(&self, inst: &Instance, machine: MachineId) -> Time {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.machine == machine)
+            .map(|(j, _)| inst.size(j))
+            .sum()
+    }
+
+    /// Jobs on `machine`, sorted by start time.
+    pub fn machine_jobs(&self, machine: MachineId) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.machine == machine)
+            .map(|(j, _)| j)
+            .collect();
+        jobs.sort_by_key(|&j| self.assignments[j].start);
+        jobs
+    }
+
+    /// Number of distinct machines that received at least one job with
+    /// positive processing time. Used by the resource-augmentation EPTAS
+    /// experiments to report actual machine usage.
+    pub fn machines_used(&self, inst: &Instance) -> usize {
+        let mut used: Vec<MachineId> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| inst.size(*j) > 0)
+            .map(|(_, a)| a.machine)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn inst() -> Instance {
+        Instance::from_classes(2, &[vec![3, 2], vec![4]]).unwrap()
+    }
+
+    fn sched() -> Schedule {
+        Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 1, start: 3 },
+            Assignment { machine: 1, start: 5 },
+        ])
+    }
+
+    #[test]
+    fn makespan_and_completions() {
+        let inst = inst();
+        let s = sched();
+        assert_eq!(s.completion(&inst, 0), 3);
+        assert_eq!(s.completion(&inst, 1), 5);
+        assert_eq!(s.completion(&inst, 2), 9);
+        assert_eq!(s.makespan(&inst), 9);
+    }
+
+    #[test]
+    fn machine_queries() {
+        let inst = inst();
+        let s = sched();
+        assert_eq!(s.machine_load(&inst, 0), 3);
+        assert_eq!(s.machine_load(&inst, 1), 6);
+        assert_eq!(s.machine_jobs(1), vec![1, 2]);
+        assert_eq!(s.machines_used(&inst), 2);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let inst = Instance::new(1, vec![]).unwrap();
+        let s = Schedule::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(&inst), 0);
+    }
+
+    #[test]
+    fn machines_used_ignores_zero_size_jobs() {
+        let inst = Instance::from_classes(3, &[vec![0], vec![2]]).unwrap();
+        let s = Schedule::new(vec![
+            Assignment { machine: 2, start: 0 },
+            Assignment { machine: 0, start: 0 },
+        ]);
+        assert_eq!(s.machines_used(&inst), 1);
+    }
+}

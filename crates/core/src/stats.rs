@@ -1,0 +1,135 @@
+//! Schedule statistics: utilization, idle profile, and resource-contention
+//! metrics — the operational view a downstream user wants next to the raw
+//! makespan (used by the examples and the experiment harness).
+
+use crate::instance::{Instance, Time};
+use crate::schedule::Schedule;
+
+/// Aggregate statistics of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Makespan.
+    pub makespan: Time,
+    /// Per-machine busy time.
+    pub machine_loads: Vec<Time>,
+    /// Total idle machine-time within the makespan window.
+    pub total_idle: Time,
+    /// Mean machine utilization in `[0, 1]` (busy / makespan).
+    pub mean_utilization: f64,
+    /// Minimum machine utilization.
+    pub min_utilization: f64,
+    /// For each class: the *stretch* of the class — the time between the
+    /// start of its first job and the completion of its last, divided by its
+    /// total processing time (1.0 = the class ran back-to-back).
+    pub class_stretch: Vec<f64>,
+}
+
+impl ScheduleStats {
+    /// The largest class stretch (how much any resource's work was spread
+    /// out by interleaving).
+    pub fn max_class_stretch(&self) -> f64 {
+        self.class_stretch.iter().cloned().fold(1.0, f64::max)
+    }
+}
+
+/// Computes [`ScheduleStats`] for a (valid) schedule.
+pub fn schedule_stats(inst: &Instance, schedule: &Schedule) -> ScheduleStats {
+    let makespan = schedule.makespan(inst);
+    let machine_loads: Vec<Time> =
+        (0..inst.machines()).map(|q| schedule.machine_load(inst, q)).collect();
+    let busy: Time = machine_loads.iter().sum();
+    let window = makespan * inst.machines() as Time;
+    let total_idle = window.saturating_sub(busy);
+    let utils: Vec<f64> = machine_loads
+        .iter()
+        .map(|&l| if makespan == 0 { 1.0 } else { l as f64 / makespan as f64 })
+        .collect();
+    let mean_utilization = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
+    let min_utilization = utils.iter().cloned().fold(1.0, f64::min);
+
+    let mut class_stretch = Vec::with_capacity(inst.num_classes());
+    for c in 0..inst.num_classes() {
+        let jobs: Vec<_> = inst
+            .class_jobs(c)
+            .iter()
+            .copied()
+            .filter(|&j| inst.size(j) > 0)
+            .collect();
+        if jobs.is_empty() {
+            class_stretch.push(1.0);
+            continue;
+        }
+        let first = jobs.iter().map(|&j| schedule.assignment(j).start).min().expect("non-empty");
+        let last = jobs.iter().map(|&j| schedule.completion(inst, j)).max().expect("non-empty");
+        let load = inst.class_load(c);
+        class_stretch.push((last - first) as f64 / load as f64);
+    }
+    ScheduleStats {
+        makespan,
+        machine_loads,
+        total_idle,
+        mean_utilization,
+        min_utilization,
+        class_stretch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Assignment;
+
+    fn inst() -> Instance {
+        Instance::from_classes(2, &[vec![3, 3], vec![4]]).unwrap()
+    }
+
+    #[test]
+    fn perfect_packing_has_full_utilization() {
+        // m0: class0 jobs back-to-back [0,6); m1: class1 [0,4) → makespan 6.
+        let s = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 0, start: 3 },
+            Assignment { machine: 1, start: 0 },
+        ]);
+        let st = schedule_stats(&inst(), &s);
+        assert_eq!(st.makespan, 6);
+        assert_eq!(st.machine_loads, vec![6, 4]);
+        assert_eq!(st.total_idle, 2);
+        assert!((st.mean_utilization - (1.0 + 4.0 / 6.0) / 2.0).abs() < 1e-12);
+        assert_eq!(st.class_stretch[0], 1.0); // back-to-back
+    }
+
+    #[test]
+    fn interleaving_shows_as_stretch() {
+        // class0 jobs at [0,3) and [5,8): span 8 over load 6 → stretch 4/3.
+        let s = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 0, start: 5 },
+            Assignment { machine: 1, start: 0 },
+        ]);
+        let st = schedule_stats(&inst(), &s);
+        assert!((st.class_stretch[0] - 8.0 / 6.0).abs() < 1e-12);
+        assert!(st.max_class_stretch() > 1.3);
+    }
+
+    #[test]
+    fn empty_schedule_is_stable() {
+        let inst = Instance::new(2, vec![]).unwrap();
+        let st = schedule_stats(&inst, &Schedule::new(vec![]));
+        assert_eq!(st.makespan, 0);
+        assert_eq!(st.total_idle, 0);
+        assert!((st.mean_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_classes_have_unit_stretch() {
+        let inst = Instance::from_classes(1, &[vec![0, 0], vec![5]]).unwrap();
+        let s = Schedule::new(vec![
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 0, start: 0 },
+            Assignment { machine: 0, start: 0 },
+        ]);
+        let st = schedule_stats(&inst, &s);
+        assert_eq!(st.class_stretch[0], 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Exact validation of schedules against the MSRS feasibility definition.
+//!
+//! A schedule `(σ, t)` is *valid* iff
+//!
+//! 1. no two jobs on the same machine overlap in time, and
+//! 2. no two jobs of the same class overlap in time (on any machines).
+//!
+//! Two jobs `[s₁, s₁+p₁)` and `[s₂, s₂+p₂)` overlap iff `s₁ < s₂+p₂` and
+//! `s₂ < s₁+p₁`; zero-length jobs occupy an empty interval and therefore never
+//! overlap anything, matching the paper's `p_j ∈ ℕ≥0` convention.
+
+use std::fmt;
+
+use crate::instance::{ClassId, Instance, JobId, MachineId};
+use crate::schedule::Schedule;
+
+/// The ways a schedule can be infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The schedule does not assign exactly one slot per job.
+    WrongJobCount {
+        /// Jobs in the instance.
+        expected: usize,
+        /// Assignments in the schedule.
+        actual: usize,
+    },
+    /// A job was placed on a machine id `>= m`.
+    MachineOutOfRange {
+        /// The offending job.
+        job: JobId,
+        /// The machine it was placed on.
+        machine: MachineId,
+        /// Number of machines in the instance.
+        machines: usize,
+    },
+    /// Two jobs overlap on the same machine.
+    MachineOverlap {
+        /// Machine on which the overlap occurs.
+        machine: MachineId,
+        /// First involved job.
+        job_a: JobId,
+        /// Second involved job.
+        job_b: JobId,
+    },
+    /// Two jobs of the same class run concurrently.
+    ClassConflict {
+        /// The class (shared resource) involved.
+        class: ClassId,
+        /// First involved job.
+        job_a: JobId,
+        /// Second involved job.
+        job_b: JobId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongJobCount { expected, actual } => {
+                write!(f, "schedule has {actual} assignments for {expected} jobs")
+            }
+            ValidationError::MachineOutOfRange { job, machine, machines } => {
+                write!(f, "job {job} assigned to machine {machine} (only {machines} machines)")
+            }
+            ValidationError::MachineOverlap { machine, job_a, job_b } => {
+                write!(f, "jobs {job_a} and {job_b} overlap on machine {machine}")
+            }
+            ValidationError::ClassConflict { class, job_a, job_b } => {
+                write!(f, "jobs {job_a} and {job_b} of class {class} run concurrently")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that `schedule` is a valid MSRS schedule for `inst`.
+///
+/// Runs in `O(n log n)` (two sweeps over start-sorted job groups).
+pub fn validate(inst: &Instance, schedule: &Schedule) -> Result<(), ValidationError> {
+    if schedule.len() != inst.num_jobs() {
+        return Err(ValidationError::WrongJobCount {
+            expected: inst.num_jobs(),
+            actual: schedule.len(),
+        });
+    }
+    for (j, a) in schedule.assignments().iter().enumerate() {
+        if a.machine >= inst.machines() {
+            return Err(ValidationError::MachineOutOfRange {
+                job: j,
+                machine: a.machine,
+                machines: inst.machines(),
+            });
+        }
+    }
+
+    // Machine-exclusivity: group by machine, sort by start, check neighbours.
+    let mut by_machine: Vec<Vec<JobId>> = vec![Vec::new(); inst.machines()];
+    for (j, a) in schedule.assignments().iter().enumerate() {
+        if inst.size(j) > 0 {
+            by_machine[a.machine].push(j);
+        }
+    }
+    for (machine, jobs) in by_machine.iter_mut().enumerate() {
+        jobs.sort_by_key(|&j| schedule.assignment(j).start);
+        for w in jobs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if schedule.completion(inst, a) > schedule.assignment(b).start {
+                return Err(ValidationError::MachineOverlap { machine, job_a: a, job_b: b });
+            }
+        }
+    }
+
+    // Resource-exclusivity: group by class, sort by start, check neighbours.
+    for class in 0..inst.num_classes() {
+        let mut jobs: Vec<JobId> = inst
+            .class_jobs(class)
+            .iter()
+            .copied()
+            .filter(|&j| inst.size(j) > 0)
+            .collect();
+        jobs.sort_by_key(|&j| schedule.assignment(j).start);
+        for w in jobs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if schedule.completion(inst, a) > schedule.assignment(b).start {
+                return Err(ValidationError::ClassConflict { class, job_a: a, job_b: b });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::schedule::{Assignment, Schedule};
+
+    fn inst() -> Instance {
+        // class 0: jobs 0 (p=3), 1 (p=2); class 1: job 2 (p=4)
+        Instance::from_classes(2, &[vec![3, 2], vec![4]]).unwrap()
+    }
+
+    fn asg(machine: usize, start: u64) -> Assignment {
+        Assignment { machine, start }
+    }
+
+    #[test]
+    fn accepts_valid_schedule() {
+        let s = Schedule::new(vec![asg(0, 0), asg(1, 3), asg(1, 5)]);
+        assert_eq!(validate(&inst(), &s), Ok(()));
+    }
+
+    #[test]
+    fn rejects_machine_overlap() {
+        let s = Schedule::new(vec![asg(0, 0), asg(0, 2), asg(1, 0)]);
+        assert_eq!(
+            validate(&inst(), &s),
+            Err(ValidationError::MachineOverlap { machine: 0, job_a: 0, job_b: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_class_conflict_across_machines() {
+        // Jobs 0 and 1 share class 0 but run concurrently on two machines.
+        let s = Schedule::new(vec![asg(0, 0), asg(1, 1), asg(1, 4)]);
+        assert_eq!(
+            validate(&inst(), &s),
+            Err(ValidationError::ClassConflict { class: 0, job_a: 0, job_b: 1 })
+        );
+    }
+
+    #[test]
+    fn back_to_back_is_legal() {
+        // Job 1 starts exactly when job 0 completes — both on one machine and
+        // in the same class.
+        let s = Schedule::new(vec![asg(0, 0), asg(0, 3), asg(1, 0)]);
+        assert_eq!(validate(&inst(), &s), Ok(()));
+    }
+
+    #[test]
+    fn rejects_out_of_range_machine() {
+        let s = Schedule::new(vec![asg(0, 0), asg(5, 3), asg(1, 0)]);
+        assert!(matches!(
+            validate(&inst(), &s),
+            Err(ValidationError::MachineOutOfRange { job: 1, machine: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_job_count() {
+        let s = Schedule::new(vec![asg(0, 0)]);
+        assert!(matches!(validate(&inst(), &s), Err(ValidationError::WrongJobCount { .. })));
+    }
+
+    #[test]
+    fn zero_size_jobs_never_conflict() {
+        let inst = Instance::from_classes(1, &[vec![0, 0, 5]]).unwrap();
+        // All three jobs of the same class at time 0 on machine 0; only the
+        // size-5 job actually occupies time.
+        let s = Schedule::new(vec![asg(0, 0), asg(0, 0), asg(0, 0)]);
+        assert_eq!(validate(&inst, &s), Ok(()));
+    }
+}

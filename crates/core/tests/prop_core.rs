@@ -1,0 +1,133 @@
+//! Property tests for the core substrate: builder geometry, serialization
+//! round trips, validator symmetry, and statistics invariants.
+
+use msrs_core::{
+    io::{read_instance, read_schedule, write_instance, write_schedule},
+    schedule_stats, validate, Assignment, Block, Instance, Schedule, ScheduleBuilder, Time,
+};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=5,
+        prop::collection::vec(prop::collection::vec(0u64..=20, 1..=5), 1..=8),
+    )
+        .prop_map(|(m, classes)| Instance::from_classes(m, &classes).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn instance_io_round_trip(inst in arb_instance()) {
+        let back = read_instance(&write_instance(&inst)).expect("parse");
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn schedule_io_round_trip(
+        inst in arb_instance(),
+        seed in any::<u64>(),
+    ) {
+        // A synthetic (not necessarily valid) schedule round-trips exactly.
+        let mut state = seed | 1;
+        let mut next = move |m: u64| -> u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let asg: Vec<Assignment> = (0..inst.num_jobs())
+            .map(|_| Assignment {
+                machine: next(inst.machines() as u64) as usize,
+                start: next(100),
+            })
+            .collect();
+        let s = Schedule::new(asg);
+        let back = read_schedule(&write_schedule(&s)).expect("parse");
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn builder_sequential_stacks_always_validate(inst in arb_instance()) {
+        // One machine per class round-robin: bottom stacks only — always a
+        // valid schedule within the total-load horizon.
+        let horizon = inst.total_load().max(1);
+        let mut b = ScheduleBuilder::new(&inst, horizon);
+        for (i, c) in inst.nonempty_classes().enumerate() {
+            b.push_bottom(i % inst.machines(), Block::whole_class(&inst, c));
+        }
+        let s = b.finalize().expect("all placed");
+        prop_assert_eq!(validate(&inst, &s), Ok(()));
+        prop_assert!(s.makespan(&inst) <= horizon);
+    }
+
+    #[test]
+    fn builder_top_alignment_respects_horizon(inst in arb_instance()) {
+        // Top-aligned single blocks end exactly at the horizon.
+        let horizon = inst.total_load().max(1) * 2;
+        let mut b = ScheduleBuilder::new(&inst, horizon);
+        let mut machine = 0usize;
+        let mut tops = Vec::new();
+        for c in inst.nonempty_classes() {
+            if machine < inst.machines() {
+                let block = Block::whole_class(&inst, c);
+                let len = block.len;
+                b.push_top(machine, block);
+                tops.push((machine, len));
+                machine += 1;
+            } else {
+                b.push_bottom(machine % inst.machines(), Block::whole_class(&inst, c));
+                machine += 1;
+            }
+        }
+        for &(q, len) in &tops {
+            prop_assert_eq!(b.top_start(q), horizon - len);
+        }
+        let s = b.finalize().expect("all placed");
+        prop_assert_eq!(validate(&inst, &s), Ok(()));
+        prop_assert!(s.makespan(&inst) <= horizon);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_schedule(inst in arb_instance()) {
+        let horizon = inst.total_load().max(1);
+        let mut b = ScheduleBuilder::new(&inst, horizon);
+        for (i, c) in inst.nonempty_classes().enumerate() {
+            b.push_bottom(i % inst.machines(), Block::whole_class(&inst, c));
+        }
+        let s = b.finalize().expect("all placed");
+        let st = schedule_stats(&inst, &s);
+        prop_assert_eq!(st.makespan, s.makespan(&inst));
+        let busy: Time = st.machine_loads.iter().sum();
+        prop_assert_eq!(busy, inst.total_load());
+        prop_assert_eq!(
+            st.total_idle,
+            st.makespan * inst.machines() as Time - busy
+        );
+        prop_assert!(st.mean_utilization <= 1.0 + 1e-12);
+        prop_assert!(st.min_utilization >= 0.0);
+        for &stretch in &st.class_stretch {
+            prop_assert!(stretch >= 1.0 - 1e-12, "stretch below 1: {stretch}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_shifted_valid_schedules(inst in arb_instance(), shift in 0u64..50) {
+        // Validity is translation-invariant: shifting every start by a
+        // constant preserves it.
+        let horizon = inst.total_load().max(1);
+        let mut b = ScheduleBuilder::new(&inst, horizon);
+        for (i, c) in inst.nonempty_classes().enumerate() {
+            b.push_bottom(i % inst.machines(), Block::whole_class(&inst, c));
+        }
+        let s = b.finalize().expect("all placed");
+        let shifted = Schedule::new(
+            s.assignments()
+                .iter()
+                .map(|a| Assignment { machine: a.machine, start: a.start + shift })
+                .collect(),
+        );
+        prop_assert_eq!(validate(&inst, &shifted), Ok(()));
+    }
+}

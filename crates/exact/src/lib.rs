@@ -1,0 +1,510 @@
+//! # msrs-exact — exact branch-and-bound solver for small MSRS instances
+//!
+//! Ground truth for the empirical approximation-ratio experiments (E4): an
+//! event-driven branch-and-bound over *semi-active* schedules.
+//!
+//! ## Completeness
+//!
+//! Any feasible schedule can be left-shifted (each job moved to the maximum
+//! of its machine predecessor's and class predecessor's completion) without
+//! increasing the makespan; in the fixpoint every start time is 0 or the
+//! completion time of another job. The search therefore branches
+//! chronologically over *events* (time 0 and job completions): at each event
+//! it picks every subset of available classes (class not currently running)
+//! of size at most the number of idle machines, every distinct remaining job
+//! size per chosen class, and also the "start nothing, wait" branch — which
+//! exactly enumerates all semi-active schedules.
+//!
+//! ## Bounding and parallelism
+//!
+//! Nodes are pruned against the incumbent via two lower bounds (area bound
+//! over remaining + running load; per-class serialization bound). The
+//! incumbent is seeded with the best of `Algorithm_3/2`, `Algorithm_5/3` and
+//! the baselines, stored in an atomic (guide: *Rust Atomics and Locks*) and
+//! shared across rayon-parallelized root branches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use msrs_core::{
+    bounds::lower_bound, validate, Assignment, ClassId, Instance, MachineId, Schedule,
+    Time,
+};
+
+/// Resource limits for the exact search.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveLimits {
+    /// Maximum number of search nodes before giving up.
+    pub max_nodes: u64,
+}
+
+impl Default for SolveLimits {
+    fn default() -> Self {
+        SolveLimits { max_nodes: 20_000_000 }
+    }
+}
+
+/// Which lower bounds prune the search — ablation knob for the E9
+/// experiment (both enabled by default; disabling one shows how much work
+/// that bound saves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundConfig {
+    /// The area bound `t + ⌈(remaining + running residual)/m⌉`.
+    pub area: bool,
+    /// The per-class serialization bound `class_end + class_remaining`.
+    pub class_serialization: bool,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig { area: true, class_serialization: true }
+    }
+}
+
+/// Outcome of an exact solve.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The optimal makespan.
+    pub makespan: Time,
+    /// An optimal schedule witnessing it.
+    pub schedule: Schedule,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+struct Shared<'a> {
+    inst: &'a Instance,
+    m: usize,
+    bounds: BoundConfig,
+    best: AtomicU64,
+    best_schedule: Mutex<Schedule>,
+    nodes: AtomicU64,
+    max_nodes: u64,
+    overflowed: AtomicBool,
+}
+
+/// One job still to schedule: `(size, original job id)`.
+type Pending = (Time, usize);
+
+#[derive(Clone)]
+struct Node {
+    /// Current event time.
+    t: Time,
+    /// Running jobs: `(class, end, machine)`, unordered.
+    running: Vec<(ClassId, Time, MachineId)>,
+    /// Remaining jobs per class (sorted descending by size).
+    remaining: Vec<Vec<Pending>>,
+    /// Total remaining load.
+    remaining_load: Time,
+    /// Idle machines (ascending ids).
+    idle: Vec<MachineId>,
+    /// Partial assignment (original job ids).
+    partial: Vec<Option<Assignment>>,
+    /// Canonical ordering: at the current event, only classes `≥ min_class`
+    /// may start (start-sets at one time are enumerated in class order, so no
+    /// set is explored twice).
+    min_class: ClassId,
+}
+
+impl Node {
+    fn is_done(&self) -> bool {
+        self.remaining_load_count() == 0
+    }
+
+    fn remaining_load_count(&self) -> usize {
+        self.remaining.iter().map(Vec::len).sum()
+    }
+
+    fn makespan_now(&self) -> Time {
+        self.running.iter().map(|&(_, e, _)| e).max().unwrap_or(self.t)
+    }
+
+    /// Lower bound on any completion of this node.
+    fn bound(&self, m: usize, cfg: BoundConfig) -> Time {
+        let mut lb = self.makespan_now();
+        // Area bound: remaining load plus running residuals over m machines.
+        if cfg.area {
+            let residual: Time =
+                self.running.iter().map(|&(_, e, _)| e.saturating_sub(self.t)).sum();
+            lb = lb.max(self.t + (self.remaining_load + residual).div_ceil(m as Time));
+        }
+        if !cfg.class_serialization {
+            return lb;
+        }
+        // Class serialization bound.
+        for (c, jobs) in self.remaining.iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            let class_end = self
+                .running
+                .iter()
+                .filter(|&&(rc, _, _)| rc == c)
+                .map(|&(_, e, _)| e)
+                .max()
+                .unwrap_or(self.t)
+                .max(self.t);
+            let load: Time = jobs.iter().map(|&(p, _)| p).sum();
+            lb = lb.max(class_end + load);
+        }
+        lb
+    }
+
+    /// Advance to the next completion event. Returns `false` if no job is
+    /// running (a dead end when work remains).
+    fn advance(&mut self) -> bool {
+        let Some(next) = self.running.iter().map(|&(_, e, _)| e).min() else {
+            return false;
+        };
+        self.t = next;
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].1 <= next {
+                let (_, _, machine) = self.running.swap_remove(i);
+                self.idle.push(machine);
+            } else {
+                i += 1;
+            }
+        }
+        self.idle.sort_unstable();
+        self.min_class = 0;
+        true
+    }
+}
+
+/// Candidate starts at the current event: one (class, index-of-distinct-size)
+/// choice per class.
+fn candidate_starts(node: &Node, best: Time) -> Vec<(ClassId, usize)> {
+    let mut out = Vec::new();
+    for (c, jobs) in node.remaining.iter().enumerate().skip(node.min_class) {
+        if jobs.is_empty() {
+            continue;
+        }
+        if node.running.iter().any(|&(rc, _, _)| rc == c) {
+            continue; // class busy
+        }
+        let mut last_size = None;
+        for (i, &(p, _)) in jobs.iter().enumerate() {
+            if last_size == Some(p) {
+                continue; // identical jobs are interchangeable
+            }
+            last_size = Some(p);
+            if node.t + p < best {
+                out.push((c, i));
+            }
+        }
+    }
+    out
+}
+
+fn dfs(sh: &Shared<'_>, node: &Node) {
+    if sh.overflowed.load(Ordering::Relaxed) {
+        return;
+    }
+    let n = sh.nodes.fetch_add(1, Ordering::Relaxed);
+    if n >= sh.max_nodes {
+        sh.overflowed.store(true, Ordering::Relaxed);
+        return;
+    }
+    let best = sh.best.load(Ordering::Relaxed);
+    if node.bound(sh.m, sh.bounds) >= best {
+        return;
+    }
+    if node.is_done() {
+        let cmax = node.makespan_now();
+        if cmax < sh.best.fetch_min(cmax, Ordering::Relaxed) {
+            let assignments: Vec<Assignment> = node
+                .partial
+                .iter()
+                .map(|a| a.expect("done node has all jobs placed"))
+                .collect();
+            let mut guard = sh.best_schedule.lock();
+            // Re-check under the lock (another thread may have won the race).
+            if cmax <= sh.best.load(Ordering::Relaxed) {
+                *guard = Schedule::new(assignments);
+            }
+        }
+        return;
+    }
+
+    let cands = candidate_starts(node, best);
+    // Branch 1..k: start one candidate now (the recursion re-enters this
+    // function at the same time t with the machine consumed, which composes
+    // to all subsets of candidates).
+    if !node.idle.is_empty() {
+        for &(c, i) in &cands {
+            let mut child = node.clone();
+            let machine = child.idle.remove(0);
+            let (p, job) = child.remaining[c].remove(i);
+            child.remaining_load -= p;
+            child.partial[job] = Some(Assignment { machine, start: child.t });
+            child.running.push((c, child.t + p, machine));
+            child.min_class = c + 1;
+            dfs(sh, &child);
+        }
+    }
+    // Branch 0: start nothing (more) at this event; wait for next completion.
+    let mut child = node.clone();
+    if child.advance() {
+        dfs(sh, &child);
+    }
+}
+
+fn initial_incumbent(inst: &Instance) -> (Time, Schedule) {
+    let mut best: Option<(Time, Schedule)> = None;
+    for r in [
+        msrs_approx::three_halves(inst),
+        msrs_approx::five_thirds(inst),
+        msrs_approx::baselines::merged_lpt(inst),
+        msrs_approx::baselines::hebrard_greedy(inst),
+        msrs_approx::baselines::list_scheduler(inst),
+    ] {
+        debug_assert_eq!(validate(inst, &r.schedule), Ok(()));
+        let c = r.schedule.makespan(inst);
+        if best.as_ref().is_none_or(|(b, _)| c < *b) {
+            best = Some((c, r.schedule));
+        }
+    }
+    best.expect("at least one heuristic result")
+}
+
+/// Computes the optimal makespan and an optimal schedule, or `None` if the
+/// node budget is exhausted first.
+pub fn optimal(inst: &Instance, limits: SolveLimits) -> Option<ExactResult> {
+    optimal_configured(inst, limits, BoundConfig::default())
+}
+
+/// As [`optimal`], with explicit pruning-bound configuration (E9 ablation).
+pub fn optimal_configured(
+    inst: &Instance,
+    limits: SolveLimits,
+    bounds: BoundConfig,
+) -> Option<ExactResult> {
+    if inst.num_jobs() == 0 {
+        return Some(ExactResult { makespan: 0, schedule: Schedule::new(vec![]), nodes: 0 });
+    }
+    let (ub, ub_schedule) = initial_incumbent(inst);
+    let lb = lower_bound(inst);
+    if ub == lb {
+        return Some(ExactResult { makespan: ub, schedule: ub_schedule, nodes: 0 });
+    }
+
+    let m = inst.machines();
+    let mut remaining: Vec<Vec<Pending>> = vec![Vec::new(); inst.num_classes()];
+    let mut partial: Vec<Option<Assignment>> = vec![None; inst.num_jobs()];
+    for (j, job) in inst.jobs().iter().enumerate() {
+        if job.size == 0 {
+            // Zero-size jobs never conflict; pin them at (machine 0, time 0).
+            partial[j] = Some(Assignment { machine: 0, start: 0 });
+        } else {
+            remaining[job.class].push((job.size, j));
+        }
+    }
+    for jobs in &mut remaining {
+        jobs.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    let remaining_load: Time = inst.total_load();
+
+    let root = Node {
+        t: 0,
+        running: Vec::new(),
+        remaining,
+        remaining_load,
+        idle: (0..m).collect(),
+        partial,
+        min_class: 0,
+    };
+    let sh = Shared {
+        inst,
+        m,
+        bounds,
+        best: AtomicU64::new(ub),
+        best_schedule: Mutex::new(ub_schedule),
+        nodes: AtomicU64::new(0),
+        max_nodes: limits.max_nodes,
+        overflowed: AtomicBool::new(false),
+    };
+
+    // Parallelize the root branching (each first job choice in its own task).
+    let best_now = sh.best.load(Ordering::Relaxed);
+    let cands = candidate_starts(&root, best_now);
+    cands.par_iter().for_each(|&(c, i)| {
+        let mut child = root.clone();
+        let machine = child.idle.remove(0);
+        let (p, job) = child.remaining[c].remove(i);
+        child.remaining_load -= p;
+        child.partial[job] = Some(Assignment { machine, start: 0 });
+        child.running.push((c, p, machine));
+        child.min_class = c + 1;
+        dfs(&sh, &child);
+    });
+
+    if sh.overflowed.load(Ordering::Relaxed) {
+        return None;
+    }
+    let makespan = sh.best.load(Ordering::Relaxed);
+    let schedule = sh.best_schedule.into_inner();
+    debug_assert_eq!(validate(sh.inst, &schedule), Ok(()));
+    debug_assert_eq!(schedule.makespan(inst), makespan);
+    Some(ExactResult { makespan, schedule, nodes: sh.nodes.load(Ordering::Relaxed) })
+}
+
+/// Convenience wrapper with default limits; panics on budget exhaustion
+/// (meant for small instances in tests and experiments).
+pub fn optimal_makespan(inst: &Instance) -> Time {
+    optimal(inst, SolveLimits::default())
+        .expect("node budget exhausted — instance too large for exact solve")
+        .makespan
+}
+
+/// Decision variant: is there a valid schedule with makespan at most `cap`?
+/// Returns the witness schedule if so, `Ok(None)` if provably not, and
+/// `Err(())` on node-budget exhaustion. Used by the PTAS cross-validation
+/// and handy as a standalone oracle.
+#[allow(clippy::result_unit_err)]
+pub fn feasible_within(
+    inst: &Instance,
+    cap: Time,
+    limits: SolveLimits,
+) -> Result<Option<Schedule>, ()> {
+    // Quick accepts: any heuristic witness within the cap.
+    for r in [msrs_approx::three_halves(inst), msrs_approx::five_thirds(inst)] {
+        if r.schedule.makespan(inst) <= cap {
+            return Ok(Some(r.schedule));
+        }
+    }
+    match optimal(inst, limits) {
+        Some(res) if res.makespan <= cap => Ok(Some(res.schedule)),
+        Some(_) => Ok(None),
+        None => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(m: usize, classes: &[Vec<Time>]) -> Time {
+        let inst = Instance::from_classes(m, classes).unwrap();
+        let r = optimal(&inst, SolveLimits::default()).expect("within budget");
+        assert_eq!(validate(&inst, &r.schedule), Ok(()));
+        assert_eq!(r.schedule.makespan(&inst), r.makespan);
+        assert!(r.makespan >= lower_bound(&inst));
+        r.makespan
+    }
+
+    #[test]
+    fn single_machine_sums() {
+        assert_eq!(opt(1, &[vec![3, 4], vec![5]]), 12);
+    }
+
+    #[test]
+    fn partition_like() {
+        // P2||Cmax on singleton classes: {3,3,2,2,2} → OPT 6.
+        assert_eq!(opt(2, &[vec![3], vec![3], vec![2], vec![2], vec![2]]), 6);
+    }
+
+    #[test]
+    fn class_serialization_forces_makespan() {
+        // One class of three 4s on 3 machines must serialize: OPT 12.
+        assert_eq!(opt(3, &[vec![4, 4, 4]]), 12);
+    }
+
+    #[test]
+    fn interleaving_beats_merging() {
+        // 3 classes of two unit jobs on 2 machines: OPT = 3 (interleave).
+        assert_eq!(opt(2, &[vec![1, 1], vec![1, 1], vec![1, 1]]), 3);
+    }
+
+    #[test]
+    fn deliberate_idling_needed() {
+        // m=2, classes {3,3} and {3}: OPT 6; greedy that starts both 3s of
+        // class 0 sequentially plus the other job still achieves 6 — check
+        // exactness on a case where the area bound (5) is unreachable.
+        assert_eq!(opt(2, &[vec![3, 3], vec![3]]), 6);
+    }
+
+    #[test]
+    fn idling_strictly_helps() {
+        // m=2: class A = {2,2}, class B = {2}, class C = {1,1}:
+        // loads: A=4 serial, total 7 → area ⌈7/2⌉=4, class bound 4.
+        // Feasible in 4: A on m0 [0,2),[2,4); B on m1 [0,2); C [2,3),[3,4)?
+        // C jobs conflict: [2,3) and [3,4) on m1 sequential ✓ → OPT 4.
+        assert_eq!(opt(2, &[vec![2, 2], vec![2], vec![1, 1]]), 4);
+    }
+
+    #[test]
+    fn zero_sizes_ignored() {
+        assert_eq!(opt(2, &[vec![0, 3], vec![3, 0]]), 3);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(2, vec![]).unwrap();
+        assert_eq!(optimal(&inst, SolveLimits::default()).unwrap().makespan, 0);
+    }
+
+    #[test]
+    fn feasibility_decision_agrees_with_optimum() {
+        let inst = Instance::from_classes(
+            2,
+            &[vec![4], vec![4], vec![4], vec![3], vec![3]],
+        )
+        .unwrap();
+        let opt = optimal_makespan(&inst); // 10
+        let yes = feasible_within(&inst, opt, SolveLimits::default()).unwrap();
+        assert!(yes.is_some());
+        let s = yes.unwrap();
+        assert_eq!(validate(&inst, &s), Ok(()));
+        assert!(s.makespan(&inst) <= opt);
+        let no = feasible_within(&inst, opt - 1, SolveLimits::default()).unwrap();
+        assert!(no.is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // Sizes 4,4,4,3,3 on two machines: lower bound 9 but OPT = 10, so
+        // the incumbent cannot short-circuit and the search must run.
+        let inst = Instance::from_classes(
+            2,
+            &[vec![4], vec![4], vec![4], vec![3], vec![3]],
+        )
+        .unwrap();
+        assert_eq!(opt(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]), 10);
+        assert!(optimal(&inst, SolveLimits { max_nodes: 3 }).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_intuition_on_conflict_example() {
+        // m=2; class {5,5} + class {5} + class {5}: area 10, per-class 10…
+        // OPT: class0 serial [0,10) on m0; others on m1 [0,5),[5,10) → 10.
+        assert_eq!(opt(2, &[vec![5, 5], vec![5], vec![5]]), 10);
+    }
+
+    #[test]
+    fn approximations_respect_exact_bounds_small_sweep() {
+        // For a small family: OPT/T ≥ 1 and algorithm ratios vs OPT within
+        // their guarantees.
+        let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
+            (2, vec![vec![4, 3], vec![5], vec![2, 2]]),
+            (2, vec![vec![6, 5], vec![4, 4], vec![4, 4]]),
+            (3, vec![vec![7, 7], vec![6, 6], vec![5, 5], vec![1]]),
+            (2, vec![vec![9, 8], vec![5, 5, 5], vec![2]]),
+        ];
+        for (m, classes) in shapes {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            let o = optimal_makespan(&inst);
+            let r53 = msrs_approx::five_thirds(&inst);
+            let r32 = msrs_approx::three_halves(&inst);
+            assert!(r53.lower_bound <= o, "T53 must lower-bound OPT");
+            assert!(r32.lower_bound <= o, "T32 must lower-bound OPT");
+            assert!(3 * r53.makespan(&inst) <= 5 * o, "5/3 vs OPT violated");
+            assert!(2 * r32.makespan(&inst) <= 3 * o, "3/2 vs OPT violated");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-validation of the branch-and-bound against an *independent*
+//! brute-force reference (free start times, not event-anchored), plus
+//! sandwich properties against the approximation algorithms on random
+//! instances. This is the ground-truth audit for experiment E4.
+
+use msrs_core::{bounds::lower_bound, validate, Instance, Time};
+use msrs_exact::{optimal, SolveLimits};
+use msrs_gen::SmallInstances;
+use proptest::prelude::*;
+
+/// Brute force: is there a valid schedule with makespan ≤ cap? Tries *every*
+/// start time in `0..=cap - p` on every machine for every job — deliberately
+/// unrelated to the event-anchored search it audits.
+fn feasible_bruteforce(inst: &Instance, cap: Time) -> bool {
+    fn rec(
+        inst: &Instance,
+        cap: Time,
+        j: usize,
+        placed: &mut Vec<(usize, Time)>, // (machine, start) per job
+    ) -> bool {
+        if j == inst.num_jobs() {
+            return true;
+        }
+        let p = inst.size(j);
+        if p == 0 {
+            placed.push((0, 0));
+            if rec(inst, cap, j + 1, placed) {
+                return true;
+            }
+            placed.pop();
+            return false;
+        }
+        if p > cap {
+            return false;
+        }
+        for machine in 0..inst.machines() {
+            for start in 0..=(cap - p) {
+                let end = start + p;
+                let ok = placed.iter().enumerate().all(|(k, &(qm, qs))| {
+                    let (qp, qe) = (inst.size(k), qs + inst.size(k));
+                    if qp == 0 {
+                        return true;
+                    }
+                    let overlap = start < qe && qs < end;
+                    let same_machine = qm == machine;
+                    let same_class = inst.class_of(k) == inst.class_of(j);
+                    !(overlap && (same_machine || same_class))
+                });
+                if ok {
+                    placed.push((machine, start));
+                    if rec(inst, cap, j + 1, placed) {
+                        return true;
+                    }
+                    placed.pop();
+                }
+            }
+        }
+        false
+    }
+    rec(inst, cap, 0, &mut Vec::new())
+}
+
+fn bruteforce_opt(inst: &Instance) -> Time {
+    let mut cap = lower_bound(inst);
+    loop {
+        if feasible_bruteforce(inst, cap) {
+            return cap;
+        }
+        cap += 1;
+    }
+}
+
+#[test]
+fn exact_matches_bruteforce_on_exhaustive_small_instances() {
+    // Every canonical instance with ≤ 4 jobs, sizes ≤ 3, ≤ 3 classes, on one,
+    // two and three machines.
+    let mut checked = 0usize;
+    for m in 1..=3usize {
+        for inst in SmallInstances::new(m, 4, 3, 3) {
+            let r = optimal(&inst, SolveLimits::default()).expect("tiny instance");
+            let bf = bruteforce_opt(&inst);
+            assert_eq!(
+                r.makespan, bf,
+                "B&B {} ≠ brute force {bf} on {inst:?}",
+                r.makespan
+            );
+            assert_eq!(validate(&inst, &r.schedule), Ok(()));
+            checked += 1;
+        }
+    }
+    assert!(checked > 300, "exhaustive sweep too small: {checked}");
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=3,
+        prop::collection::vec(prop::collection::vec(1u64..=6, 1..=3), 1..=4),
+    )
+        .prop_map(|(m, classes)| Instance::from_classes(m, &classes).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_is_sandwiched_and_guarantees_hold(inst in arb_instance()) {
+        let r = optimal(&inst, SolveLimits::default()).expect("small instance");
+        let lb = lower_bound(&inst);
+        prop_assert!(r.makespan >= lb);
+        prop_assert_eq!(validate(&inst, &r.schedule), Ok(()));
+
+        let r53 = msrs_approx::five_thirds(&inst);
+        let r32 = msrs_approx::three_halves(&inst);
+        prop_assert!(r53.lower_bound <= r.makespan, "T(5/3) exceeds OPT");
+        prop_assert!(r32.lower_bound <= r.makespan, "T(3/2) exceeds OPT");
+        prop_assert!(r53.makespan(&inst) >= r.makespan);
+        prop_assert!(r32.makespan(&inst) >= r.makespan);
+        prop_assert!(3 * r53.makespan(&inst) <= 5 * r.makespan, "5/3 guarantee");
+        prop_assert!(2 * r32.makespan(&inst) <= 3 * r.makespan, "3/2 guarantee");
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_random(inst in (
+        1usize..=2,
+        prop::collection::vec(prop::collection::vec(1u64..=4, 1..=2), 1..=3),
+    ).prop_map(|(m, classes)| Instance::from_classes(m, &classes).unwrap())) {
+        let r = optimal(&inst, SolveLimits::default()).expect("tiny instance");
+        prop_assert_eq!(r.makespan, bruteforce_opt(&inst));
+    }
+}

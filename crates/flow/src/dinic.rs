@@ -1,0 +1,194 @@
+//! Dinic's maximum-flow algorithm over integral capacities.
+
+/// Identifier of an edge returned by [`FlowNetwork::add_edge`]; use it to
+/// query the final [`FlowNetwork::flow`] on that edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: u64,
+}
+
+/// A directed flow network with integral capacities.
+///
+/// Residual edges are stored pairwise (`e ^ 1` is the reverse of `e`), the
+/// classic competitive-programming layout, which keeps the inner loops
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) -> EdgeId {
+        let id = self.edges.len();
+        self.edges.push(Edge { to: v, cap });
+        self.adj[u].push(id);
+        self.edges.push(Edge { to: u, cap: 0 });
+        self.adj[v].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Flow currently on edge `e` (its reverse edge's residual capacity).
+    pub fn flow(&self, e: EdgeId) -> u64 {
+        self.edges[e.0 ^ 1].cap
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.fill(-1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let edge = &self.edges[e];
+                if edge.cap > 0 && self.level[edge.to] < 0 {
+                    self.level[edge.to] = self.level[u] + 1;
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: u64) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while self.iter[u] < self.adj[u].len() {
+            let e = self.adj[u][self.iter[u]];
+            let (to, cap) = (self.edges[e].to, self.edges[e].cap);
+            if cap > 0 && self.level[to] == self.level[u] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap));
+                if pushed > 0 {
+                    self.edges[e].cap -= pushed;
+                    self.edges[e ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum `s → t` flow. May be called once per network
+    /// (subsequent calls continue on the residual network).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut total = 0u64;
+        while self.bfs(s, t) {
+            self.iter.fill(0);
+            loop {
+                let pushed = self.dfs(s, t, u64::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 7);
+        assert_eq!(g.max_flow(0, 1), 7);
+        assert_eq!(g.flow(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths of caps (3,2) and (2,3), plus a cross edge.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 5);
+        assert_eq!(g.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn bottleneck() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 100);
+        assert_eq!(g.max_flow(0, 3), 1);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 1, 3);
+        assert_eq!(g.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut g = FlowNetwork::new(6);
+        let caps = [
+            (0usize, 1usize, 10u64),
+            (0, 2, 10),
+            (1, 2, 2),
+            (1, 3, 4),
+            (1, 4, 8),
+            (2, 4, 9),
+            (3, 5, 10),
+            (4, 3, 6),
+            (4, 5, 10),
+        ];
+        let ids: Vec<EdgeId> = caps.iter().map(|&(u, v, c)| g.add_edge(u, v, c)).collect();
+        let total = g.max_flow(0, 5);
+        assert_eq!(total, 19);
+        // Conservation at internal nodes.
+        for node in 1..=4 {
+            let mut inflow = 0u64;
+            let mut outflow = 0u64;
+            for (id, &(u, v, _)) in ids.iter().zip(caps.iter()) {
+                if v == node {
+                    inflow += g.flow(*id);
+                }
+                if u == node {
+                    outflow += g.flow(*id);
+                }
+            }
+            assert_eq!(inflow, outflow, "conservation at node {node}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The class/layer placeholder network of Lemma 18 (Figure 5 of the paper).
+//!
+//! In the layered-schedule construction, each class `c` must place `n_c`
+//! placeholder jobs (each one layer long) into layers, such that
+//!
+//! * class `c` uses layer `ℓ` at most once, and only if a small job of `c`
+//!   was (fractionally) present there (`γ_{c,ℓ} = 1`), and
+//! * layer `ℓ` hosts at most `k_ℓ` placeholders (its slot count).
+//!
+//! The paper observes that the fractional placement induces a feasible
+//! fractional flow of value `Σ_c n_c` in the network
+//! `source → u_c (cap n_c) → v_ℓ (cap γ_{c,ℓ}) → sink (cap k_ℓ)`, and flow
+//! integrality yields the integral placeholder placement. [`PlaceholderProblem::solve`]
+//! performs exactly this rounding with [`crate::FlowNetwork`].
+
+use crate::dinic::{EdgeId, FlowNetwork};
+
+/// An instance of the placeholder-placement problem.
+#[derive(Debug, Clone)]
+pub struct PlaceholderProblem {
+    /// `n_c`: placeholders demanded by each class.
+    pub demand: Vec<u64>,
+    /// `γ_{c,ℓ}`: whether class `c` may use layer `ℓ`.
+    pub allowed: Vec<Vec<bool>>,
+    /// `k_ℓ`: slot capacity of each layer.
+    pub slots: Vec<u64>,
+}
+
+/// A feasible integral placement: for each class, the layers it occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceholderAssignment {
+    /// `placed[c]` = sorted layer indices assigned to class `c`
+    /// (`placed[c].len() == demand[c]`, all distinct, all allowed).
+    pub placed: Vec<Vec<usize>>,
+}
+
+impl PlaceholderProblem {
+    /// Builds the problem from a *fractional* placement `λ[c][ℓ] ∈ [0, 1]`
+    /// (fraction of class `c`'s small jobs in layer `ℓ`): demands are the
+    /// (integral) row sums, `γ` the support, and slot capacities the rounded
+    /// up column sums — exactly the quantities of Lemma 18.
+    ///
+    /// # Panics
+    /// If a row sum is not integral (within 1e-9) or some `λ ∉ [0, 1]`.
+    pub fn from_fractional(lambda: &[Vec<f64>]) -> Self {
+        let layers = lambda.first().map_or(0, Vec::len);
+        let mut demand = Vec::with_capacity(lambda.len());
+        let mut allowed = Vec::with_capacity(lambda.len());
+        for row in lambda {
+            assert_eq!(row.len(), layers, "ragged λ matrix");
+            let sum: f64 = row.iter().sum();
+            let rounded = sum.round();
+            assert!(
+                (sum - rounded).abs() < 1e-9,
+                "class demand Σλ = {sum} is not integral"
+            );
+            assert!(row.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            demand.push(rounded as u64);
+            allowed.push(row.iter().map(|&x| x > 0.0).collect());
+        }
+        let slots = (0..layers)
+            .map(|l| {
+                let col: f64 = lambda.iter().map(|row| row[l]).sum();
+                col.ceil() as u64
+            })
+            .collect();
+        PlaceholderProblem { demand, allowed, slots }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.demand.len()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total demand `Σ_c n_c`.
+    pub fn total_demand(&self) -> u64 {
+        self.demand.iter().sum()
+    }
+
+    /// Builds the Figure 5 network and rounds to an integral placement.
+    /// Returns `None` iff the max flow falls short of the total demand
+    /// (the instance is infeasible).
+    pub fn solve(&self) -> Option<PlaceholderAssignment> {
+        let c = self.num_classes();
+        let l = self.num_layers();
+        // Nodes: 0 = source, 1..=c classes, c+1..=c+l layers, c+l+1 sink.
+        let source = 0usize;
+        let class_node = |i: usize| 1 + i;
+        let layer_node = |j: usize| 1 + c + j;
+        let sink = 1 + c + l;
+        let mut g = FlowNetwork::new(sink + 1);
+        for (i, &d) in self.demand.iter().enumerate() {
+            g.add_edge(source, class_node(i), d);
+        }
+        let mut mid_edges: Vec<(usize, usize, EdgeId)> = Vec::new();
+        for (i, row) in self.allowed.iter().enumerate() {
+            assert_eq!(row.len(), l, "ragged allowed matrix");
+            for (j, &ok) in row.iter().enumerate() {
+                if ok {
+                    let e = g.add_edge(class_node(i), layer_node(j), 1);
+                    mid_edges.push((i, j, e));
+                }
+            }
+        }
+        for (j, &k) in self.slots.iter().enumerate() {
+            g.add_edge(layer_node(j), sink, k);
+        }
+        let value = g.max_flow(source, sink);
+        if value < self.total_demand() {
+            return None;
+        }
+        let mut placed = vec![Vec::new(); c];
+        for (i, j, e) in mid_edges {
+            if g.flow(e) > 0 {
+                placed[i].push(j);
+            }
+        }
+        for row in &mut placed {
+            row.sort_unstable();
+        }
+        Some(PlaceholderAssignment { placed })
+    }
+
+    /// Checks that `asg` is feasible for this problem (used in tests and by
+    /// the PTAS pipeline as a safety net).
+    pub fn check(&self, asg: &PlaceholderAssignment) -> bool {
+        if asg.placed.len() != self.num_classes() {
+            return false;
+        }
+        let mut used = vec![0u64; self.num_layers()];
+        for (c, layers) in asg.placed.iter().enumerate() {
+            if layers.len() as u64 != self.demand[c] {
+                return false;
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &l in layers {
+                if l >= self.num_layers() || !self.allowed[c][l] || !seen.insert(l) {
+                    return false;
+                }
+                used[l] += 1;
+            }
+        }
+        used.iter().zip(self.slots.iter()).all(|(&u, &k)| u <= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_feasible_placement() {
+        // 2 classes, 3 layers; class 0 needs 2 layers of {0,1,2}, class 1
+        // needs 1 layer of {1}; slots: 1 each.
+        let prob = PlaceholderProblem {
+            demand: vec![2, 1],
+            allowed: vec![vec![true, true, true], vec![false, true, false]],
+            slots: vec![1, 1, 1],
+        };
+        let asg = prob.solve().expect("feasible");
+        assert!(prob.check(&asg));
+        assert_eq!(asg.placed[1], vec![1]);
+        assert_eq!(asg.placed[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn infeasible_when_slots_lack() {
+        let prob = PlaceholderProblem {
+            demand: vec![2],
+            allowed: vec![vec![true, true]],
+            slots: vec![1, 0],
+        };
+        assert!(prob.solve().is_none());
+    }
+
+    #[test]
+    fn infeasible_when_gamma_blocks() {
+        let prob = PlaceholderProblem {
+            demand: vec![2],
+            allowed: vec![vec![true, false, false]],
+            slots: vec![5, 5, 5],
+        };
+        assert!(prob.solve().is_none());
+    }
+
+    #[test]
+    fn from_fractional_rounds_lemma18_style() {
+        // Fractional placement: class 0 spreads 2 units as ½+½+1 over layers
+        // 0..3; class 1 spreads 1 unit as ½+½ over layers 0..2.
+        let lambda = vec![vec![0.5, 0.5, 1.0], vec![0.5, 0.5, 0.0]];
+        let prob = PlaceholderProblem::from_fractional(&lambda);
+        assert_eq!(prob.demand, vec![2, 1]);
+        assert_eq!(prob.slots, vec![1, 1, 1]);
+        let asg = prob.solve().expect("Lemma 18 guarantees feasibility");
+        assert!(prob.check(&asg));
+    }
+
+    #[test]
+    fn check_rejects_bad_assignments() {
+        let prob = PlaceholderProblem {
+            demand: vec![1, 1],
+            allowed: vec![vec![true, false], vec![true, true]],
+            slots: vec![1, 1],
+        };
+        // Wrong count.
+        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![], vec![1]] }));
+        // Disallowed layer.
+        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![1], vec![0]] }));
+        // Over capacity.
+        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![0], vec![0]] }));
+        // Duplicate layer within a class.
+        let bad = PlaceholderAssignment { placed: vec![vec![0], vec![1, 1]] };
+        assert!(!prob.check(&bad));
+        // A correct one.
+        assert!(prob.check(&PlaceholderAssignment { placed: vec![vec![0], vec![1]] }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not integral")]
+    fn fractional_rowsum_must_be_integral() {
+        PlaceholderProblem::from_fractional(&[vec![0.5, 0.25]]);
+    }
+}

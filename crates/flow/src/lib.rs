@@ -1,0 +1,20 @@
+//! # msrs-flow — integral max-flow and the Lemma 18 placeholder network
+//!
+//! The layered-schedule construction of the paper (Lemma 18, Figure 5) turns
+//! a fractional placement of small jobs into an integral placement of
+//! placeholder jobs via flow integrality. This crate provides the substrate:
+//!
+//! * [`dinic::FlowNetwork`] — a general integral max-flow solver (Dinic's
+//!   algorithm, `O(V²E)`);
+//! * [`layered`] — the class/layer bipartite network of Figure 5
+//!   (source → class `u_c` (cap `n_c`) → layer `v_ℓ` (cap `γ_{c,ℓ} ∈ {0,1}`)
+//!   → sink (cap `k_ℓ`)) together with the integral-rounding round trip.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dinic;
+pub mod layered;
+
+pub use dinic::FlowNetwork;
+pub use layered::{PlaceholderAssignment, PlaceholderProblem};

@@ -1,0 +1,123 @@
+//! Property tests for the flow substrate: Dinic against an independent
+//! Ford–Fulkerson (BFS augmenting path) reference on random graphs, and the
+//! Lemma 18 integral-rounding guarantee on random fractional placements.
+
+use msrs_flow::{FlowNetwork, PlaceholderProblem};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Reference max-flow: Edmonds–Karp on an adjacency-matrix residual graph.
+fn edmonds_karp(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+    let mut cap = vec![vec![0u64; n]; n];
+    for &(u, v, c) in edges {
+        cap[u][v] += c;
+    }
+    let mut flow = 0u64;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            return flow;
+        }
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n, 0..n, 1u64..=20).prop_filter("no self loop", |(u, v, _)| u != v),
+            0..=20,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dinic_matches_edmonds_karp((n, edges) in arb_graph()) {
+        let mut g = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            g.add_edge(u, v, c);
+        }
+        let dinic = g.max_flow(0, n - 1);
+        let reference = edmonds_karp(n, &edges, 0, n - 1);
+        prop_assert_eq!(dinic, reference);
+    }
+
+    #[test]
+    fn lemma18_rounding_always_succeeds(seed in 0u64..10_000) {
+        // Build a random *fractional* placement with integral row sums the
+        // way Lemma 18 produces them, then demand the integral rounding.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let classes = rng.random_range(1..=6usize);
+        let layers = rng.random_range(1..=8usize);
+        let mut lambda = vec![vec![0.0f64; layers]; classes];
+        for row in lambda.iter_mut() {
+            // Choose an integral demand ≤ layers and spread it in halves,
+            // keeping every entry ≤ 1.
+            let demand = rng.random_range(0..=layers as u64);
+            let mut remaining = demand as f64;
+            let mut order: Vec<usize> = (0..layers).collect();
+            order.shuffle(&mut rng);
+            for &l in &order {
+                if remaining <= 0.0 {
+                    break;
+                }
+                let amount = if remaining >= 1.0 && rng.random_bool(0.5) {
+                    1.0
+                } else {
+                    0.5f64.min(remaining)
+                };
+                if row[l] + amount <= 1.0 {
+                    row[l] += amount;
+                    remaining -= amount;
+                }
+            }
+            // If we could not spread everything (unlikely), trim the demand
+            // by clearing leftovers: redistribute to untouched layers.
+            if remaining > 0.0 {
+                for &l in &order {
+                    if remaining <= 0.0 {
+                        break;
+                    }
+                    let room = 1.0 - row[l];
+                    let amount = room.min(remaining);
+                    row[l] += amount;
+                    remaining -= amount;
+                }
+            }
+            prop_assume!(remaining <= 1e-9);
+        }
+        let prob = PlaceholderProblem::from_fractional(&lambda);
+        let asg = prob.solve().expect("Lemma 18: integral rounding must exist");
+        prop_assert!(prob.check(&asg));
+    }
+}

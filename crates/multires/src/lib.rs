@@ -1,0 +1,30 @@
+//! # msrs-multires — MSRS with multiple resources per job (paper §5)
+//!
+//! The paper's inapproximability section extends MSRS so each job needs a
+//! *set* `R(j)` of resources and proves a `5/4 − ε` hardness via a reduction
+//! from Monotone 3-SAT-(2,2). This crate builds everything that section
+//! needs:
+//!
+//! * [`model`] — the multi-resource problem model, exact validator, and a
+//!   greedy list scheduler for the extension;
+//! * [`sat`] — CNF formulas, a DPLL solver substrate, and the
+//!   Monotone 3-SAT-(2,2) instance discipline with random generators;
+//! * [`reduction`] — the Theorem 23 gadget. **Reproduction finding:** the
+//!   gadget exactly as printed is over capacity — its total load is
+//!   `9|C| + 7|X|` while `2|C| + 2|X|` machines provide only `8|C| + 8|X|`
+//!   units within makespan 4, and `|C| = 4|X|/3 > |X|`, so no makespan-4
+//!   schedule can exist for any non-empty formula. We expose the faithful
+//!   gadget (with the capacity certificate) *and* a repaired variant
+//!   (`j^c_d` of size 1) whose makespan-4 schedule we construct and verify
+//!   for every satisfying assignment. See DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod reduction;
+pub mod sat;
+
+pub use model::{validate_multi, MultiInstance, MultiJob, MultiValidationError};
+pub use reduction::{Fidelity, Reduction};
+pub use sat::{dpll, Cnf, Lit, Monotone3Sat22};

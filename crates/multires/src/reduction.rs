@@ -1,0 +1,463 @@
+//! The Theorem 23 inapproximability gadget: Monotone 3-SAT-(2,2) →
+//! multi-resource MSRS with makespan 4 (satisfiable) vs 5 (otherwise).
+//!
+//! ## Reproduction finding (erratum)
+//!
+//! The gadget exactly as printed cannot reach makespan 4 for *any* formula:
+//! its total processing time is `9|C| + 7|X|` (clause dummies `3+1`, variable
+//! dummies `2+2`, three unit variable jobs, `j^c_d` of size 2 and three unit
+//! clause jobs), while `2|C| + 2|X|` machines offer only `4·(2|C|+2|X|) =
+//! 8|C| + 8|X|` machine-time units — and `|C| = 4|X|/3 > |X|`, so the load
+//! exceeds the capacity by `|C| − |X| = |X|/3 > 0`. [`Reduction::capacity_deficit`]
+//! exposes the certificate.
+//!
+//! We therefore provide two fidelities:
+//!
+//! * [`Fidelity::Text`] — the gadget verbatim (with `A_{c}` on `jA_c` and
+//!   `p(j^c_d) = 2`); only the always-feasible makespan-5 schedule is
+//!   constructible.
+//! * [`Fidelity::Repaired`] — `p(j^c_d) = 1` and `A_c` anchored on the unit
+//!   dummy `ja_c`; the load becomes `8|C| + 7|X| ≤` capacity and we
+//!   *construct and verify* a makespan-4 schedule from every satisfying
+//!   assignment (with the slot layout documented in the code), preserving
+//!   the theorem's shape: sizes in `{1, 2, 3}`, at most three resources per
+//!   job, `2|C| + 2|X|` machines.
+
+use msrs_core::{Assignment, Schedule, Time};
+
+use crate::model::{MultiInstance, MultiJob};
+use crate::sat::Monotone3Sat22;
+
+/// Which version of the gadget to build (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Exactly the paper's §5 construction.
+    Text,
+    /// The capacity-repaired construction (`p(j^c_d) = 1`).
+    Repaired,
+}
+
+/// Errors from the makespan-4 constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Makespan4Error {
+    /// The text-faithful gadget is over capacity (the erratum): carries
+    /// `(total load, machine-time capacity at makespan 4)`.
+    OverCapacity(Time, Time),
+    /// The supplied assignment does not satisfy the formula.
+    UnsatisfiedClause(usize),
+}
+
+/// The built gadget with all job/machine bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Which fidelity was built.
+    pub fidelity: Fidelity,
+    /// The resulting multi-resource instance (`2|C| + 2|X|` machines).
+    pub instance: MultiInstance,
+    formula: Monotone3Sat22,
+    // job ids
+    ja_big: Vec<usize>,   // jA_i (size 3)
+    ja_small: Vec<usize>, // ja_i (size 1)
+    jb_small: Vec<usize>, // jb_x (size 2)
+    jb_big: Vec<usize>,   // jB_x (size 2)
+    j_pos: Vec<usize>,    // j_x
+    j_neg: Vec<usize>,    // j_x̄
+    j_d: Vec<usize>,      // j_dx
+    clause_d: Vec<usize>, // j^c_d
+    clause_lits: Vec<[usize; 3]>,
+}
+
+impl Reduction {
+    /// Builds the gadget for `formula`.
+    pub fn build(formula: Monotone3Sat22, fidelity: Fidelity) -> Self {
+        let nc = formula.num_clauses();
+        let nx = formula.num_vars();
+        // Resource allocation.
+        let mut next_res = 0usize;
+        let mut fresh = || {
+            let r = next_res;
+            next_res += 1;
+            r
+        };
+        let a_pair: Vec<usize> = (0..nc).map(|_| fresh()).collect();
+        let a_link: Vec<usize> = (0..nc.saturating_sub(1)).map(|_| fresh()).collect();
+        let ab = fresh();
+        let b_pair: Vec<usize> = (0..nx).map(|_| fresh()).collect();
+        let b_link: Vec<usize> = (0..nx.saturating_sub(1)).map(|_| fresh()).collect();
+        let b_var: Vec<usize> = (0..nx).map(|_| fresh()).collect();
+        let x_res: Vec<usize> = (0..nx).map(|_| fresh()).collect();
+        let cc: Vec<usize> = (0..nc).map(|_| fresh()).collect();
+        let ac: Vec<usize> = (0..nc).map(|_| fresh()).collect();
+        let v_res: Vec<[usize; 3]> =
+            (0..nc).map(|_| [fresh(), fresh(), fresh()]).collect();
+
+        let mut jobs: Vec<MultiJob> = Vec::new();
+        let mut push = |size: Time, res: Vec<usize>| -> usize {
+            debug_assert!(res.len() <= 3, "Theorem 23 allows ≤ 3 resources per job");
+            jobs.push(MultiJob::new(size, res));
+            jobs.len() - 1
+        };
+
+        // Clause dummies. The A_c anchor sits on jA_c in the text variant and
+        // on ja_c in the repaired one (see module docs).
+        let mut ja_big = Vec::with_capacity(nc);
+        let mut ja_small = Vec::with_capacity(nc);
+        for i in 0..nc {
+            let mut big_res = vec![a_pair[i]];
+            let mut small_res = vec![a_pair[i]];
+            if i > 0 {
+                big_res.push(a_link[i - 1]);
+            }
+            if i + 1 < nc {
+                small_res.push(a_link[i]);
+            } else {
+                small_res.push(ab);
+            }
+            match fidelity {
+                Fidelity::Text => big_res.push(ac[i]),
+                Fidelity::Repaired => small_res.push(ac[i]),
+            }
+            ja_big.push(push(3, big_res));
+            ja_small.push(push(1, small_res));
+        }
+        // Variable dummies.
+        let mut jb_small = Vec::with_capacity(nx);
+        let mut jb_big = Vec::with_capacity(nx);
+        for x in 0..nx {
+            let mut small_res = vec![b_pair[x]];
+            if x > 0 {
+                small_res.push(b_link[x - 1]);
+            }
+            if x == 0 {
+                small_res.push(ab);
+            }
+            let mut big_res = vec![b_pair[x], b_var[x]];
+            if x + 1 < nx {
+                big_res.push(b_link[x]);
+            }
+            jb_small.push(push(2, small_res));
+            jb_big.push(push(2, big_res));
+        }
+        // Variable jobs: j_x and j_x̄ carry X_x plus the V resources of their
+        // two occurrences; j_dx carries X_x and BVar_x.
+        let mut occ_pos: Vec<Vec<usize>> = vec![Vec::new(); nx];
+        let mut occ_neg: Vec<Vec<usize>> = vec![Vec::new(); nx];
+        for (c, cl) in formula.cnf.clauses.iter().enumerate() {
+            for (slot, lit) in cl.iter().enumerate() {
+                if lit.negated {
+                    occ_neg[lit.var].push(v_res[c][slot]);
+                } else {
+                    occ_pos[lit.var].push(v_res[c][slot]);
+                }
+            }
+        }
+        let mut j_pos = Vec::with_capacity(nx);
+        let mut j_neg = Vec::with_capacity(nx);
+        let mut j_d = Vec::with_capacity(nx);
+        for x in 0..nx {
+            debug_assert_eq!(occ_pos[x].len(), 2, "(2,2) discipline");
+            debug_assert_eq!(occ_neg[x].len(), 2);
+            let mut pr = vec![x_res[x]];
+            pr.extend(&occ_pos[x]);
+            let mut nr = vec![x_res[x]];
+            nr.extend(&occ_neg[x]);
+            j_pos.push(push(1, pr));
+            j_neg.push(push(1, nr));
+            j_d.push(push(1, vec![x_res[x], b_var[x]]));
+        }
+        // Clause jobs.
+        let d_size = match fidelity {
+            Fidelity::Text => 2,
+            Fidelity::Repaired => 1,
+        };
+        let mut clause_d = Vec::with_capacity(nc);
+        let mut clause_lits = Vec::with_capacity(nc);
+        for c in 0..nc {
+            clause_d.push(push(d_size, vec![cc[c], ac[c]]));
+            let lits = [
+                push(1, vec![cc[c], v_res[c][0]]),
+                push(1, vec![cc[c], v_res[c][1]]),
+                push(1, vec![cc[c], v_res[c][2]]),
+            ];
+            clause_lits.push(lits);
+        }
+
+        let machines = 2 * nc + 2 * nx;
+        let instance = MultiInstance::new(machines, jobs);
+        Reduction {
+            fidelity,
+            instance,
+            formula,
+            ja_big,
+            ja_small,
+            jb_small,
+            jb_big,
+            j_pos,
+            j_neg,
+            j_d,
+            clause_d,
+            clause_lits,
+        }
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Monotone3Sat22 {
+        &self.formula
+    }
+
+    fn machine_clause_dummy(&self, c: usize) -> usize {
+        c
+    }
+    fn machine_var_dummy(&self, x: usize) -> usize {
+        self.formula.num_clauses() + x
+    }
+    fn machine_var_assignment(&self, x: usize) -> usize {
+        self.formula.num_clauses() + self.formula.num_vars() + x
+    }
+    fn machine_clause_assignment(&self, c: usize) -> usize {
+        self.formula.num_clauses() + 2 * self.formula.num_vars() + c
+    }
+
+    /// Total load minus machine-time capacity at makespan 4: strictly
+    /// positive for [`Fidelity::Text`] on every non-empty formula (the
+    /// erratum certificate), non-positive for [`Fidelity::Repaired`].
+    pub fn capacity_deficit(&self) -> i64 {
+        let load = self.instance.total_load() as i64;
+        let cap = 4 * self.instance.machines() as i64;
+        load - cap
+    }
+
+    /// The always-feasible makespan-5 schedule (Lemma 24, easy direction).
+    pub fn schedule_makespan5(&self) -> Schedule {
+        let n = self.instance.num_jobs();
+        let mut asg = vec![Assignment { machine: 0, start: 0 }; n];
+        let nc = self.formula.num_clauses();
+        let nx = self.formula.num_vars();
+        // Clause dummies: jA [0,3), ja [3,4).
+        for c in 0..nc {
+            let q = self.machine_clause_dummy(c);
+            asg[self.ja_big[c]] = Assignment { machine: q, start: 0 };
+            asg[self.ja_small[c]] = Assignment { machine: q, start: 3 };
+        }
+        // Variable dummies: jb [0,2), jB [2,4).
+        for x in 0..nx {
+            let q = self.machine_var_dummy(x);
+            asg[self.jb_small[x]] = Assignment { machine: q, start: 0 };
+            asg[self.jb_big[x]] = Assignment { machine: q, start: 2 };
+        }
+        // Variable assignment machines: j_dx [0,1), j_x [3,4), j_x̄ [4,5) —
+        // variable jobs run after every clause literal job, so no V conflict.
+        for x in 0..nx {
+            let q = self.machine_var_assignment(x);
+            asg[self.j_d[x]] = Assignment { machine: q, start: 0 };
+            asg[self.j_pos[x]] = Assignment { machine: q, start: 3 };
+            asg[self.j_neg[x]] = Assignment { machine: q, start: 4 };
+        }
+        // Clause assignment machines: literals [0,1),[1,2),[2,3); j^c_d last
+        // (where it also avoids its A_c anchor).
+        for c in 0..nc {
+            let q = self.machine_clause_assignment(c);
+            for (slot, &lit) in self.clause_lits[c].iter().enumerate() {
+                asg[lit] = Assignment { machine: q, start: slot as Time };
+            }
+            let d_start = match self.fidelity {
+                Fidelity::Text => 3,     // [3,5) avoids jA_c = [0,3)
+                Fidelity::Repaired => 4, // [4,5) avoids ja_c = [3,4)
+            };
+            asg[self.clause_d[c]] = Assignment { machine: q, start: d_start };
+        }
+        Schedule::new(asg)
+    }
+
+    /// The makespan-4 schedule from a satisfying assignment (Lemma 24, hard
+    /// direction). Only constructible for [`Fidelity::Repaired`]; the text
+    /// gadget returns the capacity certificate.
+    pub fn schedule_makespan4(&self, assignment: &[bool]) -> Result<Schedule, Makespan4Error> {
+        if self.fidelity == Fidelity::Text {
+            let load = self.instance.total_load();
+            let cap = 4 * self.instance.machines() as Time;
+            return Err(Makespan4Error::OverCapacity(load, cap));
+        }
+        for (c, cl) in self.formula.cnf.clauses.iter().enumerate() {
+            if !cl.iter().any(|l| l.eval(assignment)) {
+                return Err(Makespan4Error::UnsatisfiedClause(c));
+            }
+        }
+        let n = self.instance.num_jobs();
+        let mut asg = vec![Assignment { machine: 0, start: 0 }; n];
+        let nc = self.formula.num_clauses();
+        let nx = self.formula.num_vars();
+        // Dummies exactly as in the 5-schedule (they fill [0,4) per machine).
+        for c in 0..nc {
+            let q = self.machine_clause_dummy(c);
+            asg[self.ja_big[c]] = Assignment { machine: q, start: 0 };
+            asg[self.ja_small[c]] = Assignment { machine: q, start: 3 };
+        }
+        for x in 0..nx {
+            let q = self.machine_var_dummy(x);
+            asg[self.jb_small[x]] = Assignment { machine: q, start: 0 };
+            asg[self.jb_big[x]] = Assignment { machine: q, start: 2 };
+        }
+        // Variable assignment machines: j_dx [0,1); the TRUE-valued literal's
+        // job at [1,2), the false one at [2,3) (X_x serializes all three).
+        for x in 0..nx {
+            let q = self.machine_var_assignment(x);
+            asg[self.j_d[x]] = Assignment { machine: q, start: 0 };
+            let (first, second) = if assignment[x] {
+                (self.j_pos[x], self.j_neg[x])
+            } else {
+                (self.j_neg[x], self.j_pos[x])
+            };
+            asg[first] = Assignment { machine: q, start: 1 };
+            asg[second] = Assignment { machine: q, start: 2 };
+        }
+        // Clause assignment machines: serialize {j^c_d, ℓ1, ℓ2, ℓ3} into the
+        // unit slots of [0,4) such that
+        //   * j^c_d avoids [3,4) (its A_c anchor ja_c sits there), and
+        //   * a TRUE literal job avoids [1,2) (where its variable job runs),
+        //     a FALSE literal job avoids [2,3).
+        for (c, cl) in self.formula.cnf.clauses.iter().enumerate() {
+            let q = self.machine_clause_assignment(c);
+            let truth: Vec<bool> = cl.iter().map(|l| l.eval(assignment)).collect();
+            let t = truth.iter().filter(|&&b| b).count();
+            debug_assert!(t >= 1, "clause satisfied was checked");
+            // Slot plan by the number of true literals.
+            let mut order: Vec<usize> = (0..3).collect();
+            order.sort_by_key(|&i| !truth[i]); // true literals first
+            let (d_slot, lit_slots): (Time, [Time; 3]) = match t {
+                1 => (2, [3, 0, 1]),          // true→[3,4); falses→[0,1),[1,2)
+                2 => (2, [3, 0, 1]),          // trues→[3,4),[0,1); false→[1,2)
+                _ => (1, [0, 2, 3]),          // all true → d at [1,2)
+            };
+            asg[self.clause_d[c]] = Assignment { machine: q, start: d_slot };
+            for (rank, &i) in order.iter().enumerate() {
+                asg[self.clause_lits[c][i]] =
+                    Assignment { machine: q, start: lit_slots[rank] };
+            }
+        }
+        Ok(Schedule::new(asg))
+    }
+
+    /// Reads the encoded assignment back out of a schedule: `x` is true iff
+    /// `j_x` starts before `j_x̄` (Lemma 24's decoding).
+    pub fn extract_assignment(&self, schedule: &Schedule) -> Vec<bool> {
+        (0..self.formula.num_vars())
+            .map(|x| {
+                schedule.assignment(self.j_pos[x]).start
+                    < schedule.assignment(self.j_neg[x]).start
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{validate_multi, MultiMakespan};
+    use crate::sat::dpll;
+
+    fn formulas() -> Vec<Monotone3Sat22> {
+        (0..8u64)
+            .flat_map(|seed| [3usize, 6, 9].map(|nv| Monotone3Sat22::random(seed, nv)))
+            .collect()
+    }
+
+    #[test]
+    fn gadget_shape_matches_theorem() {
+        for f in formulas() {
+            let nc = f.num_clauses();
+            let nx = f.num_vars();
+            for fidelity in [Fidelity::Text, Fidelity::Repaired] {
+                let r = Reduction::build(f.clone(), fidelity);
+                assert_eq!(r.instance.machines(), 2 * nc + 2 * nx);
+                assert!(r.instance.max_resources_per_job() <= 3);
+                assert!(r
+                    .instance
+                    .jobs()
+                    .iter()
+                    .all(|j| (1..=3).contains(&j.size)));
+            }
+        }
+    }
+
+    #[test]
+    fn text_gadget_is_over_capacity() {
+        for f in formulas() {
+            let nc = f.num_clauses() as i64;
+            let nx = f.num_vars() as i64;
+            let r = Reduction::build(f, Fidelity::Text);
+            // Erratum certificate: deficit = |C| − |X| = |X|/3 > 0.
+            assert_eq!(r.capacity_deficit(), nc - nx);
+            assert!(r.capacity_deficit() > 0);
+            assert!(matches!(
+                r.schedule_makespan4(&[true; 3]),
+                Err(Makespan4Error::OverCapacity(_, _))
+            ));
+        }
+    }
+
+    #[test]
+    fn repaired_gadget_fits_capacity() {
+        for f in formulas() {
+            let r = Reduction::build(f, Fidelity::Repaired);
+            assert!(r.capacity_deficit() <= 0);
+        }
+    }
+
+    #[test]
+    fn makespan5_schedule_is_always_valid() {
+        for f in formulas() {
+            for fidelity in [Fidelity::Text, Fidelity::Repaired] {
+                let r = Reduction::build(f.clone(), fidelity);
+                let s = r.schedule_makespan5();
+                assert_eq!(validate_multi(&r.instance, &s), Ok(()), "{fidelity:?}");
+                assert_eq!(s.makespan_multi(&r.instance), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan4_from_satisfying_assignment() {
+        let mut tested = 0;
+        for f in formulas() {
+            let Some(asg) = dpll(&f.cnf) else { continue };
+            let r = Reduction::build(f, Fidelity::Repaired);
+            let s = r.schedule_makespan4(&asg).expect("satisfying assignment");
+            assert_eq!(validate_multi(&r.instance, &s), Ok(()));
+            assert_eq!(s.makespan_multi(&r.instance), 4);
+            // Round trip: the schedule encodes the assignment.
+            assert_eq!(r.extract_assignment(&s), asg);
+            tested += 1;
+        }
+        assert!(tested >= 5, "too few satisfiable formulas sampled: {tested}");
+    }
+
+    #[test]
+    fn makespan4_rejects_bad_assignment() {
+        // Find a formula and an assignment violating some clause.
+        for f in formulas() {
+            let nv = f.num_vars();
+            let r = Reduction::build(f.clone(), Fidelity::Repaired);
+            let all_false = vec![false; nv];
+            if !f.cnf.is_satisfied_by(&all_false) {
+                assert!(matches!(
+                    r.schedule_makespan4(&all_false),
+                    Err(Makespan4Error::UnsatisfiedClause(_))
+                ));
+                return;
+            }
+        }
+        panic!("every sampled formula satisfied by all-false?");
+    }
+
+    #[test]
+    fn extraction_from_five_schedule_is_all_false() {
+        // In the 5-schedule j_x [3,4) precedes j_x̄ [4,5): extraction reads
+        // all-true; just pin the decoding convention.
+        let f = Monotone3Sat22::random(1, 6);
+        let r = Reduction::build(f, Fidelity::Repaired);
+        let s = r.schedule_makespan5();
+        let asg = r.extract_assignment(&s);
+        assert!(asg.iter().all(|&b| b));
+    }
+}

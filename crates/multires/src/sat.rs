@@ -1,0 +1,400 @@
+//! SAT substrate: CNF formulas, a DPLL solver, and the Monotone 3-SAT-(2,2)
+//! discipline of Darmann & Döcker used by the Theorem 23 reduction.
+//!
+//! Monotone 3-SAT-(2,2): every clause has exactly three distinct literals and
+//! is either all-positive or all-negative; every literal (each of `x` and
+//! `¬x`) appears in exactly two clauses — hence `|X|` is divisible by 3 and
+//! `|C| = 4|X|/3`.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for `¬x`.
+    pub negated: bool,
+}
+
+impl Lit {
+    /// Positive literal `x`.
+    pub fn pos(var: usize) -> Self {
+        Lit { var, negated: false }
+    }
+
+    /// Negative literal `¬x`.
+    pub fn neg(var: usize) -> Self {
+        Lit { var, negated: true }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, asg: &[bool]) -> bool {
+        asg[self.var] ^ self.negated
+    }
+}
+
+/// A CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Whether `asg` satisfies every clause.
+    pub fn is_satisfied_by(&self, asg: &[bool]) -> bool {
+        assert_eq!(asg.len(), self.num_vars);
+        self.clauses.iter().all(|cl| cl.iter().any(|l| l.eval(asg)))
+    }
+}
+
+/// DPLL with unit propagation and pure-literal elimination. Returns a
+/// satisfying assignment or `None`.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum V {
+        Unset,
+        True,
+        False,
+    }
+    fn solve(cnf: &Cnf, asg: &mut Vec<V>) -> bool {
+        // Unit propagation + pure literals, to fixpoint.
+        loop {
+            let mut changed = false;
+            let mut polarity: Vec<(bool, bool)> = vec![(false, false); cnf.num_vars];
+            for cl in &cnf.clauses {
+                let mut satisfied = false;
+                let mut unassigned: Option<Lit> = None;
+                let mut count = 0;
+                for l in cl {
+                    match (asg[l.var], l.negated) {
+                        (V::True, false) | (V::False, true) => satisfied = true,
+                        (V::Unset, _) => {
+                            unassigned = Some(*l);
+                            count += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match count {
+                    0 => return false, // conflict
+                    1 => {
+                        let l = unassigned.expect("count == 1");
+                        asg[l.var] = if l.negated { V::False } else { V::True };
+                        changed = true;
+                    }
+                    _ => {
+                        for l in cl {
+                            if asg[l.var] == V::Unset {
+                                if l.negated {
+                                    polarity[l.var].1 = true;
+                                } else {
+                                    polarity[l.var].0 = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if changed {
+                continue;
+            }
+            // Pure literals (appearing with one polarity in open clauses).
+            let mut pure_set = false;
+            for (v, &(pos, neg)) in polarity.iter().enumerate() {
+                if asg[v] == V::Unset && (pos ^ neg) {
+                    asg[v] = if pos { V::True } else { V::False };
+                    pure_set = true;
+                }
+            }
+            if !pure_set {
+                break;
+            }
+        }
+        // All clauses satisfied?
+        let open = cnf.clauses.iter().any(|cl| {
+            !cl.iter().any(|l| matches!(
+                (asg[l.var], l.negated),
+                (V::True, false) | (V::False, true)
+            ))
+        });
+        if !open {
+            return true;
+        }
+        // Branch on the first unset variable.
+        let Some(v) = (0..cnf.num_vars).find(|&v| asg[v] == V::Unset) else {
+            return false;
+        };
+        for value in [V::True, V::False] {
+            let mut trial = asg.clone();
+            trial[v] = value;
+            if solve(cnf, &mut trial) {
+                *asg = trial;
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut asg = vec![V::Unset; cnf.num_vars];
+    if solve(cnf, &mut asg) {
+        Some(asg.iter().map(|&v| v == V::True).collect())
+    } else {
+        None
+    }
+}
+
+/// A formula obeying the Monotone 3-SAT-(2,2) discipline.
+#[derive(Debug, Clone)]
+pub struct Monotone3Sat22 {
+    /// The underlying CNF (positive clauses first, then negative).
+    pub cnf: Cnf,
+    /// Number of all-positive clauses.
+    pub num_positive: usize,
+}
+
+impl Monotone3Sat22 {
+    /// Checks the discipline: monotone clauses of exactly three distinct
+    /// variables; every literal appears exactly twice.
+    pub fn check(cnf: &Cnf) -> Result<(), String> {
+        let mut pos_count = vec![0usize; cnf.num_vars];
+        let mut neg_count = vec![0usize; cnf.num_vars];
+        for (i, cl) in cnf.clauses.iter().enumerate() {
+            if cl.len() != 3 {
+                return Err(format!("clause {i} has {} literals", cl.len()));
+            }
+            let mut vars: Vec<usize> = cl.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            if vars.len() != 3 {
+                return Err(format!("clause {i} repeats a variable"));
+            }
+            let negs = cl.iter().filter(|l| l.negated).count();
+            if negs != 0 && negs != 3 {
+                return Err(format!("clause {i} is not monotone"));
+            }
+            for l in cl {
+                if l.negated {
+                    neg_count[l.var] += 1;
+                } else {
+                    pos_count[l.var] += 1;
+                }
+            }
+        }
+        for v in 0..cnf.num_vars {
+            if pos_count[v] != 2 || neg_count[v] != 2 {
+                return Err(format!(
+                    "variable {v} occurs {}+ / {}−, expected 2/2",
+                    pos_count[v], neg_count[v]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wraps a formula after checking the discipline.
+    pub fn new(cnf: Cnf) -> Result<Self, String> {
+        Self::check(&cnf)?;
+        let num_positive =
+            cnf.clauses.iter().filter(|cl| !cl[0].negated).count();
+        Ok(Monotone3Sat22 { cnf, num_positive })
+    }
+
+    /// Number of variables `|X|`.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars
+    }
+
+    /// Number of clauses `|C| = 4|X|/3`.
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.clauses.len()
+    }
+
+    /// Random instance with `num_vars` variables (must be divisible by 3):
+    /// two copies of every variable are shuffled and chunked into monotone
+    /// triples, with local swaps to remove duplicate variables in a clause.
+    pub fn random(seed: u64, num_vars: usize) -> Self {
+        assert!(num_vars >= 3 && num_vars.is_multiple_of(3), "need |X| ≥ 3 divisible by 3");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let build_side = |rng: &mut ChaCha8Rng, negated: bool| -> Vec<Vec<Lit>> {
+            loop {
+                let mut pool: Vec<usize> =
+                    (0..num_vars).flat_map(|v| [v, v]).collect();
+                pool.shuffle(rng);
+                // Repair duplicates within chunks by swapping with later
+                // elements; retry wholesale if stuck.
+                let mut ok = true;
+                for chunk_start in (0..pool.len()).step_by(3) {
+                    for i in 0..3 {
+                        let idx = chunk_start + i;
+                        let dup = (chunk_start..idx).any(|k| pool[k] == pool[idx]);
+                        if dup {
+                            let swap = (chunk_start + 3..pool.len()).find(|&k| {
+                                let cand = pool[k];
+                                !(chunk_start..chunk_start + 3)
+                                    .filter(|&t| t != idx)
+                                    .any(|t| pool[t] == cand)
+                                    && !(k - (k - chunk_start) % 3..k)
+                                        .any(|t| pool[t] == pool[idx])
+                            });
+                            match swap {
+                                Some(k) => pool.swap(idx, k),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                // Final sanity: distinct triples.
+                let clauses: Vec<Vec<Lit>> = pool
+                    .chunks(3)
+                    .map(|ch| {
+                        ch.iter()
+                            .map(|&v| if negated { Lit::neg(v) } else { Lit::pos(v) })
+                            .collect()
+                    })
+                    .collect();
+                if clauses.iter().all(|cl| {
+                    cl[0].var != cl[1].var && cl[0].var != cl[2].var && cl[1].var != cl[2].var
+                }) {
+                    return clauses;
+                }
+            }
+        };
+        let mut clauses = build_side(&mut rng, false);
+        clauses.extend(build_side(&mut rng, true));
+        let cnf = Cnf { num_vars, clauses };
+        Self::new(cnf).expect("generator obeys the discipline")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+        for mask in 0u32..(1 << cnf.num_vars) {
+            let asg: Vec<bool> = (0..cnf.num_vars).map(|v| mask >> v & 1 == 1).collect();
+            if cnf.is_satisfied_by(&asg) {
+                return Some(asg);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn dpll_solves_simple_formulas() {
+        // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ z)
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+            ],
+        };
+        let asg = dpll(&cnf).expect("satisfiable");
+        assert!(cnf.is_satisfied_by(&asg));
+    }
+
+    #[test]
+    fn dpll_detects_unsat() {
+        // x ∧ ¬x
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        };
+        assert!(dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn dpll_matches_brute_force_on_random_formulas() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..200 {
+            let num_vars = rng.random_range(1..=8usize);
+            let num_clauses = rng.random_range(1..=12usize);
+            let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+                .map(|_| {
+                    let len = rng.random_range(1..=3usize);
+                    (0..len)
+                        .map(|_| Lit {
+                            var: rng.random_range(0..num_vars),
+                            negated: rng.random_bool(0.5),
+                        })
+                        .collect()
+                })
+                .collect();
+            let cnf = Cnf { num_vars, clauses };
+            let d = dpll(&cnf);
+            let b = brute_force_sat(&cnf);
+            assert_eq!(d.is_some(), b.is_some(), "disagreement on {cnf:?}");
+            if let Some(asg) = d {
+                assert!(cnf.is_satisfied_by(&asg));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_obeys_discipline() {
+        for seed in 0..20u64 {
+            for nv in [3usize, 6, 9, 12] {
+                let f = Monotone3Sat22::random(seed, nv);
+                assert_eq!(Monotone3Sat22::check(&f.cnf), Ok(()));
+                assert_eq!(f.num_clauses(), 4 * nv / 3);
+                assert_eq!(f.num_positive, 2 * nv / 3);
+            }
+        }
+    }
+
+    #[test]
+    fn discipline_check_rejects_violations() {
+        // Non-monotone clause.
+        let bad = Cnf {
+            num_vars: 3,
+            clauses: vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]],
+        };
+        assert!(Monotone3Sat22::check(&bad).is_err());
+        // Wrong occurrence counts.
+        let bad2 = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
+            ],
+        };
+        assert!(Monotone3Sat22::check(&bad2).is_err());
+    }
+
+    #[test]
+    fn canonical_small_instance_is_satisfiable() {
+        // |X| = 3: the doubled positive/negative triangle, satisfiable by
+        // any mixed assignment.
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
+            ],
+        };
+        let f = Monotone3Sat22::new(cnf).expect("discipline holds");
+        let asg = dpll(&f.cnf).expect("satisfiable");
+        assert!(f.cnf.is_satisfied_by(&asg));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the multi-resource extension: the greedy scheduler is
+//! always valid, the validator is exact, and the reduction constructions
+//! hold across random formulas.
+
+use msrs_multires::model::{greedy_multi, MultiMakespan};
+use msrs_multires::{
+    dpll, validate_multi, Fidelity, Monotone3Sat22, MultiInstance, MultiJob, Reduction,
+};
+use proptest::prelude::*;
+
+fn arb_multi_instance() -> impl Strategy<Value = MultiInstance> {
+    (
+        1usize..=4,
+        prop::collection::vec(
+            (0u64..=12, prop::collection::vec(0usize..8, 1..=3)),
+            1..=12,
+        ),
+    )
+        .prop_map(|(m, jobs)| {
+            let jobs = jobs
+                .into_iter()
+                .map(|(size, mut res)| {
+                    res.sort_unstable();
+                    res.dedup();
+                    MultiJob::new(size, res)
+                })
+                .collect();
+            MultiInstance::new(m, jobs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn greedy_multi_always_valid(inst in arb_multi_instance()) {
+        let s = greedy_multi(&inst);
+        prop_assert_eq!(validate_multi(&inst, &s), Ok(()));
+        // Trivial area bound.
+        let lb = inst.total_load().div_ceil(inst.machines() as u64);
+        prop_assert!(s.makespan_multi(&inst) >= lb || inst.total_load() == 0);
+    }
+
+    #[test]
+    fn greedy_respects_resource_serialization(inst in arb_multi_instance()) {
+        // Jobs sharing resource 0 must serialize: makespan ≥ their total.
+        let s = greedy_multi(&inst);
+        let contended: u64 = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.resources.contains(&0))
+            .map(|j| j.size)
+            .sum();
+        prop_assert!(s.makespan_multi(&inst) >= contended);
+    }
+
+    #[test]
+    fn reduction_constructions_hold(seed in 0u64..200, nx_pick in 0usize..3) {
+        let nx = [3usize, 6, 9][nx_pick];
+        let f = Monotone3Sat22::random(seed, nx);
+        let red = Reduction::build(f.clone(), Fidelity::Repaired);
+        let s5 = red.schedule_makespan5();
+        prop_assert_eq!(validate_multi(&red.instance, &s5), Ok(()));
+        prop_assert_eq!(s5.makespan_multi(&red.instance), 5);
+        if let Some(asg) = dpll(&f.cnf) {
+            let s4 = red.schedule_makespan4(&asg).expect("satisfying");
+            prop_assert_eq!(validate_multi(&red.instance, &s4), Ok(()));
+            prop_assert_eq!(s4.makespan_multi(&red.instance), 4);
+            prop_assert_eq!(red.extract_assignment(&s4), asg);
+        }
+        // Erratum certificate on the text gadget.
+        let text = Reduction::build(f, Fidelity::Text);
+        prop_assert_eq!(text.capacity_deficit(), (nx / 3) as i64);
+    }
+}

@@ -1,0 +1,617 @@
+//! # msrs-nfold — generalized N-fold integer programming machinery
+//!
+//! The approximation schemes of the paper (§4) formulate the layered-schedule
+//! problem as a *module configuration IP* and invoke N-fold integer
+//! programming (Cslovjecsek et al., Theorem 22) as the solver oracle. This
+//! crate reproduces that machinery as a working substrate:
+//!
+//! * [`NFoldIP`] — the block-structured program
+//!   `min cᵀx  s.t.  Σᵢ Aᵢ xᵢ = b⁰,  Bᵢ xᵢ = bⁱ,  ℓ ≤ x ≤ u,  x ∈ ℤ^{Nt}`;
+//! * [`NFoldIP::solve_bb`] — a direct branch-and-bound reference solver
+//!   (complete; exponential, intended for small programs and as ground truth);
+//! * [`NFoldIP::solve_augmentation`] — the augmentation solver of the N-fold
+//!   literature: starting from a feasible point it repeatedly finds a
+//!   cost-improving step `z` with `Bᵢ zᵢ = 0` and `Σᵢ Aᵢ zᵢ = 0` via a
+//!   **dynamic program over bricks** whose state is the bounded partial sum
+//!   of the globally coupled rows — exactly the structure behind the
+//!   `2^{O(rs²)}(rs∆)^{O(r²s+s²)}` bounds the paper cites. With the default
+//!   (safe) step box the candidate set contains `x* − x` for any improving
+//!   `x*`, so augmentation provably terminates at an optimum; smaller boxes
+//!   trade completeness for speed, as in the theory.
+//!
+//! The crate is self-contained (no scheduling types); `msrs-ptas` builds the
+//! paper's IP (constraints (1)–(4)) on top of it, and the test-suite
+//! cross-validates the two solvers on randomized programs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A dense row-major integer matrix.
+pub type Matrix = Vec<Vec<i64>>;
+
+/// One candidate augmentation move of a single block:
+/// `(z, A·z contribution, cost)`.
+type LocalMove = (Vec<i64>, Vec<i64>, i64);
+
+/// A generalized N-fold integer program.
+///
+/// Block `i` owns `t` variables `xᵢ ∈ ℤᵗ` with bounds `lower[i] ≤ xᵢ ≤
+/// upper[i]`, local constraints `Bᵢ xᵢ = rhs_local[i]` (`s` rows), and all
+/// blocks are coupled by `Σᵢ Aᵢ xᵢ = rhs_global` (`r` rows).
+#[derive(Debug, Clone)]
+pub struct NFoldIP {
+    /// Globally coupled rows `r`.
+    pub r: usize,
+    /// Local rows per block `s`.
+    pub s: usize,
+    /// Variables per block `t`.
+    pub t: usize,
+    /// Per-block global coupling matrices `Aᵢ` (`r × t`).
+    pub a: Vec<Matrix>,
+    /// Per-block local matrices `Bᵢ` (`s × t`).
+    pub b: Vec<Matrix>,
+    /// Global right-hand side (`r`).
+    pub rhs_global: Vec<i64>,
+    /// Local right-hand sides (`N × s`).
+    pub rhs_local: Vec<Vec<i64>>,
+    /// Per-block lower bounds (`N × t`).
+    pub lower: Vec<Vec<i64>>,
+    /// Per-block upper bounds (`N × t`).
+    pub upper: Vec<Vec<i64>>,
+    /// Per-block costs (`N × t`), minimized.
+    pub cost: Vec<Vec<i64>>,
+}
+
+/// A solution: per-block variable assignments and the objective value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// `x[i][j]` = value of variable `j` of block `i`.
+    pub x: Vec<Vec<i64>>,
+    /// `cᵀx`.
+    pub objective: i64,
+}
+
+/// Search limits for the reference solver.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of DFS nodes.
+    pub max_nodes: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_nodes: 50_000_000 }
+    }
+}
+
+fn dot(row: &[i64], x: &[i64]) -> i64 {
+    row.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+impl NFoldIP {
+    /// Number of blocks `N`.
+    pub fn blocks(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Validates the shape of all matrices and vectors; call after manual
+    /// construction. Panics with a description on shape mismatch.
+    pub fn assert_shape(&self) {
+        let n = self.blocks();
+        assert_eq!(self.b.len(), n);
+        assert_eq!(self.rhs_local.len(), n);
+        assert_eq!(self.lower.len(), n);
+        assert_eq!(self.upper.len(), n);
+        assert_eq!(self.cost.len(), n);
+        assert_eq!(self.rhs_global.len(), self.r);
+        for i in 0..n {
+            assert_eq!(self.a[i].len(), self.r, "A[{i}] row count");
+            assert!(self.a[i].iter().all(|row| row.len() == self.t));
+            assert_eq!(self.b[i].len(), self.s, "B[{i}] row count");
+            assert!(self.b[i].iter().all(|row| row.len() == self.t));
+            assert_eq!(self.rhs_local[i].len(), self.s);
+            assert_eq!(self.lower[i].len(), self.t);
+            assert_eq!(self.upper[i].len(), self.t);
+            assert_eq!(self.cost[i].len(), self.t);
+            assert!(self.lower[i].iter().zip(&self.upper[i]).all(|(l, u)| l <= u));
+        }
+    }
+
+    /// Objective `cᵀx`.
+    pub fn objective(&self, x: &[Vec<i64>]) -> i64 {
+        x.iter().zip(&self.cost).map(|(xi, ci)| dot(ci, xi)).sum()
+    }
+
+    /// Checks feasibility of `x` exactly.
+    pub fn is_feasible(&self, x: &[Vec<i64>]) -> bool {
+        if x.len() != self.blocks() {
+            return false;
+        }
+        for (i, xi) in x.iter().enumerate() {
+            if xi.len() != self.t {
+                return false;
+            }
+            if xi
+                .iter()
+                .zip(self.lower[i].iter().zip(&self.upper[i]))
+                .any(|(v, (l, u))| v < l || v > u)
+            {
+                return false;
+            }
+            for (row, rhs) in self.b[i].iter().zip(&self.rhs_local[i]) {
+                if dot(row, xi) != *rhs {
+                    return false;
+                }
+            }
+        }
+        for (k, rhs) in self.rhs_global.iter().enumerate() {
+            let sum: i64 = x.iter().enumerate().map(|(i, xi)| dot(&self.a[i][k], xi)).sum();
+            if sum != *rhs {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Direct branch-and-bound over the flattened variables: complete
+    /// optimization (or pure feasibility with `optimize = false`). Returns
+    /// `None` if infeasible, `Err`-like `None` on node exhaustion is
+    /// distinguished via [`BbOutcome`].
+    pub fn solve_bb(&self, limits: Limits) -> BbOutcome {
+        self.assert_shape();
+        let n = self.blocks();
+        // Precompute per-variable min/max contributions for pruning.
+        let mut state = BbState {
+            ip: self,
+            x: vec![vec![0; self.t]; n],
+            best: None,
+            nodes: 0,
+            max_nodes: limits.max_nodes,
+            overflow: false,
+            global_partial: self.rhs_global.clone(),
+        };
+        state.dfs(0, 0);
+        if state.overflow {
+            return BbOutcome::NodeBudgetExhausted;
+        }
+        match state.best {
+            Some((objective, x)) => BbOutcome::Optimal(Solution { x, objective }),
+            None => BbOutcome::Infeasible,
+        }
+    }
+
+    /// The N-fold augmentation solver. Starting from `start` (must be
+    /// feasible), repeatedly finds an improving step via the brick DP and
+    /// applies it with the maximal step length. `step_box` bounds the per
+    /// coordinate magnitude of candidate steps (`None` = the full variable
+    /// range, which makes the procedure complete); smaller values mirror the
+    /// Graver-norm truncation of the theory.
+    ///
+    /// Returns the reached solution (an optimum when `step_box` is `None`).
+    pub fn solve_augmentation(&self, start: Vec<Vec<i64>>, step_box: Option<i64>) -> Solution {
+        self.assert_shape();
+        assert!(self.is_feasible(&start), "augmentation requires a feasible start");
+        let mut x = start;
+        let gamma = step_box.unwrap_or_else(|| {
+            (0..self.blocks())
+                .flat_map(|i| (0..self.t).map(move |j| (i, j)))
+                .map(|(i, j)| self.upper[i][j] - self.lower[i][j])
+                .max()
+                .unwrap_or(0)
+        });
+        loop {
+            match self.find_improving_step(&x, gamma) {
+                Some(step) => {
+                    // Maximal step length keeping bounds (equalities are
+                    // preserved automatically since A·step = 0, B·step = 0).
+                    let mut lambda = i64::MAX;
+                    for i in 0..self.blocks() {
+                        for j in 0..self.t {
+                            let z = step[i][j];
+                            match z.cmp(&0) {
+                                std::cmp::Ordering::Greater => {
+                                    lambda =
+                                        lambda.min((self.upper[i][j] - x[i][j]) / z);
+                                }
+                                std::cmp::Ordering::Less => {
+                                    lambda =
+                                        lambda.min((x[i][j] - self.lower[i][j]) / (-z));
+                                }
+                                std::cmp::Ordering::Equal => {}
+                            }
+                        }
+                    }
+                    debug_assert!(lambda >= 1);
+                    for (xi, si) in x.iter_mut().zip(&step) {
+                        for (xv, sv) in xi.iter_mut().zip(si) {
+                            *xv += lambda * sv;
+                        }
+                    }
+                    debug_assert!(self.is_feasible(&x));
+                }
+                None => {
+                    let objective = self.objective(&x);
+                    return Solution { x, objective };
+                }
+            }
+        }
+    }
+
+    /// Enumerate the local kernel moves of block `i`: all `z ∈ [-γ, γ]ᵗ`
+    /// with `Bᵢ z = 0` and `x + z` within bounds, together with their cost
+    /// and global contribution `Aᵢ z`.
+    fn local_moves(&self, i: usize, x: &[i64], gamma: i64) -> Vec<LocalMove> {
+        let mut out = Vec::new();
+        let mut z = vec![0i64; self.t];
+        self.local_moves_rec(i, x, gamma, 0, &mut z, &mut out);
+        out
+    }
+
+    fn local_moves_rec(
+        &self,
+        i: usize,
+        x: &[i64],
+        gamma: i64,
+        j: usize,
+        z: &mut Vec<i64>,
+        out: &mut Vec<LocalMove>,
+    ) {
+        if j == self.t {
+            if self.b[i].iter().all(|row| dot(row, z) == 0) {
+                let contrib: Vec<i64> =
+                    (0..self.r).map(|k| dot(&self.a[i][k], z)).collect();
+                let cost = dot(&self.cost[i], z);
+                out.push((z.clone(), contrib, cost));
+            }
+            return;
+        }
+        let lo = (-gamma).max(self.lower[i][j] - x[j]);
+        let hi = gamma.min(self.upper[i][j] - x[j]);
+        for v in lo..=hi {
+            z[j] = v;
+            self.local_moves_rec(i, x, gamma, j + 1, z, out);
+        }
+        z[j] = 0;
+    }
+
+    /// The brick DP: find a step `z` with `Σᵢ Aᵢ zᵢ = 0`, `Bᵢ zᵢ = 0`,
+    /// `x + z` in bounds and `cᵀz < 0`, minimizing `cᵀz` per partial-sum
+    /// state. Returns `None` when no improving step exists within `γ`.
+    fn find_improving_step(&self, x: &[Vec<i64>], gamma: i64) -> Option<Vec<Vec<i64>>> {
+        type State = Vec<i64>;
+        // dp: partial global sum → (cost, per-block choices index trail)
+        let mut dp: HashMap<State, (i64, Vec<usize>)> = HashMap::new();
+        dp.insert(vec![0; self.r], (0, Vec::new()));
+        let mut all_moves: Vec<Vec<LocalMove>> = Vec::new();
+        for (i, xi) in x.iter().enumerate() {
+            let moves = self.local_moves(i, xi, gamma);
+            let mut next: HashMap<State, (i64, Vec<usize>)> = HashMap::new();
+            for (state, (cost, trail)) in &dp {
+                for (mi, (_, contrib, mcost)) in moves.iter().enumerate() {
+                    let mut ns = state.clone();
+                    for (a, c) in ns.iter_mut().zip(contrib) {
+                        *a += c;
+                    }
+                    let ncost = cost + mcost;
+                    let entry = next.entry(ns).or_insert((i64::MAX, Vec::new()));
+                    if ncost < entry.0 {
+                        let mut nt = trail.clone();
+                        nt.push(mi);
+                        *entry = (ncost, nt);
+                    }
+                }
+            }
+            all_moves.push(moves);
+            dp = next;
+        }
+        let zero = vec![0i64; self.r];
+        let (cost, trail) = dp.get(&zero)?;
+        if *cost >= 0 {
+            return None;
+        }
+        let step: Vec<Vec<i64>> = trail
+            .iter()
+            .enumerate()
+            .map(|(i, &mi)| all_moves[i][mi].0.clone())
+            .collect();
+        Some(step)
+    }
+
+    /// Finds *some* feasible solution via the reference search (minimizing
+    /// nothing), handy as an augmentation start.
+    pub fn any_feasible(&self, limits: Limits) -> Option<Vec<Vec<i64>>> {
+        let mut zeroed = self.clone();
+        for c in &mut zeroed.cost {
+            c.fill(0);
+        }
+        match zeroed.solve_bb(limits) {
+            BbOutcome::Optimal(s) => Some(s.x),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of the reference branch-and-bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BbOutcome {
+    /// Proven optimum.
+    Optimal(Solution),
+    /// Proven infeasible.
+    Infeasible,
+    /// Node budget exhausted before a proof.
+    NodeBudgetExhausted,
+}
+
+impl BbOutcome {
+    /// The solution, if optimal.
+    pub fn optimal(self) -> Option<Solution> {
+        match self {
+            BbOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct BbState<'a> {
+    ip: &'a NFoldIP,
+    x: Vec<Vec<i64>>,
+    best: Option<(i64, Vec<Vec<i64>>)>,
+    nodes: u64,
+    max_nodes: u64,
+    overflow: bool,
+    /// Remaining global rhs (rhs_global − A·(assigned prefix)).
+    global_partial: Vec<i64>,
+}
+
+impl BbState<'_> {
+    /// Remaining-range reachability check for the global rows plus the local
+    /// rows of the current block; prunes impossible prefixes.
+    fn can_reach(&self, block: usize, var: usize) -> bool {
+        let ip = self.ip;
+        // Global rows: can the remaining variables bridge the residual?
+        for k in 0..ip.r {
+            let mut min_rest = 0i64;
+            let mut max_rest = 0i64;
+            for i in block..ip.blocks() {
+                let j0 = if i == block { var } else { 0 };
+                for j in j0..ip.t {
+                    let a = ip.a[i][k][j];
+                    let (lo, hi) = (ip.lower[i][j], ip.upper[i][j]);
+                    if a >= 0 {
+                        min_rest += a * lo;
+                        max_rest += a * hi;
+                    } else {
+                        min_rest += a * hi;
+                        max_rest += a * lo;
+                    }
+                }
+            }
+            let need = self.global_partial[k];
+            if need < min_rest || need > max_rest {
+                return false;
+            }
+        }
+        // Local rows of the current block.
+        if block < ip.blocks() {
+            for (row, rhs) in ip.b[block].iter().zip(&ip.rhs_local[block]) {
+                let assigned: i64 = (0..var).map(|j| row[j] * self.x[block][j]).sum();
+                let mut min_rest = 0i64;
+                let mut max_rest = 0i64;
+                for (j, &a) in row.iter().enumerate().take(ip.t).skip(var) {
+                    let (lo, hi) = (ip.lower[block][j], ip.upper[block][j]);
+                    if a >= 0 {
+                        min_rest += a * lo;
+                        max_rest += a * hi;
+                    } else {
+                        min_rest += a * hi;
+                        max_rest += a * lo;
+                    }
+                }
+                let need = rhs - assigned;
+                if need < min_rest || need > max_rest {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn cost_lower_bound(&self, block: usize, var: usize) -> i64 {
+        let ip = self.ip;
+        let mut assigned = 0i64;
+        for i in 0..ip.blocks() {
+            for j in 0..ip.t {
+                if i < block || (i == block && j < var) {
+                    assigned += ip.cost[i][j] * self.x[i][j];
+                }
+            }
+        }
+        let mut rest = 0i64;
+        for i in block..ip.blocks() {
+            let j0 = if i == block { var } else { 0 };
+            for j in j0..ip.t {
+                let c = ip.cost[i][j];
+                rest += if c >= 0 { c * ip.lower[i][j] } else { c * ip.upper[i][j] };
+            }
+        }
+        assigned + rest
+    }
+
+    fn dfs(&mut self, block: usize, var: usize) {
+        if self.overflow {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.overflow = true;
+            return;
+        }
+        let ip = self.ip;
+        if block == ip.blocks() {
+            // All assigned; global_partial must be zero (checked by pruning,
+            // but verify exactly).
+            if self.global_partial.iter().all(|&v| v == 0) {
+                let obj = ip.objective(&self.x);
+                if self.best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                    self.best = Some((obj, self.x.clone()));
+                }
+            }
+            return;
+        }
+        let (nb, nv) = if var + 1 == ip.t { (block + 1, 0) } else { (block, var + 1) };
+        if !self.can_reach(block, var) {
+            return;
+        }
+        if let Some((b, _)) = &self.best {
+            if self.cost_lower_bound(block, var) >= *b {
+                return;
+            }
+        }
+        let block_completes = var + 1 == ip.t;
+        for v in ip.lower[block][var]..=ip.upper[block][var] {
+            self.x[block][var] = v;
+            for k in 0..ip.r {
+                self.global_partial[k] -= ip.a[block][k][var] * v;
+            }
+            // Exact local-row check when this assignment completes the block.
+            let locals_ok = !block_completes
+                || ip.b[block]
+                    .iter()
+                    .zip(&ip.rhs_local[block])
+                    .all(|(row, rhs)| dot(row, &self.x[block]) == *rhs);
+            if locals_ok {
+                self.dfs(nb, nv);
+            }
+            for k in 0..ip.r {
+                self.global_partial[k] += ip.a[block][k][var] * v;
+            }
+        }
+        self.x[block][var] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min x1 + 2·x2 s.t. x1 + x2 = 5 (two blocks, one var each, no locals).
+    fn simple_ip() -> NFoldIP {
+        NFoldIP {
+            r: 1,
+            s: 0,
+            t: 1,
+            a: vec![vec![vec![1]], vec![vec![1]]],
+            b: vec![vec![], vec![]],
+            rhs_global: vec![5],
+            rhs_local: vec![vec![], vec![]],
+            lower: vec![vec![0], vec![0]],
+            upper: vec![vec![5], vec![5]],
+            cost: vec![vec![1], vec![2]],
+        }
+    }
+
+    #[test]
+    fn bb_solves_simple_program() {
+        let sol = simple_ip().solve_bb(Limits::default()).optimal().unwrap();
+        assert_eq!(sol.objective, 5); // x1 = 5, x2 = 0
+        assert_eq!(sol.x, vec![vec![5], vec![0]]);
+    }
+
+    #[test]
+    fn bb_detects_infeasibility() {
+        let mut ip = simple_ip();
+        ip.rhs_global = vec![11]; // max achievable is 10
+        assert_eq!(ip.solve_bb(Limits::default()), BbOutcome::Infeasible);
+    }
+
+    #[test]
+    fn bb_respects_node_budget() {
+        let ip = simple_ip();
+        assert_eq!(ip.solve_bb(Limits { max_nodes: 1 }), BbOutcome::NodeBudgetExhausted);
+    }
+
+    #[test]
+    fn augmentation_reaches_bb_optimum() {
+        let ip = simple_ip();
+        let start = ip.any_feasible(Limits::default()).unwrap();
+        let sol = ip.solve_augmentation(start, None);
+        assert_eq!(sol.objective, 5);
+        assert!(ip.is_feasible(&sol.x));
+    }
+
+    /// A program with local constraints: each block has (x, y) with
+    /// x − y = 0 locally (so x = y), coupling Σ x = 4, cost block0: 3x+0y,
+    /// block1: x+0y → optimum puts everything in block 1.
+    fn local_ip() -> NFoldIP {
+        NFoldIP {
+            r: 1,
+            s: 1,
+            t: 2,
+            a: vec![vec![vec![1, 0]], vec![vec![1, 0]]],
+            b: vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            rhs_global: vec![4],
+            rhs_local: vec![vec![0], vec![0]],
+            lower: vec![vec![0, 0], vec![0, 0]],
+            upper: vec![vec![4, 4], vec![4, 4]],
+            cost: vec![vec![3, 0], vec![1, 0]],
+        }
+    }
+
+    #[test]
+    fn locals_are_enforced() {
+        let sol = local_ip().solve_bb(Limits::default()).optimal().unwrap();
+        assert_eq!(sol.objective, 4);
+        assert_eq!(sol.x, vec![vec![0, 0], vec![4, 4]]);
+        assert!(local_ip().is_feasible(&sol.x));
+    }
+
+    #[test]
+    fn augmentation_handles_locals() {
+        let ip = local_ip();
+        // Feasible but expensive start: everything in block 0.
+        let start = vec![vec![4, 4], vec![0, 0]];
+        assert!(ip.is_feasible(&start));
+        let sol = ip.solve_augmentation(start, None);
+        assert_eq!(sol.objective, 4);
+    }
+
+    #[test]
+    fn truncated_step_box_may_stall_but_stays_feasible() {
+        let ip = local_ip();
+        let start = vec![vec![4, 4], vec![0, 0]];
+        let sol = ip.solve_augmentation(start.clone(), Some(1));
+        assert!(ip.is_feasible(&sol.x));
+        assert!(sol.objective <= ip.objective(&start));
+    }
+
+    #[test]
+    fn is_feasible_catches_violations() {
+        let ip = local_ip();
+        assert!(!ip.is_feasible(&[vec![1, 0], vec![3, 3]])); // local broken
+        assert!(!ip.is_feasible(&[vec![1, 1], vec![2, 2]])); // global broken (3≠4)
+        assert!(!ip.is_feasible(&[vec![5, 5], vec![0, 0]])); // wait: 5 > upper 4
+        assert!(ip.is_feasible(&[vec![1, 1], vec![3, 3]]));
+    }
+
+    #[test]
+    fn negative_coefficients_work() {
+        // Σ (x1 − x2) = 0 with block locals none; cost minimizes x1 of blk 0.
+        let ip = NFoldIP {
+            r: 1,
+            s: 0,
+            t: 2,
+            a: vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            b: vec![vec![], vec![]],
+            rhs_global: vec![1],
+            rhs_local: vec![vec![], vec![]],
+            lower: vec![vec![0, 0], vec![0, 0]],
+            upper: vec![vec![3, 3], vec![3, 3]],
+            cost: vec![vec![1, 1], vec![1, 1]],
+        };
+        let sol = ip.solve_bb(Limits::default()).optimal().unwrap();
+        assert_eq!(sol.objective, 1); // e.g. x = (1,0),(0,0)
+        assert!(ip.is_feasible(&sol.x));
+    }
+}

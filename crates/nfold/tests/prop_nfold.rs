@@ -1,0 +1,146 @@
+//! Cross-validation of the augmentation solver against the reference
+//! branch-and-bound on randomized small N-fold programs, plus brute-force
+//! audit of the branch-and-bound itself.
+
+use msrs_nfold::{BbOutcome, Limits, NFoldIP};
+use proptest::prelude::*;
+
+/// Random small N-fold IP: N ∈ [1,3] blocks, t ∈ [1,3] vars, r ∈ [0,2]
+/// global rows, s ∈ [0,1] local rows, coefficients in [-2, 2], bounds in
+/// [0, 3]. RHS values are generated from a random feasible point so that
+/// most programs are feasible.
+fn arb_ip() -> impl Strategy<Value = NFoldIP> {
+    (
+        1usize..=3, // blocks
+        1usize..=3, // t
+        0usize..=2, // r
+        0usize..=1, // s
+        any::<u64>(),
+    )
+        .prop_map(|(n, t, r, s, seed)| {
+            // xorshift for deterministic coefficient generation
+            let mut state = seed | 1;
+            let mut next = move |m: i64| -> i64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % (2 * m as u64 + 1)) as i64 - m
+            };
+            let a: Vec<Vec<Vec<i64>>> = (0..n)
+                .map(|_| {
+                    (0..r)
+                        .map(|_| (0..t).map(|_| next(2)).collect::<Vec<i64>>())
+                        .collect()
+                })
+                .collect();
+            let b: Vec<Vec<Vec<i64>>> = (0..n)
+                .map(|_| {
+                    (0..s)
+                        .map(|_| (0..t).map(|_| next(2)).collect::<Vec<i64>>())
+                        .collect()
+                })
+                .collect();
+            let lower = vec![vec![0i64; t]; n];
+            let upper = vec![vec![3i64; t]; n];
+            let cost: Vec<_> =
+                (0..n).map(|_| (0..t).map(|_| next(3)).collect::<Vec<_>>()).collect();
+            // Feasible seed point → consistent RHS.
+            let x0: Vec<Vec<i64>> =
+                (0..n).map(|_| (0..t).map(|_| next(3).rem_euclid(4)).collect()).collect();
+            let rhs_global: Vec<i64> = (0..r)
+                .map(|k| {
+                    (0..n)
+                        .map(|i| {
+                            (0..t)
+                                .map(|j| {
+                                    let aij: &Vec<i64> = &a[i][k];
+                                    aij[j] * x0[i][j]
+                                })
+                                .sum::<i64>()
+                        })
+                        .sum()
+                })
+                .collect();
+            let rhs_local: Vec<Vec<i64>> = (0..n)
+                .map(|i| {
+                    (0..s)
+                        .map(|k| {
+                            let bik: &Vec<i64> = &b[i][k];
+                            (0..t).map(|j| bik[j] * x0[i][j]).sum()
+                        })
+                        .collect()
+                })
+                .collect();
+            NFoldIP { r, s, t, a, b, rhs_global, rhs_local, lower, upper, cost }
+        })
+}
+
+/// Brute force optimum by full enumeration (bounds are tiny).
+fn brute_force(ip: &NFoldIP) -> Option<i64> {
+    let n = ip.blocks();
+    let total = n * ip.t;
+    let mut best: Option<i64> = None;
+    let mut x = vec![vec![0i64; ip.t]; n];
+    fn rec(
+        ip: &NFoldIP,
+        idx: usize,
+        total: usize,
+        x: &mut Vec<Vec<i64>>,
+        best: &mut Option<i64>,
+    ) {
+        if idx == total {
+            if ip.is_feasible(x) {
+                let obj = ip.objective(x);
+                if best.is_none() || obj < best.unwrap() {
+                    *best = Some(obj);
+                }
+            }
+            return;
+        }
+        let (i, j) = (idx / ip.t, idx % ip.t);
+        for v in ip.lower[i][j]..=ip.upper[i][j] {
+            x[i][j] = v;
+            rec(ip, idx + 1, total, x, best);
+        }
+        x[i][j] = 0;
+    }
+    rec(ip, 0, total, &mut x, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bb_matches_brute_force(ip in arb_ip()) {
+        let bf = brute_force(&ip);
+        match ip.solve_bb(Limits::default()) {
+            BbOutcome::Optimal(sol) => {
+                prop_assert!(ip.is_feasible(&sol.x));
+                prop_assert_eq!(Some(sol.objective), bf);
+            }
+            BbOutcome::Infeasible => prop_assert_eq!(bf, None),
+            BbOutcome::NodeBudgetExhausted => prop_assert!(false, "budget too small"),
+        }
+    }
+
+    #[test]
+    fn augmentation_matches_bb_optimum(ip in arb_ip()) {
+        if let Some(start) = ip.any_feasible(Limits::default()) {
+            let aug = ip.solve_augmentation(start, None);
+            prop_assert!(ip.is_feasible(&aug.x));
+            let bb = ip.solve_bb(Limits::default()).optimal().expect("feasible");
+            prop_assert_eq!(aug.objective, bb.objective);
+        }
+    }
+
+    #[test]
+    fn truncated_augmentation_is_sound(ip in arb_ip()) {
+        if let Some(start) = ip.any_feasible(Limits::default()) {
+            let start_obj = ip.objective(&start);
+            let aug = ip.solve_augmentation(start, Some(1));
+            prop_assert!(ip.is_feasible(&aug.x));
+            prop_assert!(aug.objective <= start_obj);
+        }
+    }
+}

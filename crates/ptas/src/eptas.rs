@@ -1,0 +1,480 @@
+//! The EPTAS drivers (Theorem 14): binary search over the makespan guess,
+//! simplification (Lemmas 15–17), layered solve (Lemma 18 / §4.2–4.3), and
+//! reconstruction (Lemma 19).
+
+use msrs_core::{
+    bounds::lower_bound, validate, Assignment, ClassId, Instance, JobId, MachineId,
+    Schedule, Time,
+};
+
+use crate::layered::{LayeredInstance, LayeredJobKind, LayeredOutcome};
+use crate::params::{build_params, Params, SizeClass};
+
+/// Configuration of an EPTAS run.
+#[derive(Debug, Clone, Copy)]
+pub struct EptasConfig {
+    /// `ε = 1 / eps_k` (needs `eps_k ≥ 2`).
+    pub eps_k: u64,
+    /// Node budget for each exact layered decision; exhaustion is treated as
+    /// "infeasible" and flagged in the outcome.
+    pub node_budget: u64,
+}
+
+impl Default for EptasConfig {
+    fn default() -> Self {
+        EptasConfig { eps_k: 3, node_budget: 2_000_000 }
+    }
+}
+
+/// Result of an EPTAS run.
+#[derive(Debug, Clone)]
+pub struct EptasOutcome {
+    /// The instance the schedule addresses: identical to the input for
+    /// [`eptas_fixed_m`]; `m + ⌊εm⌋` machines for [`eptas_augmented`].
+    pub instance: Instance,
+    /// The produced (valid) schedule.
+    pub schedule: Schedule,
+    /// The accepted makespan guess `T* ≤ OPT` (when `guarantee_intact`).
+    pub t_star: Time,
+    /// `ε = 1/eps_k` used.
+    pub eps_k: u64,
+    /// Whether every solver answer was proven and every pigeonhole condition
+    /// met — i.e. the theoretical `(1+O(ε))` guarantee applies untouched.
+    pub guarantee_intact: bool,
+    /// Whether the `Algorithm_3/2` fallback schedule was returned.
+    pub used_fallback: bool,
+}
+
+impl EptasOutcome {
+    /// Makespan of the produced schedule.
+    pub fn makespan(&self) -> Time {
+        self.schedule.makespan(&self.instance)
+    }
+}
+
+/// Per-guess simplification plan (Lemmas 15–17 bookkeeping).
+struct Plan {
+    big_jobs: Vec<JobId>,
+    /// `(class, ⌈s_c/g⌉)` for heavy small loads.
+    placeholders: Vec<(ClassId, u64)>,
+    /// The small jobs to refill into the class's placeholder slots.
+    slot_smalls: Vec<(ClassId, Vec<JobId>)>,
+    /// `s_c ≤ µT` bundles appended inside the class's big-job window.
+    micro_bundles: Vec<(ClassId, Vec<JobId>)>,
+    /// Small-only classes with `s_c ≤ δT`, placed as whole blocks at the end
+    /// of the least-loaded machines.
+    filler_classes: Vec<Vec<JobId>>,
+    /// Per-class glued bundles appended after the global makespan
+    /// (light mediums + condition-2 small loads).
+    end_bundles: Vec<Vec<JobId>>,
+    /// Whole classes with medium load `> εT` (augmentation variant only).
+    extra_classes: Vec<Vec<JobId>>,
+}
+
+fn build_plan(inst: &Instance, params: &Params, augmented: bool) -> Plan {
+    let mut plan = Plan {
+        big_jobs: Vec::new(),
+        placeholders: Vec::new(),
+        slot_smalls: Vec::new(),
+        micro_bundles: Vec::new(),
+        filler_classes: Vec::new(),
+        end_bundles: Vec::new(),
+        extra_classes: Vec::new(),
+    };
+    let t128 = params.t as u128;
+    let k2 = (params.k as u128) * (params.k as u128);
+    for c in inst.nonempty_classes() {
+        let mut bigs = Vec::new();
+        let mut mediums = Vec::new();
+        let mut smalls = Vec::new();
+        let mut s_c: Time = 0;
+        let mut md_c: Time = 0;
+        for &j in inst.class_jobs(c) {
+            match params.classify(inst.size(j)) {
+                SizeClass::Big => bigs.push(j),
+                SizeClass::Medium => {
+                    md_c += inst.size(j);
+                    mediums.push(j);
+                }
+                SizeClass::Small => {
+                    s_c += inst.size(j);
+                    smalls.push(j);
+                }
+            }
+        }
+        if augmented && params.exceeds_eps_t(md_c) {
+            // Lemma 16: the whole class moves to an augmentation machine.
+            plan.extra_classes.push(inst.class_jobs(c).to_vec());
+            continue;
+        }
+        let mut endb = mediums; // light mediums (or all mediums, fixed m)
+        let s128 = s_c as u128;
+        if s128 * params.den > t128 {
+            // Heavy small load: placeholders, refilled after the solve.
+            let n = s_c.div_ceil(params.g);
+            plan.placeholders.push((c, n));
+            plan.slot_smalls.push((c, smalls));
+        } else if s128 * params.den * k2 > t128 {
+            // Condition-2 band (µT, δT]: deferred to the end-append.
+            endb.extend(smalls);
+        } else if !smalls.is_empty() {
+            if !bigs.is_empty() {
+                // ≤ µT: fits the slack of the class's big-job window.
+                plan.micro_bundles.push((c, smalls));
+            } else {
+                plan.filler_classes.push(smalls);
+            }
+        }
+        plan.big_jobs.extend(bigs);
+        if !endb.is_empty() {
+            plan.end_bundles.push(endb);
+        }
+    }
+    plan
+}
+
+fn job_load(inst: &Instance, jobs: &[JobId]) -> Time {
+    jobs.iter().map(|&j| inst.size(j)).sum()
+}
+
+/// Reconstruction (Lemma 19): expand layers by `pad`, restore true sizes,
+/// refill placeholder slots, then fillers, augmentation classes, and the
+/// end-append bundles.
+fn reconstruct(
+    inst: &Instance,
+    target_m: usize,
+    params: &Params,
+    plan: &Plan,
+    layered: &LayeredInstance,
+    lsched: &Schedule,
+) -> Schedule {
+    let g_padded = params.padded_layer();
+    let mut asg: Vec<Option<Assignment>> = vec![None; inst.num_jobs()];
+    // Per original class: placeholder slots and big-job windows.
+    let mut slots: Vec<Vec<(MachineId, Time)>> = vec![Vec::new(); inst.num_classes()];
+    let mut big_windows: Vec<Vec<(MachineId, Time, Time)>> =
+        vec![Vec::new(); inst.num_classes()];
+    for (lj, kind) in layered.kinds.iter().enumerate() {
+        let a = lsched.assignment(lj);
+        let real_start = a.start * g_padded;
+        let orig_class = layered.class_map[layered.inst.class_of(lj)];
+        match *kind {
+            LayeredJobKind::Big(j) => {
+                asg[j] = Some(Assignment { machine: a.machine, start: real_start });
+                let window_end = real_start + layered.inst.size(lj) * g_padded;
+                big_windows[orig_class].push((
+                    a.machine,
+                    real_start + inst.size(j),
+                    window_end,
+                ));
+            }
+            LayeredJobKind::Placeholder => {
+                slots[orig_class].push((a.machine, real_start));
+            }
+        }
+    }
+
+    // Micro bundles: right after the first big job of the class, inside its
+    // window (slack ≥ pad ≥ µT ≥ bundle load).
+    for (c, jobs) in &plan.micro_bundles {
+        let &(machine, mut cur, window_end) =
+            big_windows[*c].first().expect("micro bundle class has a big job");
+        for &j in jobs {
+            asg[j] = Some(Assignment { machine, start: cur });
+            cur += inst.size(j);
+        }
+        assert!(
+            cur <= window_end,
+            "invariant violation: micro bundle exceeds its window ({cur} > {window_end})"
+        );
+    }
+
+    // Placeholder refills: greedy per class across its slots in time order.
+    for (c, jobs) in &plan.slot_smalls {
+        let mut class_slots = slots[*c].clone();
+        class_slots.sort_unstable_by_key(|&(_, s)| s);
+        let mut slot_iter = class_slots.into_iter();
+        let mut current = slot_iter.next();
+        let mut used: Time = 0;
+        for &j in jobs {
+            let p = inst.size(j);
+            loop {
+                let (machine, start) = current
+                    .expect("invariant violation: placeholder capacity exhausted");
+                if used + p <= g_padded {
+                    asg[j] = Some(Assignment { machine, start: start + used });
+                    used += p;
+                    break;
+                }
+                current = slot_iter.next();
+                used = 0;
+            }
+        }
+    }
+
+    // Machine ends so far (over the augmented machine count).
+    let mut ends: Vec<Time> = vec![0; target_m];
+    for (j, a) in asg.iter().enumerate() {
+        if let Some(a) = a {
+            ends[a.machine] = ends[a.machine].max(a.start + inst.size(j));
+        }
+    }
+
+    // Fillers: whole small-only classes onto the least-loaded machine
+    // (main machines only).
+    let m = inst.machines();
+    let mut fillers: Vec<&Vec<JobId>> = plan.filler_classes.iter().collect();
+    fillers.sort_by_key(|jobs| std::cmp::Reverse(job_load(inst, jobs)));
+    for jobs in fillers {
+        let q = (0..m).min_by_key(|&q| ends[q]).expect("m ≥ 1");
+        let mut cur = ends[q];
+        for &j in jobs {
+            asg[j] = Some(Assignment { machine: q, start: cur });
+            cur += inst.size(j);
+        }
+        ends[q] = cur;
+    }
+
+    // Augmentation classes: one fresh machine each; overflow joins the
+    // end-append set (valid, guarantee flagged by the caller via plan size).
+    let mut end_bundles: Vec<Vec<JobId>> = plan.end_bundles.clone();
+    for (i, cls) in plan.extra_classes.iter().enumerate() {
+        let q = m + i;
+        if q < target_m {
+            let mut cur = 0;
+            for &j in cls {
+                asg[j] = Some(Assignment { machine: q, start: cur });
+                cur += inst.size(j);
+            }
+            ends[q] = cur;
+        } else {
+            end_bundles.push(cls.clone());
+        }
+    }
+
+    // End-append: every bundle starts at or after the global makespan, so no
+    // bundle job can conflict with its class's jobs inside the horizon.
+    let c0 = ends.iter().copied().max().unwrap_or(0);
+    end_bundles.sort_by_key(|jobs| std::cmp::Reverse(job_load(inst, jobs)));
+    let mut cursors: Vec<Time> = vec![c0; m];
+    for bundle in &end_bundles {
+        let q = (0..m).min_by_key(|&q| cursors[q]).expect("m ≥ 1");
+        let mut cur = cursors[q];
+        for &j in bundle {
+            asg[j] = Some(Assignment { machine: q, start: cur });
+            cur += inst.size(j);
+        }
+        cursors[q] = cur;
+    }
+
+    let assignments: Vec<Assignment> = asg
+        .into_iter()
+        .enumerate()
+        .map(|(j, a)| a.unwrap_or_else(|| panic!("job {j} was never reinserted")))
+        .collect();
+    Schedule::new(assignments)
+}
+
+/// One dual-approximation probe: can we schedule within `(1+O(ε))·t`?
+fn try_guess(
+    inst: &Instance,
+    target_m: usize,
+    t: Time,
+    cfg: &EptasConfig,
+    augmented: bool,
+) -> (Option<Schedule>, bool) {
+    let params = build_params(inst, t, cfg.eps_k, augmented);
+    let plan = build_plan(inst, &params, augmented);
+    let layered = LayeredInstance::build(inst, &params, &plan.big_jobs, &plan.placeholders);
+    match layered.solve(params.layers, cfg.node_budget) {
+        LayeredOutcome::Feasible(lsched) => {
+            let schedule = reconstruct(inst, target_m, &params, &plan, &layered, &lsched);
+            let extra_ok = plan.extra_classes.len() <= target_m - inst.machines();
+            (Some(schedule), params.conditions_met && extra_ok)
+        }
+        LayeredOutcome::Infeasible => (None, true),
+        LayeredOutcome::Unknown => (None, false),
+    }
+}
+
+fn run(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
+    assert!(cfg.eps_k >= 2, "ε = 1/k needs k ≥ 2");
+    let m = inst.machines();
+    let extra = if augmented { m / cfg.eps_k as usize } else { 0 };
+    let target_m = m + extra;
+    let target = if augmented {
+        Instance::new(target_m, inst.jobs().to_vec()).expect("m ≥ 1")
+    } else {
+        inst.clone()
+    };
+
+    // Trivial paths (empty / zero-load / one machine per class).
+    let fallback = msrs_approx::three_halves(inst);
+    let ub = fallback.schedule.makespan(inst);
+    let lb = lower_bound(inst);
+    if ub == lb || inst.num_jobs() == 0 {
+        return EptasOutcome {
+            instance: target,
+            schedule: fallback.schedule,
+            t_star: lb,
+            eps_k: cfg.eps_k,
+            guarantee_intact: true,
+            used_fallback: false,
+        };
+    }
+
+    // Dual approximation: binary search the smallest accepted guess.
+    let mut intact = true;
+    let mut lo = lb;
+    let mut hi = ub;
+    let mut best: Option<(Time, Schedule)> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let (res, proven) = try_guess(inst, target_m, mid, &cfg, augmented);
+        intact &= proven;
+        match res {
+            Some(s) => {
+                best = Some((mid, s));
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if best.as_ref().is_none_or(|(t, _)| *t != lo) {
+        let (res, proven) = try_guess(inst, target_m, lo, &cfg, augmented);
+        intact &= proven;
+        if let Some(s) = res {
+            best = Some((lo, s));
+        }
+    }
+
+    match best {
+        Some((t_star, schedule)) => {
+            debug_assert_eq!(validate(&target, &schedule), Ok(()));
+            EptasOutcome {
+                instance: target,
+                schedule,
+                t_star,
+                eps_k: cfg.eps_k,
+                guarantee_intact: intact,
+                used_fallback: false,
+            }
+        }
+        None => EptasOutcome {
+            instance: target,
+            schedule: fallback.schedule,
+            t_star: ub,
+            eps_k: cfg.eps_k,
+            guarantee_intact: false,
+            used_fallback: true,
+        },
+    }
+}
+
+/// The EPTAS for a constant number of machines (Theorem 14, first variant):
+/// schedules on exactly `m` machines with makespan `(1+O(ε))·OPT`.
+pub fn eptas_fixed_m(inst: &Instance, cfg: EptasConfig) -> EptasOutcome {
+    run(inst, cfg, false)
+}
+
+/// The EPTAS with resource augmentation (Theorem 14, second variant): may
+/// use up to `⌊εm⌋` additional machines; makespan `(1+O(ε))·OPT`, where OPT
+/// refers to the *original* `m` machines.
+pub fn eptas_augmented(inst: &Instance, cfg: EptasConfig) -> EptasOutcome {
+    run(inst, cfg, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
+        let out = if augmented {
+            eptas_augmented(inst, cfg)
+        } else {
+            eptas_fixed_m(inst, cfg)
+        };
+        assert_eq!(validate(&out.instance, &out.schedule), Ok(()), "invalid schedule");
+        assert!(out.makespan() >= lower_bound(inst).min(out.makespan()));
+        out
+    }
+
+    #[test]
+    fn simple_instance_both_variants() {
+        let inst = Instance::from_classes(
+            2,
+            &[vec![60, 4, 4], vec![55], vec![30, 30], vec![2, 2, 2]],
+        )
+        .unwrap();
+        for augmented in [false, true] {
+            let out = check(&inst, EptasConfig::default(), augmented);
+            assert!(out.t_star >= lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn augmented_uses_extra_machines_at_most() {
+        let inst = Instance::from_classes(
+            4,
+            &[vec![50; 2], vec![50; 2], vec![40, 20], vec![25; 4], vec![10; 10]],
+        )
+        .unwrap();
+        let out = check(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 }, true);
+        assert!(out.instance.machines() == 4 + 2);
+        assert!(out.schedule.machines_used(&out.instance) <= 6);
+    }
+
+    #[test]
+    fn fixed_m_stays_on_m_machines() {
+        let inst =
+            Instance::from_classes(2, &[vec![30, 30], vec![20, 20], vec![15]]).unwrap();
+        let out = check(&inst, EptasConfig::default(), false);
+        assert_eq!(out.instance.machines(), 2);
+    }
+
+    #[test]
+    fn quality_close_to_lower_bound_on_clean_instance() {
+        // Large sizes so that additive slack is negligible; per-class
+        // machines … not trivial (5 classes on 3 machines).
+        let inst = Instance::from_classes(
+            3,
+            &[vec![120], vec![120], vec![120], vec![60, 60], vec![40, 40, 40]],
+        )
+        .unwrap();
+        let out = check(&inst, EptasConfig { eps_k: 4, node_budget: 2_000_000 }, false);
+        let lb = lower_bound(&inst) as f64;
+        let ratio = out.makespan() as f64 / lb;
+        assert!(ratio <= 1.8, "EPTAS ratio {ratio} too large");
+    }
+
+    #[test]
+    fn medium_heavy_class_goes_to_extra_machine() {
+        // One class dominated by medium jobs: with ε = 1/2 and suitable T it
+        // exceeds εT and lands on an augmentation machine.
+        let inst = Instance::from_classes(
+            2,
+            &[vec![100], vec![90, 6], vec![30, 30, 30], vec![8, 8]],
+        )
+        .unwrap();
+        let out = check(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 }, true);
+        assert_eq!(out.instance.machines(), 3);
+    }
+
+    #[test]
+    fn zero_jobs_and_degenerate_cases() {
+        let empty = Instance::new(2, vec![]).unwrap();
+        let out = eptas_fixed_m(&empty, EptasConfig::default());
+        assert!(out.schedule.is_empty());
+
+        let zeros = Instance::from_classes(2, &[vec![0, 0], vec![0]]).unwrap();
+        let out = check(&zeros, EptasConfig::default(), false);
+        assert_eq!(out.makespan(), 0);
+    }
+
+    #[test]
+    fn trivial_per_class_instances() {
+        let inst = Instance::from_classes(4, &[vec![9, 1], vec![5]]).unwrap();
+        let out = check(&inst, EptasConfig::default(), true);
+        assert_eq!(out.makespan(), 10);
+    }
+}

@@ -1,0 +1,366 @@
+//! The module-configuration IP of §4.2, *verbatim*: constraints (1)–(4) over
+//! configuration variables `x_K` and window variables `y^{(c)}_{(ℓ,p)}`,
+//! assembled as a generalized N-fold program (§4.3) and solved with
+//! `msrs-nfold`.
+//!
+//! This module exists to demonstrate the paper's actual IP machinery at
+//! small scale and to cross-validate the practical layered solver
+//! (`crate::layered`) against it; the production EPTAS path uses the
+//! structure-aware solver (see DESIGN.md, substitutions). As in §4.3, the
+//! `x_K` variables are *copied into every block* but only block 0's copies
+//! may be non-zero, and slack variables turn constraint (4) into an
+//! equation.
+//!
+//! All quantities are in layer units: a window `(ℓ, p)` reserves `p` layers
+//! starting at layer `ℓ`.
+
+use msrs_core::{Assignment, Schedule, Time};
+use msrs_nfold::{Limits, NFoldIP};
+
+use crate::layered::LayeredInstance;
+
+/// A time window: starting layer and length in layers.
+pub type Window = (Time, Time);
+
+/// The assembled module-configuration IP for one layered instance.
+#[derive(Debug, Clone)]
+pub struct ModuleConfigIp {
+    /// All windows `(ℓ, p)` with `ℓ + p ≤ Λ`.
+    pub windows: Vec<Window>,
+    /// All configurations: sets of pairwise non-overlapping window indices.
+    pub configs: Vec<Vec<usize>>,
+    /// Distinct job lengths (in layers).
+    pub sizes: Vec<Time>,
+    /// `n^{(c)}_p` demand per (class, size-index).
+    pub demand: Vec<Vec<u64>>,
+    /// The N-fold program.
+    pub ip: NFoldIP,
+    horizon: Time,
+    machines: usize,
+}
+
+#[cfg(test)]
+fn overlaps(a: Window, b: Window) -> bool {
+    a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+}
+
+/// Enumerates all configurations (antichains of non-overlapping windows) by
+/// walking the layers: at each layer either idle or start a window.
+fn enumerate_configs(
+    windows: &[Window],
+    horizon: Time,
+) -> Vec<Vec<usize>> {
+    // start_at[ℓ] = windows starting at ℓ.
+    let mut start_at: Vec<Vec<usize>> = vec![Vec::new(); horizon as usize + 1];
+    for (i, &(l, _)) in windows.iter().enumerate() {
+        start_at[l as usize].push(i);
+    }
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    fn rec(
+        layer: usize,
+        horizon: usize,
+        start_at: &[Vec<usize>],
+        windows: &[Window],
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if layer >= horizon {
+            out.push(cur.clone());
+            return;
+        }
+        // Idle this layer.
+        rec(layer + 1, horizon, start_at, windows, cur, out);
+        // Start one of the windows at this layer.
+        for &w in &start_at[layer] {
+            cur.push(w);
+            rec(layer + windows[w].1 as usize, horizon, start_at, windows, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, horizon as usize, &start_at, windows, &mut cur, &mut out);
+    out
+}
+
+impl ModuleConfigIp {
+    /// Assembles the IP for `layered` within `horizon` layers.
+    ///
+    /// Block layout (per class `c`): `|K|` copies of `x_K` (usable only in
+    /// block 0), then one `y^{(c)}_w` per window, then one slack per layer.
+    pub fn build(layered: &LayeredInstance, horizon: Time) -> Self {
+        let inst = &layered.inst;
+        let machines = inst.machines();
+        let classes = inst.num_classes().max(1);
+
+        // Distinct sizes and per-class demands.
+        let mut sizes: Vec<Time> = inst.jobs().iter().map(|j| j.size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let mut demand = vec![vec![0u64; sizes.len()]; classes];
+        for j in inst.jobs() {
+            let p = sizes.binary_search(&j.size).expect("size present");
+            demand[j.class][p] += 1;
+        }
+
+        // Windows and configurations.
+        let windows: Vec<Window> = (0..horizon)
+            .flat_map(|l| {
+                sizes
+                    .iter()
+                    .filter(move |&&p| l + p <= horizon)
+                    .map(move |&p| (l, p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let configs = enumerate_configs(&windows, horizon);
+
+        let nk = configs.len();
+        let nw = windows.len();
+        let nl = horizon as usize;
+        let t = nk + nw + nl;
+        let r = 1 + nw;
+        let s = sizes.len() + nl;
+
+        // Global rows: (1) Σ x_K = m; (2) per window: Σ_K K_w x_K − Σ_c y_w = 0.
+        let mut a_block = vec![vec![0i64; t]; r];
+        for (k, cfg) in configs.iter().enumerate() {
+            a_block[0][k] = 1;
+            for &w in cfg {
+                a_block[1 + w][k] = 1;
+            }
+        }
+        for w in 0..nw {
+            a_block[1 + w][nk + w] = -1;
+        }
+
+        // Local rows per class: (3) per size; (4) per layer (+ slack).
+        let mut b_block = vec![vec![0i64; t]; s];
+        for (w, &(l, p)) in windows.iter().enumerate() {
+            let pi = sizes.binary_search(&p).expect("size present");
+            b_block[pi][nk + w] = 1;
+            for ll in l..(l + p).min(horizon) {
+                b_block[sizes.len() + ll as usize][nk + w] = 1;
+            }
+        }
+        for l in 0..nl {
+            b_block[sizes.len() + l][nk + nw + l] = 1; // slack
+        }
+
+        let mut rhs_global = vec![0i64; r];
+        rhs_global[0] = machines as i64;
+        let rhs_local: Vec<Vec<i64>> = (0..classes)
+            .map(|c| {
+                let mut rhs = vec![0i64; s];
+                for (pi, &d) in demand[c].iter().enumerate() {
+                    rhs[pi] = d as i64;
+                }
+                for l in 0..nl {
+                    rhs[sizes.len() + l] = 1;
+                }
+                rhs
+            })
+            .collect();
+
+        let n_total = inst.num_jobs() as i64;
+        let (mut lower, mut upper) = (Vec::new(), Vec::new());
+        for c in 0..classes {
+            let mut lo = vec![0i64; t];
+            let mut hi = vec![0i64; t];
+            for k in 0..nk {
+                // x_K copies live in block 0 only (§4.3).
+                hi[k] = if c == 0 { machines as i64 } else { 0 };
+                lo[k] = 0;
+            }
+            for w in 0..nw {
+                hi[nk + w] = n_total.max(1);
+            }
+            for l in 0..nl {
+                hi[nk + nw + l] = 1;
+            }
+            lower.push(lo);
+            upper.push(hi);
+        }
+        let cost = vec![vec![0i64; t]; classes];
+
+        let ip = NFoldIP {
+            r,
+            s,
+            t,
+            a: vec![a_block; classes],
+            b: vec![b_block; classes],
+            rhs_global,
+            rhs_local,
+            lower,
+            upper,
+            cost,
+        };
+        ModuleConfigIp { windows, configs, sizes, demand, ip, horizon, machines }
+    }
+
+    /// Solves the IP (feasibility) and extracts a layered schedule: machines
+    /// get configurations per `x_K`, classes claim their reserved windows.
+    /// Returns `None` if the IP is infeasible or the node budget runs out.
+    pub fn solve(&self, layered: &LayeredInstance, limits: Limits) -> Option<Schedule> {
+        let sol = self.ip.solve_bb(limits).optimal()?;
+        let nk = self.configs.len();
+
+        // Machines ← configurations (multiplicities from block 0's x_K).
+        let mut machine_windows: Vec<Vec<usize>> = Vec::new();
+        for (k, cfg) in self.configs.iter().enumerate() {
+            for _ in 0..sol.x[0][k] {
+                machine_windows.push(cfg.clone());
+            }
+        }
+        debug_assert_eq!(machine_windows.len(), self.machines);
+
+        // Per window type: the machine slots providing it.
+        let mut providers: Vec<Vec<usize>> = vec![Vec::new(); self.windows.len()];
+        for (q, cfg) in machine_windows.iter().enumerate() {
+            for &w in cfg {
+                providers[w].push(q);
+            }
+        }
+
+        // Per class: claimed windows (y > 0 means one reservation per unit).
+        // Assign jobs: within a class, jobs of size p go to its (ℓ, p)
+        // windows in any order.
+        let inst = &layered.inst;
+        let mut per_class_jobs: Vec<Vec<Vec<usize>>> =
+            vec![vec![Vec::new(); self.sizes.len()]; inst.num_classes()];
+        for (j, job) in inst.jobs().iter().enumerate() {
+            let pi = self.sizes.binary_search(&job.size).expect("size present");
+            per_class_jobs[job.class][pi].push(j);
+        }
+        let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+        for (c, xc) in sol.x.iter().enumerate() {
+            if c >= inst.num_classes() {
+                break;
+            }
+            for (w, &(l, p)) in self.windows.iter().enumerate() {
+                let count = xc[nk + w];
+                let pi = self.sizes.binary_search(&p).expect("size present");
+                for _ in 0..count {
+                    let q = providers[w].pop().expect("constraint (2) balances supply");
+                    let j = per_class_jobs[c][pi].pop().expect("constraint (3) balances demand");
+                    assignments[j] = Assignment { machine: q, start: l };
+                }
+            }
+        }
+        Some(Schedule::new(assignments))
+    }
+
+    /// The layer horizon the IP was built for.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Problem-size summary: `(|W|, |K|, blocks, vars/block, global rows,
+    /// local rows)` — the quantities of Observation 20.
+    pub fn dimensions(&self) -> (usize, usize, usize, usize, usize, usize) {
+        (
+            self.windows.len(),
+            self.configs.len(),
+            self.ip.blocks(),
+            self.ip.t,
+            self.ip.r,
+            self.ip.s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered::LayeredInstance;
+    use crate::params::build_params;
+    use msrs_core::{validate, Instance};
+
+    /// A tiny layered setting: two classes, jobs of 1–2 layers, horizon 3–4.
+    fn tiny(horizon_classes: (Time, Vec<Vec<Time>>), m: usize) -> (Instance, LayeredInstance, Time) {
+        let (t, classes) = horizon_classes;
+        let orig = Instance::from_classes(m, &classes).unwrap();
+        let params = build_params(&orig, t, 2, false);
+        let big: Vec<usize> = (0..orig.num_jobs())
+            .filter(|&j| orig.size(j) > 0)
+            .collect();
+        let layered = LayeredInstance::build(&orig, &params, &big, &[]);
+        (orig, layered, params.layers)
+    }
+
+    #[test]
+    fn configs_are_nonoverlapping_and_include_empty() {
+        let windows = vec![(0, 1), (0, 2), (1, 1), (1, 2), (2, 1)];
+        let configs = enumerate_configs(&windows, 3);
+        assert!(configs.iter().any(Vec::is_empty));
+        for cfg in &configs {
+            for i in 0..cfg.len() {
+                for k in i + 1..cfg.len() {
+                    assert!(
+                        !overlaps(windows[cfg[i]], windows[cfg[k]]),
+                        "overlapping windows in config {cfg:?}"
+                    );
+                }
+            }
+        }
+        // A maximal tiling of 3 layers by units must be present.
+        assert!(configs.iter().any(|c| {
+            let mut ls: Vec<Time> = c.iter().map(|&w| windows[w].0).collect();
+            ls.sort_unstable();
+            c.len() == 3 && ls == vec![0, 1, 2]
+        }));
+    }
+
+    #[test]
+    fn ip_feasible_and_schedule_valid() {
+        // Two classes of one 30-size job each on 2 machines at T=30, k=2:
+        // g = ⌊30/4⌋ = 7 → jobs round to ⌈30/7⌉ = 5 layers; Λ = 9.
+        let (_, layered, horizon) =
+            tiny((30, vec![vec![30], vec![30]]), 2);
+        let ip = ModuleConfigIp::build(&layered, horizon.min(6));
+        let s = ip.solve(&layered, Limits { max_nodes: 30_000_000 });
+        let s = s.expect("feasible layered IP");
+        assert_eq!(validate(&layered.inst, &s), Ok(()));
+        assert!(s.makespan(&layered.inst) <= horizon.min(6));
+    }
+
+    #[test]
+    fn ip_matches_practical_layered_solver() {
+        // Cross-validation: the IP and the structure-aware solver must agree
+        // on feasibility at a squeezed horizon.
+        let (_, layered, _) = tiny((30, vec![vec![30, 28], vec![30]]), 2);
+        let job_layers: Vec<Time> =
+            (0..layered.inst.num_jobs()).map(|j| layered.inst.size(j)).collect();
+        let serial: Time = job_layers.iter().take(2).sum(); // class 0 serializes
+        for horizon in [serial - 1, serial] {
+            let ip = ModuleConfigIp::build(&layered, horizon);
+            let ip_feasible = ip.solve(&layered, Limits { max_nodes: 50_000_000 }).is_some();
+            let practical = matches!(
+                layered.solve(horizon, 5_000_000),
+                crate::layered::LayeredOutcome::Feasible(_)
+            );
+            assert_eq!(ip_feasible, practical, "disagreement at horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn ip_detects_infeasibility() {
+        // One class of three 2-layer jobs must serialize to 6 layers.
+        let orig = Instance::from_classes(2, &[vec![14, 14, 14]]).unwrap();
+        let params = build_params(&orig, 42, 2, false);
+        let layered = LayeredInstance::build(&orig, &params, &[0, 1, 2], &[]);
+        let per = layered.inst.size(0);
+        let ip = ModuleConfigIp::build(&layered, 3 * per - 1);
+        assert!(ip.solve(&layered, Limits { max_nodes: 50_000_000 }).is_none());
+    }
+
+    #[test]
+    fn dimensions_match_observation20_shape() {
+        let (_, layered, _) = tiny((30, vec![vec![30], vec![30]]), 2);
+        let ip = ModuleConfigIp::build(&layered, 6);
+        let (w, k, blocks, t, r, s) = ip.dimensions();
+        assert_eq!(blocks, layered.inst.num_classes());
+        assert_eq!(r, 1 + w, "global rows = |W| + 1 (constraints (1)+(2))");
+        assert_eq!(t, k + w + 6, "vars/block = |K| + |W| + |Ξ|");
+        assert!(s >= 6, "local rows include one per layer");
+    }
+}

@@ -1,0 +1,50 @@
+//! # msrs-ptas — approximation schemes for MSRS (paper §4)
+//!
+//! Implements the EPTAS pipeline of Theorem 14 in both variants:
+//!
+//! * [`eptas_fixed_m`] — for a constant number of machines;
+//! * [`eptas_augmented`] — for general `m` with `⌊εm⌋` additional machines
+//!   (resource augmentation).
+//!
+//! The pipeline follows the paper exactly:
+//!
+//! 1. **makespan guess** `T` via binary search (dual approximation,
+//!    Hochbaum–Shmoys) between the combined lower bound and the
+//!    `Algorithm_3/2` makespan;
+//! 2. **parameter choice** `δ ∈ {ε, ε², …}`, `µ = ε²δ` by pigeonhole so the
+//!    medium jobs and the light-small classes carry negligible mass
+//!    (§4.1 "Choosing the Parameters");
+//! 3. **simplification**: mediums removed (wholesale classes onto the
+//!    augmentation machines when their medium load exceeds `εT` — Lemma 16 —
+//!    or gathered for the final greedy re-insertion — Lemma 15); small job
+//!    loads per class either replaced by `⌈s_c/(εδT)⌉` unit *placeholders*
+//!    (heavy), deferred to the end-append (condition-2 mass), glued into the
+//!    class's big-job window (`≤ µT`), or kept as whole-class *fillers*;
+//! 4. **layering** (Lemma 18): big jobs rounded up to multiples of the layer
+//!    width `g = ⌊εδT⌋`, horizon `(1+2ε)T` in layers;
+//! 5. **layered solve**: the layered instance is again an MSRS instance (in
+//!    layer units) and is decided *exactly* — the paper's N-fold oracle
+//!    (Theorem 22) is replaced by the event-anchored branch-and-bound of
+//!    `msrs-exact`, which is practical at these sizes (see DESIGN.md,
+//!    substitutions); `msrs-nfold` demonstrates the N-fold machinery itself;
+//! 6. **reconstruction** (Lemma 19): every layer is padded by `⌈µT⌉`, big
+//!    jobs return to their true sizes inside their windows, placeholder
+//!    slots are greedily refilled with the class's small jobs, fillers and
+//!    the end-append bundles are placed after the layered horizon.
+//!
+//! Every output schedule is an ordinary [`msrs_core::Schedule`] validated
+//! exactly; the [`EptasOutcome`] records whether any fallback or unproven
+//! solver answer degraded the theoretical guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eptas;
+pub mod ip;
+mod layered;
+mod params;
+
+pub use eptas::{eptas_augmented, eptas_fixed_m, EptasConfig, EptasOutcome};
+pub use ip::ModuleConfigIp;
+pub use layered::{LayeredInstance, LayeredJobKind, LayeredOutcome};
+pub use params::{build_params, choose_delta, DeltaChoice, Params, SizeClass};

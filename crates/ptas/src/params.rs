@@ -1,0 +1,238 @@
+//! Parameter selection for the EPTAS: `ε = 1/k`, the pigeonhole choice of
+//! `δ ∈ {ε, ε², …}` with `µ = ε²δ`, and the induced size classification
+//! (§4.1 "Choosing the Parameters").
+
+use msrs_core::{Instance, Time};
+
+/// Size classification of a job against the chosen parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// `p > δT`.
+    Big,
+    /// `µT < p ≤ δT`.
+    Medium,
+    /// `p ≤ µT` (includes zero-size jobs).
+    Small,
+}
+
+/// The outcome of the pigeonhole δ-search.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaChoice {
+    /// `δ = 1 / den` (δ = ε^i gives `den = k^i`).
+    pub den: u128,
+    /// Whether both mass conditions of §4.1 were met (otherwise the
+    /// least-mass candidate was used and the guarantee degrades gracefully).
+    pub conditions_met: bool,
+}
+
+/// All derived parameters for one makespan guess `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// `ε = 1/k`.
+    pub k: u64,
+    /// The makespan guess.
+    pub t: Time,
+    /// The chosen δ denominator (`δ = 1/den`).
+    pub den: u128,
+    /// Layer width `g = max(1, ⌊εδT⌋)`.
+    pub g: Time,
+    /// Layer padding `pad = ⌊µT⌋` (the Lemma 19 stretch). Since small jobs
+    /// are integral and `≤ µT`, each is `≤ ⌊µT⌋`, so the flooring keeps all
+    /// packing arguments intact while avoiding any padding in the degenerate
+    /// `µT < 1` regime (where the only small jobs have size zero).
+    pub pad: Time,
+    /// Number of layers for the horizon `(1+2ε)T`.
+    pub layers: Time,
+    /// Whether the pigeonhole conditions were met.
+    pub conditions_met: bool,
+}
+
+impl Params {
+    /// Classifies a processing time.
+    pub fn classify(&self, p: Time) -> SizeClass {
+        let p = p as u128;
+        let t = self.t as u128;
+        let k2 = (self.k as u128) * (self.k as u128);
+        if p * self.den > t {
+            SizeClass::Big
+        } else if p * self.den * k2 > t {
+            SizeClass::Medium
+        } else {
+            SizeClass::Small
+        }
+    }
+
+    /// `x > εT`?
+    pub fn exceeds_eps_t(&self, x: Time) -> bool {
+        (x as u128) * (self.k as u128) > self.t as u128
+    }
+
+    /// Padded layer width `G = g + pad`.
+    pub fn padded_layer(&self) -> Time {
+        self.g + self.pad
+    }
+
+    /// Rounded size of a big job in layers: `⌈p / g⌉`.
+    pub fn layers_of(&self, p: Time) -> Time {
+        p.div_ceil(self.g)
+    }
+}
+
+/// Per-class small/medium masses against a candidate δ.
+fn class_masses(inst: &Instance, t: Time, k: u64, den: u128) -> (Time, Time) {
+    // Returns (total medium mass, condition-2 mass).
+    let k2 = (k as u128) * (k as u128);
+    let t128 = t as u128;
+    let mut medium = 0u64;
+    let mut cond2 = 0u64;
+    for c in inst.nonempty_classes() {
+        let mut small_load = 0u64;
+        for &j in inst.class_jobs(c) {
+            let p = inst.size(j);
+            let p128 = p as u128;
+            if p128 * den > t128 {
+                // big
+            } else if p128 * den * k2 > t128 {
+                medium += p;
+            } else {
+                small_load += p;
+            }
+        }
+        let s128 = small_load as u128;
+        if s128 * den <= t128 && s128 * den * k2 > t128 {
+            cond2 += small_load;
+        }
+    }
+    (medium, cond2)
+}
+
+/// Pigeonhole search for δ (general-`m` bounds `ε²mT` when `augmented`,
+/// constant-`m` bounds `εT` otherwise).
+pub fn choose_delta(inst: &Instance, t: Time, k: u64, augmented: bool) -> DeltaChoice {
+    let t128 = t as u128;
+    let m = inst.machines() as u128;
+    let k128 = k as u128;
+    // Candidate cap: the paper uses 2/ε² (general) resp. 2m/ε (fixed)
+    // exponents; additionally stop once δT < 1 (no medium range remains).
+    let max_i = if augmented { 2 * k * k } else { 2 * (inst.machines() as u64) * k }
+        .clamp(2, 64) as usize;
+    let mut den: u128 = k128; // δ = ε
+    let mut best: Option<(u128, u128)> = None; // (mass sum, den)
+    for _ in 0..max_i {
+        let (medium, cond2) = class_masses(inst, t, k, den);
+        let (m128, c128) = (medium as u128, cond2 as u128);
+        let ok = if augmented {
+            m128 * k128 * k128 <= m * t128 && c128 * k128 * k128 <= m * t128
+        } else {
+            m128 * k128 <= t128 && c128 * k128 <= t128
+        };
+        if ok {
+            return DeltaChoice { den, conditions_met: true };
+        }
+        let sum = m128 + c128;
+        if best.is_none_or(|(s, _)| sum < s) {
+            best = Some((sum, den));
+        }
+        // Next candidate δ ← δ·ε; stop if δT < 1 (no medium jobs possible —
+        // a final, trivially valid candidate).
+        match den.checked_mul(k128) {
+            Some(next) if next <= t128 * k128 * k128 => den = next,
+            _ => break,
+        }
+    }
+    // δT < 1 ⟹ no mediums and no non-empty (µT, δT] small band.
+    let (medium, cond2) = class_masses(inst, t, k, den);
+    if medium == 0 && cond2 == 0 {
+        return DeltaChoice { den, conditions_met: true };
+    }
+    let (_, den) = best.expect("at least one candidate evaluated");
+    DeltaChoice { den, conditions_met: false }
+}
+
+/// Builds all derived parameters for guess `t`.
+pub fn build_params(inst: &Instance, t: Time, k: u64, augmented: bool) -> Params {
+    assert!(k >= 2, "ε = 1/k needs k ≥ 2");
+    assert!(t >= 1);
+    let choice = choose_delta(inst, t, k, augmented);
+    let den = choice.den;
+    let k128 = k as u128;
+    let g = ((t as u128) / (den * k128)).max(1) as Time;
+    let pad = ((t as u128) / (den * k128 * k128)) as Time;
+    // Horizon (1+2ε)T in layers, plus one slack layer for alignment.
+    let horizon = ((t as u128) * (k128 + 2)).div_ceil(k128) as Time;
+    let layers = horizon.div_ceil(g) + 1;
+    Params { k, t, den, g, pad, layers, conditions_met: choice.conditions_met }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        // Medium band (7.5, 30] at T = 60, k = 2 is empty, so δ = ε holds.
+        Instance::from_classes(2, &[vec![60, 4, 4], vec![7], vec![2, 2, 2]]).unwrap()
+    }
+
+    #[test]
+    fn classify_against_thresholds() {
+        // T = 60, k = 2 → δ = 1/2 (if conditions hold): big > 30, medium ∈
+        // (7.5, 30], small ≤ 7.5.
+        let p = build_params(&inst(), 60, 2, true);
+        assert_eq!(p.den, 2);
+        assert_eq!(p.classify(60), SizeClass::Big);
+        assert_eq!(p.classify(31), SizeClass::Big);
+        assert_eq!(p.classify(30), SizeClass::Medium);
+        assert_eq!(p.classify(8), SizeClass::Medium);
+        assert_eq!(p.classify(7), SizeClass::Small);
+        assert_eq!(p.classify(0), SizeClass::Small);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = build_params(&inst(), 60, 2, true);
+        // g = ⌊εδT⌋ = ⌊60/4⌋ = 15; pad = ⌊µT⌋ = ⌊60/8⌋ = 7.
+        assert_eq!(p.g, 15);
+        assert_eq!(p.pad, 7);
+        assert_eq!(p.padded_layer(), 22);
+        // horizon (1+1)·60 = 120 → layers ⌈120/15⌉+1 = 9.
+        assert_eq!(p.layers, 9);
+        assert_eq!(p.layers_of(31), 3);
+        assert_eq!(p.layers_of(45), 3);
+        assert_eq!(p.layers_of(46), 4);
+    }
+
+    #[test]
+    fn delta_descends_when_medium_mass_is_large() {
+        // All load concentrated in the (µT, δT] band for δ = ε forces a
+        // smaller δ. T = 100, k = 2: δ=1/2 → medium ∈ (12.5, 50].
+        let heavy_medium = Instance::from_classes(
+            2,
+            &[vec![40, 40], vec![40, 40], vec![40]],
+        )
+        .unwrap();
+        let choice = choose_delta(&heavy_medium, 100, 2, true);
+        assert!(choice.den > 2, "δ must shrink below ε, got 1/{}", choice.den);
+    }
+
+    #[test]
+    fn tiny_delta_means_no_mediums() {
+        // With δT < 1 the medium band is empty and conditions hold.
+        let inst = Instance::from_classes(1, &[vec![2, 2]]).unwrap();
+        let choice = choose_delta(&inst, 4, 2, false);
+        assert!(choice.conditions_met);
+    }
+
+    #[test]
+    fn eps_t_comparison() {
+        let p = build_params(&inst(), 60, 3, true);
+        assert!(p.exceeds_eps_t(21)); // 21 > 60/3 = 20
+        assert!(!p.exceeds_eps_t(20));
+    }
+
+    #[test]
+    fn g_is_at_least_one() {
+        let p = build_params(&inst(), 3, 2, false);
+        assert!(p.g >= 1);
+        assert!(p.layers >= 1);
+    }
+}

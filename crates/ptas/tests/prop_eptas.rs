@@ -1,0 +1,95 @@
+//! Property and ground-truth tests for the EPTAS drivers:
+//! * every output schedule is valid (both variants, arbitrary instances);
+//! * the augmented variant never uses more than `m + ⌊εm⌋` machines;
+//! * against exact OPT on small instances, the achieved ratio stays within
+//!   the `(1+O(ε))` envelope (with the documented additive slack for tiny
+//!   processing times).
+
+use msrs_core::{bounds::lower_bound, validate, Instance};
+use msrs_exact::{optimal, SolveLimits};
+use msrs_ptas::{eptas_augmented, eptas_fixed_m, EptasConfig};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=4,
+        prop::collection::vec(prop::collection::vec(1u64..=40, 1..=4), 1..=7),
+    )
+        .prop_map(|(m, classes)| Instance::from_classes(m, &classes).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fixed_m_always_valid(inst in arb_instance()) {
+        let cfg = EptasConfig { eps_k: 2, node_budget: 200_000 };
+        let out = eptas_fixed_m(&inst, cfg);
+        prop_assert_eq!(out.instance.machines(), inst.machines());
+        prop_assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+        prop_assert!(out.makespan() >= lower_bound(&inst) || out.makespan() == 0);
+    }
+
+    #[test]
+    fn augmented_always_valid_and_bounded_machines(inst in arb_instance()) {
+        let cfg = EptasConfig { eps_k: 2, node_budget: 200_000 };
+        let out = eptas_augmented(&inst, cfg);
+        let m = inst.machines();
+        prop_assert_eq!(out.instance.machines(), m + m / 2);
+        prop_assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+        prop_assert!(out.schedule.machines_used(&out.instance) <= m + m / 2);
+    }
+}
+
+#[test]
+fn ratio_envelope_against_exact_opt() {
+    // Structured small instances with sizes large enough that the additive
+    // layer slack is second-order. For each, compare against true OPT.
+    let shapes: Vec<(usize, Vec<Vec<u64>>)> = vec![
+        (2, vec![vec![80, 40], vec![60, 60], vec![100]]),
+        (2, vec![vec![120], vec![90, 30], vec![60, 60]]),
+        (3, vec![vec![100], vec![100], vec![100], vec![50, 50]]),
+        (2, vec![vec![70, 70], vec![70], vec![70]]),
+        (3, vec![vec![90, 30], vec![80, 40], vec![60, 60], vec![120]]),
+    ];
+    for (m, classes) in shapes {
+        let inst = Instance::from_classes(m, &classes).unwrap();
+        let opt = optimal(&inst, SolveLimits::default()).expect("small").makespan;
+        for k in [2u64, 3, 4] {
+            let cfg = EptasConfig { eps_k: k, node_budget: 2_000_000 };
+            let out = eptas_fixed_m(&inst, cfg);
+            assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+            let ratio = out.makespan() as f64 / opt as f64;
+            // (1 + O(ε)) with the small-T additive slack: generous envelope.
+            let cap = 1.0 + 8.0 / k as f64;
+            assert!(
+                ratio <= cap,
+                "m={m} k={k}: ratio {ratio:.3} exceeds {cap:.3} (opt={opt}, got={})",
+                out.makespan()
+            );
+            assert!(out.t_star <= opt || !out.guarantee_intact,
+                "accepted guess {} exceeds OPT {opt} without a flag", out.t_star);
+        }
+    }
+}
+
+#[test]
+fn epsilon_monotonicity_in_expectation() {
+    // Tighter ε should not systematically worsen quality: compare summed
+    // makespans over a deterministic family.
+    let mut sum_k2 = 0u64;
+    let mut sum_k4 = 0u64;
+    for seed in 0..6u64 {
+        let inst = msrs_gen::uniform(seed, 3, 14, 6, 20, 90);
+        let a = eptas_fixed_m(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 });
+        let b = eptas_fixed_m(&inst, EptasConfig { eps_k: 4, node_budget: 500_000 });
+        assert_eq!(validate(&a.instance, &a.schedule), Ok(()));
+        assert_eq!(validate(&b.instance, &b.schedule), Ok(()));
+        sum_k2 += a.makespan();
+        sum_k4 += b.makespan();
+    }
+    assert!(
+        sum_k4 <= sum_k2 + sum_k2 / 4,
+        "ε=1/4 ({sum_k4}) much worse than ε=1/2 ({sum_k2})"
+    );
+}

@@ -1,0 +1,115 @@
+//! Property tests for the EPTAS parameter machinery (§4.1): the pigeonhole
+//! δ-choice must satisfy its mass conditions whenever it reports success,
+//! and the derived quantities must obey the relations the reconstruction
+//! relies on.
+
+use msrs_core::{Instance, Time};
+use msrs_ptas::{build_params, choose_delta, SizeClass};
+use proptest::prelude::*;
+
+fn arb_instance_and_t() -> impl Strategy<Value = (Instance, Time)> {
+    (
+        1usize..=4,
+        prop::collection::vec(prop::collection::vec(1u64..=60, 1..=5), 1..=8),
+    )
+        .prop_map(|(m, classes)| {
+            let inst = Instance::from_classes(m, &classes).expect("valid");
+            let t = msrs_core::bounds::lower_bound(&inst).max(1);
+            (inst, t)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn delta_choice_conditions_hold_when_reported((inst, t) in arb_instance_and_t(), k in 2u64..=6) {
+        for augmented in [false, true] {
+            let choice = choose_delta(&inst, t, k, augmented);
+            prop_assert!(choice.den >= k as u128, "δ must be ≤ ε");
+            if !choice.conditions_met {
+                continue; // fallback path, no promise
+            }
+            // Recompute the masses at the chosen δ and check the §4.1 bounds.
+            let den = choice.den;
+            let k2 = (k as u128) * (k as u128);
+            let t128 = t as u128;
+            let mut medium: u64 = 0;
+            let mut cond2: u64 = 0;
+            for c in inst.nonempty_classes() {
+                let mut small = 0u64;
+                for &j in inst.class_jobs(c) {
+                    let p = inst.size(j) as u128;
+                    if p * den > t128 {
+                        // big
+                    } else if p * den * k2 > t128 {
+                        medium += inst.size(j);
+                    } else {
+                        small += inst.size(j);
+                    }
+                }
+                let s = small as u128;
+                if s * den <= t128 && s * den * k2 > t128 {
+                    cond2 += small;
+                }
+            }
+            let (m128, c128) = (medium as u128, cond2 as u128);
+            if augmented {
+                let m = inst.machines() as u128;
+                prop_assert!(m128 * k2 <= m * t128, "medium mass condition");
+                prop_assert!(c128 * k2 <= m * t128, "condition-2 mass");
+            } else {
+                prop_assert!(m128 * (k as u128) <= t128, "medium mass (fixed m)");
+                prop_assert!(c128 * (k as u128) <= t128, "condition-2 (fixed m)");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_quantities_obey_reconstruction_relations((inst, t) in arb_instance_and_t(), k in 2u64..=6) {
+        let p = build_params(&inst, t, k, true);
+        // g ≥ 1; every small job fits the pad; the horizon covers (1+2ε)T.
+        prop_assert!(p.g >= 1);
+        for j in 0..inst.num_jobs() {
+            if p.classify(inst.size(j)) == SizeClass::Small {
+                prop_assert!(
+                    inst.size(j) <= p.pad || inst.size(j) == 0 || p.pad == 0 && inst.size(j) == 0,
+                    "small job {} exceeds pad {}",
+                    inst.size(j),
+                    p.pad
+                );
+            }
+        }
+        prop_assert!(
+            (p.layers as u128) * (p.g as u128) * (p.k as u128)
+                >= (t as u128) * (p.k as u128 + 2),
+            "layer horizon must cover (1+2ε)T"
+        );
+        // Rounding: ⌈p/g⌉·g ≥ p and < p + g.
+        for j in 0..inst.num_jobs() {
+            if p.classify(inst.size(j)) == SizeClass::Big {
+                let rounded = p.layers_of(inst.size(j)) * p.g;
+                prop_assert!(rounded >= inst.size(j));
+                prop_assert!(rounded < inst.size(j) + p.g);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_a_partition((inst, t) in arb_instance_and_t(), k in 2u64..=6) {
+        let p = build_params(&inst, t, k, false);
+        for j in 0..inst.num_jobs() {
+            // classify is total and consistent with the threshold ordering:
+            // Big > Medium > Small by size bands.
+            let size = inst.size(j);
+            let c = p.classify(size);
+            if c == SizeClass::Big {
+                prop_assert!((size as u128) * p.den > t as u128);
+            }
+            if c == SizeClass::Small {
+                let k2 = (k as u128) * (k as u128);
+                prop_assert!((size as u128) * p.den * k2 <= t as u128);
+            }
+        }
+    }
+}

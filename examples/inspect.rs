@@ -1,0 +1,46 @@
+//! Operational inspection: serialize an instance, schedule it, and report
+//! the statistics a production user would monitor (utilization, idle time,
+//! resource stretch) — built on `msrs_core::{io, stats}`.
+//!
+//! ```text
+//! cargo run --release --example inspect
+//! ```
+
+use msrs::core::io::{read_instance, write_instance, write_schedule};
+use msrs::core::stats::schedule_stats;
+use msrs::prelude::*;
+
+fn main() {
+    let inst = msrs::gen::photolithography(11, 4, 12, 7);
+
+    // The text format round-trips exactly — handy for sharing instances.
+    let text = write_instance(&inst);
+    let inst = read_instance(&text).expect("round trip");
+    println!("instance ({} bytes serialized):", text.len());
+    println!("{}", text.lines().take(6).collect::<Vec<_>>().join("\n"));
+    println!("... ({} classes total)\n", inst.num_nonempty_classes());
+
+    for (name, r) in [
+        ("Algorithm_3/2", three_halves(&inst)),
+        ("merged-LPT", merged_lpt(&inst)),
+    ] {
+        validate(&inst, &r.schedule).expect("valid");
+        let st = schedule_stats(&inst, &r.schedule);
+        println!("{name}:");
+        println!("  makespan          {}", st.makespan);
+        println!("  mean utilization  {:.1}%", 100.0 * st.mean_utilization);
+        println!("  min utilization   {:.1}%", 100.0 * st.min_utilization);
+        println!("  total idle        {}", st.total_idle);
+        println!("  max class stretch {:.2}x", st.max_class_stretch());
+        println!();
+    }
+
+    // Schedules serialize too.
+    let r = three_halves(&inst);
+    let sched_text = write_schedule(&r.schedule);
+    println!(
+        "schedule serialized to {} bytes; first lines:\n{}",
+        sched_text.len(),
+        sched_text.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
+}

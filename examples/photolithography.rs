@@ -1,0 +1,58 @@
+//! The semiconductor photolithography scenario (Janssen et al.): reticles
+//! are the shared resources (one copy each), steppers are the machines.
+//! Compares all algorithms and shows per-machine utilization.
+//!
+//! ```text
+//! cargo run --release --example photolithography
+//! ```
+
+use msrs::prelude::*;
+
+fn main() {
+    let steppers = 5;
+    let reticles = 18;
+    let lots = 9;
+    let inst = msrs::gen::photolithography(42, steppers, reticles, lots);
+
+    let t = lower_bound(&inst);
+    println!(
+        "fab floor: {steppers} steppers, {reticles} reticles, {} lots, T = {t}\n",
+        inst.num_jobs()
+    );
+
+    let runs: Vec<(&str, ApproxResult)> = vec![
+        ("Algorithm_3/2", three_halves(&inst)),
+        ("Algorithm_5/3", five_thirds(&inst)),
+        ("merged-LPT", merged_lpt(&inst)),
+        ("hebrard-greedy", hebrard_greedy(&inst)),
+        ("list-LPT", list_scheduler(&inst)),
+    ];
+    println!("{:<16} {:>10} {:>8} {:>14}", "algorithm", "makespan", "ratio", "idle time");
+    for (name, r) in &runs {
+        validate(&inst, &r.schedule).expect("valid");
+        let cmax = r.schedule.makespan(&inst);
+        let idle = steppers as u64 * cmax - inst.total_load();
+        println!(
+            "{:<16} {:>10} {:>8.3} {:>14}",
+            name,
+            cmax,
+            cmax as f64 / t as f64,
+            idle
+        );
+    }
+
+    let best = runs
+        .iter()
+        .min_by_key(|(_, r)| r.schedule.makespan(&inst))
+        .expect("non-empty");
+    println!(
+        "\nbest plan: {} (makespan {})",
+        best.0,
+        best.1.schedule.makespan(&inst)
+    );
+    for q in 0..steppers {
+        let load = best.1.schedule.machine_load(&inst, q);
+        let pct = 100.0 * load as f64 / best.1.schedule.makespan(&inst) as f64;
+        println!("  stepper {q}: load {load} ({pct:.1}% busy)");
+    }
+}

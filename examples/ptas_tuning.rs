@@ -1,0 +1,48 @@
+//! The approximation schemes of Theorem 14 in action: quality vs ε for the
+//! constant-m EPTAS and the resource-augmentation EPTAS, against the exact
+//! optimum.
+//!
+//! ```text
+//! cargo run --release --example ptas_tuning
+//! ```
+
+use msrs::prelude::*;
+
+fn main() {
+    let inst = Instance::from_classes(
+        3,
+        &[vec![100], vec![100], vec![100], vec![50, 50], vec![40, 30, 30]],
+    )
+    .expect("well-formed");
+    let opt = optimal(&inst, SolveLimits::default()).expect("small instance");
+    println!(
+        "instance: m = {}, n = {}, classes = {}, OPT = {}\n",
+        inst.machines(),
+        inst.num_jobs(),
+        inst.num_nonempty_classes(),
+        opt.makespan
+    );
+
+    println!(
+        "{:>5} {:>12} {:>9} {:>12} {:>9} {:>9}",
+        "eps", "fixed-m", "ratio", "augmented", "ratio", "machines"
+    );
+    for k in [2u64, 3, 4, 6, 8] {
+        let cfg = EptasConfig { eps_k: k, node_budget: 2_000_000 };
+        let fixed = eptas_fixed_m(&inst, cfg);
+        let aug = eptas_augmented(&inst, cfg);
+        validate(&fixed.instance, &fixed.schedule).expect("valid");
+        validate(&aug.instance, &aug.schedule).expect("valid");
+        println!(
+            "{:>5} {:>12} {:>9.3} {:>12} {:>9.3} {:>6}/{}",
+            format!("1/{k}"),
+            fixed.makespan(),
+            fixed.makespan() as f64 / opt.makespan as f64,
+            aug.makespan(),
+            aug.makespan() as f64 / opt.makespan as f64,
+            aug.schedule.machines_used(&aug.instance),
+            aug.instance.machines(),
+        );
+    }
+    println!("\n(3/2-approximation for comparison: {})", three_halves(&inst).schedule.makespan(&inst));
+}

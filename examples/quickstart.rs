@@ -1,0 +1,47 @@
+//! Quickstart: build an instance, run both headline algorithms, validate,
+//! and render the Gantt charts.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use msrs::prelude::*;
+
+fn main() {
+    // Three machines; five resource classes. Class 0 is a heavy class led by
+    // a big job; classes 3-4 are bags of small jobs.
+    let inst = Instance::from_classes(
+        3,
+        &[
+            vec![40, 12, 8],
+            vec![35, 20],
+            vec![30, 15, 10],
+            vec![9, 9, 9, 9],
+            vec![7, 7, 7],
+        ],
+    )
+    .expect("well-formed instance");
+
+    let bounds = lower_bounds(&inst);
+    println!("lower bounds: area={} class={} two-jobs={} ⇒ T={}",
+        bounds.avg_load, bounds.max_class, bounds.two_jobs, bounds.combined());
+
+    for (name, result) in [
+        ("Algorithm_5/3 (Theorem 2)", five_thirds(&inst)),
+        ("Algorithm_3/2 (Theorem 7)", three_halves(&inst)),
+        ("merged-LPT baseline", merged_lpt(&inst)),
+    ] {
+        validate(&inst, &result.schedule).expect("algorithms emit valid schedules");
+        println!(
+            "\n{name}: makespan {} (T = {}, ratio vs bound {:.3})",
+            result.schedule.makespan(&inst),
+            result.lower_bound,
+            result.ratio_vs_bound(&inst)
+        );
+        println!("{}", render_gantt(&inst, &result.schedule, 70));
+    }
+
+    // Ground truth for instances this small:
+    let exact = optimal(&inst, SolveLimits::default()).expect("small instance");
+    println!("exact optimum: {} ({} B&B nodes)", exact.makespan, exact.nodes);
+}

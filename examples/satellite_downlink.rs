@@ -1,0 +1,51 @@
+//! The Earth-observation scenario that motivated MSRS in Hebrard et al.:
+//! satellites are the shared resources (a satellite can downlink to only one
+//! ground station at a time), ground stations are the machines, and each
+//! satellite holds a burst of download jobs.
+//!
+//! ```text
+//! cargo run --release --example satellite_downlink
+//! ```
+
+use msrs::prelude::*;
+
+fn main() {
+    let stations = 4;
+    let satellites = 14;
+    let burst = 12;
+
+    println!("downlink plan: {satellites} satellites, {stations} ground stations\n");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "seed", "T (bound)", "3/2", "5/3", "merged-LPT");
+    let mut totals = [0u64; 3];
+    for seed in 0..10 {
+        let inst = msrs::gen::satellite(seed, stations, satellites, burst);
+        let t = lower_bound(&inst);
+        let r32 = three_halves(&inst);
+        let r53 = five_thirds(&inst);
+        let lpt = merged_lpt(&inst);
+        for r in [&r32, &r53, &lpt] {
+            validate(&inst, &r.schedule).expect("valid");
+        }
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            seed,
+            t,
+            r32.schedule.makespan(&inst),
+            r53.schedule.makespan(&inst),
+            lpt.schedule.makespan(&inst)
+        );
+        totals[0] += r32.schedule.makespan(&inst);
+        totals[1] += r53.schedule.makespan(&inst);
+        totals[2] += lpt.schedule.makespan(&inst);
+    }
+    println!("\ntotal downlink makespan over 10 plans:");
+    println!("  Algorithm_3/2: {}", totals[0]);
+    println!("  Algorithm_5/3: {}", totals[1]);
+    println!("  merged-LPT   : {}", totals[2]);
+
+    // Show one plan in detail.
+    let inst = msrs::gen::satellite(3, stations, satellites, burst);
+    let r = three_halves(&inst);
+    println!("\nplan for seed 3 (makespan {}):", r.schedule.makespan(&inst));
+    println!("{}", render_gantt(&inst, &r.schedule, 78));
+}

@@ -1,0 +1,91 @@
+//! Failure injection: corrupt real algorithm outputs in every way the
+//! validator must catch, and check the builders' invariant panics.
+
+use msrs::prelude::*;
+use msrs_core::{Assignment, ValidationError};
+
+fn corrupt_base() -> (Instance, Schedule) {
+    let inst = msrs::gen::uniform(9, 3, 20, 5, 2, 15);
+    let r = three_halves(&inst);
+    assert_eq!(validate(&inst, &r.schedule), Ok(()));
+    (inst, r.schedule)
+}
+
+#[test]
+fn detects_injected_machine_overlap() {
+    let (inst, sched) = corrupt_base();
+    // Move every job to machine 0 at time 0 — guaranteed overlaps.
+    let bad = Schedule::new(vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()]);
+    assert!(matches!(
+        validate(&inst, &bad),
+        Err(ValidationError::MachineOverlap { .. } | ValidationError::ClassConflict { .. })
+    ));
+    drop(sched);
+}
+
+#[test]
+fn detects_injected_class_conflict() {
+    let (inst, sched) = corrupt_base();
+    // Find two jobs of one class and force them concurrent on two machines.
+    let class = (0..inst.num_classes())
+        .find(|&c| inst.class_jobs(c).len() >= 2)
+        .expect("some class has two jobs");
+    let (a, b) = (inst.class_jobs(class)[0], inst.class_jobs(class)[1]);
+    let mut asg = sched.assignments().to_vec();
+    asg[a] = Assignment { machine: 0, start: 1_000_000 };
+    asg[b] = Assignment { machine: 1, start: 1_000_000 };
+    let bad = Schedule::new(asg);
+    assert!(matches!(
+        validate(&inst, &bad),
+        Err(ValidationError::ClassConflict { .. })
+    ));
+}
+
+#[test]
+fn detects_out_of_range_machine() {
+    let (inst, sched) = corrupt_base();
+    let mut asg = sched.assignments().to_vec();
+    asg[0] = Assignment { machine: inst.machines(), start: 0 };
+    assert!(matches!(
+        validate(&inst, &Schedule::new(asg)),
+        Err(ValidationError::MachineOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn detects_missing_assignments() {
+    let (inst, sched) = corrupt_base();
+    let mut asg = sched.assignments().to_vec();
+    asg.pop();
+    assert!(matches!(
+        validate(&inst, &Schedule::new(asg)),
+        Err(ValidationError::WrongJobCount { .. })
+    ));
+}
+
+#[test]
+fn builder_panics_on_horizon_overflow() {
+    let inst = Instance::from_classes(1, &[vec![10, 10]]).unwrap();
+    let result = std::panic::catch_unwind(|| {
+        let mut b = msrs_core::ScheduleBuilder::new(&inst, 15);
+        b.push_bottom(0, msrs_core::Block::whole_class(&inst, 0));
+    });
+    assert!(result.is_err(), "overfull push must panic");
+}
+
+#[test]
+fn multires_validator_catches_resource_conflicts() {
+    use msrs::multires::{validate_multi, MultiInstance, MultiJob, MultiValidationError};
+    let inst = MultiInstance::new(
+        2,
+        vec![MultiJob::new(5, vec![0, 1]), MultiJob::new(5, vec![1, 2])],
+    );
+    let bad = Schedule::new(vec![
+        Assignment { machine: 0, start: 0 },
+        Assignment { machine: 1, start: 2 },
+    ]);
+    assert!(matches!(
+        validate_multi(&inst, &bad),
+        Err(MultiValidationError::ResourceConflict { resource: 1, .. })
+    ));
+}

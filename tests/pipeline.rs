@@ -1,0 +1,105 @@
+//! Cross-crate integration: generators → algorithms → validator → bounds →
+//! exact ground truth, exercising every public entry point together.
+
+use msrs::prelude::*;
+
+#[test]
+fn full_pipeline_over_all_generator_families() {
+    let families: Vec<(&str, Instance)> = vec![
+        ("uniform", msrs::gen::uniform(1, 4, 60, 10, 1, 50)),
+        ("zipf", msrs::gen::zipf_classes(2, 3, 50, 8, 1, 40)),
+        ("satellite", msrs::gen::satellite(3, 3, 9, 8)),
+        ("photolitho", msrs::gen::photolithography(4, 4, 10, 6)),
+        ("adversarial", msrs::gen::adversarial_merged_lpt(4, 25)),
+        ("boundary", msrs::gen::boundary_stress(5, 3, 9, 60)),
+        ("huge", msrs::gen::huge_heavy(6, 4, 4, 6, 48)),
+    ];
+    for (name, inst) in families {
+        let t = lower_bound(&inst);
+        for (algo, r) in [
+            ("5/3", five_thirds(&inst)),
+            ("3/2", three_halves(&inst)),
+            ("merged", merged_lpt(&inst)),
+            ("hebrard", hebrard_greedy(&inst)),
+            ("list", list_scheduler(&inst)),
+        ] {
+            assert_eq!(validate(&inst, &r.schedule), Ok(()), "{name}/{algo} invalid");
+            assert!(
+                r.schedule.makespan(&inst) >= t,
+                "{name}/{algo} beat the lower bound"
+            );
+        }
+        let r53 = five_thirds(&inst);
+        let r32 = three_halves(&inst);
+        assert!(3 * r53.schedule.makespan(&inst) <= (5 * r53.lower_bound.max(1)) + 5 * r53.lower_bound,
+            "{name} 5/3 horizon violated");
+        assert!(2 * r32.schedule.makespan(&inst) <= 3 * r32.lower_bound.max(r32.schedule.makespan(&inst)),
+            "{name} 3/2 horizon violated");
+    }
+}
+
+#[test]
+fn approximations_vs_exact_on_small_random_instances() {
+    for seed in 0..12u64 {
+        let inst = msrs::gen::uniform(seed, 2, 7, 3, 1, 20);
+        let exact = optimal(&inst, SolveLimits::default()).expect("small");
+        let r53 = five_thirds(&inst);
+        let r32 = three_halves(&inst);
+        assert!(r53.lower_bound <= exact.makespan);
+        assert!(r32.lower_bound <= exact.makespan);
+        assert!(3 * r53.schedule.makespan(&inst) <= 5 * exact.makespan);
+        assert!(2 * r32.schedule.makespan(&inst) <= 3 * exact.makespan);
+        assert_eq!(validate(&inst, &exact.schedule), Ok(()));
+    }
+}
+
+#[test]
+fn eptas_pipeline_respects_exact_optimum() {
+    let inst = Instance::from_classes(
+        2,
+        &[vec![80, 40], vec![60, 60], vec![100]],
+    )
+    .unwrap();
+    let exact = optimal(&inst, SolveLimits::default()).expect("small");
+    for k in [2u64, 4] {
+        let out = eptas_fixed_m(&inst, EptasConfig { eps_k: k, node_budget: 1_000_000 });
+        assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+        assert!(out.makespan() >= exact.makespan);
+        assert!(out.t_star <= exact.makespan || !out.guarantee_intact);
+    }
+    let out = eptas_augmented(&inst, EptasConfig { eps_k: 2, node_budget: 1_000_000 });
+    assert_eq!(out.instance.machines(), 3); // m + ⌊m/2⌋
+    assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+}
+
+#[test]
+fn gantt_rendering_works_on_pipeline_output() {
+    let inst = msrs::gen::satellite(0, 3, 6, 5);
+    let r = three_halves(&inst);
+    let g = render_gantt(&inst, &r.schedule, 60);
+    assert!(g.lines().count() >= inst.machines());
+}
+
+#[test]
+fn trivial_and_degenerate_instances_across_algorithms() {
+    // Empty, zero-load, single-job, per-class-machines.
+    let cases = vec![
+        Instance::new(2, vec![]).unwrap(),
+        Instance::from_classes(3, &[vec![0, 0], vec![0]]).unwrap(),
+        Instance::from_classes(1, &[vec![7]]).unwrap(),
+        Instance::from_classes(5, &[vec![3, 2], vec![4]]).unwrap(),
+    ];
+    for inst in cases {
+        for r in [
+            five_thirds(&inst),
+            three_halves(&inst),
+            merged_lpt(&inst),
+            hebrard_greedy(&inst),
+            list_scheduler(&inst),
+        ] {
+            assert_eq!(validate(&inst, &r.schedule), Ok(()));
+        }
+        let out = eptas_fixed_m(&inst, EptasConfig::default());
+        assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+    }
+}
