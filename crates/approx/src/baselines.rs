@@ -32,7 +32,13 @@ pub fn merged_lpt(inst: &Instance) -> ApproxResult {
 
     let m = inst.machines();
     let mut loads: Vec<Time> = vec![0; m];
-    let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+    let mut assignments = vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        inst.num_jobs()
+    ];
     for (_, c) in classes {
         let machine = (0..m).min_by_key(|&q| loads[q]).expect("m ≥ 1");
         let mut start = loads[machine];
@@ -44,7 +50,11 @@ pub fn merged_lpt(inst: &Instance) -> ApproxResult {
     }
     let schedule = Schedule::new(assignments);
     let horizon = schedule.makespan(inst);
-    ApproxResult { schedule, lower_bound: t, horizon }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon,
+    }
 }
 
 /// Busy intervals per machine/class used by the insertion baselines.
@@ -97,8 +107,9 @@ pub fn hebrard_greedy(inst: &Instance) -> ApproxResult {
     let m = inst.machines();
     let mut machine_busy = vec![Busy::default(); m];
     let mut class_busy = vec![Busy::default(); inst.num_classes()];
-    let mut remaining: Vec<Time> =
-        (0..inst.num_classes()).map(|c| inst.class_load(c)).collect();
+    let mut remaining: Vec<Time> = (0..inst.num_classes())
+        .map(|c| inst.class_load(c))
+        .collect();
 
     // Priority order: p_j + remaining class load, recomputed lazily — since
     // p_j + remaining only decreases as the class drains, a one-shot sort by
@@ -109,7 +120,13 @@ pub fn hebrard_greedy(inst: &Instance) -> ApproxResult {
         std::cmp::Reverse((inst.class_load(c) + inst.size(j), inst.size(j)))
     });
 
-    let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+    let mut assignments = vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        inst.num_jobs()
+    ];
     for j in order {
         let c = inst.class_of(j);
         let p = inst.size(j);
@@ -122,14 +139,21 @@ pub fn hebrard_greedy(inst: &Instance) -> ApproxResult {
             }
         }
         let (s, q) = best.expect("m ≥ 1");
-        assignments[j] = Assignment { machine: q, start: s };
+        assignments[j] = Assignment {
+            machine: q,
+            start: s,
+        };
         machine_busy[q].insert(s, s + p);
         class_busy[c].insert(s, s + p);
         remaining[c] -= p;
     }
     let schedule = Schedule::new(assignments);
     let horizon = schedule.makespan(inst);
-    ApproxResult { schedule, lower_bound: t, horizon }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon,
+    }
 }
 
 /// Resource-aware LPT list scheduling: event-driven; whenever a machine
@@ -153,10 +177,17 @@ pub fn list_scheduler(inst: &Instance) -> ApproxResult {
             v
         })
         .collect();
-    let mut remaining: Vec<Time> =
-        (0..inst.num_classes()).map(|c| inst.class_load(c)).collect();
+    let mut remaining: Vec<Time> = (0..inst.num_classes())
+        .map(|c| inst.class_load(c))
+        .collect();
 
-    let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+    let mut assignments = vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        inst.num_jobs()
+    ];
     let mut done = 0usize;
     while done < inst.num_jobs() {
         // Pick the machine that frees up first.
@@ -167,13 +198,19 @@ pub fn list_scheduler(inst: &Instance) -> ApproxResult {
         let pick = (0..inst.num_classes())
             .filter(|&c| class_free[c] <= now && !per_class[c].is_empty())
             .max_by_key(|&c| {
-                (inst.size(*per_class[c].last().expect("non-empty")), remaining[c])
+                (
+                    inst.size(*per_class[c].last().expect("non-empty")),
+                    remaining[c],
+                )
             });
         match pick {
             Some(c) => {
                 let j = per_class[c].pop().expect("non-empty checked");
                 let p = inst.size(j);
-                assignments[j] = Assignment { machine: q, start: now };
+                assignments[j] = Assignment {
+                    machine: q,
+                    start: now,
+                };
                 done += 1;
                 remaining[c] -= p;
                 machine_free[q] = now + p;
@@ -193,7 +230,11 @@ pub fn list_scheduler(inst: &Instance) -> ApproxResult {
     }
     let schedule = Schedule::new(assignments);
     let horizon = schedule.makespan(inst);
-    ApproxResult { schedule, lower_bound: t, horizon }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon,
+    }
 }
 
 /// The *naive* list scheduler: identical to [`list_scheduler`] but breaking
@@ -212,7 +253,13 @@ pub fn list_scheduler_naive(inst: &Instance) -> ApproxResult {
     let mut queue: Vec<JobId> = (0..inst.num_jobs()).collect();
     queue.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.size(j)));
 
-    let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+    let mut assignments = vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        inst.num_jobs()
+    ];
     let mut scheduled = vec![false; inst.num_jobs()];
     let mut done = 0usize;
     while done < inst.num_jobs() {
@@ -226,7 +273,10 @@ pub fn list_scheduler_naive(inst: &Instance) -> ApproxResult {
             Some(j) => {
                 let c = inst.class_of(j);
                 let p = inst.size(j);
-                assignments[j] = Assignment { machine: q, start: now };
+                assignments[j] = Assignment {
+                    machine: q,
+                    start: now,
+                };
                 scheduled[j] = true;
                 done += 1;
                 machine_free[q] = now + p;
@@ -245,7 +295,11 @@ pub fn list_scheduler_naive(inst: &Instance) -> ApproxResult {
     }
     let schedule = Schedule::new(assignments);
     let horizon = schedule.makespan(inst);
-    ApproxResult { schedule, lower_bound: t, horizon }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon,
+    }
 }
 
 #[cfg(test)]
@@ -263,8 +317,7 @@ mod tests {
 
     #[test]
     fn merged_lpt_keeps_classes_contiguous() {
-        let inst =
-            Instance::from_classes(2, &[vec![4, 3], vec![5], vec![2, 2]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![4, 3], vec![5], vec![2, 2]]).unwrap();
         let r = merged_lpt(&inst);
         assert_eq!(validate(&inst, &r.schedule), Ok(()));
         // Each class on a single machine.
@@ -282,8 +335,14 @@ mod tests {
     fn all_baselines_valid_on_shapes() {
         let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
             (2, vec![vec![10], vec![9, 1], vec![8, 2], vec![1, 1, 1]]),
-            (3, vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]]),
-            (4, vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]]),
+            (
+                3,
+                vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]],
+            ),
+            (
+                4,
+                vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]],
+            ),
             (2, vec![vec![1], vec![1], vec![1]]),
         ];
         for (m, classes) in shapes {
@@ -301,7 +360,10 @@ mod tests {
         let [lpt, _heb, list] = check_all(&inst);
         let lb = lower_bound(&inst) as f64;
         let ratio = lpt.makespan(&inst) as f64 / lb;
-        assert!((1.58..=1.62).contains(&ratio), "merged LPT ratio {ratio} ≠ 2m/(m+1)");
+        assert!(
+            (1.58..=1.62).contains(&ratio),
+            "merged LPT ratio {ratio} ≠ 2m/(m+1)"
+        );
         assert!(
             list.makespan(&inst) as f64 / lb <= 1.2,
             "list scheduling interleaves unit jobs"

@@ -48,8 +48,13 @@ pub fn trivial(inst: &Instance) -> Option<ApproxResult> {
     }
     if inst.total_load() == 0 {
         // Every job has size zero: all at time 0 on machine 0 is valid.
-        let assignments =
-            vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+        let assignments = vec![
+            Assignment {
+                machine: 0,
+                start: 0
+            };
+            inst.num_jobs()
+        ];
         return Some(ApproxResult {
             schedule: Schedule::new(assignments),
             lower_bound: 0,
@@ -65,7 +70,11 @@ pub fn trivial(inst: &Instance) -> Option<ApproxResult> {
             b.push_bottom(machine, Block::whole_class(inst, c));
         }
         let schedule = b.finalize().expect("one block per class places all jobs");
-        return Some(ApproxResult { schedule, lower_bound: t, horizon: t });
+        return Some(ApproxResult {
+            schedule,
+            lower_bound: t,
+            horizon: t,
+        });
     }
     None
 }

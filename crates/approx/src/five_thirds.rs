@@ -73,7 +73,10 @@ pub fn five_thirds(inst: &Instance) -> ApproxResult {
         while cur < m && closed[cur] {
             cur += 1;
         }
-        assert!(cur < m, "invariant violation: no open machine left in Step 2");
+        assert!(
+            cur < m,
+            "invariant violation: no open machine left in Step 2"
+        );
         if b.load(cur) + pc <= h {
             b.push_bottom(cur, Block::whole_class(inst, c));
             if b.load(cur) >= t {
@@ -88,7 +91,10 @@ pub fn five_thirds(inst: &Instance) -> ApproxResult {
             while cur < m && closed[cur] {
                 cur += 1;
             }
-            assert!(cur < m, "invariant violation: no machine for the split part");
+            assert!(
+                cur < m,
+                "invariant violation: no machine for the split part"
+            );
             // Smaller part at time 0 of the next machine, delaying its jobs.
             if !split.check.is_empty() {
                 b.push_bottom_front(cur, Block::from_jobs(inst, split.check));
@@ -103,7 +109,10 @@ pub fn five_thirds(inst: &Instance) -> ApproxResult {
     let mut cur = 0usize;
     for &c in &rest {
         loop {
-            assert!(cur < m, "invariant violation: no open machine left in Step 3");
+            assert!(
+                cur < m,
+                "invariant violation: no open machine left in Step 3"
+            );
             if closed[cur] || b.load(cur) >= t {
                 closed[cur] = true;
                 cur += 1;
@@ -119,7 +128,11 @@ pub fn five_thirds(inst: &Instance) -> ApproxResult {
     }
 
     let schedule = b.finalize().expect("Algorithm_5/3 places every class");
-    ApproxResult { schedule, lower_bound: t, horizon: h }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon: h,
+    }
 }
 
 #[cfg(test)]
@@ -149,8 +162,7 @@ mod tests {
     #[test]
     fn big_job_classes_get_own_machines() {
         // T = 10 (area): two classes led by jobs > T/2.
-        let inst =
-            Instance::from_classes(2, &[vec![7, 3], vec![7, 3]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![7, 3], vec![7, 3]]).unwrap();
         let r = check(&inst);
         assert_eq!(r.lower_bound, 10);
         assert_eq!(r.makespan(&inst), 10); // each class fits one machine
@@ -175,8 +187,7 @@ mod tests {
         // T=17, H=⌊85/3⌋=28. CB+: job > 8.5 → A (job 9). large: p>34/3≈11.3 → B.
         // Step 1: A on machine 0 (load 17 = T, stays open but load ≥ T).
         // Step 2: B on machine 0? load 17 + 15 = 32 > 28 → split.
-        let inst =
-            Instance::from_classes(2, &[vec![9, 8], vec![5, 5, 5], vec![2]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![9, 8], vec![5, 5, 5], vec![2]]).unwrap();
         check(&inst);
     }
 
@@ -184,7 +195,13 @@ mod tests {
     fn all_unit_jobs_round_robin_classes() {
         let inst = Instance::from_classes(
             3,
-            &[vec![1; 10], vec![1; 10], vec![1; 10], vec![1; 10], vec![1; 10]],
+            &[
+                vec![1; 10],
+                vec![1; 10],
+                vec![1; 10],
+                vec![1; 10],
+                vec![1; 10],
+            ],
         )
         .unwrap();
         let r = check(&inst);
@@ -201,8 +218,7 @@ mod tests {
 
     #[test]
     fn zero_size_jobs_mixed_in() {
-        let inst =
-            Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
         check(&inst);
     }
 
@@ -210,11 +226,8 @@ mod tests {
     fn boundary_two_thirds_classes() {
         // Classes exactly at 2T/3: T = 12 area bound with m = 3.
         // classes of load 8 = 2T/3 are NOT large (strict >).
-        let inst = Instance::from_classes(
-            3,
-            &[vec![8], vec![8], vec![8], vec![4, 4], vec![4]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(3, &[vec![8], vec![8], vec![8], vec![4, 4], vec![4]]).unwrap();
         let r = check(&inst);
         assert!(r.lower_bound >= 12);
     }
@@ -224,8 +237,14 @@ mod tests {
         // A deterministic mini-sweep over structured shapes.
         let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
             (2, vec![vec![10], vec![9, 1], vec![8, 2], vec![1, 1, 1]]),
-            (3, vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]]),
-            (4, vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]]),
+            (
+                3,
+                vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]],
+            ),
+            (
+                4,
+                vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]],
+            ),
             (2, vec![vec![1], vec![1], vec![1]]),
             (3, vec![vec![2, 2], vec![2, 2], vec![2, 2], vec![2, 2]]),
         ];

@@ -21,9 +21,8 @@ use crate::trace::StepTrace;
 use crate::vclass::{Cat, VClass};
 
 fn take(pool: &mut VecDeque<MachineId>, step: &str) -> MachineId {
-    pool.pop_front().unwrap_or_else(|| {
-        panic!("invariant violation: no unused machine available in {step}")
-    })
+    pool.pop_front()
+        .unwrap_or_else(|| panic!("invariant violation: no unused machine available in {step}"))
 }
 
 /// Greedily places the `≤ T/2` classes: first onto the partially filled
@@ -158,7 +157,10 @@ pub(crate) fn no_huge(
     let mut over: Vec<VClass> = Vec::new();
     over.append(&mut bigs);
     over.append(&mut mids);
-    debug_assert!(over.len() <= 3, "Steps 2–4 leave at most three classes > T/2");
+    debug_assert!(
+        over.len() <= 3,
+        "Steps 2–4 leave at most three classes > T/2"
+    );
 
     match over.len() {
         0 | 1 => {
@@ -304,27 +306,32 @@ mod tests {
             .nonempty_classes()
             .map(|c| VClass::new(inst, inst.class_jobs(c).to_vec(), t))
             .collect();
-        no_huge(inst, &mut b, &mut pool, t, classes, &mut StepTrace::default());
+        no_huge(
+            inst,
+            &mut b,
+            &mut pool,
+            t,
+            classes,
+            &mut StepTrace::default(),
+        );
         let s = b.finalize().expect("all jobs placed");
         assert_eq!(validate(inst, &s), Ok(()), "invalid schedule");
-        assert!(s.makespan(inst) <= h, "makespan {} > H {h}", s.makespan(inst));
+        assert!(
+            s.makespan(inst) <= h,
+            "makespan {} > H {h}",
+            s.makespan(inst)
+        );
     }
 
     #[test]
     fn step2_pairs_mid_classes() {
         // t = 12: four classes of total 7 ∈ (6, 9).
-        let inst = Instance::from_classes(
-            2,
-            &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]]).unwrap();
         // total 28 ≤ 2·t? No — need pool·t ≥ 28 → t = 14: mids need ∈ (7, 10.5).
         // Use t = 14: totals 7 not > 7. Use classes of 8 instead:
-        let inst2 = Instance::from_classes(
-            2,
-            &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]],
-        )
-        .unwrap();
+        let inst2 =
+            Instance::from_classes(2, &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]]).unwrap();
         // t = 14: totals 8 ∈ (7, 10.5) → mids; small {3}. Load 27 ≤ 28 ✓.
         run(&inst2, 14);
         let _ = inst;
@@ -334,11 +341,8 @@ mod tests {
     fn step3_four_heavy_classes() {
         // t = 8: four classes of total ≥ 6 (= 3t/4), no job > 6.
         // loads: 4×7 = 28 ≤ m·t with m = 4: 32 ✓.
-        let inst = Instance::from_classes(
-            4,
-            &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(4, &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3]]).unwrap();
         run(&inst, 8);
     }
 
@@ -346,25 +350,23 @@ mod tests {
     fn step4_two_heavy_one_mid() {
         // t = 8: two classes ≥ 6, one mid ∈ (4, 6), fillers.
         // {4,3}=7, {4,3}=7, {5}=5; total 19 ≤ 3·8 ✓ m=3.
-        let inst =
-            Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![5]]).unwrap();
+        let inst = Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![5]]).unwrap();
         run(&inst, 8);
     }
 
     #[test]
     fn step5_single_over_half() {
         // t = 8: one class of 7, smalls.
-        let inst =
-            Instance::from_classes(2, &[vec![4, 3], vec![2, 2], vec![2, 2]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![4, 3], vec![2, 2], vec![2, 2]]).unwrap();
         run(&inst, 8);
     }
 
     #[test]
     fn step6_cases() {
         // 6.1a: c1 + c2 ≤ H.
-        let a = Instance::from_classes(2, &[vec![4, 3], vec![5]], ).unwrap();
+        let a = Instance::from_classes(2, &[vec![4, 3], vec![5]]).unwrap();
         run(&a, 8); // 7 + 5 = 12 = ⌊12⌋ ✓ one machine; H = 12.
-        // 6.1b: c1 + c2 > H: c1 = 8 (t=8: ≥ 6), c2 = 5 ∈ (4,6): 13 > 12.
+                    // 6.1b: c1 + c2 > H: c1 = 8 (t=8: ≥ 6), c2 = 5 ∈ (4,6): 13 > 12.
         let b2 = Instance::from_classes(2, &[vec![4, 4], vec![5], vec![2]]).unwrap();
         run(&b2, 8);
         // 6.2: both ≥ 6 with t = 8.
@@ -379,23 +381,18 @@ mod tests {
         // {5,3}: hat 5 (big job), check 3. Two of them: hats 5+5 = 10 > 8 ✓.
         // Plus smalls to fill the bracket machine: {2,2}, {2}.
         // Load: 8+8+4+2 = 22 ≤ 3·8 = 24, m = 3.
-        let inst = Instance::from_classes(
-            3,
-            &[vec![5, 3], vec![5, 3], vec![2, 2], vec![2]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(3, &[vec![5, 3], vec![5, 3], vec![2, 2], vec![2]]).unwrap();
         run(&inst, 8);
     }
 
     #[test]
     fn step7_three_heavy() {
         // Three classes ≥ 6 at t = 8, m = 3: loads 7,7,7 = 21 ≤ 24.
-        let inst =
-            Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![4, 3]]).unwrap();
+        let inst = Instance::from_classes(3, &[vec![4, 3], vec![4, 3], vec![4, 3]]).unwrap();
         run(&inst, 8);
         // 7.2 variant: hats > 4: {5,2} (hat 5 check 2) ×3, total 21.
-        let inst2 =
-            Instance::from_classes(3, &[vec![5, 2], vec![5, 2], vec![5, 2]]).unwrap();
+        let inst2 = Instance::from_classes(3, &[vec![5, 2], vec![5, 2], vec![5, 2]]).unwrap();
         run(&inst2, 8);
     }
 
@@ -404,30 +401,23 @@ mod tests {
         // Make č1+č2+c3 > H: checks of 3 each, c3 = 8: 3+3+8 = 14 > 12 = H.
         // classes {5,3} hat5/check3, {5,3}, {4,4} (c3, total 8).
         // t = 8: loads 8,8,8 = 24 ≤ 4·8, m = 4 (7.2b opens a third machine).
-        let inst = Instance::from_classes(
-            4,
-            &[vec![5, 3], vec![5, 3], vec![4, 4], vec![2, 2]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(4, &[vec![5, 3], vec![5, 3], vec![4, 4], vec![2, 2]]).unwrap();
         run(&inst, 8);
     }
 
     #[test]
     fn greedy_fill_only() {
         // All classes ≤ t/2.
-        let inst = Instance::from_classes(
-            2,
-            &[vec![3], vec![3], vec![3], vec![3], vec![2, 1]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![3], vec![3], vec![3], vec![3], vec![2, 1]]).unwrap();
         run(&inst, 8);
     }
 
     #[test]
     fn greedy_fill_respects_gap() {
         // Direct greedy_fill exercise with a bracket machine.
-        let inst =
-            Instance::from_classes(2, &[vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![4], vec![4], vec![3], vec![3]]).unwrap();
         let t: Time = 8;
         let mut b = ScheduleBuilder::new(&inst, 12);
         let mut pool: VecDeque<MachineId> = VecDeque::from(vec![1]);
@@ -438,7 +428,15 @@ mod tests {
             VClass::new(&inst, inst.class_jobs(2).to_vec(), t),
             VClass::new(&inst, inst.class_jobs(3).to_vec(), t),
         ];
-        greedy_fill(&inst, &mut b, t, vec![0], &mut pool, smalls, &mut StepTrace::default());
+        greedy_fill(
+            &inst,
+            &mut b,
+            t,
+            vec![0],
+            &mut pool,
+            smalls,
+            &mut StepTrace::default(),
+        );
         let s = b.finalize().unwrap();
         assert_eq!(validate(&inst, &s), Ok(()));
         assert!(s.makespan(&inst) <= 12);

@@ -37,9 +37,19 @@ fn load(inst: &Instance, jobs: &[JobId]) -> Time {
 fn ordered(inst: &Instance, a: Vec<JobId>, b: Vec<JobId>) -> Split {
     let (pa, pb) = (load(inst, &a), load(inst, &b));
     if pa >= pb {
-        Split { hat: a, p_hat: pa, check: b, p_check: pb }
+        Split {
+            hat: a,
+            p_hat: pa,
+            check: b,
+            p_check: pb,
+        }
     } else {
-        Split { hat: b, p_hat: pb, check: a, p_check: pa }
+        Split {
+            hat: b,
+            p_hat: pb,
+            check: a,
+            p_check: pa,
+        }
     }
 }
 
@@ -81,9 +91,15 @@ pub fn lemma5(inst: &Instance, jobs: &[JobId], t: Time) -> Split {
         "Lemma 5 requires no job > T/2"
     );
     // A job > T/3 (necessarily ≤ T/2) alone; otherwise greedy until ≥ T/3.
-    let big = jobs.iter().copied().find(|&j| frac::gt(inst.size(j), 1, 3, t));
+    let big = jobs
+        .iter()
+        .copied()
+        .find(|&j| frac::gt(inst.size(j), 1, 3, t));
     let (a, b) = if let Some(big) = big {
-        (vec![big], jobs.iter().copied().filter(|&j| j != big).collect())
+        (
+            vec![big],
+            jobs.iter().copied().filter(|&j| j != big).collect(),
+        )
     } else {
         let mut prefix = Vec::new();
         let mut p: Time = 0;
@@ -118,7 +134,12 @@ pub fn lemma10(inst: &Instance, jobs: &[JobId], t: Time) -> Split {
         // The big job alone is ĉ; the rest (≤ T − T/2 = T/2) is č.
         let rest: Vec<JobId> = jobs.iter().copied().filter(|&j| j != max_job).collect();
         let (ph, pc) = (pmax, total - pmax);
-        Split { hat: vec![max_job], p_hat: ph, check: rest, p_check: pc }
+        Split {
+            hat: vec![max_job],
+            p_hat: ph,
+            check: rest,
+            p_check: pc,
+        }
     } else {
         let (a, b) = split_quarter(inst, jobs, t);
         ordered(inst, a, b)

@@ -119,8 +119,7 @@ mod tests {
     #[test]
     fn base_is_returned_when_already_valid() {
         // 3 machines, 3 small classes: condition holds at base.
-        let inst =
-            Instance::from_classes(3, &[vec![2], vec![2], vec![2], vec![2]]).unwrap();
+        let inst = Instance::from_classes(3, &[vec![2], vec![2], vec![2], vec![2]]).unwrap();
         let t = lemma9_t(&inst);
         assert_eq!(t, lower_bound(&inst));
     }
@@ -130,8 +129,7 @@ mod tests {
         // m = 2 machines, 4 classes each a single job of size 8: base =
         // max(⌈32/2⌉=16, 8, 16) = 16. At T=16: job 8 ≤ (3/4)·16 = 12? yes and
         // 8 ≤ 8 = T/2, so not Big either → condition holds at base.
-        let inst =
-            Instance::from_classes(2, &[vec![8], vec![8], vec![8], vec![8]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![8], vec![8], vec![8], vec![8]]).unwrap();
         assert_eq!(lemma9_t(&inst), 16);
     }
 

@@ -67,15 +67,18 @@ impl Cats {
 }
 
 fn take(pool: &mut VecDeque<MachineId>, step: &str) -> MachineId {
-    pool.pop_front().unwrap_or_else(|| {
-        panic!("invariant violation: no unused machine available in {step}")
-    })
+    pool.pop_front()
+        .unwrap_or_else(|| panic!("invariant violation: no unused machine available in {step}"))
 }
 
 fn finalize(b: ScheduleBuilder<'_>, t: Time, h: Time, inst: &Instance) -> ApproxResult {
     let schedule = b.finalize().expect("Algorithm_3/2 places every job");
     debug_assert!(schedule.makespan(inst) <= h);
-    ApproxResult { schedule, lower_bound: t, horizon: h }
+    ApproxResult {
+        schedule,
+        lower_bound: t,
+        horizon: h,
+    }
 }
 
 /// Runs `Algorithm_3/2` on `inst`: a valid schedule with makespan at most
@@ -185,7 +188,9 @@ fn run(inst: &Instance, trace: &mut StepTrace) -> ApproxResult {
     // Step 6: one open M_H machine + one fresh machine absorb a C_{≥3/4}
     // class and a C_B ∩ C_{(1/2,3/4)} class.
     while !mh.is_empty() && !cats.big_mid.is_empty() {
-        let Some(c) = cats.big_ge34.pop().or_else(|| cats.ge34.pop()) else { break };
+        let Some(c) = cats.big_ge34.pop().or_else(|| cats.ge34.pop()) else {
+            break;
+        };
         trace.step6 += 1;
         let bcl = cats.big_mid.pop().expect("non-empty checked");
         let m1 = mh.pop_front().expect("non-empty checked");
@@ -368,30 +373,22 @@ mod tests {
 
     #[test]
     fn no_huge_jobs_delegates() {
-        let inst = Instance::from_classes(
-            2,
-            &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![4, 4], vec![4, 4], vec![4, 4], vec![3]]).unwrap();
         check(&inst);
     }
 
     #[test]
     fn single_huge_class() {
         // One class with a huge job, fillers: T via Lemma 9.
-        let inst =
-            Instance::from_classes(2, &[vec![10], vec![3, 3], vec![3, 3]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![10], vec![3, 3], vec![3, 3]]).unwrap();
         check(&inst);
     }
 
     #[test]
     fn step3_fills_huge_machines() {
         // Huge machine at load 10/12; smalls of ≤ 6 fill it past T.
-        let inst = Instance::from_classes(
-            2,
-            &[vec![10], vec![5], vec![4], vec![3]],
-        )
-        .unwrap();
+        let inst = Instance::from_classes(2, &[vec![10], vec![5], vec![4], vec![3]]).unwrap();
         check(&inst);
     }
 
@@ -430,19 +427,16 @@ mod tests {
     #[test]
     fn step8_pairs_of_heavy_classes() {
         // Two huge machines + two heavy classes.
-        let inst = Instance::from_classes(
-            4,
-            &[vec![11], vec![11], vec![5, 4], vec![5, 4], vec![2]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(4, &[vec![11], vec![11], vec![5, 4], vec![5, 4], vec![2]])
+                .unwrap();
         check(&inst);
     }
 
     #[test]
     fn step9_individual_machines() {
         // Two huge + one heavy class.
-        let inst =
-            Instance::from_classes(3, &[vec![11], vec![11], vec![5, 4]]).unwrap();
+        let inst = Instance::from_classes(3, &[vec![11], vec![11], vec![5, 4]]).unwrap();
         check(&inst);
     }
 
@@ -450,7 +444,14 @@ mod tests {
     fn many_huge_classes() {
         let inst = Instance::from_classes(
             4,
-            &[vec![9], vec![9], vec![9], vec![9], vec![2, 2], vec![1, 1, 1]],
+            &[
+                vec![9],
+                vec![9],
+                vec![9],
+                vec![9],
+                vec![2, 2],
+                vec![1, 1, 1],
+            ],
         )
         .unwrap();
         check(&inst);
@@ -460,8 +461,14 @@ mod tests {
     fn mixed_stress_shapes() {
         let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
             (2, vec![vec![10], vec![9, 1], vec![8, 2], vec![1, 1, 1]]),
-            (3, vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]]),
-            (4, vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]]),
+            (
+                3,
+                vec![vec![7, 7], vec![14], vec![13, 1], vec![6, 6], vec![2; 10]],
+            ),
+            (
+                4,
+                vec![vec![3; 9], vec![5, 5, 5], vec![20], vec![11, 9], vec![1]],
+            ),
             (2, vec![vec![1], vec![1], vec![1]]),
             (3, vec![vec![2, 2], vec![2, 2], vec![2, 2], vec![2, 2]]),
             (2, vec![vec![6, 5], vec![4, 4], vec![4, 4]]),
@@ -475,8 +482,7 @@ mod tests {
 
     #[test]
     fn zero_size_jobs_tolerated() {
-        let inst =
-            Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![0, 5], vec![5, 0], vec![3, 0, 3]]).unwrap();
         check(&inst);
     }
 }

@@ -120,11 +120,18 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = StepTrace { step4: 2, nh_step2_pairs: 1, ..Default::default() };
+        let mut a = StepTrace {
+            step4: 2,
+            nh_step2_pairs: 1,
+            ..Default::default()
+        };
         let b = StepTrace {
             step4: 3,
             step5_rotation: true,
-            nh_step6: NoHugeStep6 { case_2b: 1, ..Default::default() },
+            nh_step6: NoHugeStep6 {
+                case_2b: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         a.absorb(&b);

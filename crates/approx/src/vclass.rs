@@ -71,8 +71,7 @@ impl VClass {
                     .iter()
                     .max_by_key(|&&j| inst.size(j))
                     .expect("non-empty class");
-                let rest: Vec<JobId> =
-                    jobs.iter().copied().filter(|&j| j != big).collect();
+                let rest: Vec<JobId> = jobs.iter().copied().filter(|&j| j != big).collect();
                 let p_rest = total - inst.size(big);
                 (
                     Cat::BigMid,
@@ -118,7 +117,10 @@ impl VClass {
 
     /// The `ĉ` part as a block.
     pub fn block_hat(&self, inst: &Instance) -> Block {
-        debug_assert!(!self.hat.is_empty(), "hat requested for unpartitioned class");
+        debug_assert!(
+            !self.hat.is_empty(),
+            "hat requested for unpartitioned class"
+        );
         Block::from_jobs(inst, self.hat.clone())
     }
 

@@ -13,14 +13,9 @@ use proptest::prelude::*;
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (
         1usize..=8,
-        prop::collection::vec(
-            prop::collection::vec(0u64..=24, 1..=6),
-            1..=14,
-        ),
+        prop::collection::vec(prop::collection::vec(0u64..=24, 1..=6), 1..=14),
     )
-        .prop_map(|(m, classes)| {
-            Instance::from_classes(m, &classes).expect("valid instance")
-        })
+        .prop_map(|(m, classes)| Instance::from_classes(m, &classes).expect("valid instance"))
 }
 
 /// Instances biased towards the boundary thresholds of the case analyses.
@@ -32,19 +27,14 @@ fn arb_boundary_instance() -> impl Strategy<Value = Instance> {
         1usize..=6,
         prop::collection::vec(prop::collection::vec(anchored, 1..=4), 1..=10),
     )
-        .prop_map(|(m, classes)| {
-            Instance::from_classes(m, &classes).expect("valid instance")
-        })
+        .prop_map(|(m, classes)| Instance::from_classes(m, &classes).expect("valid instance"))
 }
 
 /// Huge-job-heavy instances: many classes led by a dominant job.
 fn arb_huge_instance() -> impl Strategy<Value = Instance> {
     (
         1usize..=8,
-        prop::collection::vec(
-            (18u64..=30, prop::collection::vec(0u64..=8, 0..=4)),
-            1..=10,
-        ),
+        prop::collection::vec((18u64..=30, prop::collection::vec(0u64..=8, 0..=4)), 1..=10),
     )
         .prop_map(|(m, leaders)| {
             let classes: Vec<Vec<Time>> = leaders

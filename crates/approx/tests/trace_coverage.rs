@@ -42,12 +42,18 @@ fn step6_fires_on_two_huge_plus_bigmid_plus_heavy() {
 fn step8_fires_on_paired_huge_machines() {
     let t = traced(4, &[vec![10], vec![10], vec![7, 3], vec![7, 3], vec![5, 5]]);
     assert_eq!(t.step8, 1, "{t:?}");
-    assert!(t.no_huge_called, "leftover Ge34 class goes to no_huge: {t:?}");
+    assert!(
+        t.no_huge_called,
+        "leftover Ge34 class goes to no_huge: {t:?}"
+    );
 }
 
 #[test]
 fn no_huge_step3_quadruple() {
-    let t = traced(4, &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3], vec![1]]);
+    let t = traced(
+        4,
+        &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3], vec![1]],
+    );
     assert_eq!(t.nh_step3_quads, 1, "{t:?}");
 }
 

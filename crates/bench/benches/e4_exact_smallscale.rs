@@ -16,8 +16,7 @@ fn bench(c: &mut Criterion) {
         ),
         (
             "8 jobs",
-            Instance::from_classes(2, &[vec![7, 5], vec![6, 4], vec![5, 3], vec![4, 2]])
-                .unwrap(),
+            Instance::from_classes(2, &[vec![7, 5], vec![6, 4], vec![5, 3], vec![4, 2]]).unwrap(),
         ),
         (
             "9 jobs 3m",

@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let inst = msrs_bench::corpus::ptas_corpus().remove(0);
     for k in [2u64, 3, 4] {
-        let cfg = EptasConfig { eps_k: k, node_budget: 500_000 };
+        let cfg = EptasConfig {
+            eps_k: k,
+            node_budget: 500_000,
+        };
         group.bench_with_input(BenchmarkId::new("fixed_m", k), &inst, |b, i| {
             b.iter(|| eptas_fixed_m(black_box(i), cfg))
         });

@@ -12,7 +12,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
-    let wanted: Vec<&str> = args.iter().map(String::as_str).filter(|a| a.starts_with('e')).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| a.starts_with('e'))
+        .collect();
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     println!("msrs experiment harness — reproduces the artifacts of");

@@ -5,17 +5,14 @@ use msrs_core::Instance;
 /// A named generator family (seeded, parameterized by machine count).
 pub type Family = (&'static str, fn(u64, usize) -> Instance);
 
-/// The six generator families of E1 (plus the adversarial family).
+/// The generator families of E1: the engine's canonical family registry
+/// (`msrs_engine::families::FAMILIES`), so the experiments, the `msrs` CLI,
+/// and the engine tests all measure the same corpora under the same names.
 pub fn families() -> Vec<Family> {
-    vec![
-        ("uniform", |seed, m| msrs_gen::uniform(seed, m, 40 * m, 6 * m, 1, 100)),
-        ("zipf", |seed, m| msrs_gen::zipf_classes(seed, m, 40 * m, 6 * m, 1, 100)),
-        ("satellite", |seed, m| msrs_gen::satellite(seed, m, 3 * m, 10)),
-        ("photolitho", |seed, m| msrs_gen::photolithography(seed, m, 3 * m, 8)),
-        ("boundary", |seed, m| msrs_gen::boundary_stress(seed, m, 3 * m, 120)),
-        ("huge-heavy", |seed, m| msrs_gen::huge_heavy(seed, m, m, 2 * m, 96)),
-        ("adversarial", |_, m| msrs_gen::adversarial_merged_lpt(m, 60)),
-    ]
+    msrs_engine::families::FAMILIES
+        .iter()
+        .map(|spec| (spec.name, spec.generate))
+        .collect()
 }
 
 /// Small-instance corpus for the exact-OPT experiment (E4): an exhaustive
@@ -40,13 +37,14 @@ pub fn ptas_corpus() -> Vec<Instance> {
     vec![
         Instance::from_classes(2, &[vec![80, 40], vec![60, 60], vec![100]]).unwrap(),
         Instance::from_classes(2, &[vec![120], vec![90, 30], vec![60, 60]]).unwrap(),
-        Instance::from_classes(3, &[vec![100], vec![100], vec![100], vec![50, 50]])
-            .unwrap(),
+        Instance::from_classes(3, &[vec![100], vec![100], vec![100], vec![50, 50]]).unwrap(),
         Instance::from_classes(2, &[vec![70, 70], vec![70], vec![70]]).unwrap(),
-        Instance::from_classes(3, &[vec![90, 30], vec![80, 40], vec![60, 60], vec![120]])
-            .unwrap(),
-        Instance::from_classes(3, &[vec![110, 10], vec![60, 60], vec![40, 40, 40], vec![90]])
-            .unwrap(),
+        Instance::from_classes(3, &[vec![90, 30], vec![80, 40], vec![60, 60], vec![120]]).unwrap(),
+        Instance::from_classes(
+            3,
+            &[vec![110, 10], vec![60, 60], vec![40, 40, 40], vec![90]],
+        )
+        .unwrap(),
     ]
 }
 

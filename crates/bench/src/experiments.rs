@@ -32,7 +32,11 @@ fn algos() -> Vec<Algo> {
 }
 
 fn checked_ratio(inst: &Instance, r: &ApproxResult) -> f64 {
-    assert_eq!(validate(inst, &r.schedule), Ok(()), "invalid schedule in experiment");
+    assert_eq!(
+        validate(inst, &r.schedule),
+        Ok(()),
+        "invalid schedule in experiment"
+    );
     let lb = lower_bound(inst);
     if lb == 0 {
         return 1.0;
@@ -90,7 +94,15 @@ pub fn e1_ratio_families(scale: Scale) -> Table {
 pub fn e2_ratio_vs_m(scale: Scale) -> Table {
     let mut t = Table::new(
         "E2: worst Cmax/T vs m (crossover against 2m/(m+1))",
-        &["m", "2m/(m+1)", "5/3 obs", "3/2 obs", "mergedLPT obs", "hebrard obs", "list obs"],
+        &[
+            "m",
+            "2m/(m+1)",
+            "5/3 obs",
+            "3/2 obs",
+            "mergedLPT obs",
+            "hebrard obs",
+            "list obs",
+        ],
     );
     for m in 2..=12usize {
         let mut insts: Vec<Instance> = vec![msrs_gen::adversarial_merged_lpt(m, 60)];
@@ -102,7 +114,7 @@ pub fn e2_ratio_vs_m(scale: Scale) -> Table {
             insts
                 .par_iter()
                 .map(|inst| checked_ratio(inst, &algo(inst)))
-                .reduce(|| 0.0, f64::max)
+                .fold(0.0, f64::max)
         };
         let guarantee = 2.0 * m as f64 / (m as f64 + 1.0);
         let w53 = worst(five_thirds);
@@ -134,7 +146,10 @@ pub fn e3_runtime_scaling(scale: Scale) -> Table {
     let mut n = 1000usize;
     while n <= scale.big_n {
         let inst = msrs_gen::uniform(7, 32, n, n / 10 + 1, 1, 1000);
-        for (name, algo) in [("5/3", five_thirds as fn(&Instance) -> ApproxResult), ("3/2", three_halves)] {
+        for (name, algo) in [
+            ("5/3", five_thirds as fn(&Instance) -> ApproxResult),
+            ("3/2", three_halves),
+        ] {
             let start = Instant::now();
             let r = algo(&inst);
             let elapsed = start.elapsed();
@@ -162,8 +177,13 @@ pub fn e4_exact_smallscale(scale: Scale) -> Table {
     let opts: Vec<(Instance, u64)> = corpus
         .into_par_iter()
         .filter_map(|inst| {
-            optimal(&inst, SolveLimits { max_nodes: 3_000_000 })
-                .map(|r| (inst, r.makespan))
+            optimal(
+                &inst,
+                SolveLimits {
+                    max_nodes: 3_000_000,
+                },
+            )
+            .map(|r| (inst, r.makespan))
         })
         .collect();
     for (name, algo) in algos() {
@@ -189,9 +209,8 @@ pub fn e4_exact_smallscale(scale: Scale) -> Table {
             .collect();
         let worst = ratios.iter().cloned().fold(0.0, f64::max);
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        let optimal_pct =
-            100.0 * ratios.iter().filter(|&&r| r <= 1.0 + 1e-12).count() as f64
-                / ratios.len() as f64;
+        let optimal_pct = 100.0 * ratios.iter().filter(|&&r| r <= 1.0 + 1e-12).count() as f64
+            / ratios.len() as f64;
         t.row(vec![
             name.into(),
             fmt_ratio(worst),
@@ -208,12 +227,21 @@ pub fn e4_exact_smallscale(scale: Scale) -> Table {
 pub fn e5_ptas(_scale: Scale) -> Table {
     let mut t = Table::new(
         "E5: EPTAS quality vs ε (Thm 14, both variants) against exact OPT",
-        &["variant", "eps", "worst", "mean", "mach used/avail", "intact%"],
+        &[
+            "variant",
+            "eps",
+            "worst",
+            "mean",
+            "mach used/avail",
+            "intact%",
+        ],
     );
     let corpus: Vec<(Instance, u64)> = ptas_corpus()
         .into_iter()
         .map(|inst| {
-            let opt = optimal(&inst, SolveLimits::default()).expect("small").makespan;
+            let opt = optimal(&inst, SolveLimits::default())
+                .expect("small")
+                .makespan;
             (inst, opt)
         })
         .collect();
@@ -224,7 +252,10 @@ pub fn e5_ptas(_scale: Scale) -> Table {
             let mut avail = 0usize;
             let mut intact = 0usize;
             for (inst, opt) in &corpus {
-                let cfg = EptasConfig { eps_k: k, node_budget: 2_000_000 };
+                let cfg = EptasConfig {
+                    eps_k: k,
+                    node_budget: 2_000_000,
+                };
                 let out = if augmented {
                     eptas_augmented(inst, cfg)
                 } else {
@@ -243,7 +274,11 @@ pub fn e5_ptas(_scale: Scale) -> Table {
             let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
             assert!(worst <= 1.0 + 8.0 / k as f64, "EPTAS envelope violated");
             t.row(vec![
-                if augmented { "augmented".into() } else { "fixed-m".to_string() },
+                if augmented {
+                    "augmented".into()
+                } else {
+                    "fixed-m".to_string()
+                },
                 format!("1/{k}"),
                 fmt_ratio(worst),
                 fmt_ratio(mean),
@@ -273,12 +308,12 @@ pub fn e6_algorithm_steps(_scale: Scale) -> String {
 
     // Figure 1: the three steps of Algorithm_5/3 — big-job classes, a large
     // class that must split, then greedy filling.
-    let f1 = Instance::from_classes(
-        2,
-        &[vec![9, 8], vec![5, 5, 5], vec![2], vec![1, 1]],
-    )
-    .unwrap();
-    show("Figure 1: Algorithm_5/3 steps (split + delay)", &f1, &five_thirds(&f1));
+    let f1 = Instance::from_classes(2, &[vec![9, 8], vec![5, 5, 5], vec![2], vec![1, 1]]).unwrap();
+    show(
+        "Figure 1: Algorithm_5/3 steps (split + delay)",
+        &f1,
+        &five_thirds(&f1),
+    );
 
     // Figure 2: Algorithm_no_huge Steps 2–5 (pairing mids, 4-heavy packing).
     let f2 = Instance::from_classes(
@@ -286,29 +321,36 @@ pub fn e6_algorithm_steps(_scale: Scale) -> String {
         &[vec![4, 3], vec![4, 3], vec![4, 3], vec![4, 3], vec![2, 2]],
     )
     .unwrap();
-    show("Figure 2: Algorithm_no_huge Step 3 (four ≥3/4-classes on three machines)",
-        &f2, &three_halves(&f2));
+    show(
+        "Figure 2: Algorithm_no_huge Step 3 (four ≥3/4-classes on three machines)",
+        &f2,
+        &three_halves(&f2),
+    );
 
     // Figure 3: Step 6/7 cases — three heavy classes with big hats.
-    let f3 = Instance::from_classes(
-        3,
-        &[vec![5, 3], vec![5, 3], vec![5, 3], vec![2, 2]],
-    )
-    .unwrap();
-    show("Figure 3: Algorithm_no_huge Step 7 (three ≥3/4-classes)", &f3, &three_halves(&f3));
+    let f3 = Instance::from_classes(3, &[vec![5, 3], vec![5, 3], vec![5, 3], vec![2, 2]]).unwrap();
+    show(
+        "Figure 3: Algorithm_no_huge Step 7 (three ≥3/4-classes)",
+        &f3,
+        &three_halves(&f3),
+    );
 
     // Figure 4: general Algorithm_3/2 — huge machines absorbing classes
     // (Steps 4, 6, 8) and the rotation (Steps 5/10).
-    let f4 = Instance::from_classes(
-        4,
-        &[vec![11], vec![11], vec![5, 4], vec![5, 4], vec![2]],
-    )
-    .unwrap();
-    show("Figure 4: Algorithm_3/2 Step 8 (two huge machines + two heavy classes)",
-        &f4, &three_halves(&f4));
+    let f4 =
+        Instance::from_classes(4, &[vec![11], vec![11], vec![5, 4], vec![5, 4], vec![2]]).unwrap();
+    show(
+        "Figure 4: Algorithm_3/2 Step 8 (two huge machines + two heavy classes)",
+        &f4,
+        &three_halves(&f4),
+    );
 
     let f5 = Instance::from_classes(2, &[vec![9], vec![4, 3], vec![2]]).unwrap();
-    show("Figure 4 (cont.): Algorithm_3/2 Step 5 rotation", &f5, &three_halves(&f5));
+    show(
+        "Figure 4 (cont.): Algorithm_3/2 Step 5 rotation",
+        &f5,
+        &three_halves(&f5),
+    );
     out
 }
 
@@ -320,7 +362,14 @@ pub fn e7_flow_network(scale: Scale) -> Table {
     use rand_chacha::ChaCha8Rng;
     let mut t = Table::new(
         "E7: Lemma 18 / Figure 5 placeholder flow networks",
-        &["classes", "layers", "demand", "flow=demand", "roundtrip ok", "runs"],
+        &[
+            "classes",
+            "layers",
+            "demand",
+            "flow=demand",
+            "roundtrip ok",
+            "runs",
+        ],
     );
     for (classes, layers) in [(4usize, 6usize), (8, 10), (16, 16), (32, 24)] {
         let mut ok = 0usize;
@@ -371,7 +420,15 @@ pub fn e7_flow_network(scale: Scale) -> Table {
 pub fn e8_reduction(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8: Monotone 3-SAT-(2,2) reduction (Thm 23 / Lemma 24 / Fig 6)",
-        &["|X|", "|C|", "machines", "sat%", "mk4 ok%", "mk5 ok%", "deficit(text)"],
+        &[
+            "|X|",
+            "|C|",
+            "machines",
+            "sat%",
+            "mk4 ok%",
+            "mk5 ok%",
+            "deficit(text)",
+        ],
     );
     for nx in [3usize, 6, 9, 12, 18, 24, 30] {
         let mut sat = 0usize;
@@ -438,7 +495,15 @@ pub fn e9_ablations(_scale: Scale) -> Table {
             "7 singleton jobs",
             Instance::from_classes(
                 2,
-                &[vec![4], vec![4], vec![4], vec![4], vec![4], vec![3], vec![3]],
+                &[
+                    vec![4],
+                    vec![4],
+                    vec![4],
+                    vec![4],
+                    vec![4],
+                    vec![3],
+                    vec![3],
+                ],
             )
             .unwrap(),
         ),
@@ -452,16 +517,46 @@ pub fn e9_ablations(_scale: Scale) -> Table {
         ),
     ];
     let configs = [
-        ("area+class", BoundConfig { area: true, class_serialization: true }),
-        ("area only", BoundConfig { area: true, class_serialization: false }),
-        ("class only", BoundConfig { area: false, class_serialization: true }),
-        ("none", BoundConfig { area: false, class_serialization: false }),
+        (
+            "area+class",
+            BoundConfig {
+                area: true,
+                class_serialization: true,
+            },
+        ),
+        (
+            "area only",
+            BoundConfig {
+                area: true,
+                class_serialization: false,
+            },
+        ),
+        (
+            "class only",
+            BoundConfig {
+                area: false,
+                class_serialization: true,
+            },
+        ),
+        (
+            "none",
+            BoundConfig {
+                area: false,
+                class_serialization: false,
+            },
+        ),
     ];
     for (iname, inst) in &gap_instances {
         let mut reference = None;
         for (name, cfg) in configs {
-            let r = optimal_configured(inst, SolveLimits { max_nodes: 200_000_000 }, cfg)
-                .expect("within budget");
+            let r = optimal_configured(
+                inst,
+                SolveLimits {
+                    max_nodes: 200_000_000,
+                },
+                cfg,
+            )
+            .expect("within budget");
             if let Some(opt) = reference {
                 assert_eq!(r.makespan, opt, "bound ablation changed the optimum");
             }
@@ -499,7 +594,13 @@ pub fn e9_ablations(_scale: Scale) -> Table {
     // (c) EPTAS node-budget sensitivity.
     let inst = crate::corpus::ptas_corpus().remove(4);
     for budget in [20_000u64, 200_000, 2_000_000] {
-        let out = eptas_fixed_m(&inst, EptasConfig { eps_k: 4, node_budget: budget });
+        let out = eptas_fixed_m(
+            &inst,
+            EptasConfig {
+                eps_k: 4,
+                node_budget: budget,
+            },
+        );
         assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
         t.row(vec![
             "eptas budget".into(),

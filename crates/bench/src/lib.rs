@@ -39,11 +39,19 @@ pub struct Scale {
 impl Scale {
     /// Full experiment scale (the binary).
     pub fn full() -> Self {
-        Scale { seeds: 12, big_n: 200_000, exact_cap: 4000 }
+        Scale {
+            seeds: 12,
+            big_n: 200_000,
+            exact_cap: 4000,
+        }
     }
 
     /// Smoke-test scale (CI).
     pub fn smoke() -> Self {
-        Scale { seeds: 2, big_n: 5_000, exact_cap: 120 }
+        Scale {
+            seeds: 2,
+            big_n: 5_000,
+            exact_cap: 120,
+        }
     }
 }

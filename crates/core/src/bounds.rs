@@ -32,16 +32,26 @@ impl LowerBounds {
 /// Computes all three lower-bound components for `inst` in `O(n)`.
 pub fn lower_bounds(inst: &Instance) -> LowerBounds {
     let m = inst.machines() as Time;
-    let avg_load = if inst.num_jobs() == 0 { 0 } else { ceil_div(inst.total_load(), m) };
-    let max_class =
-        (0..inst.num_classes()).map(|c| inst.class_load(c)).max().unwrap_or(0);
+    let avg_load = if inst.num_jobs() == 0 {
+        0
+    } else {
+        ceil_div(inst.total_load(), m)
+    };
+    let max_class = (0..inst.num_classes())
+        .map(|c| inst.class_load(c))
+        .max()
+        .unwrap_or(0);
     let two_jobs = if inst.num_jobs() > inst.machines() {
         inst.kth_largest_size(inst.machines()).unwrap_or(0)
             + inst.kth_largest_size(inst.machines() + 1).unwrap_or(0)
     } else {
         0
     };
-    LowerBounds { avg_load, max_class, two_jobs }
+    LowerBounds {
+        avg_load,
+        max_class,
+        two_jobs,
+    }
 }
 
 /// The combined lower bound `T` of Theorem 2 (see [`LowerBounds::combined`]).

@@ -253,7 +253,10 @@ impl<'a> ScheduleBuilder<'a> {
     /// Index (within the bottom stack of `machine`) of the block whose first
     /// job is `job`, if any. Used to locate a block for rotation.
     pub fn find_bottom_block(&self, machine: MachineId, job: JobId) -> Option<usize> {
-        self.machines[machine].bottom.iter().position(|b| b.jobs.first() == Some(&job))
+        self.machines[machine]
+            .bottom
+            .iter()
+            .position(|b| b.jobs.first() == Some(&job))
     }
 
     /// All blocks of `machine` with resolved start times, bottom stack first
@@ -263,13 +266,19 @@ impl<'a> ScheduleBuilder<'a> {
         let mut out = Vec::with_capacity(slot.bottom.len() + slot.top.len());
         let mut cur: Time = 0;
         for b in &slot.bottom {
-            out.push(PlacedBlock { block: b, start: cur });
+            out.push(PlacedBlock {
+                block: b,
+                start: cur,
+            });
             cur += b.len;
         }
         let mut cur = self.horizon;
         for b in &slot.top {
             cur -= b.len;
-            out.push(PlacedBlock { block: b, start: cur });
+            out.push(PlacedBlock {
+                block: b,
+                start: cur,
+            });
         }
         out
     }
@@ -327,21 +336,34 @@ impl<'a> ScheduleBuilder<'a> {
 
     /// Resolves all blocks into a [`Schedule`].
     pub fn finalize(self) -> Result<Schedule, BuildError> {
-        let missing: Vec<JobId> =
-            self.placed.iter().enumerate().filter(|(_, &p)| !p).map(|(j, _)| j).collect();
+        let missing: Vec<JobId> = self
+            .placed
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| !p)
+            .map(|(j, _)| j)
+            .collect();
         if !missing.is_empty() {
             return Err(BuildError::UnplacedJobs {
                 count: missing.len(),
                 sample: missing.into_iter().take(8).collect(),
             });
         }
-        let mut assignments =
-            vec![Assignment { machine: 0, start: 0 }; self.inst.num_jobs()];
+        let mut assignments = vec![
+            Assignment {
+                machine: 0,
+                start: 0
+            };
+            self.inst.num_jobs()
+        ];
         for (machine, slot) in self.machines.iter().enumerate() {
             let mut cur: Time = 0;
             for b in &slot.bottom {
                 for &j in &b.jobs {
-                    assignments[j] = Assignment { machine, start: cur };
+                    assignments[j] = Assignment {
+                        machine,
+                        start: cur,
+                    };
                     cur += self.inst.size(j);
                 }
             }

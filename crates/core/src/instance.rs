@@ -55,7 +55,11 @@ impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstanceError::NoMachines => write!(f, "instance must have at least one machine"),
-            InstanceError::ClassOutOfRange { job, class, num_classes } => write!(
+            InstanceError::ClassOutOfRange {
+                job,
+                class,
+                num_classes,
+            } => write!(
                 f,
                 "job {job} references class {class}, but only {num_classes} classes exist"
             ),
@@ -92,16 +96,17 @@ impl Instance {
         for (id, job) in jobs.iter().enumerate() {
             classes[job.class].push(id);
         }
-        Ok(Instance { machines, jobs, classes })
+        Ok(Instance {
+            machines,
+            jobs,
+            classes,
+        })
     }
 
     /// Builds an instance from per-class job size lists: `class_sizes[c]` are
     /// the processing times of the jobs of class `c`. Job ids are assigned in
     /// iteration order.
-    pub fn from_classes(
-        machines: usize,
-        class_sizes: &[Vec<Time>],
-    ) -> Result<Self, InstanceError> {
+    pub fn from_classes(machines: usize, class_sizes: &[Vec<Time>]) -> Result<Self, InstanceError> {
         let mut jobs = Vec::with_capacity(class_sizes.iter().map(Vec::len).sum());
         for (c, sizes) in class_sizes.iter().enumerate() {
             for &s in sizes {
@@ -115,7 +120,11 @@ impl Instance {
         for (id, job) in jobs.iter().enumerate() {
             classes[job.class].push(id);
         }
-        Ok(Instance { machines, jobs, classes })
+        Ok(Instance {
+            machines,
+            jobs,
+            classes,
+        })
     }
 
     /// Number of machines `m`.
@@ -172,7 +181,11 @@ impl Instance {
 
     /// Largest job size within class `c` (0 for an empty class).
     pub fn class_max_job(&self, c: ClassId) -> Time {
-        self.classes[c].iter().map(|&j| self.jobs[j].size).max().unwrap_or(0)
+        self.classes[c]
+            .iter()
+            .map(|&j| self.jobs[j].size)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total processing time `p(J)` over all jobs.
@@ -182,7 +195,11 @@ impl Instance {
 
     /// Iterator over non-empty class ids.
     pub fn nonempty_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
-        self.classes.iter().enumerate().filter(|(_, v)| !v.is_empty()).map(|(c, _)| c)
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(c, _)| c)
     }
 
     /// The `k`-th largest processing time over all jobs (`k` is 1-based);
@@ -229,8 +246,7 @@ mod tests {
 
     #[test]
     fn new_infers_classes_from_ids() {
-        let inst =
-            Instance::new(2, vec![Job::new(4, 2), Job::new(1, 0), Job::new(2, 2)]).unwrap();
+        let inst = Instance::new(2, vec![Job::new(4, 2), Job::new(1, 0), Job::new(2, 2)]).unwrap();
         assert_eq!(inst.num_classes(), 3);
         assert_eq!(inst.class_jobs(2), &[0, 2]);
         assert!(inst.class_jobs(1).is_empty());
@@ -239,7 +255,10 @@ mod tests {
 
     #[test]
     fn zero_machines_rejected() {
-        assert_eq!(Instance::new(0, vec![]).unwrap_err(), InstanceError::NoMachines);
+        assert_eq!(
+            Instance::new(0, vec![]).unwrap_err(),
+            InstanceError::NoMachines
+        );
         assert_eq!(
             Instance::from_classes(0, &[vec![1]]).unwrap_err(),
             InstanceError::NoMachines

@@ -80,7 +80,11 @@ pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
         .find(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
     match header {
         Some((_, l)) if l.trim() == "msrs-instance v1" => {}
-        _ => return Err(ParseError::BadHeader { expected: "msrs-instance v1" }),
+        _ => {
+            return Err(ParseError::BadHeader {
+                expected: "msrs-instance v1",
+            })
+        }
     }
     let mut machines: Option<usize> = None;
     let mut classes: Vec<Vec<Time>> = Vec::new();
@@ -128,17 +132,18 @@ pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
             None => {}
         }
     }
-    let machines =
-        machines.ok_or(ParseError::Inconsistent("no `machines` line".into()))?;
-    Instance::from_classes(machines, &classes)
-        .map_err(|e| ParseError::Inconsistent(e.to_string()))
+    let machines = machines.ok_or(ParseError::Inconsistent("no `machines` line".into()))?;
+    Instance::from_classes(machines, &classes).map_err(|e| ParseError::Inconsistent(e.to_string()))
 }
 
 /// Serializes a schedule to the text format.
 pub fn write_schedule(schedule: &Schedule) -> String {
     let mut out = String::from("msrs-schedule v1\n");
     for (j, a) in schedule.assignments().iter().enumerate() {
-        out.push_str(&format!("job {j} machine {} start {}\n", a.machine, a.start));
+        out.push_str(&format!(
+            "job {j} machine {} start {}\n",
+            a.machine, a.start
+        ));
     }
     out
 }
@@ -152,7 +157,11 @@ pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
         .find(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
     match header {
         Some((_, l)) if l.trim() == "msrs-schedule v1" => {}
-        _ => return Err(ParseError::BadHeader { expected: "msrs-schedule v1" }),
+        _ => {
+            return Err(ParseError::BadHeader {
+                expected: "msrs-schedule v1",
+            })
+        }
     }
     let mut entries: Vec<(usize, Assignment)> = Vec::new();
     for (i, raw) in lines {
@@ -161,9 +170,11 @@ pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        let bad = |reason: &str| ParseError::BadLine { line: i + 1, reason: reason.into() };
-        if toks.len() != 6 || toks[0] != "job" || toks[2] != "machine" || toks[4] != "start"
-        {
+        let bad = |reason: &str| ParseError::BadLine {
+            line: i + 1,
+            reason: reason.into(),
+        };
+        if toks.len() != 6 || toks[0] != "job" || toks[2] != "machine" || toks[4] != "start" {
             return Err(bad("expected `job <id> machine <q> start <t>`"));
         }
         let job: usize = toks[1].parse().map_err(|_| bad("bad job id"))?;
@@ -201,9 +212,18 @@ mod tests {
     #[test]
     fn schedule_round_trip() {
         let s = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 2, start: 4 },
-            Assignment { machine: 1, start: 9 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 2,
+                start: 4,
+            },
+            Assignment {
+                machine: 1,
+                start: 9,
+            },
         ]);
         let text = write_schedule(&s);
         assert_eq!(read_schedule(&text).unwrap(), s);
@@ -241,19 +261,28 @@ mod tests {
     #[test]
     fn empty_class_rejected() {
         let text = "msrs-instance v1\nmachines 2\nclass\n";
-        assert!(matches!(read_instance(text), Err(ParseError::BadLine { .. })));
+        assert!(matches!(
+            read_instance(text),
+            Err(ParseError::BadLine { .. })
+        ));
     }
 
     #[test]
     fn missing_machines_rejected() {
         let text = "msrs-instance v1\nclass 1\n";
-        assert!(matches!(read_instance(text), Err(ParseError::Inconsistent(_))));
+        assert!(matches!(
+            read_instance(text),
+            Err(ParseError::Inconsistent(_))
+        ));
     }
 
     #[test]
     fn schedule_gap_in_job_ids_rejected() {
         let text = "msrs-schedule v1\njob 0 machine 0 start 0\njob 2 machine 0 start 5\n";
-        assert!(matches!(read_schedule(text), Err(ParseError::Inconsistent(_))));
+        assert!(matches!(
+            read_schedule(text),
+            Err(ParseError::Inconsistent(_))
+        ));
     }
 
     #[test]
@@ -272,7 +301,10 @@ mod tests {
     fn msrs_test_helpers_three_halves(inst: &Instance) -> Schedule {
         let mut b = crate::builder::ScheduleBuilder::new(inst, inst.total_load().max(1));
         for (machine, c) in inst.nonempty_classes().enumerate() {
-            b.push_bottom(machine % inst.machines(), crate::builder::Block::whole_class(inst, c));
+            b.push_bottom(
+                machine % inst.machines(),
+                crate::builder::Block::whole_class(inst, c),
+            );
         }
         b.finalize().unwrap()
     }

@@ -45,7 +45,10 @@ pub fn render_gantt(inst: &Instance, schedule: &Schedule, width: usize) -> Strin
                 }
             }
         }
-        out.push_str(&format!("M{machine:<3}|{}\n", String::from_utf8_lossy(&row)));
+        out.push_str(&format!(
+            "M{machine:<3}|{}\n",
+            String::from_utf8_lossy(&row)
+        ));
     }
     out
 }
@@ -71,9 +74,18 @@ mod tests {
     fn setup() -> (Instance, Schedule) {
         let inst = Instance::from_classes(2, &[vec![4, 2], vec![3]]).unwrap();
         let sched = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 1, start: 4 },
-            Assignment { machine: 1, start: 0 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 1,
+                start: 4,
+            },
+            Assignment {
+                machine: 1,
+                start: 0,
+            },
         ]);
         (inst, sched)
     }
@@ -108,8 +120,14 @@ mod tests {
     fn zero_size_jobs_are_skipped() {
         let inst = Instance::from_classes(1, &[vec![0, 3]]).unwrap();
         let sched = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 0, start: 0 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
         ]);
         let g = render_gantt(&inst, &sched, 20);
         assert!(g.contains("c0"));

@@ -116,9 +116,18 @@ mod tests {
 
     fn sched() -> Schedule {
         Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 1, start: 3 },
-            Assignment { machine: 1, start: 5 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 1,
+                start: 3,
+            },
+            Assignment {
+                machine: 1,
+                start: 5,
+            },
         ])
     }
 
@@ -154,8 +163,14 @@ mod tests {
     fn machines_used_ignores_zero_size_jobs() {
         let inst = Instance::from_classes(3, &[vec![0], vec![2]]).unwrap();
         let s = Schedule::new(vec![
-            Assignment { machine: 2, start: 0 },
-            Assignment { machine: 0, start: 0 },
+            Assignment {
+                machine: 2,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
         ]);
         assert_eq!(s.machines_used(&inst), 1);
     }

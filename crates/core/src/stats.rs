@@ -35,14 +35,21 @@ impl ScheduleStats {
 /// Computes [`ScheduleStats`] for a (valid) schedule.
 pub fn schedule_stats(inst: &Instance, schedule: &Schedule) -> ScheduleStats {
     let makespan = schedule.makespan(inst);
-    let machine_loads: Vec<Time> =
-        (0..inst.machines()).map(|q| schedule.machine_load(inst, q)).collect();
+    let machine_loads: Vec<Time> = (0..inst.machines())
+        .map(|q| schedule.machine_load(inst, q))
+        .collect();
     let busy: Time = machine_loads.iter().sum();
     let window = makespan * inst.machines() as Time;
     let total_idle = window.saturating_sub(busy);
     let utils: Vec<f64> = machine_loads
         .iter()
-        .map(|&l| if makespan == 0 { 1.0 } else { l as f64 / makespan as f64 })
+        .map(|&l| {
+            if makespan == 0 {
+                1.0
+            } else {
+                l as f64 / makespan as f64
+            }
+        })
         .collect();
     let mean_utilization = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
     let min_utilization = utils.iter().cloned().fold(1.0, f64::min);
@@ -59,8 +66,16 @@ pub fn schedule_stats(inst: &Instance, schedule: &Schedule) -> ScheduleStats {
             class_stretch.push(1.0);
             continue;
         }
-        let first = jobs.iter().map(|&j| schedule.assignment(j).start).min().expect("non-empty");
-        let last = jobs.iter().map(|&j| schedule.completion(inst, j)).max().expect("non-empty");
+        let first = jobs
+            .iter()
+            .map(|&j| schedule.assignment(j).start)
+            .min()
+            .expect("non-empty");
+        let last = jobs
+            .iter()
+            .map(|&j| schedule.completion(inst, j))
+            .max()
+            .expect("non-empty");
         let load = inst.class_load(c);
         class_stretch.push((last - first) as f64 / load as f64);
     }
@@ -87,9 +102,18 @@ mod tests {
     fn perfect_packing_has_full_utilization() {
         // m0: class0 jobs back-to-back [0,6); m1: class1 [0,4) → makespan 6.
         let s = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 0, start: 3 },
-            Assignment { machine: 1, start: 0 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 3,
+            },
+            Assignment {
+                machine: 1,
+                start: 0,
+            },
         ]);
         let st = schedule_stats(&inst(), &s);
         assert_eq!(st.makespan, 6);
@@ -103,9 +127,18 @@ mod tests {
     fn interleaving_shows_as_stretch() {
         // class0 jobs at [0,3) and [5,8): span 8 over load 6 → stretch 4/3.
         let s = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 0, start: 5 },
-            Assignment { machine: 1, start: 0 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 5,
+            },
+            Assignment {
+                machine: 1,
+                start: 0,
+            },
         ]);
         let st = schedule_stats(&inst(), &s);
         assert!((st.class_stretch[0] - 8.0 / 6.0).abs() < 1e-12);
@@ -125,9 +158,18 @@ mod tests {
     fn zero_size_classes_have_unit_stretch() {
         let inst = Instance::from_classes(1, &[vec![0, 0], vec![5]]).unwrap();
         let s = Schedule::new(vec![
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 0, start: 0 },
-            Assignment { machine: 0, start: 0 },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
         ]);
         let st = schedule_stats(&inst, &s);
         assert_eq!(st.class_stretch[0], 1.0);

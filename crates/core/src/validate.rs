@@ -59,14 +59,32 @@ impl fmt::Display for ValidationError {
             ValidationError::WrongJobCount { expected, actual } => {
                 write!(f, "schedule has {actual} assignments for {expected} jobs")
             }
-            ValidationError::MachineOutOfRange { job, machine, machines } => {
-                write!(f, "job {job} assigned to machine {machine} (only {machines} machines)")
+            ValidationError::MachineOutOfRange {
+                job,
+                machine,
+                machines,
+            } => {
+                write!(
+                    f,
+                    "job {job} assigned to machine {machine} (only {machines} machines)"
+                )
             }
-            ValidationError::MachineOverlap { machine, job_a, job_b } => {
+            ValidationError::MachineOverlap {
+                machine,
+                job_a,
+                job_b,
+            } => {
                 write!(f, "jobs {job_a} and {job_b} overlap on machine {machine}")
             }
-            ValidationError::ClassConflict { class, job_a, job_b } => {
-                write!(f, "jobs {job_a} and {job_b} of class {class} run concurrently")
+            ValidationError::ClassConflict {
+                class,
+                job_a,
+                job_b,
+            } => {
+                write!(
+                    f,
+                    "jobs {job_a} and {job_b} of class {class} run concurrently"
+                )
             }
         }
     }
@@ -106,7 +124,11 @@ pub fn validate(inst: &Instance, schedule: &Schedule) -> Result<(), ValidationEr
         for w in jobs.windows(2) {
             let (a, b) = (w[0], w[1]);
             if schedule.completion(inst, a) > schedule.assignment(b).start {
-                return Err(ValidationError::MachineOverlap { machine, job_a: a, job_b: b });
+                return Err(ValidationError::MachineOverlap {
+                    machine,
+                    job_a: a,
+                    job_b: b,
+                });
             }
         }
     }
@@ -123,7 +145,11 @@ pub fn validate(inst: &Instance, schedule: &Schedule) -> Result<(), ValidationEr
         for w in jobs.windows(2) {
             let (a, b) = (w[0], w[1]);
             if schedule.completion(inst, a) > schedule.assignment(b).start {
-                return Err(ValidationError::ClassConflict { class, job_a: a, job_b: b });
+                return Err(ValidationError::ClassConflict {
+                    class,
+                    job_a: a,
+                    job_b: b,
+                });
             }
         }
     }
@@ -156,7 +182,11 @@ mod tests {
         let s = Schedule::new(vec![asg(0, 0), asg(0, 2), asg(1, 0)]);
         assert_eq!(
             validate(&inst(), &s),
-            Err(ValidationError::MachineOverlap { machine: 0, job_a: 0, job_b: 1 })
+            Err(ValidationError::MachineOverlap {
+                machine: 0,
+                job_a: 0,
+                job_b: 1
+            })
         );
     }
 
@@ -166,7 +196,11 @@ mod tests {
         let s = Schedule::new(vec![asg(0, 0), asg(1, 1), asg(1, 4)]);
         assert_eq!(
             validate(&inst(), &s),
-            Err(ValidationError::ClassConflict { class: 0, job_a: 0, job_b: 1 })
+            Err(ValidationError::ClassConflict {
+                class: 0,
+                job_a: 0,
+                job_b: 1
+            })
         );
     }
 
@@ -183,14 +217,21 @@ mod tests {
         let s = Schedule::new(vec![asg(0, 0), asg(5, 3), asg(1, 0)]);
         assert!(matches!(
             validate(&inst(), &s),
-            Err(ValidationError::MachineOutOfRange { job: 1, machine: 5, .. })
+            Err(ValidationError::MachineOutOfRange {
+                job: 1,
+                machine: 5,
+                ..
+            })
         ));
     }
 
     #[test]
     fn rejects_wrong_job_count() {
         let s = Schedule::new(vec![asg(0, 0)]);
-        assert!(matches!(validate(&inst(), &s), Err(ValidationError::WrongJobCount { .. })));
+        assert!(matches!(
+            validate(&inst(), &s),
+            Err(ValidationError::WrongJobCount { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! `msrs` — the command-line frontend of the solver-portfolio engine.
+//!
+//! ```text
+//! msrs gen    --family uniform --count 100 --machines 4 --seed 1 --out corpus.jsonl
+//! msrs solve  --input instance.txt            # msrs-text or JSONL, `-` = stdin
+//! msrs batch  --input corpus.jsonl --threads 8 --out reports.jsonl
+//! msrs bench  --families uniform,zipf --count 20 --machines 4
+//! ```
+//!
+//! Instances travel as JSON lines (`{"id":…,"machines":…,"classes":[[…]]}`)
+//! or in the `msrs-instance v1` text format of `msrs_core::io`; reports come
+//! back as JSON lines. Flag parsing is hand-rolled so the binary stays
+//! dependency-free.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use msrs_core::{io as text_io, validate};
+use msrs_engine::families::FAMILIES;
+use msrs_engine::{
+    family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
+};
+
+const USAGE: &str = "msrs — solver-portfolio engine for Scheduling with Many Shared Resources
+
+USAGE:
+    msrs <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+    gen     Generate a JSONL instance corpus from the named families
+    solve   Solve one instance (msrs-text or JSONL; `--input -` reads stdin)
+    batch   Solve a JSONL corpus in parallel, emitting JSONL reports
+    bench   Compare the portfolio against each single solver on generated corpora
+    help    Show this help
+
+COMMON ENGINE FLAGS (solve, batch, bench):
+    --threads <N>        Worker threads (0 = all cores)          [default: 0]
+    --no-baselines       Skip the prior-work baseline solvers
+    --deadline-ms <D>    Per-instance wall-clock deadline (opt-in nondeterminism)
+    --exact-nodes <N>    Exact-solver node budget
+    --no-eptas           Disable the EPTAS portfolio member
+
+GEN FLAGS:
+    --family <NAME|all>  uniform|zipf|satellite|photolitho|adversarial|boundary|huge
+    --count <N>          Instances per family                    [default: 10]
+    --machines <M>       Machine count                           [default: 4]
+    --seed <S>           Base seed                               [default: 1]
+    --out <PATH>         Output file (stdout if omitted)
+
+SOLVE FLAGS:
+    --input <PATH|->     Instance file (sniffs JSONL vs msrs-text)
+    --json               Emit the full JSON report instead of the summary
+    --schedule           Also print the schedule in msrs-text format
+
+BATCH FLAGS:
+    --input <PATH|->     JSONL corpus
+    --out <PATH>         Report JSONL file (stdout if omitted)
+    --quiet              Suppress the per-batch summary on stderr
+
+BENCH FLAGS:
+    --families <LIST>    Comma-separated family names            [default: all]
+    --count <N>          Instances per family                    [default: 10]
+    --machines <M>       Machine count                           [default: 4]
+    --seed <S>           Base seed                               [default: 1]
+";
+
+/// Engine flags shared by `solve`, `batch`, and `bench`.
+const ENGINE_FLAGS: &[&str] = &[
+    "--threads",
+    "--no-baselines",
+    "--no-eptas",
+    "--exact-nodes",
+    "--deadline-ms",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let allowed: &[&str] = match cmd {
+        "gen" => &["--family", "--count", "--machines", "--seed", "--out"],
+        "solve" => &["--input", "--json", "--schedule"],
+        "batch" => &["--input", "--out", "--quiet"],
+        "bench" => &["--families", "--count", "--machines", "--seed"],
+        _ => &[],
+    };
+    let takes_engine_flags = matches!(cmd, "solve" | "batch" | "bench");
+    let flags = match Flags::parse(&args[1..], allowed, takes_engine_flags) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "gen" => cmd_gen(&flags),
+        "solve" => cmd_solve(&flags),
+        "batch" => cmd_batch(&flags),
+        "bench" => cmd_bench(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `msrs help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--flag value` / `--switch` arguments.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], allowed: &[&str], takes_engine_flags: bool) -> Result<Flags, String> {
+        const SWITCHES: &[&str] = &[
+            "--no-baselines",
+            "--no-eptas",
+            "--json",
+            "--schedule",
+            "--quiet",
+        ];
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument `{flag}`"));
+            }
+            let known = allowed.contains(&flag.as_str())
+                || (takes_engine_flags && ENGINE_FLAGS.contains(&flag.as_str()));
+            if !known {
+                let mut all: Vec<&str> = allowed.to_vec();
+                if takes_engine_flags {
+                    all.extend(ENGINE_FLAGS);
+                }
+                return Err(format!(
+                    "unknown flag `{flag}` (accepted here: {})",
+                    all.join(", ")
+                ));
+            }
+            if SWITCHES.contains(&flag.as_str()) {
+                pairs.push((flag.clone(), None));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+                pairs.push((flag.clone(), Some(value.clone())));
+                i += 2;
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: `{v}`")),
+        }
+    }
+}
+
+fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
+    let mut cfg = EngineConfig::default();
+    cfg.threads = flags.get_num("--threads", cfg.threads)?;
+    cfg.run_baselines = !flags.has("--no-baselines");
+    cfg.eptas.enabled = !flags.has("--no-eptas");
+    cfg.exact.max_nodes = flags.get_num("--exact-nodes", cfg.exact.max_nodes)?;
+    if let Some(ms) = flags.get("--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --deadline-ms `{ms}`"))?;
+        cfg.deadline = Some(Duration::from_millis(ms));
+    }
+    Ok(Engine::new(cfg))
+}
+
+fn read_input(flags: &Flags) -> Result<String, String> {
+    match flags.get("--input") {
+        None => Err("missing --input (use `-` for stdin)".into()),
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(buf)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}
+
+fn write_output(flags: &Flags, content: &str) -> Result<(), String> {
+    match flags.get("--out") {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}")),
+    }
+}
+
+/// `msrs gen`: emit a JSONL corpus.
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let which = flags.get("--family").unwrap_or("all");
+    let count: u64 = flags.get_num("--count", 10)?;
+    let machines: usize = flags.get_num("--machines", 4)?;
+    let seed: u64 = flags.get_num("--seed", 1)?;
+    if machines == 0 {
+        return Err("--machines must be ≥ 1".into());
+    }
+    let specs: Vec<_> = if which == "all" {
+        FAMILIES.iter().collect()
+    } else {
+        which
+            .split(',')
+            .map(|name| {
+                family(name.trim()).ok_or_else(|| {
+                    format!(
+                        "unknown family `{name}` (known: {})",
+                        family_names().join(", ")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let mut out = String::new();
+    for spec in specs {
+        for k in 0..count {
+            let inst = (spec.generate)(seed.wrapping_add(k), machines);
+            let id = format!("{}-m{}-s{}", spec.name, machines, seed.wrapping_add(k));
+            out.push_str(&jsonl::write_instance_line(Some(&id), &inst));
+            out.push('\n');
+        }
+    }
+    write_output(flags, &out)
+}
+
+/// Sniffs JSONL vs msrs-text and parses a single instance.
+fn parse_single_instance(text: &str) -> Result<SolveRequest, String> {
+    let first = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or("empty input")?;
+    if first.starts_with('{') {
+        let reqs = jsonl::read_corpus(text).map_err(|e| e.to_string())?;
+        match <[SolveRequest; 1]>::try_from(reqs) {
+            Ok([req]) => Ok(req),
+            Err(reqs) => Err(format!(
+                "`msrs solve` expects exactly one instance, found {} (use `msrs batch`)",
+                reqs.len()
+            )),
+        }
+    } else {
+        let inst = text_io::read_instance(text).map_err(|e| e.to_string())?;
+        Ok(SolveRequest::new(inst))
+    }
+}
+
+/// `msrs solve`: one instance, human summary or JSON report.
+fn cmd_solve(flags: &Flags) -> Result<(), String> {
+    let req = parse_single_instance(&read_input(flags)?)?;
+    let engine = engine_from_flags(flags)?;
+    let report = engine.solve(&req);
+    debug_assert!(validate(&req.instance, &report.schedule).is_ok());
+    if flags.has("--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.summary());
+        for run in &report.runs {
+            println!(
+                "  {:>14}  {:>9}  makespan {:>6}  {:>10}",
+                run.solver.name(),
+                run.status.label(),
+                run.makespan.map_or("-".into(), |m| m.to_string()),
+                format!("{} µs", run.wall_micros),
+            );
+        }
+    }
+    if flags.has("--schedule") {
+        print!("{}", text_io::write_schedule(&report.schedule));
+    }
+    Ok(())
+}
+
+/// `msrs batch`: JSONL corpus in, JSONL reports out.
+fn cmd_batch(flags: &Flags) -> Result<(), String> {
+    let reqs = jsonl::read_corpus(&read_input(flags)?).map_err(|e| e.to_string())?;
+    if reqs.is_empty() {
+        return Err("corpus contains no instances".into());
+    }
+    let engine = engine_from_flags(flags)?;
+    let reports = engine.solve_batch(&reqs);
+    let mut out = String::new();
+    for report in &reports {
+        out.push_str(&report.to_json().to_string());
+        out.push('\n');
+    }
+    write_output(flags, &out)?;
+    if !flags.has("--quiet") {
+        let n = reports.len();
+        let optimal = reports.iter().filter(|r| r.proven_optimal).count();
+        let worst = reports
+            .iter()
+            .map(SolveReport::ratio_vs_bound)
+            .fold(1.0f64, f64::max);
+        let mean = reports.iter().map(SolveReport::ratio_vs_bound).sum::<f64>() / n as f64;
+        eprintln!(
+            "batch: {n} instances, {optimal} proven optimal, \
+             ratio vs bound mean {mean:.4} worst {worst:.4}"
+        );
+    }
+    Ok(())
+}
+
+/// `msrs bench`: portfolio vs every single solver over generated corpora.
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    let which = flags.get("--families").unwrap_or("all");
+    let count: u64 = flags.get_num("--count", 10)?;
+    let machines: usize = flags.get_num("--machines", 4)?;
+    let seed: u64 = flags.get_num("--seed", 1)?;
+    let engine = engine_from_flags(flags)?;
+    let specs: Vec<_> = if which == "all" {
+        FAMILIES.iter().collect()
+    } else {
+        which
+            .split(',')
+            .map(|name| family(name.trim()).ok_or_else(|| format!("unknown family `{name}`")))
+            .collect::<Result<_, _>>()?
+    };
+    println!(
+        "{:<12} {:>6} | {:>14} {:>9} {:>9} | portfolio vs single-solver mean ratio",
+        "family", "n", "solver", "mean", "worst"
+    );
+    for spec in specs {
+        let reqs: Vec<SolveRequest> = (0..count)
+            .map(|k| {
+                SolveRequest::with_id(
+                    format!("{}-{k}", spec.name),
+                    (spec.generate)(seed.wrapping_add(k), machines),
+                )
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let reports = engine.solve_batch(&reqs);
+        let elapsed = start.elapsed();
+        let mean =
+            reports.iter().map(SolveReport::ratio_vs_bound).sum::<f64>() / reports.len() as f64;
+        let worst = reports
+            .iter()
+            .map(SolveReport::ratio_vs_bound)
+            .fold(1.0f64, f64::max);
+        println!(
+            "{:<12} {:>6} | {:>14} {:>9.4} {:>9.4} | engine ({:?} total)",
+            spec.name,
+            reports.len(),
+            "portfolio",
+            mean,
+            worst,
+            elapsed,
+        );
+        // Single-solver comparison rows (certifying + baseline members).
+        for kind in [
+            SolverKind::FiveThirds,
+            SolverKind::ThreeHalves,
+            SolverKind::HebrardGreedy,
+            SolverKind::ListScheduler,
+            SolverKind::MergedLpt,
+        ] {
+            let mut mean = 0.0f64;
+            let mut worst = 1.0f64;
+            for req in &reqs {
+                let result = match kind {
+                    SolverKind::FiveThirds => msrs_approx::five_thirds(&req.instance),
+                    SolverKind::ThreeHalves => msrs_approx::three_halves(&req.instance),
+                    SolverKind::HebrardGreedy => {
+                        msrs_approx::baselines::hebrard_greedy(&req.instance)
+                    }
+                    SolverKind::ListScheduler => {
+                        msrs_approx::baselines::list_scheduler(&req.instance)
+                    }
+                    SolverKind::MergedLpt => msrs_approx::baselines::merged_lpt(&req.instance),
+                    SolverKind::Exact | SolverKind::Eptas => {
+                        unreachable!("not in the single-solver comparison row set")
+                    }
+                };
+                let ratio = result.ratio_vs_bound(&req.instance);
+                mean += ratio;
+                worst = worst.max(ratio);
+            }
+            mean /= reqs.len() as f64;
+            println!(
+                "{:<12} {:>6} | {:>14} {:>9.4} {:>9.4} |",
+                "",
+                "",
+                kind.name(),
+                mean,
+                worst
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,609 @@
+//! The engine: parallel portfolio/batch execution with certified selection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use msrs_core::{validate, Instance, Schedule, Time};
+use msrs_exact::SolveLimits;
+use msrs_ptas::EptasConfig;
+
+use crate::portfolio::{plan, Portfolio, SolverKind};
+use crate::profile::{classify, InstanceProfile};
+use crate::report::{RunStatus, SolveReport, SolveRequest, SolverRun};
+
+/// When the exact branch-and-bound is planned and how hard it tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactPolicy {
+    /// Plan the exact solver only when `n ≤ max_jobs`.
+    pub max_jobs: usize,
+    /// … and the non-empty class count is `≤ max_classes`.
+    pub max_classes: usize,
+    /// Node budget; exhaustion yields [`RunStatus::Exhausted`].
+    pub max_nodes: u64,
+}
+
+impl Default for ExactPolicy {
+    fn default() -> Self {
+        // Tied to the classifier's Tiny tier so `InstanceProfile.tier` and
+        // the planned portfolio agree by construction.
+        ExactPolicy {
+            max_jobs: crate::profile::TINY_MAX_JOBS,
+            max_classes: crate::profile::TINY_MAX_CLASSES,
+            max_nodes: 3_000_000,
+        }
+    }
+}
+
+/// When the EPTAS is planned and with which parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptasPolicy {
+    /// Master switch.
+    pub enabled: bool,
+    /// Plan the EPTAS only when `n ≤ max_jobs`.
+    pub max_jobs: usize,
+    /// … and `m ≤ max_machines` (the engine uses the fixed-`m` variant so
+    /// the schedule stays valid for the *original* machine count).
+    pub max_machines: usize,
+    /// `ε = 1/eps_k`.
+    pub eps_k: u64,
+    /// Node budget per layered decision.
+    pub node_budget: u64,
+}
+
+impl Default for EptasPolicy {
+    fn default() -> Self {
+        // Tied to the classifier's Small tier (see ExactPolicy).
+        EptasPolicy {
+            enabled: true,
+            max_jobs: crate::profile::SMALL_MAX_JOBS,
+            max_machines: crate::profile::SMALL_MAX_MACHINES,
+            eps_k: 3,
+            node_budget: 300_000,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for batch solving; `0` = available parallelism.
+    pub threads: usize,
+    /// Run portfolio members of a *single* [`Engine::solve`] on their own
+    /// threads (batches always parallelize across instances instead, so
+    /// workers are never oversubscribed).
+    pub parallel_portfolio: bool,
+    /// Optional wall-clock deadline per instance. Members still running when
+    /// it fires are reported [`RunStatus::TimedOut`] and their results
+    /// discarded; the first member (the `O(|I|)` 5/3-approximation) is always
+    /// awaited so a report always carries a valid schedule. **Opt-in
+    /// nondeterminism** — leave `None` for bit-reproducible runs.
+    pub deadline: Option<Duration>,
+    /// Include the prior-work baselines in portfolios.
+    pub run_baselines: bool,
+    /// Exact-solver policy.
+    pub exact: ExactPolicy,
+    /// EPTAS policy.
+    pub eptas: EptasPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            parallel_portfolio: true,
+            deadline: None,
+            run_baselines: true,
+            exact: ExactPolicy::default(),
+            eptas: EptasPolicy::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn effective_threads(&self, work_items: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.clamp(1, work_items.max(1))
+    }
+}
+
+/// The portfolio orchestrator. Construction is cheap; the engine is
+/// stateless between calls and `Sync`, so one instance can serve many
+/// threads.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+}
+
+/// Everything a finished member hands back.
+struct MemberOutcome {
+    status: RunStatus,
+    schedule: Option<Schedule>,
+    makespan: Option<Time>,
+    certified_horizon: Option<Time>,
+    nodes: Option<u64>,
+    wall_micros: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Solves one request with the planned portfolio (parallel across
+    /// members when [`EngineConfig::parallel_portfolio`] is set).
+    pub fn solve(&self, req: &SolveRequest) -> SolveReport {
+        let profile = classify(&req.instance);
+        let portfolio = plan(&profile, &self.cfg);
+        if self.cfg.parallel_portfolio && portfolio.members.len() > 1 {
+            self.run_parallel(req, &profile, &portfolio)
+        } else {
+            self.run_sequential(req, &profile, &portfolio)
+        }
+    }
+
+    /// Convenience: solve a bare instance.
+    pub fn solve_instance(&self, inst: &Instance) -> SolveReport {
+        self.solve(&SolveRequest::new(inst.clone()))
+    }
+
+    /// Solves a batch in parallel across worker threads. Reports come back
+    /// in request order, and — with no deadline configured — every field
+    /// except the `wall_micros` timings is identical regardless of thread
+    /// count: work distribution only decides *which worker* computes a
+    /// report, never its content.
+    pub fn solve_batch(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
+        let threads = self.cfg.effective_threads(reqs.len());
+        if threads <= 1 || reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.solve_one_worker(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SolveReport>>> =
+            reqs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= reqs.len() {
+                        break;
+                    }
+                    let report = self.solve_one_worker(&reqs[i]);
+                    *slots[i].lock().expect("result slot") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every index was processed")
+            })
+            .collect()
+    }
+
+    /// Batch worker path: sequential portfolio (parallelism lives at the
+    /// instance level there).
+    fn solve_one_worker(&self, req: &SolveRequest) -> SolveReport {
+        let profile = classify(&req.instance);
+        let portfolio = plan(&profile, &self.cfg);
+        self.run_sequential(req, &profile, &portfolio)
+    }
+
+    fn run_sequential(
+        &self,
+        req: &SolveRequest,
+        profile: &InstanceProfile,
+        portfolio: &Portfolio,
+    ) -> SolveReport {
+        let started = Instant::now();
+        let mut outcomes: Vec<(SolverKind, MemberOutcome)> = Vec::new();
+        for (idx, &kind) in portfolio.members.iter().enumerate() {
+            // Honour the deadline between members; the first member is always
+            // run so the report carries a schedule.
+            let timed_out = idx > 0 && self.cfg.deadline.is_some_and(|d| started.elapsed() >= d);
+            if timed_out {
+                outcomes.push((
+                    kind,
+                    MemberOutcome {
+                        status: RunStatus::TimedOut,
+                        schedule: None,
+                        makespan: None,
+                        certified_horizon: None,
+                        nodes: None,
+                        wall_micros: 0,
+                    },
+                ));
+                continue;
+            }
+            outcomes.push((kind, run_solver(kind, &req.instance, &self.cfg)));
+        }
+        assemble(req, profile, outcomes, started)
+    }
+
+    fn run_parallel(
+        &self,
+        req: &SolveRequest,
+        profile: &InstanceProfile,
+        portfolio: &Portfolio,
+    ) -> SolveReport {
+        let started = Instant::now();
+        let (tx, rx) = mpsc::channel::<(usize, MemberOutcome)>();
+        for (idx, &kind) in portfolio.members.iter().enumerate() {
+            let tx = tx.clone();
+            let inst = req.instance.clone();
+            let cfg = self.cfg.clone();
+            // Detached threads: on deadline the engine stops *waiting*; the
+            // budget-bounded member finishes in the background and its send
+            // lands in a closed channel. Panics inside a member are caught
+            // and surfaced as `Invalid` outcomes so a bug in one solver is
+            // reported instead of masquerading as a timeout.
+            std::thread::spawn(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_solver(kind, &inst, &cfg)
+                }))
+                .unwrap_or_else(|payload| {
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "solver panicked".into());
+                    MemberOutcome {
+                        status: RunStatus::Invalid(format!("panic: {reason}")),
+                        schedule: None,
+                        makespan: None,
+                        certified_horizon: None,
+                        nodes: None,
+                        wall_micros: 0,
+                    }
+                });
+                let _ = tx.send((idx, outcome));
+            });
+        }
+        drop(tx);
+        let mut collected: Vec<Option<MemberOutcome>> =
+            portfolio.members.iter().map(|_| None).collect();
+        // The deadline may only cut collection short once a *certifying*
+        // member (one carrying a horizon — the 5/3 at minimum) has landed;
+        // otherwise assemble() would have neither a schedule nor a
+        // certificate to report.
+        let mut certified_any = false;
+        loop {
+            let remaining = match self.cfg.deadline {
+                None => None,
+                Some(d) => {
+                    if certified_any && started.elapsed() >= d {
+                        break;
+                    }
+                    Some(
+                        d.saturating_sub(started.elapsed())
+                            .max(Duration::from_millis(1)),
+                    )
+                }
+            };
+            let msg = match remaining {
+                // No deadline (or no certifying member yet): block for the
+                // next member.
+                None => rx.recv().ok(),
+                Some(_) if !certified_any => rx.recv().ok(),
+                Some(remaining) => match rx.recv_timeout(remaining) {
+                    Ok(msg) => Some(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                },
+            };
+            let Some((idx, outcome)) = msg else { break };
+            certified_any |=
+                outcome.status == RunStatus::Completed && outcome.certified_horizon.is_some();
+            collected[idx] = Some(outcome);
+            if collected.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        let outcomes: Vec<(SolverKind, MemberOutcome)> = portfolio
+            .members
+            .iter()
+            .zip(collected)
+            .map(|(&kind, slot)| {
+                let outcome = slot.unwrap_or(MemberOutcome {
+                    status: RunStatus::TimedOut,
+                    schedule: None,
+                    makespan: None,
+                    certified_horizon: None,
+                    nodes: None,
+                    wall_micros: 0,
+                });
+                (kind, outcome)
+            })
+            .collect();
+        assemble(req, profile, outcomes, started)
+    }
+}
+
+/// A member's raw answer: schedule + optional certified horizon, or a
+/// terminal status (budget exhaustion).
+type RawAnswer = Result<(Schedule, Option<Time>), RunStatus>;
+
+/// Runs one portfolio member, re-validating its output (defense in depth —
+/// the engine never trusts a schedule it did not check).
+fn run_solver(kind: SolverKind, inst: &Instance, cfg: &EngineConfig) -> MemberOutcome {
+    let started = Instant::now();
+    let (result, nodes): (RawAnswer, Option<u64>) = match kind {
+        SolverKind::FiveThirds => {
+            let r = msrs_approx::five_thirds(inst);
+            (Ok((r.schedule, Some(r.horizon))), None)
+        }
+        SolverKind::ThreeHalves => {
+            let r = msrs_approx::three_halves(inst);
+            (Ok((r.schedule, Some(r.horizon))), None)
+        }
+        SolverKind::HebrardGreedy => {
+            let r = msrs_approx::baselines::hebrard_greedy(inst);
+            (Ok((r.schedule, None)), None)
+        }
+        SolverKind::ListScheduler => {
+            let r = msrs_approx::baselines::list_scheduler(inst);
+            (Ok((r.schedule, None)), None)
+        }
+        SolverKind::MergedLpt => {
+            let r = msrs_approx::baselines::merged_lpt(inst);
+            (Ok((r.schedule, None)), None)
+        }
+        SolverKind::Exact => {
+            match msrs_exact::optimal(
+                inst,
+                SolveLimits {
+                    max_nodes: cfg.exact.max_nodes,
+                },
+            ) {
+                // A completed exact run proves its makespan optimal, so
+                // the makespan itself is the tightest possible horizon.
+                Some(res) => (Ok((res.schedule, Some(res.makespan))), Some(res.nodes)),
+                None => (Err(RunStatus::Exhausted), None),
+            }
+        }
+        SolverKind::Eptas => {
+            let out = msrs_ptas::eptas_fixed_m(
+                inst,
+                EptasConfig {
+                    eps_k: cfg.eptas.eps_k,
+                    node_budget: cfg.eptas.node_budget,
+                },
+            );
+            // The engine treats the EPTAS as a high-quality heuristic
+            // probe: its (1+O(ε)) bound is relative to OPT with an
+            // implementation-dependent constant, so no T-relative
+            // horizon is certified here.
+            (Ok((out.schedule, None)), None)
+        }
+    };
+    let outcome = match result {
+        Err(status) => MemberOutcome {
+            status,
+            schedule: None,
+            makespan: None,
+            certified_horizon: None,
+            nodes,
+            wall_micros: 0,
+        },
+        Ok((schedule, certified_horizon)) => match validate(inst, &schedule) {
+            Ok(()) => {
+                let makespan = schedule.makespan(inst);
+                MemberOutcome {
+                    status: RunStatus::Completed,
+                    schedule: Some(schedule),
+                    makespan: Some(makespan),
+                    certified_horizon,
+                    nodes,
+                    wall_micros: 0,
+                }
+            }
+            Err(e) => MemberOutcome {
+                status: RunStatus::Invalid(e.to_string()),
+                schedule: None,
+                makespan: None,
+                certified_horizon: None,
+                nodes,
+                wall_micros: 0,
+            },
+        },
+    };
+    MemberOutcome {
+        wall_micros: started.elapsed().as_micros() as u64,
+        ..outcome
+    }
+}
+
+/// Best-of selection and report assembly.
+fn assemble(
+    req: &SolveRequest,
+    profile: &InstanceProfile,
+    outcomes: Vec<(SolverKind, MemberOutcome)>,
+    started: Instant,
+) -> SolveReport {
+    // Winner: least makespan among completed members; ties keep the earliest
+    // (canonical) member, making selection deterministic.
+    let mut winner: Option<(SolverKind, Time)> = None;
+    // Certificate: tightest a-priori horizon among completed certifying runs.
+    let mut certificate: Option<(SolverKind, Time)> = None;
+    let mut proven_optimal = false;
+    for (kind, outcome) in &outcomes {
+        if outcome.status != RunStatus::Completed {
+            continue;
+        }
+        let makespan = outcome.makespan.expect("completed runs carry a makespan");
+        if winner.is_none_or(|(_, best)| makespan < best) {
+            winner = Some((*kind, makespan));
+        }
+        if let Some(h) = outcome.certified_horizon {
+            if certificate.is_none_or(|(_, best)| h < best) {
+                certificate = Some((*kind, h));
+            }
+        }
+        if *kind == SolverKind::Exact {
+            proven_optimal = true;
+        }
+    }
+    // Both expectations hold whenever the certifying 5/3 member completed
+    // (it always participates, is total, and carries a horizon); if it did
+    // not, name every member's terminal status instead of a bare unwrap.
+    let member_states = || -> String {
+        outcomes
+            .iter()
+            .map(|(k, o)| format!("{}={}", k.name(), o.status.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let (winner_kind, makespan) = winner.unwrap_or_else(|| {
+        panic!(
+            "no portfolio member produced a valid schedule ({})",
+            member_states()
+        )
+    });
+    let (certified_by, certified_horizon) = certificate
+        .unwrap_or_else(|| panic!("no certifying member completed ({})", member_states()));
+    // Meeting the lower bound is an optimality proof in its own right
+    // (T ≤ OPT ≤ makespan = T), independent of the exact member.
+    let proven_optimal = proven_optimal || makespan == profile.lower_bound;
+    let schedule = outcomes
+        .iter()
+        .find(|(kind, o)| *kind == winner_kind && o.status == RunStatus::Completed)
+        .and_then(|(_, o)| o.schedule.clone())
+        .expect("winner carries its schedule");
+    let runs = outcomes
+        .into_iter()
+        .map(|(solver, o)| SolverRun {
+            solver,
+            status: o.status,
+            makespan: o.makespan,
+            certified_horizon: o.certified_horizon,
+            nodes: o.nodes,
+            wall_micros: o.wall_micros,
+        })
+        .collect();
+    SolveReport {
+        id: req.id.clone(),
+        jobs: profile.jobs,
+        machines: profile.machines,
+        classes: profile.classes,
+        lower_bound: profile.lower_bound,
+        makespan,
+        winner: winner_kind,
+        certified_horizon,
+        certified_by,
+        proven_optimal,
+        wall_micros: started.elapsed().as_micros() as u64,
+        runs,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_produces_a_certified_valid_schedule() {
+        let inst = msrs_gen::uniform(11, 4, 60, 10, 1, 50);
+        let engine = Engine::default();
+        let report = engine.solve(&SolveRequest::with_id("u-11", inst.clone()));
+        assert_eq!(validate(&inst, &report.schedule), Ok(()));
+        assert_eq!(report.schedule.makespan(&inst), report.makespan);
+        assert!(report.makespan <= report.certified_horizon);
+        // The 3/2 algorithm always participates on non-trivial instances, so
+        // the certificate is at most ⌊1.5·T⌋.
+        assert!(report.certified_horizon as u128 * 2 <= 3 * report.lower_bound as u128);
+        assert_eq!(report.id.as_deref(), Some("u-11"));
+    }
+
+    #[test]
+    fn tiny_instances_are_proven_optimal() {
+        let inst = Instance::from_classes(2, &[vec![4, 3], vec![5], vec![2, 2]]).unwrap();
+        let report = Engine::default().solve_instance(&inst);
+        assert!(report.proven_optimal);
+        assert_eq!(
+            report.certified_horizon, report.makespan,
+            "exact horizon is OPT"
+        );
+        assert!(report.runs.iter().any(|r| r.solver == SolverKind::Exact
+            && r.status == RunStatus::Completed
+            && r.nodes.is_some()));
+    }
+
+    #[test]
+    fn sequential_and_parallel_portfolios_agree() {
+        let engine_par = Engine::new(EngineConfig::default());
+        let engine_seq = Engine::new(EngineConfig {
+            parallel_portfolio: false,
+            ..EngineConfig::default()
+        });
+        for seed in 0..4 {
+            let inst = msrs_gen::photolithography(seed, 3, 9, 6);
+            let a = engine_par.solve_instance(&inst);
+            let b = engine_seq.solve_instance(&inst);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.winner, b.winner);
+            assert_eq!(a.certified_horizon, b.certified_horizon);
+        }
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_thread_invariant() {
+        let reqs: Vec<SolveRequest> = (0..24)
+            .map(|seed| {
+                SolveRequest::with_id(
+                    format!("u-{seed}"),
+                    msrs_gen::uniform(seed, 3, 30, 8, 1, 40),
+                )
+            })
+            .collect();
+        let one = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        })
+        .solve_batch(&reqs);
+        let many = Engine::new(EngineConfig {
+            threads: 8,
+            ..EngineConfig::default()
+        })
+        .solve_batch(&reqs);
+        assert_eq!(one.len(), many.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.winner, b.winner);
+            assert_eq!(a.certified_horizon, b.certified_horizon);
+            assert_eq!(a.schedule, b.schedule);
+        }
+    }
+
+    #[test]
+    fn deadline_always_returns_a_schedule() {
+        let engine = Engine::new(EngineConfig {
+            deadline: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        });
+        let inst = msrs_gen::uniform(5, 4, 80, 12, 1, 60);
+        let report = engine.solve_instance(&inst);
+        assert_eq!(validate(&inst, &report.schedule), Ok(()));
+        assert!(report.makespan <= report.certified_horizon);
+    }
+
+    #[test]
+    fn trivial_instance_short_circuits() {
+        let inst = Instance::from_classes(4, &[vec![7], vec![3, 3]]).unwrap();
+        let report = Engine::default().solve_instance(&inst);
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.winner, SolverKind::FiveThirds);
+        assert_eq!(report.makespan, 7, "one machine per class is optimal");
+    }
+}

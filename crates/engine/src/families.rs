@@ -1,0 +1,95 @@
+//! Named generator families for the CLI's `gen` and `bench` subcommands,
+//! re-using the seeded `msrs-gen` generators with engine-standard parameter
+//! shapes (scaled by machine count, as in the experiment harness).
+
+use msrs_core::Instance;
+
+/// A named, seeded, machine-count-parameterized generator family.
+#[derive(Clone, Copy)]
+pub struct FamilySpec {
+    /// Stable family name.
+    pub name: &'static str,
+    /// One-line description for `msrs gen --list`.
+    pub about: &'static str,
+    /// The generator: `(seed, machines) -> Instance`.
+    pub generate: fn(u64, usize) -> Instance,
+}
+
+/// All families, in canonical order.
+pub const FAMILIES: &[FamilySpec] = &[
+    FamilySpec {
+        name: "uniform",
+        about: "uniform sizes over 6m classes, 40m jobs",
+        generate: |seed, m| msrs_gen::uniform(seed, m, 40 * m, 6 * m, 1, 100),
+    },
+    FamilySpec {
+        name: "zipf",
+        about: "heavy-tailed class cardinalities (a few hot resources)",
+        generate: |seed, m| msrs_gen::zipf_classes(seed, m, 40 * m, 6 * m, 1, 100),
+    },
+    FamilySpec {
+        name: "satellite",
+        about: "satellite-downlink bursts (Hebrard et al. motivation)",
+        generate: |seed, m| msrs_gen::satellite(seed, m, 3 * m, 10),
+    },
+    FamilySpec {
+        name: "photolitho",
+        about: "photolithography reticles/steppers (bimodal lots)",
+        generate: |seed, m| msrs_gen::photolithography(seed, m, 3 * m, 8),
+    },
+    FamilySpec {
+        name: "adversarial",
+        about: "m+1 unit-job classes: worst case for class-merging baselines",
+        // The construction is deterministic by nature; the seed varies the
+        // per-class job count (40..=80) so `gen --count N` emits N distinct
+        // instances rather than one instance N times.
+        generate: |seed, m| msrs_gen::adversarial_merged_lpt(m, 40 + (seed % 41) as usize),
+    },
+    FamilySpec {
+        name: "boundary",
+        about: "sizes planted on the T/4, T/2, 2T/3, 3T/4 case thresholds",
+        generate: |seed, m| msrs_gen::boundary_stress(seed, m, 3 * m, 120),
+    },
+    FamilySpec {
+        name: "huge",
+        about: "classes led by jobs > (3/4)T (Algorithm_3/2 general case)",
+        generate: |seed, m| msrs_gen::huge_heavy(seed, m, m, 2 * m, 96),
+    },
+];
+
+/// Looks a family up by name.
+pub fn family(name: &str) -> Option<&'static FamilySpec> {
+    FAMILIES.iter().find(|f| f.name == name)
+}
+
+/// All family names, in canonical order.
+pub fn family_names() -> Vec<&'static str> {
+    FAMILIES.iter().map(|f| f.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_nonempty_deterministic_instances() {
+        for spec in FAMILIES {
+            let a = (spec.generate)(3, 4);
+            let b = (spec.generate)(3, 4);
+            assert_eq!(a, b, "{} must be deterministic per seed", spec.name);
+            assert!(
+                a.num_jobs() > 0,
+                "{} generated an empty instance",
+                spec.name
+            );
+            assert_eq!(a.machines(), 4);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(family("satellite").is_some());
+        assert!(family("nope").is_none());
+        assert_eq!(family_names().len(), FAMILIES.len());
+    }
+}

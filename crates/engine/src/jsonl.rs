@@ -1,0 +1,188 @@
+//! JSON-lines corpus I/O: one instance (or report) per line.
+//!
+//! Instance lines look like
+//!
+//! ```json
+//! {"id":"uniform-0","machines":3,"classes":[[4,3],[5],[2,2,2]]}
+//! ```
+//!
+//! mirroring [`msrs_core::io`]'s text format (`classes[c]` lists the job
+//! sizes of class `c`; job ids are assigned class by class in order, exactly
+//! as [`Instance::from_classes`]). Blank lines and `#`-prefixed lines are
+//! ignored. Report lines are produced by
+//! [`SolveReport::to_json`](crate::report::SolveReport::to_json).
+
+use std::fmt;
+
+use msrs_core::{Instance, Time};
+
+use crate::json::{Json, JsonError};
+use crate::report::SolveRequest;
+
+/// Errors reading an instance corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A line failed to parse as JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying JSON error.
+        error: JsonError,
+    },
+    /// A line parsed but did not describe a valid instance.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Json { line, error } => write!(f, "line {line}: {error}"),
+            CorpusError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Serializes one instance (with an optional id) as a JSON line.
+pub fn write_instance_line(id: Option<&str>, inst: &Instance) -> String {
+    let mut obj = Vec::new();
+    if let Some(id) = id {
+        obj.push(("id".into(), Json::Str(id.into())));
+    }
+    obj.push(("machines".into(), Json::Num(inst.machines() as i128)));
+    let classes: Vec<Json> = (0..inst.num_classes())
+        .map(|c| {
+            Json::Arr(
+                inst.class_jobs(c)
+                    .iter()
+                    .map(|&j| Json::Num(inst.size(j) as i128))
+                    .collect(),
+            )
+        })
+        .collect();
+    obj.push(("classes".into(), Json::Arr(classes)));
+    Json::Obj(obj).to_string()
+}
+
+/// Parses one instance line into a [`SolveRequest`].
+pub fn read_instance_line(line_no: usize, line: &str) -> Result<SolveRequest, CorpusError> {
+    let v = Json::parse(line).map_err(|error| CorpusError::Json {
+        line: line_no,
+        error,
+    })?;
+    let malformed = |reason: &str| CorpusError::Malformed {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let id = v.get("id").and_then(|j| j.as_str()).map(str::to_owned);
+    let machines = v
+        .get("machines")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| malformed("missing or invalid `machines`"))?;
+    let classes_json = v
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("missing or invalid `classes`"))?;
+    let mut classes: Vec<Vec<Time>> = Vec::with_capacity(classes_json.len());
+    for class in classes_json {
+        let sizes = class
+            .as_arr()
+            .ok_or_else(|| malformed("`classes` entries must be arrays"))?;
+        let sizes: Option<Vec<Time>> = sizes.iter().map(Json::as_u64).collect();
+        classes.push(sizes.ok_or_else(|| malformed("job sizes must be non-negative integers"))?);
+    }
+    let instance =
+        Instance::from_classes(machines, &classes).map_err(|e| CorpusError::Malformed {
+            line: line_no,
+            reason: e.to_string(),
+        })?;
+    Ok(SolveRequest { id, instance })
+}
+
+/// Parses a whole JSONL corpus (blank and `#` lines skipped).
+pub fn read_corpus(text: &str) -> Result<Vec<SolveRequest>, CorpusError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(read_instance_line(i + 1, line)?);
+    }
+    Ok(out)
+}
+
+/// Serializes a whole corpus as JSONL.
+pub fn write_corpus<'a>(requests: impl IntoIterator<Item = &'a SolveRequest>) -> String {
+    let mut out = String::new();
+    for req in requests {
+        out.push_str(&write_instance_line(req.id.as_deref(), &req.instance));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_line_round_trip() {
+        let inst = Instance::from_classes(3, &[vec![4, 3], vec![5], vec![2, 2, 2]]).unwrap();
+        let line = write_instance_line(Some("x-1"), &inst);
+        let req = read_instance_line(1, &line).unwrap();
+        assert_eq!(req.id.as_deref(), Some("x-1"));
+        assert_eq!(req.instance, inst);
+    }
+
+    #[test]
+    fn corpus_round_trip_with_comments() {
+        // satellite() builds via from_classes, so the round trip is exact.
+        let a = SolveRequest::with_id("a", msrs_gen::satellite(7, 2, 3, 4));
+        let b = SolveRequest::new(msrs_gen::photolithography(2, 3, 4, 5));
+        let text = format!("# corpus\n\n{}", write_corpus([&a, &b]));
+        let back = read_corpus(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].id.as_deref(), Some("a"));
+        assert_eq!(back[0].instance, a.instance);
+        assert_eq!(back[1].id, None);
+        assert_eq!(back[1].instance, b.instance);
+    }
+
+    #[test]
+    fn interleaved_instances_round_trip_to_canonical_form() {
+        // Generators that interleave classes (Instance::new) round-trip to
+        // the class-by-class canonical job order: same machines, same
+        // per-class size lists, and the serialized form is a fixpoint.
+        let inst = msrs_gen::uniform(1, 2, 8, 3, 1, 9);
+        let line = write_instance_line(None, &inst);
+        let back = read_instance_line(1, &line).unwrap().instance;
+        assert_eq!(back.machines(), inst.machines());
+        assert_eq!(back.num_jobs(), inst.num_jobs());
+        for c in 0..inst.num_classes() {
+            let sizes = |i: &Instance, c: usize| -> Vec<Time> {
+                i.class_jobs(c).iter().map(|&j| i.size(j)).collect()
+            };
+            assert_eq!(sizes(&back, c), sizes(&inst, c));
+        }
+        assert_eq!(write_instance_line(None, &back), line);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        match read_corpus("{\"machines\":2,\"classes\":[[1]]}\nnot json\n") {
+            Err(CorpusError::Json { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        match read_corpus("{\"machines\":0,\"classes\":[[1]]}\n") {
+            Err(CorpusError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # msrs-engine — solver-portfolio orchestration for MSRS
+//!
+//! The algorithm crates of this workspace implement the solver zoo of
+//! *Scheduling with Many Shared Resources* (Deppert et al., 2023); this crate
+//! is the layer that *serves* them:
+//!
+//! * [`profile`] — classifies an [`Instance`](msrs_core::Instance) (size,
+//!   machine count, class structure, huge-job presence) into an
+//!   [`InstanceProfile`];
+//! * [`portfolio`] — plans a solver portfolio for a profile:
+//!   [`SolverKind::FiveThirds`] as an instant incumbent,
+//!   [`SolverKind::ThreeHalves`] for a certified 1.5·T horizon, the exact
+//!   branch-and-bound and the EPTAS raced under configurable node budgets on
+//!   instances where they are viable, and the prior-work baselines
+//!   (Hebrard-style greedy, list scheduling, class-merging LPT) as cheap
+//!   quality/latency trade-off probes;
+//! * [`engine`] — the [`Engine`]: runs portfolio members and whole instance
+//!   *batches* in parallel on worker threads, deterministically for a fixed
+//!   configuration, with optional wall-clock deadline cancellation, and
+//!   selects the best schedule *certified* by re-validation through
+//!   [`msrs_core::validate`];
+//! * [`report`] — the typed [`SolveRequest`] / [`SolveReport`] API (solver
+//!   used, makespan, lower bound, certified horizon/ratio, wall time, one
+//!   [`SolverRun`] per portfolio member), suitable for a service frontend;
+//! * [`json`] + [`jsonl`] — dependency-free JSON emission/parsing and the
+//!   JSON-lines instance/report corpus format used by the `msrs` CLI;
+//! * [`families`] — the named generator families (re-using `msrs-gen`) the
+//!   CLI's `gen` and `bench` subcommands draw from.
+//!
+//! ## Determinism
+//!
+//! Every solver in the portfolio is deterministic, and batch parallelism
+//! only distributes *instances* across workers — each instance's report is
+//! computed by a single worker with a fixed configuration — so every report
+//! field except the `wall_micros` timings is reproducible regardless of
+//! thread count. The only opt-in source of result nondeterminism is a
+//! wall-clock deadline ([`EngineConfig::deadline`]), which may cut off slow
+//! members on a loaded machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use msrs_engine::{Engine, EngineConfig, SolveRequest};
+//!
+//! let inst = msrs_gen::uniform(7, 4, 60, 10, 1, 50);
+//! let engine = Engine::new(EngineConfig::default());
+//! let report = engine.solve(&SolveRequest::new(inst.clone()));
+//! assert!(msrs_core::validate(&inst, &report.schedule).is_ok());
+//! assert!(report.makespan <= report.certified_horizon);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod families;
+pub mod json;
+pub mod jsonl;
+pub mod portfolio;
+pub mod profile;
+pub mod report;
+
+pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy};
+pub use families::{family, family_names, FamilySpec};
+pub use portfolio::{plan, Portfolio, SolverKind};
+pub use profile::{classify, InstanceProfile, SizeTier};
+pub use report::{RunStatus, SolveReport, SolveRequest, SolverRun};

@@ -1,0 +1,137 @@
+//! Instance classification: the features the portfolio planner keys on.
+
+use msrs_core::{bounds::lower_bound, Instance, Time};
+
+/// Coarse size tier of an instance, from the planner's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeTier {
+    /// No jobs, zero total load, or `m ≥ |C|` — the shared trivial fast path
+    /// of every algorithm already solves these optimally.
+    Trivial,
+    /// Small enough for the exact branch-and-bound to finish within a modest
+    /// node budget.
+    Tiny,
+    /// Small enough for the EPTAS race to be worthwhile.
+    Small,
+    /// Everything else: approximation algorithms only.
+    Large,
+}
+
+/// Classification of one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceProfile {
+    /// Number of jobs `n`.
+    pub jobs: usize,
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// Number of non-empty classes `|C|`.
+    pub classes: usize,
+    /// Total processing time `p(J)`.
+    pub total_load: Time,
+    /// The combined lower bound `T ≤ OPT` (Note 1 / Theorem 2).
+    pub lower_bound: Time,
+    /// Largest class load `max_c p(c)`.
+    pub max_class_load: Time,
+    /// Largest single job.
+    pub max_job: Time,
+    /// Whether any job is *huge*: `p_j > (3/4)·T` (triggers the general-case
+    /// steps of `Algorithm_3/2`).
+    pub has_huge: bool,
+    /// The planner's size tier (computed against the default thresholds; the
+    /// planner re-derives tier-dependent choices from its own config).
+    pub tier: SizeTier,
+}
+
+/// Jobs/classes ceilings for [`SizeTier::Tiny`] (exact solver viability).
+pub const TINY_MAX_JOBS: usize = 9;
+/// Class ceiling for [`SizeTier::Tiny`].
+pub const TINY_MAX_CLASSES: usize = 5;
+/// Jobs ceiling for [`SizeTier::Small`] (EPTAS race viability).
+pub const SMALL_MAX_JOBS: usize = 28;
+/// Machine ceiling for [`SizeTier::Small`].
+pub const SMALL_MAX_MACHINES: usize = 4;
+
+/// Classifies `inst` into an [`InstanceProfile`].
+pub fn classify(inst: &Instance) -> InstanceProfile {
+    let jobs = inst.num_jobs();
+    let machines = inst.machines();
+    let classes = inst.num_nonempty_classes();
+    let total_load = inst.total_load();
+    let t = lower_bound(inst);
+    let max_class_load = inst
+        .nonempty_classes()
+        .map(|c| inst.class_load(c))
+        .max()
+        .unwrap_or(0);
+    let max_job = inst.jobs().iter().map(|j| j.size).max().unwrap_or(0);
+    // p_j > (3/4)·T without floating point: 4·p_j > 3·T in u128.
+    let has_huge = t > 0 && 4 * max_job as u128 > 3 * t as u128;
+    let tier = if jobs == 0 || total_load == 0 || machines >= classes {
+        SizeTier::Trivial
+    } else if jobs <= TINY_MAX_JOBS && classes <= TINY_MAX_CLASSES {
+        SizeTier::Tiny
+    } else if jobs <= SMALL_MAX_JOBS && machines <= SMALL_MAX_MACHINES {
+        SizeTier::Small
+    } else {
+        SizeTier::Large
+    };
+    InstanceProfile {
+        jobs,
+        machines,
+        classes,
+        total_load,
+        lower_bound: t,
+        max_class_load,
+        max_job,
+        has_huge,
+        tier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_when_enough_machines() {
+        let inst = Instance::from_classes(3, &[vec![4], vec![5]]).unwrap();
+        assert_eq!(classify(&inst).tier, SizeTier::Trivial);
+    }
+
+    #[test]
+    fn tiny_small_large_split() {
+        let tiny = Instance::from_classes(2, &[vec![4, 3], vec![5], vec![2, 2]]).unwrap();
+        assert_eq!(classify(&tiny).tier, SizeTier::Tiny);
+
+        let small = msrs_gen::uniform(1, 3, 20, 6, 1, 9);
+        let p = classify(&small);
+        assert_eq!(p.tier, SizeTier::Small, "{p:?}");
+
+        let large = msrs_gen::uniform(1, 8, 400, 40, 1, 9);
+        assert_eq!(classify(&large).tier, SizeTier::Large);
+    }
+
+    #[test]
+    fn huge_detection_matches_threshold() {
+        // T = max(class bound) here: single class of load 100 on 2 machines.
+        let inst = Instance::from_classes(2, &[vec![80, 20], vec![1], vec![1], vec![1]]).unwrap();
+        let p = classify(&inst);
+        assert_eq!(p.lower_bound, 100);
+        assert!(p.has_huge, "80 > (3/4)·100 is false; 80 > 75 is true");
+
+        let inst2 = Instance::from_classes(2, &[vec![70, 30], vec![1], vec![1], vec![1]]).unwrap();
+        assert!(!classify(&inst2).has_huge);
+    }
+
+    #[test]
+    fn profile_features_are_exact() {
+        let inst = Instance::from_classes(2, &[vec![5, 3], vec![7], vec![2, 2, 2]]).unwrap();
+        let p = classify(&inst);
+        assert_eq!(p.jobs, 6);
+        assert_eq!(p.machines, 2);
+        assert_eq!(p.classes, 3);
+        assert_eq!(p.total_load, 21);
+        assert_eq!(p.max_class_load, 8);
+        assert_eq!(p.max_job, 7);
+    }
+}

@@ -1,0 +1,239 @@
+//! The typed request/report API of the engine.
+
+use msrs_core::{Instance, Schedule, Time};
+
+use crate::json::Json;
+use crate::portfolio::SolverKind;
+
+/// A solve request: one instance plus an optional caller-supplied id that is
+/// echoed into the report (batch correlation, service tracing).
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Caller-supplied identifier (echoed verbatim in the report).
+    pub id: Option<String>,
+    /// The instance to solve.
+    pub instance: Instance,
+}
+
+impl SolveRequest {
+    /// Request without an id.
+    pub fn new(instance: Instance) -> Self {
+        SolveRequest { id: None, instance }
+    }
+
+    /// Request with an id.
+    pub fn with_id(id: impl Into<String>, instance: Instance) -> Self {
+        SolveRequest {
+            id: Some(id.into()),
+            instance,
+        }
+    }
+}
+
+/// Terminal status of one portfolio member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Produced a schedule that re-validated.
+    Completed,
+    /// Gave up within its budget (exact node budget, EPTAS decision budget).
+    Exhausted,
+    /// Still running when the portfolio deadline fired; result discarded.
+    TimedOut,
+    /// Produced output that failed re-validation (defense in depth — never
+    /// expected; such output is discarded and reported).
+    Invalid(String),
+}
+
+impl RunStatus {
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Completed => "completed",
+            RunStatus::Exhausted => "exhausted",
+            RunStatus::TimedOut => "timed_out",
+            RunStatus::Invalid(_) => "invalid",
+        }
+    }
+}
+
+/// Outcome of one portfolio member.
+#[derive(Debug, Clone)]
+pub struct SolverRun {
+    /// Which solver ran.
+    pub solver: SolverKind,
+    /// How it ended.
+    pub status: RunStatus,
+    /// Achieved makespan (when [`RunStatus::Completed`]).
+    pub makespan: Option<Time>,
+    /// The a-priori certified horizon this run proves for its own schedule:
+    /// `⌊(5/3)·T⌋` / `⌊(3/2)·T⌋` for the approximation algorithms, the
+    /// optimal makespan for a completed exact run, `None` for heuristics.
+    pub certified_horizon: Option<Time>,
+    /// Branch-and-bound nodes (exact solver only).
+    pub nodes: Option<u64>,
+    /// Wall time of this member in microseconds.
+    pub wall_micros: u64,
+}
+
+/// The engine's answer for one instance.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Echo of [`SolveRequest::id`].
+    pub id: Option<String>,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// Number of non-empty classes.
+    pub classes: usize,
+    /// The certified lower bound `T ≤ OPT`.
+    pub lower_bound: Time,
+    /// Makespan of the selected schedule.
+    pub makespan: Time,
+    /// The winning solver (least makespan; ties broken by canonical order).
+    pub winner: SolverKind,
+    /// The best proven upper bound on the selected makespan:
+    /// `min` over completed certifying runs of their certified horizon.
+    /// Always `≥ makespan`; equals `makespan` when the exact solver proved
+    /// optimality.
+    pub certified_horizon: Time,
+    /// The solver whose certificate `certified_horizon` is.
+    pub certified_by: SolverKind,
+    /// Whether optimality was proven: the exact member completed, or the
+    /// selected makespan met the lower bound (`T ≤ OPT ≤ makespan = T`).
+    pub proven_optimal: bool,
+    /// Total wall time for this instance in microseconds.
+    pub wall_micros: u64,
+    /// One entry per planned portfolio member, in canonical order.
+    pub runs: Vec<SolverRun>,
+    /// The selected schedule (re-validated by the engine before selection).
+    pub schedule: Schedule,
+}
+
+impl SolveReport {
+    /// Empirical ratio of the selected makespan against the lower bound
+    /// (an upper bound on the true ratio vs OPT); `1.0` when `T = 0`.
+    pub fn ratio_vs_bound(&self) -> f64 {
+        if self.lower_bound == 0 {
+            1.0
+        } else {
+            self.makespan as f64 / self.lower_bound as f64
+        }
+    }
+
+    /// Serializes the report (without the schedule) as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Vec::new();
+        if let Some(id) = &self.id {
+            obj.push(("id".into(), Json::Str(id.clone())));
+        }
+        obj.push(("jobs".into(), Json::Num(self.jobs as i128)));
+        obj.push(("machines".into(), Json::Num(self.machines as i128)));
+        obj.push(("classes".into(), Json::Num(self.classes as i128)));
+        obj.push(("lower_bound".into(), Json::Num(self.lower_bound as i128)));
+        obj.push(("makespan".into(), Json::Num(self.makespan as i128)));
+        obj.push(("winner".into(), Json::Str(self.winner.name().into())));
+        obj.push((
+            "certified_horizon".into(),
+            Json::Num(self.certified_horizon as i128),
+        ));
+        obj.push((
+            "certified_by".into(),
+            Json::Str(self.certified_by.name().into()),
+        ));
+        obj.push(("proven_optimal".into(), Json::Bool(self.proven_optimal)));
+        obj.push(("wall_micros".into(), Json::Num(self.wall_micros as i128)));
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                let mut run = vec![
+                    ("solver".into(), Json::Str(r.solver.name().into())),
+                    ("status".into(), Json::Str(r.status.label().into())),
+                ];
+                if let Some(mk) = r.makespan {
+                    run.push(("makespan".into(), Json::Num(mk as i128)));
+                }
+                if let Some(h) = r.certified_horizon {
+                    run.push(("certified_horizon".into(), Json::Num(h as i128)));
+                }
+                if let Some(n) = r.nodes {
+                    run.push(("nodes".into(), Json::Num(n as i128)));
+                }
+                run.push(("wall_micros".into(), Json::Num(r.wall_micros as i128)));
+                Json::Obj(run)
+            })
+            .collect();
+        obj.push(("runs".into(), Json::Arr(runs)));
+        Json::Obj(obj)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: makespan {} (T = {}, ratio {:.3}, certified ≤ {} by {}{}) in {} µs",
+            self.id.as_deref().unwrap_or("instance"),
+            self.makespan,
+            self.lower_bound,
+            self.ratio_vs_bound(),
+            self.certified_horizon,
+            self.certified_by,
+            if self.proven_optimal { ", optimal" } else { "" },
+            self.wall_micros,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrs_core::Schedule;
+
+    fn sample_report() -> SolveReport {
+        SolveReport {
+            id: Some("u-1".into()),
+            jobs: 4,
+            machines: 2,
+            classes: 2,
+            lower_bound: 10,
+            makespan: 12,
+            winner: SolverKind::ThreeHalves,
+            certified_horizon: 15,
+            certified_by: SolverKind::ThreeHalves,
+            proven_optimal: false,
+            wall_micros: 42,
+            runs: vec![SolverRun {
+                solver: SolverKind::ThreeHalves,
+                status: RunStatus::Completed,
+                makespan: Some(12),
+                certified_horizon: Some(15),
+                nodes: None,
+                wall_micros: 42,
+            }],
+            schedule: Schedule::new(vec![]),
+        }
+    }
+
+    #[test]
+    fn json_contains_the_headline_fields() {
+        let text = sample_report().to_json().to_string();
+        for needle in [
+            "\"id\":\"u-1\"",
+            "\"makespan\":12",
+            "\"winner\":\"three_halves\"",
+            "\"certified_horizon\":15",
+            "\"runs\":[{",
+            "\"status\":\"completed\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn ratio_handles_zero_bound() {
+        let mut r = sample_report();
+        assert!((r.ratio_vs_bound() - 1.2).abs() < 1e-9);
+        r.lower_bound = 0;
+        assert_eq!(r.ratio_vs_bound(), 1.0);
+    }
+}

@@ -32,8 +32,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use msrs_core::{
-    bounds::lower_bound, validate, Assignment, ClassId, Instance, MachineId, Schedule,
-    Time,
+    bounds::lower_bound, validate, Assignment, ClassId, Instance, MachineId, Schedule, Time,
 };
 
 /// Resource limits for the exact search.
@@ -45,7 +44,9 @@ pub struct SolveLimits {
 
 impl Default for SolveLimits {
     fn default() -> Self {
-        SolveLimits { max_nodes: 20_000_000 }
+        SolveLimits {
+            max_nodes: 20_000_000,
+        }
     }
 }
 
@@ -62,7 +63,10 @@ pub struct BoundConfig {
 
 impl Default for BoundConfig {
     fn default() -> Self {
-        BoundConfig { area: true, class_serialization: true }
+        BoundConfig {
+            area: true,
+            class_serialization: true,
+        }
     }
 }
 
@@ -121,7 +125,11 @@ impl Node {
     }
 
     fn makespan_now(&self) -> Time {
-        self.running.iter().map(|&(_, e, _)| e).max().unwrap_or(self.t)
+        self.running
+            .iter()
+            .map(|&(_, e, _)| e)
+            .max()
+            .unwrap_or(self.t)
     }
 
     /// Lower bound on any completion of this node.
@@ -129,8 +137,11 @@ impl Node {
         let mut lb = self.makespan_now();
         // Area bound: remaining load plus running residuals over m machines.
         if cfg.area {
-            let residual: Time =
-                self.running.iter().map(|&(_, e, _)| e.saturating_sub(self.t)).sum();
+            let residual: Time = self
+                .running
+                .iter()
+                .map(|&(_, e, _)| e.saturating_sub(self.t))
+                .sum();
             lb = lb.max(self.t + (self.remaining_load + residual).div_ceil(m as Time));
         }
         if !cfg.class_serialization {
@@ -242,7 +253,10 @@ fn dfs(sh: &Shared<'_>, node: &Node) {
             let machine = child.idle.remove(0);
             let (p, job) = child.remaining[c].remove(i);
             child.remaining_load -= p;
-            child.partial[job] = Some(Assignment { machine, start: child.t });
+            child.partial[job] = Some(Assignment {
+                machine,
+                start: child.t,
+            });
             child.running.push((c, child.t + p, machine));
             child.min_class = c + 1;
             dfs(sh, &child);
@@ -286,12 +300,20 @@ pub fn optimal_configured(
     bounds: BoundConfig,
 ) -> Option<ExactResult> {
     if inst.num_jobs() == 0 {
-        return Some(ExactResult { makespan: 0, schedule: Schedule::new(vec![]), nodes: 0 });
+        return Some(ExactResult {
+            makespan: 0,
+            schedule: Schedule::new(vec![]),
+            nodes: 0,
+        });
     }
     let (ub, ub_schedule) = initial_incumbent(inst);
     let lb = lower_bound(inst);
     if ub == lb {
-        return Some(ExactResult { makespan: ub, schedule: ub_schedule, nodes: 0 });
+        return Some(ExactResult {
+            makespan: ub,
+            schedule: ub_schedule,
+            nodes: 0,
+        });
     }
 
     let m = inst.machines();
@@ -300,7 +322,10 @@ pub fn optimal_configured(
     for (j, job) in inst.jobs().iter().enumerate() {
         if job.size == 0 {
             // Zero-size jobs never conflict; pin them at (machine 0, time 0).
-            partial[j] = Some(Assignment { machine: 0, start: 0 });
+            partial[j] = Some(Assignment {
+                machine: 0,
+                start: 0,
+            });
         } else {
             remaining[job.class].push((job.size, j));
         }
@@ -351,7 +376,11 @@ pub fn optimal_configured(
     let schedule = sh.best_schedule.into_inner();
     debug_assert_eq!(validate(sh.inst, &schedule), Ok(()));
     debug_assert_eq!(schedule.makespan(inst), makespan);
-    Some(ExactResult { makespan, schedule, nodes: sh.nodes.load(Ordering::Relaxed) })
+    Some(ExactResult {
+        makespan,
+        schedule,
+        nodes: sh.nodes.load(Ordering::Relaxed),
+    })
 }
 
 /// Convenience wrapper with default limits; panics on budget exhaustion
@@ -373,7 +402,10 @@ pub fn feasible_within(
     limits: SolveLimits,
 ) -> Result<Option<Schedule>, ()> {
     // Quick accepts: any heuristic witness within the cap.
-    for r in [msrs_approx::three_halves(inst), msrs_approx::five_thirds(inst)] {
+    for r in [
+        msrs_approx::three_halves(inst),
+        msrs_approx::five_thirds(inst),
+    ] {
         if r.schedule.makespan(inst) <= cap {
             return Ok(Some(r.schedule));
         }
@@ -451,11 +483,8 @@ mod tests {
 
     #[test]
     fn feasibility_decision_agrees_with_optimum() {
-        let inst = Instance::from_classes(
-            2,
-            &[vec![4], vec![4], vec![4], vec![3], vec![3]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
         let opt = optimal_makespan(&inst); // 10
         let yes = feasible_within(&inst, opt, SolveLimits::default()).unwrap();
         assert!(yes.is_some());
@@ -470,11 +499,8 @@ mod tests {
     fn budget_exhaustion_returns_none() {
         // Sizes 4,4,4,3,3 on two machines: lower bound 9 but OPT = 10, so
         // the incumbent cannot short-circuit and the search must run.
-        let inst = Instance::from_classes(
-            2,
-            &[vec![4], vec![4], vec![4], vec![3], vec![3]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
         assert_eq!(opt(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]), 10);
         assert!(optimal(&inst, SolveLimits { max_nodes: 3 }).is_none());
     }

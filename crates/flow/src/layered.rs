@@ -64,7 +64,11 @@ impl PlaceholderProblem {
                 col.ceil() as u64
             })
             .collect();
-        PlaceholderProblem { demand, allowed, slots }
+        PlaceholderProblem {
+            demand,
+            allowed,
+            slots,
+        }
     }
 
     /// Number of classes.
@@ -208,16 +212,26 @@ mod tests {
             slots: vec![1, 1],
         };
         // Wrong count.
-        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![], vec![1]] }));
+        assert!(!prob.check(&PlaceholderAssignment {
+            placed: vec![vec![], vec![1]]
+        }));
         // Disallowed layer.
-        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![1], vec![0]] }));
+        assert!(!prob.check(&PlaceholderAssignment {
+            placed: vec![vec![1], vec![0]]
+        }));
         // Over capacity.
-        assert!(!prob.check(&PlaceholderAssignment { placed: vec![vec![0], vec![0]] }));
+        assert!(!prob.check(&PlaceholderAssignment {
+            placed: vec![vec![0], vec![0]]
+        }));
         // Duplicate layer within a class.
-        let bad = PlaceholderAssignment { placed: vec![vec![0], vec![1, 1]] };
+        let bad = PlaceholderAssignment {
+            placed: vec![vec![0], vec![1, 1]],
+        };
         assert!(!prob.check(&bad));
         // A correct one.
-        assert!(prob.check(&PlaceholderAssignment { placed: vec![vec![0], vec![1]] }));
+        assert!(prob.check(&PlaceholderAssignment {
+            placed: vec![vec![0], vec![1]]
+        }));
     }
 
     #[test]

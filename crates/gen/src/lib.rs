@@ -193,8 +193,11 @@ pub fn huge_heavy(seed: u64, m: usize, h: usize, k: usize, t0: Time) -> Instance
 /// (sensitivity tool: all algorithms in this workspace are scale-equivariant
 /// up to rounding of the lower bound, which the test-suite checks).
 pub fn rescale(inst: &Instance, k: Time) -> Instance {
-    let jobs: Vec<Job> =
-        inst.jobs().iter().map(|j| Job::new(j.size * k, j.class)).collect();
+    let jobs: Vec<Job> = inst
+        .jobs()
+        .iter()
+        .map(|j| Job::new(j.size * k, j.class))
+        .collect();
     Instance::new(inst.machines(), jobs).expect("same machine count")
 }
 
@@ -233,7 +236,13 @@ pub struct SmallInstances {
 impl SmallInstances {
     /// Creates the enumerator.
     pub fn new(machines: usize, max_jobs: usize, max_size: Time, max_classes: usize) -> Self {
-        SmallInstances { machines, max_jobs, max_size, max_classes, stack: vec![vec![]] }
+        SmallInstances {
+            machines,
+            max_jobs,
+            max_size,
+            max_classes,
+            stack: vec![vec![]],
+        }
     }
 
     fn class_candidates(&self, budget: usize, le: &[Time]) -> Vec<Vec<Time>> {
@@ -309,7 +318,10 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.num_jobs(), 50);
         assert_eq!(a.machines(), 4);
-        assert!(a.jobs().iter().all(|j| (1..=20).contains(&j.size) && j.class < 10));
+        assert!(a
+            .jobs()
+            .iter()
+            .all(|j| (1..=20).contains(&j.size) && j.class < 10));
     }
 
     #[test]
@@ -381,8 +393,7 @@ mod tests {
         for inst in &all {
             assert!(inst.num_jobs() <= 3);
             for c in 0..inst.num_classes() {
-                let sizes: Vec<_> =
-                    inst.class_jobs(c).iter().map(|&j| inst.size(j)).collect();
+                let sizes: Vec<_> = inst.class_jobs(c).iter().map(|&j| inst.size(j)).collect();
                 assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
             }
         }

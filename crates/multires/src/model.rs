@@ -41,7 +41,11 @@ impl MultiInstance {
             .flat_map(|j| j.resources.iter().map(|&r| r + 1))
             .max()
             .unwrap_or(0);
-        MultiInstance { machines, jobs, num_resources }
+        MultiInstance {
+            machines,
+            jobs,
+            num_resources,
+        }
     }
 
     /// Number of machines.
@@ -66,7 +70,11 @@ impl MultiInstance {
 
     /// Maximum number of resources any job requires (the Theorem 23 bound).
     pub fn max_resources_per_job(&self) -> usize {
-        self.jobs.iter().map(|j| j.resources.len()).max().unwrap_or(0)
+        self.jobs
+            .iter()
+            .map(|j| j.resources.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total processing time.
@@ -121,10 +129,18 @@ impl fmt::Display for MultiValidationError {
             MultiValidationError::MachineOutOfRange { job, machine } => {
                 write!(f, "job {job} on out-of-range machine {machine}")
             }
-            MultiValidationError::MachineOverlap { machine, job_a, job_b } => {
+            MultiValidationError::MachineOverlap {
+                machine,
+                job_a,
+                job_b,
+            } => {
                 write!(f, "jobs {job_a}/{job_b} overlap on machine {machine}")
             }
-            MultiValidationError::ResourceConflict { resource, job_a, job_b } => {
+            MultiValidationError::ResourceConflict {
+                resource,
+                job_a,
+                job_b,
+            } => {
                 write!(f, "jobs {job_a}/{job_b} contend for resource {resource}")
             }
         }
@@ -146,7 +162,10 @@ pub fn validate_multi(
     }
     for (j, a) in schedule.assignments().iter().enumerate() {
         if a.machine >= inst.machines() {
-            return Err(MultiValidationError::MachineOutOfRange { job: j, machine: a.machine });
+            return Err(MultiValidationError::MachineOutOfRange {
+                job: j,
+                machine: a.machine,
+            });
         }
     }
     let interval = |j: usize| {
@@ -207,20 +226,32 @@ pub fn greedy_multi(inst: &MultiInstance) -> Schedule {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.jobs[j].size));
     let mut scheduled = vec![false; n];
-    let mut assignments = vec![Assignment { machine: 0, start: 0 }; n];
+    let mut assignments = vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        n
+    ];
     let mut done = 0;
     while done < n {
         let q = (0..m).min_by_key(|&q| machine_free[q]).expect("m ≥ 1");
         let now = machine_free[q];
         let pick = order.iter().copied().find(|&j| {
             !scheduled[j]
-                && inst.jobs[j].resources.iter().all(|&r| resource_free[r] <= now)
+                && inst.jobs[j]
+                    .resources
+                    .iter()
+                    .all(|&r| resource_free[r] <= now)
         });
         match pick {
             Some(j) => {
                 scheduled[j] = true;
                 done += 1;
-                assignments[j] = Assignment { machine: q, start: now };
+                assignments[j] = Assignment {
+                    machine: q,
+                    start: now,
+                };
                 let end = now + inst.jobs[j].size;
                 machine_free[q] = end;
                 for &r in &inst.jobs[j].resources {
@@ -291,14 +322,20 @@ mod tests {
         let s = Schedule::new(vec![asg(0, 0), asg(1, 2)]);
         assert_eq!(
             validate_multi(&inst, &s),
-            Err(MultiValidationError::ResourceConflict { resource: 1, job_a: 0, job_b: 1 })
+            Err(MultiValidationError::ResourceConflict {
+                resource: 1,
+                job_a: 0,
+                job_b: 1
+            })
         );
     }
 
     #[test]
     fn rejects_machine_overlap() {
-        let inst =
-            MultiInstance::new(1, vec![MultiJob::new(3, vec![0]), MultiJob::new(2, vec![1])]);
+        let inst = MultiInstance::new(
+            1,
+            vec![MultiJob::new(3, vec![0]), MultiJob::new(2, vec![1])],
+        );
         let s = Schedule::new(vec![asg(0, 0), asg(0, 2)]);
         assert!(matches!(
             validate_multi(&inst, &s),
@@ -325,8 +362,10 @@ mod tests {
 
     #[test]
     fn zero_size_jobs_never_conflict() {
-        let inst =
-            MultiInstance::new(1, vec![MultiJob::new(0, vec![0]), MultiJob::new(5, vec![0])]);
+        let inst = MultiInstance::new(
+            1,
+            vec![MultiJob::new(0, vec![0]), MultiJob::new(5, vec![0])],
+        );
         let s = Schedule::new(vec![asg(0, 0), asg(0, 0)]);
         assert_eq!(validate_multi(&inst, &s), Ok(()));
     }

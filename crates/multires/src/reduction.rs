@@ -88,8 +88,7 @@ impl Reduction {
         let x_res: Vec<usize> = (0..nx).map(|_| fresh()).collect();
         let cc: Vec<usize> = (0..nc).map(|_| fresh()).collect();
         let ac: Vec<usize> = (0..nc).map(|_| fresh()).collect();
-        let v_res: Vec<[usize; 3]> =
-            (0..nc).map(|_| [fresh(), fresh(), fresh()]).collect();
+        let v_res: Vec<[usize; 3]> = (0..nc).map(|_| [fresh(), fresh(), fresh()]).collect();
 
         let mut jobs: Vec<MultiJob> = Vec::new();
         let mut push = |size: Time, res: Vec<usize>| -> usize {
@@ -230,41 +229,74 @@ impl Reduction {
     /// The always-feasible makespan-5 schedule (Lemma 24, easy direction).
     pub fn schedule_makespan5(&self) -> Schedule {
         let n = self.instance.num_jobs();
-        let mut asg = vec![Assignment { machine: 0, start: 0 }; n];
+        let mut asg = vec![
+            Assignment {
+                machine: 0,
+                start: 0
+            };
+            n
+        ];
         let nc = self.formula.num_clauses();
         let nx = self.formula.num_vars();
         // Clause dummies: jA [0,3), ja [3,4).
         for c in 0..nc {
             let q = self.machine_clause_dummy(c);
-            asg[self.ja_big[c]] = Assignment { machine: q, start: 0 };
-            asg[self.ja_small[c]] = Assignment { machine: q, start: 3 };
+            asg[self.ja_big[c]] = Assignment {
+                machine: q,
+                start: 0,
+            };
+            asg[self.ja_small[c]] = Assignment {
+                machine: q,
+                start: 3,
+            };
         }
         // Variable dummies: jb [0,2), jB [2,4).
         for x in 0..nx {
             let q = self.machine_var_dummy(x);
-            asg[self.jb_small[x]] = Assignment { machine: q, start: 0 };
-            asg[self.jb_big[x]] = Assignment { machine: q, start: 2 };
+            asg[self.jb_small[x]] = Assignment {
+                machine: q,
+                start: 0,
+            };
+            asg[self.jb_big[x]] = Assignment {
+                machine: q,
+                start: 2,
+            };
         }
         // Variable assignment machines: j_dx [0,1), j_x [3,4), j_x̄ [4,5) —
         // variable jobs run after every clause literal job, so no V conflict.
         for x in 0..nx {
             let q = self.machine_var_assignment(x);
-            asg[self.j_d[x]] = Assignment { machine: q, start: 0 };
-            asg[self.j_pos[x]] = Assignment { machine: q, start: 3 };
-            asg[self.j_neg[x]] = Assignment { machine: q, start: 4 };
+            asg[self.j_d[x]] = Assignment {
+                machine: q,
+                start: 0,
+            };
+            asg[self.j_pos[x]] = Assignment {
+                machine: q,
+                start: 3,
+            };
+            asg[self.j_neg[x]] = Assignment {
+                machine: q,
+                start: 4,
+            };
         }
         // Clause assignment machines: literals [0,1),[1,2),[2,3); j^c_d last
         // (where it also avoids its A_c anchor).
         for c in 0..nc {
             let q = self.machine_clause_assignment(c);
             for (slot, &lit) in self.clause_lits[c].iter().enumerate() {
-                asg[lit] = Assignment { machine: q, start: slot as Time };
+                asg[lit] = Assignment {
+                    machine: q,
+                    start: slot as Time,
+                };
             }
             let d_start = match self.fidelity {
                 Fidelity::Text => 3,     // [3,5) avoids jA_c = [0,3)
                 Fidelity::Repaired => 4, // [4,5) avoids ja_c = [3,4)
             };
-            asg[self.clause_d[c]] = Assignment { machine: q, start: d_start };
+            asg[self.clause_d[c]] = Assignment {
+                machine: q,
+                start: d_start,
+            };
         }
         Schedule::new(asg)
     }
@@ -284,32 +316,59 @@ impl Reduction {
             }
         }
         let n = self.instance.num_jobs();
-        let mut asg = vec![Assignment { machine: 0, start: 0 }; n];
+        let mut asg = vec![
+            Assignment {
+                machine: 0,
+                start: 0
+            };
+            n
+        ];
         let nc = self.formula.num_clauses();
         let nx = self.formula.num_vars();
         // Dummies exactly as in the 5-schedule (they fill [0,4) per machine).
         for c in 0..nc {
             let q = self.machine_clause_dummy(c);
-            asg[self.ja_big[c]] = Assignment { machine: q, start: 0 };
-            asg[self.ja_small[c]] = Assignment { machine: q, start: 3 };
+            asg[self.ja_big[c]] = Assignment {
+                machine: q,
+                start: 0,
+            };
+            asg[self.ja_small[c]] = Assignment {
+                machine: q,
+                start: 3,
+            };
         }
         for x in 0..nx {
             let q = self.machine_var_dummy(x);
-            asg[self.jb_small[x]] = Assignment { machine: q, start: 0 };
-            asg[self.jb_big[x]] = Assignment { machine: q, start: 2 };
+            asg[self.jb_small[x]] = Assignment {
+                machine: q,
+                start: 0,
+            };
+            asg[self.jb_big[x]] = Assignment {
+                machine: q,
+                start: 2,
+            };
         }
         // Variable assignment machines: j_dx [0,1); the TRUE-valued literal's
         // job at [1,2), the false one at [2,3) (X_x serializes all three).
         for x in 0..nx {
             let q = self.machine_var_assignment(x);
-            asg[self.j_d[x]] = Assignment { machine: q, start: 0 };
+            asg[self.j_d[x]] = Assignment {
+                machine: q,
+                start: 0,
+            };
             let (first, second) = if assignment[x] {
                 (self.j_pos[x], self.j_neg[x])
             } else {
                 (self.j_neg[x], self.j_pos[x])
             };
-            asg[first] = Assignment { machine: q, start: 1 };
-            asg[second] = Assignment { machine: q, start: 2 };
+            asg[first] = Assignment {
+                machine: q,
+                start: 1,
+            };
+            asg[second] = Assignment {
+                machine: q,
+                start: 2,
+            };
         }
         // Clause assignment machines: serialize {j^c_d, ℓ1, ℓ2, ℓ3} into the
         // unit slots of [0,4) such that
@@ -325,14 +384,19 @@ impl Reduction {
             let mut order: Vec<usize> = (0..3).collect();
             order.sort_by_key(|&i| !truth[i]); // true literals first
             let (d_slot, lit_slots): (Time, [Time; 3]) = match t {
-                1 => (2, [3, 0, 1]),          // true→[3,4); falses→[0,1),[1,2)
-                2 => (2, [3, 0, 1]),          // trues→[3,4),[0,1); false→[1,2)
-                _ => (1, [0, 2, 3]),          // all true → d at [1,2)
+                1 => (2, [3, 0, 1]), // true→[3,4); falses→[0,1),[1,2)
+                2 => (2, [3, 0, 1]), // trues→[3,4),[0,1); false→[1,2)
+                _ => (1, [0, 2, 3]), // all true → d at [1,2)
             };
-            asg[self.clause_d[c]] = Assignment { machine: q, start: d_slot };
+            asg[self.clause_d[c]] = Assignment {
+                machine: q,
+                start: d_slot,
+            };
             for (rank, &i) in order.iter().enumerate() {
-                asg[self.clause_lits[c][i]] =
-                    Assignment { machine: q, start: lit_slots[rank] };
+                asg[self.clause_lits[c][i]] = Assignment {
+                    machine: q,
+                    start: lit_slots[rank],
+                };
             }
         }
         Ok(Schedule::new(asg))
@@ -343,8 +407,7 @@ impl Reduction {
     pub fn extract_assignment(&self, schedule: &Schedule) -> Vec<bool> {
         (0..self.formula.num_vars())
             .map(|x| {
-                schedule.assignment(self.j_pos[x]).start
-                    < schedule.assignment(self.j_neg[x]).start
+                schedule.assignment(self.j_pos[x]).start < schedule.assignment(self.j_neg[x]).start
             })
             .collect()
     }
@@ -371,11 +434,7 @@ mod tests {
                 let r = Reduction::build(f.clone(), fidelity);
                 assert_eq!(r.instance.machines(), 2 * nc + 2 * nx);
                 assert!(r.instance.max_resources_per_job() <= 3);
-                assert!(r
-                    .instance
-                    .jobs()
-                    .iter()
-                    .all(|j| (1..=3).contains(&j.size)));
+                assert!(r.instance.jobs().iter().all(|j| (1..=3).contains(&j.size)));
             }
         }
     }
@@ -429,7 +488,10 @@ mod tests {
             assert_eq!(r.extract_assignment(&s), asg);
             tested += 1;
         }
-        assert!(tested >= 5, "too few satisfiable formulas sampled: {tested}");
+        assert!(
+            tested >= 5,
+            "too few satisfiable formulas sampled: {tested}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Lit {
 impl Lit {
     /// Positive literal `x`.
     pub fn pos(var: usize) -> Self {
-        Lit { var, negated: false }
+        Lit {
+            var,
+            negated: false,
+        }
     }
 
     /// Negative literal `¬x`.
@@ -120,10 +123,8 @@ pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
         }
         // All clauses satisfied?
         let open = cnf.clauses.iter().any(|cl| {
-            !cl.iter().any(|l| matches!(
-                (asg[l.var], l.negated),
-                (V::True, false) | (V::False, true)
-            ))
+            !cl.iter()
+                .any(|l| matches!((asg[l.var], l.negated), (V::True, false) | (V::False, true)))
         });
         if !open {
             return true;
@@ -202,8 +203,7 @@ impl Monotone3Sat22 {
     /// Wraps a formula after checking the discipline.
     pub fn new(cnf: Cnf) -> Result<Self, String> {
         Self::check(&cnf)?;
-        let num_positive =
-            cnf.clauses.iter().filter(|cl| !cl[0].negated).count();
+        let num_positive = cnf.clauses.iter().filter(|cl| !cl[0].negated).count();
         Ok(Monotone3Sat22 { cnf, num_positive })
     }
 
@@ -221,12 +221,14 @@ impl Monotone3Sat22 {
     /// two copies of every variable are shuffled and chunked into monotone
     /// triples, with local swaps to remove duplicate variables in a clause.
     pub fn random(seed: u64, num_vars: usize) -> Self {
-        assert!(num_vars >= 3 && num_vars.is_multiple_of(3), "need |X| ≥ 3 divisible by 3");
+        assert!(
+            num_vars >= 3 && num_vars.is_multiple_of(3),
+            "need |X| ≥ 3 divisible by 3"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let build_side = |rng: &mut ChaCha8Rng, negated: bool| -> Vec<Vec<Lit>> {
             loop {
-                let mut pool: Vec<usize> =
-                    (0..num_vars).flat_map(|v| [v, v]).collect();
+                let mut pool: Vec<usize> = (0..num_vars).flat_map(|v| [v, v]).collect();
                 pool.shuffle(rng);
                 // Repair duplicates within chunks by swapping with later
                 // elements; retry wholesale if stuck.
@@ -241,8 +243,7 @@ impl Monotone3Sat22 {
                                 !(chunk_start..chunk_start + 3)
                                     .filter(|&t| t != idx)
                                     .any(|t| pool[t] == cand)
-                                    && !(k - (k - chunk_start) % 3..k)
-                                        .any(|t| pool[t] == pool[idx])
+                                    && !(k - (k - chunk_start) % 3..k).any(|t| pool[t] == pool[idx])
                             });
                             match swap {
                                 Some(k) => pool.swap(idx, k),

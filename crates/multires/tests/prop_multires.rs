@@ -11,10 +11,7 @@ use proptest::prelude::*;
 fn arb_multi_instance() -> impl Strategy<Value = MultiInstance> {
     (
         1usize..=4,
-        prop::collection::vec(
-            (0u64..=12, prop::collection::vec(0usize..8, 1..=3)),
-            1..=12,
-        ),
+        prop::collection::vec((0u64..=12, prop::collection::vec(0usize..8, 1..=3)), 1..=12),
     )
         .prop_map(|(m, jobs)| {
             let jobs = jobs

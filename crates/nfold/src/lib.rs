@@ -82,7 +82,9 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_nodes: 50_000_000 }
+        Limits {
+            max_nodes: 50_000_000,
+        }
     }
 }
 
@@ -115,7 +117,10 @@ impl NFoldIP {
             assert_eq!(self.lower[i].len(), self.t);
             assert_eq!(self.upper[i].len(), self.t);
             assert_eq!(self.cost[i].len(), self.t);
-            assert!(self.lower[i].iter().zip(&self.upper[i]).all(|(l, u)| l <= u));
+            assert!(self.lower[i]
+                .iter()
+                .zip(&self.upper[i])
+                .all(|(l, u)| l <= u));
         }
     }
 
@@ -147,7 +152,11 @@ impl NFoldIP {
             }
         }
         for (k, rhs) in self.rhs_global.iter().enumerate() {
-            let sum: i64 = x.iter().enumerate().map(|(i, xi)| dot(&self.a[i][k], xi)).sum();
+            let sum: i64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, xi)| dot(&self.a[i][k], xi))
+                .sum();
             if sum != *rhs {
                 return false;
             }
@@ -192,7 +201,10 @@ impl NFoldIP {
     /// Returns the reached solution (an optimum when `step_box` is `None`).
     pub fn solve_augmentation(&self, start: Vec<Vec<i64>>, step_box: Option<i64>) -> Solution {
         self.assert_shape();
-        assert!(self.is_feasible(&start), "augmentation requires a feasible start");
+        assert!(
+            self.is_feasible(&start),
+            "augmentation requires a feasible start"
+        );
         let mut x = start;
         let gamma = step_box.unwrap_or_else(|| {
             (0..self.blocks())
@@ -212,12 +224,10 @@ impl NFoldIP {
                             let z = step[i][j];
                             match z.cmp(&0) {
                                 std::cmp::Ordering::Greater => {
-                                    lambda =
-                                        lambda.min((self.upper[i][j] - x[i][j]) / z);
+                                    lambda = lambda.min((self.upper[i][j] - x[i][j]) / z);
                                 }
                                 std::cmp::Ordering::Less => {
-                                    lambda =
-                                        lambda.min((x[i][j] - self.lower[i][j]) / (-z));
+                                    lambda = lambda.min((x[i][j] - self.lower[i][j]) / (-z));
                                 }
                                 std::cmp::Ordering::Equal => {}
                             }
@@ -260,8 +270,7 @@ impl NFoldIP {
     ) {
         if j == self.t {
             if self.b[i].iter().all(|row| dot(row, z) == 0) {
-                let contrib: Vec<i64> =
-                    (0..self.r).map(|k| dot(&self.a[i][k], z)).collect();
+                let contrib: Vec<i64> = (0..self.r).map(|k| dot(&self.a[i][k], z)).collect();
                 let cost = dot(&self.cost[i], z);
                 out.push((z.clone(), contrib, cost));
             }
@@ -433,7 +442,11 @@ impl BbState<'_> {
             let j0 = if i == block { var } else { 0 };
             for j in j0..ip.t {
                 let c = ip.cost[i][j];
-                rest += if c >= 0 { c * ip.lower[i][j] } else { c * ip.upper[i][j] };
+                rest += if c >= 0 {
+                    c * ip.lower[i][j]
+                } else {
+                    c * ip.upper[i][j]
+                };
             }
         }
         assigned + rest
@@ -460,7 +473,11 @@ impl BbState<'_> {
             }
             return;
         }
-        let (nb, nv) = if var + 1 == ip.t { (block + 1, 0) } else { (block, var + 1) };
+        let (nb, nv) = if var + 1 == ip.t {
+            (block + 1, 0)
+        } else {
+            (block, var + 1)
+        };
         if !self.can_reach(block, var) {
             return;
         }
@@ -529,7 +546,10 @@ mod tests {
     #[test]
     fn bb_respects_node_budget() {
         let ip = simple_ip();
-        assert_eq!(ip.solve_bb(Limits { max_nodes: 1 }), BbOutcome::NodeBudgetExhausted);
+        assert_eq!(
+            ip.solve_bb(Limits { max_nodes: 1 }),
+            BbOutcome::NodeBudgetExhausted
+        );
     }
 
     #[test]

@@ -42,11 +42,13 @@ fn arb_ip() -> impl Strategy<Value = NFoldIP> {
                 .collect();
             let lower = vec![vec![0i64; t]; n];
             let upper = vec![vec![3i64; t]; n];
-            let cost: Vec<_> =
-                (0..n).map(|_| (0..t).map(|_| next(3)).collect::<Vec<_>>()).collect();
+            let cost: Vec<_> = (0..n)
+                .map(|_| (0..t).map(|_| next(3)).collect::<Vec<_>>())
+                .collect();
             // Feasible seed point → consistent RHS.
-            let x0: Vec<Vec<i64>> =
-                (0..n).map(|_| (0..t).map(|_| next(3).rem_euclid(4)).collect()).collect();
+            let x0: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..t).map(|_| next(3).rem_euclid(4)).collect())
+                .collect();
             let rhs_global: Vec<i64> = (0..r)
                 .map(|k| {
                     (0..n)
@@ -71,7 +73,18 @@ fn arb_ip() -> impl Strategy<Value = NFoldIP> {
                         .collect()
                 })
                 .collect();
-            NFoldIP { r, s, t, a, b, rhs_global, rhs_local, lower, upper, cost }
+            NFoldIP {
+                r,
+                s,
+                t,
+                a,
+                b,
+                rhs_global,
+                rhs_local,
+                lower,
+                upper,
+                cost,
+            }
         })
 }
 
@@ -81,13 +94,7 @@ fn brute_force(ip: &NFoldIP) -> Option<i64> {
     let total = n * ip.t;
     let mut best: Option<i64> = None;
     let mut x = vec![vec![0i64; ip.t]; n];
-    fn rec(
-        ip: &NFoldIP,
-        idx: usize,
-        total: usize,
-        x: &mut Vec<Vec<i64>>,
-        best: &mut Option<i64>,
-    ) {
+    fn rec(ip: &NFoldIP, idx: usize, total: usize, x: &mut Vec<Vec<i64>>, best: &mut Option<i64>) {
         if idx == total {
             if ip.is_feasible(x) {
                 let obj = ip.objective(x);

@@ -3,8 +3,7 @@
 //! reconstruction (Lemma 19).
 
 use msrs_core::{
-    bounds::lower_bound, validate, Assignment, ClassId, Instance, JobId, MachineId,
-    Schedule, Time,
+    bounds::lower_bound, validate, Assignment, ClassId, Instance, JobId, MachineId, Schedule, Time,
 };
 
 use crate::layered::{LayeredInstance, LayeredJobKind, LayeredOutcome};
@@ -22,7 +21,10 @@ pub struct EptasConfig {
 
 impl Default for EptasConfig {
     fn default() -> Self {
-        EptasConfig { eps_k: 3, node_budget: 2_000_000 }
+        EptasConfig {
+            eps_k: 3,
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -152,21 +154,19 @@ fn reconstruct(
     let mut asg: Vec<Option<Assignment>> = vec![None; inst.num_jobs()];
     // Per original class: placeholder slots and big-job windows.
     let mut slots: Vec<Vec<(MachineId, Time)>> = vec![Vec::new(); inst.num_classes()];
-    let mut big_windows: Vec<Vec<(MachineId, Time, Time)>> =
-        vec![Vec::new(); inst.num_classes()];
+    let mut big_windows: Vec<Vec<(MachineId, Time, Time)>> = vec![Vec::new(); inst.num_classes()];
     for (lj, kind) in layered.kinds.iter().enumerate() {
         let a = lsched.assignment(lj);
         let real_start = a.start * g_padded;
         let orig_class = layered.class_map[layered.inst.class_of(lj)];
         match *kind {
             LayeredJobKind::Big(j) => {
-                asg[j] = Some(Assignment { machine: a.machine, start: real_start });
+                asg[j] = Some(Assignment {
+                    machine: a.machine,
+                    start: real_start,
+                });
                 let window_end = real_start + layered.inst.size(lj) * g_padded;
-                big_windows[orig_class].push((
-                    a.machine,
-                    real_start + inst.size(j),
-                    window_end,
-                ));
+                big_windows[orig_class].push((a.machine, real_start + inst.size(j), window_end));
             }
             LayeredJobKind::Placeholder => {
                 slots[orig_class].push((a.machine, real_start));
@@ -177,10 +177,14 @@ fn reconstruct(
     // Micro bundles: right after the first big job of the class, inside its
     // window (slack ≥ pad ≥ µT ≥ bundle load).
     for (c, jobs) in &plan.micro_bundles {
-        let &(machine, mut cur, window_end) =
-            big_windows[*c].first().expect("micro bundle class has a big job");
+        let &(machine, mut cur, window_end) = big_windows[*c]
+            .first()
+            .expect("micro bundle class has a big job");
         for &j in jobs {
-            asg[j] = Some(Assignment { machine, start: cur });
+            asg[j] = Some(Assignment {
+                machine,
+                start: cur,
+            });
             cur += inst.size(j);
         }
         assert!(
@@ -199,10 +203,13 @@ fn reconstruct(
         for &j in jobs {
             let p = inst.size(j);
             loop {
-                let (machine, start) = current
-                    .expect("invariant violation: placeholder capacity exhausted");
+                let (machine, start) =
+                    current.expect("invariant violation: placeholder capacity exhausted");
                 if used + p <= g_padded {
-                    asg[j] = Some(Assignment { machine, start: start + used });
+                    asg[j] = Some(Assignment {
+                        machine,
+                        start: start + used,
+                    });
                     used += p;
                     break;
                 }
@@ -229,7 +236,10 @@ fn reconstruct(
         let q = (0..m).min_by_key(|&q| ends[q]).expect("m ≥ 1");
         let mut cur = ends[q];
         for &j in jobs {
-            asg[j] = Some(Assignment { machine: q, start: cur });
+            asg[j] = Some(Assignment {
+                machine: q,
+                start: cur,
+            });
             cur += inst.size(j);
         }
         ends[q] = cur;
@@ -243,7 +253,10 @@ fn reconstruct(
         if q < target_m {
             let mut cur = 0;
             for &j in cls {
-                asg[j] = Some(Assignment { machine: q, start: cur });
+                asg[j] = Some(Assignment {
+                    machine: q,
+                    start: cur,
+                });
                 cur += inst.size(j);
             }
             ends[q] = cur;
@@ -261,7 +274,10 @@ fn reconstruct(
         let q = (0..m).min_by_key(|&q| cursors[q]).expect("m ≥ 1");
         let mut cur = cursors[q];
         for &j in bundle {
-            asg[j] = Some(Assignment { machine: q, start: cur });
+            asg[j] = Some(Assignment {
+                machine: q,
+                start: cur,
+            });
             cur += inst.size(j);
         }
         cursors[q] = cur;
@@ -394,18 +410,20 @@ mod tests {
         } else {
             eptas_fixed_m(inst, cfg)
         };
-        assert_eq!(validate(&out.instance, &out.schedule), Ok(()), "invalid schedule");
+        assert_eq!(
+            validate(&out.instance, &out.schedule),
+            Ok(()),
+            "invalid schedule"
+        );
         assert!(out.makespan() >= lower_bound(inst).min(out.makespan()));
         out
     }
 
     #[test]
     fn simple_instance_both_variants() {
-        let inst = Instance::from_classes(
-            2,
-            &[vec![60, 4, 4], vec![55], vec![30, 30], vec![2, 2, 2]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_classes(2, &[vec![60, 4, 4], vec![55], vec![30, 30], vec![2, 2, 2]])
+                .unwrap();
         for augmented in [false, true] {
             let out = check(&inst, EptasConfig::default(), augmented);
             assert!(out.t_star >= lower_bound(&inst));
@@ -416,18 +434,30 @@ mod tests {
     fn augmented_uses_extra_machines_at_most() {
         let inst = Instance::from_classes(
             4,
-            &[vec![50; 2], vec![50; 2], vec![40, 20], vec![25; 4], vec![10; 10]],
+            &[
+                vec![50; 2],
+                vec![50; 2],
+                vec![40, 20],
+                vec![25; 4],
+                vec![10; 10],
+            ],
         )
         .unwrap();
-        let out = check(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 }, true);
+        let out = check(
+            &inst,
+            EptasConfig {
+                eps_k: 2,
+                node_budget: 500_000,
+            },
+            true,
+        );
         assert!(out.instance.machines() == 4 + 2);
         assert!(out.schedule.machines_used(&out.instance) <= 6);
     }
 
     #[test]
     fn fixed_m_stays_on_m_machines() {
-        let inst =
-            Instance::from_classes(2, &[vec![30, 30], vec![20, 20], vec![15]]).unwrap();
+        let inst = Instance::from_classes(2, &[vec![30, 30], vec![20, 20], vec![15]]).unwrap();
         let out = check(&inst, EptasConfig::default(), false);
         assert_eq!(out.instance.machines(), 2);
     }
@@ -438,10 +468,23 @@ mod tests {
         // machines … not trivial (5 classes on 3 machines).
         let inst = Instance::from_classes(
             3,
-            &[vec![120], vec![120], vec![120], vec![60, 60], vec![40, 40, 40]],
+            &[
+                vec![120],
+                vec![120],
+                vec![120],
+                vec![60, 60],
+                vec![40, 40, 40],
+            ],
         )
         .unwrap();
-        let out = check(&inst, EptasConfig { eps_k: 4, node_budget: 2_000_000 }, false);
+        let out = check(
+            &inst,
+            EptasConfig {
+                eps_k: 4,
+                node_budget: 2_000_000,
+            },
+            false,
+        );
         let lb = lower_bound(&inst) as f64;
         let ratio = out.makespan() as f64 / lb;
         assert!(ratio <= 1.8, "EPTAS ratio {ratio} too large");
@@ -451,12 +494,17 @@ mod tests {
     fn medium_heavy_class_goes_to_extra_machine() {
         // One class dominated by medium jobs: with ε = 1/2 and suitable T it
         // exceeds εT and lands on an augmentation machine.
-        let inst = Instance::from_classes(
-            2,
-            &[vec![100], vec![90, 6], vec![30, 30, 30], vec![8, 8]],
-        )
-        .unwrap();
-        let out = check(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 }, true);
+        let inst =
+            Instance::from_classes(2, &[vec![100], vec![90, 6], vec![30, 30, 30], vec![8, 8]])
+                .unwrap();
+        let out = check(
+            &inst,
+            EptasConfig {
+                eps_k: 2,
+                node_budget: 500_000,
+            },
+            true,
+        );
         assert_eq!(out.instance.machines(), 3);
     }
 

@@ -46,10 +46,7 @@ fn overlaps(a: Window, b: Window) -> bool {
 
 /// Enumerates all configurations (antichains of non-overlapping windows) by
 /// walking the layers: at each layer either idle or start a window.
-fn enumerate_configs(
-    windows: &[Window],
-    horizon: Time,
-) -> Vec<Vec<usize>> {
+fn enumerate_configs(windows: &[Window], horizon: Time) -> Vec<Vec<usize>> {
     // start_at[ℓ] = windows starting at ℓ.
     let mut start_at: Vec<Vec<usize>> = vec![Vec::new(); horizon as usize + 1];
     for (i, &(l, _)) in windows.iter().enumerate() {
@@ -74,7 +71,14 @@ fn enumerate_configs(
         // Start one of the windows at this layer.
         for &w in &start_at[layer] {
             cur.push(w);
-            rec(layer + windows[w].1 as usize, horizon, start_at, windows, cur, out);
+            rec(
+                layer + windows[w].1 as usize,
+                horizon,
+                start_at,
+                windows,
+                cur,
+                out,
+            );
             cur.pop();
         }
     }
@@ -194,7 +198,15 @@ impl ModuleConfigIp {
             upper,
             cost,
         };
-        ModuleConfigIp { windows, configs, sizes, demand, ip, horizon, machines }
+        ModuleConfigIp {
+            windows,
+            configs,
+            sizes,
+            demand,
+            ip,
+            horizon,
+            machines,
+        }
     }
 
     /// Solves the IP (feasibility) and extracts a layered schedule: machines
@@ -231,7 +243,13 @@ impl ModuleConfigIp {
             let pi = self.sizes.binary_search(&job.size).expect("size present");
             per_class_jobs[job.class][pi].push(j);
         }
-        let mut assignments = vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()];
+        let mut assignments = vec![
+            Assignment {
+                machine: 0,
+                start: 0
+            };
+            inst.num_jobs()
+        ];
         for (c, xc) in sol.x.iter().enumerate() {
             if c >= inst.num_classes() {
                 break;
@@ -241,8 +259,13 @@ impl ModuleConfigIp {
                 let pi = self.sizes.binary_search(&p).expect("size present");
                 for _ in 0..count {
                     let q = providers[w].pop().expect("constraint (2) balances supply");
-                    let j = per_class_jobs[c][pi].pop().expect("constraint (3) balances demand");
-                    assignments[j] = Assignment { machine: q, start: l };
+                    let j = per_class_jobs[c][pi]
+                        .pop()
+                        .expect("constraint (3) balances demand");
+                    assignments[j] = Assignment {
+                        machine: q,
+                        start: l,
+                    };
                 }
             }
         }
@@ -276,13 +299,14 @@ mod tests {
     use msrs_core::{validate, Instance};
 
     /// A tiny layered setting: two classes, jobs of 1–2 layers, horizon 3–4.
-    fn tiny(horizon_classes: (Time, Vec<Vec<Time>>), m: usize) -> (Instance, LayeredInstance, Time) {
+    fn tiny(
+        horizon_classes: (Time, Vec<Vec<Time>>),
+        m: usize,
+    ) -> (Instance, LayeredInstance, Time) {
         let (t, classes) = horizon_classes;
         let orig = Instance::from_classes(m, &classes).unwrap();
         let params = build_params(&orig, t, 2, false);
-        let big: Vec<usize> = (0..orig.num_jobs())
-            .filter(|&j| orig.size(j) > 0)
-            .collect();
+        let big: Vec<usize> = (0..orig.num_jobs()).filter(|&j| orig.size(j) > 0).collect();
         let layered = LayeredInstance::build(&orig, &params, &big, &[]);
         (orig, layered, params.layers)
     }
@@ -314,10 +338,14 @@ mod tests {
     fn ip_feasible_and_schedule_valid() {
         // Two classes of one 30-size job each on 2 machines at T=30, k=2:
         // g = ⌊30/4⌋ = 7 → jobs round to ⌈30/7⌉ = 5 layers; Λ = 9.
-        let (_, layered, horizon) =
-            tiny((30, vec![vec![30], vec![30]]), 2);
+        let (_, layered, horizon) = tiny((30, vec![vec![30], vec![30]]), 2);
         let ip = ModuleConfigIp::build(&layered, horizon.min(6));
-        let s = ip.solve(&layered, Limits { max_nodes: 30_000_000 });
+        let s = ip.solve(
+            &layered,
+            Limits {
+                max_nodes: 30_000_000,
+            },
+        );
         let s = s.expect("feasible layered IP");
         assert_eq!(validate(&layered.inst, &s), Ok(()));
         assert!(s.makespan(&layered.inst) <= horizon.min(6));
@@ -328,12 +356,20 @@ mod tests {
         // Cross-validation: the IP and the structure-aware solver must agree
         // on feasibility at a squeezed horizon.
         let (_, layered, _) = tiny((30, vec![vec![30, 28], vec![30]]), 2);
-        let job_layers: Vec<Time> =
-            (0..layered.inst.num_jobs()).map(|j| layered.inst.size(j)).collect();
+        let job_layers: Vec<Time> = (0..layered.inst.num_jobs())
+            .map(|j| layered.inst.size(j))
+            .collect();
         let serial: Time = job_layers.iter().take(2).sum(); // class 0 serializes
         for horizon in [serial - 1, serial] {
             let ip = ModuleConfigIp::build(&layered, horizon);
-            let ip_feasible = ip.solve(&layered, Limits { max_nodes: 50_000_000 }).is_some();
+            let ip_feasible = ip
+                .solve(
+                    &layered,
+                    Limits {
+                        max_nodes: 50_000_000,
+                    },
+                )
+                .is_some();
             let practical = matches!(
                 layered.solve(horizon, 5_000_000),
                 crate::layered::LayeredOutcome::Feasible(_)
@@ -350,7 +386,14 @@ mod tests {
         let layered = LayeredInstance::build(&orig, &params, &[0, 1, 2], &[]);
         let per = layered.inst.size(0);
         let ip = ModuleConfigIp::build(&layered, 3 * per - 1);
-        assert!(ip.solve(&layered, Limits { max_nodes: 50_000_000 }).is_none());
+        assert!(ip
+            .solve(
+                &layered,
+                Limits {
+                    max_nodes: 50_000_000
+                }
+            )
+            .is_none());
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl LayeredInstance {
             }
         }
         let inst = Instance::new(orig.machines(), jobs).expect("m ≥ 1");
-        LayeredInstance { inst, kinds, class_map }
+        LayeredInstance {
+            inst,
+            kinds,
+            class_map,
+        }
     }
 
     /// Decides whether the layered instance fits within `horizon` layers.
@@ -99,7 +103,12 @@ impl LayeredInstance {
             }
         }
         // Exact decision (the N-fold oracle stand-in).
-        match optimal(&self.inst, SolveLimits { max_nodes: node_budget }) {
+        match optimal(
+            &self.inst,
+            SolveLimits {
+                max_nodes: node_budget,
+            },
+        ) {
             Some(res) if res.makespan <= horizon => LayeredOutcome::Feasible(res.schedule),
             Some(_) => LayeredOutcome::Infeasible,
             None => LayeredOutcome::Unknown,

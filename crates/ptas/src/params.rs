@@ -114,8 +114,12 @@ pub fn choose_delta(inst: &Instance, t: Time, k: u64, augmented: bool) -> DeltaC
     let k128 = k as u128;
     // Candidate cap: the paper uses 2/ε² (general) resp. 2m/ε (fixed)
     // exponents; additionally stop once δT < 1 (no medium range remains).
-    let max_i = if augmented { 2 * k * k } else { 2 * (inst.machines() as u64) * k }
-        .clamp(2, 64) as usize;
+    let max_i = if augmented {
+        2 * k * k
+    } else {
+        2 * (inst.machines() as u64) * k
+    }
+    .clamp(2, 64) as usize;
     let mut den: u128 = k128; // δ = ε
     let mut best: Option<(u128, u128)> = None; // (mass sum, den)
     for _ in 0..max_i {
@@ -127,7 +131,10 @@ pub fn choose_delta(inst: &Instance, t: Time, k: u64, augmented: bool) -> DeltaC
             m128 * k128 <= t128 && c128 * k128 <= t128
         };
         if ok {
-            return DeltaChoice { den, conditions_met: true };
+            return DeltaChoice {
+                den,
+                conditions_met: true,
+            };
         }
         let sum = m128 + c128;
         if best.is_none_or(|(s, _)| sum < s) {
@@ -143,10 +150,16 @@ pub fn choose_delta(inst: &Instance, t: Time, k: u64, augmented: bool) -> DeltaC
     // δT < 1 ⟹ no mediums and no non-empty (µT, δT] small band.
     let (medium, cond2) = class_masses(inst, t, k, den);
     if medium == 0 && cond2 == 0 {
-        return DeltaChoice { den, conditions_met: true };
+        return DeltaChoice {
+            den,
+            conditions_met: true,
+        };
     }
     let (_, den) = best.expect("at least one candidate evaluated");
-    DeltaChoice { den, conditions_met: false }
+    DeltaChoice {
+        den,
+        conditions_met: false,
+    }
 }
 
 /// Builds all derived parameters for guess `t`.
@@ -161,7 +174,15 @@ pub fn build_params(inst: &Instance, t: Time, k: u64, augmented: bool) -> Params
     // Horizon (1+2ε)T in layers, plus one slack layer for alignment.
     let horizon = ((t as u128) * (k128 + 2)).div_ceil(k128) as Time;
     let layers = horizon.div_ceil(g) + 1;
-    Params { k, t, den, g, pad, layers, conditions_met: choice.conditions_met }
+    Params {
+        k,
+        t,
+        den,
+        g,
+        pad,
+        layers,
+        conditions_met: choice.conditions_met,
+    }
 }
 
 #[cfg(test)]
@@ -205,13 +226,14 @@ mod tests {
     fn delta_descends_when_medium_mass_is_large() {
         // All load concentrated in the (µT, δT] band for δ = ε forces a
         // smaller δ. T = 100, k = 2: δ=1/2 → medium ∈ (12.5, 50].
-        let heavy_medium = Instance::from_classes(
-            2,
-            &[vec![40, 40], vec![40, 40], vec![40]],
-        )
-        .unwrap();
+        let heavy_medium =
+            Instance::from_classes(2, &[vec![40, 40], vec![40, 40], vec![40]]).unwrap();
         let choice = choose_delta(&heavy_medium, 100, 2, true);
-        assert!(choice.den > 2, "δ must shrink below ε, got 1/{}", choice.den);
+        assert!(
+            choice.den > 2,
+            "δ must shrink below ε, got 1/{}",
+            choice.den
+        );
     }
 
     #[test]

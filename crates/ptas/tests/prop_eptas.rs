@@ -54,9 +54,14 @@ fn ratio_envelope_against_exact_opt() {
     ];
     for (m, classes) in shapes {
         let inst = Instance::from_classes(m, &classes).unwrap();
-        let opt = optimal(&inst, SolveLimits::default()).expect("small").makespan;
+        let opt = optimal(&inst, SolveLimits::default())
+            .expect("small")
+            .makespan;
         for k in [2u64, 3, 4] {
-            let cfg = EptasConfig { eps_k: k, node_budget: 2_000_000 };
+            let cfg = EptasConfig {
+                eps_k: k,
+                node_budget: 2_000_000,
+            };
             let out = eptas_fixed_m(&inst, cfg);
             assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
             let ratio = out.makespan() as f64 / opt as f64;
@@ -67,8 +72,11 @@ fn ratio_envelope_against_exact_opt() {
                 "m={m} k={k}: ratio {ratio:.3} exceeds {cap:.3} (opt={opt}, got={})",
                 out.makespan()
             );
-            assert!(out.t_star <= opt || !out.guarantee_intact,
-                "accepted guess {} exceeds OPT {opt} without a flag", out.t_star);
+            assert!(
+                out.t_star <= opt || !out.guarantee_intact,
+                "accepted guess {} exceeds OPT {opt} without a flag",
+                out.t_star
+            );
         }
     }
 }
@@ -81,8 +89,20 @@ fn epsilon_monotonicity_in_expectation() {
     let mut sum_k4 = 0u64;
     for seed in 0..6u64 {
         let inst = msrs_gen::uniform(seed, 3, 14, 6, 20, 90);
-        let a = eptas_fixed_m(&inst, EptasConfig { eps_k: 2, node_budget: 500_000 });
-        let b = eptas_fixed_m(&inst, EptasConfig { eps_k: 4, node_budget: 500_000 });
+        let a = eptas_fixed_m(
+            &inst,
+            EptasConfig {
+                eps_k: 2,
+                node_budget: 500_000,
+            },
+        );
+        let b = eptas_fixed_m(
+            &inst,
+            EptasConfig {
+                eps_k: 4,
+                node_budget: 500_000,
+            },
+        );
         assert_eq!(validate(&a.instance, &a.schedule), Ok(()));
         assert_eq!(validate(&b.instance, &b.schedule), Ok(()));
         sum_k2 += a.makespan();

@@ -27,7 +27,10 @@ fn main() {
         ("hebrard-greedy", hebrard_greedy(&inst)),
         ("list-LPT", list_scheduler(&inst)),
     ];
-    println!("{:<16} {:>10} {:>8} {:>14}", "algorithm", "makespan", "ratio", "idle time");
+    println!(
+        "{:<16} {:>10} {:>8} {:>14}",
+        "algorithm", "makespan", "ratio", "idle time"
+    );
     for (name, r) in &runs {
         validate(&inst, &r.schedule).expect("valid");
         let cmax = r.schedule.makespan(&inst);

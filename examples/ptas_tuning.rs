@@ -11,7 +11,13 @@ use msrs::prelude::*;
 fn main() {
     let inst = Instance::from_classes(
         3,
-        &[vec![100], vec![100], vec![100], vec![50, 50], vec![40, 30, 30]],
+        &[
+            vec![100],
+            vec![100],
+            vec![100],
+            vec![50, 50],
+            vec![40, 30, 30],
+        ],
     )
     .expect("well-formed");
     let opt = optimal(&inst, SolveLimits::default()).expect("small instance");
@@ -28,7 +34,10 @@ fn main() {
         "eps", "fixed-m", "ratio", "augmented", "ratio", "machines"
     );
     for k in [2u64, 3, 4, 6, 8] {
-        let cfg = EptasConfig { eps_k: k, node_budget: 2_000_000 };
+        let cfg = EptasConfig {
+            eps_k: k,
+            node_budget: 2_000_000,
+        };
         let fixed = eptas_fixed_m(&inst, cfg);
         let aug = eptas_augmented(&inst, cfg);
         validate(&fixed.instance, &fixed.schedule).expect("valid");
@@ -44,5 +53,8 @@ fn main() {
             aug.instance.machines(),
         );
     }
-    println!("\n(3/2-approximation for comparison: {})", three_halves(&inst).schedule.makespan(&inst));
+    println!(
+        "\n(3/2-approximation for comparison: {})",
+        three_halves(&inst).schedule.makespan(&inst)
+    );
 }

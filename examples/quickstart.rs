@@ -23,8 +23,13 @@ fn main() {
     .expect("well-formed instance");
 
     let bounds = lower_bounds(&inst);
-    println!("lower bounds: area={} class={} two-jobs={} ⇒ T={}",
-        bounds.avg_load, bounds.max_class, bounds.two_jobs, bounds.combined());
+    println!(
+        "lower bounds: area={} class={} two-jobs={} ⇒ T={}",
+        bounds.avg_load,
+        bounds.max_class,
+        bounds.two_jobs,
+        bounds.combined()
+    );
 
     for (name, result) in [
         ("Algorithm_5/3 (Theorem 2)", five_thirds(&inst)),
@@ -43,5 +48,8 @@ fn main() {
 
     // Ground truth for instances this small:
     let exact = optimal(&inst, SolveLimits::default()).expect("small instance");
-    println!("exact optimum: {} ({} B&B nodes)", exact.makespan, exact.nodes);
+    println!(
+        "exact optimum: {} ({} B&B nodes)",
+        exact.makespan, exact.nodes
+    );
 }

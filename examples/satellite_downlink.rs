@@ -15,7 +15,10 @@ fn main() {
     let burst = 12;
 
     println!("downlink plan: {satellites} satellites, {stations} ground stations\n");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "seed", "T (bound)", "3/2", "5/3", "merged-LPT");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "seed", "T (bound)", "3/2", "5/3", "merged-LPT"
+    );
     let mut totals = [0u64; 3];
     for seed in 0..10 {
         let inst = msrs::gen::satellite(seed, stations, satellites, burst);
@@ -46,6 +49,9 @@ fn main() {
     // Show one plan in detail.
     let inst = msrs::gen::satellite(3, stations, satellites, burst);
     let r = three_halves(&inst);
-    println!("\nplan for seed 3 (makespan {}):", r.schedule.makespan(&inst));
+    println!(
+        "\nplan for seed 3 (makespan {}):",
+        r.schedule.makespan(&inst)
+    );
     println!("{}", render_gantt(&inst, &r.schedule, 78));
 }

@@ -20,7 +20,11 @@
 //! * [`ptas`] — the EPTAS of Theorem 14, constant-`m` and
 //!   resource-augmentation variants;
 //! * [`multires`] — the multi-resource extension, DPLL SAT substrate, and
-//!   the Theorem 23 inapproximability reduction.
+//!   the Theorem 23 inapproximability reduction;
+//! * [`engine`] — the solver-portfolio orchestrator: instance
+//!   classification, parallel portfolio/batch execution with deterministic
+//!   reports, certified best-of selection, JSON-lines corpus I/O, and the
+//!   `msrs` CLI (`gen` / `solve` / `batch` / `bench`).
 //!
 //! ## Quickstart
 //!
@@ -34,6 +38,18 @@
 //! assert!(result.schedule.makespan(&inst) as f64 <= 1.5 * result.lower_bound as f64);
 //! ```
 //!
+//! Or let the engine pick and race the right solvers:
+//!
+//! ```
+//! use msrs::prelude::*;
+//!
+//! let inst = Instance::from_classes(2, &[vec![4, 3], vec![5, 2], vec![6]]).unwrap();
+//! let report = Engine::default().solve_instance(&inst);
+//! assert!(validate(&inst, &report.schedule).is_ok());
+//! assert!(report.makespan <= report.certified_horizon);
+//! assert!(report.proven_optimal); // tiny instance: the exact member finished
+//! ```
+//!
 //! See README.md for the architecture overview, DESIGN.md for the full
 //! system inventory and per-experiment index, and EXPERIMENTS.md for the
 //! paper-vs-measured record.
@@ -42,6 +58,7 @@
 
 pub use msrs_approx as approx;
 pub use msrs_core as core;
+pub use msrs_engine as engine;
 pub use msrs_exact as exact;
 pub use msrs_flow as flow;
 pub use msrs_gen as gen;
@@ -56,6 +73,7 @@ pub mod prelude {
     pub use msrs_core::bounds::{lower_bound, lower_bounds, LowerBounds};
     pub use msrs_core::render::render_gantt;
     pub use msrs_core::{validate, Instance, Job, Schedule, Time};
+    pub use msrs_engine::{Engine, EngineConfig, SolveReport, SolveRequest, SolverKind};
     pub use msrs_exact::{optimal, SolveLimits};
     pub use msrs_ptas::{eptas_augmented, eptas_fixed_m, EptasConfig};
 }

@@ -1,0 +1,83 @@
+//! Facade-level engine integration: the portfolio through `msrs::prelude`,
+//! cross-checked against the individual solver crates it orchestrates.
+
+use msrs::prelude::*;
+
+#[test]
+fn engine_beats_or_matches_every_single_solver() {
+    let engine = Engine::default();
+    let families: Vec<(&str, Instance)> = vec![
+        ("uniform", msrs::gen::uniform(21, 4, 60, 10, 1, 50)),
+        ("zipf", msrs::gen::zipf_classes(22, 3, 50, 8, 1, 40)),
+        ("satellite", msrs::gen::satellite(23, 3, 9, 8)),
+        ("photolitho", msrs::gen::photolithography(24, 4, 10, 6)),
+        ("adversarial", msrs::gen::adversarial_merged_lpt(4, 25)),
+        ("boundary", msrs::gen::boundary_stress(25, 3, 9, 60)),
+        ("huge", msrs::gen::huge_heavy(26, 4, 4, 6, 48)),
+    ];
+    for (name, inst) in families {
+        let report = engine.solve_instance(&inst);
+        assert_eq!(validate(&inst, &report.schedule), Ok(()), "{name}");
+        for (solver, r) in [
+            ("5/3", five_thirds(&inst)),
+            ("3/2", three_halves(&inst)),
+            ("merged", merged_lpt(&inst)),
+            ("hebrard", hebrard_greedy(&inst)),
+            ("list", list_scheduler(&inst)),
+        ] {
+            assert!(
+                report.makespan <= r.schedule.makespan(&inst),
+                "{name}: engine ({}) worse than {solver}",
+                report.makespan
+            );
+        }
+        assert!(report.makespan <= report.certified_horizon, "{name}");
+        assert!(
+            report.certified_horizon as u128 * 2 <= 3 * report.lower_bound as u128,
+            "{name}: certificate looser than 1.5T"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_exact_optimum_on_small_instances() {
+    let engine = Engine::default();
+    let mut proven = 0;
+    for (i, inst) in msrs::gen::SmallInstances::new(2, 5, 3, 3)
+        .take(80)
+        .enumerate()
+    {
+        let report = engine.solve_instance(&inst);
+        let opt = optimal(&inst, SolveLimits::default())
+            .expect("tiny instance")
+            .makespan;
+        assert_eq!(validate(&inst, &report.schedule), Ok(()), "instance {i}");
+        assert_eq!(
+            report.makespan, opt,
+            "instance {i}: portfolio must find OPT"
+        );
+        if report.proven_optimal {
+            proven += 1;
+        }
+    }
+    assert!(
+        proven >= 40,
+        "exact member should usually finish ({proven}/80)"
+    );
+}
+
+#[test]
+fn jsonl_corpus_flows_through_the_engine() {
+    use msrs::engine::jsonl;
+    let reqs: Vec<SolveRequest> = (0..10)
+        .map(|s| SolveRequest::with_id(format!("p-{s}"), msrs::gen::photolithography(s, 3, 6, 5)))
+        .collect();
+    let corpus = jsonl::write_corpus(&reqs);
+    let parsed = jsonl::read_corpus(&corpus).expect("round trip");
+    let reports = Engine::default().solve_batch(&parsed);
+    assert_eq!(reports.len(), 10);
+    for (req, report) in parsed.iter().zip(&reports) {
+        assert_eq!(report.id, req.id);
+        assert_eq!(validate(&req.instance, &report.schedule), Ok(()));
+    }
+}

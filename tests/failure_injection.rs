@@ -15,7 +15,13 @@ fn corrupt_base() -> (Instance, Schedule) {
 fn detects_injected_machine_overlap() {
     let (inst, sched) = corrupt_base();
     // Move every job to machine 0 at time 0 — guaranteed overlaps.
-    let bad = Schedule::new(vec![Assignment { machine: 0, start: 0 }; inst.num_jobs()]);
+    let bad = Schedule::new(vec![
+        Assignment {
+            machine: 0,
+            start: 0
+        };
+        inst.num_jobs()
+    ]);
     assert!(matches!(
         validate(&inst, &bad),
         Err(ValidationError::MachineOverlap { .. } | ValidationError::ClassConflict { .. })
@@ -32,8 +38,14 @@ fn detects_injected_class_conflict() {
         .expect("some class has two jobs");
     let (a, b) = (inst.class_jobs(class)[0], inst.class_jobs(class)[1]);
     let mut asg = sched.assignments().to_vec();
-    asg[a] = Assignment { machine: 0, start: 1_000_000 };
-    asg[b] = Assignment { machine: 1, start: 1_000_000 };
+    asg[a] = Assignment {
+        machine: 0,
+        start: 1_000_000,
+    };
+    asg[b] = Assignment {
+        machine: 1,
+        start: 1_000_000,
+    };
     let bad = Schedule::new(asg);
     assert!(matches!(
         validate(&inst, &bad),
@@ -45,7 +57,10 @@ fn detects_injected_class_conflict() {
 fn detects_out_of_range_machine() {
     let (inst, sched) = corrupt_base();
     let mut asg = sched.assignments().to_vec();
-    asg[0] = Assignment { machine: inst.machines(), start: 0 };
+    asg[0] = Assignment {
+        machine: inst.machines(),
+        start: 0,
+    };
     assert!(matches!(
         validate(&inst, &Schedule::new(asg)),
         Err(ValidationError::MachineOutOfRange { .. })
@@ -81,8 +96,14 @@ fn multires_validator_catches_resource_conflicts() {
         vec![MultiJob::new(5, vec![0, 1]), MultiJob::new(5, vec![1, 2])],
     );
     let bad = Schedule::new(vec![
-        Assignment { machine: 0, start: 0 },
-        Assignment { machine: 1, start: 2 },
+        Assignment {
+            machine: 0,
+            start: 0,
+        },
+        Assignment {
+            machine: 1,
+            start: 2,
+        },
     ]);
     assert!(matches!(
         validate_multi(&inst, &bad),

@@ -23,7 +23,11 @@ fn full_pipeline_over_all_generator_families() {
             ("hebrard", hebrard_greedy(&inst)),
             ("list", list_scheduler(&inst)),
         ] {
-            assert_eq!(validate(&inst, &r.schedule), Ok(()), "{name}/{algo} invalid");
+            assert_eq!(
+                validate(&inst, &r.schedule),
+                Ok(()),
+                "{name}/{algo} invalid"
+            );
             assert!(
                 r.schedule.makespan(&inst) >= t,
                 "{name}/{algo} beat the lower bound"
@@ -31,10 +35,15 @@ fn full_pipeline_over_all_generator_families() {
         }
         let r53 = five_thirds(&inst);
         let r32 = three_halves(&inst);
-        assert!(3 * r53.schedule.makespan(&inst) <= (5 * r53.lower_bound.max(1)) + 5 * r53.lower_bound,
-            "{name} 5/3 horizon violated");
-        assert!(2 * r32.schedule.makespan(&inst) <= 3 * r32.lower_bound.max(r32.schedule.makespan(&inst)),
-            "{name} 3/2 horizon violated");
+        assert!(
+            3 * r53.schedule.makespan(&inst) <= (5 * r53.lower_bound.max(1)) + 5 * r53.lower_bound,
+            "{name} 5/3 horizon violated"
+        );
+        assert!(
+            2 * r32.schedule.makespan(&inst)
+                <= 3 * r32.lower_bound.max(r32.schedule.makespan(&inst)),
+            "{name} 3/2 horizon violated"
+        );
     }
 }
 
@@ -55,19 +64,27 @@ fn approximations_vs_exact_on_small_random_instances() {
 
 #[test]
 fn eptas_pipeline_respects_exact_optimum() {
-    let inst = Instance::from_classes(
-        2,
-        &[vec![80, 40], vec![60, 60], vec![100]],
-    )
-    .unwrap();
+    let inst = Instance::from_classes(2, &[vec![80, 40], vec![60, 60], vec![100]]).unwrap();
     let exact = optimal(&inst, SolveLimits::default()).expect("small");
     for k in [2u64, 4] {
-        let out = eptas_fixed_m(&inst, EptasConfig { eps_k: k, node_budget: 1_000_000 });
+        let out = eptas_fixed_m(
+            &inst,
+            EptasConfig {
+                eps_k: k,
+                node_budget: 1_000_000,
+            },
+        );
         assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
         assert!(out.makespan() >= exact.makespan);
         assert!(out.t_star <= exact.makespan || !out.guarantee_intact);
     }
-    let out = eptas_augmented(&inst, EptasConfig { eps_k: 2, node_budget: 1_000_000 });
+    let out = eptas_augmented(
+        &inst,
+        EptasConfig {
+            eps_k: 2,
+            node_budget: 1_000_000,
+        },
+    );
     assert_eq!(out.instance.machines(), 3); // m + ⌊m/2⌋
     assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
 }

@@ -23,10 +23,16 @@ fn reduction_realizes_lemma24_for_satisfiable_formulas() {
             assert_eq!(validate_multi(&red.instance, &s4), Ok(()));
             assert_eq!(s4.makespan_multi(&red.instance), 4);
             let extracted = red.extract_assignment(&s4);
-            assert!(f.cnf.is_satisfied_by(&extracted), "round trip must satisfy φ");
+            assert!(
+                f.cnf.is_satisfied_by(&extracted),
+                "round trip must satisfy φ"
+            );
         }
     }
-    assert!(satisfiable >= 5, "sampled formulas suspiciously unsatisfiable");
+    assert!(
+        satisfiable >= 5,
+        "sampled formulas suspiciously unsatisfiable"
+    );
 }
 
 #[test]
@@ -50,7 +56,11 @@ fn theorem23_shape_invariants() {
     for fidelity in [Fidelity::Text, Fidelity::Repaired] {
         let red = Reduction::build(f.clone(), fidelity);
         // Sizes in {1,2,3}; ≤ 3 resources per job; 2|C|+2|X| machines.
-        assert!(red.instance.jobs().iter().all(|j| (1..=3).contains(&j.size)));
+        assert!(red
+            .instance
+            .jobs()
+            .iter()
+            .all(|j| (1..=3).contains(&j.size)));
         assert!(red.instance.max_resources_per_job() <= 3);
         assert_eq!(
             red.instance.machines(),

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a deliberately small timing loop: each benchmark body
+//! is warmed up once and then timed over a handful of iterations, printing
+//! `<group>/<id>: <mean>` lines. No statistics, no HTML reports; the point
+//! is that `cargo bench` compiles and produces comparable wall-clock
+//! numbers without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up call).
+const TIMED_ITERS: u32 = 5;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Times a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API parity; the stand-in ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stand-in ignores throughput metadata.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stand-in ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+    }
+
+    /// Times `f` with an input reference under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.total / b.iters
+    };
+    println!("bench {label}: {mean:?}/iter ({} iters)", b.iters);
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] runs and times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` once warm, then [`TIMED_ITERS`] timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += TIMED_ITERS;
+    }
+}
+
+/// Identifies one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput metadata (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a benchmark group entry point, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("fixed", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    crate::criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        demo_group();
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`;
+//! * range strategies (`1usize..=5`, `0u64..20`, …) and tuple strategies;
+//! * [`Just`], [`any`], `prop::collection::vec`, `prop::sample::select`;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` headers and
+//!   `prop_assert!` / `prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate: no shrinking (failures report the raw
+//! counterexample case number and values via the panic message), and
+//! generation is driven by a fixed-per-test deterministic generator, so runs
+//! are bit-reproducible without a persistence file. Case counts honour
+//! `ProptestConfig::with_cases`, overridable downward with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` / `prop::sample` namespace, mirroring `proptest::prop`
+/// as re-exported by the real prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Run-time configuration: number of generated cases per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of test cases to generate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (possibly capped by the
+    /// `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        let cap = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(u32::MAX);
+        ProptestConfig {
+            cases: cases.min(cap),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Generates each `#[test]` property as a plain test running `cases`
+/// deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { { $crate::ProptestConfig::default() }; $($rest)* }
+    };
+}
+
+/// Internal: expands the test items of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ({ $cfg:expr }; ) => {};
+    ({ $cfg:expr };
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..cfg.cases {
+                // Each case runs in a closure so `prop_assume!` can reject
+                // the whole case (early `return None`) from any nesting depth.
+                #[allow(clippy::redundant_closure_call)]
+                let _ = (|| -> ::core::option::Option<()> {
+                    $crate::__proptest_bind!(__proptest_rng; $($args)*);
+                    $body
+                    ::core::option::Option::Some(())
+                })();
+            }
+        }
+        $crate::__proptest_items! { { $cfg }; $($rest)* }
+    };
+}
+
+/// Internal: binds `pat in strategy` argument lists.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Proptest-style assumption: silently rejects the current case when the
+/// condition does not hold (an early return from the generated case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+/// Proptest-style assertion (here: a plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Proptest-style equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Proptest-style inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream generator
+//! implementing the vendored [`rand`] traits.
+//!
+//! This is the reference ChaCha quarter-round construction (Bernstein) with 8
+//! double-rounds, a 256-bit key derived from the seed, and a 64-bit block
+//! counter. It is *not* guaranteed to be bit-identical to the upstream
+//! `rand_chacha` stream (the workspace never pins exact draws — only
+//! determinism per seed and distribution shape), but it is a high-quality,
+//! fully deterministic generator.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// ChaCha with 8 rounds, seeded; implements [`RngCore`] + [`SeedableRng`].
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    /// Current 16-word output block and the next word index within it.
+    block: [u32; 16],
+    index: usize,
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = s;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (word, inp) in s.iter_mut().zip(input) {
+            *word = word.wrapping_add(inp);
+        }
+        self.block = s;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks(4).enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(chunk);
+            key[i] = u32::from_le_bytes(b);
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng.index = 0;
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut c = ChaCha8Rng::seed_from_u64(10);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn stream_looks_uniform() {
+        // Crude sanity: mean of 10k f64 draws is near 0.5.
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_quarter_round_vector() {
+        // ChaCha core on the all-zero key must differ from the input and be
+        // stable across calls (regression pin of our own implementation).
+        let mut a = ChaCha8Rng::from_seed([0; 32]);
+        let first = a.next_u32();
+        let mut b = ChaCha8Rng::from_seed([0; 32]);
+        assert_eq!(first, b.next_u32());
+        assert_ne!(first, 0x6170_7865);
+    }
+}

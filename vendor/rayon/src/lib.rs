@@ -1,0 +1,111 @@
+//! Offline stand-in for `rayon`: the `par_iter`/`into_par_iter` entry points
+//! mapped onto *sequential* standard iterators.
+//!
+//! The build environment has no crates.io access, so this crate keeps the
+//! workspace compiling without the real work-stealing pool. Sequential
+//! execution is deliberate: it makes the exact branch-and-bound and the
+//! experiment harness fully deterministic, which the engine subsystem relies
+//! on for reproducible batch reports. Real parallelism in this workspace
+//! lives in `msrs-engine`, which drives portfolio members and batch items on
+//! `std::thread` scopes instead.
+//!
+//! Because the returned "parallel" iterators *are* `std::iter` iterators,
+//! every adapter (`map`, `filter`, `for_each`, `collect`, `sum`, …) is
+//! available with identical semantics.
+
+#![forbid(unsafe_code)]
+
+/// `IntoParallelIterator` facade: `into_par_iter()` = `into_iter()`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `IntoParallelRefIterator` facade: `par_iter()` = `iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `IntoParallelRefMutIterator` facade: `par_iter_mut()` = `iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (a mutable reference).
+    type Item;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Matches `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn for_each_and_mut() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+        let mut seen = 0;
+        v.par_iter().for_each(|&x| seen += x);
+        assert_eq!(seen, 36);
+    }
+}
