@@ -237,7 +237,7 @@ pub fn e5_ptas(_scale: Scale) -> Table {
         ],
     );
     let corpus: Vec<(Instance, u64)> = ptas_corpus()
-        .into_iter()
+        .into_par_iter()
         .map(|inst| {
             let opt = optimal(&inst, SolveLimits::default())
                 .expect("small")
@@ -247,28 +247,42 @@ pub fn e5_ptas(_scale: Scale) -> Table {
         .collect();
     for k in [2u64, 3, 4, 6] {
         for augmented in [false, true] {
+            // One EPTAS run per corpus entry, fanned out on the pool;
+            // per-instance results come back in corpus order, so the
+            // aggregation below is deterministic.
+            let runs: Vec<(f64, usize, usize, bool)> = corpus
+                .par_iter()
+                .map(|(inst, opt)| {
+                    let cfg = EptasConfig {
+                        eps_k: k,
+                        node_budget: 2_000_000,
+                    };
+                    let out = if augmented {
+                        eptas_augmented(inst, cfg)
+                    } else {
+                        eptas_fixed_m(inst, cfg)
+                    };
+                    assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
+                    if !augmented {
+                        assert_eq!(out.instance.machines(), inst.machines());
+                    }
+                    (
+                        out.makespan() as f64 / *opt as f64,
+                        out.schedule.machines_used(&out.instance),
+                        out.instance.machines(),
+                        out.guarantee_intact,
+                    )
+                })
+                .collect();
             let mut ratios = Vec::new();
             let mut used = 0usize;
             let mut avail = 0usize;
             let mut intact = 0usize;
-            for (inst, opt) in &corpus {
-                let cfg = EptasConfig {
-                    eps_k: k,
-                    node_budget: 2_000_000,
-                };
-                let out = if augmented {
-                    eptas_augmented(inst, cfg)
-                } else {
-                    eptas_fixed_m(inst, cfg)
-                };
-                assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
-                ratios.push(out.makespan() as f64 / *opt as f64);
-                used += out.schedule.machines_used(&out.instance);
-                avail += out.instance.machines();
-                intact += usize::from(out.guarantee_intact);
-                if !augmented {
-                    assert_eq!(out.instance.machines(), inst.machines());
-                }
+            for (ratio, u, a, ok) in runs {
+                ratios.push(ratio);
+                used += u;
+                avail += a;
+                intact += usize::from(ok);
             }
             let worst = ratios.iter().cloned().fold(0.0, f64::max);
             let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -431,6 +445,34 @@ pub fn e8_reduction(scale: Scale) -> Table {
         ],
     );
     for nx in [3usize, 6, 9, 12, 18, 24, 30] {
+        // One reduction round trip per seed, fanned out on the pool; each
+        // task carries its own assertions and the per-seed facts come back
+        // in seed order for deterministic aggregation.
+        let per_seed: Vec<(usize, i64, usize, bool)> = (0..scale.seeds.max(4))
+            .into_par_iter()
+            .map(|seed| {
+                let f = Monotone3Sat22::random(seed, nx);
+                let nc = f.num_clauses();
+                let text = Reduction::build(f.clone(), Fidelity::Text);
+                let deficit = text.capacity_deficit();
+                assert!(deficit > 0, "erratum certificate must be positive");
+                let red = Reduction::build(f.clone(), Fidelity::Repaired);
+                let machines = red.instance.machines();
+                let s5 = red.schedule_makespan5();
+                assert_eq!(validate_multi(&red.instance, &s5), Ok(()));
+                assert_eq!(s5.makespan_multi(&red.instance), 5);
+                let satisfiable = if let Some(asg) = dpll(&f.cnf) {
+                    let s4 = red.schedule_makespan4(&asg).expect("satisfying assignment");
+                    assert_eq!(validate_multi(&red.instance, &s4), Ok(()));
+                    assert_eq!(s4.makespan_multi(&red.instance), 4);
+                    assert_eq!(red.extract_assignment(&s4), asg, "round trip failed");
+                    true
+                } else {
+                    false
+                };
+                (nc, deficit, machines, satisfiable)
+            })
+            .collect();
         let mut sat = 0usize;
         let mut mk4 = 0usize;
         let mut mk5 = 0usize;
@@ -438,24 +480,13 @@ pub fn e8_reduction(scale: Scale) -> Table {
         let mut deficit = 0i64;
         let mut nc = 0usize;
         let mut machines = 0usize;
-        for seed in 0..scale.seeds.max(4) {
-            let f = Monotone3Sat22::random(seed, nx);
-            nc = f.num_clauses();
-            let text = Reduction::build(f.clone(), Fidelity::Text);
-            deficit = text.capacity_deficit();
-            assert!(deficit > 0, "erratum certificate must be positive");
-            let red = Reduction::build(f.clone(), Fidelity::Repaired);
-            machines = red.instance.machines();
-            let s5 = red.schedule_makespan5();
-            assert_eq!(validate_multi(&red.instance, &s5), Ok(()));
-            assert_eq!(s5.makespan_multi(&red.instance), 5);
+        for (seed_nc, seed_deficit, seed_machines, satisfiable) in per_seed {
+            nc = seed_nc;
+            deficit = seed_deficit;
+            machines = seed_machines;
             mk5 += 1;
-            if let Some(asg) = dpll(&f.cnf) {
+            if satisfiable {
                 sat += 1;
-                let s4 = red.schedule_makespan4(&asg).expect("satisfying assignment");
-                assert_eq!(validate_multi(&red.instance, &s4), Ok(()));
-                assert_eq!(s4.makespan_multi(&red.instance), 4);
-                assert_eq!(red.extract_assignment(&s4), asg, "round trip failed");
                 mk4 += 1;
             }
             runs += 1;
@@ -546,17 +577,28 @@ pub fn e9_ablations(_scale: Scale) -> Table {
             },
         ),
     ];
+    // The measured quantity is the node count, which is only reproducible
+    // when the search runs single-threaded (parallel root branches race on
+    // the shared incumbent, making pruning order timing-dependent) — pin
+    // this ablation to one thread.
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool");
     for (iname, inst) in &gap_instances {
         let mut reference = None;
         for (name, cfg) in configs {
-            let r = optimal_configured(
-                inst,
-                SolveLimits {
-                    max_nodes: 200_000_000,
-                },
-                cfg,
-            )
-            .expect("within budget");
+            let r = one
+                .install(|| {
+                    optimal_configured(
+                        inst,
+                        SolveLimits {
+                            max_nodes: 200_000_000,
+                        },
+                        cfg,
+                    )
+                })
+                .expect("within budget");
             if let Some(opt) = reference {
                 assert_eq!(r.makespan, opt, "bound ablation changed the optimum");
             }

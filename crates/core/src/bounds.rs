@@ -41,9 +41,13 @@ pub fn lower_bounds(inst: &Instance) -> LowerBounds {
         .map(|c| inst.class_load(c))
         .max()
         .unwrap_or(0);
+    // Saturating add as defense in depth: `p_(m) + p_(m+1) ≤ p(J)` already
+    // fits in `Time` by the construction invariant of `Instance`, but a
+    // silent wrap here would *under*-report the bound, so never wrap.
     let two_jobs = if inst.num_jobs() > inst.machines() {
-        inst.kth_largest_size(inst.machines()).unwrap_or(0)
-            + inst.kth_largest_size(inst.machines() + 1).unwrap_or(0)
+        inst.kth_largest_size(inst.machines())
+            .unwrap_or(0)
+            .saturating_add(inst.kth_largest_size(inst.machines() + 1).unwrap_or(0))
     } else {
         0
     };
@@ -120,6 +124,26 @@ mod tests {
     fn empty_instance() {
         let inst = Instance::new(3, vec![]).unwrap();
         assert_eq!(lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn near_u64_max_loads_do_not_overflow() {
+        // Total load exactly u64::MAX on one machine, n > m so the two-job
+        // bound is active: p_(1) + p_(2) = u64::MAX must not wrap.
+        let a = u64::MAX / 2; // 2^63 - 1
+        let b = u64::MAX - a; // 2^63
+        let inst = Instance::from_classes(1, &[vec![a], vec![b]]).unwrap();
+        let bounds = lower_bounds(&inst);
+        assert_eq!(bounds.avg_load, u64::MAX);
+        assert_eq!(bounds.two_jobs, u64::MAX);
+        assert_eq!(bounds.combined(), u64::MAX);
+
+        // Three jobs on two machines: two_jobs = p_(2) + p_(3) = a + 1
+        // stays exact (all sums bounded by the total ≤ u64::MAX).
+        let inst = Instance::from_classes(2, &[vec![a], vec![a], vec![1]]).unwrap();
+        let bounds = lower_bounds(&inst);
+        assert_eq!(bounds.two_jobs, a + 1);
+        assert!(bounds.combined() > a);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Cooperative cancellation for long-running solvers.
+//!
+//! A [`CancelToken`] combines an explicit flag (set by [`CancelToken::cancel`])
+//! with an optional wall-clock deadline. Solvers with unbounded inner loops —
+//! the exact branch-and-bound, the EPTAS binary search — poll the token at
+//! loop granularity and unwind promptly when it fires, so a configured
+//! deadline bounds each solver's runtime instead of only bounding when the
+//! *next* solver may start.
+//!
+//! Polling [`is_cancelled`](CancelToken::is_cancelled) reads one atomic and,
+//! when a deadline is set, the monotonic clock; callers in hot loops should
+//! throttle checks (the branch-and-bound checks every [`CHECK_MASK`]` + 1`
+//! nodes).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll throttle for node-counting search loops: check the token whenever
+/// `nodes & CHECK_MASK == 0` (every 1024 nodes — a few microseconds of
+/// work, so deadline overshoot stays well under a millisecond).
+pub const CHECK_MASK: u64 = 0x3FF;
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; clones share the same flag and deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that fires at `deadline` (or earlier via `cancel`).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that fires `timeout` from now. A timeout too large to
+    /// represent as an [`Instant`] can never fire, so it degrades to a
+    /// deadline-less token instead of panicking on `Instant` overflow.
+    pub fn after(timeout: Duration) -> Self {
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => Self::with_deadline(deadline),
+            None => Self::new(),
+        }
+    }
+
+    /// Fires the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline). Once true,
+    /// stays true: a reached deadline is latched into the flag.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                self.inner.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_the_past_fires_immediately() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        // Latched: still cancelled on re-check.
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let t = CancelToken::after(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn absurd_timeout_neither_panics_nor_fires() {
+        // Whether `now + timeout` is representable is platform-dependent;
+        // either way this must not panic, and the token must never fire.
+        for timeout in [Duration::from_millis(u64::MAX), Duration::MAX] {
+            let t = CancelToken::after(timeout);
+            assert!(!t.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn no_deadline_never_fires_on_its_own() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), None);
+    }
+}

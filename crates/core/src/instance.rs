@@ -4,7 +4,8 @@ use std::fmt;
 
 /// Integral time unit. Processing times, start times and makespans are `u64`;
 /// products against rational thresholds are computed in `u128` (see
-/// [`crate::frac`]), so instances with sizes up to `2^63` are safe.
+/// [`crate::frac`]), and [`Instance`] construction rejects inputs whose
+/// *total* load exceeds `u64::MAX`, so load sums never overflow downstream.
 pub type Time = u64;
 
 /// Index of a job (position in [`Instance::jobs`]).
@@ -49,6 +50,10 @@ pub enum InstanceError {
         /// Number of classes declared.
         num_classes: usize,
     },
+    /// The total processing time `p(J)` exceeds `u64::MAX`. Rejected at
+    /// construction so that every load sum downstream (area bound, class
+    /// loads, remaining-load accounting) provably fits in [`Time`].
+    LoadOverflow,
 }
 
 impl fmt::Display for InstanceError {
@@ -63,11 +68,24 @@ impl fmt::Display for InstanceError {
                 f,
                 "job {job} references class {class}, but only {num_classes} classes exist"
             ),
+            InstanceError::LoadOverflow => {
+                write!(f, "total processing time overflows u64")
+            }
         }
     }
 }
 
 impl std::error::Error for InstanceError {}
+
+/// Construction invariant: `p(J) = Σ p_j` must fit in [`Time`], so every
+/// downstream load sum (area bound, class loads, branch-and-bound
+/// remaining-load accounting) is overflow-free by construction.
+fn check_total_load(jobs: &[Job]) -> Result<(), InstanceError> {
+    jobs.iter()
+        .try_fold(0 as Time, |acc, j| acc.checked_add(j.size))
+        .map(|_| ())
+        .ok_or(InstanceError::LoadOverflow)
+}
 
 /// An MSRS instance: `m` identical machines and a set of jobs partitioned into
 /// classes. Each class corresponds to exactly one shared resource; no two jobs
@@ -91,6 +109,7 @@ impl Instance {
         if machines == 0 {
             return Err(InstanceError::NoMachines);
         }
+        check_total_load(&jobs)?;
         let num_classes = jobs.iter().map(|j| j.class + 1).max().unwrap_or(0);
         let mut classes = vec![Vec::new(); num_classes];
         for (id, job) in jobs.iter().enumerate() {
@@ -116,6 +135,7 @@ impl Instance {
         if machines == 0 {
             return Err(InstanceError::NoMachines);
         }
+        check_total_load(&jobs)?;
         let mut classes = vec![Vec::new(); class_sizes.len()];
         for (id, job) in jobs.iter().enumerate() {
             classes[job.class].push(id);
@@ -274,6 +294,31 @@ mod tests {
         assert_eq!(inst.kth_largest_size(6), Some(2));
         assert_eq!(inst.kth_largest_size(7), None);
         assert_eq!(inst.kth_largest_size(0), None);
+    }
+
+    #[test]
+    fn total_load_at_u64_max_is_accepted() {
+        // Two jobs summing to exactly u64::MAX: legal, and the accessors
+        // stay overflow-free.
+        let a = u64::MAX / 2;
+        let b = u64::MAX - a;
+        let inst = Instance::from_classes(1, &[vec![a], vec![b]]).unwrap();
+        assert_eq!(inst.total_load(), u64::MAX);
+        assert_eq!(inst.kth_largest_size(1), Some(b));
+    }
+
+    #[test]
+    fn total_load_overflow_is_rejected() {
+        let big = u64::MAX / 2 + 1;
+        assert_eq!(
+            Instance::from_classes(2, &[vec![big], vec![big]]).unwrap_err(),
+            InstanceError::LoadOverflow
+        );
+        assert_eq!(
+            Instance::new(4, vec![Job::new(u64::MAX, 0), Job::new(1, 1)]).unwrap_err(),
+            InstanceError::LoadOverflow
+        );
+        assert!(InstanceError::LoadOverflow.to_string().contains("overflow"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod bounds;
 pub mod builder;
+pub mod cancel;
 pub mod frac;
 pub mod instance;
 pub mod io;
@@ -44,6 +45,7 @@ pub mod validate;
 
 pub use bounds::{lower_bound, LowerBounds};
 pub use builder::{Block, ScheduleBuilder};
+pub use cancel::CancelToken;
 pub use instance::{ClassId, Instance, InstanceError, Job, JobId, MachineId, Time};
 pub use schedule::{Assignment, Schedule};
 pub use stats::{schedule_stats, ScheduleStats};

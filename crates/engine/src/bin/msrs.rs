@@ -35,7 +35,9 @@ SUBCOMMANDS:
     help    Show this help
 
 COMMON ENGINE FLAGS (solve, batch, bench):
-    --threads <N>        Worker threads (0 = all cores)          [default: 0]
+    --threads <N>        Worker threads for the parallel backend (batches,
+                         portfolio members; 0 = MSRS_THREADS or all cores)
+                                                                 [default: 0]
     --no-baselines       Skip the prior-work baseline solvers
     --deadline-ms <D>    Per-instance wall-clock deadline (opt-in nondeterminism)
     --exact-nodes <N>    Exact-solver node budget

@@ -1,11 +1,21 @@
 //! The engine: parallel portfolio/batch execution with certified selection.
+//!
+//! All parallelism runs on the workspace's `rayon` backend (the chunked
+//! shared-queue scheduler in `vendor/rayon`): batches fan instances out
+//! across pool workers, and a single solve optionally fans its portfolio
+//! members out the same way. Deadlines are enforced *cooperatively*: a
+//! [`CancelToken`] derived from
+//! [`EngineConfig::deadline`] is threaded into every member, and the
+//! unbounded solvers (exact branch-and-bound, EPTAS) poll it inside their
+//! search loops — so the deadline bounds each member's runtime, not merely
+//! when the engine stops waiting.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use msrs_core::{validate, Instance, Schedule, Time};
-use msrs_exact::SolveLimits;
+use rayon::prelude::*;
+
+use msrs_core::{validate, CancelToken, Instance, Schedule, Time};
+use msrs_exact::{SolveLimits, SolveOutcome};
 use msrs_ptas::EptasConfig;
 
 use crate::portfolio::{plan, Portfolio, SolverKind};
@@ -67,16 +77,22 @@ impl Default for EptasPolicy {
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker threads for batch solving; `0` = available parallelism.
+    /// Worker threads for the engine's pool (batch solving and parallel
+    /// portfolios); `0` = the backend default (`MSRS_THREADS` or available
+    /// parallelism).
     pub threads: usize,
-    /// Run portfolio members of a *single* [`Engine::solve`] on their own
-    /// threads (batches always parallelize across instances instead, so
+    /// Run portfolio members of a *single* [`Engine::solve`] on pool
+    /// workers (batches always parallelize across instances instead, so
     /// workers are never oversubscribed).
     pub parallel_portfolio: bool,
-    /// Optional wall-clock deadline per instance. Members still running when
-    /// it fires are reported [`RunStatus::TimedOut`] and their results
-    /// discarded; the first member (the `O(|I|)` 5/3-approximation) is always
-    /// awaited so a report always carries a valid schedule. **Opt-in
+    /// Optional wall-clock deadline per instance, enforced *inside* the
+    /// unbounded members: the exact branch-and-bound and the EPTAS poll a
+    /// shared [`CancelToken`] and unwind cooperatively, reporting
+    /// [`RunStatus::TimedOut`] with their true (overshoot-free) wall time.
+    /// The always-terminating members (the `O(|I|)` approximations and
+    /// baselines) run to completion, so a report always carries a valid
+    /// certified schedule and the total overshoot is bounded by one
+    /// linear-time pass plus the cancellation-check granularity. **Opt-in
     /// nondeterminism** — leave `None` for bit-reproducible runs.
     pub deadline: Option<Duration>,
     /// Include the prior-work baselines in portfolios.
@@ -101,12 +117,22 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    fn effective_threads(&self, work_items: usize) -> usize {
-        let hw = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        let requested = if self.threads == 0 { hw } else { self.threads };
-        requested.clamp(1, work_items.max(1))
+    /// The pool handle this configuration's parallel work runs on.
+    fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("pool handles are always constructible")
+    }
+
+    /// The cancellation token for one solve starting at `started`. A
+    /// deadline too large to represent as an `Instant` (e.g.
+    /// `--deadline-ms u64::MAX`) can never fire, so it degrades to no
+    /// deadline instead of panicking on `Instant` overflow.
+    fn cancel_token(&self, started: Instant) -> Option<CancelToken> {
+        self.deadline
+            .and_then(|d| started.checked_add(d))
+            .map(CancelToken::with_deadline)
     }
 }
 
@@ -126,6 +152,20 @@ struct MemberOutcome {
     certified_horizon: Option<Time>,
     nodes: Option<u64>,
     wall_micros: u64,
+}
+
+impl MemberOutcome {
+    /// A member the deadline preempted before it even started.
+    fn timed_out_unstarted() -> Self {
+        MemberOutcome {
+            status: RunStatus::TimedOut,
+            schedule: None,
+            makespan: None,
+            certified_horizon: None,
+            nodes: None,
+            wall_micros: 0,
+        }
+    }
 }
 
 impl Engine {
@@ -156,39 +196,17 @@ impl Engine {
         self.solve(&SolveRequest::new(inst.clone()))
     }
 
-    /// Solves a batch in parallel across worker threads. Reports come back
+    /// Solves a batch on the pool, one instance per task. Reports come back
     /// in request order, and — with no deadline configured — every field
     /// except the `wall_micros` timings is identical regardless of thread
-    /// count: work distribution only decides *which worker* computes a
-    /// report, never its content.
+    /// count: the pool's chunk boundaries depend only on the batch length,
+    /// work distribution only decides *which worker* computes a report
+    /// (each report is computed sequentially by a single worker), and
+    /// collection is order-preserving.
     pub fn solve_batch(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
-        let threads = self.cfg.effective_threads(reqs.len());
-        if threads <= 1 || reqs.len() <= 1 {
-            return reqs.iter().map(|r| self.solve_one_worker(r)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<SolveReport>>> =
-            reqs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= reqs.len() {
-                        break;
-                    }
-                    let report = self.solve_one_worker(&reqs[i]);
-                    *slots[i].lock().expect("result slot") = Some(report);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("every index was processed")
-            })
-            .collect()
+        self.cfg
+            .pool()
+            .install(|| reqs.par_iter().map(|r| self.solve_one_worker(r)).collect())
     }
 
     /// Batch worker path: sequential portfolio (parallelism lives at the
@@ -206,26 +224,29 @@ impl Engine {
         portfolio: &Portfolio,
     ) -> SolveReport {
         let started = Instant::now();
+        let cancel = self.cfg.cancel_token(started);
+        // Members run with nested parallelism pinned off (exactly as they
+        // do on pool workers in the batch and parallel-portfolio paths), so
+        // a sequential portfolio produces bit-identical reports — including
+        // branch-and-bound node counts — at any ambient thread count.
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool handles are always constructible");
         let mut outcomes: Vec<(SolverKind, MemberOutcome)> = Vec::new();
         for (idx, &kind) in portfolio.members.iter().enumerate() {
             // Honour the deadline between members; the first member is always
-            // run so the report carries a schedule.
-            let timed_out = idx > 0 && self.cfg.deadline.is_some_and(|d| started.elapsed() >= d);
+            // run so the report carries a schedule. Members that *do* start
+            // additionally poll the token inside their own search loops.
+            let timed_out = idx > 0 && cancel.as_ref().is_some_and(CancelToken::is_cancelled);
             if timed_out {
-                outcomes.push((
-                    kind,
-                    MemberOutcome {
-                        status: RunStatus::TimedOut,
-                        schedule: None,
-                        makespan: None,
-                        certified_horizon: None,
-                        nodes: None,
-                        wall_micros: 0,
-                    },
-                ));
+                outcomes.push((kind, MemberOutcome::timed_out_unstarted()));
                 continue;
             }
-            outcomes.push((kind, run_solver(kind, &req.instance, &self.cfg)));
+            outcomes.push((
+                kind,
+                one.install(|| run_solver(kind, &req.instance, &self.cfg, cancel.as_ref())),
+            ));
         }
         assemble(req, profile, outcomes, started)
     }
@@ -237,94 +258,39 @@ impl Engine {
         portfolio: &Portfolio,
     ) -> SolveReport {
         let started = Instant::now();
-        let (tx, rx) = mpsc::channel::<(usize, MemberOutcome)>();
-        for (idx, &kind) in portfolio.members.iter().enumerate() {
-            let tx = tx.clone();
-            let inst = req.instance.clone();
-            let cfg = self.cfg.clone();
-            // Detached threads: on deadline the engine stops *waiting*; the
-            // budget-bounded member finishes in the background and its send
-            // lands in a closed channel. Panics inside a member are caught
-            // and surfaced as `Invalid` outcomes so a bug in one solver is
-            // reported instead of masquerading as a timeout.
-            std::thread::spawn(move || {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_solver(kind, &inst, &cfg)
-                }))
-                .unwrap_or_else(|payload| {
-                    let reason = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "solver panicked".into());
-                    MemberOutcome {
-                        status: RunStatus::Invalid(format!("panic: {reason}")),
-                        schedule: None,
-                        makespan: None,
-                        certified_horizon: None,
-                        nodes: None,
-                        wall_micros: 0,
-                    }
-                });
-                let _ = tx.send((idx, outcome));
-            });
-        }
-        drop(tx);
-        let mut collected: Vec<Option<MemberOutcome>> =
-            portfolio.members.iter().map(|_| None).collect();
-        // The deadline may only cut collection short once a *certifying*
-        // member (one carrying a horizon — the 5/3 at minimum) has landed;
-        // otherwise assemble() would have neither a schedule nor a
-        // certificate to report.
-        let mut certified_any = false;
-        loop {
-            let remaining = match self.cfg.deadline {
-                None => None,
-                Some(d) => {
-                    if certified_any && started.elapsed() >= d {
-                        break;
-                    }
-                    Some(
-                        d.saturating_sub(started.elapsed())
-                            .max(Duration::from_millis(1)),
-                    )
-                }
-            };
-            let msg = match remaining {
-                // No deadline (or no certifying member yet): block for the
-                // next member.
-                None => rx.recv().ok(),
-                Some(_) if !certified_any => rx.recv().ok(),
-                Some(remaining) => match rx.recv_timeout(remaining) {
-                    Ok(msg) => Some(msg),
-                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
-                },
-            };
-            let Some((idx, outcome)) = msg else { break };
-            certified_any |=
-                outcome.status == RunStatus::Completed && outcome.certified_horizon.is_some();
-            collected[idx] = Some(outcome);
-            if collected.iter().all(Option::is_some) {
-                break;
-            }
-        }
-        let outcomes: Vec<(SolverKind, MemberOutcome)> = portfolio
-            .members
-            .iter()
-            .zip(collected)
-            .map(|(&kind, slot)| {
-                let outcome = slot.unwrap_or(MemberOutcome {
-                    status: RunStatus::TimedOut,
-                    schedule: None,
-                    makespan: None,
-                    certified_horizon: None,
-                    nodes: None,
-                    wall_micros: 0,
-                });
-                (kind, outcome)
-            })
-            .collect();
+        let cancel = self.cfg.cancel_token(started);
+        // Every member joins: the unbounded ones poll the shared token and
+        // unwind cooperatively at the deadline, so joining cannot stall past
+        // deadline + slack. Panics inside a member are caught and surfaced
+        // as `Invalid` outcomes so a bug in one solver is reported instead
+        // of masquerading as a timeout.
+        let outcomes: Vec<(SolverKind, MemberOutcome)> = self.cfg.pool().install(|| {
+            portfolio
+                .members
+                .par_iter()
+                .map(|&kind| {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_solver(kind, &req.instance, &self.cfg, cancel.as_ref())
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let reason = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "solver panicked".into());
+                        MemberOutcome {
+                            status: RunStatus::Invalid(format!("panic: {reason}")),
+                            schedule: None,
+                            makespan: None,
+                            certified_horizon: None,
+                            nodes: None,
+                            wall_micros: 0,
+                        }
+                    });
+                    (kind, outcome)
+                })
+                .collect()
+        });
         assemble(req, profile, outcomes, started)
     }
 }
@@ -334,8 +300,16 @@ impl Engine {
 type RawAnswer = Result<(Schedule, Option<Time>), RunStatus>;
 
 /// Runs one portfolio member, re-validating its output (defense in depth —
-/// the engine never trusts a schedule it did not check).
-fn run_solver(kind: SolverKind, inst: &Instance, cfg: &EngineConfig) -> MemberOutcome {
+/// the engine never trusts a schedule it did not check). The unbounded
+/// members (exact, EPTAS) poll `cancel` inside their search loops;
+/// `wall_micros` always reports the member's true elapsed time, so timed-out
+/// members show overshoot-free runtimes close to the configured deadline.
+fn run_solver(
+    kind: SolverKind,
+    inst: &Instance,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+) -> MemberOutcome {
     let started = Instant::now();
     let (result, nodes): (RawAnswer, Option<u64>) = match kind {
         SolverKind::FiveThirds => {
@@ -359,31 +333,39 @@ fn run_solver(kind: SolverKind, inst: &Instance, cfg: &EngineConfig) -> MemberOu
             (Ok((r.schedule, None)), None)
         }
         SolverKind::Exact => {
-            match msrs_exact::optimal(
+            match msrs_exact::solve(
                 inst,
                 SolveLimits {
                     max_nodes: cfg.exact.max_nodes,
                 },
+                cancel,
             ) {
                 // A completed exact run proves its makespan optimal, so
                 // the makespan itself is the tightest possible horizon.
-                Some(res) => (Ok((res.schedule, Some(res.makespan))), Some(res.nodes)),
-                None => (Err(RunStatus::Exhausted), None),
+                SolveOutcome::Optimal(res) => {
+                    (Ok((res.schedule, Some(res.makespan))), Some(res.nodes))
+                }
+                SolveOutcome::Exhausted { nodes } => (Err(RunStatus::Exhausted), Some(nodes)),
+                SolveOutcome::Cancelled { nodes } => (Err(RunStatus::TimedOut), Some(nodes)),
             }
         }
         SolverKind::Eptas => {
-            let out = msrs_ptas::eptas_fixed_m(
-                inst,
-                EptasConfig {
-                    eps_k: cfg.eptas.eps_k,
-                    node_budget: cfg.eptas.node_budget,
-                },
-            );
-            // The engine treats the EPTAS as a high-quality heuristic
-            // probe: its (1+O(ε)) bound is relative to OPT with an
-            // implementation-dependent constant, so no T-relative
-            // horizon is certified here.
-            (Ok((out.schedule, None)), None)
+            let eptas_cfg = EptasConfig {
+                eps_k: cfg.eptas.eps_k,
+                node_budget: cfg.eptas.node_budget,
+            };
+            let out = match cancel {
+                Some(token) => msrs_ptas::eptas_fixed_m_cancellable(inst, eptas_cfg, token),
+                None => Some(msrs_ptas::eptas_fixed_m(inst, eptas_cfg)),
+            };
+            match out {
+                // The engine treats the EPTAS as a high-quality heuristic
+                // probe: its (1+O(ε)) bound is relative to OPT with an
+                // implementation-dependent constant, so no T-relative
+                // horizon is certified here.
+                Some(out) => (Ok((out.schedule, None)), None),
+                None => (Err(RunStatus::TimedOut), None),
+            }
         }
     };
     let outcome = match result {
@@ -586,6 +568,80 @@ mod tests {
         }
     }
 
+    /// Nine 4s and two 3s in singleton classes on two machines: T = 21 but
+    /// OPT = 22, so the exact proof must exhaust an 11-job tree — several
+    /// seconds of work even in release builds.
+    fn hard_exact_instance() -> Instance {
+        let mut classes: Vec<Vec<Time>> = vec![vec![4]; 9];
+        classes.push(vec![3]);
+        classes.push(vec![3]);
+        Instance::from_classes(2, &classes).unwrap()
+    }
+
+    #[test]
+    fn deadline_bounds_the_exact_member_runtime() {
+        let deadline = Duration::from_millis(50);
+        let engine = Engine::new(EngineConfig {
+            deadline: Some(deadline),
+            exact: ExactPolicy {
+                max_jobs: 16,
+                max_classes: 16,
+                max_nodes: u64::MAX,
+            },
+            ..EngineConfig::default()
+        });
+        let inst = hard_exact_instance();
+        let started = Instant::now();
+        let report = engine.solve_instance(&inst);
+        let elapsed = started.elapsed();
+        // Without in-run cancellation the exact member would run for
+        // seconds (its node budget is unbounded); with it, the whole
+        // portfolio lands within deadline + scheduling slack. The slack is
+        // generous for loaded CI machines — the regression this guards
+        // against is a multi-second overshoot.
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "deadline overshoot: {elapsed:?}"
+        );
+        let exact = report
+            .runs
+            .iter()
+            .find(|r| r.solver == SolverKind::Exact)
+            .expect("exact member planned");
+        assert_eq!(exact.status, RunStatus::TimedOut);
+        // Overshoot-free wall time: the member's own clock stopped near the
+        // deadline, far below what the full proof needs.
+        assert!(
+            exact.wall_micros < 3_000_000,
+            "timed-out member reports {} µs",
+            exact.wall_micros
+        );
+        // A certified schedule is still delivered by the approximations.
+        assert_eq!(validate(&inst, &report.schedule), Ok(()));
+        assert!(report.makespan <= report.certified_horizon);
+        assert!(!report.proven_optimal);
+    }
+
+    #[test]
+    fn deadline_bounds_the_sequential_path_too() {
+        let engine = Engine::new(EngineConfig {
+            deadline: Some(Duration::from_millis(40)),
+            parallel_portfolio: false,
+            exact: ExactPolicy {
+                max_jobs: 16,
+                max_classes: 16,
+                max_nodes: u64::MAX,
+            },
+            ..EngineConfig::default()
+        });
+        let inst = hard_exact_instance();
+        let started = Instant::now();
+        let report = engine.solve_instance(&inst);
+        assert!(started.elapsed() < Duration::from_secs(3));
+        assert!(report.runs.iter().any(|r| r.status == RunStatus::TimedOut));
+        assert_eq!(validate(&inst, &report.schedule), Ok(()));
+    }
+
     #[test]
     fn deadline_always_returns_a_schedule() {
         let engine = Engine::new(EngineConfig {
@@ -596,6 +652,20 @@ mod tests {
         let report = engine.solve_instance(&inst);
         assert_eq!(validate(&inst, &report.schedule), Ok(()));
         assert!(report.makespan <= report.certified_horizon);
+    }
+
+    #[test]
+    fn absurdly_large_deadline_neither_panics_nor_times_out() {
+        // `Instant + Duration::from_millis(u64::MAX)` would overflow; such
+        // a deadline can never fire and must degrade to "no deadline".
+        let engine = Engine::new(EngineConfig {
+            deadline: Some(Duration::from_millis(u64::MAX)),
+            ..EngineConfig::default()
+        });
+        let inst = msrs_gen::uniform(5, 4, 30, 8, 1, 40);
+        let report = engine.solve_instance(&inst);
+        assert_eq!(validate(&inst, &report.schedule), Ok(()));
+        assert!(report.runs.iter().all(|r| r.status != RunStatus::TimedOut));
     }
 
     #[test]

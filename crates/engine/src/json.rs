@@ -200,16 +200,26 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let digits_start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digit"));
+        }
+        // RFC 8259: no leading zeros ("-0" and "0" are fine, "007" is not).
+        if self.pos - digits_start > 1 && self.bytes[digits_start] == b'0' {
+            return Err(self.err("leading zeros are not allowed"));
         }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("floating-point numbers are not supported"));
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        // `i128::from_str` errors (rather than wrapping) on out-of-range
+        // literals, which we surface as a parse error.
         text.parse::<i128>()
             .map(Json::Num)
-            .map_err(|_| self.err(format!("bad integer `{text}`")))
+            .map_err(|_| self.err(format!("integer out of range `{text}`")))
     }
 
     /// Reads 4 hex digits starting at byte offset `at`.
@@ -378,6 +388,38 @@ mod tests {
         assert!(Json::parse("{}extra").is_err());
         assert!(Json::parse("{\"a\":}").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integer_literal_edge_cases() {
+        // Exactly representable extremes round trip.
+        assert_eq!(
+            Json::parse(&i128::MAX.to_string()).unwrap(),
+            Json::Num(i128::MAX)
+        );
+        assert_eq!(
+            Json::parse(&i128::MIN.to_string()).unwrap(),
+            Json::Num(i128::MIN)
+        );
+        // One past the extremes: a parse error, never a wrap or a panic.
+        let too_big = "170141183460469231731687303715884105728"; // i128::MAX + 1
+        let err = Json::parse(too_big).unwrap_err();
+        assert!(err.reason.contains("out of range"), "{err}");
+        assert!(Json::parse("-170141183460469231731687303715884105729").is_err());
+        // Absurdly long literals are rejected, not truncated.
+        let huge = "9".repeat(200);
+        assert!(Json::parse(&huge).is_err());
+        assert!(Json::parse(&format!("{{\"n\":{huge}}}")).is_err());
+        // `-0` is valid JSON and parses to zero.
+        assert_eq!(Json::parse("-0").unwrap(), Json::Num(0));
+        assert_eq!(Json::parse("0").unwrap(), Json::Num(0));
+        // Leading zeros are malformed per RFC 8259.
+        assert!(Json::parse("007").is_err());
+        assert!(Json::parse("-012").is_err());
+        assert!(Json::parse("[01]").is_err());
+        // A bare sign or non-digit after `-` is malformed.
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("-x").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   *batches* in parallel on worker threads, deterministically for a fixed
 //!   configuration, with optional wall-clock deadline cancellation, and
 //!   selects the best schedule *certified* by re-validation through
-//!   [`msrs_core::validate`];
+//!   [`msrs_core::validate()`];
 //! * [`report`] — the typed [`SolveRequest`] / [`SolveReport`] API (solver
 //!   used, makespan, lower bound, certified horizon/ratio, wall time, one
 //!   [`SolverRun`] per portfolio member), suitable for a service frontend;
@@ -29,13 +29,17 @@
 //!
 //! ## Determinism
 //!
-//! Every solver in the portfolio is deterministic, and batch parallelism
-//! only distributes *instances* across workers — each instance's report is
-//! computed by a single worker with a fixed configuration — so every report
-//! field except the `wall_micros` timings is reproducible regardless of
-//! thread count. The only opt-in source of result nondeterminism is a
-//! wall-clock deadline ([`EngineConfig::deadline`]), which may cut off slow
-//! members on a loaded machine.
+//! Every solver in the portfolio is deterministic, and batch parallelism —
+//! running on the workspace's work-distributing `rayon` backend — only
+//! fans *instances* out across pool workers: each instance's report is
+//! computed sequentially by a single worker with a fixed configuration, and
+//! collection is order-preserving, so every report field except the
+//! `wall_micros` timings is bit-identical regardless of thread count. The
+//! only opt-in source of result nondeterminism is a wall-clock deadline
+//! ([`EngineConfig::deadline`]), enforced *cooperatively inside* the
+//! unbounded members (exact branch-and-bound, EPTAS) via a shared
+//! [`CancelToken`](msrs_core::CancelToken), which may cut off slow members
+//! on a loaded machine.
 //!
 //! ## Example
 //!

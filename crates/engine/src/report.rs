@@ -37,7 +37,9 @@ pub enum RunStatus {
     Completed,
     /// Gave up within its budget (exact node budget, EPTAS decision budget).
     Exhausted,
-    /// Still running when the portfolio deadline fired; result discarded.
+    /// Interrupted by the portfolio deadline: either never started, or
+    /// cancelled cooperatively inside its search loop (its `wall_micros`
+    /// then reports the true, overshoot-free runtime).
     TimedOut,
     /// Produced output that failed re-validation (defense in depth — never
     /// expected; such output is discarded and reported).

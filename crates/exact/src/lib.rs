@@ -22,6 +22,24 @@
 //! incumbent is seeded with the best of `Algorithm_3/2`, `Algorithm_5/3` and
 //! the baselines, stored in an atomic (guide: *Rust Atomics and Locks*) and
 //! shared across rayon-parallelized root branches.
+//!
+//! ## Cancellation
+//!
+//! [`solve`] / [`solve_configured`] accept a [`CancelToken`]; the node loop
+//! polls it every [`CHECK_MASK`]` + 1` nodes and unwinds cooperatively, so a
+//! wall-clock deadline bounds the search's runtime (status
+//! [`SolveOutcome::Cancelled`]) instead of letting a large node budget blow
+//! past it. [`optimal`] keeps the budget-only interface.
+//!
+//! ## Determinism
+//!
+//! The proven *makespan* is deterministic regardless of thread count. With
+//! more than one ambient pool thread, however, the root branches race on
+//! the shared incumbent, so the explored-`nodes` count, tie-broken optimal
+//! *schedules*, and Optimal-vs-Exhausted outcomes near the node budget can
+//! vary run to run. Callers needing bit-reproducible results (the engine's
+//! report paths, the E9 node-count ablation) pin the solve to one thread
+//! via `rayon::ThreadPoolBuilder::new().num_threads(1).build()?.install(…)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use msrs_core::cancel::{CancelToken, CHECK_MASK};
 use msrs_core::{
     bounds::lower_bound, validate, Assignment, ClassId, Instance, MachineId, Schedule, Time,
 };
@@ -48,6 +67,25 @@ impl Default for SolveLimits {
             max_nodes: 20_000_000,
         }
     }
+}
+
+/// Terminal state of a cancellable exact solve (see [`solve`]).
+#[derive(Debug, Clone)]
+pub enum SolveOutcome {
+    /// The search completed: makespan proven optimal.
+    Optimal(ExactResult),
+    /// The node budget ran out before a proof.
+    Exhausted {
+        /// Nodes explored before giving up.
+        nodes: u64,
+    },
+    /// The [`CancelToken`] fired (deadline or explicit cancellation) before
+    /// a proof; the search unwound cooperatively within
+    /// [`CHECK_MASK`]` + 1` nodes of the trigger.
+    Cancelled {
+        /// Nodes explored before cancellation.
+        nodes: u64,
+    },
 }
 
 /// Which lower bounds prune the search — ablation knob for the E9
@@ -90,6 +128,8 @@ struct Shared<'a> {
     nodes: AtomicU64,
     max_nodes: u64,
     overflowed: AtomicBool,
+    cancel: Option<&'a CancelToken>,
+    cancelled: AtomicBool,
 }
 
 /// One job still to schedule: `(size, original job id)`.
@@ -214,13 +254,23 @@ fn candidate_starts(node: &Node, best: Time) -> Vec<(ClassId, usize)> {
 }
 
 fn dfs(sh: &Shared<'_>, node: &Node) {
-    if sh.overflowed.load(Ordering::Relaxed) {
+    if sh.overflowed.load(Ordering::Relaxed) || sh.cancelled.load(Ordering::Relaxed) {
         return;
     }
     let n = sh.nodes.fetch_add(1, Ordering::Relaxed);
     if n >= sh.max_nodes {
         sh.overflowed.store(true, Ordering::Relaxed);
         return;
+    }
+    // Cooperative deadline check, throttled so the monotonic-clock read
+    // costs nothing against the per-node work.
+    if n & CHECK_MASK == 0 {
+        if let Some(token) = sh.cancel {
+            if token.is_cancelled() {
+                sh.cancelled.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
     }
     let best = sh.best.load(Ordering::Relaxed);
     if node.bound(sh.m, sh.bounds) >= best {
@@ -299,8 +349,30 @@ pub fn optimal_configured(
     limits: SolveLimits,
     bounds: BoundConfig,
 ) -> Option<ExactResult> {
+    match solve_configured(inst, limits, bounds, None) {
+        SolveOutcome::Optimal(res) => Some(res),
+        SolveOutcome::Exhausted { .. } | SolveOutcome::Cancelled { .. } => None,
+    }
+}
+
+/// Cancellable exact solve with default pruning bounds: as [`optimal`], but
+/// the search additionally polls `cancel` (when given) every
+/// [`CHECK_MASK`]` + 1` nodes, so a wall-clock deadline bounds the runtime
+/// of the solve itself rather than only being observed by the caller after
+/// the fact.
+pub fn solve(inst: &Instance, limits: SolveLimits, cancel: Option<&CancelToken>) -> SolveOutcome {
+    solve_configured(inst, limits, BoundConfig::default(), cancel)
+}
+
+/// As [`solve`], with explicit pruning-bound configuration.
+pub fn solve_configured(
+    inst: &Instance,
+    limits: SolveLimits,
+    bounds: BoundConfig,
+    cancel: Option<&CancelToken>,
+) -> SolveOutcome {
     if inst.num_jobs() == 0 {
-        return Some(ExactResult {
+        return SolveOutcome::Optimal(ExactResult {
             makespan: 0,
             schedule: Schedule::new(vec![]),
             nodes: 0,
@@ -309,7 +381,7 @@ pub fn optimal_configured(
     let (ub, ub_schedule) = initial_incumbent(inst);
     let lb = lower_bound(inst);
     if ub == lb {
-        return Some(ExactResult {
+        return SolveOutcome::Optimal(ExactResult {
             makespan: ub,
             schedule: ub_schedule,
             nodes: 0,
@@ -353,6 +425,8 @@ pub fn optimal_configured(
         nodes: AtomicU64::new(0),
         max_nodes: limits.max_nodes,
         overflowed: AtomicBool::new(false),
+        cancel,
+        cancelled: AtomicBool::new(false),
     };
 
     // Parallelize the root branching (each first job choice in its own task).
@@ -369,17 +443,21 @@ pub fn optimal_configured(
         dfs(&sh, &child);
     });
 
+    let nodes = sh.nodes.load(Ordering::Relaxed);
+    if sh.cancelled.load(Ordering::Relaxed) {
+        return SolveOutcome::Cancelled { nodes };
+    }
     if sh.overflowed.load(Ordering::Relaxed) {
-        return None;
+        return SolveOutcome::Exhausted { nodes };
     }
     let makespan = sh.best.load(Ordering::Relaxed);
     let schedule = sh.best_schedule.into_inner();
     debug_assert_eq!(validate(sh.inst, &schedule), Ok(()));
     debug_assert_eq!(schedule.makespan(inst), makespan);
-    Some(ExactResult {
+    SolveOutcome::Optimal(ExactResult {
         makespan,
         schedule,
-        nodes: sh.nodes.load(Ordering::Relaxed),
+        nodes,
     })
 }
 
@@ -503,6 +581,62 @@ mod tests {
             Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
         assert_eq!(opt(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]), 10);
         assert!(optimal(&inst, SolveLimits { max_nodes: 3 }).is_none());
+    }
+
+    #[test]
+    fn cancellation_stops_a_long_search_quickly() {
+        use std::time::{Duration, Instant};
+        // Nine 4s and two 3s in singleton classes on two machines:
+        // T = ⌈42/2⌉ = 21, but no subset sums to 21 (4a + 3b = 21 has no
+        // solution with b ≤ 2), so OPT = 22 and the search must exhaust an
+        // 11-job tree to prove it — far more than a few milliseconds.
+        let mut classes: Vec<Vec<Time>> = vec![vec![4]; 9];
+        classes.push(vec![3]);
+        classes.push(vec![3]);
+        let inst = Instance::from_classes(2, &classes).unwrap();
+        let token = CancelToken::after(Duration::from_millis(25));
+        let started = Instant::now();
+        let out = solve(
+            &inst,
+            SolveLimits {
+                max_nodes: u64::MAX,
+            },
+            Some(&token),
+        );
+        let elapsed = started.elapsed();
+        let SolveOutcome::Cancelled { nodes } = out else {
+            panic!("expected cancellation, got {out:?} after {elapsed:?}");
+        };
+        assert!(nodes > 0);
+        // Generous slack for loaded CI machines; the point is "milliseconds,
+        // not the seconds the full proof needs".
+        assert!(elapsed < Duration::from_secs(2), "overshoot: {elapsed:?}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_at_the_first_check() {
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        match solve(&inst, SolveLimits::default(), Some(&token)) {
+            SolveOutcome::Cancelled { nodes } => assert!(nodes <= CHECK_MASK + 2),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_token_behaves_like_optimal() {
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        match solve(&inst, SolveLimits::default(), None) {
+            SolveOutcome::Optimal(res) => assert_eq!(res.makespan, 10),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        match solve(&inst, SolveLimits { max_nodes: 3 }, None) {
+            SolveOutcome::Exhausted { nodes } => assert!(nodes >= 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

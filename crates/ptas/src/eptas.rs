@@ -2,6 +2,7 @@
 //! simplification (Lemmas 15–17), layered solve (Lemma 18 / §4.2–4.3), and
 //! reconstruction (Lemma 19).
 
+use msrs_core::cancel::CancelToken;
 use msrs_core::{
     bounds::lower_bound, validate, Assignment, ClassId, Instance, JobId, MachineId, Schedule, Time,
 };
@@ -291,6 +292,9 @@ fn reconstruct(
     Schedule::new(assignments)
 }
 
+/// Marker: the caller's [`CancelToken`] fired mid-search.
+struct Cancelled;
+
 /// One dual-approximation probe: can we schedule within `(1+O(ε))·t`?
 fn try_guess(
     inst: &Instance,
@@ -298,22 +302,29 @@ fn try_guess(
     t: Time,
     cfg: &EptasConfig,
     augmented: bool,
-) -> (Option<Schedule>, bool) {
+    cancel: Option<&CancelToken>,
+) -> Result<(Option<Schedule>, bool), Cancelled> {
     let params = build_params(inst, t, cfg.eps_k, augmented);
     let plan = build_plan(inst, &params, augmented);
     let layered = LayeredInstance::build(inst, &params, &plan.big_jobs, &plan.placeholders);
-    match layered.solve(params.layers, cfg.node_budget) {
+    match layered.solve_cancellable(params.layers, cfg.node_budget, cancel) {
         LayeredOutcome::Feasible(lsched) => {
             let schedule = reconstruct(inst, target_m, &params, &plan, &layered, &lsched);
             let extra_ok = plan.extra_classes.len() <= target_m - inst.machines();
-            (Some(schedule), params.conditions_met && extra_ok)
+            Ok((Some(schedule), params.conditions_met && extra_ok))
         }
-        LayeredOutcome::Infeasible => (None, true),
-        LayeredOutcome::Unknown => (None, false),
+        LayeredOutcome::Infeasible => Ok((None, true)),
+        LayeredOutcome::Unknown => Ok((None, false)),
+        LayeredOutcome::Cancelled => Err(Cancelled),
     }
 }
 
-fn run(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
+fn run(
+    inst: &Instance,
+    cfg: EptasConfig,
+    augmented: bool,
+    cancel: Option<&CancelToken>,
+) -> Option<EptasOutcome> {
     assert!(cfg.eps_k >= 2, "ε = 1/k needs k ≥ 2");
     let m = inst.machines();
     let extra = if augmented { m / cfg.eps_k as usize } else { 0 };
@@ -329,24 +340,30 @@ fn run(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
     let ub = fallback.schedule.makespan(inst);
     let lb = lower_bound(inst);
     if ub == lb || inst.num_jobs() == 0 {
-        return EptasOutcome {
+        return Some(EptasOutcome {
             instance: target,
             schedule: fallback.schedule,
             t_star: lb,
             eps_k: cfg.eps_k,
             guarantee_intact: true,
             used_fallback: false,
-        };
+        });
     }
 
-    // Dual approximation: binary search the smallest accepted guess.
+    // Dual approximation: binary search the smallest accepted guess. Each
+    // probe polls the token inside its exact oracle call, and the loop
+    // re-checks it between probes, so a deadline bounds the whole search.
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let mut intact = true;
     let mut lo = lb;
     let mut hi = ub;
     let mut best: Option<(Time, Schedule)> = None;
     while lo < hi {
+        if cancelled() {
+            return None;
+        }
         let mid = lo + (hi - lo) / 2;
-        let (res, proven) = try_guess(inst, target_m, mid, &cfg, augmented);
+        let (res, proven) = try_guess(inst, target_m, mid, &cfg, augmented, cancel).ok()?;
         intact &= proven;
         match res {
             Some(s) => {
@@ -357,14 +374,17 @@ fn run(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
         }
     }
     if best.as_ref().is_none_or(|(t, _)| *t != lo) {
-        let (res, proven) = try_guess(inst, target_m, lo, &cfg, augmented);
+        if cancelled() {
+            return None;
+        }
+        let (res, proven) = try_guess(inst, target_m, lo, &cfg, augmented, cancel).ok()?;
         intact &= proven;
         if let Some(s) = res {
             best = Some((lo, s));
         }
     }
 
-    match best {
+    Some(match best {
         Some((t_star, schedule)) => {
             debug_assert_eq!(validate(&target, &schedule), Ok(()));
             EptasOutcome {
@@ -384,20 +404,41 @@ fn run(inst: &Instance, cfg: EptasConfig, augmented: bool) -> EptasOutcome {
             guarantee_intact: false,
             used_fallback: true,
         },
-    }
+    })
 }
 
 /// The EPTAS for a constant number of machines (Theorem 14, first variant):
 /// schedules on exactly `m` machines with makespan `(1+O(ε))·OPT`.
 pub fn eptas_fixed_m(inst: &Instance, cfg: EptasConfig) -> EptasOutcome {
-    run(inst, cfg, false)
+    run(inst, cfg, false, None).expect("uncancellable run always completes")
 }
 
 /// The EPTAS with resource augmentation (Theorem 14, second variant): may
 /// use up to `⌊εm⌋` additional machines; makespan `(1+O(ε))·OPT`, where OPT
 /// refers to the *original* `m` machines.
 pub fn eptas_augmented(inst: &Instance, cfg: EptasConfig) -> EptasOutcome {
-    run(inst, cfg, true)
+    run(inst, cfg, true, None).expect("uncancellable run always completes")
+}
+
+/// As [`eptas_fixed_m`], polling `cancel` between and inside the dual-
+/// approximation probes. Returns `None` when the token fired before the
+/// search finished (callers report the run as timed out).
+pub fn eptas_fixed_m_cancellable(
+    inst: &Instance,
+    cfg: EptasConfig,
+    cancel: &CancelToken,
+) -> Option<EptasOutcome> {
+    run(inst, cfg, false, Some(cancel))
+}
+
+/// As [`eptas_augmented`], with cooperative cancellation (see
+/// [`eptas_fixed_m_cancellable`]).
+pub fn eptas_augmented_cancellable(
+    inst: &Instance,
+    cfg: EptasConfig,
+    cancel: &CancelToken,
+) -> Option<EptasOutcome> {
+    run(inst, cfg, true, Some(cancel))
 }
 
 #[cfg(test)]
@@ -506,6 +547,22 @@ mod tests {
             true,
         );
         assert_eq!(out.instance.machines(), 3);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_the_search() {
+        let inst =
+            Instance::from_classes(2, &[vec![60, 4, 4], vec![55], vec![30, 30], vec![2, 2, 2]])
+                .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(eptas_fixed_m_cancellable(&inst, EptasConfig::default(), &token).is_none());
+        assert!(eptas_augmented_cancellable(&inst, EptasConfig::default(), &token).is_none());
+        // An unfired token changes nothing.
+        let live = CancelToken::new();
+        let out = eptas_fixed_m_cancellable(&inst, EptasConfig::default(), &live)
+            .expect("no cancellation");
+        assert_eq!(validate(&out.instance, &out.schedule), Ok(()));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! witness) and only then falling back to the exact branch-and-bound — the
 //! practical stand-in for the paper's N-fold oracle (see DESIGN.md).
 
+use msrs_core::cancel::CancelToken;
 use msrs_core::{ClassId, Instance, Job, JobId, Schedule, Time};
-use msrs_exact::{optimal, SolveLimits};
+use msrs_exact::{SolveLimits, SolveOutcome};
 
 use crate::params::Params;
 
@@ -44,6 +45,9 @@ pub enum LayeredOutcome {
     /// Node budget exhausted before a proof (treated as infeasible by the
     /// binary search; flags the outcome as non-exact).
     Unknown,
+    /// The caller's [`CancelToken`] fired mid-decision; the EPTAS driver
+    /// aborts its search instead of continuing with partial answers.
+    Cancelled,
 }
 
 impl LayeredInstance {
@@ -89,6 +93,17 @@ impl LayeredInstance {
 
     /// Decides whether the layered instance fits within `horizon` layers.
     pub fn solve(&self, horizon: Time, node_budget: u64) -> LayeredOutcome {
+        self.solve_cancellable(horizon, node_budget, None)
+    }
+
+    /// As [`LayeredInstance::solve`], polling `cancel` inside the exact
+    /// decision so a deadline bounds the EPTAS's inner oracle calls.
+    pub fn solve_cancellable(
+        &self,
+        horizon: Time,
+        node_budget: u64,
+        cancel: Option<&CancelToken>,
+    ) -> LayeredOutcome {
         if self.inst.num_jobs() == 0 {
             return LayeredOutcome::Feasible(Schedule::new(vec![]));
         }
@@ -103,15 +118,19 @@ impl LayeredInstance {
             }
         }
         // Exact decision (the N-fold oracle stand-in).
-        match optimal(
+        match msrs_exact::solve(
             &self.inst,
             SolveLimits {
                 max_nodes: node_budget,
             },
+            cancel,
         ) {
-            Some(res) if res.makespan <= horizon => LayeredOutcome::Feasible(res.schedule),
-            Some(_) => LayeredOutcome::Infeasible,
-            None => LayeredOutcome::Unknown,
+            SolveOutcome::Optimal(res) if res.makespan <= horizon => {
+                LayeredOutcome::Feasible(res.schedule)
+            }
+            SolveOutcome::Optimal(_) => LayeredOutcome::Infeasible,
+            SolveOutcome::Exhausted { .. } => LayeredOutcome::Unknown,
+            SolveOutcome::Cancelled { .. } => LayeredOutcome::Cancelled,
         }
     }
 }

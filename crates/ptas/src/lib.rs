@@ -44,7 +44,10 @@ pub mod ip;
 mod layered;
 mod params;
 
-pub use eptas::{eptas_augmented, eptas_fixed_m, EptasConfig, EptasOutcome};
+pub use eptas::{
+    eptas_augmented, eptas_augmented_cancellable, eptas_fixed_m, eptas_fixed_m_cancellable,
+    EptasConfig, EptasOutcome,
+};
 pub use ip::ModuleConfigIp;
 pub use layered::{LayeredInstance, LayeredJobKind, LayeredOutcome};
 pub use params::{build_params, choose_delta, DeltaChoice, Params, SizeClass};

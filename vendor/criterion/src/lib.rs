@@ -102,7 +102,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` once warm, then [`TIMED_ITERS`] timed iterations.
+    /// Runs `f` once warm, then `TIMED_ITERS` (5) timed iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         let start = Instant::now();

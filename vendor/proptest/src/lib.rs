@@ -3,9 +3,9 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! reimplements the subset of proptest the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` / `prop_filter`;
 //! * range strategies (`1usize..=5`, `0u64..20`, …) and tuple strategies;
-//! * [`Just`], [`any`], `prop::collection::vec`, `prop::sample::select`;
+//! * [`Just`](strategy::Just), [`any`](strategy::any), `prop::collection::vec`, `prop::sample::select`;
 //! * the [`proptest!`] macro with `#![proptest_config(..)]` headers and
 //!   `prop_assert!` / `prop_assert_eq!` assertions.
 //!

@@ -204,7 +204,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(core::marker::PhantomData)
 }
 
-/// Inclusive length bounds for [`vec`].
+/// Inclusive length bounds for [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -237,7 +237,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     elem: S,

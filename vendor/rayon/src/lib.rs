@@ -1,46 +1,556 @@
 //! Offline stand-in for `rayon`: the `par_iter`/`into_par_iter` entry points
-//! mapped onto *sequential* standard iterators.
+//! backed by a *real* parallel scheduler.
 //!
-//! The build environment has no crates.io access, so this crate keeps the
-//! workspace compiling without the real work-stealing pool. Sequential
-//! execution is deliberate: it makes the exact branch-and-bound and the
-//! experiment harness fully deterministic, which the engine subsystem relies
-//! on for reproducible batch reports. Real parallelism in this workspace
-//! lives in `msrs-engine`, which drives portfolio members and batch items on
-//! `std::thread` scopes instead.
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the rayon API the workspace uses on top of `std::sync` only
+//! (no `unsafe`): a **chunked shared-queue scheduler**. Every parallel
+//! operation splits its input into chunks, publishes them in a shared queue,
+//! and lets `N` scoped worker threads *steal* chunks through an atomic
+//! cursor until the queue is drained — dynamic load balancing with the
+//! work-distribution granularity of a deque-based pool, minus the unsafe
+//! lifetime erasure a persistent-thread pool would require.
 //!
-//! Because the returned "parallel" iterators *are* `std::iter` iterators,
-//! every adapter (`map`, `filter`, `for_each`, `collect`, `sum`, …) is
-//! available with identical semantics.
+//! ## Determinism guarantees
+//!
+//! The engine's batch reports are required to be bit-identical across thread
+//! counts, so the scheduler is deterministic by construction:
+//!
+//! * **Chunk boundaries depend only on the input length** (never on the
+//!   thread count or timing), so the shape of every reduction tree is fixed.
+//! * `collect`, `map`, `filter`, and `filter_map` are **order-preserving**:
+//!   each chunk writes into its own result slot and the slots are
+//!   concatenated in chunk order.
+//! * [`ParIter::fold`] / [`ParIter::reduce`] fold each chunk sequentially
+//!   (left to right) and then combine the per-chunk accumulators in chunk
+//!   order — the same tree regardless of how many threads executed it, so
+//!   even non-associative floating-point rounding is reproducible.
+//!
+//! Thread-count selection: `ThreadPoolBuilder::build_global` >
+//! `MSRS_THREADS` environment variable > `std::thread::available_parallelism`.
+//! [`ThreadPool::install`] overrides it for one call tree, and tasks running
+//! *inside* a parallel operation default to sequential nested execution so
+//! workers are never oversubscribed (and nested node-budgeted searches stay
+//! deterministic).
 
 #![forbid(unsafe_code)]
 
-/// `IntoParallelIterator` facade: `into_par_iter()` = `into_iter()`.
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-    /// Convert into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> Self::Iter;
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+/// Global default thread count, set once by [`ThreadPoolBuilder::build_global`].
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`] and by the
+    /// scheduler itself (workers run nested parallel ops sequentially).
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
+/// The environment-derived default: `MSRS_THREADS` if set and positive,
+/// else the available parallelism.
+fn env_default_threads() -> usize {
+    std::env::var("MSRS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+fn default_threads() -> usize {
+    *GLOBAL_THREADS.get_or_init(env_default_threads)
+}
+
+/// The number of threads the *current* context parallelizes over: an
+/// [`install`](ThreadPool::install)ed pool's size, else the global default.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Runs `op` with the calling thread's thread-count override set to `n`,
+/// restoring the previous value afterwards (panic-safe via a drop guard).
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_THREADS.with(|c| c.set(prev));
+        }
+    }
+    let _guard = Restore(CURRENT_THREADS.with(|c| c.replace(Some(n))));
+    op()
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder
+// ---------------------------------------------------------------------------
+
+/// Error returned by [`ThreadPoolBuilder::build_global`] when a global pool
+/// was already installed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    reason: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error: {}", self.reason)
     }
 }
 
-/// `IntoParallelRefIterator` facade: `par_iter()` = `iter()`.
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker-thread count; `0` (the default) means "use the
+    /// environment default" (`MSRS_THREADS` or the available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle with this configuration.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+
+    /// Installs this configuration as the process-wide default. Errors if a
+    /// global pool (or any parallel op that latched the default) exists.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            env_default_threads()
+        } else {
+            self.num_threads
+        };
+        GLOBAL_THREADS
+            .set(threads)
+            .map_err(|_| ThreadPoolBuildError {
+                reason: "the global thread pool has already been initialized",
+            })
+    }
+}
+
+/// A handle carrying a thread count. Scheduling state lives per-operation
+/// (scoped workers + shared chunk queue), so the handle itself is trivially
+/// cheap, `Send + Sync`, and never shuts down.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// operation in its call tree (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_threads(self.threads, op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The chunked shared-queue scheduler
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the number of chunks a parallel operation is split into.
+/// Fixed (never derived from the thread count) so reduction trees and chunk
+/// boundaries are identical for every thread count.
+const MAX_CHUNKS: usize = 64;
+
+/// Deterministic chunk size for `len` items: depends on `len` only.
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(1)
+}
+
+/// Splits `items` into order-preserving chunks of [`chunk_size`] in one
+/// pass (each element is moved exactly once).
+fn split_chunks<S>(items: Vec<S>) -> Vec<Vec<S>> {
+    let size = chunk_size(items.len());
+    let mut chunks = Vec::with_capacity(items.len().div_ceil(size.max(1)));
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<S> = iter.by_ref().take(size).collect();
+        if chunk.is_empty() {
+            return chunks;
+        }
+        chunks.push(chunk);
+    }
+}
+
+/// Core executor: applies `f` to every task, returning results in task
+/// order. With more than one effective thread, tasks are published in a
+/// shared queue and stolen by scoped workers through an atomic cursor; the
+/// calling thread participates as a worker. Tasks always run with nested
+/// parallel operations disabled — on the sequential path too, so a task's
+/// result never depends on how many workers executed the operation (no
+/// oversubscription, and nested node-budgeted searches stay deterministic
+/// across thread counts).
+fn run_tasks<In: Send, Out: Send>(tasks: Vec<In>, f: impl Fn(In) -> Out + Sync) -> Vec<Out> {
+    let n = tasks.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 {
+        return with_threads(1, || tasks.into_iter().map(f).collect());
+    }
+    let queue: Vec<Mutex<Option<In>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<Out>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        with_threads(1, || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let task = queue[i]
+                .lock()
+                .expect("task queue poisoned")
+                .take()
+                .expect("each task is claimed exactly once");
+            *slots[i].lock().expect("result slot poisoned") = Some(f(task));
+        })
+    };
+    std::thread::scope(|s| {
+        let worker = &worker;
+        for _ in 1..threads {
+            s.spawn(worker);
+        }
+        worker();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was processed")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// join / scope
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+/// The current thread budget is split between the two sides, so nested
+/// `join` trees fan out to at most `current_num_threads()` threads total.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (a(), b());
+    }
+    let (ta, tb) = (threads - threads / 2, threads / 2);
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || with_threads(tb, b));
+        let ra = with_threads(ta, a);
+        let rb = hb
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+/// A scope for spawning borrowed tasks (mirrors `rayon::Scope`). Each
+/// spawned task runs on its own scoped thread; all tasks are joined before
+/// [`scope`] returns. Spawned tasks run nested parallel ops sequentially.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            with_threads(1, || f(&Scope { inner }));
+        });
+    }
+}
+
+/// Creates a scope in which borrowed tasks can be spawned; returns once all
+/// spawned tasks have completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
+
+/// The pipeline type of a freshly created parallel iterator (identity).
+pub type IdentityPipeline<S> = fn(S) -> Option<S>;
+
+/// A base parallel iterator over `S` items with no adapters applied.
+pub type BaseParIter<S> = ParIter<S, S, IdentityPipeline<S>>;
+
+/// A parallel iterator: an ordered item source plus a per-item pipeline
+/// (`map`s and `filter`s composed into one closure). Terminal operations
+/// split the items into deterministic chunks and run them on the scheduler.
+pub struct ParIter<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> {
+    items: Vec<S>,
+    pipeline: F,
+    _result: PhantomData<fn() -> T>,
+}
+
+fn base_par_iter<S: Send>(items: Vec<S>) -> BaseParIter<S> {
+    ParIter {
+        items,
+        pipeline: Some,
+        _result: PhantomData,
+    }
+}
+
+impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
+    /// Number of source items (before any `filter`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps each item through `g`.
+    pub fn map<U: Send>(
+        self,
+        g: impl Fn(T) -> U + Sync + Send,
+    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send> {
+        let f = self.pipeline;
+        ParIter {
+            items: self.items,
+            pipeline: move |s| f(s).map(&g),
+            _result: PhantomData,
+        }
+    }
+
+    /// Keeps the items for which `pred` holds.
+    pub fn filter(
+        self,
+        pred: impl Fn(&T) -> bool + Sync + Send,
+    ) -> ParIter<S, T, impl Fn(S) -> Option<T> + Sync + Send> {
+        let f = self.pipeline;
+        ParIter {
+            items: self.items,
+            pipeline: move |s| f(s).filter(|t| pred(t)),
+            _result: PhantomData,
+        }
+    }
+
+    /// Maps and filters in one step.
+    pub fn filter_map<U: Send>(
+        self,
+        g: impl Fn(T) -> Option<U> + Sync + Send,
+    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send> {
+        let f = self.pipeline;
+        ParIter {
+            items: self.items,
+            pipeline: move |s| f(s).and_then(&g),
+            _result: PhantomData,
+        }
+    }
+
+    /// Evaluates the pipeline over deterministic chunks, preserving order.
+    fn drive(self) -> Vec<T> {
+        let ParIter {
+            items, pipeline, ..
+        } = self;
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let chunks = split_chunks(items);
+        run_tasks(chunks, |chunk| {
+            chunk.into_iter().filter_map(&pipeline).collect::<Vec<T>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Collects into any [`FromIterator`] container, in source order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Runs `g` on every item (in parallel; no ordering guarantee between
+    /// chunks for side effects).
+    pub fn for_each(self, g: impl Fn(T) + Sync + Send) {
+        let ParIter {
+            items, pipeline, ..
+        } = self;
+        if items.is_empty() {
+            return;
+        }
+        let chunks = split_chunks(items);
+        run_tasks(chunks, |chunk| {
+            chunk.into_iter().filter_map(&pipeline).for_each(&g);
+        });
+    }
+
+    /// Folds all items with `op`, seeding every chunk with a clone of
+    /// `init`. `init` must be an identity of `op` (as with
+    /// [`ParIter::reduce`]); the fold tree — sequential within each chunk,
+    /// chunk accumulators combined in chunk order — is deterministic for
+    /// every thread count.
+    pub fn fold(self, init: T, op: impl Fn(T, T) -> T + Sync + Send) -> T
+    where
+        T: Clone + Sync,
+    {
+        self.reduce(move || init.clone(), op)
+    }
+
+    /// Reduces all items with `op`, seeding every chunk with `identity()`
+    /// (mirrors `rayon`'s `reduce`). Deterministic: see [`ParIter::fold`].
+    pub fn reduce(
+        self,
+        identity: impl Fn() -> T + Sync + Send,
+        op: impl Fn(T, T) -> T + Sync + Send,
+    ) -> T {
+        let ParIter {
+            items, pipeline, ..
+        } = self;
+        if items.is_empty() {
+            return identity();
+        }
+        let chunks = split_chunks(items);
+        let accs = run_tasks(chunks, |chunk| {
+            chunk
+                .into_iter()
+                .filter_map(&pipeline)
+                .fold(identity(), &op)
+        });
+        accs.into_iter().fold(identity(), op)
+    }
+
+    /// Sums the items. Deterministic: per-chunk sums are combined in chunk
+    /// order.
+    pub fn sum<U>(self) -> U
+    where
+        U: std::iter::Sum<T> + std::iter::Sum<U> + Send,
+    {
+        let ParIter {
+            items, pipeline, ..
+        } = self;
+        let chunks = split_chunks(items);
+        run_tasks(chunks, |chunk| {
+            chunk.into_iter().filter_map(&pipeline).sum::<U>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Counts the items surviving the pipeline.
+    pub fn count(self) -> usize {
+        let ParIter {
+            items, pipeline, ..
+        } = self;
+        let chunks = split_chunks(items);
+        run_tasks(chunks, |chunk| {
+            chunk.into_iter().filter_map(&pipeline).count()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// The minimum item (`None` when empty). Ties resolve to the earliest
+    /// item, as with `Iterator::min`.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.drive().into_iter().min()
+    }
+
+    /// The maximum item (`None` when empty). Ties resolve to the latest
+    /// item, as with `Iterator::max`.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.drive().into_iter().max()
+    }
+
+    /// Whether any item satisfies `pred`.
+    pub fn any(self, pred: impl Fn(T) -> bool + Sync + Send) -> bool {
+        self.map(pred).drive().into_iter().any(|b| b)
+    }
+
+    /// Whether all items satisfy `pred`.
+    pub fn all(self, pred: impl Fn(T) -> bool + Sync + Send) -> bool {
+        self.map(pred).drive().into_iter().all(|b| b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (the rayon prelude surface)
+// ---------------------------------------------------------------------------
+
+/// `IntoParallelIterator`: `into_par_iter()` consumes a collection.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = BaseParIter<I::Item>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        base_par_iter(self.into_iter().collect())
+    }
+}
+
+/// `IntoParallelRefIterator`: `par_iter()` borrows a collection.
 pub trait IntoParallelRefIterator<'data> {
     /// Element type (a reference).
-    type Item;
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
 
     /// Iterate by reference.
     fn par_iter(&'data self) -> Self::Iter;
@@ -49,21 +559,24 @@ pub trait IntoParallelRefIterator<'data> {
 impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
 where
     &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
 {
     type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Iter = BaseParIter<Self::Item>;
 
     fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+        base_par_iter(self.into_iter().collect())
     }
 }
 
-/// `IntoParallelRefMutIterator` facade: `par_iter_mut()` = `iter_mut()`.
+/// `IntoParallelRefMutIterator`: `par_iter_mut()` borrows mutably. The
+/// exclusive references are distributed across workers (each item visits
+/// exactly one worker), which is safe by construction.
 pub trait IntoParallelRefMutIterator<'data> {
     /// Element type (a mutable reference).
-    type Item;
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
 
     /// Iterate by mutable reference.
     fn par_iter_mut(&'data mut self) -> Self::Iter;
@@ -72,12 +585,13 @@ pub trait IntoParallelRefMutIterator<'data> {
 impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
 where
     &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: Send,
 {
     type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Iter = BaseParIter<Self::Item>;
 
     fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+        base_par_iter(self.into_iter().collect())
     }
 }
 
@@ -89,6 +603,12 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -104,8 +624,213 @@ mod tests {
         let mut v = vec![1, 2, 3];
         v.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(v, vec![11, 12, 13]);
-        let mut seen = 0;
-        v.par_iter().for_each(|&x| seen += x);
-        assert_eq!(seen, 36);
+        let seen = AtomicUsize::new(0);
+        v.par_iter().for_each(|&x| {
+            seen.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(seen.into_inner(), 36);
+    }
+
+    #[test]
+    fn collect_is_order_preserving_across_thread_counts() {
+        let input: Vec<u64> = (0..1000).collect();
+        let reference: Vec<u64> = input.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let out: Vec<u64> =
+                pool(threads).install(|| input.par_iter().map(|&x| x * x).collect());
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn filter_and_filter_map_preserve_order() {
+        let input: Vec<i64> = (0..500).collect();
+        for threads in [1, 4] {
+            let evens: Vec<i64> = pool(threads).install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| x)
+                    .filter(|x| x % 2 == 0)
+                    .collect()
+            });
+            assert_eq!(evens.len(), 250);
+            assert!(evens.windows(2).all(|w| w[0] < w[1]));
+            let odds: Vec<i64> = pool(threads).install(|| {
+                input
+                    .par_iter()
+                    .filter_map(|&x| (x % 2 == 1).then_some(x * 10))
+                    .collect()
+            });
+            assert_eq!(odds[0], 10);
+            assert_eq!(odds.len(), 250);
+        }
+    }
+
+    #[test]
+    fn float_reduction_tree_is_bit_identical_across_thread_counts() {
+        // Floating-point addition is not associative, so bit-identical sums
+        // across thread counts prove the reduction tree shape is fixed.
+        let input: Vec<f64> = (1..=3000).map(|i| 1.0 / i as f64).collect();
+        let reference = pool(1).install(|| input.par_iter().map(|&x| x).fold(0.0f64, |a, b| a + b));
+        for threads in [2, 3, 8] {
+            let sum =
+                pool(threads).install(|| input.par_iter().map(|&x| x).fold(0.0f64, |a, b| a + b));
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_and_fold_agree() {
+        let input: Vec<u64> = (0..100).collect();
+        let a = input.par_iter().map(|&x| x).reduce(|| 0, u64::max);
+        let b = input.par_iter().map(|&x| x).fold(0, u64::max);
+        assert_eq!(a, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_min_max_any_all() {
+        let v: Vec<i32> = (0..257).collect();
+        assert_eq!(v.par_iter().filter(|&&x| x % 2 == 0).count(), 129);
+        assert_eq!(v.par_iter().map(|&x| x).min(), Some(0));
+        assert_eq!(v.par_iter().map(|&x| x).max(), Some(256));
+        assert!(v.par_iter().any(|&x| x == 256));
+        assert!(v.par_iter().all(|&x| x < 257));
+        let empty: Vec<i32> = vec![];
+        assert_eq!(empty.into_par_iter().min(), None);
+    }
+
+    #[test]
+    fn work_actually_distributes_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        pool(4).install(|| {
+            (0..256).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        // 256 items → 64 chunks; with 4 workers and a sleep per item, more
+        // than one OS thread must have participated.
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_results() {
+        let (a, b) = pool(4).install(|| join(|| 6 * 7, || "ok"));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+        let (a, b) = pool(1).install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 8);
+    }
+
+    #[test]
+    fn nested_parallelism_is_sequential_inside_workers() {
+        // A worker's nested parallel op must not spawn further threads; it
+        // still produces correct, ordered results.
+        let out: Vec<Vec<u32>> = pool(4).install(|| {
+            (0u32..8)
+                .into_par_iter()
+                .map(|i| (0..4).into_par_iter().map(move |j| i * 10 + j).collect())
+                .collect()
+        });
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn sequential_fast_path_also_disables_nested_parallelism() {
+        // A single-task operation takes the sequential fast path; the task
+        // must still see nested parallelism disabled, exactly as it would
+        // on a pool worker — otherwise a task's result could depend on how
+        // many workers executed the surrounding operation.
+        let seen: Vec<usize> = pool(8).install(|| {
+            vec![()]
+                .into_par_iter()
+                .map(|()| current_num_threads())
+                .collect()
+        });
+        assert_eq!(seen, vec![1]);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outer = current_num_threads();
+        pool(3).install(|| {
+            assert_eq!(current_num_threads(), 3);
+            pool(2).install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        assert!(p.current_num_threads() >= 1);
+        assert_eq!(pool(5).current_num_threads(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let sum: u32 = Vec::<u32>::new().into_par_iter().sum();
+        assert_eq!(sum, 0);
+        assert_eq!(Vec::<u32>::new().into_par_iter().fold(7, u32::max), 7);
+    }
+
+    #[test]
+    #[ignore = "timing-sensitive; needs a multi-core machine (run with --ignored)"]
+    fn multicore_speedup_over_sequential() {
+        // CPU-bound task: fixed-iteration spin so both runs do identical
+        // work. Requires ≥ 4 physical cores to show a robust speedup.
+        fn spin() -> u64 {
+            let mut acc = 0u64;
+            for i in 0..20_000_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc)
+        }
+        let tasks: Vec<u32> = (0..8).collect();
+        let run = |threads: usize| {
+            let start = std::time::Instant::now();
+            let out: Vec<u64> =
+                pool(threads).install(|| tasks.par_iter().map(|_| spin()).collect());
+            assert_eq!(out.len(), 8);
+            start.elapsed()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(
+            t4 < t1.mul_f64(0.75),
+            "expected ≥ 1.33× speedup at 4 threads: t1 = {t1:?}, t4 = {t4:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_depend_only_on_length() {
+        for len in [0usize, 1, 63, 64, 65, 1000, 4097] {
+            let items: Vec<usize> = (0..len).collect();
+            let chunks = split_chunks(items);
+            assert!(chunks.len() <= MAX_CHUNKS);
+            let rebuilt: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(rebuilt, (0..len).collect::<Vec<_>>());
+        }
     }
 }
