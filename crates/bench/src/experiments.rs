@@ -549,10 +549,19 @@ pub fn e9_ablations(_scale: Scale) -> Table {
     ];
     let configs = [
         (
+            "area+class+sym",
+            BoundConfig {
+                area: true,
+                class_serialization: true,
+                symmetry: true,
+            },
+        ),
+        (
             "area+class",
             BoundConfig {
                 area: true,
                 class_serialization: true,
+                symmetry: false,
             },
         ),
         (
@@ -560,6 +569,7 @@ pub fn e9_ablations(_scale: Scale) -> Table {
             BoundConfig {
                 area: true,
                 class_serialization: false,
+                symmetry: false,
             },
         ),
         (
@@ -567,6 +577,7 @@ pub fn e9_ablations(_scale: Scale) -> Table {
             BoundConfig {
                 area: false,
                 class_serialization: true,
+                symmetry: false,
             },
         ),
         (
@@ -574,6 +585,7 @@ pub fn e9_ablations(_scale: Scale) -> Table {
             BoundConfig {
                 area: false,
                 class_serialization: false,
+                symmetry: false,
             },
         ),
     ];

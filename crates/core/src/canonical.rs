@@ -1,0 +1,271 @@
+//! Canonical forms and stable fingerprints of instances.
+//!
+//! An MSRS instance is fully described by its machine count plus the
+//! *multiset of class job-size multisets*: machine identities carry no
+//! information (machines are identical), class ids are interchangeable
+//! labels, and the order of jobs within a class — or of jobs in the input —
+//! is irrelevant. Two instances that differ only in such labelling solve to
+//! the same optimal makespan, and any schedule for one maps to a schedule
+//! for the other by relabelling.
+//!
+//! [`CanonicalForm`] materializes that quotient: it rebuilds the instance
+//! with empty classes dropped, the jobs of each class sorted by
+//! non-increasing size, and the classes themselves sorted by their size
+//! vectors — together with the job permutation needed to map schedules back.
+//! A stable 128-bit [fingerprint](CanonicalForm::fingerprint) over the
+//! canonical description keys result caches: equal canonical forms hash
+//! identically on every platform and run.
+
+use crate::instance::{ClassId, Instance, JobId, Time};
+use crate::schedule::Schedule;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Streaming FNV-1a over `u64` words — stable across platforms and runs
+/// (unlike `std::hash`, whose output is unspecified between releases).
+#[derive(Debug, Clone, Copy)]
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The canonical form of an [`Instance`]: an order- and label-insensitive
+/// rebuild plus the job permutation linking it to the original.
+///
+/// Two instances have equal canonical instances (and equal fingerprints)
+/// iff they have the same machine count and the same multiset of class
+/// job-size multisets — the exact invariant under which results transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    instance: Instance,
+    /// `to_canonical[j]` = the canonical job id of original job `j`.
+    to_canonical: Vec<JobId>,
+    fingerprint: u128,
+}
+
+impl CanonicalForm {
+    /// Canonicalizes `inst`. Cost: `O(n log n)` for the two sorts (size
+    /// keys are materialized once per class, not per comparison — this
+    /// runs on every engine request, hit or miss).
+    pub fn of(inst: &Instance) -> Self {
+        // Per non-empty class: the size vector (non-increasing) paired with
+        // the job ids in that order (ties by original id, so the
+        // permutation is deterministic).
+        let mut classes: Vec<(Vec<Time>, Vec<JobId>)> = (0..inst.num_classes())
+            .filter(|&c| !inst.class_jobs(c).is_empty())
+            .map(|c| {
+                let mut jobs = inst.class_jobs(c).to_vec();
+                jobs.sort_by(|&a, &b| inst.size(b).cmp(&inst.size(a)).then(a.cmp(&b)));
+                let sizes: Vec<Time> = jobs.iter().map(|&j| inst.size(j)).collect();
+                (sizes, jobs)
+            })
+            .collect();
+        // Classes sorted by their size vectors (descending lexicographically;
+        // ties between identical multisets are harmless — the classes are
+        // interchangeable by definition).
+        classes.sort_by(|a, b| b.0.cmp(&a.0));
+
+        let mut to_canonical = vec![0usize; inst.num_jobs()];
+        let mut next = 0usize;
+        let mut h = Fnv128::new();
+        h.write_u64(inst.machines() as u64);
+        h.write_u64(classes.len() as u64);
+        for (sizes, jobs) in &classes {
+            h.write_u64(sizes.len() as u64);
+            for &p in sizes {
+                h.write_u64(p);
+            }
+            for &j in jobs {
+                to_canonical[j] = next;
+                next += 1;
+            }
+        }
+
+        let sizes: Vec<Vec<Time>> = classes.into_iter().map(|(sizes, _)| sizes).collect();
+        let instance = Instance::from_classes(inst.machines(), &sizes)
+            .expect("canonicalization preserves validity");
+        CanonicalForm {
+            instance,
+            to_canonical,
+            fingerprint: h.0,
+        }
+    }
+
+    /// The canonical instance (empty classes dropped, jobs sorted within
+    /// classes, classes sorted by size vector).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The stable 128-bit fingerprint of the canonical description. Equal
+    /// for two instances iff their canonical instances are equal (up to the
+    /// astronomically unlikely 2⁻¹²⁸ hash collision a cache keyed on the
+    /// fingerprint accepts).
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// The canonical job id of original job `j`.
+    pub fn canonical_job(&self, j: JobId) -> JobId {
+        self.to_canonical[j]
+    }
+
+    /// Maps a schedule *for the canonical instance* back to a schedule for
+    /// the original instance: original job `j` inherits the assignment of
+    /// its canonical counterpart (same size, label-equivalent class), so
+    /// validity and makespan carry over exactly.
+    pub fn schedule_to_original(&self, canonical: &Schedule) -> Schedule {
+        Schedule::new(
+            self.to_canonical
+                .iter()
+                .map(|&cj| canonical.assignment(cj))
+                .collect(),
+        )
+    }
+}
+
+impl Instance {
+    /// The canonical form of this instance (see [`CanonicalForm`]).
+    pub fn canonical_form(&self) -> CanonicalForm {
+        CanonicalForm::of(self)
+    }
+}
+
+/// Permutes the class labels and job order of `inst` — the canonical form
+/// must be invariant under exactly these relabellings. Test/benchmark
+/// helper: `class_perm[c]` is the new label of class `c` (must be a
+/// permutation of `0..num_classes`), and jobs are emitted in `job_order`.
+pub fn relabel(inst: &Instance, class_perm: &[ClassId], job_order: &[JobId]) -> Instance {
+    assert_eq!(class_perm.len(), inst.num_classes());
+    assert_eq!(job_order.len(), inst.num_jobs());
+    let jobs = job_order
+        .iter()
+        .map(|&j| crate::instance::Job::new(inst.size(j), class_perm[inst.class_of(j)]))
+        .collect();
+    Instance::new(inst.machines(), jobs).expect("relabelling preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use crate::Assignment;
+
+    fn sample() -> Instance {
+        Instance::from_classes(3, &[vec![5, 3], vec![7], vec![2, 2, 2]]).unwrap()
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixpoint() {
+        let form = sample().canonical_form();
+        let again = form.instance().canonical_form();
+        assert_eq!(form.instance(), again.instance());
+        assert_eq!(form.fingerprint(), again.fingerprint());
+        // Identity permutation on an already-canonical instance.
+        for j in 0..form.instance().num_jobs() {
+            assert_eq!(again.canonical_job(j), j);
+        }
+    }
+
+    #[test]
+    fn classes_sorted_and_jobs_descending() {
+        let form = sample().canonical_form();
+        let canon = form.instance();
+        // Classes sorted by descending size vector: [7], [5,3], [2,2,2].
+        let sizes: Vec<Vec<Time>> = (0..canon.num_classes())
+            .map(|c| canon.class_jobs(c).iter().map(|&j| canon.size(j)).collect())
+            .collect();
+        assert_eq!(sizes, vec![vec![7], vec![5, 3], vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn invariant_under_relabelling() {
+        let inst = sample();
+        let base = inst.canonical_form();
+        // Rotate class labels and reverse job order.
+        let k = inst.num_classes();
+        let class_perm: Vec<ClassId> = (0..k).map(|c| (c + 1) % k).collect();
+        let job_order: Vec<JobId> = (0..inst.num_jobs()).rev().collect();
+        let shuffled = relabel(&inst, &class_perm, &job_order);
+        assert_ne!(
+            shuffled, inst,
+            "relabelling must actually change the raw form"
+        );
+        let form = shuffled.canonical_form();
+        assert_eq!(form.instance(), base.instance());
+        assert_eq!(form.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_fingerprints() {
+        let a = Instance::from_classes(2, &[vec![4, 3], vec![5]]).unwrap();
+        // Same size multiset overall, different class partition.
+        let b = Instance::from_classes(2, &[vec![4], vec![3, 5]]).unwrap();
+        // Same classes, different machine count.
+        let c = Instance::from_classes(3, &[vec![4, 3], vec![5]]).unwrap();
+        let fa = a.canonical_form().fingerprint();
+        assert_ne!(fa, b.canonical_form().fingerprint());
+        assert_ne!(fa, c.canonical_form().fingerprint());
+    }
+
+    #[test]
+    fn empty_classes_are_dropped() {
+        let a = Instance::new(2, vec![crate::Job::new(4, 0), crate::Job::new(3, 2)]).unwrap();
+        let b = Instance::from_classes(2, &[vec![4], vec![3]]).unwrap();
+        assert_eq!(
+            a.canonical_form().fingerprint(),
+            b.canonical_form().fingerprint()
+        );
+        assert_eq!(a.canonical_form().instance(), b.canonical_form().instance());
+    }
+
+    #[test]
+    fn schedule_round_trip_preserves_validity_and_makespan() {
+        let inst = sample();
+        let form = inst.canonical_form();
+        // Serial schedule on the canonical instance: machine j % m, stacked
+        // by prefix sums per machine — build something simple but valid:
+        // everything sequential on machine 0.
+        let canon = form.instance();
+        let mut t = 0;
+        let assignments: Vec<Assignment> = (0..canon.num_jobs())
+            .map(|j| {
+                let a = Assignment {
+                    machine: 0,
+                    start: t,
+                };
+                t += canon.size(j);
+                a
+            })
+            .collect();
+        let canon_sched = Schedule::new(assignments);
+        assert_eq!(validate(canon, &canon_sched), Ok(()));
+        let orig_sched = form.schedule_to_original(&canon_sched);
+        assert_eq!(validate(&inst, &orig_sched), Ok(()));
+        assert_eq!(orig_sched.makespan(&inst), canon_sched.makespan(canon));
+    }
+
+    #[test]
+    fn zero_size_jobs_participate_in_the_form() {
+        let a = Instance::from_classes(2, &[vec![4, 0], vec![3]]).unwrap();
+        let b = Instance::from_classes(2, &[vec![4], vec![3]]).unwrap();
+        assert_ne!(
+            a.canonical_form().fingerprint(),
+            b.canonical_form().fingerprint(),
+            "a zero-size job is still a job (it appears in reports)"
+        );
+    }
+}

@@ -35,6 +35,7 @@
 pub mod bounds;
 pub mod builder;
 pub mod cancel;
+pub mod canonical;
 pub mod frac;
 pub mod instance;
 pub mod io;
@@ -46,6 +47,7 @@ pub mod validate;
 pub use bounds::{lower_bound, LowerBounds};
 pub use builder::{Block, ScheduleBuilder};
 pub use cancel::CancelToken;
+pub use canonical::CanonicalForm;
 pub use instance::{ClassId, Instance, InstanceError, Job, JobId, MachineId, Time};
 pub use schedule::{Assignment, Schedule};
 pub use stats::{schedule_stats, ScheduleStats};

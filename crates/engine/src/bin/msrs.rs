@@ -5,6 +5,7 @@
 //! msrs solve  --input instance.txt            # msrs-text or JSONL, `-` = stdin
 //! msrs batch  --input corpus.jsonl --threads 8 --out reports.jsonl
 //! msrs bench  --families uniform,zipf --count 20 --machines 4
+//! msrs bench  --baseline-out BENCH_3.json     # machine-readable perf baseline
 //! ```
 //!
 //! Instances travel as JSON lines (`{"id":…,"machines":…,"classes":[[…]]}`)
@@ -18,8 +19,10 @@ use std::time::Duration;
 
 use msrs_core::{io as text_io, validate};
 use msrs_engine::families::FAMILIES;
+use msrs_engine::json::Json;
 use msrs_engine::{
     family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
+    DEFAULT_CACHE_CAPACITY,
 };
 
 const USAGE: &str = "msrs — solver-portfolio engine for Scheduling with Many Shared Resources
@@ -39,12 +42,16 @@ COMMON ENGINE FLAGS (solve, batch, bench):
                          portfolio members; 0 = MSRS_THREADS or all cores)
                                                                  [default: 0]
     --no-baselines       Skip the prior-work baseline solvers
-    --deadline-ms <D>    Per-instance wall-clock deadline (opt-in nondeterminism)
+    --deadline-ms <D>    Per-instance wall-clock deadline (opt-in nondeterminism;
+                         bypasses the result cache)
     --exact-nodes <N>    Exact-solver node budget
     --no-eptas           Disable the EPTAS portfolio member
+    --cache-capacity <N> Canonical-form result-cache capacity  [default: 1024]
+    --no-cache           Disable the result cache and intra-batch dedup
 
 GEN FLAGS:
-    --family <NAME|all>  uniform|zipf|satellite|photolitho|adversarial|boundary|huge
+    --family <NAME|all>  uniform|zipf|satellite|photolitho|adversarial|boundary|
+                         huge|traffic
     --count <N>          Instances per family                    [default: 10]
     --machines <M>       Machine count                           [default: 4]
     --seed <S>           Base seed                               [default: 1]
@@ -65,6 +72,10 @@ BENCH FLAGS:
     --count <N>          Instances per family                    [default: 10]
     --machines <M>       Machine count                           [default: 4]
     --seed <S>           Base seed                               [default: 1]
+    --baseline-out <P>   Instead of the comparison table, run the perf
+                         baseline suite (cache on/off batch throughput at
+                         threads 1 and 4, exact-solver node throughput) and
+                         write it as machine-readable JSON (see BENCH_3.json)
 ";
 
 /// Engine flags shared by `solve`, `batch`, and `bench`.
@@ -74,6 +85,8 @@ const ENGINE_FLAGS: &[&str] = &[
     "--no-eptas",
     "--exact-nodes",
     "--deadline-ms",
+    "--cache-capacity",
+    "--no-cache",
 ];
 
 fn main() -> ExitCode {
@@ -86,7 +99,13 @@ fn main() -> ExitCode {
         "gen" => &["--family", "--count", "--machines", "--seed", "--out"],
         "solve" => &["--input", "--json", "--schedule"],
         "batch" => &["--input", "--out", "--quiet"],
-        "bench" => &["--families", "--count", "--machines", "--seed"],
+        "bench" => &[
+            "--families",
+            "--count",
+            "--machines",
+            "--seed",
+            "--baseline-out",
+        ],
         _ => &[],
     };
     let takes_engine_flags = matches!(cmd, "solve" | "batch" | "bench");
@@ -127,6 +146,7 @@ impl Flags {
         const SWITCHES: &[&str] = &[
             "--no-baselines",
             "--no-eptas",
+            "--no-cache",
             "--json",
             "--schedule",
             "--quiet",
@@ -192,6 +212,13 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
     cfg.run_baselines = !flags.has("--no-baselines");
     cfg.eptas.enabled = !flags.has("--no-eptas");
     cfg.exact.max_nodes = flags.get_num("--exact-nodes", cfg.exact.max_nodes)?;
+    // The CLI serves repeated traffic, so the cache defaults ON here (the
+    // library default is off unless MSRS_CACHE says otherwise).
+    cfg.cache_capacity = if flags.has("--no-cache") {
+        0
+    } else {
+        flags.get_num("--cache-capacity", DEFAULT_CACHE_CAPACITY)?
+    };
     if let Some(ms) = flags.get("--deadline-ms") {
         let ms: u64 = ms
             .parse()
@@ -335,12 +362,23 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             "batch: {n} instances, {optimal} proven optimal, \
              ratio vs bound mean {mean:.4} worst {worst:.4}"
         );
+        let stats = engine.cache_stats();
+        if stats.capacity > 0 {
+            eprintln!(
+                "cache: {} hits, {} misses, {} evictions, {} entries (capacity {})",
+                stats.hits, stats.misses, stats.evictions, stats.entries, stats.capacity
+            );
+        }
     }
     Ok(())
 }
 
-/// `msrs bench`: portfolio vs every single solver over generated corpora.
+/// `msrs bench`: portfolio vs every single solver over generated corpora,
+/// or (with `--baseline-out`) the machine-readable perf-baseline suite.
 fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    if let Some(path) = flags.get("--baseline-out") {
+        return cmd_bench_baseline(flags, path);
+    }
     let which = flags.get("--families").unwrap_or("all");
     let count: u64 = flags.get_num("--count", 10)?;
     let machines: usize = flags.get_num("--machines", 4)?;
@@ -425,5 +463,152 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// The perf-baseline suite behind `msrs bench --baseline-out` (committed as
+/// `BENCH_3.json`): machine-readable wall times and node counts that later
+/// PRs diff against.
+///
+/// * `traffic_batch` — a 1000-instance, 90%-duplicate `traffic` corpus
+///   solved with the cache off and on, at 1 and 4 worker threads: the
+///   cache/dedup throughput win.
+/// * `exact_*` — exact branch-and-bound workloads (the E9 gap proofs to
+///   completion, plus a budget-capped sweep of the hard parity-gap
+///   partition instance) at 1 search thread: node counts and node
+///   throughput of the allocation-free hot loop, with and without the
+///   symmetry-dominance rule.
+fn cmd_bench_baseline(flags: &Flags, path: &str) -> Result<(), String> {
+    use msrs_exact::{solve_configured, BoundConfig, SolveLimits, SolveOutcome};
+
+    // The suite pins its own thread counts, cache capacities, and solver
+    // configuration (that is what makes baselines comparable across PRs);
+    // reject flags it would otherwise silently ignore.
+    let ignored: Vec<&str> = [
+        "--families",
+        "--seed",
+        "--threads",
+        "--no-baselines",
+        "--no-eptas",
+        "--exact-nodes",
+        "--deadline-ms",
+        "--cache-capacity",
+        "--no-cache",
+    ]
+    .into_iter()
+    .filter(|f| flags.has(f))
+    .collect();
+    if !ignored.is_empty() {
+        return Err(format!(
+            "--baseline-out pins its own configuration; remove: {}",
+            ignored.join(", ")
+        ));
+    }
+
+    let machines: usize = flags.get_num("--machines", 4)?;
+    let count: u64 = flags.get_num("--count", 1000)?;
+    let mut experiments: Vec<Json> = Vec::new();
+
+    // -- Traffic batch: cache off vs on, threads 1 and 4. ------------------
+    let reqs: Vec<SolveRequest> = (0..count)
+        .map(|seed| {
+            SolveRequest::with_id(
+                format!("traffic-{seed}"),
+                msrs_gen::traffic(seed, machines, 10),
+            )
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        for cache_capacity in [0usize, DEFAULT_CACHE_CAPACITY] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                cache_capacity,
+                ..EngineConfig::default()
+            });
+            // Two passes: `traffic_batch` lands on a cold cache (its win is
+            // intra-batch dedup — Amdahl-capped at 10× by the 100 distinct
+            // forms that still need solving), `traffic_batch_warm` replays
+            // the corpus against the primed cache (the steady state of
+            // repeated traffic — every request is a hit).
+            for pass in ["traffic_batch", "traffic_batch_warm"] {
+                let before = engine.cache_stats();
+                let start = std::time::Instant::now();
+                let reports = engine.solve_batch(&reqs);
+                let wall = start.elapsed().as_micros() as i128;
+                let stats = engine.cache_stats();
+                let (hits, misses) = (stats.hits - before.hits, stats.misses - before.misses);
+                eprintln!(
+                    "{pass} threads={threads} cache={cache_capacity}: {} instances in {wall} µs \
+                     ({hits} hits, {misses} misses)",
+                    reports.len(),
+                );
+                experiments.push(Json::Obj(vec![
+                    ("name".into(), Json::Str(pass.into())),
+                    ("threads".into(), Json::Num(threads as i128)),
+                    ("cache_capacity".into(), Json::Num(cache_capacity as i128)),
+                    ("instances".into(), Json::Num(reports.len() as i128)),
+                    ("wall_micros".into(), Json::Num(wall)),
+                    ("cache_hits".into(), Json::Num(hits as i128)),
+                    ("cache_misses".into(), Json::Num(misses as i128)),
+                ]));
+            }
+        }
+    }
+
+    // -- Exact-solver node throughput (single search thread). --------------
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map_err(|e| format!("pool: {e}"))?;
+    let gap7: Vec<Vec<u64>> = vec![
+        vec![4],
+        vec![4],
+        vec![4],
+        vec![4],
+        vec![4],
+        vec![3],
+        vec![3],
+    ];
+    let gap7_inst =
+        msrs_core::Instance::from_classes(2, &gap7).map_err(|e| format!("gap7: {e}"))?;
+    let parity21 = msrs_gen::parity_gap_partition(21);
+    let workloads: [(&str, &msrs_core::Instance, u64); 3] = [
+        ("exact_e9_gap7", &gap7_inst, 200_000_000),
+        ("exact_parity21_capped", &parity21, 2_000_000),
+        ("exact_parity21_capped_nosym", &parity21, 2_000_000),
+    ];
+    for (name, inst, max_nodes) in workloads {
+        let bounds = BoundConfig {
+            symmetry: !name.ends_with("_nosym"),
+            ..BoundConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let outcome =
+            one.install(|| solve_configured(inst, SolveLimits { max_nodes }, bounds, None));
+        let wall = start.elapsed().as_micros() as i128;
+        let (status, nodes) = match outcome {
+            SolveOutcome::Optimal(r) => ("optimal", r.nodes),
+            SolveOutcome::Exhausted { nodes } => ("exhausted", nodes),
+            SolveOutcome::Cancelled { nodes } => ("cancelled", nodes),
+        };
+        let nps = nodes as f64 / (wall.max(1) as f64 / 1e6);
+        eprintln!("{name}: {status}, {nodes} nodes in {wall} µs ({nps:.0} nodes/s)");
+        experiments.push(Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("threads".into(), Json::Num(1)),
+            ("status".into(), Json::Str(status.into())),
+            ("nodes".into(), Json::Num(nodes as i128)),
+            ("wall_micros".into(), Json::Num(wall)),
+            ("nodes_per_sec".into(), Json::Num(nps as i128)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("BENCH_3".into())),
+        ("machines".into(), Json::Num(machines as i128)),
+        ("experiments".into(), Json::Arr(experiments)),
+    ]);
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("baseline written to {path}");
     Ok(())
 }

@@ -10,14 +10,17 @@
 //! search loops — so the deadline bounds each member's runtime, not merely
 //! when the engine stops waiting.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use msrs_core::{validate, CancelToken, Instance, Schedule, Time};
+use msrs_core::{validate, CancelToken, CanonicalForm, Instance, Schedule, Time};
 use msrs_exact::{SolveLimits, SolveOutcome};
 use msrs_ptas::EptasConfig;
 
+use crate::cache::{CacheKey, CacheStats, ReportCache};
 use crate::portfolio::{plan, Portfolio, SolverKind};
 use crate::profile::{classify, InstanceProfile};
 use crate::report::{RunStatus, SolveReport, SolveRequest, SolverRun};
@@ -97,10 +100,34 @@ pub struct EngineConfig {
     pub deadline: Option<Duration>,
     /// Include the prior-work baselines in portfolios.
     pub run_baselines: bool,
+    /// Capacity of the canonical-form result cache (reports); `0` disables
+    /// caching *and* intra-batch dedup. The default comes from the
+    /// `MSRS_CACHE` environment variable (`off`/`0` or unset → disabled,
+    /// `on` → 1024, any number → that capacity), so a CI matrix can run
+    /// the whole test suite cache-enabled without code changes. Cached
+    /// reports are bit-identical to fresh ones except `cache_hit` and the
+    /// `wall_micros` timings; with a [`deadline`](Self::deadline)
+    /// configured (opt-in nondeterminism) the cache is bypassed entirely.
+    pub cache_capacity: usize,
     /// Exact-solver policy.
     pub exact: ExactPolicy,
     /// EPTAS policy.
     pub eptas: EptasPolicy,
+}
+
+/// Default cache capacity when `MSRS_CACHE=on` and for the `msrs` CLI.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+fn cache_capacity_from_env() -> usize {
+    match std::env::var("MSRS_CACHE") {
+        Ok(v) if v.eq_ignore_ascii_case("off") => 0,
+        // Any other set value means "cache wanted": a number is taken as
+        // the capacity, everything else (`on`, but also typos like `true`)
+        // falls back to the default capacity rather than silently
+        // disabling the cache a CI matrix meant to enable.
+        Ok(v) => v.parse().unwrap_or(DEFAULT_CACHE_CAPACITY),
+        Err(_) => 0,
+    }
 }
 
 impl Default for EngineConfig {
@@ -110,6 +137,7 @@ impl Default for EngineConfig {
             parallel_portfolio: true,
             deadline: None,
             run_baselines: true,
+            cache_capacity: cache_capacity_from_env(),
             exact: ExactPolicy::default(),
             eptas: EptasPolicy::default(),
         }
@@ -134,14 +162,50 @@ impl EngineConfig {
             .and_then(|d| started.checked_add(d))
             .map(CancelToken::with_deadline)
     }
+
+    /// A stable fingerprint over every configuration field that can change
+    /// *report content* (as opposed to timings): the solver policies,
+    /// baseline participation, and the portfolio execution shape. Thread
+    /// count and cache capacity are deliberately excluded — reports are
+    /// bit-identical across both — so cache entries stay valid across
+    /// those knobs. Part of the [`CacheKey`].
+    pub fn content_fingerprint(&self) -> u64 {
+        // FNV-1a (64-bit) over the content-relevant fields; stable across
+        // platforms and runs, unlike `std::hash`.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut put = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        put(self.run_baselines as u64);
+        put(self.exact.max_jobs as u64);
+        put(self.exact.max_classes as u64);
+        put(self.exact.max_nodes);
+        put(self.eptas.enabled as u64);
+        put(self.eptas.max_jobs as u64);
+        put(self.eptas.max_machines as u64);
+        put(self.eptas.eps_k);
+        put(self.eptas.node_budget);
+        h
+    }
 }
 
-/// The portfolio orchestrator. Construction is cheap; the engine is
+/// The portfolio orchestrator. Construction is cheap; apart from the
+/// result cache (shared by clones, internally synchronized) the engine is
 /// stateless between calls and `Sync`, so one instance can serve many
 /// threads.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     cfg: EngineConfig,
+    cache: Arc<ReportCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
 }
 
 /// Everything a finished member hands back.
@@ -171,7 +235,8 @@ impl MemberOutcome {
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
-        Engine { cfg }
+        let cache = Arc::new(ReportCache::new(cfg.cache_capacity));
+        Engine { cfg, cache }
     }
 
     /// The active configuration.
@@ -179,16 +244,47 @@ impl Engine {
         &self.cfg
     }
 
+    /// Counter snapshot of the canonical-form result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Whether requests are served through the result cache: the cache has
+    /// capacity and no deadline is configured (deadline results are
+    /// wall-clock-dependent, so memoizing them would be unsound).
+    fn cache_active(&self) -> bool {
+        self.cache.enabled() && self.cfg.deadline.is_none()
+    }
+
+    fn cache_key(&self, form: &CanonicalForm) -> CacheKey {
+        CacheKey {
+            instance: form.fingerprint(),
+            config: self.cfg.content_fingerprint(),
+        }
+    }
+
     /// Solves one request with the planned portfolio (parallel across
     /// members when [`EngineConfig::parallel_portfolio`] is set).
+    ///
+    /// Every solve runs on the *canonical form* of the instance (sorted
+    /// class multisets — order- and ID-insensitive) and the schedule is
+    /// mapped back to the request's job ids, so relabelled duplicates
+    /// receive identical reports and result caching is sound by
+    /// construction.
     pub fn solve(&self, req: &SolveRequest) -> SolveReport {
-        let profile = classify(&req.instance);
-        let portfolio = plan(&profile, &self.cfg);
-        if self.cfg.parallel_portfolio && portfolio.members.len() > 1 {
-            self.run_parallel(req, &profile, &portfolio)
-        } else {
-            self.run_sequential(req, &profile, &portfolio)
+        let started = Instant::now();
+        let form = req.instance.canonical_form();
+        if self.cache_active() {
+            let key = self.cache_key(&form);
+            if let Some(canonical) = self.cache.get(&key) {
+                return finalize(canonical, &form, req, true, started);
+            }
+            let canonical = self.solve_canonical(form.instance(), false);
+            self.cache.insert(key, canonical.clone());
+            return finalize(canonical, &form, req, false, started);
         }
+        let canonical = self.solve_canonical(form.instance(), false);
+        finalize(canonical, &form, req, false, started)
     }
 
     /// Convenience: solve a bare instance.
@@ -198,28 +294,108 @@ impl Engine {
 
     /// Solves a batch on the pool, one instance per task. Reports come back
     /// in request order, and — with no deadline configured — every field
-    /// except the `wall_micros` timings is identical regardless of thread
-    /// count: the pool's chunk boundaries depend only on the batch length,
-    /// work distribution only decides *which worker* computes a report
-    /// (each report is computed sequentially by a single worker), and
-    /// collection is order-preserving.
+    /// except the `wall_micros` timings and `cache_hit` is identical
+    /// regardless of thread count *and* of cache configuration: the pool's
+    /// chunk boundaries depend only on the batch length, work distribution
+    /// only decides *which worker* computes a report (each report is
+    /// computed sequentially by a single worker), collection is
+    /// order-preserving, and cached reports are replays of the same
+    /// deterministic canonical solve.
+    ///
+    /// With the cache enabled the batch is additionally *deduplicated by
+    /// canonical form*: each distinct form is solved once on the pool (in
+    /// first-occurrence order) and the report fanned out to every duplicate
+    /// request, so a duplicate-heavy corpus collapses to its
+    /// distinct-instance count.
     pub fn solve_batch(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
+        if self.cache_active() {
+            return self.solve_batch_deduped(reqs);
+        }
         self.cfg
             .pool()
             .install(|| reqs.par_iter().map(|r| self.solve_one_worker(r)).collect())
     }
 
-    /// Batch worker path: sequential portfolio (parallelism lives at the
-    /// instance level there).
+    /// Batch worker path (cache inactive): canonicalized sequential solve.
     fn solve_one_worker(&self, req: &SolveRequest) -> SolveReport {
-        let profile = classify(&req.instance);
+        let started = Instant::now();
+        let form = req.instance.canonical_form();
+        let canonical = self.solve_canonical(form.instance(), true);
+        finalize(canonical, &form, req, false, started)
+    }
+
+    /// Cache-enabled batch path: canonicalize, dedup, solve each distinct
+    /// uncached form once on the pool, then fan reports out in order.
+    fn solve_batch_deduped(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
+        let pool = self.cfg.pool();
+        let forms: Vec<CanonicalForm> = pool.install(|| {
+            reqs.par_iter()
+                .map(|r| r.instance.canonical_form())
+                .collect()
+        });
+        // Dedup by fingerprint, keeping first-occurrence order; decide
+        // per-request provenance (fresh solve vs cache vs intra-batch
+        // duplicate) sequentially so the hit/miss counters are
+        // deterministic for a fixed engine + corpus.
+        let key_of = |idx: usize| self.cache_key(&forms[idx]);
+        let mut first_of: HashMap<u128, usize> = HashMap::new();
+        let mut to_solve: Vec<usize> = Vec::new();
+        let mut cached: HashMap<u128, SolveReport> = HashMap::new();
+        let mut fresh: Vec<bool> = vec![false; reqs.len()];
+        for idx in 0..reqs.len() {
+            let fp = forms[idx].fingerprint();
+            if first_of.contains_key(&fp) || cached.contains_key(&fp) {
+                self.cache.count_dedup_hit();
+                continue;
+            }
+            if let Some(report) = self.cache.get(&key_of(idx)) {
+                cached.insert(fp, report);
+                continue;
+            }
+            first_of.insert(fp, idx);
+            to_solve.push(idx);
+            fresh[idx] = true;
+        }
+        let solved: Vec<SolveReport> = pool.install(|| {
+            to_solve
+                .par_iter()
+                .map(|&idx| self.solve_canonical(forms[idx].instance(), true))
+                .collect()
+        });
+        for (&idx, report) in to_solve.iter().zip(&solved) {
+            let fp = forms[idx].fingerprint();
+            self.cache.insert(key_of(idx), report.clone());
+            cached.insert(fp, report.clone());
+        }
+        reqs.iter()
+            .zip(&forms)
+            .zip(&fresh)
+            .map(|((req, form), &is_fresh)| {
+                // Hits report their fan-out (serving) cost, not the batch
+                // duration; fresh reports keep their solve time.
+                let served = Instant::now();
+                let canonical = cached[&form.fingerprint()].clone();
+                finalize(canonical, form, req, !is_fresh, served)
+            })
+            .collect()
+    }
+
+    /// Solves a canonical instance, producing the canonical report (no id,
+    /// canonical job numbering). `on_worker` forces the sequential member
+    /// path (batch workers parallelize across instances instead).
+    fn solve_canonical(&self, inst: &Instance, on_worker: bool) -> SolveReport {
+        let profile = classify(inst);
         let portfolio = plan(&profile, &self.cfg);
-        self.run_sequential(req, &profile, &portfolio)
+        if !on_worker && self.cfg.parallel_portfolio && portfolio.members.len() > 1 {
+            self.run_parallel(inst, &profile, &portfolio)
+        } else {
+            self.run_sequential(inst, &profile, &portfolio)
+        }
     }
 
     fn run_sequential(
         &self,
-        req: &SolveRequest,
+        inst: &Instance,
         profile: &InstanceProfile,
         portfolio: &Portfolio,
     ) -> SolveReport {
@@ -243,34 +419,51 @@ impl Engine {
                 outcomes.push((kind, MemberOutcome::timed_out_unstarted()));
                 continue;
             }
+            // The exact member is warm-started from the best heuristic
+            // schedule found so far (the members before it in canonical
+            // order), seeding its incumbent without recomputing heuristics.
+            let warm = if kind == SolverKind::Exact {
+                best_completed_schedule(&outcomes)
+            } else {
+                None
+            };
             outcomes.push((
                 kind,
-                one.install(|| run_solver(kind, &req.instance, &self.cfg, cancel.as_ref())),
+                one.install(|| run_solver(kind, inst, &self.cfg, cancel.as_ref(), warm.as_ref())),
             ));
         }
-        assemble(req, profile, outcomes, started)
+        assemble(profile, outcomes, started)
     }
 
     fn run_parallel(
         &self,
-        req: &SolveRequest,
+        inst: &Instance,
         profile: &InstanceProfile,
         portfolio: &Portfolio,
     ) -> SolveReport {
         let started = Instant::now();
         let cancel = self.cfg.cancel_token(started);
-        // Every member joins: the unbounded ones poll the shared token and
-        // unwind cooperatively at the deadline, so joining cannot stall past
+        // Two waves: every member except the exact solver races first, then
+        // the exact solver runs warm-started from the best heuristic
+        // schedule — the same incumbent the sequential path hands it, so
+        // both paths produce bit-identical report content. Every member
+        // joins: the unbounded ones poll the shared token and unwind
+        // cooperatively at the deadline, so joining cannot stall past
         // deadline + slack. Panics inside a member are caught and surfaced
         // as `Invalid` outcomes so a bug in one solver is reported instead
         // of masquerading as a timeout.
-        let outcomes: Vec<(SolverKind, MemberOutcome)> = self.cfg.pool().install(|| {
-            portfolio
-                .members
+        let wave1: Vec<SolverKind> = portfolio
+            .members
+            .iter()
+            .copied()
+            .filter(|&k| k != SolverKind::Exact)
+            .collect();
+        let wave_outcomes: Vec<(SolverKind, MemberOutcome)> = self.cfg.pool().install(|| {
+            wave1
                 .par_iter()
                 .map(|&kind| {
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_solver(kind, &req.instance, &self.cfg, cancel.as_ref())
+                        run_solver(kind, inst, &self.cfg, cancel.as_ref(), None)
                     }))
                     .unwrap_or_else(|payload| {
                         let reason = payload
@@ -291,8 +484,68 @@ impl Engine {
                 })
                 .collect()
         });
-        assemble(req, profile, outcomes, started)
+        // Reassemble in canonical member order, running the exact member
+        // (warm) in its slot. The warm incumbent considers only members
+        // *before* Exact in canonical order, mirroring run_sequential.
+        let mut outcomes: Vec<(SolverKind, MemberOutcome)> = Vec::new();
+        let mut wave_iter = wave_outcomes.into_iter();
+        for &kind in &portfolio.members {
+            if kind == SolverKind::Exact {
+                let warm = best_completed_schedule(&outcomes);
+                let one = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1)
+                    .build()
+                    .expect("pool handles are always constructible");
+                outcomes.push((
+                    kind,
+                    one.install(|| {
+                        run_solver(kind, inst, &self.cfg, cancel.as_ref(), warm.as_ref())
+                    }),
+                ));
+            } else {
+                outcomes.push(wave_iter.next().expect("wave covers non-exact members"));
+            }
+        }
+        assemble(profile, outcomes, started)
     }
+}
+
+/// The best (least-makespan) schedule among completed members so far — the
+/// warm-start incumbent for the exact solver. Ties keep the earliest
+/// member, so the choice is deterministic.
+fn best_completed_schedule(outcomes: &[(SolverKind, MemberOutcome)]) -> Option<Schedule> {
+    let mut best: Option<(Time, &Schedule)> = None;
+    for (_, outcome) in outcomes {
+        if outcome.status != RunStatus::Completed {
+            continue;
+        }
+        let (Some(makespan), Some(schedule)) = (outcome.makespan, outcome.schedule.as_ref()) else {
+            continue;
+        };
+        if best.is_none_or(|(b, _)| makespan < b) {
+            best = Some((makespan, schedule));
+        }
+    }
+    best.map(|(_, s)| s.clone())
+}
+
+/// Turns a canonical report into the caller-facing one: echoes the request
+/// id, maps the schedule back to the request's job numbering, stamps the
+/// cache provenance, and reports the true serving time.
+fn finalize(
+    mut canonical: SolveReport,
+    form: &CanonicalForm,
+    req: &SolveRequest,
+    cache_hit: bool,
+    started: Instant,
+) -> SolveReport {
+    canonical.id = req.id.clone();
+    canonical.schedule = form.schedule_to_original(&canonical.schedule);
+    canonical.cache_hit = cache_hit;
+    if cache_hit {
+        canonical.wall_micros = started.elapsed().as_micros() as u64;
+    }
+    canonical
 }
 
 /// A member's raw answer: schedule + optional certified horizon, or a
@@ -309,6 +562,7 @@ fn run_solver(
     inst: &Instance,
     cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
+    warm: Option<&Schedule>,
 ) -> MemberOutcome {
     let started = Instant::now();
     let (result, nodes): (RawAnswer, Option<u64>) = match kind {
@@ -333,13 +587,17 @@ fn run_solver(
             (Ok((r.schedule, None)), None)
         }
         SolverKind::Exact => {
-            match msrs_exact::solve(
-                inst,
-                SolveLimits {
-                    max_nodes: cfg.exact.max_nodes,
-                },
-                cancel,
-            ) {
+            let limits = SolveLimits {
+                max_nodes: cfg.exact.max_nodes,
+            };
+            // Warm-start from the portfolio's best heuristic schedule when
+            // one is available — the search seeds its incumbent from it
+            // instead of recomputing the built-in heuristics.
+            let outcome = match warm {
+                Some(schedule) => msrs_exact::solve_warm(inst, limits, cancel, schedule),
+                None => msrs_exact::solve(inst, limits, cancel),
+            };
+            match outcome {
                 // A completed exact run proves its makespan optimal, so
                 // the makespan itself is the tightest possible horizon.
                 SolveOutcome::Optimal(res) => {
@@ -405,9 +663,9 @@ fn run_solver(
     }
 }
 
-/// Best-of selection and report assembly.
+/// Best-of selection and assembly of the canonical report (id and schedule
+/// numbering are canonical; [`finalize`] maps them to the request).
 fn assemble(
-    req: &SolveRequest,
     profile: &InstanceProfile,
     outcomes: Vec<(SolverKind, MemberOutcome)>,
     started: Instant,
@@ -473,7 +731,7 @@ fn assemble(
         })
         .collect();
     SolveReport {
-        id: req.id.clone(),
+        id: None,
         jobs: profile.jobs,
         machines: profile.machines,
         classes: profile.classes,
@@ -483,6 +741,7 @@ fn assemble(
         certified_horizon,
         certified_by,
         proven_optimal,
+        cache_hit: false,
         wall_micros: started.elapsed().as_micros() as u64,
         runs,
         schedule,
@@ -568,14 +827,11 @@ mod tests {
         }
     }
 
-    /// Nine 4s and two 3s in singleton classes on two machines: T = 21 but
-    /// OPT = 22, so the exact proof must exhaust an 11-job tree — several
-    /// seconds of work even in release builds.
+    /// Parity-gap partition (see [`msrs_gen::parity_gap_partition`]):
+    /// OPT = T + 1, the exact proof must sweep beyond 10⁸ nodes — minutes
+    /// of work, with no class symmetry to exploit.
     fn hard_exact_instance() -> Instance {
-        let mut classes: Vec<Vec<Time>> = vec![vec![4]; 9];
-        classes.push(vec![3]);
-        classes.push(vec![3]);
-        Instance::from_classes(2, &classes).unwrap()
+        msrs_gen::parity_gap_partition(21)
     }
 
     #[test]
@@ -584,8 +840,8 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             deadline: Some(deadline),
             exact: ExactPolicy {
-                max_jobs: 16,
-                max_classes: 16,
+                max_jobs: 32,
+                max_classes: 32,
                 max_nodes: u64::MAX,
             },
             ..EngineConfig::default()
@@ -628,8 +884,8 @@ mod tests {
             deadline: Some(Duration::from_millis(40)),
             parallel_portfolio: false,
             exact: ExactPolicy {
-                max_jobs: 16,
-                max_classes: 16,
+                max_jobs: 32,
+                max_classes: 32,
                 max_nodes: u64::MAX,
             },
             ..EngineConfig::default()

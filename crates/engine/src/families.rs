@@ -55,6 +55,15 @@ pub const FAMILIES: &[FamilySpec] = &[
         about: "classes led by jobs > (3/4)T (Algorithm_3/2 general case)",
         generate: |seed, m| msrs_gen::huge_heavy(seed, m, m, 2 * m, 96),
     },
+    FamilySpec {
+        name: "traffic",
+        about: "duplicate-heavy repeated traffic (90% canonical duplicates, relabelled)",
+        // Seeds are quantized in buckets of 10: a corpus of consecutive
+        // seeds is 90% canonical duplicates that only canonicalization can
+        // detect (class ids and job order are shuffled per seed) —
+        // exercises the result cache and intra-batch dedup.
+        generate: |seed, m| msrs_gen::traffic(seed, m, 10),
+    },
 ];
 
 /// Looks a family up by name.

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod families;
 pub mod json;
@@ -64,7 +65,8 @@ pub mod portfolio;
 pub mod profile;
 pub mod report;
 
-pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy};
+pub use cache::{CacheKey, CacheStats, ReportCache};
+pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};
 pub use families::{family, family_names, FamilySpec};
 pub use portfolio::{plan, Portfolio, SolverKind};
 pub use profile::{classify, InstanceProfile, SizeTier};

@@ -104,6 +104,11 @@ pub struct SolveReport {
     /// Whether optimality was proven: the exact member completed, or the
     /// selected makespan met the lower bound (`T ≤ OPT ≤ makespan = T`).
     pub proven_optimal: bool,
+    /// Whether this report was served from the engine's canonical-form
+    /// result cache (or an intra-batch dedup fan-out) instead of a fresh
+    /// solve. Cached reports are bit-identical to freshly solved ones
+    /// except this flag and the `wall_micros` timings.
+    pub cache_hit: bool,
     /// Total wall time for this instance in microseconds.
     pub wall_micros: u64,
     /// One entry per planned portfolio member, in canonical order.
@@ -144,6 +149,7 @@ impl SolveReport {
             Json::Str(self.certified_by.name().into()),
         ));
         obj.push(("proven_optimal".into(), Json::Bool(self.proven_optimal)));
+        obj.push(("cache_hit".into(), Json::Bool(self.cache_hit)));
         obj.push(("wall_micros".into(), Json::Num(self.wall_micros as i128)));
         let runs = self
             .runs
@@ -173,7 +179,7 @@ impl SolveReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}: makespan {} (T = {}, ratio {:.3}, certified ≤ {} by {}{}) in {} µs",
+            "{}: makespan {} (T = {}, ratio {:.3}, certified ≤ {} by {}{}{}) in {} µs",
             self.id.as_deref().unwrap_or("instance"),
             self.makespan,
             self.lower_bound,
@@ -181,6 +187,7 @@ impl SolveReport {
             self.certified_horizon,
             self.certified_by,
             if self.proven_optimal { ", optimal" } else { "" },
+            if self.cache_hit { ", cached" } else { "" },
             self.wall_micros,
         )
     }
@@ -203,6 +210,7 @@ mod tests {
             certified_horizon: 15,
             certified_by: SolverKind::ThreeHalves,
             proven_optimal: false,
+            cache_hit: false,
             wall_micros: 42,
             runs: vec![SolverRun {
                 solver: SolverKind::ThreeHalves,

@@ -90,21 +90,18 @@ proptest! {
 
 #[test]
 fn portfolio_deadline_is_respected_with_timed_out_member() {
-    // Nine 4s + two 3s in singleton classes on two machines: lower bound 21
-    // but OPT = 22, so the unbounded exact proof needs seconds; the 50 ms
-    // deadline must cut it off cooperatively.
-    let mut classes: Vec<Vec<Time>> = vec![vec![4]; 9];
-    classes.push(vec![3]);
-    classes.push(vec![3]);
-    let inst = Instance::from_classes(2, &classes).unwrap();
+    // Parity-gap partition (see msrs_gen::parity_gap_partition): OPT = T+1
+    // and the unbounded exact proof needs minutes; the 50 ms deadline must
+    // cut it off cooperatively.
+    let inst = msrs_gen::parity_gap_partition(21);
     let deadline = Duration::from_millis(50);
     for threads in [1usize, 4] {
         let engine = Engine::new(EngineConfig {
             threads,
             deadline: Some(deadline),
             exact: ExactPolicy {
-                max_jobs: 16,
-                max_classes: 16,
+                max_jobs: 32,
+                max_classes: 32,
                 max_nodes: u64::MAX,
             },
             ..EngineConfig::default()

@@ -15,21 +15,39 @@
 //! size per chosen class, and also the "start nothing, wait" branch — which
 //! exactly enumerates all semi-active schedules.
 //!
-//! ## Bounding and parallelism
+//! ## Bounding, symmetry, and parallelism
 //!
 //! Nodes are pruned against the incumbent via two lower bounds (area bound
-//! over remaining + running load; per-class serialization bound). The
+//! over remaining + running load; per-class serialization bound) and a
+//! class-symmetry dominance rule: two idle classes with identical remaining
+//! size multisets are interchangeable, so only the lowest-labelled one is
+//! branched on ([`BoundConfig::symmetry`]; E9 ablates all three). The
 //! incumbent is seeded with the best of `Algorithm_3/2`, `Algorithm_5/3` and
-//! the baselines, stored in an atomic (guide: *Rust Atomics and Locks*) and
-//! shared across rayon-parallelized root branches.
+//! the baselines — or a caller-provided schedule via [`solve_warm`] — stored
+//! in an atomic (guide: *Rust Atomics and Locks*) and shared across
+//! rayon-parallelized root branches.
+//!
+//! ## The allocation-free hot loop
+//!
+//! The search mutates a single `Node` per task and *undoes* each branch on
+//! backtrack instead of cloning child nodes; candidate lists live in
+//! per-depth scratch buffers that are reused across siblings. After warmup
+//! the node loop performs no heap allocation. Node accounting against the
+//! shared budget is batched: each task *reserves* up to
+//! [`CHECK_MASK`]` + 1` node slots from the shared `AtomicU64` at a time,
+//! spends them locally, and returns unused slots on exit — one atomic RMW
+//! and one [`CancelToken`] poll per `CHECK_MASK + 1` nodes instead of
+//! per-node traffic, with the final counter still equal to the exact number
+//! of explored nodes.
 //!
 //! ## Cancellation
 //!
-//! [`solve`] / [`solve_configured`] accept a [`CancelToken`]; the node loop
-//! polls it every [`CHECK_MASK`]` + 1` nodes and unwinds cooperatively, so a
-//! wall-clock deadline bounds the search's runtime (status
-//! [`SolveOutcome::Cancelled`]) instead of letting a large node budget blow
-//! past it. [`optimal`] keeps the budget-only interface.
+//! [`solve`] / [`solve_configured`] accept a [`CancelToken`]; tasks poll it
+//! when replenishing their node reservation (every at most
+//! [`CHECK_MASK`]` + 1` nodes) and unwind cooperatively, so a wall-clock
+//! deadline bounds the search's runtime (status [`SolveOutcome::Cancelled`])
+//! instead of letting a large node budget blow past it. [`optimal`] keeps
+//! the budget-only interface.
 //!
 //! ## Determinism
 //!
@@ -88,15 +106,22 @@ pub enum SolveOutcome {
     },
 }
 
-/// Which lower bounds prune the search — ablation knob for the E9
-/// experiment (both enabled by default; disabling one shows how much work
-/// that bound saves).
+/// Which pruning devices cut the search — ablation knob for the E9
+/// experiment (all enabled by default; disabling one shows how much work
+/// that device saves).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundConfig {
     /// The area bound `t + ⌈(remaining + running residual)/m⌉`.
     pub area: bool,
     /// The per-class serialization bound `class_end + class_remaining`.
     pub class_serialization: bool,
+    /// Class-symmetry dominance: at any node, two idle classes with
+    /// identical remaining size multisets are interchangeable (swapping
+    /// their labels is a state isomorphism), so candidates of the
+    /// higher-labelled class are skipped. Sound for the proven makespan;
+    /// collapses the factorial blowup of instances with many identical
+    /// classes.
+    pub symmetry: bool,
 }
 
 impl Default for BoundConfig {
@@ -104,6 +129,7 @@ impl Default for BoundConfig {
         BoundConfig {
             area: true,
             class_serialization: true,
+            symmetry: true,
         }
     }
 }
@@ -139,13 +165,15 @@ type Pending = (Time, usize);
 struct Node {
     /// Current event time.
     t: Time,
-    /// Running jobs: `(class, end, machine)`, unordered.
+    /// Running jobs: `(class, end, machine)`, unordered (every consumer is
+    /// order-insensitive, which is what lets undo re-push entries freely).
     running: Vec<(ClassId, Time, MachineId)>,
     /// Remaining jobs per class (sorted descending by size).
     remaining: Vec<Vec<Pending>>,
     /// Total remaining load.
     remaining_load: Time,
-    /// Idle machines (ascending ids).
+    /// Idle machines, sorted *descending* so the smallest id is an O(1)
+    /// `pop()` in the hot loop.
     idle: Vec<MachineId>,
     /// Partial assignment (original job ids).
     partial: Vec<Option<Assignment>>,
@@ -153,6 +181,24 @@ struct Node {
     /// may start (start-sets at one time are enumerated in class order, so no
     /// set is explored twice).
     min_class: ClassId,
+}
+
+/// Everything needed to reverse one [`Node::apply_start`].
+struct StartUndo {
+    c: ClassId,
+    i: usize,
+    p: Time,
+    job: usize,
+    machine: MachineId,
+    old_min_class: ClassId,
+}
+
+/// Everything needed to reverse one [`Node::apply_advance`]; the suspended
+/// running entries themselves live on the shared `resumed` scratch stack.
+struct AdvanceUndo {
+    old_t: Time,
+    old_min_class: ClassId,
+    completed: usize,
 }
 
 impl Node {
@@ -206,38 +252,135 @@ impl Node {
         lb
     }
 
-    /// Advance to the next completion event. Returns `false` if no job is
+    fn class_running(&self, c: ClassId) -> bool {
+        self.running.iter().any(|&(rc, _, _)| rc == c)
+    }
+
+    /// Starts candidate `(c, i)` now: consumes the smallest idle machine and
+    /// the `i`-th remaining job of class `c`. Reversed by [`Node::undo_start`].
+    fn apply_start(&mut self, c: ClassId, i: usize) -> StartUndo {
+        let machine = self.idle.pop().expect("caller checked an idle machine");
+        let (p, job) = self.remaining[c].remove(i);
+        self.remaining_load -= p;
+        self.partial[job] = Some(Assignment {
+            machine,
+            start: self.t,
+        });
+        self.running.push((c, self.t + p, machine));
+        let old_min_class = self.min_class;
+        self.min_class = c + 1;
+        StartUndo {
+            c,
+            i,
+            p,
+            job,
+            machine,
+            old_min_class,
+        }
+    }
+
+    fn undo_start(&mut self, u: StartUndo) {
+        self.min_class = u.old_min_class;
+        // The entry may no longer be last: a child's advance/undo cycle
+        // restores `running` as a multiset, not in order. The machine id
+        // identifies it uniquely (one running job per machine).
+        let pos = self
+            .running
+            .iter()
+            .position(|&(_, _, m)| m == u.machine)
+            .expect("started job is still running at undo");
+        self.running.swap_remove(pos);
+        self.partial[u.job] = None;
+        self.remaining_load += u.p;
+        self.remaining[u.c].insert(u.i, (u.p, u.job));
+        self.idle.push(u.machine);
+    }
+
+    /// Advances to the next completion event, parking the completed running
+    /// entries on `resumed` for the undo. Returns `None` if no job is
     /// running (a dead end when work remains).
-    fn advance(&mut self) -> bool {
-        let Some(next) = self.running.iter().map(|&(_, e, _)| e).min() else {
-            return false;
-        };
+    fn apply_advance(
+        &mut self,
+        resumed: &mut Vec<(ClassId, Time, MachineId)>,
+    ) -> Option<AdvanceUndo> {
+        let next = self.running.iter().map(|&(_, e, _)| e).min()?;
+        let old_t = self.t;
         self.t = next;
+        let mut completed = 0usize;
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].1 <= next {
-                let (_, _, machine) = self.running.swap_remove(i);
-                self.idle.push(machine);
+                let entry = self.running.swap_remove(i);
+                self.idle.push(entry.2);
+                resumed.push(entry);
+                completed += 1;
             } else {
                 i += 1;
             }
         }
-        self.idle.sort_unstable();
+        // Descending, so the smallest idle machine stays an O(1) pop.
+        self.idle.sort_unstable_by(|a, b| b.cmp(a));
+        let old_min_class = self.min_class;
         self.min_class = 0;
-        true
+        Some(AdvanceUndo {
+            old_t,
+            old_min_class,
+            completed,
+        })
+    }
+
+    fn undo_advance(&mut self, u: AdvanceUndo, resumed: &mut Vec<(ClassId, Time, MachineId)>) {
+        self.min_class = u.old_min_class;
+        self.t = u.old_t;
+        for _ in 0..u.completed {
+            let entry = resumed.pop().expect("undo stack balanced");
+            let pos = self
+                .idle
+                .iter()
+                .position(|&m| m == entry.2)
+                .expect("machine was idled by the advance");
+            // Removing the re-busied machines from the sorted union restores
+            // the previous (still sorted) idle list.
+            self.idle.remove(pos);
+            self.running.push(entry);
+        }
     }
 }
 
-/// Candidate starts at the current event: one (class, index-of-distinct-size)
-/// choice per class.
-fn candidate_starts(node: &Node, best: Time) -> Vec<(ClassId, usize)> {
-    let mut out = Vec::new();
-    for (c, jobs) in node.remaining.iter().enumerate().skip(node.min_class) {
+/// Candidate starts at the current event, written into the caller's scratch
+/// buffer: one (class, index-of-distinct-size) choice per class, skipping
+/// classes dominated by an identical lower-labelled idle class when
+/// `cfg.symmetry` is on.
+fn candidate_starts_into(
+    node: &Node,
+    best: Time,
+    cfg: BoundConfig,
+    out: &mut Vec<(ClassId, usize)>,
+) {
+    out.clear();
+    'classes: for (c, jobs) in node.remaining.iter().enumerate().skip(node.min_class) {
         if jobs.is_empty() {
             continue;
         }
-        if node.running.iter().any(|&(rc, _, _)| rc == c) {
+        if node.class_running(c) {
             continue; // class busy
+        }
+        if cfg.symmetry {
+            // Dominance: an idle class c' < c with the identical remaining
+            // multiset makes every c-branch isomorphic (swap the labels of
+            // c and c') to a branch already enumerated for c'.
+            for (c2, jobs2) in node.remaining.iter().enumerate().take(c) {
+                if jobs2.len() == jobs.len()
+                    && !jobs2.is_empty()
+                    && jobs2
+                        .iter()
+                        .map(|&(p, _)| p)
+                        .eq(jobs.iter().map(|&(p, _)| p))
+                    && !node.class_running(c2)
+                {
+                    continue 'classes;
+                }
+            }
         }
         let mut last_size = None;
         for (i, &(p, _)) in jobs.iter().enumerate() {
@@ -250,72 +393,147 @@ fn candidate_starts(node: &Node, best: Time) -> Vec<(ClassId, usize)> {
             }
         }
     }
-    out
 }
 
-fn dfs(sh: &Shared<'_>, node: &Node) {
-    if sh.overflowed.load(Ordering::Relaxed) || sh.cancelled.load(Ordering::Relaxed) {
-        return;
-    }
-    let n = sh.nodes.fetch_add(1, Ordering::Relaxed);
-    if n >= sh.max_nodes {
-        sh.overflowed.store(true, Ordering::Relaxed);
-        return;
-    }
-    // Cooperative deadline check, throttled so the monotonic-clock read
-    // costs nothing against the per-node work.
-    if n & CHECK_MASK == 0 {
-        if let Some(token) = sh.cancel {
-            if token.is_cancelled() {
-                sh.cancelled.store(true, Ordering::Relaxed);
-                return;
-            }
+/// One root-branch task: a mutable [`Node`] with undo stacks, per-depth
+/// candidate scratch buffers, and a locally batched slice of the shared
+/// node budget.
+struct Search<'a, 'b> {
+    sh: &'b Shared<'a>,
+    node: Node,
+    /// Per-depth candidate buffers, reused across sibling subtrees.
+    cands: Vec<Vec<(ClassId, usize)>>,
+    /// Scratch stack of running entries suspended by in-flight advances.
+    resumed: Vec<(ClassId, Time, MachineId)>,
+    /// Node slots reserved from `sh.nodes` but not yet spent.
+    reserved: u64,
+    /// Terminal flag (budget exhausted or cancelled) — unwinds the task.
+    stop: bool,
+}
+
+impl<'a, 'b> Search<'a, 'b> {
+    fn new(sh: &'b Shared<'a>, node: Node) -> Self {
+        Search {
+            sh,
+            node,
+            cands: Vec::new(),
+            resumed: Vec::new(),
+            reserved: 0,
+            stop: false,
         }
     }
-    let best = sh.best.load(Ordering::Relaxed);
-    if node.bound(sh.m, sh.bounds) >= best {
-        return;
+
+    /// Spends one node slot, replenishing the local reservation from the
+    /// shared counter (and polling cancellation) every `CHECK_MASK + 1`
+    /// nodes at most. Returns `false` when the task must unwind.
+    fn take_node(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        if self.reserved == 0 && !self.replenish() {
+            self.stop = true;
+            return false;
+        }
+        self.reserved -= 1;
+        true
     }
-    if node.is_done() {
-        let cmax = node.makespan_now();
-        if cmax < sh.best.fetch_min(cmax, Ordering::Relaxed) {
-            let assignments: Vec<Assignment> = node
+
+    /// Reserves up to `CHECK_MASK + 1` node slots. The one place the task
+    /// touches shared state: one atomic RMW plus one cancellation poll per
+    /// batch.
+    fn replenish(&mut self) -> bool {
+        if self.sh.overflowed.load(Ordering::Relaxed) || self.sh.cancelled.load(Ordering::Relaxed) {
+            return false;
+        }
+        if let Some(token) = self.sh.cancel {
+            if token.is_cancelled() {
+                self.sh.cancelled.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let chunk = CHECK_MASK + 1;
+        let base = self.sh.nodes.fetch_add(chunk, Ordering::Relaxed);
+        if base >= self.sh.max_nodes {
+            self.sh.nodes.fetch_sub(chunk, Ordering::Relaxed);
+            self.sh.overflowed.store(true, Ordering::Relaxed);
+            return false;
+        }
+        let usable = chunk.min(self.sh.max_nodes - base);
+        if usable < chunk {
+            // Give back the slice beyond the budget so the counter stays an
+            // exact explored-node count.
+            self.sh.nodes.fetch_sub(chunk - usable, Ordering::Relaxed);
+        }
+        self.reserved = usable;
+        true
+    }
+
+    /// Returns unspent reservation to the shared counter (task exit).
+    fn finish(&mut self) {
+        if self.reserved > 0 {
+            self.sh.nodes.fetch_sub(self.reserved, Ordering::Relaxed);
+            self.reserved = 0;
+        }
+    }
+
+    fn record_incumbent(&self) {
+        let cmax = self.node.makespan_now();
+        if cmax < self.sh.best.fetch_min(cmax, Ordering::Relaxed) {
+            let assignments: Vec<Assignment> = self
+                .node
                 .partial
                 .iter()
                 .map(|a| a.expect("done node has all jobs placed"))
                 .collect();
-            let mut guard = sh.best_schedule.lock();
+            let mut guard = self.sh.best_schedule.lock();
             // Re-check under the lock (another thread may have won the race).
-            if cmax <= sh.best.load(Ordering::Relaxed) {
+            if cmax <= self.sh.best.load(Ordering::Relaxed) {
                 *guard = Schedule::new(assignments);
             }
         }
-        return;
     }
 
-    let cands = candidate_starts(node, best);
-    // Branch 1..k: start one candidate now (the recursion re-enters this
-    // function at the same time t with the machine consumed, which composes
-    // to all subsets of candidates).
-    if !node.idle.is_empty() {
-        for &(c, i) in &cands {
-            let mut child = node.clone();
-            let machine = child.idle.remove(0);
-            let (p, job) = child.remaining[c].remove(i);
-            child.remaining_load -= p;
-            child.partial[job] = Some(Assignment {
-                machine,
-                start: child.t,
-            });
-            child.running.push((c, child.t + p, machine));
-            child.min_class = c + 1;
-            dfs(sh, &child);
+    fn dfs(&mut self, depth: usize) {
+        if !self.take_node() {
+            return;
         }
-    }
-    // Branch 0: start nothing (more) at this event; wait for next completion.
-    let mut child = node.clone();
-    if child.advance() {
-        dfs(sh, &child);
+        let best = self.sh.best.load(Ordering::Relaxed);
+        if self.node.bound(self.sh.m, self.sh.bounds) >= best {
+            return;
+        }
+        if self.node.is_done() {
+            self.record_incumbent();
+            return;
+        }
+
+        if self.cands.len() <= depth {
+            self.cands.push(Vec::new());
+        }
+        let mut cands = std::mem::take(&mut self.cands[depth]);
+        candidate_starts_into(&self.node, best, self.sh.bounds, &mut cands);
+        // Branch 1..k: start one candidate now (the recursion re-enters this
+        // function at the same time t with the machine consumed, which
+        // composes to all subsets of candidates).
+        if !self.node.idle.is_empty() {
+            for &(c, i) in &cands {
+                let undo = self.node.apply_start(c, i);
+                self.dfs(depth + 1);
+                self.node.undo_start(undo);
+                if self.stop {
+                    break;
+                }
+            }
+        }
+        // Branch 0: start nothing (more) at this event; wait for the next
+        // completion.
+        if !self.stop {
+            if let Some(undo) = self.node.apply_advance(&mut self.resumed) {
+                self.dfs(depth + 1);
+                self.node.undo_advance(undo, &mut self.resumed);
+            }
+        }
+        // Return the candidate buffer for reuse by the next sibling.
+        self.cands[depth] = cands;
     }
 }
 
@@ -371,6 +589,53 @@ pub fn solve_configured(
     bounds: BoundConfig,
     cancel: Option<&CancelToken>,
 ) -> SolveOutcome {
+    let incumbent = if inst.num_jobs() == 0 {
+        (0, Schedule::new(vec![]))
+    } else {
+        initial_incumbent(inst)
+    };
+    solve_seeded(inst, limits, bounds, cancel, incumbent)
+}
+
+/// Warm-started exact solve: seeds the branch-and-bound incumbent from a
+/// caller-provided schedule (e.g. the best heuristic schedule of a solver
+/// portfolio, or a previous solve of a perturbed instance) instead of
+/// recomputing the built-in heuristic incumbents. The tighter the seed, the
+/// more of the tree the incumbent prunes — and when the seed already meets
+/// the instance lower bound the search returns immediately with 0 nodes.
+///
+/// `incumbent` must be a valid schedule for `inst` (checked via
+/// `debug_assert`; an invalid incumbent would make the "optimal" result
+/// unsound).
+pub fn solve_warm(
+    inst: &Instance,
+    limits: SolveLimits,
+    cancel: Option<&CancelToken>,
+    incumbent: &Schedule,
+) -> SolveOutcome {
+    solve_warm_configured(inst, limits, BoundConfig::default(), cancel, incumbent)
+}
+
+/// As [`solve_warm`], with explicit pruning-bound configuration.
+pub fn solve_warm_configured(
+    inst: &Instance,
+    limits: SolveLimits,
+    bounds: BoundConfig,
+    cancel: Option<&CancelToken>,
+    incumbent: &Schedule,
+) -> SolveOutcome {
+    debug_assert_eq!(validate(inst, incumbent), Ok(()));
+    let ub = incumbent.makespan(inst);
+    solve_seeded(inst, limits, bounds, cancel, (ub, incumbent.clone()))
+}
+
+fn solve_seeded(
+    inst: &Instance,
+    limits: SolveLimits,
+    bounds: BoundConfig,
+    cancel: Option<&CancelToken>,
+    (ub, ub_schedule): (Time, Schedule),
+) -> SolveOutcome {
     if inst.num_jobs() == 0 {
         return SolveOutcome::Optimal(ExactResult {
             makespan: 0,
@@ -378,7 +643,6 @@ pub fn solve_configured(
             nodes: 0,
         });
     }
-    let (ub, ub_schedule) = initial_incumbent(inst);
     let lb = lower_bound(inst);
     if ub == lb {
         return SolveOutcome::Optimal(ExactResult {
@@ -412,7 +676,7 @@ pub fn solve_configured(
         running: Vec::new(),
         remaining,
         remaining_load,
-        idle: (0..m).collect(),
+        idle: (0..m).rev().collect(),
         partial,
         min_class: 0,
     };
@@ -431,16 +695,13 @@ pub fn solve_configured(
 
     // Parallelize the root branching (each first job choice in its own task).
     let best_now = sh.best.load(Ordering::Relaxed);
-    let cands = candidate_starts(&root, best_now);
+    let mut cands = Vec::new();
+    candidate_starts_into(&root, best_now, bounds, &mut cands);
     cands.par_iter().for_each(|&(c, i)| {
-        let mut child = root.clone();
-        let machine = child.idle.remove(0);
-        let (p, job) = child.remaining[c].remove(i);
-        child.remaining_load -= p;
-        child.partial[job] = Some(Assignment { machine, start: 0 });
-        child.running.push((c, p, machine));
-        child.min_class = c + 1;
-        dfs(&sh, &child);
+        let mut search = Search::new(&sh, root.clone());
+        search.node.apply_start(c, i);
+        search.dfs(0);
+        search.finish();
     });
 
     let nodes = sh.nodes.load(Ordering::Relaxed);
@@ -583,17 +844,18 @@ mod tests {
         assert!(optimal(&inst, SolveLimits { max_nodes: 3 }).is_none());
     }
 
+    /// Parity-gap partition (see [`msrs_gen::parity_gap_partition`]):
+    /// OPT = T + 1 with a beyond-10⁸-node proof — minutes of work even for
+    /// the allocation-free loop, and the all-distinct sizes give symmetry
+    /// dominance no purchase.
+    fn hard_distinct_instance() -> Instance {
+        msrs_gen::parity_gap_partition(21)
+    }
+
     #[test]
     fn cancellation_stops_a_long_search_quickly() {
         use std::time::{Duration, Instant};
-        // Nine 4s and two 3s in singleton classes on two machines:
-        // T = ⌈42/2⌉ = 21, but no subset sums to 21 (4a + 3b = 21 has no
-        // solution with b ≤ 2), so OPT = 22 and the search must exhaust an
-        // 11-job tree to prove it — far more than a few milliseconds.
-        let mut classes: Vec<Vec<Time>> = vec![vec![4]; 9];
-        classes.push(vec![3]);
-        classes.push(vec![3]);
-        let inst = Instance::from_classes(2, &classes).unwrap();
+        let inst = hard_distinct_instance();
         let token = CancelToken::after(Duration::from_millis(25));
         let started = Instant::now();
         let out = solve(
@@ -644,6 +906,101 @@ mod tests {
         // m=2; class {5,5} + class {5} + class {5}: area 10, per-class 10…
         // OPT: class0 serial [0,10) on m0; others on m1 [0,5),[5,10) → 10.
         assert_eq!(opt(2, &[vec![5, 5], vec![5], vec![5]]), 10);
+    }
+
+    #[test]
+    fn symmetry_dominance_preserves_the_optimum() {
+        // Families with many identical classes: the symmetric and
+        // non-symmetric searches must prove the same makespan, with the
+        // symmetric one exploring no more nodes.
+        let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
+            (2, vec![vec![4]; 7]),
+            (2, vec![vec![3, 1]; 4]),
+            (3, vec![vec![5], vec![5], vec![5], vec![2, 2], vec![2, 2]]),
+            (2, vec![vec![4], vec![4], vec![4], vec![3], vec![3]]),
+        ];
+        for (m, classes) in shapes {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            let limits = SolveLimits {
+                max_nodes: 50_000_000,
+            };
+            let with = optimal_configured(&inst, limits, BoundConfig::default()).expect("budget");
+            let without = optimal_configured(
+                &inst,
+                limits,
+                BoundConfig {
+                    symmetry: false,
+                    ..BoundConfig::default()
+                },
+            )
+            .expect("budget");
+            assert_eq!(with.makespan, without.makespan, "m={m}");
+            assert_eq!(validate(&inst, &with.schedule), Ok(()));
+            assert!(
+                with.nodes <= without.nodes,
+                "symmetry dominance explored more nodes ({} > {})",
+                with.nodes,
+                without.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_with_optimal_incumbent_proves_in_zero_or_few_nodes() {
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        let cold = optimal(&inst, SolveLimits::default()).expect("budget");
+        // Re-solve warm from the proven-optimal schedule: the incumbent
+        // equals OPT, so the search only needs to certify (no improvement
+        // possible ⇒ strictly fewer nodes than the cold run).
+        let warm = match solve_warm(&inst, SolveLimits::default(), None, &cold.schedule) {
+            SolveOutcome::Optimal(res) => res,
+            other => panic!("expected optimal, got {other:?}"),
+        };
+        assert_eq!(warm.makespan, cold.makespan);
+        assert_eq!(validate(&inst, &warm.schedule), Ok(()));
+        assert!(
+            warm.nodes <= cold.nodes,
+            "warm start explored more nodes ({} > {})",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn warm_start_from_a_heuristic_schedule_matches_cold_makespan() {
+        for seed in 0..4u64 {
+            let inst = msrs_gen::uniform(seed, 2, 7, 4, 1, 9);
+            let heuristic = msrs_approx::three_halves(&inst).schedule;
+            let warm = match solve_warm(&inst, SolveLimits::default(), None, &heuristic) {
+                SolveOutcome::Optimal(res) => res,
+                other => panic!("expected optimal, got {other:?}"),
+            };
+            let cold = optimal(&inst, SolveLimits::default()).expect("budget");
+            assert_eq!(warm.makespan, cold.makespan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn node_counter_is_exact_after_batched_accounting() {
+        // The batched reservation must not leak: two identical 1-thread
+        // runs report identical node counts, and a completed search's
+        // count is the number of explored nodes (not a multiple of the
+        // reservation chunk).
+        let inst =
+            Instance::from_classes(2, &[vec![4], vec![4], vec![4], vec![3], vec![3]]).unwrap();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        let a = one
+            .install(|| optimal(&inst, SolveLimits::default()))
+            .expect("budget");
+        let b = one
+            .install(|| optimal(&inst, SolveLimits::default()))
+            .expect("budget");
+        assert_eq!(a.nodes, b.nodes);
+        assert!(a.nodes > 0);
     }
 
     #[test]

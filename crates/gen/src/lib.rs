@@ -17,6 +17,10 @@
 //!   thresholds of the 5/3- and 3/2-algorithms' case analysis.
 //! * [`huge_heavy`] — many classes containing a job `> (3/4)·T` to exercise
 //!   the `Algorithm_3/2` general-case steps.
+//! * [`traffic`] — duplicate-heavy repeated traffic: seeds quantized into
+//!   buckets of identical canonical instances, relabelled per seed, for
+//!   exercising the engine's canonical-form result cache and intra-batch
+//!   dedup.
 //! * [`SmallInstances`] — an exhaustive enumerator of tiny instances for
 //!   comparisons against the exact solver.
 //!
@@ -187,6 +191,45 @@ pub fn huge_heavy(seed: u64, m: usize, h: usize, k: usize, t0: Time) -> Instance
         classes.push((0..jobs).map(|_| r.random_range(1..=t0 / 4)).collect());
     }
     Instance::from_classes(m, &classes).expect("valid generator parameters")
+}
+
+/// Duplicate-heavy "traffic" family: models heavy repeated production
+/// traffic, where the same workload shapes arrive over and over with
+/// meaningless identifier churn. Seeds are quantized into buckets of
+/// `dup_factor` — every seed in a bucket describes the *same canonical
+/// instance* — and the raw instance is then relabelled per seed (class ids
+/// permuted, job order shuffled), so duplicates are only detectable by
+/// canonicalization, never by raw equality. A corpus of `n` consecutive
+/// seeds therefore contains exactly `⌈n / dup_factor⌉` distinct canonical
+/// forms (a `dup_factor = 10` corpus is 90% duplicates).
+pub fn traffic(seed: u64, m: usize, dup_factor: u64) -> Instance {
+    assert!(dup_factor >= 1 && m >= 1);
+    let base_seed = seed - seed % dup_factor;
+    let base = uniform(base_seed, m, 40 * m, 6 * m, 1, 100);
+    let mut r = rng(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    // Permute class labels and job order; the canonical form is invariant.
+    let mut class_perm: Vec<usize> = (0..base.num_classes()).collect();
+    class_perm.shuffle(&mut r);
+    let mut job_order: Vec<usize> = (0..base.num_jobs()).collect();
+    job_order.shuffle(&mut r);
+    let jobs: Vec<Job> = job_order
+        .iter()
+        .map(|&j| Job::new(base.size(j), class_perm[base.class_of(j)]))
+        .collect();
+    Instance::new(m, jobs).expect("relabelling preserves validity")
+}
+
+/// Parity-gap partition: `items` distinct even sizes `2·(101+i)` in
+/// singleton classes on two machines. Subset sums are dense near `S/2`,
+/// and whenever `S/2` is odd (e.g. `items = 21`, the canonical hard size)
+/// no perfect split exists, so `OPT = T + 1` and an exact proof must sweep
+/// every near-balanced prefix — with all-distinct sizes giving the
+/// branch-and-bound's class-symmetry dominance no purchase. The
+/// workspace's standard "hard for the exact solver" instance (cancellation
+/// and deadline tests, the `BENCH_3.json` node-throughput workload).
+pub fn parity_gap_partition(items: usize) -> Instance {
+    let classes: Vec<Vec<Time>> = (0..items).map(|i| vec![2 * (101 + i as Time)]).collect();
+    Instance::from_classes(2, &classes).expect("valid construction")
 }
 
 /// Returns the same instance with every processing time multiplied by `k`
@@ -439,5 +482,20 @@ mod tests {
         // Regression pin: enumeration size for a fixed parameter box.
         let n = SmallInstances::new(2, 3, 2, 2).count();
         assert!(n > 10, "canonical enumeration unexpectedly small: {n}");
+    }
+
+    #[test]
+    fn traffic_buckets_share_a_canonical_form_but_not_raw_form() {
+        let forms: Vec<_> = (0..20u64)
+            .map(|seed| traffic(seed, 4, 10).canonical_form().fingerprint())
+            .collect();
+        // Seeds 0..10 share one canonical form, 10..20 another.
+        assert!(forms[..10].iter().all(|&f| f == forms[0]));
+        assert!(forms[10..].iter().all(|&f| f == forms[10]));
+        assert_ne!(forms[0], forms[10]);
+        // Raw instances inside a bucket differ (relabelled per seed).
+        assert_ne!(traffic(0, 4, 10), traffic(1, 4, 10));
+        // Deterministic per seed.
+        assert_eq!(traffic(3, 4, 10), traffic(3, 4, 10));
     }
 }
