@@ -2,6 +2,7 @@
 //! All quality claims are *asserted*, so running the harness doubles as an
 //! end-to-end soundness check of the whole workspace.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -58,7 +59,7 @@ pub fn e1_ratio_families(scale: Scale) -> Table {
         for (name, algo) in algos() {
             let ratios: Vec<f64> = configs
                 .par_iter()
-                .map(|&(seed, m)| {
+                .map(move |(seed, m)| {
                     let inst = gen(seed, m);
                     let r = algo(&inst);
                     let ratio = checked_ratio(&inst, &r);
@@ -110,10 +111,14 @@ pub fn e2_ratio_vs_m(scale: Scale) -> Table {
             insts.push(msrs_gen::uniform(seed, m, 30 * m, 4 * m, 1, 60));
             insts.push(msrs_gen::zipf_classes(seed, m, 30 * m, 4 * m, 1, 60));
         }
+        // Index fan-out over an Arc'd corpus: pool tasks are 'static, and
+        // sharing beats cloning every instance once per algorithm.
+        let insts = Arc::new(insts);
         let worst = |algo: fn(&Instance) -> ApproxResult| -> f64 {
-            insts
-                .par_iter()
-                .map(|inst| checked_ratio(inst, &algo(inst)))
+            let insts = Arc::clone(&insts);
+            (0..insts.len())
+                .into_par_iter()
+                .map(move |i| checked_ratio(&insts[i], &algo(&insts[i])))
                 .fold(0.0, f64::max)
         };
         let guarantee = 2.0 * m as f64 / (m as f64 + 1.0);
@@ -174,36 +179,41 @@ pub fn e4_exact_smallscale(scale: Scale) -> Table {
         &["algo", "worst", "mean", "optimal%", "instances"],
     );
     let corpus = exact_corpus(scale.exact_cap);
-    let opts: Vec<(Instance, u64)> = corpus
-        .into_par_iter()
-        .filter_map(|inst| {
-            optimal(
-                &inst,
-                SolveLimits {
-                    max_nodes: 3_000_000,
-                },
-            )
-            .map(|r| (inst, r.makespan))
-        })
-        .collect();
+    let opts: Arc<Vec<(Instance, u64)>> = Arc::new(
+        corpus
+            .into_par_iter()
+            .filter_map(|inst| {
+                optimal(
+                    &inst,
+                    SolveLimits {
+                        max_nodes: 3_000_000,
+                    },
+                )
+                .map(|r| (inst, r.makespan))
+            })
+            .collect(),
+    );
     for (name, algo) in algos() {
-        let ratios: Vec<f64> = opts
-            .par_iter()
-            .map(|(inst, opt)| {
+        let shared = Arc::clone(&opts);
+        let ratios: Vec<f64> = (0..opts.len())
+            .into_par_iter()
+            .map(move |i| {
+                let (inst, opt) = &shared[i];
+                let (inst, opt) = (inst, *opt);
                 let r = algo(inst);
                 assert_eq!(validate(inst, &r.schedule), Ok(()));
                 let c = r.schedule.makespan(inst);
-                assert!(c >= *opt, "{name} beat the optimum?!");
+                assert!(c >= opt, "{name} beat the optimum?!");
                 if name.starts_with("5/3") {
-                    assert!(3 * c <= 5 * *opt, "5/3 vs OPT violated");
+                    assert!(3 * c <= 5 * opt, "5/3 vs OPT violated");
                 }
                 if name.starts_with("3/2") {
-                    assert!(2 * c <= 3 * *opt, "3/2 vs OPT violated");
+                    assert!(2 * c <= 3 * opt, "3/2 vs OPT violated");
                 }
-                if *opt == 0 {
+                if opt == 0 {
                     1.0
                 } else {
-                    c as f64 / *opt as f64
+                    c as f64 / opt as f64
                 }
             })
             .collect();
@@ -236,23 +246,28 @@ pub fn e5_ptas(_scale: Scale) -> Table {
             "intact%",
         ],
     );
-    let corpus: Vec<(Instance, u64)> = ptas_corpus()
-        .into_par_iter()
-        .map(|inst| {
-            let opt = optimal(&inst, SolveLimits::default())
-                .expect("small")
-                .makespan;
-            (inst, opt)
-        })
-        .collect();
+    let corpus: Arc<Vec<(Instance, u64)>> = Arc::new(
+        ptas_corpus()
+            .into_par_iter()
+            .map(|inst| {
+                let opt = optimal(&inst, SolveLimits::default())
+                    .expect("small")
+                    .makespan;
+                (inst, opt)
+            })
+            .collect(),
+    );
     for k in [2u64, 3, 4, 6] {
         for augmented in [false, true] {
-            // One EPTAS run per corpus entry, fanned out on the pool;
-            // per-instance results come back in corpus order, so the
-            // aggregation below is deterministic.
-            let runs: Vec<(f64, usize, usize, bool)> = corpus
-                .par_iter()
-                .map(|(inst, opt)| {
+            // One EPTAS run per corpus entry, fanned out on the pool (index
+            // fan-out over the Arc'd corpus); per-instance results come
+            // back in corpus order, so the aggregation below is
+            // deterministic.
+            let shared = Arc::clone(&corpus);
+            let runs: Vec<(f64, usize, usize, bool)> = (0..corpus.len())
+                .into_par_iter()
+                .map(move |i| {
+                    let (inst, opt) = &shared[i];
                     let cfg = EptasConfig {
                         eps_k: k,
                         node_budget: 2_000_000,
@@ -450,7 +465,7 @@ pub fn e8_reduction(scale: Scale) -> Table {
         // in seed order for deterministic aggregation.
         let per_seed: Vec<(usize, i64, usize, bool)> = (0..scale.seeds.max(4))
             .into_par_iter()
-            .map(|seed| {
+            .map(move |seed| {
                 let f = Monotone3Sat22::random(seed, nx);
                 let nc = f.num_clauses();
                 let text = Reduction::build(f.clone(), Fidelity::Text);

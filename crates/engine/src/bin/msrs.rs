@@ -3,23 +3,28 @@
 //! ```text
 //! msrs gen    --family uniform --count 100 --machines 4 --seed 1 --out corpus.jsonl
 //! msrs solve  --input instance.txt            # msrs-text or JSONL, `-` = stdin
-//! msrs batch  --input corpus.jsonl --threads 8 --out reports.jsonl
+//! msrs batch  --input corpus.jsonl --threads 8 --shard-size 4096 --out reports.jsonl
 //! msrs bench  --families uniform,zipf --count 20 --machines 4
-//! msrs bench  --baseline-out BENCH_3.json     # machine-readable perf baseline
+//! msrs bench  --baseline-out BENCH_4.json     # machine-readable perf baseline
+//! msrs bench  --compare BENCH_4.json --strict # diff a run against a baseline
 //! ```
 //!
 //! Instances travel as JSON lines (`{"id":…,"machines":…,"classes":[[…]]}`)
 //! or in the `msrs-instance v1` text format of `msrs_core::io`; reports come
-//! back as JSON lines. Flag parsing is hand-rolled so the binary stays
+//! back as JSON lines. `solve` and `batch` read their input incrementally —
+//! `batch` streams corpora through the sharded pipeline
+//! ([`msrs_engine::stream`]) in O(shard) memory, so corpus length is
+//! unbounded. Flag parsing is hand-rolled so the binary stays
 //! dependency-free.
 
-use std::io::Read;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use msrs_core::{io as text_io, validate};
 use msrs_engine::families::FAMILIES;
 use msrs_engine::json::Json;
+use msrs_engine::stream::{solve_stream, JsonlReader, DEFAULT_SHARD_SIZE};
 use msrs_engine::{
     family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
     DEFAULT_CACHE_CAPACITY,
@@ -63,8 +68,10 @@ SOLVE FLAGS:
     --schedule           Also print the schedule in msrs-text format
 
 BATCH FLAGS:
-    --input <PATH|->     JSONL corpus
+    --input <PATH|->     JSONL corpus (streamed incrementally — never loaded
+                         whole; memory stays O(shard))
     --out <PATH>         Report JSONL file (stdout if omitted)
+    --shard-size <N>     Requests per pipeline shard             [default: 4096]
     --quiet              Suppress the per-batch summary on stderr
 
 BENCH FLAGS:
@@ -73,9 +80,18 @@ BENCH FLAGS:
     --machines <M>       Machine count                           [default: 4]
     --seed <S>           Base seed                               [default: 1]
     --baseline-out <P>   Instead of the comparison table, run the perf
-                         baseline suite (cache on/off batch throughput at
-                         threads 1 and 4, exact-solver node throughput) and
-                         write it as machine-readable JSON (see BENCH_3.json)
+                         baseline suite (tiny-batch serving latency, cache
+                         on/off batch throughput at threads 1 and 4, the
+                         streamed shard pipeline, exact-solver node
+                         throughput) and write it as machine-readable JSON
+                         (see BENCH_4.json; suite --count default: 1000)
+    --reference <P>      With --baseline-out: embed the experiments of a
+                         previously written baseline file as `reference`
+    --compare <P>        Run the baseline suite and diff it against a
+                         committed baseline JSON, reporting per-experiment
+                         deltas and flagging regressions
+    --threshold <PCT>    Regression threshold for --compare      [default: 50]
+    --strict             With --compare: exit non-zero on any regression
 ";
 
 /// Engine flags shared by `solve`, `batch`, and `bench`.
@@ -98,13 +114,17 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match cmd {
         "gen" => &["--family", "--count", "--machines", "--seed", "--out"],
         "solve" => &["--input", "--json", "--schedule"],
-        "batch" => &["--input", "--out", "--quiet"],
+        "batch" => &["--input", "--out", "--quiet", "--shard-size"],
         "bench" => &[
             "--families",
             "--count",
             "--machines",
             "--seed",
             "--baseline-out",
+            "--reference",
+            "--compare",
+            "--threshold",
+            "--strict",
         ],
         _ => &[],
     };
@@ -150,6 +170,7 @@ impl Flags {
             "--json",
             "--schedule",
             "--quiet",
+            "--strict",
         ];
         let mut pairs = Vec::new();
         let mut i = 0;
@@ -228,17 +249,17 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
     Ok(Engine::new(cfg))
 }
 
-fn read_input(flags: &Flags) -> Result<String, String> {
+/// Opens `--input` as a buffered incremental reader (`-` = stdin). Neither
+/// `solve` nor `batch` ever materializes the input as one `String`; corpora
+/// stream line by line.
+fn open_input(flags: &Flags) -> Result<Box<dyn BufRead>, String> {
     match flags.get("--input") {
         None => Err("missing --input (use `-` for stdin)".into()),
-        Some("-") => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("reading stdin: {e}"))?;
-            Ok(buf)
+        Some("-") => Ok(Box::new(BufReader::new(std::io::stdin()))),
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Ok(Box::new(BufReader::new(file)))
         }
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
     }
 }
 
@@ -288,31 +309,64 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
     write_output(flags, &out)
 }
 
-/// Sniffs JSONL vs msrs-text and parses a single instance.
-fn parse_single_instance(text: &str) -> Result<SolveRequest, String> {
-    let first = text
-        .lines()
-        .map(str::trim)
-        .find(|l| !l.is_empty() && !l.starts_with('#'))
-        .ok_or("empty input")?;
-    if first.starts_with('{') {
-        let reqs = jsonl::read_corpus(text).map_err(|e| e.to_string())?;
-        match <[SolveRequest; 1]>::try_from(reqs) {
-            Ok([req]) => Ok(req),
-            Err(reqs) => Err(format!(
-                "`msrs solve` expects exactly one instance, found {} (use `msrs batch`)",
-                reqs.len()
-            )),
+/// Sniffs JSONL vs msrs-text from the first meaningful line and parses a
+/// single instance, reading incrementally: JSONL inputs are parsed line by
+/// line (with real line numbers in errors); only the msrs-text format —
+/// which always describes exactly one instance — is read to the end.
+fn parse_single_instance(input: &mut dyn BufRead) -> Result<SolveRequest, String> {
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let first = loop {
+        buf.clear();
+        line_no += 1;
+        let n = input
+            .read_line(&mut buf)
+            .map_err(|e| format!("reading input: {e}"))?;
+        if n == 0 {
+            return Err("empty input".into());
         }
+        let line = buf.trim();
+        if !line.is_empty() && !line.starts_with('#') {
+            break line.to_string();
+        }
+    };
+    if first.starts_with('{') {
+        let req = jsonl::read_instance_line(line_no, &first).map_err(|e| e.to_string())?;
+        let mut extra = 0usize;
+        loop {
+            buf.clear();
+            match input.read_line(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let line = buf.trim();
+                    if !line.is_empty() && !line.starts_with('#') {
+                        extra += 1;
+                    }
+                }
+                Err(e) => return Err(format!("reading input: {e}")),
+            }
+        }
+        if extra > 0 {
+            return Err(format!(
+                "`msrs solve` expects exactly one instance, found {} (use `msrs batch`)",
+                extra + 1
+            ));
+        }
+        Ok(req)
     } else {
-        let inst = text_io::read_instance(text).map_err(|e| e.to_string())?;
+        let mut text = first;
+        text.push('\n');
+        input
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading input: {e}"))?;
+        let inst = text_io::read_instance(&text).map_err(|e| e.to_string())?;
         Ok(SolveRequest::new(inst))
     }
 }
 
 /// `msrs solve`: one instance, human summary or JSON report.
 fn cmd_solve(flags: &Flags) -> Result<(), String> {
-    let req = parse_single_instance(&read_input(flags)?)?;
+    let req = parse_single_instance(&mut *open_input(flags)?)?;
     let engine = engine_from_flags(flags)?;
     let report = engine.solve(&req);
     debug_assert!(validate(&req.instance, &report.schedule).is_ok());
@@ -336,31 +390,44 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `msrs batch`: JSONL corpus in, JSONL reports out.
+/// `msrs batch`: JSONL corpus in, JSONL reports out — streamed through the
+/// sharded pipeline in O(shard) memory, reports emitted incrementally.
 fn cmd_batch(flags: &Flags) -> Result<(), String> {
-    let reqs = jsonl::read_corpus(&read_input(flags)?).map_err(|e| e.to_string())?;
-    if reqs.is_empty() {
-        return Err("corpus contains no instances".into());
+    let shard_size: usize = flags.get_num("--shard-size", DEFAULT_SHARD_SIZE)?;
+    if shard_size == 0 {
+        return Err("--shard-size must be ≥ 1".into());
     }
     let engine = engine_from_flags(flags)?;
-    let reports = engine.solve_batch(&reqs);
-    let mut out = String::new();
-    for report in &reports {
-        out.push_str(&report.to_json().to_string());
-        out.push('\n');
-    }
-    write_output(flags, &out)?;
+    let input = open_input(flags)?;
+    let stdout = std::io::stdout();
+    let mut out: Box<dyn Write> = match flags.get("--out") {
+        // Buffer the locked stdout too: the raw StdoutLock is line-buffered
+        // (one write syscall per report), which a 100k-report stream feels.
+        None => Box::new(BufWriter::new(stdout.lock())),
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            Box::new(BufWriter::new(file))
+        }
+    };
+    let pool_before = engine.pool_stats();
+    let outcome = solve_stream(&engine, JsonlReader::new(input), shard_size, |report| {
+        writeln!(out, "{}", report.to_json())
+    })
+    .map_err(|e| format!("writing reports: {e}"))?;
+    out.flush().map_err(|e| format!("writing reports: {e}"))?;
+    drop(out);
     if !flags.has("--quiet") {
-        let n = reports.len();
-        let optimal = reports.iter().filter(|r| r.proven_optimal).count();
-        let worst = reports
-            .iter()
-            .map(SolveReport::ratio_vs_bound)
-            .fold(1.0f64, f64::max);
-        let mean = reports.iter().map(SolveReport::ratio_vs_bound).sum::<f64>() / n as f64;
+        let s = &outcome.stats;
         eprintln!(
-            "batch: {n} instances, {optimal} proven optimal, \
-             ratio vs bound mean {mean:.4} worst {worst:.4}"
+            "batch: {} instances in {} shard(s) (shard size {}, max resident {}), \
+             {} proven optimal, ratio vs bound mean {:.4} worst {:.4}",
+            s.instances,
+            s.shards,
+            s.shard_size,
+            s.max_resident,
+            s.proven_optimal,
+            s.ratio_mean(),
+            s.ratio_worst,
         );
         let stats = engine.cache_stats();
         if stats.capacity > 0 {
@@ -369,6 +436,28 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
                 stats.hits, stats.misses, stats.evictions, stats.entries, stats.capacity
             );
         }
+        // Delta of the process-global pool counters over this run: how the
+        // chunks were actually distributed between workers and the caller.
+        let pool = engine.pool_stats();
+        let mut worker_chunks = pool.worker_chunks.clone();
+        for (delta, before) in worker_chunks.iter_mut().zip(&pool_before.worker_chunks) {
+            *delta -= before;
+        }
+        eprintln!(
+            "pool: {} persistent worker(s), {} parallel op(s), {} helper job(s), \
+             chunks by caller {}, by worker {:?}",
+            pool.workers,
+            pool.ops - pool_before.ops,
+            pool.helper_jobs - pool_before.helper_jobs,
+            pool.caller_chunks - pool_before.caller_chunks,
+            worker_chunks,
+        );
+    }
+    if let Some(err) = outcome.error {
+        return Err(err.to_string());
+    }
+    if outcome.stats.instances == 0 {
+        return Err("corpus contains no instances".into());
     }
     Ok(())
 }
@@ -376,8 +465,13 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
 /// `msrs bench`: portfolio vs every single solver over generated corpora,
 /// or (with `--baseline-out`) the machine-readable perf-baseline suite.
 fn cmd_bench(flags: &Flags) -> Result<(), String> {
-    if let Some(path) = flags.get("--baseline-out") {
-        return cmd_bench_baseline(flags, path);
+    if flags.get("--baseline-out").is_some() || flags.get("--compare").is_some() {
+        return cmd_bench_suite(flags);
+    }
+    for f in ["--strict", "--threshold", "--reference"] {
+        if flags.has(f) {
+            return Err(format!("{f} requires --baseline-out or --compare"));
+        }
     }
     let which = flags.get("--families").unwrap_or("all");
     let count: u64 = flags.get_num("--count", 10)?;
@@ -466,48 +560,95 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// The perf-baseline suite behind `msrs bench --baseline-out` (committed as
-/// `BENCH_3.json`): machine-readable wall times and node counts that later
-/// PRs diff against.
+/// The perf-baseline suite behind `msrs bench --baseline-out` / `--compare`
+/// (committed as `BENCH_4.json`): machine-readable wall times and node
+/// counts that later PRs diff against.
 ///
-/// * `traffic_batch` — a 1000-instance, 90%-duplicate `traffic` corpus
-///   solved with the cache off and on, at 1 and 4 worker threads: the
-///   cache/dedup throughput win.
+/// * `tiny_batch_1` / `tiny_batch_8` — per-call serving latency of a
+///   1-instance `Engine::solve` (parallel portfolio wave) and an
+///   8-instance `Engine::solve_batch`, cache off: the per-operation
+///   worker-dispatch overhead a persistent pool is supposed to shave.
+/// * `traffic_batch` — a `--count`-instance, 90%-duplicate `traffic`
+///   corpus solved with the cache off and on, at 1 and 4 worker threads:
+///   the cache/dedup throughput win.
+/// * `stream_traffic` — a `100 × --count`-instance generated corpus pushed
+///   through the streaming shard pipeline (`solve_stream`, default shard
+///   size) at 4 threads with the default cache: sustained throughput in
+///   O(shard) memory.
 /// * `exact_*` — exact branch-and-bound workloads (the E9 gap proofs to
 ///   completion, plus a budget-capped sweep of the hard parity-gap
 ///   partition instance) at 1 search thread: node counts and node
 ///   throughput of the allocation-free hot loop, with and without the
 ///   symmetry-dominance rule.
-fn cmd_bench_baseline(flags: &Flags, path: &str) -> Result<(), String> {
+fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> {
     use msrs_exact::{solve_configured, BoundConfig, SolveLimits, SolveOutcome};
 
-    // The suite pins its own thread counts, cache capacities, and solver
-    // configuration (that is what makes baselines comparable across PRs);
-    // reject flags it would otherwise silently ignore.
-    let ignored: Vec<&str> = [
-        "--families",
-        "--seed",
-        "--threads",
-        "--no-baselines",
-        "--no-eptas",
-        "--exact-nodes",
-        "--deadline-ms",
-        "--cache-capacity",
-        "--no-cache",
-    ]
-    .into_iter()
-    .filter(|f| flags.has(f))
-    .collect();
-    if !ignored.is_empty() {
-        return Err(format!(
-            "--baseline-out pins its own configuration; remove: {}",
-            ignored.join(", ")
-        ));
-    }
-
-    let machines: usize = flags.get_num("--machines", 4)?;
-    let count: u64 = flags.get_num("--count", 1000)?;
     let mut experiments: Vec<Json> = Vec::new();
+
+    // -- Tiny-batch serving latency (per-call dispatch overhead). ----------
+    // 9 jobs spread over `machines + 1` non-empty classes: Tiny-tier at the
+    // default machine count (exact member planned) but strictly more
+    // classes than machines, so the full portfolio — not the trivial
+    // single-member short-circuit — runs, and `Engine::solve` exercises the
+    // parallel member wave whose dispatch cost this experiment measures.
+    let tiny = |seed: u64| {
+        let k = machines + 1;
+        let mut classes: Vec<Vec<msrs_core::Time>> = vec![Vec::new(); k];
+        for j in 0..9u64 {
+            classes[(j as usize) % k].push(1 + (seed.wrapping_mul(7) + j * 3) % 9);
+        }
+        msrs_core::Instance::from_classes(machines, &classes).expect("valid microbench instance")
+    };
+    let calls = count.max(1) as usize;
+    for threads in [1usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            threads,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let one_req = SolveRequest::with_id("tiny-1", tiny(1));
+        std::hint::black_box(engine.solve(&one_req));
+        let start = std::time::Instant::now();
+        for _ in 0..calls {
+            std::hint::black_box(engine.solve(&one_req));
+        }
+        let wall = start.elapsed().as_micros() as i128;
+        eprintln!(
+            "tiny_batch_1 threads={threads}: {calls} calls in {wall} µs ({} µs/call)",
+            wall / calls as i128
+        );
+        experiments.push(Json::Obj(vec![
+            ("name".into(), Json::Str("tiny_batch_1".into())),
+            ("threads".into(), Json::Num(threads as i128)),
+            ("cache_capacity".into(), Json::Num(0)),
+            ("calls".into(), Json::Num(calls as i128)),
+            ("wall_micros".into(), Json::Num(wall)),
+            ("per_call_micros".into(), Json::Num(wall / calls as i128)),
+        ]));
+
+        let reqs8: Vec<SolveRequest> = (0..8)
+            .map(|s| SolveRequest::with_id(format!("tiny8-{s}"), tiny(s)))
+            .collect();
+        let calls8 = (calls / 4).max(10);
+        std::hint::black_box(engine.solve_batch(&reqs8));
+        let start = std::time::Instant::now();
+        for _ in 0..calls8 {
+            std::hint::black_box(engine.solve_batch(&reqs8));
+        }
+        let wall = start.elapsed().as_micros() as i128;
+        eprintln!(
+            "tiny_batch_8 threads={threads}: {calls8} calls in {wall} µs ({} µs/call)",
+            wall / calls8 as i128
+        );
+        experiments.push(Json::Obj(vec![
+            ("name".into(), Json::Str("tiny_batch_8".into())),
+            ("threads".into(), Json::Num(threads as i128)),
+            ("cache_capacity".into(), Json::Num(0)),
+            ("calls".into(), Json::Num(calls8 as i128)),
+            ("wall_micros".into(), Json::Num(wall)),
+            ("per_call_micros".into(), Json::Num(wall / calls8 as i128)),
+        ]));
+    }
 
     // -- Traffic batch: cache off vs on, threads 1 and 4. ------------------
     let reqs: Vec<SolveRequest> = (0..count)
@@ -553,6 +694,50 @@ fn cmd_bench_baseline(flags: &Flags, path: &str) -> Result<(), String> {
                 ]));
             }
         }
+    }
+
+    // -- Streamed shard pipeline over a large generated corpus. ------------
+    {
+        let stream_n = count.saturating_mul(100);
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            ..EngineConfig::default()
+        });
+        let requests = (0..stream_n).map(|seed| {
+            Ok(SolveRequest::with_id(
+                format!("t-{seed}"),
+                msrs_gen::traffic(seed, machines, 10),
+            ))
+        });
+        let start = std::time::Instant::now();
+        let outcome = solve_stream(&engine, requests, DEFAULT_SHARD_SIZE, |r| {
+            std::hint::black_box(r.makespan);
+            Ok(())
+        })
+        .map_err(|e| format!("stream: {e}"))?;
+        let wall = start.elapsed().as_micros() as i128;
+        let s = outcome.stats;
+        let ips = s.instances as f64 / (wall.max(1) as f64 / 1e6);
+        eprintln!(
+            "stream_traffic: {} instances in {} shard(s), {wall} µs \
+             ({ips:.0} inst/s, max resident {})",
+            s.instances, s.shards, s.max_resident
+        );
+        experiments.push(Json::Obj(vec![
+            ("name".into(), Json::Str("stream_traffic".into())),
+            ("threads".into(), Json::Num(4)),
+            (
+                "cache_capacity".into(),
+                Json::Num(DEFAULT_CACHE_CAPACITY as i128),
+            ),
+            ("instances".into(), Json::Num(s.instances as i128)),
+            ("shards".into(), Json::Num(s.shards as i128)),
+            ("shard_size".into(), Json::Num(s.shard_size as i128)),
+            ("max_resident".into(), Json::Num(s.max_resident as i128)),
+            ("wall_micros".into(), Json::Num(wall)),
+            ("instances_per_sec".into(), Json::Num(ips as i128)),
+        ]));
     }
 
     // -- Exact-solver node throughput (single search thread). --------------
@@ -603,12 +788,207 @@ fn cmd_bench_baseline(flags: &Flags, path: &str) -> Result<(), String> {
         ]));
     }
 
-    let doc = Json::Obj(vec![
-        ("bench".into(), Json::Str("BENCH_3".into())),
-        ("machines".into(), Json::Num(machines as i128)),
-        ("experiments".into(), Json::Arr(experiments)),
-    ]);
-    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("writing {path}: {e}"))?;
-    eprintln!("baseline written to {path}");
+    Ok(experiments)
+}
+
+/// `msrs bench --baseline-out` / `--compare`: run the pinned perf-baseline
+/// suite once, then write it as JSON and/or diff it against a committed
+/// baseline file.
+fn cmd_bench_suite(flags: &Flags) -> Result<(), String> {
+    // The suite pins its own thread counts, cache capacities, and solver
+    // configuration (that is what makes baselines comparable across PRs);
+    // reject flags it would otherwise silently ignore.
+    let ignored: Vec<&str> = [
+        "--families",
+        "--seed",
+        "--threads",
+        "--no-baselines",
+        "--no-eptas",
+        "--exact-nodes",
+        "--deadline-ms",
+        "--cache-capacity",
+        "--no-cache",
+    ]
+    .into_iter()
+    .filter(|f| flags.has(f))
+    .collect();
+    if !ignored.is_empty() {
+        return Err(format!(
+            "the baseline suite pins its own configuration; remove: {}",
+            ignored.join(", ")
+        ));
+    }
+    if flags.has("--reference") && !flags.has("--baseline-out") {
+        return Err("--reference requires --baseline-out".into());
+    }
+    for f in ["--strict", "--threshold"] {
+        if flags.has(f) && !flags.has("--compare") {
+            return Err(format!("{f} requires --compare"));
+        }
+    }
+
+    let machines: usize = flags.get_num("--machines", 4)?;
+    let count: u64 = flags.get_num("--count", 1000)?;
+    let experiments = run_baseline_suite(machines, count)?;
+
+    if let Some(path) = flags.get("--baseline-out") {
+        let mut doc = vec![
+            ("bench".into(), Json::Str("BENCH_4".into())),
+            ("machines".into(), Json::Num(machines as i128)),
+            ("experiments".into(), Json::Arr(experiments.clone())),
+        ];
+        if let Some(ref_path) = flags.get("--reference") {
+            let text = std::fs::read_to_string(ref_path)
+                .map_err(|e| format!("reading {ref_path}: {e}"))?;
+            let reference = Json::parse(&text).map_err(|e| format!("parsing {ref_path}: {e}"))?;
+            let ref_experiments = reference
+                .get("experiments")
+                .cloned()
+                .ok_or_else(|| format!("{ref_path} has no `experiments` array"))?;
+            doc.push((
+                "reference".into(),
+                Json::Obj(vec![
+                    (
+                        "note".into(),
+                        Json::Str(
+                            "same suite measured on the pre-PR4 spawn-per-operation backend".into(),
+                        ),
+                    ),
+                    ("experiments".into(), ref_experiments),
+                ]),
+            ));
+        }
+        let doc = Json::Obj(doc);
+        std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("baseline written to {path}");
+    }
+
+    if let Some(base_path) = flags.get("--compare") {
+        let threshold: f64 = flags.get_num("--threshold", 50.0)?;
+        let text =
+            std::fs::read_to_string(base_path).map_err(|e| format!("reading {base_path}: {e}"))?;
+        let base = Json::parse(&text).map_err(|e| format!("parsing {base_path}: {e}"))?;
+        let regressions = compare_with_baseline(&base, base_path, &experiments, threshold);
+        if regressions > 0 && flags.has("--strict") {
+            return Err(format!(
+                "{regressions} experiment(s) regressed beyond {threshold}% (--strict)"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// The comparable headline metric of one suite experiment, as
+/// `(label, value, higher_is_better)`. Rates are preferred over raw walls so
+/// runs with different `--count` scales still compare per unit of work.
+fn experiment_metric(e: &Json) -> Option<(&'static str, f64, bool)> {
+    let num = |key: &str| -> Option<f64> {
+        match e.get(key) {
+            Some(Json::Num(n)) => Some(*n as f64),
+            _ => None,
+        }
+    };
+    let wall = num("wall_micros");
+    if let (Some(wall), Some(calls)) = (wall, num("calls")) {
+        if calls > 0.0 {
+            return Some(("µs/call", wall / calls, false));
+        }
+    }
+    if let (Some(wall), Some(instances)) = (wall, num("instances")) {
+        if instances > 0.0 {
+            return Some(("µs/instance", wall / instances, false));
+        }
+    }
+    if let Some(nps) = num("nodes_per_sec") {
+        return Some(("nodes/s", nps, true));
+    }
+    wall.map(|w| ("µs", w, false))
+}
+
+/// A stable identity for matching experiments across baseline files.
+fn experiment_key(e: &Json) -> String {
+    let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
+    let field = |key: &str| match e.get(key) {
+        Some(Json::Num(n)) => n.to_string(),
+        _ => "-".into(),
+    };
+    format!("{name}|t{}|c{}", field("threads"), field("cache_capacity"))
+}
+
+/// Prints the per-experiment deltas of `current` against `base` and returns
+/// how many experiments regressed beyond `threshold` percent.
+fn compare_with_baseline(base: &Json, base_path: &str, current: &[Json], threshold: f64) -> usize {
+    let empty = Vec::new();
+    let base_experiments = base
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let mut base_by_key = std::collections::HashMap::new();
+    for e in base_experiments {
+        base_by_key.insert(experiment_key(e), e);
+    }
+    let heading = format!("bench compare vs {base_path}");
+    println!(
+        "{heading:<34} {:>12} {:>12} {:>12}  (regression threshold {threshold}%)",
+        "baseline", "current", "delta",
+    );
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for e in current {
+        let key = experiment_key(e);
+        seen.insert(key.clone());
+        let Some((label, cur, higher_better)) = experiment_metric(e) else {
+            continue;
+        };
+        let Some(base_e) = base_by_key.get(&key) else {
+            println!(
+                "{key:<34} {:>12} {cur:>12.1} {:>12}  {label} (not in baseline)",
+                "-", "-"
+            );
+            missing += 1;
+            continue;
+        };
+        let Some((_, base_v, _)) = experiment_metric(base_e) else {
+            continue;
+        };
+        // Positive = better, for both metric orientations.
+        let change_pct = if base_v.abs() < f64::EPSILON {
+            0.0
+        } else if higher_better {
+            (cur - base_v) / base_v * 100.0
+        } else {
+            (base_v - cur) / base_v * 100.0
+        };
+        let regressed = change_pct < -threshold;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{key:<34} {base_v:>12.1} {cur:>12.1} {change_pct:>+11.1}%  {label}{}",
+            if regressed { "  ** REGRESSION **" } else { "" }
+        );
+    }
+    // The other direction: baseline experiments this run no longer
+    // produces. A vanished benchmark is lost coverage, not a clean pass —
+    // it counts as a regression so `--strict` catches it.
+    let mut vanished: Vec<&String> = base_by_key
+        .keys()
+        .filter(|key| !seen.contains(*key))
+        .collect();
+    vanished.sort();
+    for key in vanished {
+        println!(
+            "{key:<34} {:>12} {:>12} {:>12}  ** MISSING FROM CURRENT RUN **",
+            "?", "-", "-"
+        );
+        regressions += 1;
+    }
+    if regressions > 0 {
+        eprintln!("warning: {regressions} experiment(s) regressed beyond {threshold}% or vanished");
+    }
+    if missing > 0 {
+        eprintln!("note: {missing} experiment(s) had no match in the baseline file");
+    }
+    regressions
 }

@@ -249,6 +249,15 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Counter snapshot of the persistent worker pool this engine's
+    /// parallel work runs on. The pool is **process-global** (workers are
+    /// shared by every engine and parallel operation in the process), so
+    /// the counters are cumulative; diff two snapshots to meter one batch
+    /// or stream.
+    pub fn pool_stats(&self) -> rayon::PoolStats {
+        rayon::pool_stats()
+    }
+
     /// Whether requests are served through the result cache: the cache has
     /// capacity and no deadline is configured (deadline results are
     /// wall-clock-dependent, so memoizing them would be unsound).
@@ -307,13 +316,34 @@ impl Engine {
     /// first-occurrence order) and the report fanned out to every duplicate
     /// request, so a duplicate-heavy corpus collapses to its
     /// distinct-instance count.
+    ///
+    /// The borrowed slice is copied once up front (pool jobs are `'static`
+    /// and cannot hold the borrow); callers that own their requests — the
+    /// streaming shard pipeline does — should use
+    /// [`solve_batch_vec`](Self::solve_batch_vec), which shares them
+    /// zero-copy behind an `Arc`.
     pub fn solve_batch(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
+        self.solve_batch_vec(reqs.to_vec())
+    }
+
+    /// [`solve_batch`](Self::solve_batch) taking ownership of the requests —
+    /// the zero-copy entry point of the streaming shard pipeline
+    /// ([`crate::stream::solve_stream`]): pool workers share the request
+    /// vector behind an `Arc` instead of cloning it, so a shard costs
+    /// exactly its own allocation.
+    pub fn solve_batch_vec(&self, reqs: Vec<SolveRequest>) -> Vec<SolveReport> {
         if self.cache_active() {
             return self.solve_batch_deduped(reqs);
         }
-        self.cfg
-            .pool()
-            .install(|| reqs.par_iter().map(|r| self.solve_one_worker(r)).collect())
+        let reqs = Arc::new(reqs);
+        let engine = self.clone();
+        let shared = Arc::clone(&reqs);
+        self.cfg.pool().install(|| {
+            (0..reqs.len())
+                .into_par_iter()
+                .map(move |i| engine.solve_one_worker(&shared[i]))
+                .collect()
+        })
     }
 
     /// Batch worker path (cache inactive): canonicalized sequential solve.
@@ -326,13 +356,18 @@ impl Engine {
 
     /// Cache-enabled batch path: canonicalize, dedup, solve each distinct
     /// uncached form once on the pool, then fan reports out in order.
-    fn solve_batch_deduped(&self, reqs: &[SolveRequest]) -> Vec<SolveReport> {
+    fn solve_batch_deduped(&self, reqs: Vec<SolveRequest>) -> Vec<SolveReport> {
         let pool = self.cfg.pool();
-        let forms: Vec<CanonicalForm> = pool.install(|| {
-            reqs.par_iter()
-                .map(|r| r.instance.canonical_form())
-                .collect()
-        });
+        let reqs = Arc::new(reqs);
+        let forms: Arc<Vec<CanonicalForm>> = {
+            let shared = Arc::clone(&reqs);
+            Arc::new(pool.install(|| {
+                (0..reqs.len())
+                    .into_par_iter()
+                    .map(move |i| shared[i].instance.canonical_form())
+                    .collect()
+            }))
+        };
         // Dedup by fingerprint, keeping first-occurrence order; decide
         // per-request provenance (fresh solve vs cache vs intra-batch
         // duplicate) sequentially so the hit/miss counters are
@@ -356,19 +391,24 @@ impl Engine {
             to_solve.push(idx);
             fresh[idx] = true;
         }
-        let solved: Vec<SolveReport> = pool.install(|| {
-            to_solve
-                .par_iter()
-                .map(|&idx| self.solve_canonical(forms[idx].instance(), true))
-                .collect()
-        });
+        let solved: Vec<SolveReport> = {
+            let engine = self.clone();
+            let shared_forms = Arc::clone(&forms);
+            let indices = to_solve.clone();
+            pool.install(|| {
+                indices
+                    .into_par_iter()
+                    .map(move |idx| engine.solve_canonical(shared_forms[idx].instance(), true))
+                    .collect()
+            })
+        };
         for (&idx, report) in to_solve.iter().zip(&solved) {
             let fp = forms[idx].fingerprint();
             self.cache.insert(key_of(idx), report.clone());
             cached.insert(fp, report.clone());
         }
         reqs.iter()
-            .zip(&forms)
+            .zip(forms.iter())
             .zip(&fresh)
             .map(|((req, form), &is_fresh)| {
                 // Hits report their fan-out (serving) cost, not the batch
@@ -458,12 +498,24 @@ impl Engine {
             .copied()
             .filter(|&k| k != SolverKind::Exact)
             .collect();
+        // Members fan out as 'static pool jobs: they share an `Arc` of the
+        // canonical instance plus owned config/token clones (the instance
+        // clone is one allocation against a whole portfolio solve).
+        let shared_inst = Arc::new(inst.clone());
+        let shared_cfg = self.cfg.clone();
+        let shared_cancel = cancel.clone();
         let wave_outcomes: Vec<(SolverKind, MemberOutcome)> = self.cfg.pool().install(|| {
             wave1
-                .par_iter()
-                .map(|&kind| {
+                .into_par_iter()
+                .map(move |kind| {
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_solver(kind, inst, &self.cfg, cancel.as_ref(), None)
+                        run_solver(
+                            kind,
+                            &shared_inst,
+                            &shared_cfg,
+                            shared_cancel.as_ref(),
+                            None,
+                        )
                     }))
                     .unwrap_or_else(|payload| {
                         let reason = payload

@@ -36,6 +36,13 @@ pub enum CorpusError {
         /// Description.
         reason: String,
     },
+    /// The underlying reader failed (streaming input only).
+    Io {
+        /// 1-based number of the line being read when the error occurred.
+        line: usize,
+        /// Description of the I/O error.
+        message: String,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -43,6 +50,7 @@ impl fmt::Display for CorpusError {
         match self {
             CorpusError::Json { line, error } => write!(f, "line {line}: {error}"),
             CorpusError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            CorpusError::Io { line, message } => write!(f, "line {line}: I/O error: {message}"),
         }
     }
 }

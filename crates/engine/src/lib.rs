@@ -64,10 +64,13 @@ pub mod jsonl;
 pub mod portfolio;
 pub mod profile;
 pub mod report;
+pub mod stream;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
 pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};
 pub use families::{family, family_names, FamilySpec};
 pub use portfolio::{plan, Portfolio, SolverKind};
 pub use profile::{classify, InstanceProfile, SizeTier};
+pub use rayon::PoolStats;
 pub use report::{RunStatus, SolveReport, SolveRequest, SolverRun};
+pub use stream::{solve_stream, JsonlReader, StreamOutcome, StreamStats, DEFAULT_SHARD_SIZE};

@@ -1,0 +1,290 @@
+//! Streaming sharded batch pipeline: solve arbitrarily large JSONL corpora
+//! in O(shard) memory.
+//!
+//! [`JsonlReader`] parses instances incrementally off any [`BufRead`] — one
+//! line at a time, with correct 1-based line numbers — and [`solve_stream`]
+//! feeds fixed-size shards of requests through
+//! [`Engine::solve_batch_vec`], emitting each shard's reports (in corpus
+//! order) before the next shard is read. At no point does more than one
+//! shard of requests plus its reports live in memory, so a million-instance
+//! corpus streams through the same engine that serves point requests.
+//!
+//! Error semantics are *prefix-faithful*: when a malformed line is hit
+//! mid-stream, everything successfully parsed before it — including a
+//! partial final shard — is solved and emitted, and the error (with its
+//! 1-based line number) is surfaced in [`StreamOutcome::error`] afterwards.
+//!
+//! Determinism: a sharded run's reports are bit-identical to an unsharded
+//! [`Engine::solve_batch`] over the same corpus — at any thread count —
+//! except for the `wall_micros` timings and `cache_hit` provenance flags
+//! (sharding changes *when* a duplicate is served from the cache versus
+//! deduplicated within its batch, never what the report says about the
+//! schedule). Covered by `tests/stream.rs`.
+
+use std::io::{self, BufRead};
+use std::time::Instant;
+
+use crate::engine::Engine;
+use crate::jsonl::{self, CorpusError};
+use crate::report::{SolveReport, SolveRequest};
+
+/// Default shard size for streamed batches: large enough to keep every pool
+/// worker saturated and let intra-shard dedup bite, small enough that a
+/// shard of requests plus reports stays a bounded, cache-friendly working
+/// set regardless of corpus length.
+pub const DEFAULT_SHARD_SIZE: usize = 4096;
+
+/// An incremental JSONL instance reader: yields one [`SolveRequest`] per
+/// non-blank, non-`#` line, parsed as it is read (the input is never
+/// materialized as a whole). Line numbers are physical and 1-based, exactly
+/// as [`jsonl::read_corpus`] reports them.
+pub struct JsonlReader<R> {
+    inner: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wraps a buffered reader positioned at the start of a corpus.
+    pub fn new(inner: R) -> Self {
+        JsonlReader {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    /// The number of the last physical line read (1-based; 0 before the
+    /// first read).
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = Result<SolveRequest, CorpusError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.inner.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    return Some(Err(CorpusError::Io {
+                        line: self.line_no,
+                        message: e.to_string(),
+                    }))
+                }
+            }
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(jsonl::read_instance_line(self.line_no, line));
+        }
+    }
+}
+
+/// Merged summary statistics of one streamed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Requests solved (and reports emitted).
+    pub instances: usize,
+    /// Shards dispatched to the engine.
+    pub shards: usize,
+    /// Configured shard size.
+    pub shard_size: usize,
+    /// Largest number of requests resident at once (≤ `shard_size`) — the
+    /// memory high-water mark of the pipeline, in requests.
+    pub max_resident: usize,
+    /// Reports with a proven-optimal schedule.
+    pub proven_optimal: usize,
+    /// Sum of per-report `makespan / lower_bound` ratios (mean =
+    /// `ratio_sum / instances`).
+    pub ratio_sum: f64,
+    /// Worst per-report ratio (1.0 when no instances were solved).
+    pub ratio_worst: f64,
+    /// Wall time of the whole stream, µs.
+    pub wall_micros: u64,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        StreamStats {
+            instances: 0,
+            shards: 0,
+            shard_size: DEFAULT_SHARD_SIZE,
+            max_resident: 0,
+            proven_optimal: 0,
+            ratio_sum: 0.0,
+            ratio_worst: 1.0,
+            wall_micros: 0,
+        }
+    }
+}
+
+impl StreamStats {
+    /// Mean `makespan / lower_bound` ratio (1.0 when nothing was solved).
+    pub fn ratio_mean(&self) -> f64 {
+        if self.instances == 0 {
+            1.0
+        } else {
+            self.ratio_sum / self.instances as f64
+        }
+    }
+}
+
+/// What a streamed run produced: the merged stats, plus the corpus error
+/// that cut the stream short, if any. Reports for every line before the
+/// error have already been emitted when the error is surfaced.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Merged summary counters.
+    pub stats: StreamStats,
+    /// `Some` when the stream terminated on a malformed/unreadable line.
+    pub error: Option<CorpusError>,
+}
+
+/// Streams `requests` through `engine` in shards of `shard_size`, calling
+/// `emit` for every report in corpus order. Memory stays O(`shard_size`):
+/// one shard of requests and its reports at a time.
+///
+/// `Err` is returned only for `emit` failures (typically downstream I/O);
+/// corpus-level parse errors end the stream early and come back in
+/// [`StreamOutcome::error`] *after* all prior reports were emitted.
+pub fn solve_stream<I, F>(
+    engine: &Engine,
+    requests: I,
+    shard_size: usize,
+    mut emit: F,
+) -> io::Result<StreamOutcome>
+where
+    I: IntoIterator<Item = Result<SolveRequest, CorpusError>>,
+    F: FnMut(&SolveReport) -> io::Result<()>,
+{
+    let shard_size = shard_size.max(1);
+    let started = Instant::now();
+    let mut stats = StreamStats {
+        shard_size,
+        ..StreamStats::default()
+    };
+    let mut error = None;
+    let mut shard: Vec<SolveRequest> = Vec::with_capacity(shard_size.min(1024));
+    for item in requests {
+        match item {
+            Ok(req) => {
+                shard.push(req);
+                if shard.len() >= shard_size {
+                    solve_shard(engine, &mut shard, &mut stats, &mut emit)?;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    // Flush the partial final shard — on the error path too, so every line
+    // parsed before a malformed one still yields its report.
+    if !shard.is_empty() {
+        solve_shard(engine, &mut shard, &mut stats, &mut emit)?;
+    }
+    stats.wall_micros = started.elapsed().as_micros() as u64;
+    Ok(StreamOutcome { stats, error })
+}
+
+fn solve_shard<F>(
+    engine: &Engine,
+    shard: &mut Vec<SolveRequest>,
+    stats: &mut StreamStats,
+    emit: &mut F,
+) -> io::Result<()>
+where
+    F: FnMut(&SolveReport) -> io::Result<()>,
+{
+    let reqs = std::mem::take(shard);
+    stats.max_resident = stats.max_resident.max(reqs.len());
+    let reports = engine.solve_batch_vec(reqs);
+    stats.shards += 1;
+    for report in &reports {
+        stats.instances += 1;
+        if report.proven_optimal {
+            stats.proven_optimal += 1;
+        }
+        let ratio = report.ratio_vs_bound();
+        stats.ratio_sum += ratio;
+        stats.ratio_worst = stats.ratio_worst.max(ratio);
+        emit(report)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::Cursor;
+
+    #[test]
+    fn reader_skips_blanks_and_comments_with_physical_line_numbers() {
+        let text = "# header\n\n{\"machines\":2,\"classes\":[[3]]}\n\n# mid\n{\"machines\":1,\"classes\":[[1,2]]}\n";
+        let mut reader = JsonlReader::new(Cursor::new(text));
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.instance.machines(), 2);
+        assert_eq!(reader.line_no(), 3);
+        let second = reader.next().unwrap().unwrap();
+        assert_eq!(second.instance.num_jobs(), 2);
+        assert_eq!(reader.line_no(), 6);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn reader_reports_the_failing_physical_line() {
+        let text = "{\"machines\":2,\"classes\":[[3]]}\n\nnot json\n";
+        let mut reader = JsonlReader::new(Cursor::new(text));
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap() {
+            Err(CorpusError::Json { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_counts_shards_and_bounds_residency() {
+        let reqs: Vec<Result<SolveRequest, CorpusError>> = (0..10)
+            .map(|seed| {
+                Ok(SolveRequest::with_id(
+                    format!("u-{seed}"),
+                    msrs_gen::uniform(seed, 2, 8, 3, 1, 9),
+                ))
+            })
+            .collect();
+        let engine = Engine::new(EngineConfig::default());
+        let mut emitted = Vec::new();
+        let outcome = solve_stream(&engine, reqs, 4, |r| {
+            emitted.push(r.id.clone());
+            Ok(())
+        })
+        .unwrap();
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.stats.instances, 10);
+        assert_eq!(outcome.stats.shards, 3, "10 instances in shards of 4");
+        assert_eq!(outcome.stats.max_resident, 4);
+        assert_eq!(emitted.len(), 10);
+        assert_eq!(emitted[0].as_deref(), Some("u-0"));
+        assert_eq!(emitted[9].as_deref(), Some("u-9"));
+        assert!(outcome.stats.ratio_worst >= 1.0);
+        assert!(outcome.stats.ratio_mean() >= 1.0);
+    }
+
+    #[test]
+    fn zero_shard_size_is_clamped_to_one() {
+        let reqs = vec![Ok(SolveRequest::new(msrs_gen::uniform(1, 2, 6, 2, 1, 9)))];
+        let engine = Engine::new(EngineConfig::default());
+        let outcome = solve_stream(&engine, reqs, 0, |_| Ok(())).unwrap();
+        assert_eq!(outcome.stats.instances, 1);
+        assert_eq!(outcome.stats.shard_size, 1);
+    }
+}

@@ -145,8 +145,12 @@ pub struct ExactResult {
     pub nodes: u64,
 }
 
-struct Shared<'a> {
-    inst: &'a Instance,
+/// State shared by the parallel root-branch tasks. Owned (instance clone,
+/// token clone) rather than borrowed: root branches run as `'static` jobs
+/// on the persistent worker pool, which cannot hold stack borrows — the
+/// one-time instance clone is noise next to the search it seeds.
+struct Shared {
+    inst: Instance,
     m: usize,
     bounds: BoundConfig,
     best: AtomicU64,
@@ -154,7 +158,7 @@ struct Shared<'a> {
     nodes: AtomicU64,
     max_nodes: u64,
     overflowed: AtomicBool,
-    cancel: Option<&'a CancelToken>,
+    cancel: Option<CancelToken>,
     cancelled: AtomicBool,
 }
 
@@ -398,8 +402,8 @@ fn candidate_starts_into(
 /// One root-branch task: a mutable [`Node`] with undo stacks, per-depth
 /// candidate scratch buffers, and a locally batched slice of the shared
 /// node budget.
-struct Search<'a, 'b> {
-    sh: &'b Shared<'a>,
+struct Search<'b> {
+    sh: &'b Shared,
     node: Node,
     /// Per-depth candidate buffers, reused across sibling subtrees.
     cands: Vec<Vec<(ClassId, usize)>>,
@@ -411,8 +415,8 @@ struct Search<'a, 'b> {
     stop: bool,
 }
 
-impl<'a, 'b> Search<'a, 'b> {
-    fn new(sh: &'b Shared<'a>, node: Node) -> Self {
+impl<'b> Search<'b> {
+    fn new(sh: &'b Shared, node: Node) -> Self {
         Search {
             sh,
             node,
@@ -445,7 +449,7 @@ impl<'a, 'b> Search<'a, 'b> {
         if self.sh.overflowed.load(Ordering::Relaxed) || self.sh.cancelled.load(Ordering::Relaxed) {
             return false;
         }
-        if let Some(token) = self.sh.cancel {
+        if let Some(token) = self.sh.cancel.as_ref() {
             if token.is_cancelled() {
                 self.sh.cancelled.store(true, Ordering::Relaxed);
                 return false;
@@ -680,8 +684,8 @@ fn solve_seeded(
         partial,
         min_class: 0,
     };
-    let sh = Shared {
-        inst,
+    let sh = std::sync::Arc::new(Shared {
+        inst: inst.clone(),
         m,
         bounds,
         best: AtomicU64::new(ub),
@@ -689,19 +693,25 @@ fn solve_seeded(
         nodes: AtomicU64::new(0),
         max_nodes: limits.max_nodes,
         overflowed: AtomicBool::new(false),
-        cancel,
+        cancel: cancel.cloned(),
         cancelled: AtomicBool::new(false),
-    };
+    });
 
-    // Parallelize the root branching (each first job choice in its own task).
+    // Parallelize the root branching (each first job choice in its own
+    // task); tasks share the state and the root node via `Arc` clones.
     let best_now = sh.best.load(Ordering::Relaxed);
     let mut cands = Vec::new();
     candidate_starts_into(&root, best_now, bounds, &mut cands);
-    cands.par_iter().for_each(|&(c, i)| {
-        let mut search = Search::new(&sh, root.clone());
-        search.node.apply_start(c, i);
-        search.dfs(0);
-        search.finish();
+    let root = std::sync::Arc::new(root);
+    cands.into_par_iter().for_each({
+        let sh = std::sync::Arc::clone(&sh);
+        let root = std::sync::Arc::clone(&root);
+        move |(c, i)| {
+            let mut search = Search::new(&sh, (*root).clone());
+            search.node.apply_start(c, i);
+            search.dfs(0);
+            search.finish();
+        }
     });
 
     let nodes = sh.nodes.load(Ordering::Relaxed);
@@ -712,8 +722,11 @@ fn solve_seeded(
         return SolveOutcome::Exhausted { nodes };
     }
     let makespan = sh.best.load(Ordering::Relaxed);
-    let schedule = sh.best_schedule.into_inner();
-    debug_assert_eq!(validate(sh.inst, &schedule), Ok(()));
+    // Pool helpers may still hold their `Arc` clones for an instant after
+    // the operation completes, so the schedule is cloned out of the lock
+    // rather than unwrapped out of the `Arc` (the clone is one schedule).
+    let schedule = sh.best_schedule.lock().clone();
+    debug_assert_eq!(validate(&sh.inst, &schedule), Ok(()));
     debug_assert_eq!(schedule.makespan(inst), makespan);
     SolveOutcome::Optimal(ExactResult {
         makespan,

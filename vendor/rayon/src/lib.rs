@@ -1,14 +1,34 @@
 //! Offline stand-in for `rayon`: the `par_iter`/`into_par_iter` entry points
-//! backed by a *real* parallel scheduler.
+//! backed by a *real* parallel scheduler with a **persistent worker pool**.
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the subset of the rayon API the workspace uses on top of `std::sync` only
-//! (no `unsafe`): a **chunked shared-queue scheduler**. Every parallel
-//! operation splits its input into chunks, publishes them in a shared queue,
-//! and lets `N` scoped worker threads *steal* chunks through an atomic
-//! cursor until the queue is drained — dynamic load balancing with the
-//! work-distribution granularity of a deque-based pool, minus the unsafe
-//! lifetime erasure a persistent-thread pool would require.
+//! (no `unsafe`). Earlier revisions spawned scoped OS threads for every
+//! parallel operation; this revision keeps a process-wide pool of
+//! **long-lived parked workers** that pick up chunked jobs from each
+//! operation's atomic-cursor shared queue, so a parallel call costs a few
+//! queue pushes and condvar wakes instead of thread spawns — the difference
+//! is tens of microseconds per call, which dominates tiny batches.
+//!
+//! ## Architecture
+//!
+//! * **Workers are global and lazy.** The first operation that wants `k`
+//!   helper threads grows the pool to `k` (capped at [`MAX_WORKERS`]);
+//!   workers park on a condvar between jobs and are never torn down. The
+//!   per-*operation* thread budget is still honoured exactly: an operation
+//!   asking for `t` threads enqueues `t - 1` helper tickets, no matter how
+//!   many workers exist.
+//! * **Operations stay chunked.** Each operation owns its shared state —
+//!   the deterministic chunk queue, an atomic steal cursor, per-chunk
+//!   result slots, and a completion latch. Helper tickets are `'static` closures
+//!   holding an `Arc` of that state — which is why the public API requires
+//!   `'static` task data (safe Rust cannot hand borrowed stack data to a
+//!   persistent thread; callers share state via `Arc` instead). The calling
+//!   thread always participates in the steal loop, so an operation
+//!   completes even if every worker is busy elsewhere.
+//! * **Panics propagate.** A panic inside a task is caught on the worker,
+//!   carried through the operation state, and resumed on the calling
+//!   thread, mirroring `std::thread::scope` semantics.
 //!
 //! ## Determinism guarantees
 //!
@@ -16,7 +36,8 @@
 //! counts, so the scheduler is deterministic by construction:
 //!
 //! * **Chunk boundaries depend only on the input length** (never on the
-//!   thread count or timing), so the shape of every reduction tree is fixed.
+//!   thread count, the worker count, or timing), so the shape of every
+//!   reduction tree is fixed.
 //! * `collect`, `map`, `filter`, and `filter_map` are **order-preserving**:
 //!   each chunk writes into its own result slot and the slots are
 //!   concatenated in chunk order.
@@ -31,13 +52,22 @@
 //! *inside* a parallel operation default to sequential nested execution so
 //! workers are never oversubscribed (and nested node-budgeted searches stay
 //! deterministic).
+//!
+//! ## Observability
+//!
+//! [`pool_stats`] snapshots the pool: workers spawned, operations that
+//! engaged the pool, helper jobs executed by workers, and chunks executed
+//! per worker vs. by calling threads ("stolen" through the cursor).
 
 #![forbid(unsafe_code)]
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 // ---------------------------------------------------------------------------
 // Thread-count plumbing
@@ -90,6 +120,13 @@ fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
     }
     let _guard = Restore(CURRENT_THREADS.with(|c| c.replace(Some(n))));
     op()
+}
+
+/// Locks a mutex, ignoring poison: every panic that can occur while a pool
+/// lock is held is already routed through the operation's panic slot, so a
+/// poisoned flag carries no extra information here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -156,9 +193,10 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A handle carrying a thread count. Scheduling state lives per-operation
-/// (scoped workers + shared chunk queue), so the handle itself is trivially
-/// cheap, `Send + Sync`, and never shuts down.
+/// A handle carrying a thread count. The worker threads themselves are
+/// process-global and shared (see the crate docs); the handle only decides
+/// how many of them one call tree may use, so it is trivially cheap,
+/// `Send + Sync`, and never shuts anything down.
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     threads: usize,
@@ -178,7 +216,509 @@ impl ThreadPool {
 }
 
 // ---------------------------------------------------------------------------
-// The chunked shared-queue scheduler
+// The persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// Hard cap on spawned workers — an operation never needs more helpers than
+/// its thread budget, and budgets are small multiples of the core count.
+pub const MAX_WORKERS: usize = 256;
+
+/// A helper ticket: a boxed closure holding an `Arc` of one operation's
+/// shared state (or a one-shot `join`/`scope` task).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the job queue's producers and the parked workers.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when jobs arrive; workers park here between jobs.
+    available: Condvar,
+}
+
+/// The process-wide persistent pool.
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Per-worker chunk counters; the vector's length is the number of
+    /// workers spawned so far.
+    workers: Mutex<Vec<Arc<AtomicU64>>>,
+    /// Parallel operations that engaged the pool (ran with > 1 thread).
+    ops: AtomicU64,
+    /// Helper jobs executed by pool workers.
+    helper_jobs: AtomicU64,
+    /// Chunks executed by calling threads (the caller always participates).
+    caller_chunks: AtomicU64,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        workers: Mutex::new(Vec::new()),
+        ops: AtomicU64::new(0),
+        helper_jobs: AtomicU64::new(0),
+        caller_chunks: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    /// Set once per worker thread: its chunk counter. `None` on every
+    /// non-worker thread, whose chunks are counted in `caller_chunks`.
+    static WORKER_CHUNK_COUNTER: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+}
+
+/// Records one executed chunk against the current thread's counter.
+fn note_chunk() {
+    WORKER_CHUNK_COUNTER.with(|counter| match &*counter.borrow() {
+        Some(c) => {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        None => {
+            pool().caller_chunks.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+fn worker_main(shared: Arc<PoolShared>, counter: Arc<AtomicU64>) {
+    WORKER_CHUNK_COUNTER.with(|slot| *slot.borrow_mut() = Some(counter));
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        pool().helper_jobs.fetch_add(1, Ordering::Relaxed);
+        // Jobs route task panics through their operation's panic slot, so a
+        // payload ever reaching this frame would be a scheduler bug; either
+        // way the worker survives and keeps serving.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl Pool {
+    /// Grows the pool so at least `want` workers exist (up to
+    /// [`MAX_WORKERS`]); returns how many workers exist afterwards. Spawn
+    /// failures degrade gracefully — submitted work is still completed by
+    /// the calling thread's steal loop.
+    fn ensure_workers(&self, want: usize) -> usize {
+        let mut workers = lock(&self.workers);
+        let want = want.min(MAX_WORKERS);
+        while workers.len() < want {
+            let counter = Arc::new(AtomicU64::new(0));
+            let shared = Arc::clone(&self.shared);
+            let their_counter = Arc::clone(&counter);
+            let spawned = std::thread::Builder::new()
+                .name(format!("msrs-pool-{}", workers.len()))
+                .spawn(move || worker_main(shared, their_counter));
+            if spawned.is_err() {
+                break;
+            }
+            workers.push(counter);
+        }
+        workers.len()
+    }
+
+    /// Publishes helper jobs and wakes workers. If no worker could ever be
+    /// spawned, the jobs run inline so nothing is stranded in the queue.
+    fn submit(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.ensure_workers(jobs.len()) == 0 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let wake_all = jobs.len() > 1;
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.extend(jobs);
+        }
+        if wake_all {
+            self.shared.available.notify_all();
+        } else {
+            self.shared.available.notify_one();
+        }
+    }
+}
+
+/// Counter snapshot of the persistent worker pool (process-global).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned so far (they are never torn down).
+    pub workers: usize,
+    /// Parallel operations that engaged the pool (> 1 effective thread).
+    pub ops: u64,
+    /// Helper jobs executed by pool workers.
+    pub helper_jobs: u64,
+    /// Chunks executed by calling threads (callers always participate).
+    pub caller_chunks: u64,
+    /// Chunks stolen and executed per worker, in spawn order.
+    pub worker_chunks: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total chunks executed across workers and callers.
+    pub fn total_chunks(&self) -> u64 {
+        self.caller_chunks + self.worker_chunks.iter().sum::<u64>()
+    }
+}
+
+/// Snapshots the persistent pool's counters. All counters are cumulative
+/// for the process lifetime; diff two snapshots to meter one workload.
+pub fn pool_stats() -> PoolStats {
+    let pool = pool();
+    let workers = lock(&pool.workers);
+    PoolStats {
+        workers: workers.len(),
+        ops: pool.ops.load(Ordering::Relaxed),
+        helper_jobs: pool.helper_jobs.load(Ordering::Relaxed),
+        caller_chunks: pool.caller_chunks.load(Ordering::Relaxed),
+        worker_chunks: workers.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-operation state: the atomic-cursor chunk queue
+// ---------------------------------------------------------------------------
+
+/// Everything one parallel operation shares between the calling thread and
+/// the helper tickets it enqueued: the task queue (claimed through an atomic
+/// cursor), order-preserving result slots, and a completion latch.
+struct OpState<In, Out, F> {
+    tasks: Vec<Mutex<Option<In>>>,
+    slots: Vec<Mutex<Option<Out>>>,
+    cursor: AtomicUsize,
+    /// Tasks not yet completed; the thread that takes it to zero trips the
+    /// `done` latch.
+    pending: AtomicUsize,
+    f: F,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload raised by a task, resumed on the calling thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<In, Out, F> OpState<In, Out, F>
+where
+    In: Send,
+    Out: Send,
+    F: Fn(In) -> Out + Sync,
+{
+    /// The steal loop: claim tasks through the cursor until the queue is
+    /// drained. Runs with nested parallelism pinned off, on workers and on
+    /// the calling thread alike, so a task's result never depends on which
+    /// thread executed it.
+    fn work(&self) {
+        with_threads(1, || loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks.len() {
+                break;
+            }
+            note_chunk();
+            let task = lock(&self.tasks[i])
+                .take()
+                .expect("each task is claimed exactly once");
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(task))) {
+                Ok(out) => *lock(&self.slots[i]) = Some(out),
+                Err(payload) => {
+                    let mut slot = lock(&self.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *lock(&self.done) = true;
+                self.done_cv.notify_all();
+            }
+        })
+    }
+}
+
+/// Core executor: applies `f` to every task, returning results in task
+/// order. With more than one effective thread, `threads - 1` helper tickets
+/// are enqueued on the persistent pool and the calling thread participates
+/// in the steal loop until every task completed. Tasks always run with
+/// nested parallel operations disabled — on the sequential path too, so a
+/// task's result never depends on how many workers executed the operation
+/// (no oversubscription, and nested node-budgeted searches stay
+/// deterministic across thread counts).
+fn run_tasks<In, Out, F>(tasks: Vec<In>, f: F) -> Vec<Out>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(In) -> Out + Send + Sync + 'static,
+{
+    let n = tasks.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 {
+        return with_threads(1, || tasks.into_iter().map(f).collect());
+    }
+    let state = Arc::new(OpState {
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        cursor: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n),
+        f,
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let pool = pool();
+    pool.ops.fetch_add(1, Ordering::Relaxed);
+    let tickets: Vec<Job> = (0..threads - 1)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            Box::new(move || state.work()) as Job
+        })
+        .collect();
+    pool.submit(tickets);
+    state.work();
+    // Wait for helpers still mid-task (the cursor being drained does not
+    // mean every claimed task has finished).
+    {
+        let mut done = lock(&state.done);
+        while !*done {
+            done = state
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    if let Some(payload) = lock(&state.panic).take() {
+        resume_unwind(payload);
+    }
+    state
+        .slots
+        .iter()
+        .map(|slot| lock(slot).take().expect("every task index was processed"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// join / scope
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel (`b` offered to the persistent
+/// pool), and returns both results. The current thread budget is split
+/// between the two sides, so nested `join` trees fan out to at most
+/// `current_num_threads()` threads total. Requires `'static` closures —
+/// share borrowed state via `Arc`, as with every pool-executed task.
+///
+/// Deadlock-free by *steal-back*: `b` is published in a claim slot, and if
+/// no worker has claimed it by the time `a` finishes, the calling thread
+/// takes it back and runs it inline — so `join` never parks behind an
+/// unstarted job, no matter how busy (or blocked) the pool's workers are.
+///
+/// Both closures are guaranteed to have completed before `join` returns or
+/// unwinds — a panic in `a` still steals back / waits out `b` first (as
+/// `std::thread::scope` and real rayon do), and `a`'s payload is re-raised
+/// preferentially when both sides panicked.
+pub fn join<RA, RB>(
+    a: impl FnOnce() -> RA + Send + 'static,
+    b: impl FnOnce() -> RB + Send + 'static,
+) -> (RA, RB)
+where
+    RA: Send + 'static,
+    RB: Send + 'static,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (a(), b());
+    }
+    let (ta, tb) = (threads - threads / 2, threads / 2);
+    struct JoinState<B, RB> {
+        /// The unstarted `b` closure; whoever `take`s it runs it. Holding
+        /// the closure itself (not a flag) makes the claim race-free.
+        task: Mutex<Option<B>>,
+        result: Mutex<Option<std::thread::Result<RB>>>,
+        cv: Condvar,
+    }
+    let state = Arc::new(JoinState {
+        task: Mutex::new(Some(b)),
+        result: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    let their_state = Arc::clone(&state);
+    pool().submit(vec![Box::new(move || {
+        let Some(b) = lock(&their_state.task).take() else {
+            return; // the caller stole it back
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| with_threads(tb, b)));
+        *lock(&their_state.result) = Some(result);
+        their_state.cv.notify_all();
+    })]);
+    // `a` runs under catch_unwind so that `b` is joined (stolen back or
+    // waited out) even when `a` panics — no task may outlive the call.
+    let ra = catch_unwind(AssertUnwindSafe(|| with_threads(ta, a)));
+    let rb = if let Some(b) = lock(&state.task).take() {
+        // No worker got to `b` yet — run it here instead of parking.
+        catch_unwind(AssertUnwindSafe(|| with_threads(tb, b)))
+    } else {
+        let mut slot = lock(&state.result);
+        while slot.is_none() {
+            slot = state.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+        slot.take().expect("join result published")
+    };
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
+
+/// A boxed scope task closure.
+type ScopeTask = Box<dyn FnOnce(&Scope) + Send + 'static>;
+
+/// A spawned-but-not-yet-started scope task; whoever `take`s the closure
+/// runs it (a pool worker, or the scope's waiter stealing it back).
+struct SpawnSlot {
+    task: Mutex<Option<ScopeTask>>,
+}
+
+/// Shared bookkeeping of one [`scope`]: outstanding task count, reclaimable
+/// unstarted tasks, and the first panic payload.
+struct ScopeState {
+    /// Slots of tasks offered to the pool; the waiter drains unstarted
+    /// ones before parking, which makes nested scopes deadlock-free.
+    unclaimed: Mutex<Vec<Arc<SpawnSlot>>>,
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    /// Records a finished task: panic payload (first wins) and the
+    /// completion count.
+    fn finish_task(&self, result: std::thread::Result<()>) {
+        if let Err(payload) = result {
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A scope for spawning pool tasks (mirrors `rayon::Scope`, modulo the
+/// `'static` bound the persistent pool imposes). All spawned tasks are
+/// joined before [`scope`] returns; spawned tasks run nested parallel ops
+/// sequentially and may themselves spawn onto the same scope.
+pub struct Scope {
+    state: Arc<ScopeState>,
+}
+
+impl Scope {
+    /// Spawns a task onto the scope. With an effective thread count of 1
+    /// the task runs inline (still with nested parallelism disabled).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope) + Send + 'static,
+    {
+        if current_num_threads() <= 1 {
+            with_threads(1, || f(self));
+            return;
+        }
+        *lock(&self.state.pending) += 1;
+        let slot = Arc::new(SpawnSlot {
+            task: Mutex::new(Some(Box::new(f))),
+        });
+        lock(&self.state.unclaimed).push(Arc::clone(&slot));
+        let state = Arc::clone(&self.state);
+        let child = Scope {
+            state: Arc::clone(&self.state),
+        };
+        pool().submit(vec![Box::new(move || {
+            let Some(f) = lock(&slot.task).take() else {
+                return; // the waiter stole it back
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| with_threads(1, || f(&child))));
+            state.finish_task(result);
+        })]);
+    }
+}
+
+/// Creates a scope in which tasks can be spawned onto the persistent pool;
+/// returns once all spawned tasks (including transitively spawned ones)
+/// have completed — also when the scope closure itself panics (tasks are
+/// joined first, then the closure's payload is re-raised, exactly as
+/// `std::thread::scope` behaves). Panics from tasks are resumed here.
+///
+/// Deadlock-free by *steal-back*: before parking, the waiter reclaims and
+/// runs every spawned task no worker has started yet (including tasks those
+/// tasks spawn), so completion never depends on pool workers being
+/// available.
+pub fn scope<F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope) -> R,
+{
+    let scope = Scope {
+        state: Arc::new(ScopeState {
+            unclaimed: Mutex::new(Vec::new()),
+            pending: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+    };
+    // The closure runs under catch_unwind so spawned tasks are joined even
+    // when it panics — no task may outlive the scope call.
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Drain unstarted tasks inline; tasks run here may spawn more, which
+    // lands back in `unclaimed` and is picked up by this same loop.
+    loop {
+        let Some(slot) = lock(&scope.state.unclaimed).pop() else {
+            break;
+        };
+        let Some(task) = lock(&slot.task).take() else {
+            continue; // a worker already ran this one
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| with_threads(1, || task(&scope))));
+        scope.state.finish_task(run);
+    }
+    // Park only for tasks a worker actually started (it is running them).
+    {
+        let mut pending = lock(&scope.state.pending);
+        while *pending > 0 {
+            pending = scope
+                .state
+                .done_cv
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    // The scope closure's own panic wins over task panics, as with
+    // std::thread::scope.
+    let task_panic = lock(&scope.state.panic).take();
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(result) => {
+            if let Some(payload) = task_panic {
+                resume_unwind(payload);
+            }
+            result
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic chunking
 // ---------------------------------------------------------------------------
 
 /// Upper bound on the number of chunks a parallel operation is split into.
@@ -206,110 +746,6 @@ fn split_chunks<S>(items: Vec<S>) -> Vec<Vec<S>> {
     }
 }
 
-/// Core executor: applies `f` to every task, returning results in task
-/// order. With more than one effective thread, tasks are published in a
-/// shared queue and stolen by scoped workers through an atomic cursor; the
-/// calling thread participates as a worker. Tasks always run with nested
-/// parallel operations disabled — on the sequential path too, so a task's
-/// result never depends on how many workers executed the operation (no
-/// oversubscription, and nested node-budgeted searches stay deterministic
-/// across thread counts).
-fn run_tasks<In: Send, Out: Send>(tasks: Vec<In>, f: impl Fn(In) -> Out + Sync) -> Vec<Out> {
-    let n = tasks.len();
-    let threads = current_num_threads().clamp(1, n.max(1));
-    if threads <= 1 {
-        return with_threads(1, || tasks.into_iter().map(f).collect());
-    }
-    let queue: Vec<Mutex<Option<In>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<Out>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let worker = || {
-        with_threads(1, || loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            let task = queue[i]
-                .lock()
-                .expect("task queue poisoned")
-                .take()
-                .expect("each task is claimed exactly once");
-            *slots[i].lock().expect("result slot poisoned") = Some(f(task));
-        })
-    };
-    std::thread::scope(|s| {
-        let worker = &worker;
-        for _ in 1..threads {
-            s.spawn(worker);
-        }
-        worker();
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task index was processed")
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// join / scope
-// ---------------------------------------------------------------------------
-
-/// Runs `a` and `b`, potentially in parallel, and returns both results.
-/// The current thread budget is split between the two sides, so nested
-/// `join` trees fan out to at most `current_num_threads()` threads total.
-pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
-where
-    RA: Send,
-    RB: Send,
-{
-    let threads = current_num_threads();
-    if threads <= 1 {
-        return (a(), b());
-    }
-    let (ta, tb) = (threads - threads / 2, threads / 2);
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || with_threads(tb, b));
-        let ra = with_threads(ta, a);
-        let rb = hb
-            .join()
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        (ra, rb)
-    })
-}
-
-/// A scope for spawning borrowed tasks (mirrors `rayon::Scope`). Each
-/// spawned task runs on its own scoped thread; all tasks are joined before
-/// [`scope`] returns. Spawned tasks run nested parallel ops sequentially.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task that may borrow from the enclosing scope.
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        self.inner.spawn(move || {
-            with_threads(1, || f(&Scope { inner }));
-        });
-    }
-}
-
-/// Creates a scope in which borrowed tasks can be spawned; returns once all
-/// spawned tasks have completed.
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-{
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
-
 // ---------------------------------------------------------------------------
 // Parallel iterators
 // ---------------------------------------------------------------------------
@@ -322,14 +758,22 @@ pub type BaseParIter<S> = ParIter<S, S, IdentityPipeline<S>>;
 
 /// A parallel iterator: an ordered item source plus a per-item pipeline
 /// (`map`s and `filter`s composed into one closure). Terminal operations
-/// split the items into deterministic chunks and run them on the scheduler.
-pub struct ParIter<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> {
+/// split the items into deterministic chunks and run them on the persistent
+/// pool. Items and pipeline closures must be `'static` (pool jobs outlive
+/// any stack frame); share borrowed context via `Arc` clones captured by
+/// `move` closures.
+pub struct ParIter<S, T, F>
+where
+    S: Send + 'static,
+    T: Send + 'static,
+    F: Fn(S) -> Option<T> + Sync + Send + 'static,
+{
     items: Vec<S>,
     pipeline: F,
     _result: PhantomData<fn() -> T>,
 }
 
-fn base_par_iter<S: Send>(items: Vec<S>) -> BaseParIter<S> {
+fn base_par_iter<S: Send + 'static>(items: Vec<S>) -> BaseParIter<S> {
     ParIter {
         items,
         pipeline: Some,
@@ -337,7 +781,12 @@ fn base_par_iter<S: Send>(items: Vec<S>) -> BaseParIter<S> {
     }
 }
 
-impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
+impl<S, T, F> ParIter<S, T, F>
+where
+    S: Send + 'static,
+    T: Send + 'static,
+    F: Fn(S) -> Option<T> + Sync + Send + 'static,
+{
     /// Number of source items (before any `filter`).
     pub fn len(&self) -> usize {
         self.items.len()
@@ -349,10 +798,10 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     }
 
     /// Maps each item through `g`.
-    pub fn map<U: Send>(
+    pub fn map<U: Send + 'static>(
         self,
-        g: impl Fn(T) -> U + Sync + Send,
-    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send> {
+        g: impl Fn(T) -> U + Sync + Send + 'static,
+    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send + 'static> {
         let f = self.pipeline;
         ParIter {
             items: self.items,
@@ -364,8 +813,8 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     /// Keeps the items for which `pred` holds.
     pub fn filter(
         self,
-        pred: impl Fn(&T) -> bool + Sync + Send,
-    ) -> ParIter<S, T, impl Fn(S) -> Option<T> + Sync + Send> {
+        pred: impl Fn(&T) -> bool + Sync + Send + 'static,
+    ) -> ParIter<S, T, impl Fn(S) -> Option<T> + Sync + Send + 'static> {
         let f = self.pipeline;
         ParIter {
             items: self.items,
@@ -375,10 +824,10 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     }
 
     /// Maps and filters in one step.
-    pub fn filter_map<U: Send>(
+    pub fn filter_map<U: Send + 'static>(
         self,
-        g: impl Fn(T) -> Option<U> + Sync + Send,
-    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send> {
+        g: impl Fn(T) -> Option<U> + Sync + Send + 'static,
+    ) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync + Send + 'static> {
         let f = self.pipeline;
         ParIter {
             items: self.items,
@@ -396,7 +845,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
             return Vec::new();
         }
         let chunks = split_chunks(items);
-        run_tasks(chunks, |chunk| {
+        run_tasks(chunks, move |chunk| {
             chunk.into_iter().filter_map(&pipeline).collect::<Vec<T>>()
         })
         .into_iter()
@@ -411,7 +860,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
 
     /// Runs `g` on every item (in parallel; no ordering guarantee between
     /// chunks for side effects).
-    pub fn for_each(self, g: impl Fn(T) + Sync + Send) {
+    pub fn for_each(self, g: impl Fn(T) + Sync + Send + 'static) {
         let ParIter {
             items, pipeline, ..
         } = self;
@@ -419,7 +868,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
             return;
         }
         let chunks = split_chunks(items);
-        run_tasks(chunks, |chunk| {
+        run_tasks(chunks, move |chunk| {
             chunk.into_iter().filter_map(&pipeline).for_each(&g);
         });
     }
@@ -429,7 +878,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     /// [`ParIter::reduce`]); the fold tree — sequential within each chunk,
     /// chunk accumulators combined in chunk order — is deterministic for
     /// every thread count.
-    pub fn fold(self, init: T, op: impl Fn(T, T) -> T + Sync + Send) -> T
+    pub fn fold(self, init: T, op: impl Fn(T, T) -> T + Sync + Send + 'static) -> T
     where
         T: Clone + Sync,
     {
@@ -440,8 +889,8 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     /// (mirrors `rayon`'s `reduce`). Deterministic: see [`ParIter::fold`].
     pub fn reduce(
         self,
-        identity: impl Fn() -> T + Sync + Send,
-        op: impl Fn(T, T) -> T + Sync + Send,
+        identity: impl Fn() -> T + Sync + Send + 'static,
+        op: impl Fn(T, T) -> T + Sync + Send + 'static,
     ) -> T {
         let ParIter {
             items, pipeline, ..
@@ -449,27 +898,35 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
         if items.is_empty() {
             return identity();
         }
+        // `identity`/`op` are needed both inside the pool tasks and for the
+        // final chunk-order combine on this thread; share them via `Arc`.
+        let identity = Arc::new(identity);
+        let op = Arc::new(op);
         let chunks = split_chunks(items);
-        let accs = run_tasks(chunks, |chunk| {
-            chunk
-                .into_iter()
-                .filter_map(&pipeline)
-                .fold(identity(), &op)
+        let accs = run_tasks(chunks, {
+            let identity = Arc::clone(&identity);
+            let op = Arc::clone(&op);
+            move |chunk: Vec<S>| {
+                chunk
+                    .into_iter()
+                    .filter_map(&pipeline)
+                    .fold((*identity)(), &*op)
+            }
         });
-        accs.into_iter().fold(identity(), op)
+        accs.into_iter().fold((*identity)(), |a, b| (*op)(a, b))
     }
 
     /// Sums the items. Deterministic: per-chunk sums are combined in chunk
     /// order.
     pub fn sum<U>(self) -> U
     where
-        U: std::iter::Sum<T> + std::iter::Sum<U> + Send,
+        U: std::iter::Sum<T> + std::iter::Sum<U> + Send + 'static,
     {
         let ParIter {
             items, pipeline, ..
         } = self;
         let chunks = split_chunks(items);
-        run_tasks(chunks, |chunk| {
+        run_tasks(chunks, move |chunk| {
             chunk.into_iter().filter_map(&pipeline).sum::<U>()
         })
         .into_iter()
@@ -482,7 +939,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
             items, pipeline, ..
         } = self;
         let chunks = split_chunks(items);
-        run_tasks(chunks, |chunk| {
+        run_tasks(chunks, move |chunk| {
             chunk.into_iter().filter_map(&pipeline).count()
         })
         .into_iter()
@@ -508,12 +965,12 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
     }
 
     /// Whether any item satisfies `pred`.
-    pub fn any(self, pred: impl Fn(T) -> bool + Sync + Send) -> bool {
+    pub fn any(self, pred: impl Fn(T) -> bool + Sync + Send + 'static) -> bool {
         self.map(pred).drive().into_iter().any(|b| b)
     }
 
     /// Whether all items satisfy `pred`.
-    pub fn all(self, pred: impl Fn(T) -> bool + Sync + Send) -> bool {
+    pub fn all(self, pred: impl Fn(T) -> bool + Sync + Send + 'static) -> bool {
         self.map(pred).drive().into_iter().all(|b| b)
     }
 }
@@ -525,7 +982,7 @@ impl<S: Send, T: Send, F: Fn(S) -> Option<T> + Sync + Send> ParIter<S, T, F> {
 /// `IntoParallelIterator`: `into_par_iter()` consumes a collection.
 pub trait IntoParallelIterator {
     /// Element type.
-    type Item: Send;
+    type Item: Send + 'static;
     /// The parallel iterator type.
     type Iter;
 
@@ -535,7 +992,7 @@ pub trait IntoParallelIterator {
 
 impl<I: IntoIterator> IntoParallelIterator for I
 where
-    I::Item: Send,
+    I::Item: Send + 'static,
 {
     type Item = I::Item;
     type Iter = BaseParIter<I::Item>;
@@ -545,59 +1002,38 @@ where
     }
 }
 
-/// `IntoParallelRefIterator`: `par_iter()` borrows a collection.
+/// `IntoParallelRefIterator`: `par_iter()` iterates a collection without
+/// consuming it. Because pool tasks are `'static`, the items are **cloned
+/// up front** (rayon yields `&T` here): cheap for the `Copy`/small types
+/// this workspace fans out, and explicit `Arc`-sharing over indices is the
+/// right tool for heavyweight items (see `msrs-engine`'s batch paths).
 pub trait IntoParallelRefIterator<'data> {
-    /// Element type (a reference).
-    type Item: Send;
+    /// Element type (owned — cloned from the collection).
+    type Item: Send + 'static;
     /// The parallel iterator type.
     type Iter;
 
-    /// Iterate by reference.
+    /// Iterate by cloning each element.
     fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+impl<'data, C, T> IntoParallelRefIterator<'data> for C
 where
-    &'data C: IntoIterator,
-    <&'data C as IntoIterator>::Item: Send,
+    C: ?Sized + 'data,
+    &'data C: IntoIterator<Item = &'data T>,
+    T: Clone + Send + 'static,
 {
-    type Item = <&'data C as IntoIterator>::Item;
-    type Iter = BaseParIter<Self::Item>;
+    type Item = T;
+    type Iter = BaseParIter<T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        base_par_iter(self.into_iter().collect())
-    }
-}
-
-/// `IntoParallelRefMutIterator`: `par_iter_mut()` borrows mutably. The
-/// exclusive references are distributed across workers (each item visits
-/// exactly one worker), which is safe by construction.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// Element type (a mutable reference).
-    type Item: Send;
-    /// The parallel iterator type.
-    type Iter;
-
-    /// Iterate by mutable reference.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-    <&'data mut C as IntoIterator>::Item: Send,
-{
-    type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = BaseParIter<Self::Item>;
-
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        base_par_iter(self.into_iter().collect())
+    fn par_iter(&'data self) -> BaseParIter<T> {
+        base_par_iter(self.into_iter().cloned().collect())
     }
 }
 
 /// Matches `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
 #[cfg(test)]
@@ -620,15 +1056,13 @@ mod tests {
     }
 
     #[test]
-    fn for_each_and_mut() {
-        let mut v = vec![1, 2, 3];
-        v.par_iter_mut().for_each(|x| *x += 10);
-        assert_eq!(v, vec![11, 12, 13]);
-        let seen = AtomicUsize::new(0);
-        v.par_iter().for_each(|&x| {
-            seen.fetch_add(x, Ordering::Relaxed);
+    fn for_each_observes_every_item() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let their_seen = Arc::clone(&seen);
+        vec![11, 12, 13].into_par_iter().for_each(move |x| {
+            their_seen.fetch_add(x, Ordering::Relaxed);
         });
-        assert_eq!(seen.into_inner(), 36);
+        assert_eq!(seen.load(Ordering::Relaxed), 36);
     }
 
     #[test]
@@ -636,8 +1070,7 @@ mod tests {
         let input: Vec<u64> = (0..1000).collect();
         let reference: Vec<u64> = input.iter().map(|x| x * x).collect();
         for threads in [1, 2, 3, 8] {
-            let out: Vec<u64> =
-                pool(threads).install(|| input.par_iter().map(|&x| x * x).collect());
+            let out: Vec<u64> = pool(threads).install(|| input.par_iter().map(|x| x * x).collect());
             assert_eq!(out, reference, "threads = {threads}");
         }
     }
@@ -646,19 +1079,14 @@ mod tests {
     fn filter_and_filter_map_preserve_order() {
         let input: Vec<i64> = (0..500).collect();
         for threads in [1, 4] {
-            let evens: Vec<i64> = pool(threads).install(|| {
-                input
-                    .par_iter()
-                    .map(|&x| x)
-                    .filter(|x| x % 2 == 0)
-                    .collect()
-            });
+            let evens: Vec<i64> =
+                pool(threads).install(|| input.par_iter().filter(|x| x % 2 == 0).collect());
             assert_eq!(evens.len(), 250);
             assert!(evens.windows(2).all(|w| w[0] < w[1]));
             let odds: Vec<i64> = pool(threads).install(|| {
                 input
                     .par_iter()
-                    .filter_map(|&x| (x % 2 == 1).then_some(x * 10))
+                    .filter_map(|x| (x % 2 == 1).then_some(x * 10))
                     .collect()
             });
             assert_eq!(odds[0], 10);
@@ -671,10 +1099,9 @@ mod tests {
         // Floating-point addition is not associative, so bit-identical sums
         // across thread counts prove the reduction tree shape is fixed.
         let input: Vec<f64> = (1..=3000).map(|i| 1.0 / i as f64).collect();
-        let reference = pool(1).install(|| input.par_iter().map(|&x| x).fold(0.0f64, |a, b| a + b));
+        let reference = pool(1).install(|| input.par_iter().fold(0.0f64, |a, b| a + b));
         for threads in [2, 3, 8] {
-            let sum =
-                pool(threads).install(|| input.par_iter().map(|&x| x).fold(0.0f64, |a, b| a + b));
+            let sum = pool(threads).install(|| input.par_iter().fold(0.0f64, |a, b| a + b));
             assert_eq!(sum.to_bits(), reference.to_bits(), "threads = {threads}");
         }
     }
@@ -682,8 +1109,8 @@ mod tests {
     #[test]
     fn reduce_and_fold_agree() {
         let input: Vec<u64> = (0..100).collect();
-        let a = input.par_iter().map(|&x| x).reduce(|| 0, u64::max);
-        let b = input.par_iter().map(|&x| x).fold(0, u64::max);
+        let a = input.par_iter().reduce(|| 0, u64::max);
+        let b = input.par_iter().fold(0, u64::max);
         assert_eq!(a, 99);
         assert_eq!(a, b);
     }
@@ -691,11 +1118,11 @@ mod tests {
     #[test]
     fn count_min_max_any_all() {
         let v: Vec<i32> = (0..257).collect();
-        assert_eq!(v.par_iter().filter(|&&x| x % 2 == 0).count(), 129);
-        assert_eq!(v.par_iter().map(|&x| x).min(), Some(0));
-        assert_eq!(v.par_iter().map(|&x| x).max(), Some(256));
-        assert!(v.par_iter().any(|&x| x == 256));
-        assert!(v.par_iter().all(|&x| x < 257));
+        assert_eq!(v.par_iter().filter(|&x| x % 2 == 0).count(), 129);
+        assert_eq!(v.par_iter().min(), Some(0));
+        assert_eq!(v.par_iter().max(), Some(256));
+        assert!(v.par_iter().any(|x| x == 256));
+        assert!(v.par_iter().all(|x| x < 257));
         let empty: Vec<i32> = vec![];
         assert_eq!(empty.into_par_iter().min(), None);
     }
@@ -703,17 +1130,67 @@ mod tests {
     #[test]
     fn work_actually_distributes_across_threads() {
         use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids = Mutex::new(HashSet::new());
+        let ids = Arc::new(Mutex::new(HashSet::new()));
+        let their_ids = Arc::clone(&ids);
         pool(4).install(|| {
-            (0..256).into_par_iter().for_each(|_| {
-                ids.lock().unwrap().insert(std::thread::current().id());
+            (0..256).into_par_iter().for_each(move |_| {
+                lock(&their_ids).insert(std::thread::current().id());
                 std::thread::sleep(std::time::Duration::from_micros(200));
             });
         });
         // 256 items → 64 chunks; with 4 workers and a sleep per item, more
         // than one OS thread must have participated.
-        assert!(ids.into_inner().unwrap().len() > 1);
+        assert!(lock(&ids).len() > 1);
+    }
+
+    #[test]
+    fn pool_counters_advance_per_operation() {
+        let before = pool_stats();
+        let out: Vec<u32> = pool(4).install(|| (0..256u32).into_par_iter().collect());
+        assert_eq!(out.len(), 256);
+        let after = pool_stats();
+        // Cumulative, monotone counters (other tests run concurrently, so
+        // only lower bounds are meaningful): our op engaged the pool and
+        // executed its 64 chunks somewhere.
+        assert!(after.ops > before.ops);
+        assert!(after.total_chunks() >= before.total_chunks() + 64);
+        assert!(after.workers <= MAX_WORKERS);
+        assert_eq!(after.worker_chunks.len(), after.workers);
+    }
+
+    #[test]
+    fn workers_persist_across_operations() {
+        // Warm the pool, then check repeated operations do not grow it
+        // beyond what their thread budget ever requires.
+        let p = pool(4);
+        let _: Vec<u32> = p.install(|| (0..128u32).into_par_iter().collect());
+        let baseline = pool_stats().workers;
+        for _ in 0..16 {
+            let out: Vec<u32> = p.install(|| (0..128u32).into_par_iter().map(|x| x + 1).collect());
+            assert_eq!(out.len(), 128);
+        }
+        let grown = pool_stats().workers;
+        // Other test threads may grow the pool concurrently (up to their
+        // own budgets), but 16 repeats of a 4-thread op must not: the same
+        // parked workers are reused.
+        assert!(grown <= baseline.max(8), "pool grew to {grown} workers");
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..100u32).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("boom at {i}");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool keeps serving afterwards.
+        let sum: u64 = pool(4).install(|| (0..100u64).into_par_iter().sum());
+        assert_eq!(sum, 4950);
     }
 
     #[test]
@@ -726,21 +1203,132 @@ mod tests {
     }
 
     #[test]
-    fn scope_joins_all_spawned_tasks() {
-        let counter = AtomicUsize::new(0);
-        scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|_| {
-                    counter.fetch_add(1, Ordering::Relaxed);
-                });
-            }
+    fn nested_join_on_pool_threads_does_not_deadlock() {
+        // Regression: the b-side of a join runs with a multi-thread budget;
+        // a nested join inside it used to park behind a queue no free
+        // worker would ever drain. Steal-back must complete it regardless
+        // of worker availability.
+        let (a, (b, c)) = pool(4).install(|| join(|| 1, || join(|| 2, || 3)));
+        assert_eq!((a, b, c), (1, 2, 3));
+        // Deeper and wider, on a tiny budget.
+        let (x, (y, z)) = pool(2).install(|| join(|| join(|| 10, || 11), || join(|| 12, || 13)));
+        assert_eq!((x, (y, z)), ((10, 11), (12, 13)));
+    }
+
+    #[test]
+    fn scope_waiter_steals_back_unstarted_tasks() {
+        // Even with every worker busy elsewhere, a scope must finish: the
+        // waiter reclaims unstarted spawns (and the spawns they spawn).
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool(2).install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&counter);
+                    s.spawn(move |s| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        let c2 = Arc::clone(&c);
+                        s.spawn(move |_| {
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
         });
-        assert_eq!(counter.into_inner(), 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_completes_the_other_side_before_unwinding() {
+        // A panic in `a` must not let `b` outlive the join call: by the
+        // time catch_unwind observes the payload, `b` has run to completion.
+        let b_done = Arc::new(AtomicUsize::new(0));
+        let their_b_done = Arc::clone(&b_done);
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                join(
+                    || -> u32 { panic!("left side") },
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        their_b_done.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(b_done.load(Ordering::SeqCst), 1, "b joined before unwind");
+    }
+
+    #[test]
+    fn scope_joins_spawned_tasks_before_resuming_a_closure_panic() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let their_ran = Arc::clone(&ran);
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                scope(|s| {
+                    for _ in 0..4 {
+                        let ran = Arc::clone(&their_ran);
+                        s.spawn(move |_| {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            ran.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    panic!("scope closure");
+                })
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "all tasks joined first");
+    }
+
+    #[test]
+    fn join_propagates_panics_from_the_pool_side() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| join(|| 1u32, || -> u32 { panic!("right side") }))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        for threads in [1usize, 4] {
+            let counter = Arc::new(AtomicUsize::new(0));
+            pool(threads).install(|| {
+                scope(|s| {
+                    for _ in 0..8 {
+                        let counter = Arc::clone(&counter);
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 8, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool(4).install(|| {
+            scope(|s| {
+                let outer = Arc::clone(&counter);
+                s.spawn(move |s| {
+                    outer.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        let inner = Arc::clone(&outer);
+                        s.spawn(move |_| {
+                            inner.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
     }
 
     #[test]
     fn nested_parallelism_is_sequential_inside_workers() {
-        // A worker's nested parallel op must not spawn further threads; it
+        // A worker's nested parallel op must not fan out further; it
         // still produces correct, ordered results.
         let out: Vec<Vec<u32>> = pool(4).install(|| {
             (0u32..8)
@@ -788,7 +1376,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let empty: Vec<u8> = vec![];
-        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        let out: Vec<u8> = empty.par_iter().collect();
         assert!(out.is_empty());
         let sum: u32 = Vec::<u32>::new().into_par_iter().sum();
         assert_eq!(sum, 0);
