@@ -74,6 +74,7 @@ impl Busy {
     }
 
     /// Earliest `t ≥ from` such that `[t, t+p)` avoids all intervals.
+    #[cfg(test)]
     fn earliest_fit(&self, from: Time, p: Time) -> Time {
         let mut t = from;
         for &(s, e) in &self.iv {
@@ -88,12 +89,45 @@ impl Busy {
     }
 }
 
-fn merged(a: &Busy, b: &Busy) -> Busy {
-    let mut iv = Vec::with_capacity(a.iv.len() + b.iv.len());
-    iv.extend_from_slice(&a.iv);
-    iv.extend_from_slice(&b.iv);
-    iv.sort_unstable();
-    Busy { iv }
+/// Earliest `t ≥ from` such that `[t, t+p)` avoids every interval of both
+/// lists. Equivalent to concatenating, sorting, and scanning (the scan only
+/// needs intervals in ascending order, and ties commute through the
+/// `max`-accumulation) — but walks the two already-sorted lists with two
+/// cursors instead: no allocation, no sort. This sits in the innermost
+/// (job × machine) loop of [`hebrard_greedy`], where the merge-and-sort
+/// formulation dominated the whole portfolio's runtime.
+fn earliest_fit_merged(a: &Busy, b: &Busy, from: Time, p: Time) -> Time {
+    let (mut i, mut j) = (0, 0);
+    let mut t = from;
+    loop {
+        let next = match (a.iv.get(i), b.iv.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => return t,
+        };
+        let (s, e) = next;
+        if t + p <= s {
+            return t;
+        }
+        if e > t {
+            t = e;
+        }
+    }
 }
 
 /// Hebrard-style greedy insertion: repeatedly pick the unscheduled job with
@@ -132,8 +166,7 @@ pub fn hebrard_greedy(inst: &Instance) -> ApproxResult {
         let p = inst.size(j);
         let mut best: Option<(Time, usize)> = None;
         for (q, busy) in machine_busy.iter().enumerate() {
-            let combined = merged(busy, &class_busy[c]);
-            let s = combined.earliest_fit(0, p);
+            let s = earliest_fit_merged(busy, &class_busy[c], 0, p);
             if best.is_none_or(|(bs, _)| s < bs) {
                 best = Some((s, q));
             }
@@ -414,5 +447,52 @@ mod tests {
         assert_eq!(b.earliest_fit(3, 2), 5);
         assert_eq!(b.earliest_fit(0, 4), 10);
         assert_eq!(b.earliest_fit(11, 7), 11);
+    }
+
+    #[test]
+    fn merged_fit_matches_the_sort_based_reference() {
+        // Pseudo-random interval pairs: the two-cursor merge walk must
+        // agree with "concatenate, sort, scan" everywhere (including
+        // touching/duplicate intervals and equal starts).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move |m: u64| -> u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..500 {
+            let mut a = Busy::default();
+            let mut b = Busy::default();
+            let mut cur = 0;
+            for _ in 0..next(6) {
+                let s = cur + next(4);
+                let e = s + 1 + next(5);
+                a.insert(s, e);
+                cur = e + next(3);
+            }
+            cur = 0;
+            for _ in 0..next(6) {
+                let s = cur + next(4);
+                let e = s + 1 + next(5);
+                b.insert(s, e);
+                cur = e + next(3);
+            }
+            let mut iv = a.iv.clone();
+            iv.extend_from_slice(&b.iv);
+            iv.sort_unstable();
+            let reference = Busy { iv };
+            for p in 1..6 {
+                for from in 0..4 {
+                    assert_eq!(
+                        earliest_fit_merged(&a, &b, from, p),
+                        reference.earliest_fit(from, p),
+                        "a={:?} b={:?} from={from} p={p}",
+                        a.iv,
+                        b.iv
+                    );
+                }
+            }
+        }
     }
 }

@@ -30,6 +30,13 @@ impl LowerBounds {
 }
 
 /// Computes all three lower-bound components for `inst` in `O(n)`.
+///
+/// This runs on every engine request (classification and both
+/// approximation algorithms derive `T` from it), so the two-job component
+/// is computed with a single buffer copy: one descending `select_nth`
+/// places `p_(m)` and partitions everything `≤ p_(m)` to its right, where
+/// `p_(m+1)` is a plain maximum — instead of two independent selection
+/// passes over two clones.
 pub fn lower_bounds(inst: &Instance) -> LowerBounds {
     let m = inst.machines() as Time;
     let avg_load = if inst.num_jobs() == 0 {
@@ -45,9 +52,10 @@ pub fn lower_bounds(inst: &Instance) -> LowerBounds {
     // fits in `Time` by the construction invariant of `Instance`, but a
     // silent wrap here would *under*-report the bound, so never wrap.
     let two_jobs = if inst.num_jobs() > inst.machines() {
-        inst.kth_largest_size(inst.machines())
-            .unwrap_or(0)
-            .saturating_add(inst.kth_largest_size(inst.machines() + 1).unwrap_or(0))
+        let mut sizes: Vec<Time> = inst.flat_sizes().to_vec();
+        let (_, p_m, rest) = sizes.select_nth_unstable_by(inst.machines() - 1, |a, b| b.cmp(a));
+        let p_m1 = rest.iter().copied().max().unwrap_or(0);
+        (*p_m).saturating_add(p_m1)
     } else {
         0
     };

@@ -15,6 +15,18 @@
 //! A stable 128-bit [fingerprint](CanonicalForm::fingerprint) over the
 //! canonical description keys result caches: equal canonical forms hash
 //! identically on every platform and run.
+//!
+//! ## Allocation discipline
+//!
+//! Canonicalization runs on every engine request (hit or miss), so it works
+//! over the instance's *flat* storage ([`Instance::flat_sizes`]): class
+//! spans are sorted **in place** inside a reusable [`CanonicalScratch`], the
+//! fingerprint streams over the sorted flat buffer, and the canonical
+//! instance is rebuilt through [`Instance::from_flat`] — no per-class
+//! vectors exist anywhere on the path. [`flat_fingerprint`] computes the
+//! fingerprint alone from raw flat data (no [`Instance`] required at all),
+//! with zero allocations once the scratch is warm; it is the cache-probe
+//! primitive of the engine's streaming data plane.
 
 use crate::instance::{ClassId, Instance, JobId, Time};
 use crate::schedule::Schedule;
@@ -24,8 +36,12 @@ const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 /// FNV-1a 128-bit prime.
 const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
 
-/// Streaming FNV-1a over `u64` words — stable across platforms and runs
-/// (unlike `std::hash`, whose output is unspecified between releases).
+/// Streaming FNV-1a-style mix over whole `u64` words — stable across
+/// platforms and runs (unlike `std::hash`, whose output is unspecified
+/// between releases). One xor + one 128-bit multiply per word, instead of
+/// the byte-at-a-time schedule: fingerprinting is on the per-request serving
+/// path, where hashing `n` job sizes at 8 multiplies per size dominated the
+/// whole canonicalization.
 #[derive(Debug, Clone, Copy)]
 struct Fnv128(u128);
 
@@ -35,11 +51,97 @@ impl Fnv128 {
     }
 
     fn write_u64(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= byte as u128;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        self.0 ^= word as u128;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+        // Fold the high half back down so consecutive words interact with
+        // the full 128-bit state, not only the low lane the next xor hits.
+        self.0 ^= self.0 >> 97;
+    }
+}
+
+/// Reusable buffers for canonicalization: the flat `(size, job)` table being
+/// sorted and the per-class span list. Warm scratch makes repeated
+/// canonicalization (and [`flat_fingerprint`]) allocation-free.
+#[derive(Debug, Default)]
+pub struct CanonicalScratch {
+    /// Flat `(size, external job id)` pairs, grouped by class and sorted
+    /// descending within each span.
+    pairs: Vec<(Time, JobId)>,
+    /// Sizes-only variant used by [`flat_fingerprint`] (no job ids known).
+    sizes: Vec<Time>,
+    /// Non-empty class spans as `(start, end)` flat ranges, sorted into
+    /// canonical class order.
+    spans: Vec<(usize, usize)>,
+}
+
+impl CanonicalScratch {
+    /// A fresh scratch (no buffers reserved yet).
+    pub fn new() -> Self {
+        CanonicalScratch::default()
+    }
+}
+
+/// Descending-lexicographic span comparison, ties broken by span start
+/// (= original class order), so the permutation is total and deterministic
+/// under `sort_unstable`.
+fn span_cmp<T: Ord + Copy>(
+    buf: &[T],
+    key: impl Fn(T) -> Time,
+    a: (usize, usize),
+    b: (usize, usize),
+) -> std::cmp::Ordering {
+    let sa = buf[a.0..a.1].iter().map(|&x| key(x));
+    let sb = buf[b.0..b.1].iter().map(|&x| key(x));
+    sb.cmp(sa).then(a.0.cmp(&b.0))
+}
+
+/// Hashes the canonical description: machines, class count, then per class
+/// its length followed by its (descending) sizes.
+fn hash_spans<T: Copy>(
+    machines: usize,
+    spans: &[(usize, usize)],
+    buf: &[T],
+    key: impl Fn(T) -> Time,
+) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u64(machines as u64);
+    h.write_u64(spans.len() as u64);
+    for &(start, end) in spans {
+        h.write_u64((end - start) as u64);
+        for &x in &buf[start..end] {
+            h.write_u64(key(x));
         }
     }
+    h.0
+}
+
+/// The stable 128-bit fingerprint of the canonical form of raw flat class
+/// data (`sizes` grouped by class, `offsets` delimiting the classes exactly
+/// as [`Instance::class_offsets`] does), without materializing an
+/// [`Instance`] or a [`CanonicalForm`]. Produces the same value as
+/// `Instance::canonical_form().fingerprint()` on the same data; with a warm
+/// `scratch` the computation performs no heap allocations.
+pub fn flat_fingerprint(
+    machines: usize,
+    sizes: &[Time],
+    offsets: &[usize],
+    scratch: &mut CanonicalScratch,
+) -> u128 {
+    scratch.sizes.clear();
+    scratch.sizes.extend_from_slice(sizes);
+    scratch.spans.clear();
+    for w in 0..offsets.len().saturating_sub(1) {
+        let (start, end) = (offsets[w], offsets[w + 1]);
+        if start < end {
+            scratch.sizes[start..end].sort_unstable_by(|a, b| b.cmp(a));
+            scratch.spans.push((start, end));
+        }
+    }
+    let buf = &scratch.sizes;
+    scratch
+        .spans
+        .sort_unstable_by(|&a, &b| span_cmp(buf, |x| x, a, b));
+    hash_spans(machines, &scratch.spans, buf, |x| x)
 }
 
 /// The canonical form of an [`Instance`]: an order- and label-insensitive
@@ -57,50 +159,68 @@ pub struct CanonicalForm {
 }
 
 impl CanonicalForm {
-    /// Canonicalizes `inst`. Cost: `O(n log n)` for the two sorts (size
-    /// keys are materialized once per class, not per comparison — this
-    /// runs on every engine request, hit or miss).
+    /// Canonicalizes `inst`. Cost: `O(n log n)` for the two sorts, performed
+    /// in place over a copy of the instance's flat storage (this runs on
+    /// every engine request, hit or miss). See
+    /// [`CanonicalForm::of_with`] for the scratch-reusing variant.
     pub fn of(inst: &Instance) -> Self {
-        // Per non-empty class: the size vector (non-increasing) paired with
-        // the job ids in that order (ties by original id, so the
-        // permutation is deterministic).
-        let mut classes: Vec<(Vec<Time>, Vec<JobId>)> = (0..inst.num_classes())
-            .filter(|&c| !inst.class_jobs(c).is_empty())
-            .map(|c| {
-                let mut jobs = inst.class_jobs(c).to_vec();
-                jobs.sort_by(|&a, &b| inst.size(b).cmp(&inst.size(a)).then(a.cmp(&b)));
-                let sizes: Vec<Time> = jobs.iter().map(|&j| inst.size(j)).collect();
-                (sizes, jobs)
-            })
-            .collect();
-        // Classes sorted by their size vectors (descending lexicographically;
-        // ties between identical multisets are harmless — the classes are
-        // interchangeable by definition).
-        classes.sort_by(|a, b| b.0.cmp(&a.0));
+        Self::of_with(inst, &mut CanonicalScratch::new())
+    }
 
-        let mut to_canonical = vec![0usize; inst.num_jobs()];
-        let mut next = 0usize;
-        let mut h = Fnv128::new();
-        h.write_u64(inst.machines() as u64);
-        h.write_u64(classes.len() as u64);
-        for (sizes, jobs) in &classes {
-            h.write_u64(sizes.len() as u64);
-            for &p in sizes {
-                h.write_u64(p);
+    /// As [`CanonicalForm::of`], sorting inside the caller's scratch
+    /// buffers; with warm scratch, only the returned form's own storage is
+    /// allocated.
+    pub fn of_with(inst: &Instance, scratch: &mut CanonicalScratch) -> Self {
+        // Flat (size, job) pairs, grouped by class; each non-empty span is
+        // sorted descending by size (ties by ascending original id, so the
+        // permutation is deterministic).
+        scratch.pairs.clear();
+        scratch.pairs.extend(
+            inst.flat_sizes()
+                .iter()
+                .copied()
+                .zip(inst.flat_job_ids().iter().copied()),
+        );
+        scratch.spans.clear();
+        let offsets = inst.class_offsets();
+        for c in 0..inst.num_classes() {
+            let (start, end) = (offsets[c], offsets[c + 1]);
+            if start < end {
+                scratch.pairs[start..end]
+                    .sort_unstable_by(|&(pa, ja), &(pb, jb)| pb.cmp(&pa).then(ja.cmp(&jb)));
+                scratch.spans.push((start, end));
             }
-            for &j in jobs {
+        }
+        // Classes sorted by their size vectors (descending
+        // lexicographically; ties between identical multisets keep the
+        // original class order — harmless for the canonical instance, and
+        // it makes the job permutation deterministic).
+        let pairs = &scratch.pairs;
+        scratch
+            .spans
+            .sort_unstable_by(|&a, &b| span_cmp(pairs, |(p, _)| p, a, b));
+
+        let fingerprint = hash_spans(inst.machines(), &scratch.spans, pairs, |(p, _)| p);
+
+        let mut to_canonical = vec![0 as JobId; inst.num_jobs()];
+        let mut job_sizes: Vec<Time> = Vec::with_capacity(inst.num_jobs());
+        let mut class_offsets: Vec<usize> = Vec::with_capacity(scratch.spans.len() + 1);
+        class_offsets.push(0);
+        let mut next = 0usize;
+        for &(start, end) in &scratch.spans {
+            for &(p, j) in &scratch.pairs[start..end] {
+                job_sizes.push(p);
                 to_canonical[j] = next;
                 next += 1;
             }
+            class_offsets.push(job_sizes.len());
         }
-
-        let sizes: Vec<Vec<Time>> = classes.into_iter().map(|(sizes, _)| sizes).collect();
-        let instance = Instance::from_classes(inst.machines(), &sizes)
+        let instance = Instance::from_flat(inst.machines(), job_sizes, class_offsets)
             .expect("canonicalization preserves validity");
         CanonicalForm {
             instance,
             to_canonical,
-            fingerprint: h.0,
+            fingerprint,
         }
     }
 
@@ -186,9 +306,47 @@ mod tests {
         let canon = form.instance();
         // Classes sorted by descending size vector: [7], [5,3], [2,2,2].
         let sizes: Vec<Vec<Time>> = (0..canon.num_classes())
-            .map(|c| canon.class_jobs(c).iter().map(|&j| canon.size(j)).collect())
+            .map(|c| canon.class_sizes(c).to_vec())
             .collect();
         assert_eq!(sizes, vec![vec![7], vec![5, 3], vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let mut scratch = CanonicalScratch::new();
+        for seed in 0..8u64 {
+            let k = 1 + (seed as usize % 4);
+            let classes: Vec<Vec<Time>> = (0..k)
+                .map(|c| {
+                    (0..=(seed as usize + c) % 4)
+                        .map(|i| (seed + i as u64) % 9)
+                        .collect()
+                })
+                .collect();
+            let inst = Instance::from_classes(2 + (seed as usize % 3), &classes).unwrap();
+            let cold = CanonicalForm::of(&inst);
+            let warm = CanonicalForm::of_with(&inst, &mut scratch);
+            assert_eq!(cold, warm, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn flat_fingerprint_matches_canonical_form() {
+        let mut scratch = CanonicalScratch::new();
+        let shapes: Vec<(usize, Vec<Vec<Time>>)> = vec![
+            (3, vec![vec![5, 3], vec![7], vec![2, 2, 2]]),
+            (2, vec![vec![], vec![4, 4], vec![1]]),
+            (1, vec![]),
+            (2, vec![vec![0, 3], vec![3, 0]]),
+            (4, vec![vec![9], vec![9], vec![1, 2, 3]]),
+        ];
+        for (m, classes) in shapes {
+            let inst = Instance::from_classes(m, &classes).unwrap();
+            let via_form = inst.canonical_form().fingerprint();
+            let via_flat =
+                flat_fingerprint(m, inst.flat_sizes(), inst.class_offsets(), &mut scratch);
+            assert_eq!(via_form, via_flat, "m={m} classes={classes:?}");
+        }
     }
 
     #[test]

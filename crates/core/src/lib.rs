@@ -47,8 +47,10 @@ pub mod validate;
 pub use bounds::{lower_bound, LowerBounds};
 pub use builder::{Block, ScheduleBuilder};
 pub use cancel::CancelToken;
-pub use canonical::CanonicalForm;
-pub use instance::{ClassId, Instance, InstanceError, Job, JobId, MachineId, Time};
+pub use canonical::{flat_fingerprint, CanonicalForm, CanonicalScratch};
+pub use instance::{
+    ClassId, Instance, InstanceBuilder, InstanceError, Job, JobId, MachineId, Time,
+};
 pub use schedule::{Assignment, Schedule};
 pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, ValidationError};

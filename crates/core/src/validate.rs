@@ -112,36 +112,46 @@ pub fn validate(inst: &Instance, schedule: &Schedule) -> Result<(), ValidationEr
         }
     }
 
-    // Machine-exclusivity: group by machine, sort by start, check neighbours.
-    let mut by_machine: Vec<Vec<JobId>> = vec![Vec::new(); inst.machines()];
-    for (j, a) in schedule.assignments().iter().enumerate() {
-        if inst.size(j) > 0 {
-            by_machine[a.machine].push(j);
+    // Machine-exclusivity: one flat sort by (machine, start, job) — ties in
+    // start resolve by job id, matching what a per-machine stable sort over
+    // jobs pushed in id order produced — then a neighbour sweep within each
+    // machine run. One allocation instead of one per machine.
+    let mut by_machine: Vec<JobId> = (0..schedule.len()).filter(|&j| inst.size(j) > 0).collect();
+    by_machine.sort_unstable_by_key(|&j| {
+        (
+            schedule.assignment(j).machine,
+            schedule.assignment(j).start,
+            j,
+        )
+    });
+    for w in by_machine.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let machine = schedule.assignment(a).machine;
+        if machine != schedule.assignment(b).machine {
+            continue;
         }
-    }
-    for (machine, jobs) in by_machine.iter_mut().enumerate() {
-        jobs.sort_by_key(|&j| schedule.assignment(j).start);
-        for w in jobs.windows(2) {
-            let (a, b) = (w[0], w[1]);
-            if schedule.completion(inst, a) > schedule.assignment(b).start {
-                return Err(ValidationError::MachineOverlap {
-                    machine,
-                    job_a: a,
-                    job_b: b,
-                });
-            }
+        if schedule.completion(inst, a) > schedule.assignment(b).start {
+            return Err(ValidationError::MachineOverlap {
+                machine,
+                job_a: a,
+                job_b: b,
+            });
         }
     }
 
-    // Resource-exclusivity: group by class, sort by start, check neighbours.
+    // Resource-exclusivity: the instance's flat storage already groups jobs
+    // by class (ascending job id within the class), so one reused scratch
+    // buffer per class span suffices.
+    let mut jobs: Vec<JobId> = Vec::new();
     for class in 0..inst.num_classes() {
-        let mut jobs: Vec<JobId> = inst
-            .class_jobs(class)
-            .iter()
-            .copied()
-            .filter(|&j| inst.size(j) > 0)
-            .collect();
-        jobs.sort_by_key(|&j| schedule.assignment(j).start);
+        jobs.clear();
+        jobs.extend(
+            inst.class_jobs(class)
+                .iter()
+                .copied()
+                .filter(|&j| inst.size(j) > 0),
+        );
+        jobs.sort_unstable_by_key(|&j| (schedule.assignment(j).start, j));
         for w in jobs.windows(2) {
             let (a, b) = (w[0], w[1]);
             if schedule.completion(inst, a) > schedule.assignment(b).start {

@@ -113,6 +113,79 @@ proptest! {
     }
 
     #[test]
+    fn flat_storage_is_consistent_with_the_job_table(
+        m in 1usize..=5,
+        jobs in prop::collection::vec((0u64..=20, 0usize..=6), 0..=24),
+    ) {
+        // Arbitrary interleaved construction: the flat SoA view (sizes,
+        // flat job ids, offsets) must agree with the per-job table on
+        // every class, and reconstructing from the flat buffers must
+        // reproduce the per-class structure exactly.
+        let jobs: Vec<msrs_core::Job> =
+            jobs.into_iter().map(|(p, c)| msrs_core::Job::new(p, c)).collect();
+        let inst = Instance::new(m, jobs).expect("valid");
+        let offsets = inst.class_offsets();
+        prop_assert_eq!(offsets.len(), inst.num_classes() + 1);
+        prop_assert_eq!(*offsets.last().unwrap(), inst.num_jobs());
+        prop_assert_eq!(inst.flat_sizes().len(), inst.num_jobs());
+        let mut seen = vec![false; inst.num_jobs()];
+        for c in 0..inst.num_classes() {
+            let ids = inst.class_jobs(c);
+            let sizes = inst.class_sizes(c);
+            prop_assert_eq!(ids.len(), sizes.len());
+            // Ascending job ids within a class, parallel sizes, right class.
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            for (&j, &p) in ids.iter().zip(sizes) {
+                prop_assert_eq!(inst.size(j), p);
+                prop_assert_eq!(inst.class_of(j), c);
+                seen[j] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every job appears in exactly one span");
+        // Flat round trip preserves the per-class size lists.
+        let rebuilt = Instance::from_flat(
+            inst.machines(),
+            inst.flat_sizes().to_vec(),
+            inst.class_offsets().to_vec(),
+        ).expect("valid");
+        for c in 0..inst.num_classes() {
+            prop_assert_eq!(rebuilt.class_sizes(c), inst.class_sizes(c));
+        }
+        prop_assert_eq!(rebuilt.total_load(), inst.total_load());
+    }
+
+    #[test]
+    fn flat_fingerprint_agrees_with_canonical_form_under_relabelling(
+        inst in arb_instance(),
+        rot in 0usize..8,
+    ) {
+        use msrs_core::{canonical::relabel, flat_fingerprint, CanonicalScratch};
+        let mut scratch = CanonicalScratch::new();
+        let base = inst.canonical_form();
+        let flat = flat_fingerprint(
+            inst.machines(),
+            inst.flat_sizes(),
+            inst.class_offsets(),
+            &mut scratch,
+        );
+        prop_assert_eq!(base.fingerprint(), flat);
+        // Invariance: a relabelled copy fingerprints identically via both
+        // paths (scratch reused across calls).
+        let k = inst.num_classes();
+        let class_perm: Vec<usize> = (0..k).map(|c| (c + rot) % k.max(1)).collect();
+        let job_order: Vec<usize> = (0..inst.num_jobs()).rev().collect();
+        let shuffled = relabel(&inst, &class_perm, &job_order);
+        let shuffled_flat = flat_fingerprint(
+            shuffled.machines(),
+            shuffled.flat_sizes(),
+            shuffled.class_offsets(),
+            &mut scratch,
+        );
+        prop_assert_eq!(shuffled_flat, flat);
+        prop_assert_eq!(shuffled.canonical_form().fingerprint(), flat);
+    }
+
+    #[test]
     fn validator_accepts_shifted_valid_schedules(inst in arb_instance(), shift in 0u64..50) {
         // Validity is translation-invariant: shifting every start by a
         // constant preserves it.

@@ -5,8 +5,8 @@
 //! msrs solve  --input instance.txt            # msrs-text or JSONL, `-` = stdin
 //! msrs batch  --input corpus.jsonl --threads 8 --shard-size 4096 --out reports.jsonl
 //! msrs bench  --families uniform,zipf --count 20 --machines 4
-//! msrs bench  --baseline-out BENCH_4.json     # machine-readable perf baseline
-//! msrs bench  --compare BENCH_4.json --strict # diff a run against a baseline
+//! msrs bench  --baseline-out BENCH_5.json     # machine-readable perf baseline
+//! msrs bench  --compare BENCH_5.json --strict # diff a run against a baseline
 //! ```
 //!
 //! Instances travel as JSON lines (`{"id":…,"machines":…,"classes":[[…]]}`)
@@ -24,7 +24,7 @@ use std::time::Duration;
 use msrs_core::{io as text_io, validate};
 use msrs_engine::families::FAMILIES;
 use msrs_engine::json::Json;
-use msrs_engine::stream::{solve_stream, JsonlReader, DEFAULT_SHARD_SIZE};
+use msrs_engine::stream::{serve_jsonl, DEFAULT_SHARD_SIZE};
 use msrs_engine::{
     family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
     DEFAULT_CACHE_CAPACITY,
@@ -84,7 +84,7 @@ BENCH FLAGS:
                          on/off batch throughput at threads 1 and 4, the
                          streamed shard pipeline, exact-solver node
                          throughput) and write it as machine-readable JSON
-                         (see BENCH_4.json; suite --count default: 1000)
+                         (see BENCH_5.json; suite --count default: 1000)
     --reference <P>      With --baseline-out: embed the experiments of a
                          previously written baseline file as `reference`
     --compare <P>        Run the baseline suite and diff it against a
@@ -410,10 +410,8 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
         }
     };
     let pool_before = engine.pool_stats();
-    let outcome = solve_stream(&engine, JsonlReader::new(input), shard_size, |report| {
-        writeln!(out, "{}", report.to_json())
-    })
-    .map_err(|e| format!("writing reports: {e}"))?;
+    let outcome = serve_jsonl(&engine, input, &mut out, shard_size)
+        .map_err(|e| format!("writing reports: {e}"))?;
     out.flush().map_err(|e| format!("writing reports: {e}"))?;
     drop(out);
     if !flags.has("--quiet") {
@@ -428,6 +426,14 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             s.proven_optimal,
             s.ratio_mean(),
             s.ratio_worst,
+        );
+        // The decode-vs-solve-vs-serialize split: a data-plane regression
+        // (slow parsing, slow emission) is visible here even when solver
+        // time is unchanged.
+        eprintln!(
+            "data plane: parse {} µs, solve {} µs, serialize {} µs \
+             ({} served straight from cache)",
+            s.parse_micros, s.solve_micros, s.serialize_micros, s.fast_path_hits,
         );
         let stats = engine.cache_stats();
         if stats.capacity > 0 {
@@ -444,9 +450,11 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             *delta -= before;
         }
         eprintln!(
-            "pool: {} persistent worker(s), {} parallel op(s), {} helper job(s), \
-             chunks by caller {}, by worker {:?}",
+            "pool: {} persistent worker(s) ({} spawned, {} reclaimed), {} parallel op(s), \
+             {} helper job(s), chunks by caller {}, by worker {:?}",
             pool.workers,
+            pool.spawned,
+            pool.reclaimed,
             pool.ops - pool_before.ops,
             pool.helper_jobs - pool_before.helper_jobs,
             pool.caller_chunks - pool_before.caller_chunks,
@@ -561,7 +569,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
 }
 
 /// The perf-baseline suite behind `msrs bench --baseline-out` / `--compare`
-/// (committed as `BENCH_4.json`): machine-readable wall times and node
+/// (committed as `BENCH_5.json`): machine-readable wall times and node
 /// counts that later PRs diff against.
 ///
 /// * `tiny_batch_1` / `tiny_batch_8` — per-call serving latency of a
@@ -571,10 +579,11 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
 /// * `traffic_batch` — a `--count`-instance, 90%-duplicate `traffic`
 ///   corpus solved with the cache off and on, at 1 and 4 worker threads:
 ///   the cache/dedup throughput win.
-/// * `stream_traffic` — a `100 × --count`-instance generated corpus pushed
-///   through the streaming shard pipeline (`solve_stream`, default shard
-///   size) at 4 threads with the default cache: sustained throughput in
-///   O(shard) memory.
+/// * `stream_traffic` — a `100 × --count`-instance pre-rendered JSONL
+///   corpus pushed through the byte-level serving data plane
+///   (`serve_jsonl`, default shard size) at 4 threads with the default
+///   cache: sustained bytes-in→bytes-out throughput in O(shard) memory,
+///   with the parse/solve/serialize time split recorded.
 /// * `exact_*` — exact branch-and-bound workloads (the E9 gap proofs to
 ///   completion, plus a budget-capped sweep of the hard parity-gap
 ///   partition instance) at 1 search thread: node counts and node
@@ -696,7 +705,12 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
         }
     }
 
-    // -- Streamed shard pipeline over a large generated corpus. ------------
+    // -- Streamed serving data plane over a large generated corpus. --------
+    // End to end in *bytes*: the corpus is pre-rendered as JSONL (not
+    // timed), then pushed through the zero-allocation serve path — decode
+    // into reusable buffers, in-place canonical fingerprint, cache probe,
+    // serialize straight from the cached canonical report. This is the
+    // request→report pipeline a service front end runs per line.
     {
         let stream_n = count.saturating_mul(100);
         let engine = Engine::new(EngineConfig {
@@ -704,25 +718,33 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             ..EngineConfig::default()
         });
-        let requests = (0..stream_n).map(|seed| {
-            Ok(SolveRequest::with_id(
-                format!("t-{seed}"),
-                msrs_gen::traffic(seed, machines, 10),
-            ))
-        });
+        let mut corpus = String::new();
+        for seed in 0..stream_n {
+            let inst = msrs_gen::traffic(seed, machines, 10);
+            corpus.push_str(&jsonl::write_instance_line(
+                Some(&format!("t-{seed}")),
+                &inst,
+            ));
+            corpus.push('\n');
+        }
+        let mut sink = std::io::sink();
         let start = std::time::Instant::now();
-        let outcome = solve_stream(&engine, requests, DEFAULT_SHARD_SIZE, |r| {
-            std::hint::black_box(r.makespan);
-            Ok(())
-        })
-        .map_err(|e| format!("stream: {e}"))?;
+        let outcome = serve_jsonl(&engine, corpus.as_bytes(), &mut sink, DEFAULT_SHARD_SIZE)
+            .map_err(|e| format!("stream: {e}"))?;
         let wall = start.elapsed().as_micros() as i128;
         let s = outcome.stats;
         let ips = s.instances as f64 / (wall.max(1) as f64 / 1e6);
         eprintln!(
             "stream_traffic: {} instances in {} shard(s), {wall} µs \
-             ({ips:.0} inst/s, max resident {})",
-            s.instances, s.shards, s.max_resident
+             ({ips:.0} inst/s, {} cache-served, max resident {}; \
+             parse {} µs, solve {} µs, serialize {} µs)",
+            s.instances,
+            s.shards,
+            s.fast_path_hits,
+            s.max_resident,
+            s.parse_micros,
+            s.solve_micros,
+            s.serialize_micros,
         );
         experiments.push(Json::Obj(vec![
             ("name".into(), Json::Str("stream_traffic".into())),
@@ -735,7 +757,14 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             ("shards".into(), Json::Num(s.shards as i128)),
             ("shard_size".into(), Json::Num(s.shard_size as i128)),
             ("max_resident".into(), Json::Num(s.max_resident as i128)),
+            ("fast_path_hits".into(), Json::Num(s.fast_path_hits as i128)),
             ("wall_micros".into(), Json::Num(wall)),
+            ("parse_micros".into(), Json::Num(s.parse_micros as i128)),
+            ("solve_micros".into(), Json::Num(s.solve_micros as i128)),
+            (
+                "serialize_micros".into(),
+                Json::Num(s.serialize_micros as i128),
+            ),
             ("instances_per_sec".into(), Json::Num(ips as i128)),
         ]));
     }
@@ -833,7 +862,7 @@ fn cmd_bench_suite(flags: &Flags) -> Result<(), String> {
 
     if let Some(path) = flags.get("--baseline-out") {
         let mut doc = vec![
-            ("bench".into(), Json::Str("BENCH_4".into())),
+            ("bench".into(), Json::Str("BENCH_5".into())),
             ("machines".into(), Json::Num(machines as i128)),
             ("experiments".into(), Json::Arr(experiments.clone())),
         ];
@@ -850,9 +879,9 @@ fn cmd_bench_suite(flags: &Flags) -> Result<(), String> {
                 Json::Obj(vec![
                     (
                         "note".into(),
-                        Json::Str(
-                            "same suite measured on the pre-PR4 spawn-per-operation backend".into(),
-                        ),
+                        Json::Str(format!(
+                            "experiments embedded from {ref_path} (the previous committed baseline)"
+                        )),
                     ),
                     ("experiments".into(), ref_experiments),
                 ]),
@@ -877,6 +906,11 @@ fn cmd_bench_suite(flags: &Flags) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// Experiments whose measured wall time falls below this are compared
+/// warn-only even under `--strict`: microsecond-scale measurements on
+/// shared machines swing past any sane threshold out of pure noise.
+const STRICT_WALL_FLOOR_MICROS: i128 = 5_000;
 
 /// The comparable headline metric of one suite experiment, as
 /// `(label, value, higher_is_better)`. Rates are preferred over raw walls so
@@ -960,13 +994,25 @@ fn compare_with_baseline(base: &Json, base_path: &str, current: &[Json], thresho
         } else {
             (base_v - cur) / base_v * 100.0
         };
-        let regressed = change_pct < -threshold;
+        // Sub-floor experiments (total wall below STRICT_WALL_FLOOR_MICROS
+        // in the *current* run) are too noisy to gate — a 35 µs measurement
+        // swings far past any sane threshold on a shared machine. They are
+        // reported, but never counted as regressions.
+        let too_small =
+            matches!(e.get("wall_micros"), Some(Json::Num(w)) if *w < STRICT_WALL_FLOOR_MICROS);
+        let regressed = change_pct < -threshold && !too_small;
         if regressed {
             regressions += 1;
         }
         println!(
             "{key:<34} {base_v:>12.1} {cur:>12.1} {change_pct:>+11.1}%  {label}{}",
-            if regressed { "  ** REGRESSION **" } else { "" }
+            if regressed {
+                "  ** REGRESSION **"
+            } else if change_pct < -threshold {
+                "  (below strict floor, not gated)"
+            } else {
+                ""
+            }
         );
     }
     // The other direction: baseline experiments this run no longer

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -57,7 +58,7 @@ pub struct CacheStats {
 struct Entry {
     /// Last-touch stamp from the shard's logical clock.
     stamp: u64,
-    report: SolveReport,
+    report: Arc<SolveReport>,
 }
 
 #[derive(Default)]
@@ -125,7 +126,10 @@ impl ReportCache {
     }
 
     /// Looks `key` up, refreshing its recency and counting a hit or miss.
-    pub fn get(&self, key: &CacheKey) -> Option<SolveReport> {
+    /// Hits hand back a shared `Arc` of the stored canonical report — no
+    /// report clone happens inside the cache, so a hit costs one refcount
+    /// bump (the streaming serve path serializes straight from the `Arc`).
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<SolveReport>> {
         if !self.enabled() {
             return None;
         }
@@ -157,7 +161,7 @@ impl ReportCache {
 
     /// Inserts (or refreshes) `key`, evicting the shard's least-recently
     /// used entry when over budget.
-    pub fn insert(&self, key: CacheKey, report: SolveReport) {
+    pub fn insert(&self, key: CacheKey, report: Arc<SolveReport>) {
         if !self.enabled() {
             return;
         }
@@ -207,8 +211,8 @@ mod tests {
         }
     }
 
-    fn report(makespan: u64) -> SolveReport {
-        SolveReport {
+    fn report(makespan: u64) -> Arc<SolveReport> {
+        Arc::new(SolveReport {
             id: None,
             jobs: 1,
             machines: 1,
@@ -223,7 +227,7 @@ mod tests {
             wall_micros: 0,
             runs: vec![],
             schedule: Schedule::new(vec![]),
-        }
+        })
     }
 
     #[test]

@@ -10,13 +10,14 @@
 //! search loops — so the deadline bounds each member's runtime, not merely
 //! when the engine stops waiting.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use msrs_core::{validate, CancelToken, CanonicalForm, Instance, Schedule, Time};
+use msrs_core::{validate, CancelToken, CanonicalForm, CanonicalScratch, Instance, Schedule, Time};
 use msrs_exact::{SolveLimits, SolveOutcome};
 use msrs_ptas::EptasConfig;
 
@@ -200,12 +201,34 @@ impl EngineConfig {
 pub struct Engine {
     cfg: EngineConfig,
     cache: Arc<ReportCache>,
+    /// [`EngineConfig::content_fingerprint`], precomputed once — the serve
+    /// path builds one cache key per corpus line.
+    config_fp: u64,
 }
 
 impl Default for Engine {
     fn default() -> Self {
         Engine::new(EngineConfig::default())
     }
+}
+
+/// Per-thread reusable solve scratch: the canonicalization buffers every
+/// request needs, hit or miss. The worker pool's threads are persistent, so
+/// one scratch per worker lives for the process — shard loops in
+/// [`Engine::solve_batch_vec`] and the streaming pipeline recycle it across
+/// shards instead of re-allocating per instance.
+#[derive(Default)]
+pub(crate) struct SolveScratch {
+    pub(crate) canonical: CanonicalScratch,
+}
+
+thread_local! {
+    static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::default());
+}
+
+/// Canonicalizes `inst` through the calling thread's persistent scratch.
+fn canonical_form_pooled(inst: &Instance) -> CanonicalForm {
+    SOLVE_SCRATCH.with(|s| CanonicalForm::of_with(inst, &mut s.borrow_mut().canonical))
 }
 
 /// Everything a finished member hands back.
@@ -236,7 +259,12 @@ impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
         let cache = Arc::new(ReportCache::new(cfg.cache_capacity));
-        Engine { cfg, cache }
+        let config_fp = cfg.content_fingerprint();
+        Engine {
+            cfg,
+            cache,
+            config_fp,
+        }
     }
 
     /// The active configuration.
@@ -268,8 +296,32 @@ impl Engine {
     fn cache_key(&self, form: &CanonicalForm) -> CacheKey {
         CacheKey {
             instance: form.fingerprint(),
-            config: self.cfg.content_fingerprint(),
+            config: self.config_fp,
         }
+    }
+
+    /// Whether the byte-level serve path ([`crate::stream::JsonlServer`])
+    /// may serve lines by canonical fingerprint (cache has capacity, no
+    /// deadline configured). When false, serving degenerates to the typed
+    /// pipeline: every line is materialized and batch-solved.
+    pub(crate) fn serve_cache_active(&self) -> bool {
+        self.cache_active()
+    }
+
+    /// Cache probe of the byte-level serve path: the canonical report for a
+    /// decoded line, by fingerprint alone. Must only be called when
+    /// [`serve_cache_active`](Self::serve_cache_active) is true.
+    pub(crate) fn serve_cached(&self, fingerprint: u128) -> Option<Arc<SolveReport>> {
+        self.cache.get(&CacheKey {
+            instance: fingerprint,
+            config: self.config_fp,
+        })
+    }
+
+    /// Accounts an in-shard duplicate the serve path answered at the byte
+    /// level — the same event the typed batch counts via its dedup fan-out.
+    pub(crate) fn count_serve_dedup_hit(&self) {
+        self.cache.count_dedup_hit();
     }
 
     /// Solves one request with the planned portfolio (parallel across
@@ -282,15 +334,15 @@ impl Engine {
     /// construction.
     pub fn solve(&self, req: &SolveRequest) -> SolveReport {
         let started = Instant::now();
-        let form = req.instance.canonical_form();
+        let form = canonical_form_pooled(&req.instance);
         if self.cache_active() {
             let key = self.cache_key(&form);
             if let Some(canonical) = self.cache.get(&key) {
-                return finalize(canonical, &form, req, true, started);
+                return finalize((*canonical).clone(), &form, req, true, started);
             }
-            let canonical = self.solve_canonical(form.instance(), false);
-            self.cache.insert(key, canonical.clone());
-            return finalize(canonical, &form, req, false, started);
+            let canonical = Arc::new(self.solve_canonical(form.instance(), false));
+            self.cache.insert(key, Arc::clone(&canonical));
+            return finalize((*canonical).clone(), &form, req, false, started);
         }
         let canonical = self.solve_canonical(form.instance(), false);
         finalize(canonical, &form, req, false, started)
@@ -346,10 +398,11 @@ impl Engine {
         })
     }
 
-    /// Batch worker path (cache inactive): canonicalized sequential solve.
+    /// Batch worker path (cache inactive): canonicalized sequential solve
+    /// through the worker's persistent [`SolveScratch`].
     fn solve_one_worker(&self, req: &SolveRequest) -> SolveReport {
         let started = Instant::now();
-        let form = req.instance.canonical_form();
+        let form = canonical_form_pooled(&req.instance);
         let canonical = self.solve_canonical(form.instance(), true);
         finalize(canonical, &form, req, false, started)
     }
@@ -364,7 +417,7 @@ impl Engine {
             Arc::new(pool.install(|| {
                 (0..reqs.len())
                     .into_par_iter()
-                    .map(move |i| shared[i].instance.canonical_form())
+                    .map(move |i| canonical_form_pooled(&shared[i].instance))
                     .collect()
             }))
         };
@@ -375,7 +428,7 @@ impl Engine {
         let key_of = |idx: usize| self.cache_key(&forms[idx]);
         let mut first_of: HashMap<u128, usize> = HashMap::new();
         let mut to_solve: Vec<usize> = Vec::new();
-        let mut cached: HashMap<u128, SolveReport> = HashMap::new();
+        let mut cached: HashMap<u128, Arc<SolveReport>> = HashMap::new();
         let mut fresh: Vec<bool> = vec![false; reqs.len()];
         for idx in 0..reqs.len() {
             let fp = forms[idx].fingerprint();
@@ -402,10 +455,11 @@ impl Engine {
                     .collect()
             })
         };
-        for (&idx, report) in to_solve.iter().zip(&solved) {
+        for (&idx, report) in to_solve.iter().zip(solved) {
             let fp = forms[idx].fingerprint();
-            self.cache.insert(key_of(idx), report.clone());
-            cached.insert(fp, report.clone());
+            let shared = Arc::new(report);
+            self.cache.insert(key_of(idx), Arc::clone(&shared));
+            cached.insert(fp, shared);
         }
         reqs.iter()
             .zip(forms.iter())
@@ -414,7 +468,7 @@ impl Engine {
                 // Hits report their fan-out (serving) cost, not the batch
                 // duration; fresh reports keep their solve time.
                 let served = Instant::now();
-                let canonical = cached[&form.fingerprint()].clone();
+                let canonical = (*cached[&form.fingerprint()]).clone();
                 finalize(canonical, form, req, !is_fresh, served)
             })
             .collect()

@@ -84,21 +84,7 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => write!(f, "{n}"),
-            Json::Str(s) => {
-                f.write_str("\"")?;
-                for ch in s.chars() {
-                    match ch {
-                        '"' => f.write_str("\\\"")?,
-                        '\\' => f.write_str("\\\\")?,
-                        '\n' => f.write_str("\\n")?,
-                        '\r' => f.write_str("\\r")?,
-                        '\t' => f.write_str("\\t")?,
-                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-                        c => f.write_fmt(format_args!("{c}"))?,
-                    }
-                }
-                f.write_str("\"")
-            }
+            Json::Str(s) => write_escaped_str(s, f),
             Json::Arr(items) => {
                 f.write_str("[")?;
                 for (i, v) in items.iter().enumerate() {
@@ -123,6 +109,28 @@ impl fmt::Display for Json {
     }
 }
 
+/// Writes `s` as a quoted JSON string: `"`, `\`, `\n`, `\r`, `\t` escaped,
+/// other control characters as `\u00xx`, everything else verbatim. The
+/// single source of truth for the crate's string escaping — both
+/// [`Json::Str`]'s `Display` and the allocation-free report byte writer
+/// ([`crate::report::SolveReport::write_json_line`]) go through it, so the
+/// two serialization paths cannot diverge.
+pub(crate) fn write_escaped_str(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_str("\"")
+}
+
 /// Parse error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -140,6 +148,12 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// The tree-building parser. NOTE: `crate::jsonl`'s `Scan` is a
+/// non-materializing twin of this grammar (same tokens, same restrictions,
+/// same error offsets/messages) for the streaming instance decoder — a
+/// change to the lexing rules here (numbers, escapes, surrogates) must be
+/// mirrored there; `jsonl`'s differential tests compare the two decoders
+/// line by line and catch a divergence.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,

@@ -69,8 +69,12 @@ pub mod stream;
 pub use cache::{CacheKey, CacheStats, ReportCache};
 pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};
 pub use families::{family, family_names, FamilySpec};
+pub use jsonl::LineDecoder;
 pub use portfolio::{plan, Portfolio, SolverKind};
 pub use profile::{classify, InstanceProfile, SizeTier};
 pub use rayon::PoolStats;
 pub use report::{RunStatus, SolveReport, SolveRequest, SolverRun};
-pub use stream::{solve_stream, JsonlReader, StreamOutcome, StreamStats, DEFAULT_SHARD_SIZE};
+pub use stream::{
+    serve_jsonl, solve_stream, JsonlReader, JsonlServer, StreamOutcome, StreamStats,
+    DEFAULT_SHARD_SIZE,
+};

@@ -128,6 +128,77 @@ impl SolveReport {
         }
     }
 
+    /// Serializes the report (without the schedule) directly into a byte
+    /// buffer — byte-identical to `self.to_json().to_string()`, but with no
+    /// intermediate [`Json`] tree or `String`: with a warm reusable buffer
+    /// the serialization performs zero heap allocations. This is the emit
+    /// primitive of the streaming serve path.
+    pub fn write_json_line(&self, out: &mut Vec<u8>) {
+        self.write_json_line_as(self.id.as_deref(), self.cache_hit, self.wall_micros, out);
+    }
+
+    /// As [`write_json_line`](Self::write_json_line), overriding the
+    /// serving-dependent fields: the request id, the `cache_hit` flag, and
+    /// the headline `wall_micros`. Used to emit a *cached canonical* report
+    /// on behalf of a request without cloning the report (the per-member
+    /// `runs` timings are the cached solve's own, exactly as the typed
+    /// cache-hit path reports them).
+    pub fn write_json_line_as(
+        &self,
+        id: Option<&str>,
+        cache_hit: bool,
+        wall_micros: u64,
+        out: &mut Vec<u8>,
+    ) {
+        use std::io::Write;
+        out.clear();
+        // `write!` into a Vec<u8> cannot fail and does not allocate beyond
+        // the buffer itself.
+        let w = out;
+        w.push(b'{');
+        if let Some(id) = id {
+            w.extend_from_slice(b"\"id\":");
+            write_json_str(w, id);
+            w.push(b',');
+        }
+        let _ = write!(
+            w,
+            "\"jobs\":{},\"machines\":{},\"classes\":{},\"lower_bound\":{},\"makespan\":{}",
+            self.jobs, self.machines, self.classes, self.lower_bound, self.makespan
+        );
+        let _ = write!(w, ",\"winner\":\"{}\"", self.winner.name());
+        let _ = write!(w, ",\"certified_horizon\":{}", self.certified_horizon);
+        let _ = write!(w, ",\"certified_by\":\"{}\"", self.certified_by.name());
+        let _ = write!(
+            w,
+            ",\"proven_optimal\":{},\"cache_hit\":{cache_hit},\"wall_micros\":{wall_micros}",
+            self.proven_optimal
+        );
+        w.extend_from_slice(b",\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                w.push(b',');
+            }
+            let _ = write!(
+                w,
+                "{{\"solver\":\"{}\",\"status\":\"{}\"",
+                r.solver.name(),
+                r.status.label()
+            );
+            if let Some(mk) = r.makespan {
+                let _ = write!(w, ",\"makespan\":{mk}");
+            }
+            if let Some(h) = r.certified_horizon {
+                let _ = write!(w, ",\"certified_horizon\":{h}");
+            }
+            if let Some(n) = r.nodes {
+                let _ = write!(w, ",\"nodes\":{n}");
+            }
+            let _ = write!(w, ",\"wall_micros\":{}}}", r.wall_micros);
+        }
+        w.extend_from_slice(b"]}");
+    }
+
     /// Serializes the report (without the schedule) as one JSON object.
     pub fn to_json(&self) -> Json {
         let mut obj = Vec::new();
@@ -193,6 +264,21 @@ impl SolveReport {
     }
 }
 
+/// JSON string escaping into a byte buffer — delegates to the crate's
+/// single escaping routine ([`crate::json`]'s `write_escaped_str`, which
+/// also backs [`Json::Str`]'s `Display`), through a no-allocation
+/// `fmt::Write` adapter over the `Vec<u8>`.
+fn write_json_str(out: &mut Vec<u8>, s: &str) {
+    struct BytesWriter<'a>(&'a mut Vec<u8>);
+    impl std::fmt::Write for BytesWriter<'_> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.extend_from_slice(s.as_bytes());
+            Ok(())
+        }
+    }
+    crate::json::write_escaped_str(s, &mut BytesWriter(out)).expect("Vec writes are infallible");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +323,42 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn byte_writer_matches_tree_serialization() {
+        let mut buf = Vec::new();
+        let mut r = sample_report();
+        r.runs.push(SolverRun {
+            solver: SolverKind::Exact,
+            status: RunStatus::Exhausted,
+            makespan: None,
+            certified_horizon: None,
+            nodes: Some(123456),
+            wall_micros: 9,
+        });
+        for id in [Some("plain"), Some("esc \"x\"\\\n\té✓\u{1}"), None] {
+            r.id = id.map(str::to_owned);
+            r.write_json_line(&mut buf);
+            assert_eq!(
+                std::str::from_utf8(&buf).unwrap(),
+                r.to_json().to_string(),
+                "id {id:?}"
+            );
+        }
+        // The override variant matches a tree serialization of the
+        // overridden report.
+        let mut base = sample_report();
+        base.id = None;
+        base.write_json_line_as(Some("req-1"), true, 7, &mut buf);
+        let mut over = base.clone();
+        over.id = Some("req-1".into());
+        over.cache_hit = true;
+        over.wall_micros = 7;
+        assert_eq!(
+            std::str::from_utf8(&buf).unwrap(),
+            over.to_json().to_string()
+        );
     }
 
     #[test]

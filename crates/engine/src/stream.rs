@@ -1,16 +1,27 @@
 //! Streaming sharded batch pipeline: solve arbitrarily large JSONL corpora
 //! in O(shard) memory.
 //!
-//! [`JsonlReader`] parses instances incrementally off any [`BufRead`] — one
-//! line at a time, with correct 1-based line numbers — and [`solve_stream`]
-//! feeds fixed-size shards of requests through
-//! [`Engine::solve_batch_vec`], emitting each shard's reports (in corpus
-//! order) before the next shard is read. At no point does more than one
-//! shard of requests plus its reports live in memory, so a million-instance
-//! corpus streams through the same engine that serves point requests.
+//! Two entry points share the shard discipline:
 //!
-//! Error semantics are *prefix-faithful*: when a malformed line is hit
-//! mid-stream, everything successfully parsed before it — including a
+//! * [`solve_stream`] — the *typed* pipeline: an iterator of
+//!   [`SolveRequest`]s (e.g. a [`JsonlReader`]) is fed through
+//!   [`Engine::solve_batch_vec`] shard by shard and each [`SolveReport`] is
+//!   handed to a callback in corpus order.
+//! * [`serve_jsonl`] / [`JsonlServer`] — the *byte-level serving data
+//!   plane*: JSONL in, JSONL out. Each line is decoded into reusable
+//!   buffers ([`LineDecoder`]), fingerprinted in place
+//!   ([`msrs_core::flat_fingerprint`]), and probed against the engine's
+//!   result cache; **hits are serialized straight from the cached canonical
+//!   report** into a reusable byte buffer — no `Instance`, no
+//!   `SolveRequest`, no report clone, zero heap allocations per instance
+//!   once the buffers are warm. Only cache misses materialize requests and
+//!   go through the solver batch. Output is byte-identical to piping
+//!   [`solve_stream`] reports through
+//!   [`SolveReport::write_json_line`] except for the serving-dependent
+//!   `wall_micros` timings and `cache_hit` provenance flags.
+//!
+//! Error semantics are *prefix-faithful* for both: when a malformed line is
+//! hit mid-stream, everything successfully parsed before it — including a
 //! partial final shard — is solved and emitted, and the error (with its
 //! 1-based line number) is surfaced in [`StreamOutcome::error`] afterwards.
 //!
@@ -19,13 +30,16 @@
 //! except for the `wall_micros` timings and `cache_hit` provenance flags
 //! (sharding changes *when* a duplicate is served from the cache versus
 //! deduplicated within its batch, never what the report says about the
-//! schedule). Covered by `tests/stream.rs`.
+//! schedule). Covered by `tests/stream.rs` and `tests/serve.rs`.
 
-use std::io::{self, BufRead};
-use std::time::Instant;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msrs_core::CanonicalScratch;
 
 use crate::engine::Engine;
-use crate::jsonl::{self, CorpusError};
+use crate::jsonl::{CorpusError, LineDecoder};
 use crate::report::{SolveReport, SolveRequest};
 
 /// Default shard size for streamed batches: large enough to keep every pool
@@ -37,11 +51,15 @@ pub const DEFAULT_SHARD_SIZE: usize = 4096;
 /// An incremental JSONL instance reader: yields one [`SolveRequest`] per
 /// non-blank, non-`#` line, parsed as it is read (the input is never
 /// materialized as a whole). Line numbers are physical and 1-based, exactly
-/// as [`jsonl::read_corpus`] reports them.
+/// as [`crate::jsonl::read_corpus`] reports them. Decoding goes through a
+/// retained
+/// [`LineDecoder`], so per-line parsing reuses its buffers; only the
+/// materialized [`SolveRequest`] itself is allocated.
 pub struct JsonlReader<R> {
     inner: R,
     line_no: usize,
     buf: String,
+    decoder: LineDecoder,
 }
 
 impl<R: BufRead> JsonlReader<R> {
@@ -51,6 +69,7 @@ impl<R: BufRead> JsonlReader<R> {
             inner,
             line_no: 0,
             buf: String::new(),
+            decoder: LineDecoder::new(),
         }
     }
 
@@ -82,7 +101,11 @@ impl<R: BufRead> Iterator for JsonlReader<R> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            return Some(jsonl::read_instance_line(self.line_no, line));
+            return Some(
+                self.decoder
+                    .decode(self.line_no, line)
+                    .map(|()| self.decoder.build_request()),
+            );
         }
     }
 }
@@ -97,10 +120,15 @@ pub struct StreamStats {
     /// Configured shard size.
     pub shard_size: usize,
     /// Largest number of requests resident at once (≤ `shard_size`) — the
-    /// memory high-water mark of the pipeline, in requests.
+    /// memory high-water mark of the pipeline, in requests. The byte-level
+    /// serve path only materializes cache *misses*, so there this counts
+    /// materialized requests (0 for a fully cache-served stream).
     pub max_resident: usize,
     /// Reports with a proven-optimal schedule.
     pub proven_optimal: usize,
+    /// Requests served directly from the result cache by the byte-level
+    /// serve path (0 for [`solve_stream`], which reports hits per report).
+    pub fast_path_hits: usize,
     /// Sum of per-report `makespan / lower_bound` ratios (mean =
     /// `ratio_sum / instances`).
     pub ratio_sum: f64,
@@ -108,6 +136,12 @@ pub struct StreamStats {
     pub ratio_worst: f64,
     /// Wall time of the whole stream, µs.
     pub wall_micros: u64,
+    /// Time spent decoding input (JSONL parse, fingerprint, cache probe), µs.
+    pub parse_micros: u64,
+    /// Time spent inside the solver batches, µs.
+    pub solve_micros: u64,
+    /// Time spent serializing and writing reports, µs.
+    pub serialize_micros: u64,
 }
 
 impl Default for StreamStats {
@@ -118,9 +152,13 @@ impl Default for StreamStats {
             shard_size: DEFAULT_SHARD_SIZE,
             max_resident: 0,
             proven_optimal: 0,
+            fast_path_hits: 0,
             ratio_sum: 0.0,
             ratio_worst: 1.0,
             wall_micros: 0,
+            parse_micros: 0,
+            solve_micros: 0,
+            serialize_micros: 0,
         }
     }
 }
@@ -134,6 +172,16 @@ impl StreamStats {
             self.ratio_sum / self.instances as f64
         }
     }
+
+    fn record_report(&mut self, report: &SolveReport) {
+        self.instances += 1;
+        if report.proven_optimal {
+            self.proven_optimal += 1;
+        }
+        let ratio = report.ratio_vs_bound();
+        self.ratio_sum += ratio;
+        self.ratio_worst = self.ratio_worst.max(ratio);
+    }
 }
 
 /// What a streamed run produced: the merged stats, plus the corpus error
@@ -145,6 +193,23 @@ pub struct StreamOutcome {
     pub stats: StreamStats,
     /// `Some` when the stream terminated on a malformed/unreadable line.
     pub error: Option<CorpusError>,
+}
+
+/// Duration accumulators for the data-plane time split (converted to µs
+/// once at the end, so sub-µs per-line slices are not truncated away).
+#[derive(Default)]
+struct Phases {
+    parse: Duration,
+    solve: Duration,
+    serialize: Duration,
+}
+
+impl Phases {
+    fn write_into(&self, stats: &mut StreamStats) {
+        stats.parse_micros = self.parse.as_micros() as u64;
+        stats.solve_micros = self.solve.as_micros() as u64;
+        stats.serialize_micros = self.serialize.as_micros() as u64;
+    }
 }
 
 /// Streams `requests` through `engine` in shards of `shard_size`, calling
@@ -170,17 +235,23 @@ where
         shard_size,
         ..StreamStats::default()
     };
+    let mut phases = Phases::default();
     let mut error = None;
     let mut shard: Vec<SolveRequest> = Vec::with_capacity(shard_size.min(1024));
-    for item in requests {
+    let mut iter = requests.into_iter();
+    loop {
+        let t0 = Instant::now();
+        let item = iter.next();
+        phases.parse += t0.elapsed();
         match item {
-            Ok(req) => {
+            None => break,
+            Some(Ok(req)) => {
                 shard.push(req);
                 if shard.len() >= shard_size {
-                    solve_shard(engine, &mut shard, &mut stats, &mut emit)?;
+                    solve_shard(engine, &mut shard, &mut stats, &mut phases, &mut emit)?;
                 }
             }
-            Err(e) => {
+            Some(Err(e)) => {
                 error = Some(e);
                 break;
             }
@@ -189,8 +260,9 @@ where
     // Flush the partial final shard — on the error path too, so every line
     // parsed before a malformed one still yields its report.
     if !shard.is_empty() {
-        solve_shard(engine, &mut shard, &mut stats, &mut emit)?;
+        solve_shard(engine, &mut shard, &mut stats, &mut phases, &mut emit)?;
     }
+    phases.write_into(&mut stats);
     stats.wall_micros = started.elapsed().as_micros() as u64;
     Ok(StreamOutcome { stats, error })
 }
@@ -199,6 +271,7 @@ fn solve_shard<F>(
     engine: &Engine,
     shard: &mut Vec<SolveRequest>,
     stats: &mut StreamStats,
+    phases: &mut Phases,
     emit: &mut F,
 ) -> io::Result<()>
 where
@@ -206,19 +279,245 @@ where
 {
     let reqs = std::mem::take(shard);
     stats.max_resident = stats.max_resident.max(reqs.len());
+    let t0 = Instant::now();
     let reports = engine.solve_batch_vec(reqs);
+    phases.solve += t0.elapsed();
     stats.shards += 1;
     for report in &reports {
-        stats.instances += 1;
-        if report.proven_optimal {
-            stats.proven_optimal += 1;
-        }
-        let ratio = report.ratio_vs_bound();
-        stats.ratio_sum += ratio;
-        stats.ratio_worst = stats.ratio_worst.max(ratio);
+        stats.record_report(report);
+        let t1 = Instant::now();
         emit(report)?;
+        phases.serialize += t1.elapsed();
     }
     Ok(())
+}
+
+/// One line of an in-flight serve shard: either a cache hit (the shared
+/// canonical report, the id span in the server's id arena, and the probe
+/// instant for the serving-time stamp) or an index into the materialized
+/// miss batch.
+enum Slot {
+    Hit {
+        report: Arc<SolveReport>,
+        id: Option<(usize, usize)>,
+        /// Serving time (decode + fingerprint + probe), stamped at decode —
+        /// the byte-path analogue of the typed path's hit `wall_micros`
+        /// (which covers probe + fan-out, never the rest of the batch).
+        serve_micros: u64,
+    },
+    /// An in-shard duplicate of miss `first` (same canonical fingerprint):
+    /// served at the byte level from the first occurrence's report — the
+    /// duplicate line is never materialized as an `Instance` or request.
+    Dup {
+        first: usize,
+        id: Option<(usize, usize)>,
+        /// See [`Slot::Hit::serve_micros`].
+        serve_micros: u64,
+    },
+    Miss(usize),
+}
+
+/// The reusable state of the byte-level serving data plane: decoder,
+/// canonical scratch, shard slot table, id arena, and the report byte
+/// buffer. One warm `JsonlServer` serves an all-cache-hit corpus with zero
+/// heap allocations per instance (asserted by `tests/alloc_free.rs`).
+#[derive(Default)]
+pub struct JsonlServer {
+    decoder: LineDecoder,
+    scratch: CanonicalScratch,
+    line_buf: String,
+    slots: Vec<Slot>,
+    ids: Vec<u8>,
+    misses: Vec<SolveRequest>,
+    /// Canonical fingerprint → miss index of its first occurrence in the
+    /// current shard (duplicate-heavy traffic collapses here before any
+    /// request is materialized).
+    shard_forms: std::collections::HashMap<u128, usize>,
+    report_buf: Vec<u8>,
+}
+
+impl JsonlServer {
+    /// A fresh server (buffers grow on first use, then persist).
+    pub fn new() -> Self {
+        JsonlServer::default()
+    }
+
+    /// Serves a JSONL corpus end to end: decode each line, serve cache hits
+    /// straight from the canonical report, batch-solve the misses shard by
+    /// shard, and write one report line per instance (corpus order) to
+    /// `out`.
+    ///
+    /// `Err` is returned only for output failures; corpus-level parse
+    /// errors end the stream early and come back in
+    /// [`StreamOutcome::error`] after all prior reports were written.
+    pub fn serve<R: BufRead, W: Write>(
+        &mut self,
+        engine: &Engine,
+        mut input: R,
+        out: &mut W,
+        shard_size: usize,
+    ) -> io::Result<StreamOutcome> {
+        let shard_size = shard_size.max(1);
+        let started = Instant::now();
+        let mut stats = StreamStats {
+            shard_size,
+            ..StreamStats::default()
+        };
+        let mut phases = Phases::default();
+        let mut error: Option<CorpusError> = None;
+        let mut line_no = 0usize;
+        let mut eof = false;
+        while !eof && error.is_none() {
+            // ---- Decode one shard. ----------------------------------------
+            self.slots.clear();
+            self.ids.clear();
+            self.misses.clear();
+            self.shard_forms.clear();
+            while self.slots.len() < shard_size {
+                let t0 = Instant::now();
+                self.line_buf.clear();
+                line_no += 1;
+                match input.read_line(&mut self.line_buf) {
+                    Ok(0) => {
+                        eof = true;
+                        phases.parse += t0.elapsed();
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        error = Some(CorpusError::Io {
+                            line: line_no,
+                            message: e.to_string(),
+                        });
+                        phases.parse += t0.elapsed();
+                        break;
+                    }
+                }
+                let line = self.line_buf.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    phases.parse += t0.elapsed();
+                    continue;
+                }
+                if let Err(e) = self.decoder.decode(line_no, line) {
+                    error = Some(e);
+                    phases.parse += t0.elapsed();
+                    break;
+                }
+                // With an active cache, fingerprint the decoded flat data in
+                // place and try to serve without materializing anything:
+                // first from the result cache, then from an earlier
+                // occurrence of the same canonical form in this shard.
+                // Without a cache (or with a deadline) every line is
+                // materialized, exactly as the typed pipeline behaves.
+                if engine.serve_cache_active() {
+                    let builder = self.decoder.builder();
+                    let fp = msrs_core::flat_fingerprint(
+                        builder.machines(),
+                        builder.sizes(),
+                        builder.offsets(),
+                        &mut self.scratch,
+                    );
+                    let id = self.decoder.id().map(|bytes| {
+                        let start = self.ids.len();
+                        self.ids.extend_from_slice(bytes);
+                        (start, self.ids.len())
+                    });
+                    if let Some(report) = engine.serve_cached(fp) {
+                        stats.fast_path_hits += 1;
+                        self.slots.push(Slot::Hit {
+                            report,
+                            id,
+                            serve_micros: t0.elapsed().as_micros() as u64,
+                        });
+                    } else if let Some(&first) = self.shard_forms.get(&fp) {
+                        engine.count_serve_dedup_hit();
+                        stats.fast_path_hits += 1;
+                        self.slots.push(Slot::Dup {
+                            first,
+                            id,
+                            serve_micros: t0.elapsed().as_micros() as u64,
+                        });
+                    } else {
+                        self.shard_forms.insert(fp, self.misses.len());
+                        self.slots.push(Slot::Miss(self.misses.len()));
+                        self.misses.push(self.decoder.build_request());
+                    }
+                } else {
+                    self.slots.push(Slot::Miss(self.misses.len()));
+                    self.misses.push(self.decoder.build_request());
+                }
+                phases.parse += t0.elapsed();
+            }
+            if self.slots.is_empty() {
+                continue;
+            }
+            // ---- Solve the misses. ----------------------------------------
+            stats.max_resident = stats.max_resident.max(self.misses.len());
+            let reports = if self.misses.is_empty() {
+                Vec::new()
+            } else {
+                let t1 = Instant::now();
+                let reports = engine.solve_batch_vec(std::mem::take(&mut self.misses));
+                phases.solve += t1.elapsed();
+                reports
+            };
+            stats.shards += 1;
+            // ---- Emit in corpus order. ------------------------------------
+            for slot in &self.slots {
+                let t2 = Instant::now();
+                let report: &SolveReport = match slot {
+                    Slot::Hit {
+                        report,
+                        id,
+                        serve_micros,
+                    } => {
+                        let id = id.map(|(start, end)| {
+                            std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
+                        });
+                        report.write_json_line_as(id, true, *serve_micros, &mut self.report_buf);
+                        report
+                    }
+                    Slot::Dup {
+                        first,
+                        id,
+                        serve_micros,
+                    } => {
+                        let id = id.map(|(start, end)| {
+                            std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
+                        });
+                        reports[*first].write_json_line_as(
+                            id,
+                            true,
+                            *serve_micros,
+                            &mut self.report_buf,
+                        );
+                        &reports[*first]
+                    }
+                    Slot::Miss(index) => {
+                        reports[*index].write_json_line(&mut self.report_buf);
+                        &reports[*index]
+                    }
+                };
+                stats.record_report(report);
+                self.report_buf.push(b'\n');
+                out.write_all(&self.report_buf)?;
+                phases.serialize += t2.elapsed();
+            }
+        }
+        phases.write_into(&mut stats);
+        stats.wall_micros = started.elapsed().as_micros() as u64;
+        Ok(StreamOutcome { stats, error })
+    }
+}
+
+/// One-shot convenience around [`JsonlServer::serve`].
+pub fn serve_jsonl<R: BufRead, W: Write>(
+    engine: &Engine,
+    input: R,
+    out: &mut W,
+    shard_size: usize,
+) -> io::Result<StreamOutcome> {
+    JsonlServer::new().serve(engine, input, out, shard_size)
 }
 
 #[cfg(test)]
@@ -277,6 +576,12 @@ mod tests {
         assert_eq!(emitted[9].as_deref(), Some("u-9"));
         assert!(outcome.stats.ratio_worst >= 1.0);
         assert!(outcome.stats.ratio_mean() >= 1.0);
+        // The data-plane split is populated and bounded by the total wall.
+        assert!(outcome.stats.solve_micros <= outcome.stats.wall_micros);
+        assert!(
+            outcome.stats.solve_micros > 0,
+            "solving takes measurable time"
+        );
     }
 
     #[test]

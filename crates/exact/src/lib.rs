@@ -657,8 +657,23 @@ fn solve_seeded(
     }
 
     let m = inst.machines();
-    let mut remaining: Vec<Vec<Pending>> = vec![Vec::new(); inst.num_classes()];
+    // Seed the search state straight from the instance's flat storage: each
+    // class is a contiguous (sizes, job ids) slice pair, so the per-class
+    // pending lists are filled by one zip per span instead of a scatter
+    // over the whole job table.
+    let mut remaining: Vec<Vec<Pending>> = Vec::with_capacity(inst.num_classes());
     let mut partial: Vec<Option<Assignment>> = vec![None; inst.num_jobs()];
+    for c in 0..inst.num_classes() {
+        let mut pending: Vec<Pending> = inst
+            .class_sizes(c)
+            .iter()
+            .copied()
+            .zip(inst.class_jobs(c).iter().copied())
+            .filter(|&(p, _)| p > 0)
+            .collect();
+        pending.sort_unstable_by(|a, b| b.cmp(a));
+        remaining.push(pending);
+    }
     for (j, job) in inst.jobs().iter().enumerate() {
         if job.size == 0 {
             // Zero-size jobs never conflict; pin them at (machine 0, time 0).
@@ -666,12 +681,7 @@ fn solve_seeded(
                 machine: 0,
                 start: 0,
             });
-        } else {
-            remaining[job.class].push((job.size, j));
         }
-    }
-    for jobs in &mut remaining {
-        jobs.sort_unstable_by(|a, b| b.cmp(a));
     }
     let remaining_load: Time = inst.total_load();
 
@@ -697,22 +707,41 @@ fn solve_seeded(
         cancelled: AtomicBool::new(false),
     });
 
-    // Parallelize the root branching (each first job choice in its own
-    // task); tasks share the state and the root node via `Arc` clones.
+    // Root branching: each first job choice is its own subtree. With more
+    // than one ambient thread the branches fan out as pool tasks sharing
+    // the state and the root node via `Arc` clones; single-threaded — the
+    // engine always pins report-path solves to one thread — the branches
+    // run through ONE mutable `Search` with the same apply/undo discipline
+    // as the inner loop, so the root fan-out allocates no per-branch node
+    // clones. Both paths explore the same nodes in the same order at one
+    // thread, so node counts are unchanged.
     let best_now = sh.best.load(Ordering::Relaxed);
     let mut cands = Vec::new();
     candidate_starts_into(&root, best_now, bounds, &mut cands);
-    let root = std::sync::Arc::new(root);
-    cands.into_par_iter().for_each({
-        let sh = std::sync::Arc::clone(&sh);
-        let root = std::sync::Arc::clone(&root);
-        move |(c, i)| {
-            let mut search = Search::new(&sh, (*root).clone());
-            search.node.apply_start(c, i);
+    if rayon::current_num_threads() <= 1 {
+        let mut search = Search::new(&sh, root);
+        for (c, i) in cands {
+            let undo = search.node.apply_start(c, i);
             search.dfs(0);
-            search.finish();
+            search.node.undo_start(undo);
+            if search.stop {
+                break;
+            }
         }
-    });
+        search.finish();
+    } else {
+        let root = std::sync::Arc::new(root);
+        cands.into_par_iter().for_each({
+            let sh = std::sync::Arc::clone(&sh);
+            let root = std::sync::Arc::clone(&root);
+            move |(c, i)| {
+                let mut search = Search::new(&sh, (*root).clone());
+                search.node.apply_start(c, i);
+                search.dfs(0);
+                search.finish();
+            }
+        });
+    }
 
     let nodes = sh.nodes.load(Ordering::Relaxed);
     if sh.cancelled.load(Ordering::Relaxed) {

@@ -92,15 +92,17 @@ fn build_plan(inst: &Instance, params: &Params, augmented: bool) -> Plan {
         let mut smalls = Vec::new();
         let mut s_c: Time = 0;
         let mut md_c: Time = 0;
-        for &j in inst.class_jobs(c) {
-            match params.classify(inst.size(j)) {
+        // Walk the class's parallel flat spans (sizes + job ids) directly
+        // instead of chasing per-job lookups through the job table.
+        for (&p, &j) in inst.class_sizes(c).iter().zip(inst.class_jobs(c)) {
+            match params.classify(p) {
                 SizeClass::Big => bigs.push(j),
                 SizeClass::Medium => {
-                    md_c += inst.size(j);
+                    md_c += p;
                     mediums.push(j);
                 }
                 SizeClass::Small => {
-                    s_c += inst.size(j);
+                    s_c += p;
                     smalls.push(j);
                 }
             }

@@ -87,8 +87,8 @@ fn class_masses(inst: &Instance, t: Time, k: u64, den: u128) -> (Time, Time) {
     let mut cond2 = 0u64;
     for c in inst.nonempty_classes() {
         let mut small_load = 0u64;
-        for &j in inst.class_jobs(c) {
-            let p = inst.size(j);
+        // Sizes only: read the class's contiguous flat span directly.
+        for &p in inst.class_sizes(c) {
             let p128 = p as u128;
             if p128 * den > t128 {
                 // big

@@ -234,18 +234,42 @@ struct PoolShared {
     available: Condvar,
 }
 
+/// Bookkeeping of one spawned worker thread. Slots are never removed (their
+/// chunk counters are cumulative per-worker statistics); a reclaimed
+/// worker's slot merely flips `alive` off, and a later spawn appends a
+/// fresh slot.
+struct WorkerSlot {
+    chunks: AtomicU64,
+    alive: std::sync::atomic::AtomicBool,
+}
+
 /// The process-wide persistent pool.
 struct Pool {
     shared: Arc<PoolShared>,
-    /// Per-worker chunk counters; the vector's length is the number of
-    /// workers spawned so far.
-    workers: Mutex<Vec<Arc<AtomicU64>>>,
+    /// One slot per worker *spawned so far* (alive or reclaimed).
+    workers: Mutex<Vec<Arc<WorkerSlot>>>,
     /// Parallel operations that engaged the pool (ran with > 1 thread).
     ops: AtomicU64,
     /// Helper jobs executed by pool workers.
     helper_jobs: AtomicU64,
     /// Chunks executed by calling threads (the caller always participates).
     caller_chunks: AtomicU64,
+    /// Workers that exited after sitting idle past the configured timeout.
+    reclaimed: AtomicU64,
+    /// Idle timeout in milliseconds; `0` disables reclamation (workers
+    /// park forever, the pre-reclamation behaviour). Initialized from the
+    /// `MSRS_POOL_IDLE_MS` environment variable, overridable at runtime via
+    /// [`set_pool_idle_timeout`].
+    idle_timeout_ms: AtomicU64,
+}
+
+/// The `MSRS_POOL_IDLE_MS` default: unset, empty, unparsable, or `0` all
+/// mean "never reclaim".
+fn env_idle_timeout_ms() -> u64 {
+    std::env::var("MSRS_POOL_IDLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -260,20 +284,35 @@ fn pool() -> &'static Pool {
         ops: AtomicU64::new(0),
         helper_jobs: AtomicU64::new(0),
         caller_chunks: AtomicU64::new(0),
+        reclaimed: AtomicU64::new(0),
+        idle_timeout_ms: AtomicU64::new(env_idle_timeout_ms()),
     })
 }
 
+/// Sets (or, with `None`, disables) the idle-worker reclamation timeout at
+/// runtime: a worker that stays parked with an empty queue for this long
+/// exits, and the pool respawns workers lazily on the next operation that
+/// wants them. Defaults to the `MSRS_POOL_IDLE_MS` environment variable
+/// (unset/`0` = never reclaim). A zero-duration timeout is clamped to 1 ms.
+pub fn set_pool_idle_timeout(timeout: Option<std::time::Duration>) {
+    let ms = timeout.map_or(0, |d| (d.as_millis() as u64).max(1));
+    pool().idle_timeout_ms.store(ms, Ordering::Relaxed);
+    // Wake parked workers so a newly shortened timeout takes effect without
+    // waiting out a previous (possibly infinite) park.
+    pool().shared.available.notify_all();
+}
+
 thread_local! {
-    /// Set once per worker thread: its chunk counter. `None` on every
-    /// non-worker thread, whose chunks are counted in `caller_chunks`.
-    static WORKER_CHUNK_COUNTER: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+    /// Set once per worker thread: its slot. `None` on every non-worker
+    /// thread, whose chunks are counted in `caller_chunks`.
+    static WORKER_SLOT: RefCell<Option<Arc<WorkerSlot>>> = const { RefCell::new(None) };
 }
 
 /// Records one executed chunk against the current thread's counter.
 fn note_chunk() {
-    WORKER_CHUNK_COUNTER.with(|counter| match &*counter.borrow() {
-        Some(c) => {
-            c.fetch_add(1, Ordering::Relaxed);
+    WORKER_SLOT.with(|slot| match &*slot.borrow() {
+        Some(s) => {
+            s.chunks.fetch_add(1, Ordering::Relaxed);
         }
         None => {
             pool().caller_chunks.fetch_add(1, Ordering::Relaxed);
@@ -281,20 +320,43 @@ fn note_chunk() {
     });
 }
 
-fn worker_main(shared: Arc<PoolShared>, counter: Arc<AtomicU64>) {
-    WORKER_CHUNK_COUNTER.with(|slot| *slot.borrow_mut() = Some(counter));
+fn worker_main(shared: Arc<PoolShared>, slot: Arc<WorkerSlot>) {
+    WORKER_SLOT.with(|s| *s.borrow_mut() = Some(Arc::clone(&slot)));
     loop {
-        let job = {
+        // `None` = the idle timeout fired with an empty queue: reclaim.
+        let job: Option<Job> = {
             let mut queue = lock(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
-                    break job;
+                    break Some(job);
                 }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
+                let timeout_ms = pool().idle_timeout_ms.load(Ordering::Relaxed);
+                if timeout_ms == 0 {
+                    queue = shared
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                } else {
+                    let (guard, result) = shared
+                        .available
+                        .wait_timeout(queue, std::time::Duration::from_millis(timeout_ms))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue = guard;
+                    if result.timed_out() && queue.is_empty() {
+                        break None;
+                    }
+                }
             }
+        };
+        let Some(job) = job else {
+            // Exit after releasing the queue lock. A submit racing this
+            // store may briefly over-count alive workers; its tickets are
+            // drained by the next (lazily respawned) worker, and every
+            // operation completes regardless because the calling thread
+            // always participates in the steal loop.
+            slot.alive.store(false, Ordering::Release);
+            pool().reclaimed.fetch_add(1, Ordering::Relaxed);
+            return;
         };
         pool().helper_jobs.fetch_add(1, Ordering::Relaxed);
         // Jobs route task panics through their operation's panic slot, so a
@@ -305,26 +367,35 @@ fn worker_main(shared: Arc<PoolShared>, counter: Arc<AtomicU64>) {
 }
 
 impl Pool {
-    /// Grows the pool so at least `want` workers exist (up to
-    /// [`MAX_WORKERS`]); returns how many workers exist afterwards. Spawn
-    /// failures degrade gracefully — submitted work is still completed by
-    /// the calling thread's steal loop.
+    /// Grows the pool so at least `want` workers are **alive** (up to
+    /// [`MAX_WORKERS`]); returns how many alive workers exist afterwards.
+    /// Reclaimed workers respawn lazily here. Spawn failures degrade
+    /// gracefully — submitted work is still completed by the calling
+    /// thread's steal loop.
     fn ensure_workers(&self, want: usize) -> usize {
         let mut workers = lock(&self.workers);
         let want = want.min(MAX_WORKERS);
-        while workers.len() < want {
-            let counter = Arc::new(AtomicU64::new(0));
+        let mut alive = workers
+            .iter()
+            .filter(|s| s.alive.load(Ordering::Acquire))
+            .count();
+        while alive < want {
+            let slot = Arc::new(WorkerSlot {
+                chunks: AtomicU64::new(0),
+                alive: std::sync::atomic::AtomicBool::new(true),
+            });
             let shared = Arc::clone(&self.shared);
-            let their_counter = Arc::clone(&counter);
+            let their_slot = Arc::clone(&slot);
             let spawned = std::thread::Builder::new()
                 .name(format!("msrs-pool-{}", workers.len()))
-                .spawn(move || worker_main(shared, their_counter));
+                .spawn(move || worker_main(shared, their_slot));
             if spawned.is_err() {
                 break;
             }
-            workers.push(counter);
+            workers.push(slot);
+            alive += 1;
         }
-        workers.len()
+        alive
     }
 
     /// Publishes helper jobs and wakes workers. If no worker could ever be
@@ -355,15 +426,22 @@ impl Pool {
 /// Counter snapshot of the persistent worker pool (process-global).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Worker threads spawned so far (they are never torn down).
+    /// Worker threads currently alive (parked or busy).
     pub workers: usize,
+    /// Worker threads spawned over the process lifetime (alive plus
+    /// reclaimed).
+    pub spawned: usize,
+    /// Workers that exited after sitting idle past the reclamation timeout
+    /// (see [`set_pool_idle_timeout`]; 0 while reclamation is off).
+    pub reclaimed: u64,
     /// Parallel operations that engaged the pool (> 1 effective thread).
     pub ops: u64,
     /// Helper jobs executed by pool workers.
     pub helper_jobs: u64,
     /// Chunks executed by calling threads (callers always participate).
     pub caller_chunks: u64,
-    /// Chunks stolen and executed per worker, in spawn order.
+    /// Chunks stolen and executed per spawned worker, in spawn order
+    /// (reclaimed workers keep their final counts).
     pub worker_chunks: Vec<u64>,
 }
 
@@ -380,11 +458,19 @@ pub fn pool_stats() -> PoolStats {
     let pool = pool();
     let workers = lock(&pool.workers);
     PoolStats {
-        workers: workers.len(),
+        workers: workers
+            .iter()
+            .filter(|s| s.alive.load(Ordering::Acquire))
+            .count(),
+        spawned: workers.len(),
+        reclaimed: pool.reclaimed.load(Ordering::Relaxed),
         ops: pool.ops.load(Ordering::Relaxed),
         helper_jobs: pool.helper_jobs.load(Ordering::Relaxed),
         caller_chunks: pool.caller_chunks.load(Ordering::Relaxed),
-        worker_chunks: workers.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        worker_chunks: workers
+            .iter()
+            .map(|s| s.chunks.load(Ordering::Relaxed))
+            .collect(),
     }
 }
 
@@ -1155,7 +1241,37 @@ mod tests {
         assert!(after.ops > before.ops);
         assert!(after.total_chunks() >= before.total_chunks() + 64);
         assert!(after.workers <= MAX_WORKERS);
-        assert_eq!(after.worker_chunks.len(), after.workers);
+        assert_eq!(after.worker_chunks.len(), after.spawned);
+        assert!(after.workers <= after.spawned);
+    }
+
+    #[test]
+    fn idle_workers_are_reclaimed_and_respawned() {
+        use std::time::{Duration, Instant};
+        // Warm the pool so at least one worker exists and then parks.
+        let out: Vec<u32> = pool(4).install(|| (0..256u32).into_par_iter().collect());
+        assert_eq!(out.len(), 256);
+        let before = pool_stats();
+        set_pool_idle_timeout(Some(Duration::from_millis(5)));
+        // Other tests may keep some workers busy; wait until at least one
+        // parked worker gives up (bounded, generous for loaded machines).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool_stats().reclaimed == before.reclaimed && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        set_pool_idle_timeout(None);
+        let after = pool_stats();
+        assert!(
+            after.reclaimed > before.reclaimed,
+            "no worker was reclaimed within the deadline"
+        );
+        // Lazy respawn: the next operation that wants workers gets them and
+        // completes correctly; cumulative per-worker stats are retained.
+        let sum: u64 = pool(4).install(|| (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499500);
+        let regrown = pool_stats();
+        assert!(regrown.spawned >= after.spawned);
+        assert_eq!(regrown.worker_chunks.len(), regrown.spawned);
     }
 
     #[test]
