@@ -77,7 +77,13 @@ impl CancelToken {
         }
         if let Some(d) = self.inner.deadline {
             if Instant::now() >= d {
-                self.inner.flag.store(true, Ordering::Relaxed);
+                // `swap` latches the flag and tells us whether we were the
+                // first observer, so each token's deadline is counted once
+                // no matter how many clones poll it (manual `cancel()` is
+                // deliberately not counted here).
+                if !self.inner.flag.swap(true, Ordering::Relaxed) {
+                    msrs_telemetry::registry().deadline_hits_total.inc();
+                }
                 return true;
             }
         }
@@ -132,6 +138,21 @@ mod tests {
             let t = CancelToken::after(timeout);
             assert!(!t.is_cancelled());
         }
+    }
+
+    #[test]
+    fn deadline_hit_is_counted_in_telemetry() {
+        // The counter is process-global, so other tests may add to it
+        // concurrently; assert the delta this token contributes is ≥ 1 and
+        // that repeated polls of one latched token add nothing further
+        // beyond what concurrent tests contribute is impossible to pin —
+        // the exactly-once property is enforced by the `swap` latch.
+        let before = msrs_telemetry::registry().deadline_hits_total.get();
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+        let after = msrs_telemetry::registry().deadline_hits_total.get();
+        assert!(after > before, "deadline hit must be counted");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! msrs gen    --family uniform --count 100 --machines 4 --seed 1 --out corpus.jsonl
 //! msrs solve  --input instance.txt            # msrs-text or JSONL, `-` = stdin
 //! msrs batch  --input corpus.jsonl --threads 8 --shard-size 4096 --out reports.jsonl
+//! msrs batch  --input corpus.jsonl --metrics-out metrics.json   # + telemetry snapshot
+//! msrs stats  --input metrics.json            # pretty-print a snapshot
 //! msrs bench  --families uniform,zipf --count 20 --machines 4
-//! msrs bench  --baseline-out BENCH_5.json     # machine-readable perf baseline
-//! msrs bench  --compare BENCH_5.json --strict # diff a run against a baseline
+//! msrs bench  --baseline-out BENCH_6.json     # machine-readable perf baseline
+//! msrs bench  --compare BENCH_6.json --strict # diff a run against a baseline
 //! ```
 //!
 //! Instances travel as JSON lines (`{"id":…,"machines":…,"classes":[[…]]}`)
@@ -17,7 +19,7 @@
 //! unbounded. Flag parsing is hand-rolled so the binary stays
 //! dependency-free.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -25,6 +27,7 @@ use msrs_core::{io as text_io, validate};
 use msrs_engine::families::FAMILIES;
 use msrs_engine::json::Json;
 use msrs_engine::stream::{serve_jsonl, DEFAULT_SHARD_SIZE};
+use msrs_engine::telemetry;
 use msrs_engine::{
     family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
     DEFAULT_CACHE_CAPACITY,
@@ -39,6 +42,7 @@ SUBCOMMANDS:
     gen     Generate a JSONL instance corpus from the named families
     solve   Solve one instance (msrs-text or JSONL; `--input -` reads stdin)
     batch   Solve a JSONL corpus in parallel, emitting JSONL reports
+    stats   Pretty-print a telemetry snapshot written by `batch --metrics-out`
     bench   Compare the portfolio against each single solver on generated corpora
     help    Show this help
 
@@ -73,6 +77,13 @@ BATCH FLAGS:
     --out <PATH>         Report JSONL file (stdout if omitted)
     --shard-size <N>     Requests per pipeline shard             [default: 4096]
     --quiet              Suppress the per-batch summary on stderr
+    --metrics-out <P>    Write the end-of-run telemetry snapshot (counters,
+                         stage-latency histograms, per-(profile, member)
+                         outcome table) to this file
+    --metrics-format <F> Snapshot format: json|prometheus        [default: json]
+
+STATS FLAGS:
+    --input <PATH|->     A JSON telemetry snapshot (from `batch --metrics-out`)
 
 BENCH FLAGS:
     --families <LIST>    Comma-separated family names            [default: all]
@@ -84,7 +95,7 @@ BENCH FLAGS:
                          on/off batch throughput at threads 1 and 4, the
                          streamed shard pipeline, exact-solver node
                          throughput) and write it as machine-readable JSON
-                         (see BENCH_5.json; suite --count default: 1000)
+                         (see BENCH_6.json; suite --count default: 1000)
     --reference <P>      With --baseline-out: embed the experiments of a
                          previously written baseline file as `reference`
     --compare <P>        Run the baseline suite and diff it against a
@@ -114,7 +125,15 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match cmd {
         "gen" => &["--family", "--count", "--machines", "--seed", "--out"],
         "solve" => &["--input", "--json", "--schedule"],
-        "batch" => &["--input", "--out", "--quiet", "--shard-size"],
+        "batch" => &[
+            "--input",
+            "--out",
+            "--quiet",
+            "--shard-size",
+            "--metrics-out",
+            "--metrics-format",
+        ],
+        "stats" => &["--input"],
         "bench" => &[
             "--families",
             "--count",
@@ -140,6 +159,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "solve" => cmd_solve(&flags),
         "batch" => cmd_batch(&flags),
+        "stats" => cmd_stats(&flags),
         "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -409,11 +429,38 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             Box::new(BufWriter::new(file))
         }
     };
-    let pool_before = engine.pool_stats();
+    let metrics_format = match flags.get("--metrics-format") {
+        None | Some("json") => "json",
+        Some("prometheus") => "prometheus",
+        Some(other) => {
+            return Err(format!(
+                "bad --metrics-format `{other}` (expected json or prometheus)"
+            ))
+        }
+    };
+    if flags.has("--metrics-format") && !flags.has("--metrics-out") {
+        return Err("--metrics-format requires --metrics-out".into());
+    }
+    let before = telemetry::snapshot();
     let outcome = serve_jsonl(&engine, input, &mut out, shard_size)
         .map_err(|e| format!("writing reports: {e}"))?;
     out.flush().map_err(|e| format!("writing reports: {e}"))?;
     drop(out);
+    // All summary lines below are rebuilt from registry snapshots (the
+    // per-run view is the delta against the pre-run snapshot); the engine's
+    // deprecated per-object accessors are no longer consulted.
+    let after = telemetry::snapshot();
+    if let Some(path) = flags.get("--metrics-out") {
+        let rendered = match metrics_format {
+            "prometheus" => after.to_prometheus(),
+            _ => {
+                let mut json = after.to_json_string();
+                json.push('\n');
+                json
+            }
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+    }
     if !flags.has("--quiet") {
         let s = &outcome.stats;
         eprintln!(
@@ -427,37 +474,40 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             s.ratio_mean(),
             s.ratio_worst,
         );
-        // The decode-vs-solve-vs-serialize split: a data-plane regression
-        // (slow parsing, slow emission) is visible here even when solver
-        // time is unchanged.
+        // The data-plane time split: a regression in any hop (slow parsing,
+        // slow fingerprinting, slow emission) is visible here even when
+        // solver time is unchanged.
         eprintln!(
-            "data plane: parse {} µs, solve {} µs, serialize {} µs \
+            "data plane: parse {} µs, canonicalize {} µs, solve {} µs, serialize {} µs \
              ({} served straight from cache)",
-            s.parse_micros, s.solve_micros, s.serialize_micros, s.fast_path_hits,
+            s.parse_micros, s.canon_micros, s.solve_micros, s.serialize_micros, s.fast_path_hits,
         );
-        let stats = engine.cache_stats();
-        if stats.capacity > 0 {
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        if after.gauge("msrs_cache_capacity") > 0 {
             eprintln!(
                 "cache: {} hits, {} misses, {} evictions, {} entries (capacity {})",
-                stats.hits, stats.misses, stats.evictions, stats.entries, stats.capacity
+                delta("msrs_cache_hits_total"),
+                delta("msrs_cache_misses_total"),
+                delta("msrs_cache_evictions_total"),
+                after.gauge("msrs_cache_entries"),
+                after.gauge("msrs_cache_capacity"),
             );
         }
         // Delta of the process-global pool counters over this run: how the
         // chunks were actually distributed between workers and the caller.
-        let pool = engine.pool_stats();
-        let mut worker_chunks = pool.worker_chunks.clone();
-        for (delta, before) in worker_chunks.iter_mut().zip(&pool_before.worker_chunks) {
-            *delta -= before;
+        let mut worker_chunks = after.pool_worker_chunks.clone();
+        for (slot, prev) in worker_chunks.iter_mut().zip(&before.pool_worker_chunks) {
+            *slot -= prev;
         }
         eprintln!(
             "pool: {} persistent worker(s) ({} spawned, {} reclaimed), {} parallel op(s), \
              {} helper job(s), chunks by caller {}, by worker {:?}",
-            pool.workers,
-            pool.spawned,
-            pool.reclaimed,
-            pool.ops - pool_before.ops,
-            pool.helper_jobs - pool_before.helper_jobs,
-            pool.caller_chunks - pool_before.caller_chunks,
+            after.gauge("msrs_pool_workers_alive"),
+            after.counter("msrs_pool_spawns_total"),
+            after.counter("msrs_pool_reclaims_total"),
+            delta("msrs_pool_ops_total"),
+            delta("msrs_pool_helper_jobs_total"),
+            delta("msrs_pool_caller_chunks_total"),
             worker_chunks,
         );
     }
@@ -468,6 +518,112 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
         return Err("corpus contains no instances".into());
     }
     Ok(())
+}
+
+/// `msrs stats`: pretty-print a JSON telemetry snapshot written by
+/// `msrs batch --metrics-out` (counters, gauges, stage-latency quantiles,
+/// and the per-(profile, member) outcome table).
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    open_input(flags)?
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading input: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing snapshot: {e}"))?;
+    if doc.get("telemetry").and_then(Json::as_str) != Some("msrs") {
+        return Err("not an msrs telemetry snapshot (missing `\"telemetry\":\"msrs\"`)".into());
+    }
+    let num = |v: &Json| v.as_u64().unwrap_or(0);
+    // Render into a buffer and write once at the end: stdout may be a pipe
+    // that closes early (`msrs stats | head`), which must truncate the
+    // output, not panic.
+    let mut buf = String::new();
+    macro_rules! out {
+        ($($t:tt)*) => {{ let _ = writeln!(buf, $($t)*); }};
+    }
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        out!("counters:");
+        for (name, v) in counters {
+            out!("  {name:<34} {}", num(v));
+        }
+    }
+    if let Some(Json::Obj(gauges)) = doc.get("gauges") {
+        out!("gauges:");
+        for (name, v) in gauges {
+            match v {
+                Json::Num(n) => out!("  {name:<34} {n}"),
+                _ => out!("  {name:<34} ?"),
+            }
+        }
+    }
+    let field = |o: &Json, key: &str| o.get(key).map_or(0, num);
+    if let Some(stages) = doc.get("stages").and_then(Json::as_arr) {
+        out!(
+            "stages (ns): {:<28} {:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
+            "",
+            "count",
+            "sum",
+            "p50",
+            "p90",
+            "p99",
+            "max"
+        );
+        for stage in stages {
+            let name = stage.get("name").and_then(Json::as_str).unwrap_or("?");
+            out!(
+                "  {name:<38} {:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                field(stage, "count"),
+                field(stage, "sum"),
+                field(stage, "p50"),
+                field(stage, "p90"),
+                field(stage, "p99"),
+                field(stage, "max"),
+            );
+        }
+    }
+    if let Some(outcomes) = doc.get("outcomes").and_then(Json::as_arr) {
+        out!(
+            "outcomes: {:<10} {:<14} {:>8} {:>8} {:>10} {:>9} {:>9} {:>12} {:>12}",
+            "profile",
+            "member",
+            "runs",
+            "wins",
+            "completed",
+            "timeout",
+            "budget",
+            "nodes",
+            "p90 µs"
+        );
+        for o in outcomes {
+            let profile = o.get("profile").and_then(Json::as_str).unwrap_or("?");
+            let member = o.get("member").and_then(Json::as_str).unwrap_or("?");
+            let wall_p90 = o.get("wall").map_or(0, |w| field(w, "p90"));
+            out!(
+                "  {profile:<8} {member:<14} {:>8} {:>8} {:>10} {:>9} {:>9} {:>12} {:>12}",
+                field(o, "runs"),
+                field(o, "wins"),
+                field(o, "completed"),
+                field(o, "timed_out"),
+                field(o, "exhausted"),
+                field(o, "nodes_total"),
+                wall_p90,
+            );
+        }
+    }
+    if let Some(chunks) = doc.get("pool_worker_chunks").and_then(Json::as_arr) {
+        if !chunks.is_empty() {
+            let chunks: Vec<u64> = chunks.iter().map(num).collect();
+            out!("pool worker chunks: {chunks:?}");
+        }
+    }
+    let mut stdout = std::io::stdout().lock();
+    match stdout
+        .write_all(buf.as_bytes())
+        .and_then(|()| stdout.flush())
+    {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(format!("writing stats: {e}")),
+        _ => Ok(()),
+    }
 }
 
 /// `msrs bench`: portfolio vs every single solver over generated corpora,
@@ -568,9 +724,37 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Compact per-experiment telemetry attachment: the nonzero counter deltas
+/// and stage-histogram sample-count deltas between two snapshots. Extra
+/// keys are ignored by [`experiment_key`] / [`experiment_metric`], so
+/// attaching this to baseline JSON stays compare-compatible.
+fn telemetry_delta(before: &telemetry::Snapshot, after: &telemetry::Snapshot) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    for (name, v) in &after.counters {
+        let delta = v - before.counter(name);
+        if delta > 0 {
+            fields.push(((*name).into(), Json::Num(delta as i128)));
+        }
+    }
+    for stage in &after.stages {
+        let prior = before
+            .stages
+            .iter()
+            .find(|h| h.name == stage.name)
+            .map_or(0, |h| h.count);
+        let delta = stage.count - prior;
+        if delta > 0 {
+            fields.push((format!("{}_count", stage.name), Json::Num(delta as i128)));
+        }
+    }
+    Json::Obj(fields)
+}
+
 /// The perf-baseline suite behind `msrs bench --baseline-out` / `--compare`
-/// (committed as `BENCH_5.json`): machine-readable wall times and node
-/// counts that later PRs diff against.
+/// (committed as `BENCH_6.json`): machine-readable wall times and node
+/// counts that later PRs diff against. Every experiment carries a
+/// `telemetry` object — the registry counter deltas over its timed
+/// section — so baseline files double as observability fixtures.
 ///
 /// * `tiny_batch_1` / `tiny_batch_8` — per-call serving latency of a
 ///   1-instance `Engine::solve` (parallel portfolio wave) and an
@@ -617,6 +801,7 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
         });
         let one_req = SolveRequest::with_id("tiny-1", tiny(1));
         std::hint::black_box(engine.solve(&one_req));
+        let t_before = telemetry::snapshot();
         let start = std::time::Instant::now();
         for _ in 0..calls {
             std::hint::black_box(engine.solve(&one_req));
@@ -633,6 +818,10 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             ("calls".into(), Json::Num(calls as i128)),
             ("wall_micros".into(), Json::Num(wall)),
             ("per_call_micros".into(), Json::Num(wall / calls as i128)),
+            (
+                "telemetry".into(),
+                telemetry_delta(&t_before, &telemetry::snapshot()),
+            ),
         ]));
 
         let reqs8: Vec<SolveRequest> = (0..8)
@@ -640,6 +829,7 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             .collect();
         let calls8 = (calls / 4).max(10);
         std::hint::black_box(engine.solve_batch(&reqs8));
+        let t_before = telemetry::snapshot();
         let start = std::time::Instant::now();
         for _ in 0..calls8 {
             std::hint::black_box(engine.solve_batch(&reqs8));
@@ -656,6 +846,10 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             ("calls".into(), Json::Num(calls8 as i128)),
             ("wall_micros".into(), Json::Num(wall)),
             ("per_call_micros".into(), Json::Num(wall / calls8 as i128)),
+            (
+                "telemetry".into(),
+                telemetry_delta(&t_before, &telemetry::snapshot()),
+            ),
         ]));
     }
 
@@ -681,12 +875,17 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             // the corpus against the primed cache (the steady state of
             // repeated traffic — every request is a hit).
             for pass in ["traffic_batch", "traffic_batch_warm"] {
-                let before = engine.cache_stats();
+                let before = telemetry::snapshot();
                 let start = std::time::Instant::now();
                 let reports = engine.solve_batch(&reqs);
                 let wall = start.elapsed().as_micros() as i128;
-                let stats = engine.cache_stats();
-                let (hits, misses) = (stats.hits - before.hits, stats.misses - before.misses);
+                let after = telemetry::snapshot();
+                // One engine is live at a time here, so the global registry
+                // delta is exactly this pass's cache activity.
+                let hits = after.counter("msrs_cache_hits_total")
+                    - before.counter("msrs_cache_hits_total");
+                let misses = after.counter("msrs_cache_misses_total")
+                    - before.counter("msrs_cache_misses_total");
                 eprintln!(
                     "{pass} threads={threads} cache={cache_capacity}: {} instances in {wall} µs \
                      ({hits} hits, {misses} misses)",
@@ -700,6 +899,7 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
                     ("wall_micros".into(), Json::Num(wall)),
                     ("cache_hits".into(), Json::Num(hits as i128)),
                     ("cache_misses".into(), Json::Num(misses as i128)),
+                    ("telemetry".into(), telemetry_delta(&before, &after)),
                 ]));
             }
         }
@@ -728,6 +928,7 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             corpus.push('\n');
         }
         let mut sink = std::io::sink();
+        let t_before = telemetry::snapshot();
         let start = std::time::Instant::now();
         let outcome = serve_jsonl(&engine, corpus.as_bytes(), &mut sink, DEFAULT_SHARD_SIZE)
             .map_err(|e| format!("stream: {e}"))?;
@@ -737,12 +938,13 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
         eprintln!(
             "stream_traffic: {} instances in {} shard(s), {wall} µs \
              ({ips:.0} inst/s, {} cache-served, max resident {}; \
-             parse {} µs, solve {} µs, serialize {} µs)",
+             parse {} µs, canonicalize {} µs, solve {} µs, serialize {} µs)",
             s.instances,
             s.shards,
             s.fast_path_hits,
             s.max_resident,
             s.parse_micros,
+            s.canon_micros,
             s.solve_micros,
             s.serialize_micros,
         );
@@ -760,12 +962,17 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             ("fast_path_hits".into(), Json::Num(s.fast_path_hits as i128)),
             ("wall_micros".into(), Json::Num(wall)),
             ("parse_micros".into(), Json::Num(s.parse_micros as i128)),
+            ("canon_micros".into(), Json::Num(s.canon_micros as i128)),
             ("solve_micros".into(), Json::Num(s.solve_micros as i128)),
             (
                 "serialize_micros".into(),
                 Json::Num(s.serialize_micros as i128),
             ),
             ("instances_per_sec".into(), Json::Num(ips as i128)),
+            (
+                "telemetry".into(),
+                telemetry_delta(&t_before, &telemetry::snapshot()),
+            ),
         ]));
     }
 
@@ -796,6 +1003,7 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             symmetry: !name.ends_with("_nosym"),
             ..BoundConfig::default()
         };
+        let t_before = telemetry::snapshot();
         let start = std::time::Instant::now();
         let outcome =
             one.install(|| solve_configured(inst, SolveLimits { max_nodes }, bounds, None));
@@ -814,6 +1022,10 @@ fn run_baseline_suite(machines: usize, count: u64) -> Result<Vec<Json>, String> 
             ("nodes".into(), Json::Num(nodes as i128)),
             ("wall_micros".into(), Json::Num(wall)),
             ("nodes_per_sec".into(), Json::Num(nps as i128)),
+            (
+                "telemetry".into(),
+                telemetry_delta(&t_before, &telemetry::snapshot()),
+            ),
         ]));
     }
 
@@ -862,7 +1074,7 @@ fn cmd_bench_suite(flags: &Flags) -> Result<(), String> {
 
     if let Some(path) = flags.get("--baseline-out") {
         let mut doc = vec![
-            ("bench".into(), Json::Str("BENCH_5".into())),
+            ("bench".into(), Json::Str("BENCH_6".into())),
             ("machines".into(), Json::Num(machines as i128)),
             ("experiments".into(), Json::Arr(experiments.clone())),
         ];

@@ -15,11 +15,20 @@
 //! shard, so their eviction order is exact global LRU; larger caches trade
 //! that for lock spread, making eviction per-shard LRU (an approximation
 //! of global LRU). Hit/miss/eviction counters are monotone and lock-free.
+//!
+//! Every counter event is *dual-recorded*: the per-cache atomics stay the
+//! source of truth for [`CacheStats`] (each [`Engine`](crate::Engine) owns
+//! its cache, and callers may meter caches individually), and the same
+//! event is mirrored into the process-global `msrs_telemetry` registry
+//! (`msrs_cache_*` counters, `msrs_cache_entries` residency gauge) so one
+//! telemetry snapshot covers every cache in the process. Lookups
+//! additionally record a `cache_lookup` stage span. None of this allocates.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use msrs_telemetry::{registry, Stage};
 use parking_lot::Mutex;
 
 use crate::report::SolveReport;
@@ -103,6 +112,9 @@ impl ReportCache {
         } else {
             SHARDS
         };
+        // The capacity gauge reflects the most recently constructed cache
+        // (one engine per process in the CLI, where this matters).
+        registry().cache_capacity.set(capacity as i64);
         ReportCache {
             shards: (0..shard_count)
                 .map(|_| Mutex::new(Shard::default()))
@@ -133,6 +145,7 @@ impl ReportCache {
         if !self.enabled() {
             return None;
         }
+        let _span = Stage::CacheLookup.span();
         let mut shard = self.shard(key).lock();
         shard.clock += 1;
         let clock = shard.clock;
@@ -142,11 +155,13 @@ impl ReportCache {
                 let report = entry.report.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                registry().cache_hits_total.inc();
                 Some(report)
             }
             None => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                registry().cache_misses_total.inc();
                 None
             }
         }
@@ -157,6 +172,7 @@ impl ReportCache {
     /// duplicate requests exactly like a cache hit would).
     pub fn count_dedup_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        registry().cache_hits_total.inc();
     }
 
     /// Inserts (or refreshes) `key`, evicting the shard's least-recently
@@ -168,7 +184,7 @@ impl ReportCache {
         let mut shard = self.shard(&key).lock();
         shard.clock += 1;
         let stamp = shard.clock;
-        shard.map.insert(key, Entry { stamp, report });
+        let fresh = shard.map.insert(key, Entry { stamp, report }).is_none();
         let mut evicted = 0u64;
         while shard.map.len() > self.shard_capacity {
             let oldest = shard
@@ -181,12 +197,20 @@ impl ReportCache {
             evicted += 1;
         }
         drop(shard);
+        let reg = registry();
+        reg.cache_inserts_total.inc();
+        if fresh {
+            reg.cache_entries.add(1);
+        }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            reg.cache_evictions_total.add(evicted);
+            reg.cache_entries.sub(evicted as i64);
         }
     }
 
-    /// Current counter snapshot.
+    /// Current counter snapshot (per-cache; the process-global mirror is
+    /// available via `msrs_telemetry::snapshot()`).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -194,6 +218,17 @@ impl ReportCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
             capacity: self.capacity,
+        }
+    }
+}
+
+impl Drop for ReportCache {
+    fn drop(&mut self) {
+        // Return this cache's residency to the global gauge so it tracks
+        // live entries across engines coming and going.
+        let resident: usize = self.shards.iter().map(|s| s.lock().map.len()).sum();
+        if resident > 0 {
+            registry().cache_entries.sub(resident as i64);
         }
     }
 }

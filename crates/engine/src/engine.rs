@@ -20,11 +20,26 @@ use rayon::prelude::*;
 use msrs_core::{validate, CancelToken, CanonicalForm, CanonicalScratch, Instance, Schedule, Time};
 use msrs_exact::{SolveLimits, SolveOutcome};
 use msrs_ptas::EptasConfig;
+use msrs_telemetry::{registry, OutcomeStatus, Stage};
 
 use crate::cache::{CacheKey, CacheStats, ReportCache};
 use crate::portfolio::{plan, Portfolio, SolverKind};
-use crate::profile::{classify, InstanceProfile};
+use crate::profile::{classify, InstanceProfile, SizeTier};
 use crate::report::{RunStatus, SolveReport, SolveRequest, SolverRun};
+
+/// Outcome-table row labels: [`SizeTier`]s in [`SizeTier::index`] order.
+const TIER_LABELS: [&str; 4] = ["trivial", "tiny", "small", "large"];
+/// Outcome-table column labels: [`SolverKind`]s in [`SolverKind::index`]
+/// order.
+const MEMBER_LABELS: [&str; 7] = [
+    "five_thirds",
+    "three_halves",
+    "hebrard_greedy",
+    "list_scheduler",
+    "merged_lpt",
+    "exact",
+    "eptas",
+];
 
 /// When the exact branch-and-bound is planned and how hard it tries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +243,7 @@ thread_local! {
 
 /// Canonicalizes `inst` through the calling thread's persistent scratch.
 fn canonical_form_pooled(inst: &Instance) -> CanonicalForm {
+    let _span = Stage::Canonicalize.span();
     SOLVE_SCRATCH.with(|s| CanonicalForm::of_with(inst, &mut s.borrow_mut().canonical))
 }
 
@@ -258,6 +274,9 @@ impl MemberOutcome {
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
+        // Label the telemetry outcome table once per process (first engine
+        // wins; the labels are the same for every engine).
+        msrs_telemetry::set_outcome_labels(&TIER_LABELS, &MEMBER_LABELS);
         let cache = Arc::new(ReportCache::new(cfg.cache_capacity));
         let config_fp = cfg.content_fingerprint();
         Engine {
@@ -273,6 +292,13 @@ impl Engine {
     }
 
     /// Counter snapshot of the canonical-form result cache.
+    ///
+    /// **Migration note:** cache events are mirrored into the process-global
+    /// telemetry registry; prefer `msrs_telemetry::snapshot()` and read the
+    /// `msrs_cache_*` counters plus the `msrs_cache_entries` /
+    /// `msrs_cache_capacity` gauges. This per-engine accessor remains for
+    /// callers metering one cache among several in a process.
+    #[deprecated(note = "use telemetry snapshot")]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -282,6 +308,12 @@ impl Engine {
     /// shared by every engine and parallel operation in the process), so
     /// the counters are cumulative; diff two snapshots to meter one batch
     /// or stream.
+    ///
+    /// **Migration note:** the pool records straight into the process-global
+    /// telemetry registry; prefer `msrs_telemetry::snapshot()` and read the
+    /// `msrs_pool_*` counters, the `msrs_pool_workers_alive` gauge, and
+    /// `pool_worker_chunks`. This accessor delegates to the same registry.
+    #[deprecated(note = "use telemetry snapshot")]
     pub fn pool_stats(&self) -> rayon::PoolStats {
         rayon::pool_stats()
     }
@@ -478,8 +510,13 @@ impl Engine {
     /// canonical job numbering). `on_worker` forces the sequential member
     /// path (batch workers parallelize across instances instead).
     fn solve_canonical(&self, inst: &Instance, on_worker: bool) -> SolveReport {
-        let profile = classify(inst);
-        let portfolio = plan(&profile, &self.cfg);
+        let (profile, portfolio) = {
+            let _span = Stage::Plan.span();
+            let profile = classify(inst);
+            let portfolio = plan(&profile, &self.cfg);
+            (profile, portfolio)
+        };
+        let _span = Stage::MemberRace.span();
         if !on_worker && self.cfg.parallel_portfolio && portfolio.members.len() > 1 {
             self.run_parallel(inst, &profile, &portfolio)
         } else {
@@ -645,6 +682,7 @@ fn finalize(
     cache_hit: bool,
     started: Instant,
 ) -> SolveReport {
+    registry().requests_total.inc();
     canonical.id = req.id.clone();
     canonical.schedule = form.schedule_to_original(&canonical.schedule);
     canonical.cache_hit = cache_hit;
@@ -769,6 +807,27 @@ fn run_solver(
     }
 }
 
+/// Records every member run of one fresh canonical solve into the global
+/// per-(profile, member) outcome table.
+fn record_outcomes(tier: SizeTier, outcomes: &[(SolverKind, MemberOutcome)], winner: SolverKind) {
+    for (kind, outcome) in outcomes {
+        let status = match outcome.status {
+            RunStatus::Completed => OutcomeStatus::Completed,
+            RunStatus::TimedOut => OutcomeStatus::TimedOut,
+            RunStatus::Exhausted => OutcomeStatus::Exhausted,
+            RunStatus::Invalid(_) => OutcomeStatus::Invalid,
+        };
+        registry().outcomes.record(
+            tier.index(),
+            kind.index(),
+            status,
+            *kind == winner && outcome.status == RunStatus::Completed,
+            outcome.nodes.unwrap_or(0),
+            outcome.wall_micros,
+        );
+    }
+}
+
 /// Best-of selection and assembly of the canonical report (id and schedule
 /// numbering are canonical; [`finalize`] maps them to the request).
 fn assemble(
@@ -817,6 +876,10 @@ fn assemble(
     });
     let (certified_by, certified_horizon) = certificate
         .unwrap_or_else(|| panic!("no certifying member completed ({})", member_states()));
+    // Feed the telemetry outcome table: one row per member of this fresh
+    // canonical solve (cache hits replay a stored report without re-running
+    // members, so they add nothing here — the table counts actual runs).
+    record_outcomes(profile.tier, &outcomes, winner_kind);
     // Meeting the lower bound is an optimality proof in its own right
     // (T ≤ OPT ≤ makespan = T), independent of the exact member.
     let proven_optimal = proven_optimal || makespan == profile.lower_bound;
@@ -857,6 +920,16 @@ fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn outcome_labels_match_enum_names() {
+        for tier in SizeTier::ALL {
+            assert_eq!(TIER_LABELS[tier.index()], tier.name());
+        }
+        for (i, kind) in SolverKind::all().iter().enumerate() {
+            assert_eq!(MEMBER_LABELS[i], kind.name());
+        }
+    }
 
     #[test]
     fn solve_produces_a_certified_valid_schedule() {

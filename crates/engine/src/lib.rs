@@ -25,7 +25,13 @@
 //! * [`json`] + [`jsonl`] — dependency-free JSON emission/parsing and the
 //!   JSON-lines instance/report corpus format used by the `msrs` CLI;
 //! * [`families`] — the named generator families (re-using `msrs-gen`) the
-//!   CLI's `gen` and `bench` subcommands draw from.
+//!   CLI's `gen` and `bench` subcommands draw from;
+//! * [`telemetry`] (re-export of `msrs-telemetry`) — the process-global
+//!   metrics registry every layer above records into: counters, gauges,
+//!   stage-latency histograms for each data-plane hop, and the
+//!   per-(profile, member) outcome table fed by every solve. Recording
+//!   never allocates; [`telemetry::snapshot()`] materializes a point-in-time
+//!   view for reporting.
 //!
 //! ## Determinism
 //!
@@ -65,6 +71,8 @@ pub mod portfolio;
 pub mod profile;
 pub mod report;
 pub mod stream;
+
+pub use msrs_telemetry as telemetry;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
 pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};

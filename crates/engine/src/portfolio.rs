@@ -79,6 +79,20 @@ impl SolverKind {
             SolverKind::Eptas,
         ]
     }
+
+    /// Stable column index of this kind in [`SolverKind::all`] order
+    /// (telemetry outcome-table axis).
+    pub const fn index(self) -> usize {
+        match self {
+            SolverKind::FiveThirds => 0,
+            SolverKind::ThreeHalves => 1,
+            SolverKind::HebrardGreedy => 2,
+            SolverKind::ListScheduler => 3,
+            SolverKind::MergedLpt => 4,
+            SolverKind::Exact => 5,
+            SolverKind::Eptas => 6,
+        }
+    }
 }
 
 impl std::fmt::Display for SolverKind {
@@ -178,5 +192,12 @@ mod tests {
             assert_eq!(SolverKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(SolverKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn index_matches_canonical_order() {
+        for (i, kind) in SolverKind::all().iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
     }
 }

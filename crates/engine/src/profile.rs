@@ -17,6 +17,36 @@ pub enum SizeTier {
     Large,
 }
 
+impl SizeTier {
+    /// All tiers in [`SizeTier::index`] order.
+    pub const ALL: [SizeTier; 4] = [
+        SizeTier::Trivial,
+        SizeTier::Tiny,
+        SizeTier::Small,
+        SizeTier::Large,
+    ];
+
+    /// Stable row index of this tier (telemetry outcome-table axis).
+    pub const fn index(self) -> usize {
+        match self {
+            SizeTier::Trivial => 0,
+            SizeTier::Tiny => 1,
+            SizeTier::Small => 2,
+            SizeTier::Large => 3,
+        }
+    }
+
+    /// Stable lowercase label (telemetry outcome-table row name).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SizeTier::Trivial => "trivial",
+            SizeTier::Tiny => "tiny",
+            SizeTier::Small => "small",
+            SizeTier::Large => "large",
+        }
+    }
+}
+
 /// Classification of one instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstanceProfile {

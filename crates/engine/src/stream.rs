@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use msrs_core::CanonicalScratch;
+use msrs_telemetry::{registry, Stage};
 
 use crate::engine::Engine;
 use crate::jsonl::{CorpusError, LineDecoder};
@@ -136,8 +137,13 @@ pub struct StreamStats {
     pub ratio_worst: f64,
     /// Wall time of the whole stream, µs.
     pub wall_micros: u64,
-    /// Time spent decoding input (JSONL parse, fingerprint, cache probe), µs.
+    /// Time spent reading and decoding input (JSONL parse), µs.
     pub parse_micros: u64,
+    /// Time spent fingerprinting/canonicalizing decoded lines and probing
+    /// the result cache, µs. Only the byte-level serve path populates this:
+    /// the typed pipeline canonicalizes inside the solver batch, where the
+    /// time lands in `solve_micros`.
+    pub canon_micros: u64,
     /// Time spent inside the solver batches, µs.
     pub solve_micros: u64,
     /// Time spent serializing and writing reports, µs.
@@ -157,6 +163,7 @@ impl Default for StreamStats {
             ratio_worst: 1.0,
             wall_micros: 0,
             parse_micros: 0,
+            canon_micros: 0,
             solve_micros: 0,
             serialize_micros: 0,
         }
@@ -195,11 +202,28 @@ pub struct StreamOutcome {
     pub error: Option<CorpusError>,
 }
 
+/// Saturating nanosecond view of a duration, for stage-histogram recording
+/// (a span would need to exceed ~584 years to clip).
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Counts one request answered on the byte-level fast path (cache hit or
+/// in-shard duplicate). Misses are counted once by `Engine::finalize` when
+/// their batched solve lands, so the two sites together count every request
+/// exactly once.
+fn count_fast_path() {
+    let reg = registry();
+    reg.requests_total.inc();
+    reg.serve_fast_path_total.inc();
+}
+
 /// Duration accumulators for the data-plane time split (converted to µs
 /// once at the end, so sub-µs per-line slices are not truncated away).
 #[derive(Default)]
 struct Phases {
     parse: Duration,
+    canon: Duration,
     solve: Duration,
     serialize: Duration,
 }
@@ -207,6 +231,7 @@ struct Phases {
 impl Phases {
     fn write_into(&self, stats: &mut StreamStats) {
         stats.parse_micros = self.parse.as_micros() as u64;
+        stats.canon_micros = self.canon.as_micros() as u64;
         stats.solve_micros = self.solve.as_micros() as u64;
         stats.serialize_micros = self.serialize.as_micros() as u64;
     }
@@ -403,12 +428,20 @@ impl JsonlServer {
                     phases.parse += t0.elapsed();
                     break;
                 }
+                // Decode is done: close the parse slice here so the
+                // fingerprint/canonicalize/probe work below is attributed
+                // to its own phase (and stage histogram), not folded into
+                // parse — the phase sums then track wall time hop by hop.
+                let decoded = t0.elapsed();
+                phases.parse += decoded;
+                Stage::Decode.record_nanos(nanos(decoded));
                 // With an active cache, fingerprint the decoded flat data in
                 // place and try to serve without materializing anything:
                 // first from the result cache, then from an earlier
                 // occurrence of the same canonical form in this shard.
                 // Without a cache (or with a deadline) every line is
                 // materialized, exactly as the typed pipeline behaves.
+                let t_canon = Instant::now();
                 if engine.serve_cache_active() {
                     let builder = self.decoder.builder();
                     let fp = msrs_core::flat_fingerprint(
@@ -417,13 +450,17 @@ impl JsonlServer {
                         builder.offsets(),
                         &mut self.scratch,
                     );
+                    Stage::Canonicalize.record_nanos(nanos(t_canon.elapsed()));
                     let id = self.decoder.id().map(|bytes| {
                         let start = self.ids.len();
                         self.ids.extend_from_slice(bytes);
                         (start, self.ids.len())
                     });
+                    // `serve_cached` times the probe as a `cache_lookup`
+                    // stage span inside the cache itself.
                     if let Some(report) = engine.serve_cached(fp) {
                         stats.fast_path_hits += 1;
+                        count_fast_path();
                         self.slots.push(Slot::Hit {
                             report,
                             id,
@@ -432,6 +469,7 @@ impl JsonlServer {
                     } else if let Some(&first) = self.shard_forms.get(&fp) {
                         engine.count_serve_dedup_hit();
                         stats.fast_path_hits += 1;
+                        count_fast_path();
                         self.slots.push(Slot::Dup {
                             first,
                             id,
@@ -446,7 +484,7 @@ impl JsonlServer {
                     self.slots.push(Slot::Miss(self.misses.len()));
                     self.misses.push(self.decoder.build_request());
                 }
-                phases.parse += t0.elapsed();
+                phases.canon += t_canon.elapsed();
             }
             if self.slots.is_empty() {
                 continue;
@@ -501,7 +539,9 @@ impl JsonlServer {
                 stats.record_report(report);
                 self.report_buf.push(b'\n');
                 out.write_all(&self.report_buf)?;
-                phases.serialize += t2.elapsed();
+                let serialized = t2.elapsed();
+                phases.serialize += serialized;
+                Stage::Serialize.record_nanos(nanos(serialized));
             }
         }
         phases.write_into(&mut stats);
@@ -581,6 +621,41 @@ mod tests {
         assert!(
             outcome.stats.solve_micros > 0,
             "solving takes measurable time"
+        );
+    }
+
+    #[test]
+    fn serve_splits_canonicalize_time_out_of_parse() {
+        // Duplicate-heavy corpus: every line after the first is served at
+        // the byte level, so the fingerprint/probe work is exercised often
+        // enough to register in the µs-resolution phase counters.
+        let line = "{\"machines\":2,\"classes\":[[5,3],[7],[2,2,2]]}\n";
+        let corpus = line.repeat(512);
+        let cfg = EngineConfig {
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(cfg);
+        let mut out = Vec::new();
+        let outcome = serve_jsonl(&engine, Cursor::new(corpus), &mut out, 128).unwrap();
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.stats.instances, 512);
+        assert!(outcome.stats.fast_path_hits >= 511);
+        assert!(
+            outcome.stats.canon_micros > 0,
+            "cache-active serving fingerprints every line; 512 probes take \
+             at least a microsecond in total"
+        );
+        // The phase accumulators partition the loop body, so their sum
+        // never exceeds the wall clock of the whole stream.
+        let sum = outcome.stats.parse_micros
+            + outcome.stats.canon_micros
+            + outcome.stats.solve_micros
+            + outcome.stats.serialize_micros;
+        assert!(
+            sum <= outcome.stats.wall_micros,
+            "phase sum {sum} vs wall {}",
+            outcome.stats.wall_micros
         );
     }
 

@@ -2,7 +2,10 @@
 //! `#[global_allocator]` wrapper (test binary only) asserts **zero heap
 //! allocations** across a full cache-hit-only pass of the streaming serve
 //! loop — decode, canonical fingerprint, cache probe, and report
-//! serialization all run out of reused buffers.
+//! serialization all run out of reused buffers. Telemetry recording is live
+//! throughout (it cannot be disabled), and the test reads the registry's
+//! stage counters around the measured window to prove the instruments were
+//! actually firing while the allocation count stayed at zero.
 //!
 //! This file deliberately contains a single test: the allocator counter is
 //! process-global, and a concurrently running sibling test would pollute
@@ -92,7 +95,18 @@ fn warmed_cache_hit_serve_loop_performs_zero_allocations() {
         assert_eq!(outcome.stats.instances, 256, "pass {pass}");
     }
 
-    // Measured pass: 256 instances end to end, zero allocations.
+    // Telemetry counters read *outside* the measured window (registry reads
+    // are allocation-free anyway, but keeping them outside makes the window
+    // exactly one serve pass).
+    let reg = msrs_engine::telemetry::registry();
+    let decode_before = reg.stage(msrs_engine::telemetry::Stage::Decode).count();
+    let lookup_before = reg
+        .stage(msrs_engine::telemetry::Stage::CacheLookup)
+        .count();
+    let fast_path_before = reg.serve_fast_path_total.get();
+
+    // Measured pass: 256 instances end to end, zero allocations — with
+    // telemetry recording enabled (it always is).
     let before = ALLOCATOR.count();
     let outcome = server
         .serve(&engine, corpus.as_bytes(), &mut sink, 64)
@@ -110,4 +124,14 @@ fn warmed_cache_hit_serve_loop_performs_zero_allocations() {
         allocations, 0,
         "warmed cache-hit serve loop allocated {allocations} times for 256 instances"
     );
+    // The zero-allocation window really did record telemetry: one decode
+    // span and one cache probe per line, one fast-path count per line.
+    let decode_delta = reg.stage(msrs_engine::telemetry::Stage::Decode).count() - decode_before;
+    let lookup_delta = reg
+        .stage(msrs_engine::telemetry::Stage::CacheLookup)
+        .count()
+        - lookup_before;
+    assert_eq!(decode_delta, 256, "decode stage recorded per line");
+    assert_eq!(lookup_delta, 256, "cache probe recorded per line");
+    assert_eq!(reg.serve_fast_path_total.get() - fast_path_before, 256);
 }

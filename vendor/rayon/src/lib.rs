@@ -55,9 +55,12 @@
 //!
 //! ## Observability
 //!
-//! [`pool_stats`] snapshots the pool: workers spawned, operations that
-//! engaged the pool, helper jobs executed by workers, and chunks executed
-//! per worker vs. by calling threads ("stolen" through the cursor).
+//! The pool records its events — worker spawns, condvar parks, task
+//! steal-backs, idle reclaims, operations, helper jobs, caller chunks —
+//! straight into the process-global `msrs_telemetry` registry; per-worker
+//! chunk counts stay in the worker slots and are exported to telemetry
+//! snapshots through a registered source. [`pool_stats`] snapshots it all
+//! as one [`PoolStats`].
 
 #![forbid(unsafe_code)]
 
@@ -244,18 +247,17 @@ struct WorkerSlot {
 }
 
 /// The process-wide persistent pool.
+///
+/// Scalar event counters (ops, helper jobs, caller chunks, spawns, parks,
+/// steal-backs, reclaims) live in the process-global `msrs_telemetry`
+/// registry — the pool is itself process-global, so the registry is their
+/// natural home and [`pool_stats`] reads them back from there. Per-worker
+/// chunk attribution stays in the dynamically grown [`WorkerSlot`] list and
+/// is exported to telemetry snapshots via a registered source function.
 struct Pool {
     shared: Arc<PoolShared>,
     /// One slot per worker *spawned so far* (alive or reclaimed).
     workers: Mutex<Vec<Arc<WorkerSlot>>>,
-    /// Parallel operations that engaged the pool (ran with > 1 thread).
-    ops: AtomicU64,
-    /// Helper jobs executed by pool workers.
-    helper_jobs: AtomicU64,
-    /// Chunks executed by calling threads (the caller always participates).
-    caller_chunks: AtomicU64,
-    /// Workers that exited after sitting idle past the configured timeout.
-    reclaimed: AtomicU64,
     /// Idle timeout in milliseconds; `0` disables reclamation (workers
     /// park forever, the pre-reclamation behaviour). Initialized from the
     /// `MSRS_POOL_IDLE_MS` environment variable, overridable at runtime via
@@ -275,18 +277,29 @@ fn env_idle_timeout_ms() -> u64 {
 static POOL: OnceLock<Pool> = OnceLock::new();
 
 fn pool() -> &'static Pool {
-    POOL.get_or_init(|| Pool {
-        shared: Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-        }),
-        workers: Mutex::new(Vec::new()),
-        ops: AtomicU64::new(0),
-        helper_jobs: AtomicU64::new(0),
-        caller_chunks: AtomicU64::new(0),
-        reclaimed: AtomicU64::new(0),
-        idle_timeout_ms: AtomicU64::new(env_idle_timeout_ms()),
+    POOL.get_or_init(|| {
+        // Telemetry snapshots carry per-worker chunk counts; the registry
+        // cannot preallocate slots for dynamically spawned workers, so it
+        // pulls the vector through this function pointer at snapshot time.
+        msrs_telemetry::set_pool_worker_chunks_source(worker_chunks_vec);
+        Pool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+            idle_timeout_ms: AtomicU64::new(env_idle_timeout_ms()),
+        }
     })
+}
+
+/// Cumulative chunk counts per spawned worker, in spawn order (the
+/// per-worker source registered with `msrs_telemetry`).
+fn worker_chunks_vec() -> Vec<u64> {
+    lock(&pool().workers)
+        .iter()
+        .map(|s| s.chunks.load(Ordering::Relaxed))
+        .collect()
 }
 
 /// Sets (or, with `None`, disables) the idle-worker reclamation timeout at
@@ -315,7 +328,7 @@ fn note_chunk() {
             s.chunks.fetch_add(1, Ordering::Relaxed);
         }
         None => {
-            pool().caller_chunks.fetch_add(1, Ordering::Relaxed);
+            msrs_telemetry::registry().pool_caller_chunks_total.inc();
         }
     });
 }
@@ -330,6 +343,9 @@ fn worker_main(shared: Arc<PoolShared>, slot: Arc<WorkerSlot>) {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
                 }
+                // Each condvar wait (including waits resumed after a
+                // spurious wakeup) is one park event.
+                msrs_telemetry::registry().pool_parks_total.inc();
                 let timeout_ms = pool().idle_timeout_ms.load(Ordering::Relaxed);
                 if timeout_ms == 0 {
                     queue = shared
@@ -355,10 +371,12 @@ fn worker_main(shared: Arc<PoolShared>, slot: Arc<WorkerSlot>) {
             // operation completes regardless because the calling thread
             // always participates in the steal loop.
             slot.alive.store(false, Ordering::Release);
-            pool().reclaimed.fetch_add(1, Ordering::Relaxed);
+            let reg = msrs_telemetry::registry();
+            reg.pool_reclaims_total.inc();
+            reg.pool_workers_alive.sub(1);
             return;
         };
-        pool().helper_jobs.fetch_add(1, Ordering::Relaxed);
+        msrs_telemetry::registry().pool_helper_jobs_total.inc();
         // Jobs route task panics through their operation's panic slot, so a
         // payload ever reaching this frame would be a scheduler bug; either
         // way the worker survives and keeps serving.
@@ -392,6 +410,9 @@ impl Pool {
             if spawned.is_err() {
                 break;
             }
+            let reg = msrs_telemetry::registry();
+            reg.pool_spawns_total.inc();
+            reg.pool_workers_alive.add(1);
             workers.push(slot);
             alive += 1;
         }
@@ -440,6 +461,11 @@ pub struct PoolStats {
     pub helper_jobs: u64,
     /// Chunks executed by calling threads (callers always participate).
     pub caller_chunks: u64,
+    /// Times a worker parked on the pool condvar waiting for work.
+    pub parks: u64,
+    /// Tasks stolen back and run inline by their submitter (`join`
+    /// caller-take, `scope` waiter-drain) instead of by a pool worker.
+    pub stealbacks: u64,
     /// Chunks stolen and executed per spawned worker, in spawn order
     /// (reclaimed workers keep their final counts).
     pub worker_chunks: Vec<u64>,
@@ -454,8 +480,13 @@ impl PoolStats {
 
 /// Snapshots the persistent pool's counters. All counters are cumulative
 /// for the process lifetime; diff two snapshots to meter one workload.
+///
+/// Scalar counters are read back from the process-global `msrs_telemetry`
+/// registry (the pool records straight into it); worker liveness and
+/// per-worker chunk counts come from the pool's own slot list.
 pub fn pool_stats() -> PoolStats {
     let pool = pool();
+    let reg = msrs_telemetry::registry();
     let workers = lock(&pool.workers);
     PoolStats {
         workers: workers
@@ -463,10 +494,12 @@ pub fn pool_stats() -> PoolStats {
             .filter(|s| s.alive.load(Ordering::Acquire))
             .count(),
         spawned: workers.len(),
-        reclaimed: pool.reclaimed.load(Ordering::Relaxed),
-        ops: pool.ops.load(Ordering::Relaxed),
-        helper_jobs: pool.helper_jobs.load(Ordering::Relaxed),
-        caller_chunks: pool.caller_chunks.load(Ordering::Relaxed),
+        reclaimed: reg.pool_reclaims_total.get(),
+        ops: reg.pool_ops_total.get(),
+        helper_jobs: reg.pool_helper_jobs_total.get(),
+        caller_chunks: reg.pool_caller_chunks_total.get(),
+        parks: reg.pool_parks_total.get(),
+        stealbacks: reg.pool_stealbacks_total.get(),
         worker_chunks: workers
             .iter()
             .map(|s| s.chunks.load(Ordering::Relaxed))
@@ -562,7 +595,7 @@ where
         panic: Mutex::new(None),
     });
     let pool = pool();
-    pool.ops.fetch_add(1, Ordering::Relaxed);
+    msrs_telemetry::registry().pool_ops_total.inc();
     let tickets: Vec<Job> = (0..threads - 1)
         .map(|_| {
             let state = Arc::clone(&state);
@@ -650,6 +683,7 @@ where
     let ra = catch_unwind(AssertUnwindSafe(|| with_threads(ta, a)));
     let rb = if let Some(b) = lock(&state.task).take() {
         // No worker got to `b` yet — run it here instead of parking.
+        msrs_telemetry::registry().pool_stealbacks_total.inc();
         catch_unwind(AssertUnwindSafe(|| with_threads(tb, b)))
     } else {
         let mut slot = lock(&state.result);
@@ -775,6 +809,7 @@ where
         let Some(task) = lock(&slot.task).take() else {
             continue; // a worker already ran this one
         };
+        msrs_telemetry::registry().pool_stealbacks_total.inc();
         let run = catch_unwind(AssertUnwindSafe(|| with_threads(1, || task(&scope))));
         scope.state.finish_task(run);
     }
