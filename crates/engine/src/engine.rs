@@ -22,7 +22,7 @@ use msrs_exact::{SolveLimits, SolveOutcome};
 use msrs_ptas::EptasConfig;
 use msrs_telemetry::{registry, OutcomeStatus, Stage};
 
-use crate::cache::{CacheKey, CacheStats, ReportCache};
+use crate::cache::{CacheKey, ReportCache};
 use crate::portfolio::{plan, Portfolio, SolverKind};
 use crate::profile::{classify, InstanceProfile, SizeTier};
 use crate::report::{RunStatus, SolveReport, SolveRequest, SolverRun};
@@ -289,33 +289,6 @@ impl Engine {
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
-    }
-
-    /// Counter snapshot of the canonical-form result cache.
-    ///
-    /// **Migration note:** cache events are mirrored into the process-global
-    /// telemetry registry; prefer `msrs_telemetry::snapshot()` and read the
-    /// `msrs_cache_*` counters plus the `msrs_cache_entries` /
-    /// `msrs_cache_capacity` gauges. This per-engine accessor remains for
-    /// callers metering one cache among several in a process.
-    #[deprecated(note = "use telemetry snapshot")]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// Counter snapshot of the persistent worker pool this engine's
-    /// parallel work runs on. The pool is **process-global** (workers are
-    /// shared by every engine and parallel operation in the process), so
-    /// the counters are cumulative; diff two snapshots to meter one batch
-    /// or stream.
-    ///
-    /// **Migration note:** the pool records straight into the process-global
-    /// telemetry registry; prefer `msrs_telemetry::snapshot()` and read the
-    /// `msrs_pool_*` counters, the `msrs_pool_workers_alive` gauge, and
-    /// `pool_worker_chunks`. This accessor delegates to the same registry.
-    #[deprecated(note = "use telemetry snapshot")]
-    pub fn pool_stats(&self) -> rayon::PoolStats {
-        rayon::pool_stats()
     }
 
     /// Whether requests are served through the result cache: the cache has

@@ -70,6 +70,7 @@ pub mod jsonl;
 pub mod portfolio;
 pub mod profile;
 pub mod report;
+pub mod service;
 pub mod stream;
 
 pub use msrs_telemetry as telemetry;
@@ -83,6 +84,6 @@ pub use profile::{classify, InstanceProfile, SizeTier};
 pub use rayon::PoolStats;
 pub use report::{RunStatus, SolveReport, SolveRequest, SolverRun};
 pub use stream::{
-    serve_jsonl, solve_stream, JsonlReader, JsonlServer, StreamOutcome, StreamStats,
+    serve_jsonl, solve_stream, JsonlReader, JsonlServer, ServiceCore, StreamOutcome, StreamStats,
     DEFAULT_SHARD_SIZE,
 };

@@ -1,0 +1,443 @@
+//! `msrs serve`: a concurrent JSONL-over-TCP front end on the
+//! [`ServiceCore`](crate::stream::ServiceCore) data plane.
+//!
+//! Wire protocol (one JSON value per line, strictly ordered per
+//! connection — the N-th response line answers the N-th request line):
+//!
+//! * **request** — an instance line exactly as `msrs batch` reads it:
+//!   `{"id":"r-1","machines":2,"classes":[[3,5],[7]]}` (`id` optional).
+//! * **report** — the same report line `msrs batch` writes, e.g.
+//!   `{"id":"r-1",…,"cache_hit":true,"wall_micros":12,…}`.
+//! * **error** — a malformed request yields
+//!   `{"error":"parse","line":N,"message":"…"}` and the session
+//!   *continues* (unlike batch mode, where a corpus error is fatal:
+//!   a session is a conversation, not a file).
+//! * **overloaded** — admission control shed the request without decoding
+//!   it: `{"error":"overloaded","max_inflight":N}`. Sent when
+//!   `--max-inflight` requests are already being solved across all
+//!   sessions. The slot is not consumed; the client may retry.
+//!
+//! Control lines start with `#` (comments in batch corpora):
+//!
+//! * `#stats` — responds with one line: the full telemetry snapshot as
+//!   JSON (the same document `msrs stats --json` prints).
+//! * `#shutdown` — begins graceful shutdown: every session finishes the
+//!   requests it has already admitted, responses are flushed, then
+//!   connections close and the listener exits.
+//! * anything else starting with `#` is ignored, exactly as in a corpus.
+//!
+//! Deadlines: a server-wide `--deadline-ms` becomes the engine's
+//! per-request deadline — each admitted request gets a fresh
+//! [`CancelToken`](msrs_core::CancelToken) budget. As in the rest of the
+//! engine, a configured deadline bypasses the result cache (documented
+//! opt-in nondeterminism), and a report whose runs include a `timed_out`
+//! status counts toward `msrs_serve_deadline_hits_total`.
+//!
+//! The optional metrics listener (`--metrics-addr`) answers every HTTP
+//! GET with the Prometheus rendering of the registry (or JSON when the
+//! request path contains `json`) — the live equivalent of
+//! `msrs batch --metrics-out`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use msrs_telemetry::registry;
+
+use crate::engine::Engine;
+use crate::json::Json;
+use crate::report::{RunStatus, SolveReport};
+use crate::stream::ServiceCore;
+
+/// How the accept and metrics loops poll for shutdown between
+/// non-blocking accepts: long enough to stay invisible in profiles,
+/// short enough that shutdown latency is imperceptible.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration of one [`serve`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Bound in-flight (admitted, unanswered) requests across all
+    /// sessions; `0` means unlimited. Excess requests are shed with an
+    /// `overloaded` line instead of queueing behind a saturated pool.
+    pub max_inflight: usize,
+    /// Serve the telemetry snapshot over HTTP on this address when set.
+    pub metrics_addr: Option<String>,
+}
+
+/// Totals of one server lifetime, returned by [`ServerHandle::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sessions accepted.
+    pub sessions: u64,
+    /// Request lines answered with a report.
+    pub requests: u64,
+    /// Request lines shed by admission control.
+    pub sheds: u64,
+    /// Request lines answered with a parse error.
+    pub errors: u64,
+}
+
+/// State shared by the accept loop, every session thread, and the handle.
+struct ServerShared {
+    engine: Engine,
+    max_inflight: usize,
+    shutdown: AtomicBool,
+    /// Admitted-but-unanswered requests across all sessions. The
+    /// admission CAS runs against this; the `serve_inflight` gauge
+    /// mirrors it for snapshots.
+    inflight: AtomicUsize,
+    /// One clone per **open** session so shutdown can unblock readers
+    /// parked in `read_line` (EOF, never a torn line). Each entry is
+    /// removed when its session exits — a lingering clone would keep the
+    /// socket's write half open and rob the peer of its EOF.
+    sessions: Mutex<Vec<(u64, TcpStream)>>,
+    session_threads: Mutex<Vec<JoinHandle<()>>>,
+    sessions_total: AtomicU64,
+    requests_total: AtomicU64,
+    sheds_total: AtomicU64,
+    errors_total: AtomicU64,
+}
+
+impl ServerShared {
+    /// Acquires an in-flight slot unless the bound is reached.
+    fn try_admit(&self) -> bool {
+        if self.max_inflight == 0 {
+            self.inflight.fetch_add(1, Ordering::SeqCst);
+            registry().serve_inflight.add(1);
+            return true;
+        }
+        let mut current = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max_inflight {
+                return false;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    registry().serve_inflight.add(1);
+                    return true;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        registry().serve_inflight.sub(1);
+    }
+
+    /// Flips the shutdown flag and unblocks every session reader. The
+    /// write halves stay open: in-flight requests still deliver their
+    /// responses before the sessions close.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let sessions = self.sessions.lock().expect("session list lock");
+        for (_, stream) in sessions.iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A running server: join it with [`wait`](Self::wait), stop it with
+/// [`begin_shutdown`](Self::begin_shutdown) (or a `#shutdown` control
+/// line from any client).
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    accept_thread: JoinHandle<()>,
+    metrics_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+    metrics_local_addr: Option<SocketAddr>,
+}
+
+impl ServerHandle {
+    /// The address the JSONL listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound metrics address, when a metrics listener was requested.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_local_addr
+    }
+
+    /// Begins graceful shutdown: stops accepting, unblocks idle session
+    /// readers, lets in-flight requests complete and flush. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the accept loop and every session have exited and
+    /// returns the lifetime totals. Call after
+    /// [`begin_shutdown`](Self::begin_shutdown) (or rely on a client's
+    /// `#shutdown`).
+    pub fn wait(self) -> ServeSummary {
+        let _ = self.accept_thread.join();
+        loop {
+            let handle = self.shared.session_threads.lock().expect("threads").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        if let Some(metrics) = self.metrics_thread {
+            let _ = metrics.join();
+        }
+        ServeSummary {
+            sessions: self.shared.sessions_total.load(Ordering::SeqCst),
+            requests: self.shared.requests_total.load(Ordering::SeqCst),
+            sheds: self.shared.sheds_total.load(Ordering::SeqCst),
+            errors: self.shared.errors_total.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Binds `addr` and starts serving JSONL sessions on `engine` (one
+/// thread per connection, all sharing the engine's result cache and
+/// worker pool). Returns once the listener is bound; drive shutdown via
+/// the returned handle or a `#shutdown` control line.
+pub fn serve(engine: Engine, addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        engine,
+        max_inflight: config.max_inflight,
+        shutdown: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        sessions: Mutex::new(Vec::new()),
+        session_threads: Mutex::new(Vec::new()),
+        sessions_total: AtomicU64::new(0),
+        requests_total: AtomicU64::new(0),
+        sheds_total: AtomicU64::new(0),
+        errors_total: AtomicU64::new(0),
+    });
+    let (metrics_thread, metrics_local_addr) = match config.metrics_addr.as_deref() {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            let bound = listener.local_addr()?;
+            let shared = Arc::clone(&shared);
+            let thread = std::thread::Builder::new()
+                .name("msrs-metrics".into())
+                .spawn(move || metrics_loop(&listener, &shared))
+                .expect("metrics thread spawns");
+            (Some(thread), Some(bound))
+        }
+        None => (None, None),
+    };
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("msrs-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("accept thread spawns");
+    Ok(ServerHandle {
+        shared,
+        accept_thread,
+        metrics_thread,
+        local_addr,
+        metrics_local_addr,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Responses are small single-line writes in a request-response
+                // protocol: leaving Nagle on would stall each one behind the
+                // peer's delayed ACK.
+                let _ = stream.set_nodelay(true);
+                let session_id = shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+                registry().serve_sessions_total.inc();
+                registry().serve_sessions_open.add(1);
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .sessions
+                        .lock()
+                        .expect("session list lock")
+                        .push((session_id, clone));
+                }
+                let session_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("msrs-session".into())
+                    .spawn(move || {
+                        let _ = session_loop(stream, &session_shared);
+                        // Deregister so the last handle on the socket drops
+                        // with this thread and the peer sees a clean close.
+                        session_shared
+                            .sessions
+                            .lock()
+                            .expect("session list lock")
+                            .retain(|(id, _)| *id != session_id);
+                        registry().serve_sessions_open.sub(1);
+                    })
+                    .expect("session thread spawns");
+                shared
+                    .session_threads
+                    .lock()
+                    .expect("threads lock")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Writes one structured error line.
+fn write_error_line(out: &mut TcpStream, kind: &str, fields: &[(&str, Json)]) -> io::Result<()> {
+    let mut obj = vec![("error".to_string(), Json::Str(kind.to_string()))];
+    for (k, v) in fields {
+        obj.push(((*k).to_string(), v.clone()));
+    }
+    let mut line = Json::Obj(obj).to_string();
+    line.push('\n');
+    out.write_all(line.as_bytes())
+}
+
+/// Counts a served report against the deadline-hit counter when any of
+/// its solver runs ran out of budget.
+fn count_deadline_hit(report: &SolveReport) {
+    if report
+        .runs
+        .iter()
+        .any(|run| run.status == RunStatus::TimedOut)
+    {
+        registry().serve_deadline_hits_total.inc();
+    }
+}
+
+fn session_loop(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut core = ServiceCore::new();
+    core.begin(1);
+    let mut line_buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        line_no += 1;
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        let line = line_buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(control) = line.strip_prefix('#') {
+            match control.trim() {
+                "stats" => {
+                    let mut doc = registry().snapshot().to_json_string();
+                    doc.push('\n');
+                    out.write_all(doc.as_bytes())?;
+                    out.flush()?;
+                }
+                "shutdown" => shared.begin_shutdown(),
+                _ => {}
+            }
+            continue;
+        }
+        // ---- Admission control. -------------------------------------------
+        if !shared.try_admit() {
+            shared.sheds_total.fetch_add(1, Ordering::SeqCst);
+            registry().serve_sheds_total.inc();
+            write_error_line(
+                &mut out,
+                "overloaded",
+                &[("max_inflight", Json::Num(shared.max_inflight as i128))],
+            )?;
+            out.flush()?;
+            continue;
+        }
+        // ---- Serve one request through the core. --------------------------
+        let t0 = Instant::now();
+        let result = core.admit_line(&shared.engine, line_no, line, t0);
+        let admitted = result.is_ok();
+        let served = match result {
+            Ok(()) => core.flush_with(&shared.engine, |bytes, report| {
+                count_deadline_hit(report);
+                out.write_all(bytes)
+            }),
+            Err(e) => {
+                shared.errors_total.fetch_add(1, Ordering::SeqCst);
+                let (kind, line) = match &e {
+                    crate::jsonl::CorpusError::Json { line, .. } => ("parse", *line),
+                    crate::jsonl::CorpusError::Malformed { line, .. } => ("parse", *line),
+                    crate::jsonl::CorpusError::Io { line, .. } => ("io", *line),
+                };
+                write_error_line(
+                    &mut out,
+                    kind,
+                    &[
+                        ("line", Json::Num(line as i128)),
+                        ("message", Json::Str(e.to_string())),
+                    ],
+                )
+            }
+        };
+        shared.release();
+        served?;
+        if admitted {
+            shared.requests_total.fetch_add(1, Ordering::SeqCst);
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// A minimal HTTP/1.1 responder for the metrics listener: every GET gets
+/// the Prometheus rendering (JSON when the path mentions `json`),
+/// `Connection: close`.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = serve_metrics_request(&mut stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_metrics_request(stream: &mut TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read just the request head (first line is all we route on).
+    let mut head = [0u8; 1024];
+    let n = stream.read(&mut head).unwrap_or(0);
+    let request_line = std::str::from_utf8(&head[..n])
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let snapshot = registry().snapshot();
+    let (content_type, body) = if request_line.contains("json") {
+        ("application/json", snapshot.to_json_string())
+    } else {
+        ("text/plain; version=0.0.4", snapshot.to_prometheus())
+    };
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

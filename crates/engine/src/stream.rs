@@ -1,36 +1,42 @@
 //! Streaming sharded batch pipeline: solve arbitrarily large JSONL corpora
 //! in O(shard) memory.
 //!
-//! Two entry points share the shard discipline:
+//! The module is layered around one transport-agnostic data plane:
 //!
+//! * [`ServiceCore`] — the reusable **service core**: admit a decoded line
+//!   (fingerprint in place via [`msrs_core::flat_fingerprint`], probe the
+//!   engine's result cache, dedup within the shard), batch-solve the
+//!   misses, and serialize every report — cache **hits straight from the
+//!   `Arc`'d canonical report** into a reusable byte buffer: no `Instance`,
+//!   no `SolveRequest`, no report clone, zero heap allocations per instance
+//!   once the buffers are warm. Both the batch driver below and the TCP
+//!   front end in [`crate::service`] run on it, so there is exactly one
+//!   data plane.
+//! * [`serve_jsonl`] / [`JsonlServer`] — the thin *batch driver*: JSONL in,
+//!   JSONL out, feeding `ServiceCore` shard by shard. With
+//!   [`JsonlServer::set_decode_threads`] the single-reader parse bottleneck
+//!   is broken: whole shards of raw lines are decoded on pool workers
+//!   (thread-local [`LineDecoder`]s, chunked deterministically,
+//!   order-preserving merge) before the sequential cache-probe/solve/emit
+//!   steps. Output is byte-identical to the sequential path.
 //! * [`solve_stream`] — the *typed* pipeline: an iterator of
 //!   [`SolveRequest`]s (e.g. a [`JsonlReader`]) is fed through
 //!   [`Engine::solve_batch_vec`] shard by shard and each [`SolveReport`] is
 //!   handed to a callback in corpus order.
-//! * [`serve_jsonl`] / [`JsonlServer`] — the *byte-level serving data
-//!   plane*: JSONL in, JSONL out. Each line is decoded into reusable
-//!   buffers ([`LineDecoder`]), fingerprinted in place
-//!   ([`msrs_core::flat_fingerprint`]), and probed against the engine's
-//!   result cache; **hits are serialized straight from the cached canonical
-//!   report** into a reusable byte buffer — no `Instance`, no
-//!   `SolveRequest`, no report clone, zero heap allocations per instance
-//!   once the buffers are warm. Only cache misses materialize requests and
-//!   go through the solver batch. Output is byte-identical to piping
-//!   [`solve_stream`] reports through
-//!   [`SolveReport::write_json_line`] except for the serving-dependent
-//!   `wall_micros` timings and `cache_hit` provenance flags.
 //!
-//! Error semantics are *prefix-faithful* for both: when a malformed line is
-//! hit mid-stream, everything successfully parsed before it — including a
-//! partial final shard — is solved and emitted, and the error (with its
-//! 1-based line number) is surfaced in [`StreamOutcome::error`] afterwards.
+//! Error semantics are *prefix-faithful* for all paths: when a malformed
+//! line is hit mid-stream, everything successfully parsed before it —
+//! including a partial final shard — is solved and emitted, and the error
+//! (with its 1-based line number) is surfaced in [`StreamOutcome::error`]
+//! afterwards.
 //!
 //! Determinism: a sharded run's reports are bit-identical to an unsharded
-//! [`Engine::solve_batch`] over the same corpus — at any thread count —
-//! except for the `wall_micros` timings and `cache_hit` provenance flags
-//! (sharding changes *when* a duplicate is served from the cache versus
-//! deduplicated within its batch, never what the report says about the
-//! schedule). Covered by `tests/stream.rs` and `tests/serve.rs`.
+//! [`Engine::solve_batch`] over the same corpus — at any thread count, with
+//! or without parallel decode — except for the `wall_micros` timings and
+//! `cache_hit` provenance flags (sharding changes *when* a duplicate is
+//! served from the cache versus deduplicated within its batch, never what
+//! the report says about the schedule). Covered by `tests/stream.rs`,
+//! `tests/serve.rs`, and `tests/service.rs`.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -38,6 +44,7 @@ use std::time::{Duration, Instant};
 
 use msrs_core::CanonicalScratch;
 use msrs_telemetry::{registry, Stage};
+use rayon::prelude::*;
 
 use crate::engine::Engine;
 use crate::jsonl::{CorpusError, LineDecoder};
@@ -318,7 +325,7 @@ where
 }
 
 /// One line of an in-flight serve shard: either a cache hit (the shared
-/// canonical report, the id span in the server's id arena, and the probe
+/// canonical report, the id span in the core's id arena, and the probe
 /// instant for the serving-time stamp) or an index into the materialized
 /// miss batch.
 enum Slot {
@@ -342,15 +349,27 @@ enum Slot {
     Miss(usize),
 }
 
-/// The reusable state of the byte-level serving data plane: decoder,
-/// canonical scratch, shard slot table, id arena, and the report byte
-/// buffer. One warm `JsonlServer` serves an all-cache-hit corpus with zero
-/// heap allocations per instance (asserted by `tests/alloc_free.rs`).
+/// The transport-agnostic service core of the byte-level data plane:
+/// decoder, canonical scratch, shard slot table, id arena, and the report
+/// byte buffer, plus the stats/phase accumulators of the run in progress.
+///
+/// A transport drives it with three calls:
+///
+/// 1. [`begin`](Self::begin) once per run (resets stats and shard state);
+/// 2. [`admit_line`](Self::admit_line) per meaningful input line — decode,
+///    fingerprint, cache/dedup probe, classify into the pending shard
+///    (or [`admit_prepared`](Self::admit_prepared) when the line was
+///    already decoded elsewhere, e.g. on a pool worker);
+/// 3. [`flush_with`](Self::flush_with) whenever the pending shard should be
+///    solved and emitted (reports come back in admission order).
+///
+/// [`finish`](Self::finish) closes the run and returns the merged
+/// [`StreamOutcome`]. One warm core serves an all-cache-hit corpus with
+/// zero heap allocations per instance (asserted by `tests/alloc_free.rs`).
 #[derive(Default)]
-pub struct JsonlServer {
+pub struct ServiceCore {
     decoder: LineDecoder,
     scratch: CanonicalScratch,
-    line_buf: String,
     slots: Vec<Slot>,
     ids: Vec<u8>,
     misses: Vec<SolveRequest>,
@@ -359,12 +378,357 @@ pub struct JsonlServer {
     /// request is materialized).
     shard_forms: std::collections::HashMap<u128, usize>,
     report_buf: Vec<u8>,
+    stats: StreamStats,
+    phases: Phases,
+}
+
+impl ServiceCore {
+    /// A fresh core (buffers grow on first use, then persist).
+    pub fn new() -> Self {
+        ServiceCore::default()
+    }
+
+    /// Starts a new run: resets the stats/phase accumulators and drops any
+    /// unflushed shard state. Buffer capacity is retained.
+    pub fn begin(&mut self, shard_size: usize) {
+        self.stats = StreamStats {
+            shard_size: shard_size.max(1),
+            ..StreamStats::default()
+        };
+        self.phases = Phases::default();
+        self.slots.clear();
+        self.ids.clear();
+        self.misses.clear();
+        self.shard_forms.clear();
+    }
+
+    /// Number of admitted lines waiting in the pending shard.
+    pub fn pending(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The stats accumulated since [`begin`](Self::begin) (phase splits and
+    /// wall time are only filled in by [`finish`](Self::finish)).
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Attributes `spent` input-side time (reading, skipping blanks) to the
+    /// parse phase, keeping the phase split an honest partition of the
+    /// driver's wall time.
+    pub fn note_parse(&mut self, spent: Duration) {
+        self.phases.parse += spent;
+    }
+
+    /// Admits one meaningful (non-blank, non-comment, trimmed) line:
+    /// decodes it into the retained buffers, fingerprints the flat data in
+    /// place, probes the result cache and the in-shard dedup table, and
+    /// classifies the line into the pending shard. `started` is the
+    /// transport's per-line start instant — it anchors both the
+    /// decode-stage span and a hit's `wall_micros` serving-time stamp.
+    ///
+    /// With an inactive serve cache (disabled, or a configured deadline)
+    /// every line is materialized, exactly as the typed pipeline behaves.
+    /// On a decode error the pending shard is untouched and the core
+    /// remains usable — batch transports treat the error as fatal
+    /// (prefix-faithful), session transports report it and continue.
+    pub fn admit_line(
+        &mut self,
+        engine: &Engine,
+        line_no: usize,
+        line: &str,
+        started: Instant,
+    ) -> Result<(), CorpusError> {
+        if let Err(e) = self.decoder.decode(line_no, line) {
+            self.phases.parse += started.elapsed();
+            return Err(e);
+        }
+        // Decode is done: close the parse slice here so the
+        // fingerprint/canonicalize/probe work below is attributed to its
+        // own phase (and stage histogram), not folded into parse — the
+        // phase sums then track wall time hop by hop.
+        let decoded = started.elapsed();
+        self.phases.parse += decoded;
+        Stage::Decode.record_nanos(nanos(decoded));
+        let t_canon = Instant::now();
+        if engine.serve_cache_active() {
+            let builder = self.decoder.builder();
+            let fp = msrs_core::flat_fingerprint(
+                builder.machines(),
+                builder.sizes(),
+                builder.offsets(),
+                &mut self.scratch,
+            );
+            Stage::Canonicalize.record_nanos(nanos(t_canon.elapsed()));
+            let id = self.decoder.id().map(|bytes| {
+                let start = self.ids.len();
+                self.ids.extend_from_slice(bytes);
+                (start, self.ids.len())
+            });
+            self.classify(engine, fp, id, started, |core| core.decoder.build_request());
+        } else {
+            self.slots.push(Slot::Miss(self.misses.len()));
+            self.misses.push(self.decoder.build_request());
+        }
+        self.phases.canon += t_canon.elapsed();
+        Ok(())
+    }
+
+    /// Admits a line that was already decoded (and, with an active serve
+    /// cache, fingerprinted) elsewhere — the merge half of the parallel
+    /// decode path. The cache/dedup probe still happens here, sequentially
+    /// and in admission order, so classification is identical to
+    /// [`admit_line`](Self::admit_line): nothing was inserted into the
+    /// cache between the worker's decode and this probe that a sequential
+    /// pass would not also have seen.
+    ///
+    /// `fingerprint` must be `Some` exactly when the engine's serve cache
+    /// is active (the driver captures that before fanning out).
+    pub fn admit_prepared(
+        &mut self,
+        engine: &Engine,
+        fingerprint: Option<u128>,
+        request: SolveRequest,
+        started: Instant,
+    ) {
+        let t_canon = Instant::now();
+        if let Some(fp) = fingerprint {
+            let id = request.id.as_deref().map(|id| {
+                let start = self.ids.len();
+                self.ids.extend_from_slice(id.as_bytes());
+                (start, self.ids.len())
+            });
+            self.classify(engine, fp, id, started, move |_| request);
+        } else {
+            self.slots.push(Slot::Miss(self.misses.len()));
+            self.misses.push(request);
+        }
+        self.phases.canon += t_canon.elapsed();
+    }
+
+    /// Probes cache → in-shard dedup table → miss, pushing the resulting
+    /// slot. `materialize` builds the request only on the miss path.
+    fn classify<F>(
+        &mut self,
+        engine: &Engine,
+        fp: u128,
+        id: Option<(usize, usize)>,
+        started: Instant,
+        materialize: F,
+    ) where
+        F: FnOnce(&mut Self) -> SolveRequest,
+    {
+        // `serve_cached` times the probe as a `cache_lookup` stage span
+        // inside the cache itself.
+        if let Some(report) = engine.serve_cached(fp) {
+            self.stats.fast_path_hits += 1;
+            count_fast_path();
+            self.slots.push(Slot::Hit {
+                report,
+                id,
+                serve_micros: started.elapsed().as_micros() as u64,
+            });
+        } else if let Some(&first) = self.shard_forms.get(&fp) {
+            engine.count_serve_dedup_hit();
+            self.stats.fast_path_hits += 1;
+            count_fast_path();
+            self.slots.push(Slot::Dup {
+                first,
+                id,
+                serve_micros: started.elapsed().as_micros() as u64,
+            });
+        } else {
+            self.shard_forms.insert(fp, self.misses.len());
+            self.slots.push(Slot::Miss(self.misses.len()));
+            let request = materialize(self);
+            self.misses.push(request);
+        }
+    }
+
+    /// Solves the pending shard's misses and emits every admitted line's
+    /// report in admission order, then clears the shard. `emit` receives
+    /// the serialized report line (including the trailing newline) and the
+    /// report it was rendered from; its error aborts the flush (typically
+    /// downstream I/O). A no-op when nothing is pending.
+    pub fn flush_with<F>(&mut self, engine: &Engine, mut emit: F) -> io::Result<()>
+    where
+        F: FnMut(&[u8], &SolveReport) -> io::Result<()>,
+    {
+        if self.slots.is_empty() {
+            return Ok(());
+        }
+        self.stats.max_resident = self.stats.max_resident.max(self.misses.len());
+        let reports = if self.misses.is_empty() {
+            Vec::new()
+        } else {
+            let t1 = Instant::now();
+            let reports = engine.solve_batch_vec(std::mem::take(&mut self.misses));
+            self.phases.solve += t1.elapsed();
+            reports
+        };
+        self.stats.shards += 1;
+        for slot in &self.slots {
+            let t2 = Instant::now();
+            let report: &SolveReport = match slot {
+                Slot::Hit {
+                    report,
+                    id,
+                    serve_micros,
+                } => {
+                    let id = id.map(|(start, end)| {
+                        std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
+                    });
+                    report.write_json_line_as(id, true, *serve_micros, &mut self.report_buf);
+                    report
+                }
+                Slot::Dup {
+                    first,
+                    id,
+                    serve_micros,
+                } => {
+                    let id = id.map(|(start, end)| {
+                        std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
+                    });
+                    reports[*first].write_json_line_as(
+                        id,
+                        true,
+                        *serve_micros,
+                        &mut self.report_buf,
+                    );
+                    &reports[*first]
+                }
+                Slot::Miss(index) => {
+                    reports[*index].write_json_line(&mut self.report_buf);
+                    &reports[*index]
+                }
+            };
+            self.stats.record_report(report);
+            self.report_buf.push(b'\n');
+            emit(&self.report_buf, report)?;
+            let serialized = t2.elapsed();
+            self.phases.serialize += serialized;
+            Stage::Serialize.record_nanos(nanos(serialized));
+        }
+        self.slots.clear();
+        self.ids.clear();
+        self.shard_forms.clear();
+        Ok(())
+    }
+
+    /// Closes the run started by [`begin`](Self::begin): folds the phase
+    /// accumulators into the stats, stamps the wall time against `started`,
+    /// and returns the merged outcome. The core is ready for the next
+    /// `begin`.
+    pub fn finish(&mut self, started: Instant, error: Option<CorpusError>) -> StreamOutcome {
+        self.phases.write_into(&mut self.stats);
+        self.stats.wall_micros = started.elapsed().as_micros() as u64;
+        StreamOutcome {
+            stats: self.stats,
+            error,
+        }
+    }
+}
+
+/// A shard of raw input accumulated for parallel decode: the concatenated
+/// trimmed line text plus one `(line_no, start, end)` span per meaningful
+/// line. `Arc`-shared with the pool workers and recycled between shards
+/// when no stranded pool ticket still holds a clone.
+#[derive(Default)]
+struct RawShard {
+    text: String,
+    spans: Vec<(usize, usize, usize)>,
+}
+
+/// Lines per parallel-decode work unit. Fixed (independent of thread
+/// count) so the chunking — and therefore every worker-side decode — is
+/// deterministic for any pool size; small enough that a default shard
+/// (4096 lines) splits into enough units to keep every worker busy.
+const DECODE_UNIT_LINES: usize = 64;
+
+/// One worker-decoded line: the canonical fingerprint (when the serve
+/// cache was active at fan-out) and the materialized request.
+type DecodedLine = Result<(Option<u128>, SolveRequest), CorpusError>;
+
+/// Decodes `shard.spans[lo..hi]` with thread-local decoder/scratch
+/// buffers (workers are persistent, so the buffers stay warm across
+/// shards). Stops at the first malformed line in the range: the merge
+/// walks results in corpus order, so the earliest error wins exactly as in
+/// the sequential path.
+fn decode_range(shard: &RawShard, lo: usize, hi: usize, fingerprint: bool) -> Vec<DecodedLine> {
+    thread_local! {
+        static DECODE_TLS: std::cell::RefCell<(LineDecoder, CanonicalScratch)> =
+            std::cell::RefCell::new((LineDecoder::new(), CanonicalScratch::default()));
+    }
+    DECODE_TLS.with(|tls| {
+        let (decoder, scratch) = &mut *tls.borrow_mut();
+        let mut out = Vec::with_capacity(hi - lo);
+        for &(line_no, start, end) in &shard.spans[lo..hi] {
+            let t0 = Instant::now();
+            match decoder.decode(line_no, &shard.text[start..end]) {
+                Ok(()) => {
+                    Stage::Decode.record_nanos(nanos(t0.elapsed()));
+                    let fp = if fingerprint {
+                        let t1 = Instant::now();
+                        let builder = decoder.builder();
+                        let fp = msrs_core::flat_fingerprint(
+                            builder.machines(),
+                            builder.sizes(),
+                            builder.offsets(),
+                            scratch,
+                        );
+                        Stage::Canonicalize.record_nanos(nanos(t1.elapsed()));
+                        Some(fp)
+                    } else {
+                        None
+                    };
+                    out.push(Ok((fp, decoder.build_request())));
+                }
+                Err(e) => {
+                    out.push(Err(e));
+                    break;
+                }
+            }
+        }
+        out
+    })
+}
+
+/// The JSONL **batch driver** over [`ServiceCore`]: reads a corpus from a
+/// `BufRead`, feeds the core shard by shard, and writes one report line per
+/// instance (corpus order) to a `Write`.
+///
+/// By default lines are decoded inline on the reader thread — the
+/// allocation-free steady state asserted by `tests/alloc_free.rs`. With
+/// [`set_decode_threads`](Self::set_decode_threads)` > 1` the driver
+/// instead accumulates each shard's raw lines and decodes them on pool
+/// workers in deterministic fixed-size units, merging in corpus order;
+/// output stays byte-identical (the cache probe and solve still run
+/// sequentially in the merge), at the cost of materializing every line.
+#[derive(Default)]
+pub struct JsonlServer {
+    core: ServiceCore,
+    line_buf: String,
+    raw: RawShard,
+    decode_threads: usize,
 }
 
 impl JsonlServer {
     /// A fresh server (buffers grow on first use, then persist).
     pub fn new() -> Self {
         JsonlServer::default()
+    }
+
+    /// Sets the decode fan-out: `0` or `1` decodes inline on the reader
+    /// thread (the zero-allocation path), anything larger decodes shards
+    /// on that many pool workers.
+    pub fn set_decode_threads(&mut self, threads: usize) {
+        self.decode_threads = threads;
+    }
+
+    /// Builder-style [`set_decode_threads`](Self::set_decode_threads).
+    pub fn with_decode_threads(mut self, threads: usize) -> Self {
+        self.decode_threads = threads;
+        self
     }
 
     /// Serves a JSONL corpus end to end: decode each line, serve cache hits
@@ -378,34 +742,41 @@ impl JsonlServer {
     pub fn serve<R: BufRead, W: Write>(
         &mut self,
         engine: &Engine,
-        mut input: R,
+        input: R,
         out: &mut W,
         shard_size: usize,
     ) -> io::Result<StreamOutcome> {
         let shard_size = shard_size.max(1);
         let started = Instant::now();
-        let mut stats = StreamStats {
-            shard_size,
-            ..StreamStats::default()
-        };
-        let mut phases = Phases::default();
+        self.core.begin(shard_size);
+        if self.decode_threads > 1 {
+            self.serve_parallel(engine, input, out, shard_size, started)
+        } else {
+            self.serve_sequential(engine, input, out, shard_size, started)
+        }
+    }
+
+    fn serve_sequential<R: BufRead, W: Write>(
+        &mut self,
+        engine: &Engine,
+        mut input: R,
+        out: &mut W,
+        shard_size: usize,
+        started: Instant,
+    ) -> io::Result<StreamOutcome> {
         let mut error: Option<CorpusError> = None;
         let mut line_no = 0usize;
         let mut eof = false;
         while !eof && error.is_none() {
             // ---- Decode one shard. ----------------------------------------
-            self.slots.clear();
-            self.ids.clear();
-            self.misses.clear();
-            self.shard_forms.clear();
-            while self.slots.len() < shard_size {
+            while self.core.pending() < shard_size {
                 let t0 = Instant::now();
                 self.line_buf.clear();
                 line_no += 1;
                 match input.read_line(&mut self.line_buf) {
                     Ok(0) => {
                         eof = true;
-                        phases.parse += t0.elapsed();
+                        self.core.note_parse(t0.elapsed());
                         break;
                     }
                     Ok(_) => {}
@@ -414,139 +785,120 @@ impl JsonlServer {
                             line: line_no,
                             message: e.to_string(),
                         });
-                        phases.parse += t0.elapsed();
+                        self.core.note_parse(t0.elapsed());
                         break;
                     }
                 }
                 let line = self.line_buf.trim();
                 if line.is_empty() || line.starts_with('#') {
-                    phases.parse += t0.elapsed();
+                    self.core.note_parse(t0.elapsed());
                     continue;
                 }
-                if let Err(e) = self.decoder.decode(line_no, line) {
+                if let Err(e) = self.core.admit_line(engine, line_no, line, t0) {
                     error = Some(e);
-                    phases.parse += t0.elapsed();
                     break;
                 }
-                // Decode is done: close the parse slice here so the
-                // fingerprint/canonicalize/probe work below is attributed
-                // to its own phase (and stage histogram), not folded into
-                // parse — the phase sums then track wall time hop by hop.
-                let decoded = t0.elapsed();
-                phases.parse += decoded;
-                Stage::Decode.record_nanos(nanos(decoded));
-                // With an active cache, fingerprint the decoded flat data in
-                // place and try to serve without materializing anything:
-                // first from the result cache, then from an earlier
-                // occurrence of the same canonical form in this shard.
-                // Without a cache (or with a deadline) every line is
-                // materialized, exactly as the typed pipeline behaves.
-                let t_canon = Instant::now();
-                if engine.serve_cache_active() {
-                    let builder = self.decoder.builder();
-                    let fp = msrs_core::flat_fingerprint(
-                        builder.machines(),
-                        builder.sizes(),
-                        builder.offsets(),
-                        &mut self.scratch,
-                    );
-                    Stage::Canonicalize.record_nanos(nanos(t_canon.elapsed()));
-                    let id = self.decoder.id().map(|bytes| {
-                        let start = self.ids.len();
-                        self.ids.extend_from_slice(bytes);
-                        (start, self.ids.len())
-                    });
-                    // `serve_cached` times the probe as a `cache_lookup`
-                    // stage span inside the cache itself.
-                    if let Some(report) = engine.serve_cached(fp) {
-                        stats.fast_path_hits += 1;
-                        count_fast_path();
-                        self.slots.push(Slot::Hit {
-                            report,
-                            id,
-                            serve_micros: t0.elapsed().as_micros() as u64,
-                        });
-                    } else if let Some(&first) = self.shard_forms.get(&fp) {
-                        engine.count_serve_dedup_hit();
-                        stats.fast_path_hits += 1;
-                        count_fast_path();
-                        self.slots.push(Slot::Dup {
-                            first,
-                            id,
-                            serve_micros: t0.elapsed().as_micros() as u64,
-                        });
-                    } else {
-                        self.shard_forms.insert(fp, self.misses.len());
-                        self.slots.push(Slot::Miss(self.misses.len()));
-                        self.misses.push(self.decoder.build_request());
-                    }
-                } else {
-                    self.slots.push(Slot::Miss(self.misses.len()));
-                    self.misses.push(self.decoder.build_request());
-                }
-                phases.canon += t_canon.elapsed();
             }
-            if self.slots.is_empty() {
+            // ---- Solve the misses and emit in corpus order. ---------------
+            self.core
+                .flush_with(engine, |bytes, _| out.write_all(bytes))?;
+        }
+        Ok(self.core.finish(started, error))
+    }
+
+    fn serve_parallel<R: BufRead, W: Write>(
+        &mut self,
+        engine: &Engine,
+        mut input: R,
+        out: &mut W,
+        shard_size: usize,
+        started: Instant,
+    ) -> io::Result<StreamOutcome> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.decode_threads)
+            .build()
+            .expect("pool handles are always constructible");
+        let mut error: Option<CorpusError> = None;
+        let mut line_no = 0usize;
+        let mut eof = false;
+        while !eof && error.is_none() {
+            // ---- Accumulate one shard of raw lines. -----------------------
+            let t_read = Instant::now();
+            self.raw.text.clear();
+            self.raw.spans.clear();
+            while self.raw.spans.len() < shard_size {
+                self.line_buf.clear();
+                line_no += 1;
+                match input.read_line(&mut self.line_buf) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        error = Some(CorpusError::Io {
+                            line: line_no,
+                            message: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+                let line = self.line_buf.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let start = self.raw.text.len();
+                self.raw.text.push_str(line);
+                self.raw.spans.push((line_no, start, self.raw.text.len()));
+            }
+            self.core.note_parse(t_read.elapsed());
+            if self.raw.spans.is_empty() {
                 continue;
             }
-            // ---- Solve the misses. ----------------------------------------
-            stats.max_resident = stats.max_resident.max(self.misses.len());
-            let reports = if self.misses.is_empty() {
-                Vec::new()
-            } else {
-                let t1 = Instant::now();
-                let reports = engine.solve_batch_vec(std::mem::take(&mut self.misses));
-                phases.solve += t1.elapsed();
-                reports
-            };
-            stats.shards += 1;
-            // ---- Emit in corpus order. ------------------------------------
-            for slot in &self.slots {
-                let t2 = Instant::now();
-                let report: &SolveReport = match slot {
-                    Slot::Hit {
-                        report,
-                        id,
-                        serve_micros,
-                    } => {
-                        let id = id.map(|(start, end)| {
-                            std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
-                        });
-                        report.write_json_line_as(id, true, *serve_micros, &mut self.report_buf);
-                        report
-                    }
-                    Slot::Dup {
-                        first,
-                        id,
-                        serve_micros,
-                    } => {
-                        let id = id.map(|(start, end)| {
-                            std::str::from_utf8(&self.ids[start..end]).expect("decoder emits UTF-8")
-                        });
-                        reports[*first].write_json_line_as(
-                            id,
-                            true,
-                            *serve_micros,
-                            &mut self.report_buf,
-                        );
-                        &reports[*first]
-                    }
-                    Slot::Miss(index) => {
-                        reports[*index].write_json_line(&mut self.report_buf);
-                        &reports[*index]
-                    }
-                };
-                stats.record_report(report);
-                self.report_buf.push(b'\n');
-                out.write_all(&self.report_buf)?;
-                let serialized = t2.elapsed();
-                phases.serialize += serialized;
-                Stage::Serialize.record_nanos(nanos(serialized));
+            // ---- Decode the shard on pool workers. ------------------------
+            // Fixed-size units keep the fan-out deterministic; the Arc lets
+            // the `'static` pool jobs share the raw text without copying.
+            let t_decode = Instant::now();
+            let shard = Arc::new(std::mem::take(&mut self.raw));
+            let lines = shard.spans.len();
+            let fingerprint = engine.serve_cache_active();
+            let units: Vec<(usize, usize)> = (0..lines)
+                .step_by(DECODE_UNIT_LINES)
+                .map(|lo| (lo, (lo + DECODE_UNIT_LINES).min(lines)))
+                .collect();
+            let worker_shard = Arc::clone(&shard);
+            let decoded: Vec<Vec<DecodedLine>> = pool.install(|| {
+                units
+                    .into_par_iter()
+                    .map(move |(lo, hi)| decode_range(&worker_shard, lo, hi, fingerprint))
+                    .collect()
+            });
+            self.core.note_parse(t_decode.elapsed());
+            // Recycle the raw buffers unless a stranded pool ticket still
+            // holds a clone (possible: enqueued-but-unstarted helper jobs
+            // may outlive the operation) — then just start fresh.
+            if let Ok(mut raw) = Arc::try_unwrap(shard) {
+                raw.text.clear();
+                raw.spans.clear();
+                self.raw = raw;
             }
+            // ---- Merge in corpus order: probe, classify, solve, emit. -----
+            let t_merge = Instant::now();
+            for line in decoded.into_iter().flatten() {
+                match line {
+                    Ok((fp, request)) => {
+                        self.core.admit_prepared(engine, fp, request, t_merge);
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.core
+                .flush_with(engine, |bytes, _| out.write_all(bytes))?;
         }
-        phases.write_into(&mut stats);
-        stats.wall_micros = started.elapsed().as_micros() as u64;
-        Ok(StreamOutcome { stats, error })
+        Ok(self.core.finish(started, error))
     }
 }
 
@@ -657,6 +1009,111 @@ mod tests {
             "phase sum {sum} vs wall {}",
             outcome.stats.wall_micros
         );
+    }
+
+    /// `wall_micros` and `cache_hit` are serving-dependent; everything else
+    /// in a report line is part of the determinism contract.
+    fn redact(line: &str) -> String {
+        fn walk(json: &mut crate::json::Json) {
+            match json {
+                crate::json::Json::Obj(pairs) => {
+                    for (k, v) in pairs.iter_mut() {
+                        if k == "wall_micros" {
+                            *v = crate::json::Json::Num(0);
+                        } else if k == "cache_hit" {
+                            *v = crate::json::Json::Bool(false);
+                        } else {
+                            walk(v);
+                        }
+                    }
+                }
+                crate::json::Json::Arr(items) => items.iter_mut().for_each(walk),
+                _ => {}
+            }
+        }
+        let mut v = crate::json::Json::parse(line).expect("report line parses");
+        walk(&mut v);
+        v.to_string()
+    }
+
+    #[test]
+    fn parallel_decode_is_bit_identical_to_sequential() {
+        // Mixed corpus: duplicates (cache hits + in-shard dups), distinct
+        // instances, ids present and absent, blanks and comments.
+        let mut corpus = String::from("# parallel decode corpus\n\n");
+        for i in 0..96 {
+            let inst = msrs_gen::uniform(i % 7, 2, 6, 2, 1, 9);
+            let req = SolveRequest::with_id(format!("line-{i}"), inst);
+            corpus.push_str(&crate::jsonl::write_instance_line(
+                req.id.as_deref(),
+                &req.instance,
+            ));
+            corpus.push('\n');
+        }
+        corpus.push_str("{\"machines\":2,\"classes\":[[5,3],[7]]}\n");
+        for cache_capacity in [0, 1024] {
+            let mk = || {
+                Engine::new(EngineConfig {
+                    threads: 2,
+                    cache_capacity,
+                    ..EngineConfig::default()
+                })
+            };
+            let mut seq_out = Vec::new();
+            let seq = JsonlServer::new()
+                .serve(&mk(), Cursor::new(corpus.as_bytes()), &mut seq_out, 32)
+                .unwrap();
+            let mut par_out = Vec::new();
+            let par = JsonlServer::new()
+                .with_decode_threads(4)
+                .serve(&mk(), Cursor::new(corpus.as_bytes()), &mut par_out, 32)
+                .unwrap();
+            assert!(seq.error.is_none() && par.error.is_none());
+            assert_eq!(seq.stats.instances, 97);
+            assert_eq!(par.stats.instances, 97);
+            assert_eq!(par.stats.shards, seq.stats.shards);
+            assert_eq!(par.stats.fast_path_hits, seq.stats.fast_path_hits);
+            let seq_lines: Vec<String> = String::from_utf8(seq_out)
+                .unwrap()
+                .lines()
+                .map(redact)
+                .collect();
+            let par_lines: Vec<String> = String::from_utf8(par_out)
+                .unwrap()
+                .lines()
+                .map(redact)
+                .collect();
+            assert_eq!(seq_lines, par_lines, "cache_capacity={cache_capacity}");
+        }
+    }
+
+    #[test]
+    fn parallel_decode_keeps_prefix_error_semantics() {
+        let mut corpus = String::new();
+        for i in 0..10 {
+            let inst = msrs_gen::uniform(i, 2, 5, 2, 1, 9);
+            corpus.push_str(&crate::jsonl::write_instance_line(None, &inst));
+            corpus.push('\n');
+        }
+        corpus.push_str("not json\n");
+        corpus.push_str("{\"machines\":1,\"classes\":[[1]]}\n");
+        let engine = Engine::new(EngineConfig {
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        });
+        let mut out = Vec::new();
+        let outcome = JsonlServer::new()
+            .with_decode_threads(3)
+            .serve(&engine, Cursor::new(corpus.as_bytes()), &mut out, 4)
+            .unwrap();
+        // Every line before the malformed one was emitted; the error names
+        // the physical line; nothing after it was served.
+        assert_eq!(outcome.stats.instances, 10);
+        match outcome.error {
+            Some(CorpusError::Json { line, .. }) => assert_eq!(line, 11),
+            other => panic!("expected Json error on line 11, got {other:?}"),
+        }
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 10);
     }
 
     #[test]

@@ -8,15 +8,36 @@
 //!   request's own id and job numbering;
 //! * capacity 0 disables caching; tiny capacities evict LRU-first.
 
-// These tests deliberately assert the *per-engine* counters behind the
-// deprecated accessor: dual-recording keeps them exact per cache, which the
-// process-global telemetry mirror (shared across engines) cannot promise.
-#![allow(deprecated)]
+use std::sync::{Mutex, MutexGuard};
 
 use msrs_core::canonical::relabel;
 use msrs_core::{validate, ClassId, Instance, JobId};
-use msrs_engine::{Engine, EngineConfig, SolveReport, SolveRequest};
+use msrs_engine::{telemetry, Engine, EngineConfig, SolveReport, SolveRequest};
 use proptest::prelude::*;
+
+/// Cache counters live in the process-global telemetry registry. This file
+/// is its own test process, so a file-local mutex serializing the tests
+/// makes registry *deltas* exactly the per-engine numbers the removed
+/// `Engine::cache_stats` accessor used to report: within a locked section
+/// the only cache activity is the test's own.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Counter movement across a locked section.
+fn counter_delta(before: &telemetry::Snapshot, after: &telemetry::Snapshot, name: &str) -> u64 {
+    after.counter(name) - before.counter(name)
+}
+
+/// Net entries added to the (cumulative, process-global) residency gauge
+/// while the section's caches were alive.
+fn entries_delta(before: &telemetry::Snapshot, after: &telemetry::Snapshot) -> i64 {
+    after.gauge("msrs_cache_entries") - before.gauge("msrs_cache_entries")
+}
 
 fn engine(threads: usize, cache_capacity: usize) -> Engine {
     Engine::new(EngineConfig {
@@ -92,6 +113,7 @@ proptest! {
     /// is bit-identical to the cache-off report for the same request.
     #[test]
     fn cached_reports_are_bit_identical_to_uncached(corpus in arb_corpus()) {
+        let _guard = serialized();
         let reqs: Vec<SolveRequest> = corpus
             .into_iter()
             .enumerate()
@@ -99,6 +121,7 @@ proptest! {
             .collect();
         let baseline: Vec<_> = engine(1, 0).solve_batch(&reqs).iter().map(comparable).collect();
         for threads in [1usize, 2, 8] {
+            let before = telemetry::snapshot();
             let cached_engine = engine(threads, 1024);
             // Two passes: the first exercises misses + intra-batch dedup,
             // the second pure cache hits.
@@ -113,8 +136,11 @@ proptest! {
                     "cache-on diverged (threads {}, pass {})", threads, pass
                 );
             }
-            let stats = cached_engine.cache_stats();
-            prop_assert!(stats.hits >= reqs.len() as u64, "second pass must hit");
+            let after = telemetry::snapshot();
+            prop_assert!(
+                counter_delta(&before, &after, "msrs_cache_hits_total") >= reqs.len() as u64,
+                "second pass must hit"
+            );
         }
     }
 
@@ -122,6 +148,8 @@ proptest! {
     /// relabelling share one cache entry.
     #[test]
     fn single_solves_hit_after_miss(corpus in arb_corpus()) {
+        let _guard = serialized();
+        let before = telemetry::snapshot();
         let eng = engine(1, 1024);
         for (i, inst) in corpus.iter().enumerate() {
             let req = SolveRequest::with_id(format!("s{i}"), inst.clone());
@@ -131,8 +159,10 @@ proptest! {
             prop_assert_eq!(comparable(&miss), comparable(&hit));
             prop_assert_eq!(validate(inst, &hit.schedule), Ok(()));
         }
-        let stats = eng.cache_stats();
-        prop_assert!(stats.entries as u64 + stats.evictions <= corpus.len() as u64);
+        let after = telemetry::snapshot();
+        let entries = entries_delta(&before, &after).max(0) as u64;
+        let evictions = counter_delta(&before, &after, "msrs_cache_evictions_total");
+        prop_assert!(entries + evictions <= corpus.len() as u64);
     }
 }
 
@@ -141,17 +171,19 @@ proptest! {
 /// job numbering.
 #[test]
 fn intra_batch_dedup_fans_out_in_order() {
+    let _guard = serialized();
+    let before = telemetry::snapshot();
     let reqs: Vec<SolveRequest> = (0..40u64)
         .map(|seed| SolveRequest::with_id(format!("t{seed}"), msrs_gen::traffic(seed, 3, 10)))
         .collect();
     let eng = engine(2, 1024);
     let reports = eng.solve_batch(&reqs);
+    let after = telemetry::snapshot();
     assert_eq!(reports.len(), reqs.len());
-    let stats = eng.cache_stats();
     // 40 seeds in buckets of 10 → 4 distinct canonical forms.
-    assert_eq!(stats.misses, 4, "{stats:?}");
-    assert_eq!(stats.hits, 36, "{stats:?}");
-    assert_eq!(stats.entries, 4);
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_misses_total"), 4);
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_hits_total"), 36);
+    assert_eq!(entries_delta(&before, &after), 4);
     for (req, report) in reqs.iter().zip(&reports) {
         assert_eq!(req.id, report.id, "fan-out must preserve request order");
         // The schedule is remapped to this request's own job numbering.
@@ -180,16 +212,19 @@ fn intra_batch_dedup_fans_out_in_order() {
 /// dedup, every solve fresh — and still identical reports.
 #[test]
 fn capacity_zero_disables_caching_and_dedup() {
+    let _guard = serialized();
+    let before = telemetry::snapshot();
     let reqs: Vec<SolveRequest> = (0..20u64)
         .map(|seed| SolveRequest::with_id(format!("t{seed}"), msrs_gen::traffic(seed, 3, 10)))
         .collect();
     let eng = engine(1, 0);
     let reports = eng.solve_batch(&reqs);
-    let stats = eng.cache_stats();
-    assert_eq!(
-        (stats.hits, stats.misses, stats.entries, stats.capacity),
-        (0, 0, 0, 0)
-    );
+    let after = telemetry::snapshot();
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_hits_total"), 0);
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_misses_total"), 0);
+    assert_eq!(entries_delta(&before, &after), 0);
+    // The most recently constructed cache is this engine's: disabled.
+    assert_eq!(after.gauge("msrs_cache_capacity"), 0);
     assert!(reports.iter().all(|r| !r.cache_hit));
     let twice = eng.solve_batch(&reqs);
     for (a, b) in reports.iter().zip(&twice) {
@@ -201,6 +236,8 @@ fn capacity_zero_disables_caching_and_dedup() {
 /// is configured.
 #[test]
 fn deadline_bypasses_the_cache() {
+    let _guard = serialized();
+    let before = telemetry::snapshot();
     let eng = Engine::new(EngineConfig {
         threads: 1,
         cache_capacity: 1024,
@@ -210,15 +247,19 @@ fn deadline_bypasses_the_cache() {
     let inst = msrs_gen::traffic(1, 3, 10);
     let a = eng.solve_instance(&inst);
     let b = eng.solve_instance(&inst);
+    let after = telemetry::snapshot();
     assert!(!a.cache_hit && !b.cache_hit);
-    let stats = eng.cache_stats();
-    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_hits_total"), 0);
+    assert_eq!(counter_delta(&before, &after, "msrs_cache_misses_total"), 0);
+    assert_eq!(entries_delta(&before, &after), 0);
 }
 
 /// LRU pressure end-to-end: a capacity-2 engine serving three distinct
 /// forms round-robin keeps evicting, but reports stay correct.
 #[test]
 fn tiny_capacity_evicts_but_stays_correct() {
+    let _guard = serialized();
+    let before = telemetry::snapshot();
     let eng = engine(1, 2);
     let insts: Vec<Instance> = (0..3).map(|b| msrs_gen::traffic(b * 10, 2, 10)).collect();
     let uncached = engine(1, 0);
@@ -233,7 +274,7 @@ fn tiny_capacity_evicts_but_stays_correct() {
             );
         }
     }
-    let stats = eng.cache_stats();
-    assert!(stats.evictions > 0, "{stats:?}");
-    assert!(stats.entries <= 2);
+    let after = telemetry::snapshot();
+    assert!(counter_delta(&before, &after, "msrs_cache_evictions_total") > 0);
+    assert!(entries_delta(&before, &after) <= 2);
 }

@@ -1,0 +1,402 @@
+//! End-to-end tests of the `msrs serve` TCP service layer.
+//!
+//! * **bit-identity** — N concurrent sessions pipelining the same corpus
+//!   each receive, in strict request order, report lines bit-identical to
+//!   a sequential `msrs batch` run over that corpus (modulo the
+//!   `wall_micros` timings and the `cache_hit` provenance flag), across
+//!   engine thread counts 1, 2, 8;
+//! * **admission control** — with `max_inflight = 1` a request arriving
+//!   while another is being solved is shed with a structured
+//!   `overloaded` line, the slot is not consumed, and a retry after the
+//!   slow request completes is served normally;
+//! * **graceful shutdown** — a request in flight when shutdown begins
+//!   still delivers its report before the session closes;
+//! * **observability** — `#stats` answers with one parseable JSON
+//!   snapshot line, the HTTP metrics listener serves Prometheus and JSON
+//!   renderings, parse errors are answered in-line without ending the
+//!   session, and unknown `#` control lines are ignored.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use msrs_engine::json::Json;
+use msrs_engine::service::{serve, ServeConfig};
+use msrs_engine::stream::JsonlServer;
+use msrs_engine::{jsonl, telemetry, Engine, EngineConfig, ExactPolicy};
+
+/// The admission gauge and serve counters are process-global; serializing
+/// the tests makes each test's server the only one moving them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn engine(threads: usize, cache_capacity: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        cache_capacity,
+        ..EngineConfig::default()
+    })
+}
+
+/// An engine whose solve of [`slow_line`]'s instance reliably takes the
+/// full `deadline`: `parity_gap_partition(21)` has no perfect split (odd
+/// half-sum) and all-distinct sizes, so the exact branch-and-bound —
+/// given an effectively unbounded node budget — runs until the
+/// cooperative deadline cancels it. The deadline also bypasses the
+/// result cache, so repeats stay slow.
+fn slow_engine(deadline: Duration) -> Engine {
+    Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 0,
+        deadline: Some(deadline),
+        exact: ExactPolicy {
+            max_jobs: 64,
+            max_classes: 64,
+            max_nodes: u64::MAX,
+        },
+        ..EngineConfig::default()
+    })
+}
+
+fn slow_line() -> String {
+    jsonl::write_instance_line(Some("slow"), &msrs_gen::parity_gap_partition(21))
+}
+
+fn tiny_line(id: &str) -> String {
+    jsonl::write_instance_line(Some(id), &msrs_gen::uniform(7, 2, 6, 2, 1, 9))
+}
+
+/// A small corpus with planted duplicates (traffic seeds collapse into
+/// `dup_factor`-sized canonical buckets) so concurrent sessions exercise
+/// cache hits and misses, not just fresh solves.
+fn corpus_lines() -> Vec<String> {
+    (0..12u64)
+        .map(|seed| {
+            jsonl::write_instance_line(Some(&format!("c{seed}")), &msrs_gen::traffic(seed, 3, 4))
+        })
+        .collect()
+}
+
+/// Zeroes every `wall_micros` (top-level and nested in `runs`) and
+/// normalizes `cache_hit` — the two fields the determinism contract
+/// excludes.
+fn redact(json: &mut Json) {
+    match json {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs.iter_mut() {
+                if k == "wall_micros" {
+                    *v = Json::Num(0);
+                } else if k == "cache_hit" {
+                    *v = Json::Bool(false);
+                } else {
+                    redact(v);
+                }
+            }
+        }
+        Json::Arr(items) => items.iter_mut().for_each(redact),
+        _ => {}
+    }
+}
+
+fn redacted(line: &str) -> String {
+    let mut json = Json::parse(line).expect("response line parses as JSON");
+    redact(&mut json);
+    json.to_string()
+}
+
+/// Blocks until the admission gauge shows at least one in-flight request
+/// (i.e. the server has decoded and admitted the slow request), so the
+/// timing-sensitive tests never race the session thread's startup.
+fn wait_for_inflight() {
+    let t0 = Instant::now();
+    while telemetry::registry().serve_inflight.get() < 1 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "request was never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Blocks until no request is in flight. A session writes its response a
+/// few instructions *before* releasing its admission slot, so a reader
+/// that immediately fires the next request can still be shed; waiting for
+/// the gauge to drop makes post-completion sends deterministic.
+fn wait_for_idle() {
+    let t0 = Instant::now();
+    while telemetry::registry().serve_inflight.get() > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "in-flight request never released its slot"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// N concurrent sessions, each pipelining the full corpus, all receive
+/// exactly the sequential batch run's report lines, in order.
+#[test]
+fn concurrent_sessions_match_sequential_batch() {
+    let _guard = serialized();
+    let lines = corpus_lines();
+    let corpus_text = format!("{}\n", lines.join("\n"));
+    for threads in [1usize, 2, 8] {
+        // Sequential reference on a fresh engine (its own cache).
+        let mut ref_out = Vec::new();
+        JsonlServer::new()
+            .serve(
+                &engine(threads, 1024),
+                corpus_text.as_bytes(),
+                &mut ref_out,
+                64,
+            )
+            .expect("reference batch run");
+        let reference: Vec<String> = String::from_utf8(ref_out)
+            .expect("utf8 reports")
+            .lines()
+            .map(redacted)
+            .collect();
+        assert_eq!(reference.len(), lines.len());
+
+        let handle = serve(engine(threads, 1024), "127.0.0.1:0", ServeConfig::default())
+            .expect("server binds");
+        let addr = handle.local_addr();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let lines = lines.clone();
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connects");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    // Pipeline every request, then read every response:
+                    // responses must come back in request order.
+                    for line in &lines {
+                        stream.write_all(line.as_bytes()).expect("write");
+                        stream.write_all(b"\n").expect("write");
+                    }
+                    stream.flush().expect("flush");
+                    let mut got = Vec::new();
+                    for _ in 0..lines.len() {
+                        let mut resp = String::new();
+                        reader.read_line(&mut resp).expect("read");
+                        got.push(redacted(resp.trim()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        let transcripts: Vec<Vec<String>> = clients
+            .into_iter()
+            .map(|t| t.join().expect("client"))
+            .collect();
+        handle.begin_shutdown();
+        let summary = handle.wait();
+        assert_eq!(summary.sessions, 4, "threads {threads}");
+        assert_eq!(
+            summary.requests,
+            4 * lines.len() as u64,
+            "threads {threads}"
+        );
+        assert_eq!(summary.sheds, 0, "no sheds with unlimited in-flight");
+        assert_eq!(summary.errors, 0);
+        for (client, transcript) in transcripts.iter().enumerate() {
+            assert_eq!(
+                transcript, &reference,
+                "client {client} diverged from sequential batch (threads {threads})"
+            );
+        }
+    }
+}
+
+/// With `max_inflight = 1`, a request arriving while the slow solve holds
+/// the only slot is shed with an `overloaded` line; once the slot frees,
+/// the same client is served.
+#[test]
+fn overloaded_sheds_above_max_inflight() {
+    let _guard = serialized();
+    let handle = serve(
+        slow_engine(Duration::from_secs(2)),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_inflight: 1,
+            metrics_addr: None,
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+
+    let mut slow = TcpStream::connect(addr).expect("slow client connects");
+    let mut slow_reader = BufReader::new(slow.try_clone().expect("clone"));
+    slow.write_all(format!("{}\n", slow_line()).as_bytes())
+        .expect("write slow request");
+    slow.flush().expect("flush");
+    wait_for_inflight();
+
+    // The slot is held: a second session's request is shed, not queued.
+    let mut fast = TcpStream::connect(addr).expect("fast client connects");
+    let mut fast_reader = BufReader::new(fast.try_clone().expect("clone"));
+    fast.write_all(format!("{}\n", tiny_line("shed-me")).as_bytes())
+        .expect("write shed request");
+    fast.flush().expect("flush");
+    let mut shed = String::new();
+    fast_reader.read_line(&mut shed).expect("read shed line");
+    let shed = Json::parse(shed.trim()).expect("shed line parses");
+    assert_eq!(
+        shed.get("error").and_then(Json::as_str),
+        Some("overloaded"),
+        "second request must shed while the slot is held"
+    );
+    assert!(matches!(shed.get("max_inflight"), Some(Json::Num(1))));
+
+    // The slow request still completes and answers.
+    let mut slow_resp = String::new();
+    slow_reader
+        .read_line(&mut slow_resp)
+        .expect("read slow report");
+    let slow_report = Json::parse(slow_resp.trim()).expect("slow report parses");
+    assert_eq!(slow_report.get("id").and_then(Json::as_str), Some("slow"));
+
+    // Shedding did not consume the slot: a retry is served normally.
+    wait_for_idle();
+    fast.write_all(format!("{}\n", tiny_line("retry")).as_bytes())
+        .expect("write retry");
+    fast.flush().expect("flush");
+    let mut retry = String::new();
+    fast_reader
+        .read_line(&mut retry)
+        .expect("read retry report");
+    let retry = Json::parse(retry.trim()).expect("retry parses");
+    assert_eq!(retry.get("id").and_then(Json::as_str), Some("retry"));
+
+    fast.write_all(b"#shutdown\n").expect("write shutdown");
+    fast.flush().expect("flush");
+    drop((slow, slow_reader, fast, fast_reader));
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 2);
+    assert_eq!(summary.requests, 2, "slow + retry answered");
+    assert_eq!(summary.sheds, 1, "exactly the one overload");
+    assert_eq!(summary.errors, 0);
+}
+
+/// Graceful shutdown lets the in-flight request finish: the report lands
+/// on the wire before the session closes with EOF.
+#[test]
+fn inflight_request_completes_on_shutdown() {
+    let _guard = serialized();
+    let handle = serve(
+        slow_engine(Duration::from_secs(1)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+    let mut client = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+    client
+        .write_all(format!("{}\n", slow_line()).as_bytes())
+        .expect("write");
+    client.flush().expect("flush");
+    wait_for_inflight();
+
+    handle.begin_shutdown();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read report");
+    let report = Json::parse(resp.trim()).expect("report parses despite shutdown");
+    assert_eq!(report.get("id").and_then(Json::as_str), Some("slow"));
+    // …and then the session closes cleanly.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("read EOF"), 0);
+
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 1);
+    assert_eq!(summary.requests, 1, "the in-flight request was answered");
+    assert_eq!(summary.sheds, 0);
+}
+
+/// `#stats`, the HTTP metrics listener, in-session parse errors, and
+/// unknown control lines.
+#[test]
+fn stats_errors_and_control_lines() {
+    let _guard = serialized();
+    let handle = serve(
+        engine(1, 1024),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_inflight: 0,
+            metrics_addr: Some("127.0.0.1:0".into()),
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+    let metrics_addr = handle.metrics_local_addr().expect("metrics listener bound");
+
+    let mut client = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+    let mut send = |line: &str| {
+        client
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| client.flush())
+            .expect("write line");
+    };
+    let mut recv = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read line");
+        line.trim().to_string()
+    };
+
+    send(&tiny_line("first"));
+    let first = Json::parse(&recv()).expect("report parses");
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("first"));
+
+    // One line, one JSON document: the full telemetry snapshot.
+    send("#stats");
+    let stats_line = recv();
+    assert!(Json::parse(&stats_line).is_ok(), "snapshot line parses");
+    assert!(stats_line.contains("msrs_requests_total"));
+    assert!(stats_line.contains("msrs_serve_sessions_total"));
+
+    // A malformed request answers with a structured error and the
+    // session continues.
+    send("this is not json");
+    let err = Json::parse(&recv()).expect("error line parses");
+    assert_eq!(err.get("error").and_then(Json::as_str), Some("parse"));
+    assert!(matches!(err.get("line"), Some(Json::Num(_))));
+
+    // Unknown control lines are ignored, like corpus comments.
+    send("# just a comment");
+    send(&tiny_line("second"));
+    let second = Json::parse(&recv()).expect("report parses");
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("second"));
+
+    // HTTP metrics: Prometheus by default, JSON when the path says so.
+    let http = |path: &str| {
+        let mut conn = TcpStream::connect(metrics_addr).expect("metrics connects");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("GET");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let prom = http("/metrics");
+    assert!(prom.starts_with("HTTP/1.1 200 OK"));
+    assert!(prom.contains("text/plain"));
+    assert!(prom.contains("msrs_requests_total"));
+    assert!(prom.contains("msrs_serve_sessions_open"));
+    let json = http("/stats.json");
+    assert!(json.starts_with("HTTP/1.1 200 OK"));
+    assert!(json.contains("application/json"));
+    assert!(json.contains("msrs_serve_sheds_total"));
+
+    send("#shutdown");
+    drop((client, reader));
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 1);
+    assert_eq!(summary.requests, 2, "two well-formed requests answered");
+    assert_eq!(summary.errors, 1, "one parse error answered in-line");
+    assert_eq!(summary.sheds, 0);
+}

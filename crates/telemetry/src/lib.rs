@@ -575,12 +575,25 @@ pub struct Registry {
     pub pool_helper_jobs_total: Counter,
     /// Work chunks executed inline by the submitting caller.
     pub pool_caller_chunks_total: Counter,
+    /// TCP sessions accepted by `msrs serve` (counted at accept).
+    pub serve_sessions_total: Counter,
+    /// Requests shed by serve admission control (`overloaded` lines
+    /// emitted because the in-flight bound was reached).
+    pub serve_sheds_total: Counter,
+    /// Served requests whose report carried at least one `timed_out`
+    /// solver run — the per-request deadline fired while serving.
+    pub serve_deadline_hits_total: Counter,
     /// Live entries resident in the canonical-form cache.
     pub cache_entries: Gauge,
     /// Configured capacity of the most recently constructed cache.
     pub cache_capacity: Gauge,
     /// Pool worker threads currently alive.
     pub pool_workers_alive: Gauge,
+    /// Serve sessions currently open (accepted, not yet closed).
+    pub serve_sessions_open: Gauge,
+    /// Requests currently being served (admitted, response not yet
+    /// written) across all serve sessions.
+    pub serve_inflight: Gauge,
     /// Per-hop data-plane latency histograms, indexed by [`Stage`].
     pub stages: [Histogram; 6],
     /// The per-(profile, member) solver feedback store.
@@ -605,9 +618,14 @@ impl Registry {
             pool_ops_total: Counter::new(),
             pool_helper_jobs_total: Counter::new(),
             pool_caller_chunks_total: Counter::new(),
+            serve_sessions_total: Counter::new(),
+            serve_sheds_total: Counter::new(),
+            serve_deadline_hits_total: Counter::new(),
             cache_entries: Gauge::new(),
             cache_capacity: Gauge::new(),
             pool_workers_alive: Gauge::new(),
+            serve_sessions_open: Gauge::new(),
+            serve_inflight: Gauge::new(),
             stages: [const { Histogram::new() }; 6],
             outcomes: OutcomeTable::new(),
         }
@@ -619,7 +637,7 @@ impl Registry {
         &self.stages[stage as usize]
     }
 
-    fn counters(&self) -> [(&'static str, &Counter); 14] {
+    fn counters(&self) -> [(&'static str, &Counter); 17] {
         [
             ("msrs_requests_total", &self.requests_total),
             ("msrs_serve_fast_path_total", &self.serve_fast_path_total),
@@ -638,14 +656,22 @@ impl Registry {
                 "msrs_pool_caller_chunks_total",
                 &self.pool_caller_chunks_total,
             ),
+            ("msrs_serve_sessions_total", &self.serve_sessions_total),
+            ("msrs_serve_sheds_total", &self.serve_sheds_total),
+            (
+                "msrs_serve_deadline_hits_total",
+                &self.serve_deadline_hits_total,
+            ),
         ]
     }
 
-    fn gauges(&self) -> [(&'static str, &Gauge); 3] {
+    fn gauges(&self) -> [(&'static str, &Gauge); 5] {
         [
             ("msrs_cache_entries", &self.cache_entries),
             ("msrs_cache_capacity", &self.cache_capacity),
             ("msrs_pool_workers_alive", &self.pool_workers_alive),
+            ("msrs_serve_sessions_open", &self.serve_sessions_open),
+            ("msrs_serve_inflight", &self.serve_inflight),
         ]
     }
 
