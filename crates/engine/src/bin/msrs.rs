@@ -21,9 +21,12 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 use msrs_core::{io as text_io, validate};
+use msrs_engine::dispatch;
 use msrs_engine::families::FAMILIES;
 use msrs_engine::json::Json;
 use msrs_engine::service::{self, ServeConfig};
@@ -45,11 +48,15 @@ SUBCOMMANDS:
     batch   Solve a JSONL corpus in parallel, emitting JSONL reports
     serve   Serve JSONL requests over TCP: concurrent sessions, admission
             control, per-request deadlines, live stats endpoint
+    dispatch Solve a JSONL corpus across worker child processes: health
+            monitoring, bounded retry, poison-shard quarantine, and an
+            fsync'd checkpoint journal for crash-tolerant resume
+    worker  The dispatch child-process loop (spawned by `dispatch`)
     stats   Pretty-print a telemetry snapshot written by `batch --metrics-out`
     bench   Compare the portfolio against each single solver on generated corpora
     help    Show this help
 
-COMMON ENGINE FLAGS (solve, batch, serve, bench):
+COMMON ENGINE FLAGS (solve, batch, serve, dispatch, worker, bench):
     --threads <N>        Worker threads for the parallel backend (batches,
                          portfolio members; 0 = MSRS_THREADS or all cores)
                                                                  [default: 0]
@@ -97,6 +104,40 @@ SERVE FLAGS:
                          Control lines: `#stats` returns the snapshot as one
                          JSON line in-session; `#shutdown` drains in-flight
                          work and exits gracefully
+    --idle-timeout-ms <D> Close a session with a structured `idle_timeout`
+                         error line after D ms without a request
+                         (0 = never)                             [default: 0]
+    --max-requests-per-session <N> Close a session with a structured
+                         `session_limit` error line after N served requests
+                         (0 = unlimited)                         [default: 0]
+
+DISPATCH FLAGS:
+    --input <PATH|->     JSONL corpus (shard boundaries identical to `batch`)
+    --out <PATH>         Merged report JSONL file (required; shard order)
+    --checkpoint <PATH>  Append-only fsync'd shard journal; if it exists the
+                         run resumes after the last completed shard (the
+                         corpus and engine config must be unchanged)
+    --workers <N>        Worker child processes                  [default: 2]
+    --shard-size <N>     Meaningful lines per shard              [default: 4096]
+    --max-attempts <N>   Attempts per shard before quarantine    [default: 3]
+    --retry-backoff-ms <D> Base retry backoff (doubles per failure)
+                                                                 [default: 50]
+    --heartbeat-timeout-ms <D> Silence deadline for a busy worker
+                                                                 [default: 3000]
+    --shard-timeout-ms <D> Wall-clock deadline per shard attempt (0 = none)
+                                                                 [default: 0]
+    --stop-after-shards <N> Graceful drain after N emitted shards (the
+                         checkpoint resumes the run) — deterministic
+                         mid-run interruption for tests/CI
+    --quiet              Suppress the run summary on stderr
+    --metrics-out <P>    Write the end-of-run telemetry snapshot
+    --metrics-format <F> Snapshot format: json|prometheus        [default: json]
+                         A `#shutdown` line on stdin (file-input runs) also
+                         drains gracefully; a killed coordinator resumes
+                         from the checkpoint.
+
+WORKER FLAGS:
+    --heartbeat-ms <D>   Heartbeat period on stdout              [default: 200]
 
 STATS FLAGS:
     --input <PATH|->     A JSON telemetry snapshot (from `batch --metrics-out`)
@@ -150,7 +191,31 @@ fn main() -> ExitCode {
             "--metrics-format",
             "--decode-threads",
         ],
-        "serve" => &["--addr", "--max-inflight", "--metrics-addr", "--quiet"],
+        "serve" => &[
+            "--addr",
+            "--max-inflight",
+            "--metrics-addr",
+            "--quiet",
+            "--idle-timeout-ms",
+            "--max-requests-per-session",
+        ],
+        "dispatch" => &[
+            "--input",
+            "--out",
+            "--checkpoint",
+            "--workers",
+            "--shard-size",
+            "--max-attempts",
+            "--retry-backoff-ms",
+            "--heartbeat-timeout-ms",
+            "--shard-timeout-ms",
+            "--stop-after-shards",
+            "--heartbeat-ms",
+            "--quiet",
+            "--metrics-out",
+            "--metrics-format",
+        ],
+        "worker" => &["--heartbeat-ms"],
         "stats" => &["--input"],
         "bench" => &[
             "--families",
@@ -165,7 +230,10 @@ fn main() -> ExitCode {
         ],
         _ => &[],
     };
-    let takes_engine_flags = matches!(cmd, "solve" | "batch" | "serve" | "bench");
+    let takes_engine_flags = matches!(
+        cmd,
+        "solve" | "batch" | "serve" | "dispatch" | "worker" | "bench"
+    );
     let flags = match Flags::parse(&args[1..], allowed, takes_engine_flags) {
         Ok(flags) => flags,
         Err(e) => {
@@ -178,6 +246,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&flags),
         "batch" => cmd_batch(&flags),
         "serve" => cmd_serve(&flags),
+        "dispatch" => cmd_dispatch(&flags),
+        "worker" => cmd_worker(&flags),
         "stats" => cmd_stats(&flags),
         "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
@@ -267,6 +337,10 @@ impl Flags {
 }
 
 fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
+    engine_config_from_flags(flags).map(Engine::new)
+}
+
+fn engine_config_from_flags(flags: &Flags) -> Result<EngineConfig, String> {
     let mut cfg = EngineConfig::default();
     cfg.threads = flags.get_num("--threads", cfg.threads)?;
     cfg.run_baselines = !flags.has("--no-baselines");
@@ -285,7 +359,7 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
             .map_err(|_| format!("bad --deadline-ms `{ms}`"))?;
         cfg.deadline = Some(Duration::from_millis(ms));
     }
-    Ok(Engine::new(cfg))
+    Ok(cfg)
 }
 
 /// Opens `--input` as a buffered incremental reader (`-` = stdin). Neither
@@ -549,9 +623,15 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let engine = engine_from_flags(flags)?;
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:7463");
+    let idle_timeout = match flags.get_num("--idle-timeout-ms", 0u64)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
     let config = ServeConfig {
         max_inflight: flags.get_num("--max-inflight", 0usize)?,
         metrics_addr: flags.get("--metrics-addr").map(String::from),
+        idle_timeout,
+        max_requests_per_session: flags.get_num("--max-requests-per-session", 0usize)?,
     };
     let handle =
         service::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -571,6 +651,173 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `msrs dispatch`: crash-tolerant multi-process batch — shards the corpus
+/// across `msrs worker` child processes, merges reports in shard order,
+/// and (with `--checkpoint`) journals completed shards durably so an
+/// interrupted run resumes bit-identically.
+fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
+    let shard_size: usize = flags.get_num("--shard-size", DEFAULT_SHARD_SIZE)?;
+    if shard_size == 0 {
+        return Err("--shard-size must be ≥ 1".into());
+    }
+    let out_path = flags
+        .get("--out")
+        .ok_or("dispatch needs --out (reports must land in a real file)")?;
+    let engine_cfg = engine_config_from_flags(flags)?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating msrs binary: {e}"))?;
+    let mut worker_cmd = vec![exe.to_string_lossy().into_owned(), "worker".into()];
+    for (flag, value) in &flags.pairs {
+        let forwarded = ENGINE_FLAGS.contains(&flag.as_str()) || flag == "--heartbeat-ms";
+        if forwarded {
+            worker_cmd.push(flag.clone());
+            if let Some(v) = value {
+                worker_cmd.push(v.clone());
+            }
+        }
+    }
+    let cfg = dispatch::DispatchConfig {
+        worker_cmd,
+        workers: flags.get_num("--workers", 2usize)?,
+        shard_size,
+        max_attempts: flags.get_num("--max-attempts", 3u32)?,
+        retry_backoff: Duration::from_millis(flags.get_num("--retry-backoff-ms", 50u64)?),
+        heartbeat_timeout: Duration::from_millis(flags.get_num(
+            "--heartbeat-timeout-ms",
+            dispatch::DEFAULT_HEARTBEAT_TIMEOUT.as_millis() as u64,
+        )?),
+        shard_timeout: match flags.get_num("--shard-timeout-ms", 0u64)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        stop_after_shards: match flags.get("--stop-after-shards") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("bad --stop-after-shards `{v}`"))?,
+            ),
+        },
+        config_fp: engine_cfg.content_fingerprint(),
+    };
+    let metrics_format = match flags.get("--metrics-format") {
+        None | Some("json") => "json",
+        Some("prometheus") => "prometheus",
+        Some(other) => {
+            return Err(format!(
+                "bad --metrics-format `{other}` (expected json or prometheus)"
+            ))
+        }
+    };
+    if flags.has("--metrics-format") && !flags.has("--metrics-out") {
+        return Err("--metrics-format requires --metrics-out".into());
+    }
+    // A `#shutdown` line on our own stdin requests a graceful drain (only
+    // when the corpus comes from a file — stdin corpora own the stream).
+    let shutdown = Arc::new(AtomicBool::new(false));
+    if flags.get("--input") != Some("-") {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) if line.trim() == "#shutdown" => {
+                        shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    }
+                    Ok(_) => {}
+                }
+            }
+        });
+    }
+    let input = open_input(flags)?;
+    let checkpoint = flags.get("--checkpoint").map(std::path::PathBuf::from);
+    let outcome = dispatch::dispatch(
+        input,
+        std::path::Path::new(out_path),
+        checkpoint.as_deref(),
+        &cfg,
+        Some(&shutdown),
+    )
+    .map_err(|e| format!("dispatch: {e}"))?;
+    if let Some(path) = flags.get("--metrics-out") {
+        let snapshot = telemetry::snapshot();
+        let rendered = match metrics_format {
+            "prometheus" => snapshot.to_prometheus(),
+            _ => {
+                let mut json = snapshot.to_json_string();
+                json.push('\n');
+                json
+            }
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if !flags.has("--quiet") {
+        let s = &outcome.stats;
+        eprintln!(
+            "dispatch: {} instances in {} shard(s) (shard size {}, {} resumed from checkpoint), \
+             {} proven optimal, ratio vs bound mean {:.4} worst {:.4}",
+            s.instances,
+            outcome.shards_total,
+            s.shard_size,
+            outcome.shards_resumed,
+            s.proven_optimal,
+            s.ratio_mean(),
+            s.ratio_worst,
+        );
+        eprintln!(
+            "fleet: {} worker(s) spawned for {} slot(s), {} retry(ies), {} quarantined shard(s)",
+            outcome.workers_spawned,
+            cfg.workers,
+            outcome.retries,
+            outcome.quarantined.len(),
+        );
+        for q in &outcome.quarantined {
+            eprintln!(
+                "quarantined: shard {} after {} attempt(s): {}",
+                q.shard, q.attempts, q.message
+            );
+        }
+        if outcome.interrupted {
+            eprintln!("dispatch: drained early — rerun with the same --checkpoint to resume");
+        }
+    }
+    if let Some(err) = outcome.error {
+        return Err(err.to_string());
+    }
+    if !outcome.quarantined.is_empty() {
+        return Err(format!(
+            "{} shard(s) quarantined (structured error records emitted in place of reports)",
+            outcome.quarantined.len()
+        ));
+    }
+    if outcome.stats.instances == 0 && !outcome.interrupted {
+        return Err("corpus contains no instances".into());
+    }
+    Ok(())
+}
+
+/// `msrs worker`: the dispatch child-process loop — reads shard
+/// assignments on stdin, emits reports, heartbeats, and `#done`/`#error`
+/// records on stdout. Spawned by `msrs dispatch`; runnable by hand for
+/// protocol debugging.
+fn cmd_worker(flags: &Flags) -> Result<(), String> {
+    let engine = engine_from_flags(flags)?;
+    let hb: u64 = flags.get_num(
+        "--heartbeat-ms",
+        dispatch::DEFAULT_HEARTBEAT.as_millis() as u64,
+    )?;
+    let stdin = std::io::stdin();
+    dispatch::run_worker(
+        &engine,
+        stdin.lock(),
+        std::io::stdout(),
+        Duration::from_millis(hb.max(1)),
+    )
+    .map_err(|e| format!("worker: {e}"))
 }
 
 /// `msrs stats`: pretty-print a JSON telemetry snapshot written by

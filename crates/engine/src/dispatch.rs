@@ -1,0 +1,1334 @@
+//! Crash-tolerant multi-process shard execution: the `msrs dispatch`
+//! coordinator and the `msrs worker` child-process loop.
+//!
+//! The coordinator splits a JSONL corpus into deterministic shards (the
+//! same meaningful-line boundaries `msrs batch --shard-size N` uses),
+//! fans them out to a fleet of worker child processes over stdin/stdout
+//! pipes, and merges the report streams back in shard order — so the
+//! merged output is bit-identical to an uninterrupted single-process run
+//! modulo the documented `wall_micros`/`cache_hit` exceptions.
+//!
+//! ## Wire protocol (coordinator ⇄ worker)
+//!
+//! Coordinator → worker (stdin):
+//!
+//! ```text
+//! #shard <index> <attempt> <lines>     shard assignment header
+//! <instance line> × lines              raw corpus lines (never `#`-prefixed)
+//! #run                                 solve the shard now
+//! #shutdown                            exit cleanly (EOF works too)
+//! ```
+//!
+//! Worker → coordinator (stdout):
+//!
+//! ```text
+//! {…report…}                           one JSONL report per admitted line
+//! #hb                                  heartbeat (periodic, from a side thread)
+//! #done {…shard stats…}                shard complete; stats for the merge
+//! #error {…corpus error…}              decode error after the prefix reports
+//! ```
+//!
+//! A shard's buffered report lines are committed only when its `#done`
+//! arrives with a matching report count: torn, garbled, or duplicated
+//! output from a dying worker can never reach the merged stream.
+//!
+//! ## Robustness
+//!
+//! Per-worker health is monitored with heartbeats plus an optional
+//! per-shard wall-clock deadline; a worker that exits, goes silent, or
+//! emits garbage is killed and replaced, and its shard is retried with
+//! exponential backoff. After [`DispatchConfig::max_attempts`] failures a
+//! shard is *quarantined*: the run degrades gracefully, emitting one
+//! structured `shard_quarantined` error record in place of the shard's
+//! reports and continuing. Completed shards are journaled to an fsync'd
+//! append-only checkpoint ([`crate::checkpoint`]) keyed by corpus and
+//! configuration fingerprints, so a crashed or interrupted coordinator
+//! (SIGTERM included — the journal is crash-consistent by construction)
+//! resumes from the last completed shard. A `#shutdown` line on the
+//! coordinator's stdin (or [`DispatchConfig::stop_after_shards`]) drains
+//! gracefully: in-flight shards finish and are journaled, new ones are
+//! not assigned.
+//!
+//! ## Fault injection (`MSRS_FAULT`)
+//!
+//! Workers honor a deterministic fault spec from the `MSRS_FAULT`
+//! environment variable: `<kind>:shard=<K>[,worker=<W>][,attempts=<N>]`
+//! with kinds `crash` (exit before solving), `hang` (suppress heartbeats
+//! and sleep), `garble` (emit a non-protocol line and exit), and
+//! `partial` (emit half a report line with no newline and exit). The
+//! fault fires when solving shard `K` while the attempt number is ≤ `N`
+//! (default 1), optionally only in the worker whose spawn ordinal
+//! (`MSRS_WORKER_INDEX`, set by the coordinator) is `W` — so tests and CI
+//! can script crashes that retries then survive deterministically.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use msrs_telemetry::registry;
+
+use crate::checkpoint::{self, CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
+use crate::json::{Json, JsonError};
+use crate::jsonl::CorpusError;
+use crate::stream::{ServiceCore, StreamStats};
+use crate::Engine;
+
+/// Default worker heartbeat period.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(200);
+/// Default coordinator silence deadline before a busy worker is declared
+/// dead (≫ the heartbeat period).
+pub const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(3000);
+
+/// `EPIPE`/connection-reset classification shared by the worker and the
+/// serve session paths: a peer that went away mid-write is a clean end of
+/// conversation, not a crash.
+pub(crate) fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Crash,
+    Hang,
+    Garble,
+    Partial,
+}
+
+/// Parsed `MSRS_FAULT` spec; see the module docs for the grammar.
+#[derive(Debug, Clone, Copy)]
+struct FaultSpec {
+    kind: FaultKind,
+    shard: usize,
+    worker: Option<u64>,
+    attempts: u32,
+}
+
+impl FaultSpec {
+    fn parse(spec: &str) -> Option<FaultSpec> {
+        let (kind, params) = spec.split_once(':')?;
+        let kind = match kind {
+            "crash" => FaultKind::Crash,
+            "hang" => FaultKind::Hang,
+            "garble" => FaultKind::Garble,
+            "partial" => FaultKind::Partial,
+            _ => return None,
+        };
+        let mut shard = None;
+        let mut worker = None;
+        let mut attempts = 1u32;
+        for kv in params.split(',') {
+            let (k, v) = kv.split_once('=')?;
+            match k {
+                "shard" => shard = Some(v.parse().ok()?),
+                "worker" => worker = Some(v.parse().ok()?),
+                "attempts" => attempts = v.parse().ok()?,
+                _ => return None,
+            }
+        }
+        Some(FaultSpec {
+            kind,
+            shard: shard?,
+            worker,
+            attempts,
+        })
+    }
+
+    fn from_env() -> Option<FaultSpec> {
+        let spec = std::env::var("MSRS_FAULT").ok()?;
+        let parsed = FaultSpec::parse(&spec);
+        if parsed.is_none() {
+            eprintln!("msrs worker: ignoring unparsable MSRS_FAULT `{spec}`");
+        }
+        parsed
+    }
+
+    /// Should the fault fire for this (shard, 1-based attempt) in the
+    /// worker with spawn ordinal `worker_index`?
+    fn fires(&self, shard: usize, attempt: u32, worker_index: Option<u64>) -> bool {
+        self.shard == shard
+            && attempt <= self.attempts
+            && match self.worker {
+                None => true,
+                Some(w) => worker_index == Some(w),
+            }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Runs the worker half of the dispatch protocol until stdin closes or a
+/// `#shutdown` line arrives: reads shard assignments, solves them through
+/// a persistent [`ServiceCore`], and emits reports + `#done` stats (or a
+/// `#error` record after a decode error's prefix reports).
+///
+/// A broken pipe on `output` — the coordinator died — ends the worker
+/// cleanly (`Ok`), mirroring the serve sessions' disconnect handling.
+/// Injected faults (`MSRS_FAULT`) terminate the *process* via
+/// [`std::process::exit`]; they exist for the crash-tolerance test suite
+/// and CI.
+pub fn run_worker<R, W>(engine: &Engine, input: R, output: W, heartbeat: Duration) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let out = Arc::new(Mutex::new(output));
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_enabled = Arc::new(AtomicBool::new(true));
+    let hb_thread = spawn_heartbeat(
+        Arc::clone(&out),
+        Arc::clone(&stop),
+        Arc::clone(&hb_enabled),
+        heartbeat,
+    );
+    let result = worker_loop(engine, input, &out, &hb_enabled);
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb_thread.join();
+    match result {
+        Err(e) if is_disconnect(&e) => Ok(()),
+        other => other,
+    }
+}
+
+fn spawn_heartbeat<W: Write + Send + 'static>(
+    out: Arc<Mutex<W>>,
+    stop: Arc<AtomicBool>,
+    enabled: Arc<AtomicBool>,
+    period: Duration,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        std::thread::sleep(period);
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if !enabled.load(Ordering::Relaxed) {
+            continue;
+        }
+        let mut w = out.lock().expect("worker output lock");
+        // A dead pipe means the coordinator is gone; stop quietly and let
+        // the main loop notice on its next write or read.
+        if w.write_all(b"#hb\n").and_then(|()| w.flush()).is_err() {
+            return;
+        }
+    })
+}
+
+fn worker_loop<R: BufRead, W: Write + Send>(
+    engine: &Engine,
+    mut input: R,
+    out: &Arc<Mutex<W>>,
+    hb_enabled: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let fault = FaultSpec::from_env();
+    let worker_index = std::env::var("MSRS_WORKER_INDEX")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut core = ServiceCore::new();
+    let mut buf = String::new();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf)? == 0 {
+            return Ok(()); // coordinator closed our stdin: clean exit
+        }
+        let header = buf.trim_end();
+        if header == "#shutdown" {
+            return Ok(());
+        }
+        let Some((shard, attempt, n)) = parse_shard_header(header) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected coordinator line `{header}`"),
+            ));
+        };
+        lines.clear();
+        for _ in 0..n {
+            buf.clear();
+            if input.read_line(&mut buf)? == 0 {
+                return Ok(());
+            }
+            lines.push(buf.trim_end().to_string());
+        }
+        buf.clear();
+        input.read_line(&mut buf)?;
+        if buf.trim_end() != "#run" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shard assignment not terminated by #run",
+            ));
+        }
+        if let Some(f) = fault.filter(|f| f.fires(shard, attempt, worker_index)) {
+            inject_fault(f.kind, out, hb_enabled);
+        }
+        solve_shard(engine, &mut core, shard, &lines, out)?;
+    }
+}
+
+fn parse_shard_header(line: &str) -> Option<(usize, u32, usize)> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "#shard" {
+        return None;
+    }
+    let shard = it.next()?.parse().ok()?;
+    let attempt = it.next()?.parse().ok()?;
+    let n = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((shard, attempt, n))
+}
+
+/// Applies an injected fault. All variants terminate the process except
+/// `hang`, which parks it (heartbeats off) until the coordinator's health
+/// monitor kills it.
+fn inject_fault<W: Write + Send>(kind: FaultKind, out: &Arc<Mutex<W>>, hb_enabled: &AtomicBool) {
+    match kind {
+        FaultKind::Crash => std::process::exit(101),
+        FaultKind::Hang => {
+            hb_enabled.store(false, Ordering::Relaxed);
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        FaultKind::Garble => {
+            let mut w = out.lock().expect("worker output lock");
+            let _ = w.write_all(b"!!! injected garbled output !!!\n");
+            let _ = w.flush();
+            std::process::exit(3);
+        }
+        FaultKind::Partial => {
+            let mut w = out.lock().expect("worker output lock");
+            let _ = w.write_all(b"{\"id\":\"torn-report\",\"makespan\":");
+            let _ = w.flush();
+            std::process::exit(3);
+        }
+    }
+}
+
+fn solve_shard<W: Write + Send>(
+    engine: &Engine,
+    core: &mut ServiceCore,
+    shard: usize,
+    lines: &[String],
+    out: &Arc<Mutex<W>>,
+) -> io::Result<()> {
+    let started = Instant::now();
+    core.begin(lines.len().max(1));
+    let mut error = None;
+    for (i, line) in lines.iter().enumerate() {
+        // Line numbers are shard-local 1-based ordinals; the coordinator
+        // translates them back to physical corpus line numbers.
+        if let Err(e) = core.admit_line(engine, i + 1, line, Instant::now()) {
+            error = Some(e);
+            break;
+        }
+    }
+    core.flush_with(engine, |bytes, _| {
+        out.lock().expect("worker output lock").write_all(bytes)
+    })?;
+    let outcome = core.finish(started, error);
+    let tail = match &outcome.error {
+        None => {
+            let mut obj = vec![("shard".into(), Json::Num(shard as i128))];
+            obj.extend(ShardStats::from_stream(&outcome.stats).to_json_fields());
+            format!("#done {}", Json::Obj(obj))
+        }
+        Some(e) => format!("#error {}", corpus_error_json(shard, e)),
+    };
+    let mut w = out.lock().expect("worker output lock");
+    w.write_all(tail.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn corpus_error_json(shard: usize, e: &CorpusError) -> Json {
+    let (kind, line, at, reason) = match e {
+        CorpusError::Json { line, error } => ("json", *line, error.at, error.reason.clone()),
+        CorpusError::Malformed { line, reason } => ("malformed", *line, 0, reason.clone()),
+        CorpusError::Io { line, message } => ("io", *line, 0, message.clone()),
+    };
+    Json::Obj(vec![
+        ("shard".into(), Json::Num(shard as i128)),
+        ("local_line".into(), Json::Num(line as i128)),
+        ("kind".into(), Json::Str(kind.into())),
+        ("at".into(), Json::Num(at as i128)),
+        ("reason".into(), Json::Str(reason)),
+    ])
+}
+
+fn corpus_error_from_json(v: &Json, global_line: usize) -> Option<CorpusError> {
+    let reason = v.get("reason")?.as_str()?.to_string();
+    Some(match v.get("kind")?.as_str()? {
+        "json" => CorpusError::Json {
+            line: global_line,
+            error: JsonError {
+                at: v.get("at")?.as_usize()?,
+                reason,
+            },
+        },
+        "malformed" => CorpusError::Malformed {
+            line: global_line,
+            reason,
+        },
+        _ => CorpusError::Io {
+            line: global_line,
+            message: reason,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// Configuration of one dispatch run.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Worker argv: program plus arguments (typically the `msrs` binary
+    /// with the `worker` subcommand and the engine flags). Must be
+    /// non-empty.
+    pub worker_cmd: Vec<String>,
+    /// Worker processes to keep running.
+    pub workers: usize,
+    /// Meaningful corpus lines per shard (identical boundaries to
+    /// `msrs batch --shard-size`).
+    pub shard_size: usize,
+    /// Attempts per shard before it is quarantined.
+    pub max_attempts: u32,
+    /// Base retry backoff; doubles per failed attempt.
+    pub retry_backoff: Duration,
+    /// Silence deadline for a busy worker (no reports, no heartbeats).
+    pub heartbeat_timeout: Duration,
+    /// Optional wall-clock deadline per shard attempt.
+    pub shard_timeout: Option<Duration>,
+    /// Graceful stop after this many shards have been emitted (resume
+    /// finishes the run) — deterministic mid-run interruption for tests.
+    pub stop_after_shards: Option<usize>,
+    /// [`crate::EngineConfig::content_fingerprint`] of the engine
+    /// configuration the workers run — the checkpoint's run key.
+    pub config_fp: u64,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig {
+            worker_cmd: Vec::new(),
+            workers: 2,
+            shard_size: crate::stream::DEFAULT_SHARD_SIZE,
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(50),
+            heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
+            shard_timeout: None,
+            stop_after_shards: None,
+            config_fp: 0,
+        }
+    }
+}
+
+/// A shard the coordinator quarantined after exhausting its retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// 0-based shard index.
+    pub shard: usize,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+    /// The last failure observed.
+    pub message: String,
+}
+
+/// What a dispatch run produced.
+#[derive(Debug)]
+pub struct DispatchOutcome {
+    /// Merged run summary (instances, ratios, phase splits) across
+    /// resumed + freshly completed shards.
+    pub stats: StreamStats,
+    /// Shards emitted to the output (resumed + fresh, incl. quarantined).
+    pub shards_total: usize,
+    /// Shards skipped because the checkpoint already recorded them.
+    pub shards_resumed: usize,
+    /// Shard attempts re-queued after worker failures.
+    pub retries: u64,
+    /// Worker processes spawned (initial fleet + replacements).
+    pub workers_spawned: u64,
+    /// Shards that exhausted their retry budget, in shard order.
+    pub quarantined: Vec<QuarantinedShard>,
+    /// True when the run stopped early (graceful drain) with a
+    /// resumable checkpoint rather than finishing the corpus.
+    pub interrupted: bool,
+    /// `Some` when the corpus itself was malformed/unreadable; reports
+    /// for every line before the error have been emitted.
+    pub error: Option<CorpusError>,
+}
+
+/// One shard read from the corpus: trimmed meaningful lines plus their
+/// physical 1-based line numbers and the raw-text fingerprint.
+struct Shard {
+    index: usize,
+    lines: Vec<String>,
+    line_nos: Vec<usize>,
+    fp: u64,
+}
+
+/// Incremental corpus reader producing [`Shard`]s; memory stays
+/// O(shard_size) — only in-flight shards are resident.
+struct ShardSource<R> {
+    reader: R,
+    line_no: usize,
+    next_index: usize,
+    done: bool,
+}
+
+impl<R: BufRead> ShardSource<R> {
+    fn new(reader: R) -> Self {
+        ShardSource {
+            reader,
+            line_no: 0,
+            next_index: 0,
+            done: false,
+        }
+    }
+
+    fn next_shard(&mut self, shard_size: usize) -> Result<Option<Shard>, CorpusError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut lines = Vec::new();
+        let mut line_nos = Vec::new();
+        let mut hash = 0xcbf29ce484222325u64;
+        let mut buf = String::new();
+        while lines.len() < shard_size {
+            buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut buf) {
+                Ok(0) => {
+                    self.done = true;
+                    self.line_no -= 1;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Err(CorpusError::Io {
+                        line: self.line_no,
+                        message: e.to_string(),
+                    });
+                }
+            }
+            let line = buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            hash = fnv1a_64_continue(hash, line.as_bytes());
+            hash = fnv1a_64_continue(hash, b"\n");
+            lines.push(line.to_string());
+            line_nos.push(self.line_no);
+        }
+        if lines.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        let shard = Shard {
+            index: self.next_index,
+            lines,
+            line_nos,
+            fp: hash,
+        };
+        self.next_index += 1;
+        Ok(Some(shard))
+    }
+}
+
+/// Continues an FNV-1a hash across chunks (same constants as
+/// [`crate::checkpoint::fnv1a_64`]).
+fn fnv1a_64_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Events a worker's stdout reader thread reports to the coordinator.
+enum Event {
+    /// A complete report line (without its newline).
+    Report(String),
+    /// `#hb`.
+    Heartbeat,
+    /// `#done` with parsed stats.
+    Done { shard: usize, stats: ShardStats },
+    /// `#error` with the parsed corpus-error payload.
+    Error(Json),
+    /// A line that is not part of the protocol (garbled output, torn
+    /// trailing line at EOF).
+    Garbage(String),
+    /// The worker's stdout closed.
+    Eof,
+}
+
+struct WorkerHandle {
+    ordinal: u64,
+    child: Child,
+    stdin: Option<ChildStdin>,
+    reader: Option<JoinHandle<()>>,
+    busy: bool,
+    last_output: Instant,
+    shard_started: Instant,
+}
+
+/// A shard attempt currently assigned to a worker.
+struct Inflight {
+    shard: Shard,
+    /// Failed attempts before this one.
+    failures: u32,
+    /// Buffered report bytes — committed only on a matching `#done`.
+    reports: Vec<u8>,
+    report_count: usize,
+}
+
+/// A shard waiting for its retry backoff to elapse.
+struct Retry {
+    shard: Shard,
+    failures: u32,
+    not_before: Instant,
+}
+
+/// A shard whose output is final, waiting to be emitted in order.
+struct Completed {
+    bytes: Vec<u8>,
+    lines: usize,
+    fp: u64,
+    attempts: u32,
+    stats: ShardStats,
+    quarantined: bool,
+    /// A decode error terminating the stream at this shard (the bytes
+    /// hold the prefix reports before the error).
+    error: Option<CorpusError>,
+}
+
+struct Coordinator<'a> {
+    cfg: &'a DispatchConfig,
+    workers: Vec<WorkerHandle>,
+    inflight: HashMap<u64, Inflight>,
+    retries: Vec<Retry>,
+    completed: BTreeMap<usize, Completed>,
+    tx: Sender<(u64, Event)>,
+    rx: Receiver<(u64, Event)>,
+    next_ordinal: u64,
+    spawned: u64,
+    retry_count: u64,
+    quarantined: Vec<QuarantinedShard>,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(cfg: &'a DispatchConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        Coordinator {
+            cfg,
+            workers: Vec::new(),
+            inflight: HashMap::new(),
+            retries: Vec::new(),
+            completed: BTreeMap::new(),
+            tx,
+            rx,
+            next_ordinal: 0,
+            spawned: 0,
+            retry_count: 0,
+            quarantined: Vec::new(),
+        }
+    }
+
+    fn spawn_worker(&mut self) -> io::Result<()> {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let mut child = Command::new(&self.cfg.worker_cmd[0])
+            .args(&self.cfg.worker_cmd[1..])
+            .env("MSRS_WORKER_INDEX", ordinal.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let tx = self.tx.clone();
+        let reader = std::thread::spawn(move || read_worker_stdout(ordinal, stdout, &tx));
+        registry().dispatch_workers_spawned_total.inc();
+        self.spawned += 1;
+        self.workers.push(WorkerHandle {
+            ordinal,
+            child,
+            stdin,
+            reader: Some(reader),
+            busy: false,
+            last_output: Instant::now(),
+            shard_started: Instant::now(),
+        });
+        Ok(())
+    }
+
+    /// Sends a shard to the idle worker at `pos`. On a pipe failure the
+    /// worker is torn down and the shard goes through the normal
+    /// failure/retry path.
+    fn assign(&mut self, pos: usize, shard: Shard, failures: u32) {
+        let w = &mut self.workers[pos];
+        let attempt = failures + 1;
+        let mut payload =
+            String::with_capacity(shard.lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
+        payload.push_str(&format!(
+            "#shard {} {} {}\n",
+            shard.index,
+            attempt,
+            shard.lines.len()
+        ));
+        for line in &shard.lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        payload.push_str("#run\n");
+        let ordinal = w.ordinal;
+        let sent = match w.stdin.as_mut() {
+            Some(stdin) => stdin
+                .write_all(payload.as_bytes())
+                .and_then(|()| stdin.flush()),
+            None => Err(io::Error::new(io::ErrorKind::BrokenPipe, "stdin closed")),
+        };
+        w.busy = true;
+        w.last_output = Instant::now();
+        w.shard_started = Instant::now();
+        self.inflight.insert(
+            ordinal,
+            Inflight {
+                shard,
+                failures,
+                reports: Vec::new(),
+                report_count: 0,
+            },
+        );
+        if let Err(e) = sent {
+            self.fail_worker(ordinal, &format!("failed to send shard: {e}"));
+        }
+    }
+
+    fn idle_worker(&self) -> Option<usize> {
+        self.workers.iter().position(|w| !w.busy)
+    }
+
+    /// Kills and removes a worker; if it was busy, its shard is retried
+    /// (with backoff) or quarantined.
+    fn fail_worker(&mut self, ordinal: u64, reason: &str) {
+        let Some(pos) = self.workers.iter().position(|w| w.ordinal == ordinal) else {
+            return;
+        };
+        let mut w = self.workers.remove(pos);
+        drop(w.stdin.take());
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+        if let Some(reader) = w.reader.take() {
+            let _ = reader.join();
+        }
+        registry().dispatch_worker_crashes_total.inc();
+        if let Some(entry) = self.inflight.remove(&ordinal) {
+            let failures = entry.failures + 1;
+            if failures >= self.cfg.max_attempts {
+                registry().dispatch_quarantines_total.inc();
+                self.quarantined.push(QuarantinedShard {
+                    shard: entry.shard.index,
+                    attempts: failures,
+                    message: reason.to_string(),
+                });
+                let line = Json::Obj(vec![
+                    ("error".into(), Json::Str("shard_quarantined".into())),
+                    ("shard".into(), Json::Num(entry.shard.index as i128)),
+                    ("attempts".into(), Json::Num(failures as i128)),
+                    ("lines".into(), Json::Num(entry.shard.lines.len() as i128)),
+                    ("message".into(), Json::Str(reason.to_string())),
+                ]);
+                self.completed.insert(
+                    entry.shard.index,
+                    Completed {
+                        bytes: format!("{line}\n").into_bytes(),
+                        lines: entry.shard.lines.len(),
+                        fp: entry.shard.fp,
+                        attempts: failures,
+                        stats: ShardStats::default(),
+                        quarantined: true,
+                        error: None,
+                    },
+                );
+            } else {
+                registry().dispatch_retries_total.inc();
+                self.retry_count += 1;
+                // Exponential backoff, capped at 2⁶× the base.
+                let factor = 1u32 << (failures - 1).min(6);
+                self.retries.push(Retry {
+                    shard: entry.shard,
+                    failures,
+                    not_before: Instant::now() + self.cfg.retry_backoff * factor,
+                });
+            }
+        }
+    }
+
+    /// The next `recv_timeout` bound: the soonest health deadline or
+    /// retry release, capped so shutdown flags are noticed promptly.
+    fn next_deadline(&self) -> Duration {
+        let mut deadline = Duration::from_millis(100);
+        let now = Instant::now();
+        for w in self.workers.iter().filter(|w| w.busy) {
+            let hb_left = self
+                .cfg
+                .heartbeat_timeout
+                .saturating_sub(now.duration_since(w.last_output));
+            deadline = deadline.min(hb_left);
+            if let Some(limit) = self.cfg.shard_timeout {
+                deadline = deadline.min(limit.saturating_sub(now.duration_since(w.shard_started)));
+            }
+        }
+        for r in &self.retries {
+            deadline = deadline.min(r.not_before.saturating_duration_since(now));
+        }
+        deadline.max(Duration::from_millis(1))
+    }
+
+    /// Declares dead any busy worker past its silence or shard deadline.
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        let late: Vec<(u64, String)> = self
+            .workers
+            .iter()
+            .filter(|w| w.busy)
+            .filter_map(|w| {
+                let silent = now.duration_since(w.last_output);
+                if silent > self.cfg.heartbeat_timeout {
+                    return Some((
+                        w.ordinal,
+                        format!("no output for {} ms", silent.as_millis()),
+                    ));
+                }
+                if let Some(limit) = self.cfg.shard_timeout {
+                    let running = now.duration_since(w.shard_started);
+                    if running > limit {
+                        return Some((
+                            w.ordinal,
+                            format!("shard deadline exceeded ({} ms)", running.as_millis()),
+                        ));
+                    }
+                }
+                None
+            })
+            .collect();
+        for (ordinal, reason) in late {
+            self.fail_worker(ordinal, &reason);
+        }
+    }
+
+    fn handle_event(&mut self, ordinal: u64, event: Event) {
+        let Some(pos) = self.workers.iter().position(|w| w.ordinal == ordinal) else {
+            return; // stale reader of a worker we already tore down
+        };
+        self.workers[pos].last_output = Instant::now();
+        match event {
+            Event::Heartbeat => {}
+            Event::Report(line) => match self.inflight.get_mut(&ordinal) {
+                Some(entry) => {
+                    entry.reports.extend_from_slice(line.as_bytes());
+                    entry.reports.push(b'\n');
+                    entry.report_count += 1;
+                }
+                None => self.fail_worker(ordinal, "report line from an idle worker"),
+            },
+            Event::Done { shard, stats } => {
+                let Some(entry) = self.inflight.get(&ordinal) else {
+                    self.fail_worker(ordinal, "#done from an idle worker");
+                    return;
+                };
+                if entry.shard.index != shard || entry.report_count as u64 != stats.instances {
+                    let reason = format!(
+                        "shard report mismatch (#done shard {shard} × assigned {}, {} report(s) × {} instance(s))",
+                        entry.shard.index, entry.report_count, stats.instances
+                    );
+                    self.fail_worker(ordinal, &reason);
+                    return;
+                }
+                let entry = self.inflight.remove(&ordinal).expect("checked above");
+                self.workers[pos].busy = false;
+                self.completed.insert(
+                    entry.shard.index,
+                    Completed {
+                        bytes: entry.reports,
+                        lines: entry.shard.lines.len(),
+                        fp: entry.shard.fp,
+                        attempts: entry.failures + 1,
+                        stats,
+                        quarantined: false,
+                        error: None,
+                    },
+                );
+            }
+            Event::Error(payload) => {
+                let Some(entry) = self.inflight.remove(&ordinal) else {
+                    self.fail_worker(ordinal, "#error from an idle worker");
+                    return;
+                };
+                self.workers[pos].busy = false;
+                let local = payload
+                    .get("local_line")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(1);
+                let global = entry
+                    .shard
+                    .line_nos
+                    .get(local.saturating_sub(1))
+                    .copied()
+                    .unwrap_or_else(|| entry.shard.line_nos.last().copied().unwrap_or(0));
+                let error = corpus_error_from_json(&payload, global).unwrap_or(CorpusError::Io {
+                    line: global,
+                    message: "worker reported an unparsable corpus error".into(),
+                });
+                self.completed.insert(
+                    entry.shard.index,
+                    Completed {
+                        bytes: entry.reports,
+                        lines: entry.shard.lines.len(),
+                        fp: entry.shard.fp,
+                        attempts: entry.failures + 1,
+                        stats: ShardStats::default(),
+                        quarantined: false,
+                        error: Some(error),
+                    },
+                );
+            }
+            Event::Garbage(line) => {
+                let reason = format!("garbled worker output: `{}`", truncate(&line, 120));
+                self.fail_worker(ordinal, &reason);
+            }
+            Event::Eof => {
+                self.fail_worker(ordinal, "worker exited mid-run");
+            }
+        }
+    }
+
+    /// Tears the fleet down: close stdins (workers exit on EOF), then
+    /// kill anything still alive and reap it.
+    fn shutdown_fleet(&mut self) {
+        for w in &mut self.workers {
+            drop(w.stdin.take());
+        }
+        for mut w in self.workers.drain(..) {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+            if let Some(reader) = w.reader.take() {
+                let _ = reader.join();
+            }
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+/// Parses one worker stdout stream into [`Event`]s. A final line without
+/// its newline (a worker dying mid-write) is garbage, never a report.
+fn read_worker_stdout(ordinal: u64, stdout: std::process::ChildStdout, tx: &Sender<(u64, Event)>) {
+    let mut reader = BufReader::new(stdout);
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let terminated = buf.ends_with('\n');
+        let line = buf.trim_end_matches(['\n', '\r']);
+        let event = if !terminated {
+            Event::Garbage(line.to_string())
+        } else if line == "#hb" {
+            Event::Heartbeat
+        } else if let Some(payload) = line.strip_prefix("#done ") {
+            match Json::parse(payload).ok().as_ref().and_then(parse_done) {
+                Some((shard, stats)) => Event::Done { shard, stats },
+                None => Event::Garbage(line.to_string()),
+            }
+        } else if let Some(payload) = line.strip_prefix("#error ") {
+            match Json::parse(payload) {
+                Ok(v) => Event::Error(v),
+                Err(_) => Event::Garbage(line.to_string()),
+            }
+        } else if line.starts_with('{') {
+            Event::Report(line.to_string())
+        } else {
+            Event::Garbage(line.to_string())
+        };
+        if tx.send((ordinal, event)).is_err() {
+            return; // coordinator gone
+        }
+    }
+    let _ = tx.send((ordinal, Event::Eof));
+}
+
+fn parse_done(v: &Json) -> Option<(usize, ShardStats)> {
+    Some((v.get("shard")?.as_usize()?, ShardStats::from_json(v)?))
+}
+
+/// The dispatch coordinator: shards `input`, fans the shards out to
+/// worker child processes, and merges their reports in shard order into
+/// the file at `out_path`. With `checkpoint_path`, completed shards are
+/// journaled durably and an existing journal resumes the run (validating
+/// that the corpus and configuration are unchanged). `shutdown` — when
+/// set by the caller, e.g. from a `#shutdown` stdin line — triggers a
+/// graceful drain.
+///
+/// Returns `Err` only for coordinator-level I/O and setup failures;
+/// corpus decode errors travel in [`DispatchOutcome::error`] exactly as
+/// in [`crate::stream::JsonlServer::serve`], after the reports preceding
+/// the error were written.
+pub fn dispatch<R: BufRead>(
+    input: R,
+    out_path: &Path,
+    checkpoint_path: Option<&Path>,
+    cfg: &DispatchConfig,
+    shutdown: Option<&AtomicBool>,
+) -> io::Result<DispatchOutcome> {
+    if cfg.worker_cmd.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "dispatch needs a non-empty worker command",
+        ));
+    }
+    if cfg.workers == 0 || cfg.shard_size == 0 || cfg.max_attempts == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "dispatch needs workers ≥ 1, shard_size ≥ 1, max_attempts ≥ 1",
+        ));
+    }
+    let started = Instant::now();
+    let mut source = ShardSource::new(input);
+    let mut merged = StreamStats {
+        shard_size: cfg.shard_size,
+        ..StreamStats::default()
+    };
+    let mut coord = Coordinator::new(cfg);
+    let mut next_emit = 0usize;
+    let mut emitted_bytes = 0u64;
+    let mut shards_resumed = 0usize;
+    let mut outcome_error: Option<CorpusError> = None;
+    let mut source_done = false;
+
+    // --- resume / journal setup -------------------------------------------
+    let header = CheckpointHeader {
+        config_fp: cfg.config_fp,
+        shard_size: cfg.shard_size,
+    };
+    let invalid = |reason: String| io::Error::new(io::ErrorKind::InvalidData, reason);
+    let mut ckpt_log = None;
+    if let Some(path) = checkpoint_path {
+        match checkpoint::load(path)? {
+            None => {
+                ckpt_log = Some(CheckpointLog::create(path, header)?);
+            }
+            Some(loaded) => {
+                if loaded.header != header {
+                    return Err(invalid(format!(
+                        "{}: checkpoint belongs to a different run \
+                         (config_fp {:#x}/shard_size {} recorded, {:#x}/{} requested)",
+                        path.display(),
+                        loaded.header.config_fp,
+                        loaded.header.shard_size,
+                        header.config_fp,
+                        header.shard_size,
+                    )));
+                }
+                for rec in &loaded.records {
+                    let shard = source
+                        .next_shard(cfg.shard_size)
+                        .map_err(|e| invalid(format!("re-reading corpus for resume: {e}")))?
+                        .ok_or_else(|| {
+                            invalid(format!(
+                                "{}: checkpoint records shard {} but the corpus ended",
+                                path.display(),
+                                rec.shard
+                            ))
+                        })?;
+                    if shard.fp != rec.shard_fp || shard.lines.len() != rec.lines {
+                        return Err(invalid(format!(
+                            "{}: corpus changed since the checkpoint (shard {} fingerprint mismatch)",
+                            path.display(),
+                            rec.shard
+                        )));
+                    }
+                    rec.stats.merge_into(&mut merged);
+                    if rec.quarantined {
+                        coord.quarantined.push(QuarantinedShard {
+                            shard: rec.shard,
+                            attempts: rec.attempts,
+                            message: "quarantined in a previous run".into(),
+                        });
+                    } else {
+                        merged.shards += 1;
+                    }
+                    registry().dispatch_shards_resumed_total.inc();
+                }
+                shards_resumed = loaded.records.len();
+                next_emit = shards_resumed;
+                emitted_bytes = loaded.out_bytes();
+                ckpt_log = Some(CheckpointLog::open_append(path)?);
+            }
+        }
+    }
+
+    // --- output file ------------------------------------------------------
+    let out_file = if emitted_bytes > 0 {
+        let mut f = OpenOptions::new().read(true).write(true).open(out_path)?;
+        let len = f.metadata()?.len();
+        if len < emitted_bytes {
+            return Err(invalid(format!(
+                "{}: output file is shorter ({len} bytes) than the checkpoint \
+                 records ({emitted_bytes} bytes)",
+                out_path.display()
+            )));
+        }
+        // Reports of shards past the last durable record are discarded.
+        f.set_len(emitted_bytes)?;
+        f.seek(SeekFrom::End(0))?;
+        f
+    } else {
+        File::create(out_path)?
+    };
+    let mut out = BufWriter::new(out_file);
+
+    // --- main loop --------------------------------------------------------
+    let mut interrupted = false;
+    if let Some(stop) = cfg.stop_after_shards {
+        if next_emit >= stop {
+            interrupted = true;
+        }
+    }
+    let mut error_shard: Option<usize> = None;
+    'run: loop {
+        if !interrupted && shutdown.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            interrupted = true;
+        }
+        // Assign work while there is work and worker capacity.
+        while !interrupted && error_shard.is_none() {
+            let now = Instant::now();
+            let retry_pos = coord.retries.iter().position(|r| r.not_before <= now);
+            let have_source = !source_done;
+            if retry_pos.is_none() && !have_source {
+                break;
+            }
+            // Find or grow an idle worker first — a shard is only taken
+            // from the source once somewhere to run it exists.
+            let pos = match coord.idle_worker() {
+                Some(pos) => pos,
+                None if coord.workers.len() < cfg.workers => {
+                    coord.spawn_worker()?;
+                    coord.workers.len() - 1
+                }
+                None => break,
+            };
+            if let Some(rpos) = retry_pos {
+                let retry = coord.retries.remove(rpos);
+                coord.assign(pos, retry.shard, retry.failures);
+                continue;
+            }
+            match source.next_shard(cfg.shard_size) {
+                Ok(Some(shard)) => coord.assign(pos, shard, 0),
+                Ok(None) => source_done = true,
+                Err(e) => {
+                    // The corpus itself is unreadable: the stream ends at
+                    // the shard this read would have produced.
+                    error_shard = Some(source.next_index);
+                    outcome_error = Some(e);
+                    source_done = true;
+                }
+            }
+        }
+
+        // Emit the contiguous completed prefix.
+        while let Some(done) = coord.completed.remove(&next_emit) {
+            out.write_all(&done.bytes)?;
+            emitted_bytes += done.bytes.len() as u64;
+            registry().dispatch_shards_total.inc();
+            if let Some(err) = done.error {
+                // Decode error: the prefix reports are written, nothing
+                // after this shard may be emitted, and the shard is *not*
+                // journaled (a resume retries it and fails the same way).
+                outcome_error = Some(err);
+                break 'run;
+            }
+            if !done.quarantined {
+                done.stats.merge_into(&mut merged);
+                merged.shards += 1;
+            }
+            if let Some(log) = ckpt_log.as_mut() {
+                // Durability order: report bytes first, then the record
+                // that vouches for them.
+                out.flush()?;
+                out.get_ref().sync_data()?;
+                log.append(&ShardRecord {
+                    shard: next_emit,
+                    lines: done.lines,
+                    shard_fp: done.fp,
+                    out_bytes: emitted_bytes,
+                    attempts: done.attempts,
+                    quarantined: done.quarantined,
+                    stats: done.stats,
+                })?;
+            }
+            next_emit += 1;
+            if cfg.stop_after_shards.is_some_and(|stop| next_emit >= stop) {
+                interrupted = true;
+            }
+        }
+
+        // Termination: nothing running, nothing queued, nothing to come.
+        let busy = coord.workers.iter().any(|w| w.busy);
+        let retry_pending = !coord.retries.is_empty();
+        if error_shard.is_some_and(|e| next_emit >= e) {
+            break;
+        }
+        if interrupted && !busy {
+            break;
+        }
+        if !busy && !retry_pending && source_done && coord.completed.is_empty() {
+            break;
+        }
+        if error_shard.is_some() && !busy && !retry_pending {
+            // Everything before the error shard that can complete has;
+            // the error shard itself was emitted above if it exists.
+            break;
+        }
+
+        // Wait for the next event or deadline.
+        match coord.rx.recv_timeout(coord.next_deadline()) {
+            Ok((ordinal, event)) => {
+                coord.handle_event(ordinal, event);
+                // Drain whatever else is already queued before looping.
+                while let Ok((ordinal, event)) = coord.rx.try_recv() {
+                    coord.handle_event(ordinal, event);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => coord.enforce_deadlines(),
+            Err(RecvTimeoutError::Disconnected) => unreachable!("coordinator holds a sender"),
+        }
+    }
+
+    out.flush()?;
+    coord.shutdown_fleet();
+    coord.quarantined.sort_by_key(|q| q.shard);
+    merged.wall_micros = started.elapsed().as_micros() as u64;
+    Ok(DispatchOutcome {
+        stats: merged,
+        shards_total: next_emit,
+        shards_resumed,
+        retries: coord.retry_count,
+        workers_spawned: coord.spawned,
+        quarantined: coord.quarantined,
+        interrupted,
+        error: outcome_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_grammar() {
+        let f = FaultSpec::parse("crash:shard=3").unwrap();
+        assert_eq!(f.kind, FaultKind::Crash);
+        assert!(f.fires(3, 1, None));
+        assert!(!f.fires(3, 2, None)); // default attempts=1: retry succeeds
+        assert!(!f.fires(2, 1, None));
+
+        let f = FaultSpec::parse("hang:shard=0,worker=2,attempts=4").unwrap();
+        assert_eq!(f.kind, FaultKind::Hang);
+        assert!(f.fires(0, 4, Some(2)));
+        assert!(!f.fires(0, 5, Some(2)));
+        assert!(!f.fires(0, 1, Some(1)));
+        assert!(!f.fires(0, 1, None));
+
+        assert!(FaultSpec::parse("garble:shard=1").is_some());
+        assert!(FaultSpec::parse("partial:shard=1").is_some());
+        assert!(FaultSpec::parse("explode:shard=1").is_none());
+        assert!(FaultSpec::parse("crash").is_none());
+        assert!(FaultSpec::parse("crash:worker=1").is_none()); // shard required
+        assert!(FaultSpec::parse("crash:shard=x").is_none());
+    }
+
+    #[test]
+    fn shard_header_round_trip() {
+        assert_eq!(parse_shard_header("#shard 7 2 128"), Some((7, 2, 128)));
+        assert_eq!(parse_shard_header("#shard 7 2"), None);
+        assert_eq!(parse_shard_header("#shard 7 2 128 9"), None);
+        assert_eq!(parse_shard_header("#run"), None);
+    }
+
+    #[test]
+    fn shard_source_boundaries_match_batch_semantics() {
+        let corpus = "# comment\n\
+                      {\"machines\":1}\n\
+                      \n\
+                      {\"machines\":2}\n\
+                      {\"machines\":3}\n";
+        let mut src = ShardSource::new(corpus.as_bytes());
+        let s0 = src.next_shard(2).unwrap().unwrap();
+        assert_eq!(s0.index, 0);
+        assert_eq!(s0.lines, vec!["{\"machines\":1}", "{\"machines\":2}"]);
+        assert_eq!(s0.line_nos, vec![2, 4]);
+        let s1 = src.next_shard(2).unwrap().unwrap();
+        assert_eq!(s1.index, 1);
+        assert_eq!(s1.line_nos, vec![5]);
+        assert!(src.next_shard(2).unwrap().is_none());
+        // Fingerprints depend only on the meaningful line text.
+        let mut src2 = ShardSource::new("{\"machines\":1}\n# x\n{\"machines\":2}\n".as_bytes());
+        let t0 = src2.next_shard(2).unwrap().unwrap();
+        assert_eq!(t0.fp, s0.fp);
+    }
+
+    #[test]
+    fn corpus_error_payload_round_trips() {
+        let cases = [
+            CorpusError::Json {
+                line: 9,
+                error: JsonError {
+                    at: 4,
+                    reason: "expected digit".into(),
+                },
+            },
+            CorpusError::Malformed {
+                line: 9,
+                reason: "machines must be ≥ 1".into(),
+            },
+            CorpusError::Io {
+                line: 9,
+                message: "pipe broke".into(),
+            },
+        ];
+        for e in cases {
+            let json = corpus_error_json(3, &e);
+            let back = corpus_error_from_json(&json, 9).unwrap();
+            assert_eq!(format!("{back}"), format!("{e}"));
+        }
+    }
+}

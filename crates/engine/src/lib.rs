@@ -63,6 +63,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
+pub mod dispatch;
 pub mod engine;
 pub mod families;
 pub mod json;
@@ -76,6 +78,8 @@ pub mod stream;
 pub use msrs_telemetry as telemetry;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
+pub use checkpoint::{CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
+pub use dispatch::{dispatch, run_worker, DispatchConfig, DispatchOutcome};
 pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};
 pub use families::{family, family_names, FamilySpec};
 pub use jsonl::LineDecoder;

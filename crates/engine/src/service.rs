@@ -1,5 +1,5 @@
 //! `msrs serve`: a concurrent JSONL-over-TCP front end on the
-//! [`ServiceCore`](crate::stream::ServiceCore) data plane.
+//! [`ServiceCore`] data plane.
 //!
 //! Wire protocol (one JSON value per line, strictly ordered per
 //! connection — the N-th response line answers the N-th request line):
@@ -16,6 +16,16 @@
 //!   it: `{"error":"overloaded","max_inflight":N}`. Sent when
 //!   `--max-inflight` requests are already being solved across all
 //!   sessions. The slot is not consumed; the client may retry.
+//! * **idle_timeout** — the session sat idle past `--idle-timeout-ms`:
+//!   `{"error":"idle_timeout","idle_ms":D}` is written and the session
+//!   closes instead of holding its thread forever.
+//! * **session_limit** — the session served `--max-requests-per-session`
+//!   requests: `{"error":"session_limit","max_requests":N}` is written
+//!   and the session closes (load-balancer-friendly connection churn).
+//!
+//! A peer that disconnects mid-write (`EPIPE`/connection reset) ends its
+//! session cleanly — counted in `msrs_serve_disconnects_total`, never a
+//! session-thread error.
 //!
 //! Control lines start with `#` (comments in batch corpora):
 //!
@@ -66,6 +76,12 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Serve the telemetry snapshot over HTTP on this address when set.
     pub metrics_addr: Option<String>,
+    /// Close a session (with an `idle_timeout` error line) after this
+    /// long without receiving a request; `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Close a session (with a `session_limit` error line) after it has
+    /// served this many requests; `0` means unlimited.
+    pub max_requests_per_session: usize,
 }
 
 /// Totals of one server lifetime, returned by [`ServerHandle::wait`].
@@ -85,6 +101,8 @@ pub struct ServeSummary {
 struct ServerShared {
     engine: Engine,
     max_inflight: usize,
+    idle_timeout: Option<Duration>,
+    max_requests_per_session: usize,
     shutdown: AtomicBool,
     /// Admitted-but-unanswered requests across all sessions. The
     /// admission CAS runs against this; the `serve_inflight` gauge
@@ -215,6 +233,8 @@ pub fn serve(engine: Engine, addr: &str, config: ServeConfig) -> io::Result<Serv
     let shared = Arc::new(ServerShared {
         engine,
         max_inflight: config.max_inflight,
+        idle_timeout: config.idle_timeout,
+        max_requests_per_session: config.max_requests_per_session,
         shutdown: AtomicBool::new(false),
         inflight: AtomicUsize::new(0),
         sessions: Mutex::new(Vec::new()),
@@ -322,18 +342,56 @@ fn count_deadline_hit(report: &SolveReport) {
     }
 }
 
+/// Runs one session and absorbs peer disconnects: a client that hangs up
+/// mid-conversation (`EPIPE`, connection reset) is a clean session end,
+/// counted in `msrs_serve_disconnects_total` — never an error bubbling out
+/// of the session thread.
 fn session_loop(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+    match session_conversation(stream, shared) {
+        Err(e) if crate::dispatch::is_disconnect(&e) => {
+            registry().serve_disconnects_total.inc();
+            Ok(())
+        }
+        other => other,
+    }
+}
+
+/// `SO_RCVTIMEO` expiry surfaces as `WouldBlock` on Unix and `TimedOut`
+/// on Windows.
+fn is_idle_expiry(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn session_conversation(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    let reader_stream = stream.try_clone()?;
+    reader_stream.set_read_timeout(shared.idle_timeout)?;
+    let mut reader = BufReader::new(reader_stream);
     let mut out = stream;
     let mut core = ServiceCore::new();
     core.begin(1);
     let mut line_buf = String::new();
     let mut line_no = 0usize;
+    let mut served_requests = 0usize;
     loop {
         line_buf.clear();
         line_no += 1;
-        if reader.read_line(&mut line_buf)? == 0 {
-            break;
+        match reader.read_line(&mut line_buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if is_idle_expiry(&e) => {
+                registry().serve_idle_closes_total.inc();
+                let idle_ms = shared
+                    .idle_timeout
+                    .map(|d| d.as_millis() as i128)
+                    .unwrap_or(0);
+                write_error_line(&mut out, "idle_timeout", &[("idle_ms", Json::Num(idle_ms))])?;
+                out.flush()?;
+                break;
+            }
+            Err(e) => return Err(e),
         }
         let line = line_buf.trim();
         if line.is_empty() {
@@ -394,8 +452,24 @@ fn session_loop(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()>
         served?;
         if admitted {
             shared.requests_total.fetch_add(1, Ordering::SeqCst);
+            served_requests += 1;
         }
         out.flush()?;
+        if shared.max_requests_per_session != 0
+            && served_requests >= shared.max_requests_per_session
+        {
+            registry().serve_limit_closes_total.inc();
+            write_error_line(
+                &mut out,
+                "session_limit",
+                &[(
+                    "max_requests",
+                    Json::Num(shared.max_requests_per_session as i128),
+                )],
+            )?;
+            out.flush()?;
+            break;
+        }
     }
     Ok(())
 }

@@ -14,7 +14,12 @@
 //! * **observability** — `#stats` answers with one parseable JSON
 //!   snapshot line, the HTTP metrics listener serves Prometheus and JSON
 //!   renderings, parse errors are answered in-line without ending the
-//!   session, and unknown `#` control lines are ignored.
+//!   session, and unknown `#` control lines are ignored;
+//! * **session hygiene** — an idle session is closed with a structured
+//!   `idle_timeout` line after `--idle-timeout-ms`, a session that served
+//!   `--max-requests-per-session` requests is closed with a
+//!   `session_limit` line, and a peer that hangs up mid-conversation ends
+//!   its session cleanly (counted, never a session-thread error).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -224,7 +229,7 @@ fn overloaded_sheds_above_max_inflight() {
         "127.0.0.1:0",
         ServeConfig {
             max_inflight: 1,
-            metrics_addr: None,
+            ..ServeConfig::default()
         },
     )
     .expect("server binds");
@@ -327,8 +332,8 @@ fn stats_errors_and_control_lines() {
         engine(1, 1024),
         "127.0.0.1:0",
         ServeConfig {
-            max_inflight: 0,
             metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServeConfig::default()
         },
     )
     .expect("server binds");
@@ -399,4 +404,163 @@ fn stats_errors_and_control_lines() {
     assert_eq!(summary.requests, 2, "two well-formed requests answered");
     assert_eq!(summary.errors, 1, "one parse error answered in-line");
     assert_eq!(summary.sheds, 0);
+}
+
+/// A session that goes quiet past the idle timeout is told why and
+/// closed; a session that keeps talking is not.
+#[test]
+fn idle_timeout_closes_session_with_structured_line() {
+    let _guard = serialized();
+    let idle_before = telemetry::registry().serve_idle_closes_total.get();
+    let handle = serve(
+        engine(1, 0),
+        "127.0.0.1:0",
+        ServeConfig {
+            idle_timeout: Some(Duration::from_millis(250)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+    let mut client = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+    // Activity resets nothing server-side — the timeout bounds the *gap*
+    // between reads, so a served request first proves the session works.
+    client
+        .write_all(format!("{}\n", tiny_line("warm")).as_bytes())
+        .expect("write");
+    client.flush().expect("flush");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read report");
+    let report = Json::parse(resp.trim()).expect("report parses");
+    assert_eq!(report.get("id").and_then(Json::as_str), Some("warm"));
+
+    // Now go idle: the server speaks first, then hangs up.
+    let mut idle = String::new();
+    reader.read_line(&mut idle).expect("read idle line");
+    let idle = Json::parse(idle.trim()).expect("idle line parses");
+    assert_eq!(
+        idle.get("error").and_then(Json::as_str),
+        Some("idle_timeout")
+    );
+    assert!(matches!(idle.get("idle_ms"), Some(Json::Num(250))));
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("read EOF"), 0);
+    assert_eq!(
+        telemetry::registry().serve_idle_closes_total.get(),
+        idle_before + 1
+    );
+
+    handle.begin_shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 1);
+    assert_eq!(summary.requests, 1);
+}
+
+/// After `max_requests_per_session` served requests the session is closed
+/// with a `session_limit` line; excess pipelined requests go unanswered.
+#[test]
+fn session_limit_closes_after_max_requests() {
+    let _guard = serialized();
+    let limit_before = telemetry::registry().serve_limit_closes_total.get();
+    let handle = serve(
+        engine(1, 0),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_requests_per_session: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+    let mut client = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+    for i in 0..3 {
+        client
+            .write_all(format!("{}\n", tiny_line(&format!("r{i}"))).as_bytes())
+            .expect("write");
+    }
+    client.flush().expect("flush");
+
+    for i in 0..2 {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read report");
+        let report = Json::parse(resp.trim()).expect("report parses");
+        assert_eq!(
+            report.get("id").and_then(Json::as_str),
+            Some(format!("r{i}").as_str())
+        );
+    }
+    let mut limit = String::new();
+    reader.read_line(&mut limit).expect("read limit line");
+    let limit = Json::parse(limit.trim()).expect("limit line parses");
+    assert_eq!(
+        limit.get("error").and_then(Json::as_str),
+        Some("session_limit")
+    );
+    assert!(matches!(limit.get("max_requests"), Some(Json::Num(2))));
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).expect("read EOF"),
+        0,
+        "the third pipelined request is never answered"
+    );
+    assert_eq!(
+        telemetry::registry().serve_limit_closes_total.get(),
+        limit_before + 1
+    );
+
+    handle.begin_shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 1);
+    assert_eq!(summary.requests, 2, "exactly the session limit");
+}
+
+/// A peer that pipelines requests and hangs up without reading ends its
+/// session as a counted disconnect — the server keeps running and serves
+/// the next client normally.
+#[test]
+fn peer_disconnect_ends_session_cleanly() {
+    let _guard = serialized();
+    let disconnects_before = telemetry::registry().serve_disconnects_total.get();
+    let handle = serve(engine(1, 0), "127.0.0.1:0", ServeConfig::default()).expect("server binds");
+    let addr = handle.local_addr();
+
+    // Pipeline a pile of requests, then vanish: responses written after
+    // the peer's RST fail with EPIPE/reset on the session's write path.
+    let mut rude = TcpStream::connect(addr).expect("connects");
+    for i in 0..64u64 {
+        let line =
+            jsonl::write_instance_line(Some(&format!("gone-{i}")), &msrs_gen::traffic(i, 3, 4));
+        rude.write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+    }
+    rude.flush().expect("flush");
+    drop(rude);
+
+    let t0 = Instant::now();
+    while telemetry::registry().serve_disconnects_total.get() == disconnects_before {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "disconnect was never counted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The server survived: a polite client is served normally.
+    let mut polite = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(polite.try_clone().expect("clone"));
+    polite
+        .write_all(format!("{}\n", tiny_line("after")).as_bytes())
+        .expect("write");
+    polite.flush().expect("flush");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read report");
+    let report = Json::parse(resp.trim()).expect("report parses");
+    assert_eq!(report.get("id").and_then(Json::as_str), Some("after"));
+
+    handle.begin_shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 2);
 }

@@ -583,6 +583,34 @@ pub struct Registry {
     /// Served requests whose report carried at least one `timed_out`
     /// solver run — the per-request deadline fired while serving.
     pub serve_deadline_hits_total: Counter,
+    /// Serve sessions closed because the peer went idle past the
+    /// configured `--idle-timeout-ms`.
+    pub serve_idle_closes_total: Counter,
+    /// Serve sessions closed after reaching `--max-requests-per-session`.
+    pub serve_limit_closes_total: Counter,
+    /// Serve sessions whose peer disconnected mid-write (`EPIPE` /
+    /// connection reset), ended cleanly instead of erroring.
+    pub serve_disconnects_total: Counter,
+    /// Worker child processes spawned by `msrs dispatch` (including
+    /// replacements after crashes).
+    pub dispatch_workers_spawned_total: Counter,
+    /// Worker failures observed by the dispatch coordinator: process
+    /// exit/EOF mid-shard, garbled output, missed heartbeats, or a
+    /// per-shard deadline overrun.
+    pub dispatch_worker_crashes_total: Counter,
+    /// Shard attempts re-queued after a worker failure (each retry after
+    /// the first attempt counts once).
+    pub dispatch_retries_total: Counter,
+    /// Shards quarantined after exhausting their retry budget; the run
+    /// degrades to a structured per-shard error record instead of
+    /// aborting.
+    pub dispatch_quarantines_total: Counter,
+    /// Shards whose reports were merged and journaled by the dispatch
+    /// coordinator (includes quarantined shards).
+    pub dispatch_shards_total: Counter,
+    /// Shards skipped on startup because a checkpoint journal already
+    /// recorded them as complete.
+    pub dispatch_shards_resumed_total: Counter,
     /// Live entries resident in the canonical-form cache.
     pub cache_entries: Gauge,
     /// Configured capacity of the most recently constructed cache.
@@ -621,6 +649,15 @@ impl Registry {
             serve_sessions_total: Counter::new(),
             serve_sheds_total: Counter::new(),
             serve_deadline_hits_total: Counter::new(),
+            serve_idle_closes_total: Counter::new(),
+            serve_limit_closes_total: Counter::new(),
+            serve_disconnects_total: Counter::new(),
+            dispatch_workers_spawned_total: Counter::new(),
+            dispatch_worker_crashes_total: Counter::new(),
+            dispatch_retries_total: Counter::new(),
+            dispatch_quarantines_total: Counter::new(),
+            dispatch_shards_total: Counter::new(),
+            dispatch_shards_resumed_total: Counter::new(),
             cache_entries: Gauge::new(),
             cache_capacity: Gauge::new(),
             pool_workers_alive: Gauge::new(),
@@ -637,7 +674,7 @@ impl Registry {
         &self.stages[stage as usize]
     }
 
-    fn counters(&self) -> [(&'static str, &Counter); 17] {
+    fn counters(&self) -> [(&'static str, &Counter); 26] {
         [
             ("msrs_requests_total", &self.requests_total),
             ("msrs_serve_fast_path_total", &self.serve_fast_path_total),
@@ -661,6 +698,36 @@ impl Registry {
             (
                 "msrs_serve_deadline_hits_total",
                 &self.serve_deadline_hits_total,
+            ),
+            (
+                "msrs_serve_idle_closes_total",
+                &self.serve_idle_closes_total,
+            ),
+            (
+                "msrs_serve_limit_closes_total",
+                &self.serve_limit_closes_total,
+            ),
+            (
+                "msrs_serve_disconnects_total",
+                &self.serve_disconnects_total,
+            ),
+            (
+                "msrs_dispatch_workers_spawned_total",
+                &self.dispatch_workers_spawned_total,
+            ),
+            (
+                "msrs_dispatch_worker_crashes_total",
+                &self.dispatch_worker_crashes_total,
+            ),
+            ("msrs_dispatch_retries_total", &self.dispatch_retries_total),
+            (
+                "msrs_dispatch_quarantines_total",
+                &self.dispatch_quarantines_total,
+            ),
+            ("msrs_dispatch_shards_total", &self.dispatch_shards_total),
+            (
+                "msrs_dispatch_shards_resumed_total",
+                &self.dispatch_shards_resumed_total,
             ),
         ]
     }
