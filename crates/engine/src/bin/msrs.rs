@@ -33,8 +33,8 @@ use msrs_engine::service::{self, ServeConfig};
 use msrs_engine::stream::{JsonlServer, DEFAULT_SHARD_SIZE};
 use msrs_engine::telemetry;
 use msrs_engine::{
-    family, family_names, jsonl, Engine, EngineConfig, SolveReport, SolveRequest, SolverKind,
-    DEFAULT_CACHE_CAPACITY,
+    family, family_names, jsonl, run_remote_worker, Engine, EngineConfig, RemoteHub,
+    RemoteWorkerConfig, SolveReport, SolveRequest, SolverKind, DEFAULT_CACHE_CAPACITY,
 };
 
 const USAGE: &str = "msrs — solver-portfolio engine for Scheduling with Many Shared Resources
@@ -48,10 +48,12 @@ SUBCOMMANDS:
     batch   Solve a JSONL corpus in parallel, emitting JSONL reports
     serve   Serve JSONL requests over TCP: concurrent sessions, admission
             control, per-request deadlines, live stats endpoint
-    dispatch Solve a JSONL corpus across worker child processes: health
-            monitoring, bounded retry, poison-shard quarantine, and an
-            fsync'd checkpoint journal for crash-tolerant resume
-    worker  The dispatch child-process loop (spawned by `dispatch`)
+    dispatch Solve a JSONL corpus across a worker fleet (child processes
+            and/or remote TCP workers): health monitoring, shard leases,
+            bounded retry, straggler hedging, poison-shard quarantine, and
+            an fsync'd checkpoint journal for crash-tolerant resume
+    worker  The dispatch worker loop (spawned by `dispatch`, or dialing a
+            remote coordinator with `--connect HOST:PORT`)
     stats   Pretty-print a telemetry snapshot written by `batch --metrics-out`
     bench   Compare the portfolio against each single solver on generated corpora
     help    Show this help
@@ -110,6 +112,9 @@ SERVE FLAGS:
     --max-requests-per-session <N> Close a session with a structured
                          `session_limit` error line after N served requests
                          (0 = unlimited)                         [default: 0]
+    --decode-threads <N> Decode bursts of pipelined request lines on N pool
+                         workers instead of inline (0/1 = inline; response
+                         order is preserved)                     [default: 1]
 
 DISPATCH FLAGS:
     --input <PATH|->     JSONL corpus (shard boundaries identical to `batch`)
@@ -117,7 +122,18 @@ DISPATCH FLAGS:
     --checkpoint <PATH>  Append-only fsync'd shard journal; if it exists the
                          run resumes after the last completed shard (the
                          corpus and engine config must be unchanged)
-    --workers <N>        Worker child processes                  [default: 2]
+    --workers <N>        Worker child processes (0 = remote-only fleet,
+                         requires --listen)                      [default: 2]
+    --worker-cmd <CMD>   Worker command prefix (whitespace-split) instead of
+                         the msrs binary itself; engine flags and
+                         --heartbeat-ms are appended
+    --listen <ADDR>      Also accept remote `msrs worker --connect` fleets
+                         on this TCP address (versioned handshake; engine
+                         config fingerprints must match)
+    --hedge-multiplier <X> Hedge a straggling shard once its runtime exceeds
+                         X × the trailing median shard time and a worker is
+                         idle (0 = hedging off)                  [default: 0]
+    --hedge-min-ms <D>   Floor for the hedging threshold         [default: 250]
     --shard-size <N>     Meaningful lines per shard              [default: 4096]
     --max-attempts <N>   Attempts per shard before quarantine    [default: 3]
     --retry-backoff-ms <D> Base retry backoff (doubles per failure)
@@ -138,6 +154,13 @@ DISPATCH FLAGS:
 
 WORKER FLAGS:
     --heartbeat-ms <D>   Heartbeat period on stdout              [default: 200]
+    --connect <ADDR>     Dial a remote coordinator (`msrs dispatch --listen`)
+                         instead of speaking stdin/stdout
+    --reconnect-ms <D>   Base reconnect backoff after a dropped coordinator
+                         connection (doubles per failure, bounded)
+                                                                 [default: 200]
+    --reconnect-max <N>  Consecutive failed connection attempts before the
+                         worker gives up                         [default: 8]
 
 STATS FLAGS:
     --input <PATH|->     A JSON telemetry snapshot (from `batch --metrics-out`)
@@ -198,24 +221,34 @@ fn main() -> ExitCode {
             "--quiet",
             "--idle-timeout-ms",
             "--max-requests-per-session",
+            "--decode-threads",
         ],
         "dispatch" => &[
             "--input",
             "--out",
             "--checkpoint",
             "--workers",
+            "--worker-cmd",
+            "--listen",
             "--shard-size",
             "--max-attempts",
             "--retry-backoff-ms",
             "--heartbeat-timeout-ms",
             "--shard-timeout-ms",
             "--stop-after-shards",
+            "--hedge-multiplier",
+            "--hedge-min-ms",
             "--heartbeat-ms",
             "--quiet",
             "--metrics-out",
             "--metrics-format",
         ],
-        "worker" => &["--heartbeat-ms"],
+        "worker" => &[
+            "--heartbeat-ms",
+            "--connect",
+            "--reconnect-ms",
+            "--reconnect-max",
+        ],
         "stats" => &["--input"],
         "bench" => &[
             "--families",
@@ -632,6 +665,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         metrics_addr: flags.get("--metrics-addr").map(String::from),
         idle_timeout,
         max_requests_per_session: flags.get_num("--max-requests-per-session", 0usize)?,
+        decode_threads: flags.get_num("--decode-threads", 1usize)?,
     };
     let handle =
         service::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -666,8 +700,19 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
         .get("--out")
         .ok_or("dispatch needs --out (reports must land in a real file)")?;
     let engine_cfg = engine_config_from_flags(flags)?;
-    let exe = std::env::current_exe().map_err(|e| format!("locating msrs binary: {e}"))?;
-    let mut worker_cmd = vec![exe.to_string_lossy().into_owned(), "worker".into()];
+    let mut worker_cmd = match flags.get("--worker-cmd") {
+        Some(cmd) => {
+            let parts: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+            if parts.is_empty() {
+                return Err("--worker-cmd must not be blank".into());
+            }
+            parts
+        }
+        None => {
+            let exe = std::env::current_exe().map_err(|e| format!("locating msrs binary: {e}"))?;
+            vec![exe.to_string_lossy().into_owned(), "worker".into()]
+        }
+    };
     for (flag, value) in &flags.pairs {
         let forwarded = ENGINE_FLAGS.contains(&flag.as_str()) || flag == "--heartbeat-ms";
         if forwarded {
@@ -677,9 +722,13 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
             }
         }
     }
+    let workers: usize = flags.get_num("--workers", 2usize)?;
+    if workers == 0 && !flags.has("--listen") {
+        return Err("--workers 0 needs --listen (a remote-only fleet)".into());
+    }
     let cfg = dispatch::DispatchConfig {
         worker_cmd,
-        workers: flags.get_num("--workers", 2usize)?,
+        workers,
         shard_size,
         max_attempts: flags.get_num("--max-attempts", 3u32)?,
         retry_backoff: Duration::from_millis(flags.get_num("--retry-backoff-ms", 50u64)?),
@@ -698,6 +747,8 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
                     .map_err(|_| format!("bad --stop-after-shards `{v}`"))?,
             ),
         },
+        hedge_multiplier: flags.get_num("--hedge-multiplier", 0.0f64)?,
+        hedge_min: Duration::from_millis(flags.get_num("--hedge-min-ms", 250u64)?),
         config_fp: engine_cfg.content_fingerprint(),
     };
     let metrics_format = match flags.get("--metrics-format") {
@@ -733,14 +784,25 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
             }
         });
     }
+    let hub = match flags.get("--listen") {
+        None => None,
+        Some(addr) => {
+            let hub = RemoteHub::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            if !flags.has("--quiet") {
+                eprintln!("dispatch: accepting remote workers on {}", hub.local_addr());
+            }
+            Some(hub)
+        }
+    };
     let input = open_input(flags)?;
     let checkpoint = flags.get("--checkpoint").map(std::path::PathBuf::from);
-    let outcome = dispatch::dispatch(
+    let outcome = dispatch::dispatch_fleet(
         input,
         std::path::Path::new(out_path),
         checkpoint.as_deref(),
         &cfg,
         Some(&shutdown),
+        hub,
     )
     .map_err(|e| format!("dispatch: {e}"))?;
     if let Some(path) = flags.get("--metrics-out") {
@@ -775,9 +837,29 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
             outcome.retries,
             outcome.quarantined.len(),
         );
-        for q in &outcome.quarantined {
+        if flags.has("--listen")
+            || outcome.lease_expiries > 0
+            || outcome.hedges_launched > 0
+            || outcome.stale_drops > 0
+        {
             eprintln!(
-                "quarantined: shard {} after {} attempt(s): {}",
+                "leases: {} remote worker(s) ({} reconnect(s)), {} lease expiry(ies), \
+                 hedges {} launched / {} won / {} wasted, {} stale attempt(s) dropped",
+                outcome.remote_workers,
+                outcome.reconnects,
+                outcome.lease_expiries,
+                outcome.hedges_launched,
+                outcome.hedges_won,
+                outcome.hedges_wasted,
+                outcome.stale_drops,
+            );
+        }
+        for q in &outcome.quarantined {
+            let worker = q
+                .worker
+                .map_or(String::new(), |w| format!(" (last worker {w})"));
+            eprintln!(
+                "quarantined: shard {} after {} attempt(s){worker}: {}",
                 q.shard, q.attempts, q.message
             );
         }
@@ -800,16 +882,35 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `msrs worker`: the dispatch child-process loop — reads shard
-/// assignments on stdin, emits reports, heartbeats, and `#done`/`#error`
-/// records on stdout. Spawned by `msrs dispatch`; runnable by hand for
-/// protocol debugging.
+/// `msrs worker`: the dispatch worker loop — shard assignments in,
+/// reports + heartbeats + `#done`/`#error` records out. Speaks
+/// stdin/stdout when spawned by `msrs dispatch`, or dials a remote
+/// coordinator with `--connect HOST:PORT` (versioned handshake, bounded
+/// reconnect backoff across coordinator restarts).
 fn cmd_worker(flags: &Flags) -> Result<(), String> {
-    let engine = engine_from_flags(flags)?;
+    let engine_cfg = engine_config_from_flags(flags)?;
+    let config_fp = engine_cfg.content_fingerprint();
+    let engine = Engine::new(engine_cfg);
     let hb: u64 = flags.get_num(
         "--heartbeat-ms",
         dispatch::DEFAULT_HEARTBEAT.as_millis() as u64,
     )?;
+    if let Some(addr) = flags.get("--connect") {
+        let defaults = RemoteWorkerConfig::default();
+        let cfg = RemoteWorkerConfig {
+            addr: addr.to_string(),
+            heartbeat: Duration::from_millis(hb.max(1)),
+            config_fp,
+            reconnect_base: Duration::from_millis(
+                flags
+                    .get_num("--reconnect-ms", defaults.reconnect_base.as_millis() as u64)?
+                    .max(1),
+            ),
+            reconnect_attempts: flags.get_num("--reconnect-max", defaults.reconnect_attempts)?,
+            ..defaults
+        };
+        return run_remote_worker(&engine, &cfg).map_err(|e| format!("worker: {e}"));
+    }
     let stdin = std::io::stdin();
     dispatch::run_worker(
         &engine,

@@ -1,16 +1,18 @@
 //! Crash-tolerant multi-process shard execution: the `msrs dispatch`
-//! coordinator and the `msrs worker` child-process loop.
+//! coordinator and the `msrs worker` loop, over pipes or TCP.
 //!
 //! The coordinator splits a JSONL corpus into deterministic shards (the
 //! same meaningful-line boundaries `msrs batch --shard-size N` uses),
-//! fans them out to a fleet of worker child processes over stdin/stdout
-//! pipes, and merges the report streams back in shard order — so the
-//! merged output is bit-identical to an uninterrupted single-process run
-//! modulo the documented `wall_micros`/`cache_hit` exceptions.
+//! fans them out to a fleet of workers — local child processes over
+//! stdin/stdout pipes and/or remote `msrs worker --connect` processes
+//! over TCP ([`crate::remote`]) — and merges the report streams back in
+//! shard order, so the merged output is bit-identical to an
+//! uninterrupted single-process run modulo the documented
+//! `wall_micros`/`cache_hit` exceptions.
 //!
 //! ## Wire protocol (coordinator ⇄ worker)
 //!
-//! Coordinator → worker (stdin):
+//! Coordinator → worker:
 //!
 //! ```text
 //! #shard <index> <attempt> <lines>     shard assignment header
@@ -19,51 +21,83 @@
 //! #shutdown                            exit cleanly (EOF works too)
 //! ```
 //!
-//! Worker → coordinator (stdout):
+//! Worker → coordinator:
 //!
 //! ```text
 //! {…report…}                           one JSONL report per admitted line
 //! #hb                                  heartbeat (periodic, from a side thread)
-//! #done {…shard stats…}                shard complete; stats for the merge
-//! #error {…corpus error…}              decode error after the prefix reports
+//! #done {"shard":…,"attempt":…,…}      shard complete; stats for the merge
+//! #error {"shard":…,"attempt":…,…}     decode error after the prefix reports
 //! ```
 //!
-//! A shard's buffered report lines are committed only when its `#done`
-//! arrives with a matching report count: torn, garbled, or duplicated
-//! output from a dying worker can never reach the merged stream.
+//! The protocol is transport-agnostic: remote workers speak exactly
+//! these lines after a versioned `#hello`/`#welcome` handshake
+//! ([`crate::remote`]).
+//!
+//! ## Leases and stale attempts
+//!
+//! Every shard assignment is a *lease* identified by a monotonically
+//! increasing per-shard attempt id: at most one attempt owns a shard's
+//! commit slot at a time, and a lapsed lease — worker disconnect,
+//! heartbeat silence, or shard deadline — returns the shard to the queue
+//! and bumps the attempt counter. A zombie worker (a remote worker whose
+//! lease was revoked but whose socket is still alive) may later deliver
+//! a `#done` for the stale attempt; the coordinator discards it (counted
+//! as a stale-attempt drop) and never commits it, so a shard's reports
+//! reach the merged stream exactly once. A shard's buffered report lines
+//! are committed only when its `#done` arrives with the matching shard
+//! index, attempt id, and report count: torn, garbled, duplicated, or
+//! stale output from a dying worker can never reach the merged stream.
+//!
+//! ## Straggler hedging
+//!
+//! With [`DispatchConfig::hedge_multiplier`] > 0, a shard whose attempt
+//! has run longer than `max(multiplier × trailing-median shard time,
+//! hedge_min)` while an idle worker exists is *hedged*: a speculative
+//! duplicate attempt is launched on the idle worker and whichever
+//! verified `#done` lands first commits; the loser is discarded as a
+//! stale attempt (counted hedge-wasted). Safe because reports are
+//! deterministic modulo `wall_micros`/`cache_hit`. Hedging is off by
+//! default (`hedge_multiplier = 0`).
 //!
 //! ## Robustness
 //!
 //! Per-worker health is monitored with heartbeats plus an optional
-//! per-shard wall-clock deadline; a worker that exits, goes silent, or
-//! emits garbage is killed and replaced, and its shard is retried with
+//! per-shard wall-clock deadline; a child worker that exits, goes
+//! silent, or emits garbage is killed and replaced, a remote worker is
+//! disconnected or lease-revoked, and the shard is retried with
 //! exponential backoff. After [`DispatchConfig::max_attempts`] failures a
 //! shard is *quarantined*: the run degrades gracefully, emitting one
-//! structured `shard_quarantined` error record in place of the shard's
-//! reports and continuing. Completed shards are journaled to an fsync'd
-//! append-only checkpoint ([`crate::checkpoint`]) keyed by corpus and
-//! configuration fingerprints, so a crashed or interrupted coordinator
-//! (SIGTERM included — the journal is crash-consistent by construction)
-//! resumes from the last completed shard. A `#shutdown` line on the
-//! coordinator's stdin (or [`DispatchConfig::stop_after_shards`]) drains
-//! gracefully: in-flight shards finish and are journaled, new ones are
-//! not assigned.
+//! structured `shard_quarantined` error record (naming the last failing
+//! worker ordinal) in place of the shard's reports and continuing.
+//! Completed shards are journaled to an fsync'd append-only checkpoint
+//! ([`crate::checkpoint`]) keyed by corpus and configuration
+//! fingerprints, so a crashed or interrupted coordinator resumes from
+//! the last completed shard — unchanged across transports. A `#shutdown`
+//! line on the coordinator's stdin (or
+//! [`DispatchConfig::stop_after_shards`]) drains gracefully.
 //!
 //! ## Fault injection (`MSRS_FAULT`)
 //!
 //! Workers honor a deterministic fault spec from the `MSRS_FAULT`
-//! environment variable: `<kind>:shard=<K>[,worker=<W>][,attempts=<N>]`
-//! with kinds `crash` (exit before solving), `hang` (suppress heartbeats
-//! and sleep), `garble` (emit a non-protocol line and exit), and
-//! `partial` (emit half a report line with no newline and exit). The
-//! fault fires when solving shard `K` while the attempt number is ≤ `N`
-//! (default 1), optionally only in the worker whose spawn ordinal
-//! (`MSRS_WORKER_INDEX`, set by the coordinator) is `W` — so tests and CI
-//! can script crashes that retries then survive deterministically.
+//! environment variable:
+//! `<kind>:shard=<K>[,worker=<W>][,attempts=<N>][,ms=<T>]` with kinds
+//! `crash` (exit before solving), `hang` (suppress heartbeats and
+//! sleep), `garble` (emit a non-protocol line and exit), `partial` (emit
+//! half a report line with no newline and exit), `disconnect` (drop the
+//! transport mid-assignment; a remote worker redials), `stall` (go
+//! silent for `ms` milliseconds, then finish the shard — producing a
+//! zombie whose late `#done` is a stale drop), `dup-done` (emit the
+//! `#done` line twice), and `slow` (sleep `ms` with heartbeats still
+//! flowing — a straggler for hedge tests). The fault fires when solving
+//! shard `K` while the attempt number is ≤ `N` (default 1), optionally
+//! only in the worker whose ordinal (`MSRS_WORKER_INDEX`, set by the
+//! coordinator) is `W`; `ms` defaults to 1000.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::net::{Shutdown, TcpStream};
 use std::path::Path;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,6 +111,7 @@ use msrs_telemetry::registry;
 use crate::checkpoint::{self, CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
 use crate::json::{Json, JsonError};
 use crate::jsonl::CorpusError;
+use crate::remote::{RemoteHub, REMOTE_PROTO_VERSION};
 use crate::stream::{ServiceCore, StreamStats};
 use crate::Engine;
 
@@ -86,9 +121,14 @@ pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(200);
 /// dead (≫ the heartbeat period).
 pub const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(3000);
 
-/// `EPIPE`/connection-reset classification shared by the worker and the
-/// serve session paths: a peer that went away mid-write is a clean end of
-/// conversation, not a crash.
+/// Committed attempt durations kept for the hedging median.
+const MEDIAN_WINDOW: usize = 64;
+/// Committed attempts required before hedging can trigger.
+const HEDGE_MIN_SAMPLES: usize = 3;
+
+/// `EPIPE`/connection-reset classification shared by the worker, remote,
+/// and serve session paths: a peer that went away mid-write is a clean
+/// end of conversation, not a crash.
 pub(crate) fn is_disconnect(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -108,6 +148,10 @@ enum FaultKind {
     Hang,
     Garble,
     Partial,
+    Disconnect,
+    Stall,
+    DupDone,
+    Slow,
 }
 
 /// Parsed `MSRS_FAULT` spec; see the module docs for the grammar.
@@ -117,6 +161,8 @@ struct FaultSpec {
     shard: usize,
     worker: Option<u64>,
     attempts: u32,
+    /// Duration parameter for `stall`/`slow`, in milliseconds.
+    ms: u64,
 }
 
 impl FaultSpec {
@@ -127,17 +173,23 @@ impl FaultSpec {
             "hang" => FaultKind::Hang,
             "garble" => FaultKind::Garble,
             "partial" => FaultKind::Partial,
+            "disconnect" => FaultKind::Disconnect,
+            "stall" => FaultKind::Stall,
+            "dup-done" => FaultKind::DupDone,
+            "slow" => FaultKind::Slow,
             _ => return None,
         };
         let mut shard = None;
         let mut worker = None;
         let mut attempts = 1u32;
+        let mut ms = 1000u64;
         for kv in params.split(',') {
             let (k, v) = kv.split_once('=')?;
             match k {
                 "shard" => shard = Some(v.parse().ok()?),
                 "worker" => worker = Some(v.parse().ok()?),
                 "attempts" => attempts = v.parse().ok()?,
+                "ms" => ms = v.parse().ok()?,
                 _ => return None,
             }
         }
@@ -146,6 +198,7 @@ impl FaultSpec {
             shard: shard?,
             worker,
             attempts,
+            ms,
         })
     }
 
@@ -159,7 +212,7 @@ impl FaultSpec {
     }
 
     /// Should the fault fire for this (shard, 1-based attempt) in the
-    /// worker with spawn ordinal `worker_index`?
+    /// worker with ordinal `worker_index`?
     fn fires(&self, shard: usize, attempt: u32, worker_index: Option<u64>) -> bool {
         self.shard == shard
             && attempt <= self.attempts
@@ -174,17 +227,48 @@ impl FaultSpec {
 // Worker side
 // ---------------------------------------------------------------------------
 
-/// Runs the worker half of the dispatch protocol until stdin closes or a
-/// `#shutdown` line arrives: reads shard assignments, solves them through
-/// a persistent [`ServiceCore`], and emits reports + `#done` stats (or a
-/// `#error` record after a decode error's prefix reports).
+/// Why a worker conversation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The coordinator sent `#shutdown`: the run is over, do not redial.
+    Shutdown,
+    /// The transport closed (EOF / reset): a remote worker may redial —
+    /// the coordinator may just have restarted.
+    Eof,
+}
+
+/// Runs the worker half of the dispatch protocol until the transport
+/// closes or a `#shutdown` line arrives: reads shard assignments, solves
+/// them through a persistent [`ServiceCore`], and emits reports + `#done`
+/// stats (or a `#error` record after a decode error's prefix reports).
 ///
 /// A broken pipe on `output` — the coordinator died — ends the worker
 /// cleanly (`Ok`), mirroring the serve sessions' disconnect handling.
-/// Injected faults (`MSRS_FAULT`) terminate the *process* via
+/// Injected faults (`MSRS_FAULT`) mostly terminate the *process* via
 /// [`std::process::exit`]; they exist for the crash-tolerance test suite
 /// and CI.
 pub fn run_worker<R, W>(engine: &Engine, input: R, output: W, heartbeat: Duration) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let worker_index = std::env::var("MSRS_WORKER_INDEX")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    run_worker_conn(engine, input, output, heartbeat, worker_index).map(|_| ())
+}
+
+/// Transport-generic worker conversation: one connected session over any
+/// `(BufRead, Write)` pair (a stdin/stdout pipe or a TCP stream). Reports
+/// how the session ended so [`crate::remote::run_remote_worker`] can
+/// decide whether to redial.
+pub(crate) fn run_worker_conn<R, W>(
+    engine: &Engine,
+    input: R,
+    output: W,
+    heartbeat: Duration,
+    worker_index: Option<u64>,
+) -> io::Result<WorkerExit>
 where
     R: BufRead,
     W: Write + Send + 'static,
@@ -198,11 +282,11 @@ where
         Arc::clone(&hb_enabled),
         heartbeat,
     );
-    let result = worker_loop(engine, input, &out, &hb_enabled);
+    let result = worker_loop(engine, input, &out, &hb_enabled, worker_index);
     stop.store(true, Ordering::Relaxed);
     let _ = hb_thread.join();
     match result {
-        Err(e) if is_disconnect(&e) => Ok(()),
+        Err(e) if is_disconnect(&e) => Ok(WorkerExit::Eof),
         other => other,
     }
 }
@@ -235,22 +319,20 @@ fn worker_loop<R: BufRead, W: Write + Send>(
     mut input: R,
     out: &Arc<Mutex<W>>,
     hb_enabled: &Arc<AtomicBool>,
-) -> io::Result<()> {
+    worker_index: Option<u64>,
+) -> io::Result<WorkerExit> {
     let fault = FaultSpec::from_env();
-    let worker_index = std::env::var("MSRS_WORKER_INDEX")
-        .ok()
-        .and_then(|v| v.parse().ok());
     let mut core = ServiceCore::new();
     let mut buf = String::new();
     let mut lines: Vec<String> = Vec::new();
     loop {
         buf.clear();
         if input.read_line(&mut buf)? == 0 {
-            return Ok(()); // coordinator closed our stdin: clean exit
+            return Ok(WorkerExit::Eof); // coordinator closed the transport
         }
         let header = buf.trim_end();
         if header == "#shutdown" {
-            return Ok(());
+            return Ok(WorkerExit::Shutdown);
         }
         let Some((shard, attempt, n)) = parse_shard_header(header) else {
             return Err(io::Error::new(
@@ -262,7 +344,7 @@ fn worker_loop<R: BufRead, W: Write + Send>(
         for _ in 0..n {
             buf.clear();
             if input.read_line(&mut buf)? == 0 {
-                return Ok(());
+                return Ok(WorkerExit::Eof);
             }
             lines.push(buf.trim_end().to_string());
         }
@@ -274,10 +356,23 @@ fn worker_loop<R: BufRead, W: Write + Send>(
                 "shard assignment not terminated by #run",
             ));
         }
+        let mut dup_done = false;
         if let Some(f) = fault.filter(|f| f.fires(shard, attempt, worker_index)) {
-            inject_fault(f.kind, out, hb_enabled);
+            match inject_fault(f, out, hb_enabled)? {
+                FaultOutcome::Normal => {}
+                FaultOutcome::DupDone => dup_done = true,
+            }
         }
-        solve_shard(engine, &mut core, shard, &lines, out)?;
+        solve_shard(
+            engine,
+            &mut core,
+            shard,
+            attempt,
+            worker_index,
+            &lines,
+            out,
+            dup_done,
+        )?;
     }
 }
 
@@ -295,11 +390,23 @@ fn parse_shard_header(line: &str) -> Option<(usize, u32, usize)> {
     Some((shard, attempt, n))
 }
 
-/// Applies an injected fault. All variants terminate the process except
-/// `hang`, which parks it (heartbeats off) until the coordinator's health
-/// monitor kills it.
-fn inject_fault<W: Write + Send>(kind: FaultKind, out: &Arc<Mutex<W>>, hb_enabled: &AtomicBool) {
-    match kind {
+/// What an injected fault asks the normal solve path to do afterwards.
+enum FaultOutcome {
+    Normal,
+    /// Emit the `#done` tail twice (duplicate-commit probe).
+    DupDone,
+}
+
+/// Applies an injected fault. `crash`/`garble`/`partial` terminate the
+/// process; `hang` parks it (heartbeats off) until the coordinator's
+/// health monitor kills it; `disconnect` raises a synthetic transport
+/// error; `stall`, `slow`, and `dup-done` return to the solve path.
+fn inject_fault<W: Write + Send>(
+    f: FaultSpec,
+    out: &Arc<Mutex<W>>,
+    hb_enabled: &AtomicBool,
+) -> io::Result<FaultOutcome> {
+    match f.kind {
         FaultKind::Crash => std::process::exit(101),
         FaultKind::Hang => {
             hb_enabled.store(false, Ordering::Relaxed);
@@ -319,15 +426,37 @@ fn inject_fault<W: Write + Send>(kind: FaultKind, out: &Arc<Mutex<W>>, hb_enable
             let _ = w.flush();
             std::process::exit(3);
         }
+        FaultKind::Disconnect => Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "injected disconnect",
+        )),
+        FaultKind::Stall => {
+            // Go fully silent long enough for the lease to lapse, then
+            // resume: the late #done exercises the stale-attempt drop.
+            hb_enabled.store(false, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(f.ms));
+            hb_enabled.store(true, Ordering::Relaxed);
+            Ok(FaultOutcome::Normal)
+        }
+        FaultKind::Slow => {
+            // Straggle with heartbeats still flowing: hedge bait.
+            std::thread::sleep(Duration::from_millis(f.ms));
+            Ok(FaultOutcome::Normal)
+        }
+        FaultKind::DupDone => Ok(FaultOutcome::DupDone),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_shard<W: Write + Send>(
     engine: &Engine,
     core: &mut ServiceCore,
     shard: usize,
+    attempt: u32,
+    worker_index: Option<u64>,
     lines: &[String],
     out: &Arc<Mutex<W>>,
+    dup_done: bool,
 ) -> io::Result<()> {
     let started = Instant::now();
     core.begin(lines.len().max(1));
@@ -346,31 +475,46 @@ fn solve_shard<W: Write + Send>(
     let outcome = core.finish(started, error);
     let tail = match &outcome.error {
         None => {
-            let mut obj = vec![("shard".into(), Json::Num(shard as i128))];
+            let mut obj = vec![
+                ("shard".into(), Json::Num(shard as i128)),
+                ("attempt".into(), Json::Num(attempt as i128)),
+            ];
             obj.extend(ShardStats::from_stream(&outcome.stats).to_json_fields());
             format!("#done {}", Json::Obj(obj))
         }
-        Some(e) => format!("#error {}", corpus_error_json(shard, e)),
+        Some(e) => format!(
+            "#error {}",
+            corpus_error_json(shard, attempt, worker_index, e)
+        ),
     };
     let mut w = out.lock().expect("worker output lock");
-    w.write_all(tail.as_bytes())?;
-    w.write_all(b"\n")?;
+    for _ in 0..if dup_done { 2 } else { 1 } {
+        w.write_all(tail.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
     w.flush()
 }
 
-fn corpus_error_json(shard: usize, e: &CorpusError) -> Json {
+fn corpus_error_json(shard: usize, attempt: u32, worker: Option<u64>, e: &CorpusError) -> Json {
     let (kind, line, at, reason) = match e {
         CorpusError::Json { line, error } => ("json", *line, error.at, error.reason.clone()),
         CorpusError::Malformed { line, reason } => ("malformed", *line, 0, reason.clone()),
         CorpusError::Io { line, message } => ("io", *line, 0, message.clone()),
     };
-    Json::Obj(vec![
+    let mut obj = vec![
         ("shard".into(), Json::Num(shard as i128)),
+        ("attempt".into(), Json::Num(attempt as i128)),
+    ];
+    if let Some(w) = worker {
+        obj.push(("worker".into(), Json::Num(w as i128)));
+    }
+    obj.extend([
         ("local_line".into(), Json::Num(line as i128)),
         ("kind".into(), Json::Str(kind.into())),
         ("at".into(), Json::Num(at as i128)),
         ("reason".into(), Json::Str(reason)),
-    ])
+    ]);
+    Json::Obj(obj)
 }
 
 fn corpus_error_from_json(v: &Json, global_line: usize) -> Option<CorpusError> {
@@ -402,10 +546,11 @@ fn corpus_error_from_json(v: &Json, global_line: usize) -> Option<CorpusError> {
 #[derive(Debug, Clone)]
 pub struct DispatchConfig {
     /// Worker argv: program plus arguments (typically the `msrs` binary
-    /// with the `worker` subcommand and the engine flags). Must be
-    /// non-empty.
+    /// with the `worker` subcommand and the engine flags). May be empty
+    /// only when `workers == 0` (remote-only fleet).
     pub worker_cmd: Vec<String>,
-    /// Worker processes to keep running.
+    /// Local child worker processes to keep running (remote workers join
+    /// on top of these).
     pub workers: usize,
     /// Meaningful corpus lines per shard (identical boundaries to
     /// `msrs batch --shard-size`).
@@ -421,8 +566,15 @@ pub struct DispatchConfig {
     /// Graceful stop after this many shards have been emitted (resume
     /// finishes the run) — deterministic mid-run interruption for tests.
     pub stop_after_shards: Option<usize>,
+    /// Straggler hedging threshold as a multiple of the trailing median
+    /// committed-attempt time; ≤ 0 disables hedging (the default).
+    pub hedge_multiplier: f64,
+    /// Floor for the hedging threshold, so tiny medians don't cause
+    /// hedge storms.
+    pub hedge_min: Duration,
     /// [`crate::EngineConfig::content_fingerprint`] of the engine
-    /// configuration the workers run — the checkpoint's run key.
+    /// configuration the workers run — the checkpoint's run key and the
+    /// remote handshake's compatibility check.
     pub config_fp: u64,
 }
 
@@ -437,6 +589,8 @@ impl Default for DispatchConfig {
             heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
             shard_timeout: None,
             stop_after_shards: None,
+            hedge_multiplier: 0.0,
+            hedge_min: Duration::from_millis(250),
             config_fp: 0,
         }
     }
@@ -449,6 +603,8 @@ pub struct QuarantinedShard {
     pub shard: usize,
     /// Attempts spent before giving up.
     pub attempts: u32,
+    /// Ordinal of the last worker that failed the shard, when known.
+    pub worker: Option<u64>,
     /// The last failure observed.
     pub message: String,
 }
@@ -467,6 +623,20 @@ pub struct DispatchOutcome {
     pub retries: u64,
     /// Worker processes spawned (initial fleet + replacements).
     pub workers_spawned: u64,
+    /// Remote TCP workers accepted over the run.
+    pub remote_workers: u64,
+    /// Remote workers that reported a prior session in their handshake.
+    pub reconnects: u64,
+    /// Leases revoked for heartbeat silence or shard deadline.
+    pub lease_expiries: u64,
+    /// Speculative duplicate attempts launched.
+    pub hedges_launched: u64,
+    /// Hedge attempts that won their race and committed.
+    pub hedges_won: u64,
+    /// Hedge attempts whose twin committed first.
+    pub hedges_wasted: u64,
+    /// Stale-attempt `#done`/`#error` lines discarded un-committed.
+    pub stale_drops: u64,
     /// Shards that exhausted their retry budget, in shard order.
     pub quarantined: Vec<QuarantinedShard>,
     /// True when the run stopped early (graceful drain) with a
@@ -565,47 +735,138 @@ fn fnv1a_64_continue(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Events a worker's stdout reader thread reports to the coordinator.
-enum Event {
+/// Events a worker's output reader thread reports to the coordinator.
+pub(crate) enum Event {
     /// A complete report line (without its newline).
     Report(String),
     /// `#hb`.
     Heartbeat,
     /// `#done` with parsed stats.
-    Done { shard: usize, stats: ShardStats },
+    Done {
+        shard: usize,
+        attempt: u32,
+        stats: ShardStats,
+    },
     /// `#error` with the parsed corpus-error payload.
     Error(Json),
     /// A line that is not part of the protocol (garbled output, torn
     /// trailing line at EOF).
     Garbage(String),
-    /// The worker's stdout closed.
+    /// The worker's output stream closed.
     Eof,
+}
+
+/// What the coordinator's event channel carries: worker protocol events
+/// plus remote workers that completed the handshake.
+pub(crate) enum Msg {
+    Worker(u64, Event),
+    RemoteJoined { stream: TcpStream, reconnects: u64 },
+}
+
+/// How a worker is attached to the coordinator.
+enum Transport {
+    Child {
+        child: Child,
+        stdin: Option<ChildStdin>,
+    },
+    Remote {
+        stream: TcpStream,
+    },
+}
+
+impl Transport {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self {
+            Transport::Child { stdin, .. } => match stdin.as_mut() {
+                Some(stdin) => stdin.write_all(bytes).and_then(|()| stdin.flush()),
+                None => Err(io::Error::new(io::ErrorKind::BrokenPipe, "stdin closed")),
+            },
+            Transport::Remote { stream } => stream.write_all(bytes).and_then(|()| stream.flush()),
+        }
+    }
+}
+
+/// A worker's lease state as the coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    Idle,
+    Busy,
+    /// A remote worker whose lease was revoked (heartbeat silence or
+    /// deadline) but whose socket is still open: anything it sends for
+    /// the stale attempt is discarded, and a `#done`/`#error` returns it
+    /// to `Idle`.
+    Zombie,
 }
 
 struct WorkerHandle {
     ordinal: u64,
-    child: Child,
-    stdin: Option<ChildStdin>,
+    transport: Transport,
     reader: Option<JoinHandle<()>>,
-    busy: bool,
+    state: WorkerState,
     last_output: Instant,
     shard_started: Instant,
 }
 
-/// A shard attempt currently assigned to a worker.
-struct Inflight {
-    shard: Shard,
-    /// Failed attempts before this one.
+impl WorkerHandle {
+    fn is_remote(&self) -> bool {
+        matches!(self.transport, Transport::Remote { .. })
+    }
+
+    /// Tears the worker down: kill + reap a child, shut a socket down,
+    /// and join the reader thread.
+    fn teardown(self) {
+        let WorkerHandle {
+            transport,
+            mut reader,
+            ..
+        } = self;
+        match transport {
+            Transport::Child { mut child, stdin } => {
+                drop(stdin);
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Transport::Remote { stream } => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(reader) = reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Per-shard lease bookkeeping: the attempt counter, live attempt count,
+/// and failure history. Lives in `tracks` from assignment until the
+/// shard commits or quarantines.
+struct ShardTrack {
+    shard: Arc<Shard>,
+    /// Failed attempts so far.
     failures: u32,
+    /// Next attempt id to hand out (1-based, monotonic — stale attempts
+    /// are recognized by comparing against this sequence).
+    next_attempt: u32,
+    /// Attempts currently running (2 while a hedge race is on).
+    active: u32,
+    /// The attempt id of the outstanding hedge, if one was launched.
+    hedge_attempt: Option<u32>,
+    last_failure: String,
+    last_worker: Option<u64>,
+}
+
+/// A shard attempt currently leased to a worker.
+struct Inflight {
+    index: usize,
+    attempt: u32,
     /// Buffered report bytes — committed only on a matching `#done`.
     reports: Vec<u8>,
     report_count: usize,
+    started: Instant,
 }
 
 /// A shard waiting for its retry backoff to elapse.
 struct Retry {
-    shard: Shard,
-    failures: u32,
+    index: usize,
     not_before: Instant,
 }
 
@@ -626,13 +887,26 @@ struct Coordinator<'a> {
     cfg: &'a DispatchConfig,
     workers: Vec<WorkerHandle>,
     inflight: HashMap<u64, Inflight>,
+    tracks: HashMap<usize, ShardTrack>,
+    /// Shards whose output is final (committed, errored, or
+    /// quarantined): late attempts for these are stale drops.
+    committed: HashSet<usize>,
     retries: Vec<Retry>,
     completed: BTreeMap<usize, Completed>,
-    tx: Sender<(u64, Event)>,
-    rx: Receiver<(u64, Event)>,
+    /// Trailing committed-attempt durations for the hedging median.
+    durations: VecDeque<Duration>,
+    tx: Sender<Msg>,
+    rx: Receiver<Msg>,
     next_ordinal: u64,
     spawned: u64,
     retry_count: u64,
+    remote_workers: u64,
+    reconnects: u64,
+    lease_expiries: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    hedge_wasted: u64,
+    stale_drops: u64,
     quarantined: Vec<QuarantinedShard>,
 }
 
@@ -643,13 +917,23 @@ impl<'a> Coordinator<'a> {
             cfg,
             workers: Vec::new(),
             inflight: HashMap::new(),
+            tracks: HashMap::new(),
+            committed: HashSet::new(),
             retries: Vec::new(),
             completed: BTreeMap::new(),
+            durations: VecDeque::new(),
             tx,
             rx,
             next_ordinal: 0,
             spawned: 0,
             retry_count: 0,
+            remote_workers: 0,
+            reconnects: 0,
+            lease_expiries: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_wasted: 0,
+            stale_drops: 0,
             quarantined: Vec::new(),
         }
     }
@@ -667,27 +951,83 @@ impl<'a> Coordinator<'a> {
         let stdin = child.stdin.take();
         let stdout = child.stdout.take().expect("piped child stdout");
         let tx = self.tx.clone();
-        let reader = std::thread::spawn(move || read_worker_stdout(ordinal, stdout, &tx));
+        let reader = std::thread::spawn(move || read_worker_lines(ordinal, stdout, &tx));
         registry().dispatch_workers_spawned_total.inc();
         self.spawned += 1;
         self.workers.push(WorkerHandle {
             ordinal,
-            child,
-            stdin,
+            transport: Transport::Child {
+                child,
+                stdin: Some(stdin.expect("piped child stdin")),
+            },
             reader: Some(reader),
-            busy: false,
+            state: WorkerState::Idle,
             last_output: Instant::now(),
             shard_started: Instant::now(),
         });
         Ok(())
     }
 
-    /// Sends a shard to the idle worker at `pos`. On a pipe failure the
-    /// worker is torn down and the shard goes through the normal
-    /// failure/retry path.
-    fn assign(&mut self, pos: usize, shard: Shard, failures: u32) {
-        let w = &mut self.workers[pos];
-        let attempt = failures + 1;
+    /// Accepts a remote worker that completed the handshake: sends the
+    /// `#welcome`, starts its reader thread, and parks it idle.
+    fn register_remote(&mut self, stream: TcpStream, reconnects: u64) {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let _ = stream.set_nodelay(true);
+        let mut stream = stream;
+        let welcome =
+            format!("#welcome {{\"proto\":{REMOTE_PROTO_VERSION},\"worker\":{ordinal}}}\n");
+        if stream.write_all(welcome.as_bytes()).is_err() {
+            return; // died between handshake and registration
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let tx = self.tx.clone();
+        let reader = std::thread::spawn(move || read_worker_lines(ordinal, read_half, &tx));
+        registry().dispatch_remote_workers_total.inc();
+        self.remote_workers += 1;
+        if reconnects > 0 {
+            registry().dispatch_reconnects_total.inc();
+            self.reconnects += 1;
+        }
+        self.workers.push(WorkerHandle {
+            ordinal,
+            transport: Transport::Remote { stream },
+            reader: Some(reader),
+            state: WorkerState::Idle,
+            last_output: Instant::now(),
+            shard_started: Instant::now(),
+        });
+    }
+
+    /// Starts tracking a fresh shard from the source; returns its index.
+    fn track(&mut self, shard: Shard) -> usize {
+        let index = shard.index;
+        self.tracks.insert(
+            index,
+            ShardTrack {
+                shard: Arc::new(shard),
+                failures: 0,
+                next_attempt: 1,
+                active: 0,
+                hedge_attempt: None,
+                last_failure: String::new(),
+                last_worker: None,
+            },
+        );
+        index
+    }
+
+    /// Leases the next attempt of shard `index` to the idle worker at
+    /// `pos`. On a transport failure the worker is torn down and the
+    /// attempt goes through the normal failure/retry path.
+    fn assign(&mut self, pos: usize, index: usize) {
+        let track = self.tracks.get_mut(&index).expect("assigning known shard");
+        let attempt = track.next_attempt;
+        track.next_attempt += 1;
+        track.active += 1;
+        let shard = Arc::clone(&track.shard);
         let mut payload =
             String::with_capacity(shard.lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
         payload.push_str(&format!(
@@ -701,23 +1041,20 @@ impl<'a> Coordinator<'a> {
             payload.push('\n');
         }
         payload.push_str("#run\n");
+        let w = &mut self.workers[pos];
         let ordinal = w.ordinal;
-        let sent = match w.stdin.as_mut() {
-            Some(stdin) => stdin
-                .write_all(payload.as_bytes())
-                .and_then(|()| stdin.flush()),
-            None => Err(io::Error::new(io::ErrorKind::BrokenPipe, "stdin closed")),
-        };
-        w.busy = true;
+        w.state = WorkerState::Busy;
         w.last_output = Instant::now();
         w.shard_started = Instant::now();
+        let sent = w.transport.send(payload.as_bytes());
         self.inflight.insert(
             ordinal,
             Inflight {
-                shard,
-                failures,
+                index,
+                attempt,
                 reports: Vec::new(),
                 report_count: 0,
+                started: Instant::now(),
             },
         );
         if let Err(e) = sent {
@@ -726,71 +1063,112 @@ impl<'a> Coordinator<'a> {
     }
 
     fn idle_worker(&self) -> Option<usize> {
-        self.workers.iter().position(|w| !w.busy)
+        self.workers
+            .iter()
+            .position(|w| w.state == WorkerState::Idle)
     }
 
-    /// Kills and removes a worker; if it was busy, its shard is retried
-    /// (with backoff) or quarantined.
+    /// Records a failed attempt of shard `index`. If a twin attempt is
+    /// still running (hedge race), the shard stays leased; otherwise it
+    /// is retried with backoff or quarantined. No-op when the shard
+    /// already committed (a hedge loser dying late).
+    fn fail_attempt(&mut self, index: usize, attempt: u32, ordinal: u64, reason: &str) {
+        let Some(track) = self.tracks.get_mut(&index) else {
+            return; // shard already committed/quarantined: nothing to redo
+        };
+        track.active = track.active.saturating_sub(1);
+        track.failures += 1;
+        track.last_failure = reason.to_string();
+        track.last_worker = Some(ordinal);
+        if track.hedge_attempt == Some(attempt) {
+            track.hedge_attempt = None;
+        }
+        if track.active > 0 {
+            return; // the surviving twin is the live retry
+        }
+        let failures = track.failures;
+        if failures >= self.cfg.max_attempts {
+            let track = self.tracks.remove(&index).expect("present above");
+            registry().dispatch_quarantines_total.inc();
+            self.quarantined.push(QuarantinedShard {
+                shard: index,
+                attempts: failures,
+                worker: track.last_worker,
+                message: track.last_failure.clone(),
+            });
+            let mut obj = vec![
+                ("error".into(), Json::Str("shard_quarantined".into())),
+                ("shard".into(), Json::Num(index as i128)),
+                ("attempts".into(), Json::Num(failures as i128)),
+                ("lines".into(), Json::Num(track.shard.lines.len() as i128)),
+            ];
+            if let Some(w) = track.last_worker {
+                obj.push(("worker".into(), Json::Num(w as i128)));
+            }
+            obj.push(("message".into(), Json::Str(track.last_failure.clone())));
+            let line = Json::Obj(obj);
+            self.committed.insert(index);
+            self.completed.insert(
+                index,
+                Completed {
+                    bytes: format!("{line}\n").into_bytes(),
+                    lines: track.shard.lines.len(),
+                    fp: track.shard.fp,
+                    attempts: failures,
+                    stats: ShardStats::default(),
+                    quarantined: true,
+                    error: None,
+                },
+            );
+        } else {
+            registry().dispatch_retries_total.inc();
+            self.retry_count += 1;
+            // Exponential backoff, capped at 2⁶× the base.
+            let factor = 1u32 << (failures - 1).min(6);
+            self.retries.push(Retry {
+                index,
+                not_before: Instant::now() + self.cfg.retry_backoff * factor,
+            });
+        }
+    }
+
+    /// Removes and tears down a worker; if it held a lease, the attempt
+    /// fails through [`Self::fail_attempt`].
     fn fail_worker(&mut self, ordinal: u64, reason: &str) {
         let Some(pos) = self.workers.iter().position(|w| w.ordinal == ordinal) else {
             return;
         };
-        let mut w = self.workers.remove(pos);
-        drop(w.stdin.take());
-        let _ = w.child.kill();
-        let _ = w.child.wait();
-        if let Some(reader) = w.reader.take() {
-            let _ = reader.join();
-        }
+        let w = self.workers.remove(pos);
+        w.teardown();
         registry().dispatch_worker_crashes_total.inc();
         if let Some(entry) = self.inflight.remove(&ordinal) {
-            let failures = entry.failures + 1;
-            if failures >= self.cfg.max_attempts {
-                registry().dispatch_quarantines_total.inc();
-                self.quarantined.push(QuarantinedShard {
-                    shard: entry.shard.index,
-                    attempts: failures,
-                    message: reason.to_string(),
-                });
-                let line = Json::Obj(vec![
-                    ("error".into(), Json::Str("shard_quarantined".into())),
-                    ("shard".into(), Json::Num(entry.shard.index as i128)),
-                    ("attempts".into(), Json::Num(failures as i128)),
-                    ("lines".into(), Json::Num(entry.shard.lines.len() as i128)),
-                    ("message".into(), Json::Str(reason.to_string())),
-                ]);
-                self.completed.insert(
-                    entry.shard.index,
-                    Completed {
-                        bytes: format!("{line}\n").into_bytes(),
-                        lines: entry.shard.lines.len(),
-                        fp: entry.shard.fp,
-                        attempts: failures,
-                        stats: ShardStats::default(),
-                        quarantined: true,
-                        error: None,
-                    },
-                );
-            } else {
-                registry().dispatch_retries_total.inc();
-                self.retry_count += 1;
-                // Exponential backoff, capped at 2⁶× the base.
-                let factor = 1u32 << (failures - 1).min(6);
-                self.retries.push(Retry {
-                    shard: entry.shard,
-                    failures,
-                    not_before: Instant::now() + self.cfg.retry_backoff * factor,
-                });
-            }
+            self.fail_attempt(entry.index, entry.attempt, ordinal, reason);
         }
     }
 
+    /// Revokes a remote worker's lease without dropping its socket: the
+    /// worker becomes a zombie whose stale output is discarded, and the
+    /// shard is requeued immediately.
+    fn revoke_lease(&mut self, pos: usize, reason: &str) {
+        let ordinal = self.workers[pos].ordinal;
+        self.workers[pos].state = WorkerState::Zombie;
+        if let Some(entry) = self.inflight.remove(&ordinal) {
+            self.fail_attempt(entry.index, entry.attempt, ordinal, reason);
+        }
+    }
+
+    fn stale_drop(&mut self) {
+        registry().dispatch_stale_drops_total.inc();
+        self.stale_drops += 1;
+    }
+
     /// The next `recv_timeout` bound: the soonest health deadline or
-    /// retry release, capped so shutdown flags are noticed promptly.
+    /// retry release, capped so shutdown flags and hedging checks happen
+    /// promptly.
     fn next_deadline(&self) -> Duration {
         let mut deadline = Duration::from_millis(100);
         let now = Instant::now();
-        for w in self.workers.iter().filter(|w| w.busy) {
+        for w in self.workers.iter().filter(|w| w.state == WorkerState::Busy) {
             let hb_left = self
                 .cfg
                 .heartbeat_timeout
@@ -806,18 +1184,21 @@ impl<'a> Coordinator<'a> {
         deadline.max(Duration::from_millis(1))
     }
 
-    /// Declares dead any busy worker past its silence or shard deadline.
+    /// Expires the lease of any busy worker past its silence or shard
+    /// deadline: child workers are killed and replaced, remote workers
+    /// are zombified (their socket may still wake up).
     fn enforce_deadlines(&mut self) {
         let now = Instant::now();
-        let late: Vec<(u64, String)> = self
+        let late: Vec<(u64, bool, String)> = self
             .workers
             .iter()
-            .filter(|w| w.busy)
+            .filter(|w| w.state == WorkerState::Busy)
             .filter_map(|w| {
                 let silent = now.duration_since(w.last_output);
                 if silent > self.cfg.heartbeat_timeout {
                     return Some((
                         w.ordinal,
+                        w.is_remote(),
                         format!("no output for {} ms", silent.as_millis()),
                     ));
                 }
@@ -826,6 +1207,7 @@ impl<'a> Coordinator<'a> {
                     if running > limit {
                         return Some((
                             w.ordinal,
+                            w.is_remote(),
                             format!("shard deadline exceeded ({} ms)", running.as_millis()),
                         ));
                     }
@@ -833,8 +1215,64 @@ impl<'a> Coordinator<'a> {
                 None
             })
             .collect();
-        for (ordinal, reason) in late {
-            self.fail_worker(ordinal, &reason);
+        for (ordinal, remote, reason) in late {
+            registry().dispatch_lease_expiries_total.inc();
+            self.lease_expiries += 1;
+            if remote {
+                if let Some(pos) = self.workers.iter().position(|w| w.ordinal == ordinal) {
+                    self.revoke_lease(pos, &reason);
+                }
+            } else {
+                self.fail_worker(ordinal, &reason);
+            }
+        }
+    }
+
+    /// Launches speculative duplicate attempts for stragglers while idle
+    /// workers exist. See the module docs for the trigger condition.
+    fn maybe_hedge(&mut self) {
+        if self.cfg.hedge_multiplier <= 0.0 || self.durations.len() < HEDGE_MIN_SAMPLES {
+            return;
+        }
+        let mut sorted: Vec<Duration> = self.durations.iter().copied().collect();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let threshold = median
+            .mul_f64(self.cfg.hedge_multiplier)
+            .max(self.cfg.hedge_min);
+        loop {
+            let Some(pos) = self.idle_worker() else {
+                return;
+            };
+            let now = Instant::now();
+            // The slowest eligible straggler: active solo attempt, past
+            // the threshold, not already hedged.
+            let candidate = self
+                .inflight
+                .values()
+                .filter(|inf| now.duration_since(inf.started) > threshold)
+                .filter(|inf| {
+                    self.tracks
+                        .get(&inf.index)
+                        .is_some_and(|t| t.active == 1 && t.hedge_attempt.is_none())
+                })
+                .min_by_key(|inf| inf.started)
+                .map(|inf| inf.index);
+            let Some(index) = candidate else {
+                return;
+            };
+            let track = self.tracks.get_mut(&index).expect("candidate is tracked");
+            track.hedge_attempt = Some(track.next_attempt);
+            registry().dispatch_hedges_total.inc();
+            self.hedges += 1;
+            self.assign(pos, index);
+        }
+    }
+
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Worker(ordinal, event) => self.handle_event(ordinal, event),
+            Msg::RemoteJoined { stream, reconnects } => self.register_remote(stream, reconnects),
         }
     }
 
@@ -845,75 +1283,25 @@ impl<'a> Coordinator<'a> {
         self.workers[pos].last_output = Instant::now();
         match event {
             Event::Heartbeat => {}
-            Event::Report(line) => match self.inflight.get_mut(&ordinal) {
-                Some(entry) => {
-                    entry.reports.extend_from_slice(line.as_bytes());
-                    entry.reports.push(b'\n');
-                    entry.report_count += 1;
+            Event::Report(line) => {
+                if self.workers[pos].state == WorkerState::Zombie {
+                    return; // stale attempt's reports: drop silently
                 }
-                None => self.fail_worker(ordinal, "report line from an idle worker"),
-            },
-            Event::Done { shard, stats } => {
-                let Some(entry) = self.inflight.get(&ordinal) else {
-                    self.fail_worker(ordinal, "#done from an idle worker");
-                    return;
-                };
-                if entry.shard.index != shard || entry.report_count as u64 != stats.instances {
-                    let reason = format!(
-                        "shard report mismatch (#done shard {shard} × assigned {}, {} report(s) × {} instance(s))",
-                        entry.shard.index, entry.report_count, stats.instances
-                    );
-                    self.fail_worker(ordinal, &reason);
-                    return;
+                match self.inflight.get_mut(&ordinal) {
+                    Some(entry) => {
+                        entry.reports.extend_from_slice(line.as_bytes());
+                        entry.reports.push(b'\n');
+                        entry.report_count += 1;
+                    }
+                    None => self.fail_worker(ordinal, "report line from an idle worker"),
                 }
-                let entry = self.inflight.remove(&ordinal).expect("checked above");
-                self.workers[pos].busy = false;
-                self.completed.insert(
-                    entry.shard.index,
-                    Completed {
-                        bytes: entry.reports,
-                        lines: entry.shard.lines.len(),
-                        fp: entry.shard.fp,
-                        attempts: entry.failures + 1,
-                        stats,
-                        quarantined: false,
-                        error: None,
-                    },
-                );
             }
-            Event::Error(payload) => {
-                let Some(entry) = self.inflight.remove(&ordinal) else {
-                    self.fail_worker(ordinal, "#error from an idle worker");
-                    return;
-                };
-                self.workers[pos].busy = false;
-                let local = payload
-                    .get("local_line")
-                    .and_then(Json::as_usize)
-                    .unwrap_or(1);
-                let global = entry
-                    .shard
-                    .line_nos
-                    .get(local.saturating_sub(1))
-                    .copied()
-                    .unwrap_or_else(|| entry.shard.line_nos.last().copied().unwrap_or(0));
-                let error = corpus_error_from_json(&payload, global).unwrap_or(CorpusError::Io {
-                    line: global,
-                    message: "worker reported an unparsable corpus error".into(),
-                });
-                self.completed.insert(
-                    entry.shard.index,
-                    Completed {
-                        bytes: entry.reports,
-                        lines: entry.shard.lines.len(),
-                        fp: entry.shard.fp,
-                        attempts: entry.failures + 1,
-                        stats: ShardStats::default(),
-                        quarantined: false,
-                        error: Some(error),
-                    },
-                );
-            }
+            Event::Done {
+                shard,
+                attempt,
+                stats,
+            } => self.handle_done(pos, ordinal, shard, attempt, stats),
+            Event::Error(payload) => self.handle_error(pos, ordinal, payload),
             Event::Garbage(line) => {
                 let reason = format!("garbled worker output: `{}`", truncate(&line, 120));
                 self.fail_worker(ordinal, &reason);
@@ -924,18 +1312,149 @@ impl<'a> Coordinator<'a> {
         }
     }
 
-    /// Tears the fleet down: close stdins (workers exit on EOF), then
-    /// kill anything still alive and reap it.
+    fn handle_done(
+        &mut self,
+        pos: usize,
+        ordinal: u64,
+        shard: usize,
+        attempt: u32,
+        stats: ShardStats,
+    ) {
+        if self.workers[pos].state == WorkerState::Zombie {
+            // The revoked lease's late #done: the worker is healthy
+            // again, but the attempt is stale.
+            self.stale_drop();
+            self.workers[pos].state = WorkerState::Idle;
+            return;
+        }
+        let Some(entry) = self.inflight.get(&ordinal) else {
+            if self.committed.contains(&shard) {
+                self.stale_drop(); // duplicate #done for a committed shard
+            } else {
+                self.fail_worker(ordinal, "#done from an idle worker");
+            }
+            return;
+        };
+        if entry.index != shard
+            || entry.attempt != attempt
+            || entry.report_count as u64 != stats.instances
+        {
+            let reason = format!(
+                "shard report mismatch (#done shard {shard} attempt {attempt} × leased {}/{}, \
+                 {} report(s) × {} instance(s))",
+                entry.index, entry.attempt, entry.report_count, stats.instances
+            );
+            self.fail_worker(ordinal, &reason);
+            return;
+        }
+        let entry = self.inflight.remove(&ordinal).expect("checked above");
+        self.workers[pos].state = WorkerState::Idle;
+        let Some(track) = self.tracks.remove(&shard) else {
+            // The hedge twin already committed this shard.
+            self.stale_drop();
+            registry().dispatch_hedge_wasted_total.inc();
+            self.hedge_wasted += 1;
+            return;
+        };
+        if track.hedge_attempt == Some(attempt) {
+            registry().dispatch_hedge_wins_total.inc();
+            self.hedge_wins += 1;
+        }
+        self.durations.push_back(entry.started.elapsed());
+        if self.durations.len() > MEDIAN_WINDOW {
+            self.durations.pop_front();
+        }
+        self.committed.insert(shard);
+        self.completed.insert(
+            shard,
+            Completed {
+                bytes: entry.reports,
+                lines: track.shard.lines.len(),
+                fp: track.shard.fp,
+                attempts: attempt,
+                stats,
+                quarantined: false,
+                error: None,
+            },
+        );
+    }
+
+    fn handle_error(&mut self, pos: usize, ordinal: u64, payload: Json) {
+        if self.workers[pos].state == WorkerState::Zombie {
+            self.stale_drop();
+            self.workers[pos].state = WorkerState::Idle;
+            return;
+        }
+        let Some(entry) = self.inflight.remove(&ordinal) else {
+            let shard = payload.get("shard").and_then(Json::as_usize);
+            if shard.is_some_and(|s| self.committed.contains(&s)) {
+                self.stale_drop();
+            } else {
+                self.fail_worker(ordinal, "#error from an idle worker");
+            }
+            return;
+        };
+        self.workers[pos].state = WorkerState::Idle;
+        let Some(track) = self.tracks.remove(&entry.index) else {
+            self.stale_drop();
+            registry().dispatch_hedge_wasted_total.inc();
+            self.hedge_wasted += 1;
+            return;
+        };
+        let local = payload
+            .get("local_line")
+            .and_then(Json::as_usize)
+            .unwrap_or(1);
+        let global = track
+            .shard
+            .line_nos
+            .get(local.saturating_sub(1))
+            .copied()
+            .unwrap_or_else(|| track.shard.line_nos.last().copied().unwrap_or(0));
+        let error = corpus_error_from_json(&payload, global).unwrap_or(CorpusError::Io {
+            line: global,
+            message: "worker reported an unparsable corpus error".into(),
+        });
+        self.committed.insert(entry.index);
+        self.completed.insert(
+            entry.index,
+            Completed {
+                bytes: entry.reports,
+                lines: track.shard.lines.len(),
+                fp: track.shard.fp,
+                attempts: entry.attempt,
+                stats: ShardStats::default(),
+                quarantined: false,
+                error: Some(error),
+            },
+        );
+    }
+
+    /// Any leased attempt for a still-tracked shard? (Stale leases held
+    /// by zombies don't count: their shard already committed.)
+    fn busy(&self) -> bool {
+        self.inflight
+            .values()
+            .any(|inf| self.tracks.contains_key(&inf.index))
+    }
+
+    /// Tears the fleet down: ask everyone to exit cleanly (EOF for
+    /// children, `#shutdown` for remotes so they don't redial), then
+    /// kill/close anything still attached and reap it.
     fn shutdown_fleet(&mut self) {
         for w in &mut self.workers {
-            drop(w.stdin.take());
-        }
-        for mut w in self.workers.drain(..) {
-            let _ = w.child.kill();
-            let _ = w.child.wait();
-            if let Some(reader) = w.reader.take() {
-                let _ = reader.join();
+            match &mut w.transport {
+                Transport::Child { stdin, .. } => {
+                    drop(stdin.take());
+                }
+                Transport::Remote { stream } => {
+                    let _ = stream.write_all(b"#shutdown\n");
+                    let _ = stream.flush();
+                }
             }
+        }
+        for w in self.workers.drain(..) {
+            w.teardown();
         }
     }
 }
@@ -947,10 +1466,11 @@ fn truncate(s: &str, max: usize) -> &str {
     }
 }
 
-/// Parses one worker stdout stream into [`Event`]s. A final line without
-/// its newline (a worker dying mid-write) is garbage, never a report.
-fn read_worker_stdout(ordinal: u64, stdout: std::process::ChildStdout, tx: &Sender<(u64, Event)>) {
-    let mut reader = BufReader::new(stdout);
+/// Parses one worker output stream (child stdout or socket read half)
+/// into [`Event`]s. A final line without its newline (a worker dying
+/// mid-write) is garbage, never a report.
+pub(crate) fn read_worker_lines<R: Read>(ordinal: u64, input: R, tx: &Sender<Msg>) {
+    let mut reader = BufReader::new(input);
     let mut buf = String::new();
     loop {
         buf.clear();
@@ -966,7 +1486,11 @@ fn read_worker_stdout(ordinal: u64, stdout: std::process::ChildStdout, tx: &Send
             Event::Heartbeat
         } else if let Some(payload) = line.strip_prefix("#done ") {
             match Json::parse(payload).ok().as_ref().and_then(parse_done) {
-                Some((shard, stats)) => Event::Done { shard, stats },
+                Some((shard, attempt, stats)) => Event::Done {
+                    shard,
+                    attempt,
+                    stats,
+                },
                 None => Event::Garbage(line.to_string()),
             }
         } else if let Some(payload) = line.strip_prefix("#error ") {
@@ -979,29 +1503,23 @@ fn read_worker_stdout(ordinal: u64, stdout: std::process::ChildStdout, tx: &Send
         } else {
             Event::Garbage(line.to_string())
         };
-        if tx.send((ordinal, event)).is_err() {
+        if tx.send(Msg::Worker(ordinal, event)).is_err() {
             return; // coordinator gone
         }
     }
-    let _ = tx.send((ordinal, Event::Eof));
+    let _ = tx.send(Msg::Worker(ordinal, Event::Eof));
 }
 
-fn parse_done(v: &Json) -> Option<(usize, ShardStats)> {
-    Some((v.get("shard")?.as_usize()?, ShardStats::from_json(v)?))
+fn parse_done(v: &Json) -> Option<(usize, u32, ShardStats)> {
+    Some((
+        v.get("shard")?.as_usize()?,
+        v.get("attempt")?.as_u64()? as u32,
+        ShardStats::from_json(v)?,
+    ))
 }
 
-/// The dispatch coordinator: shards `input`, fans the shards out to
-/// worker child processes, and merges their reports in shard order into
-/// the file at `out_path`. With `checkpoint_path`, completed shards are
-/// journaled durably and an existing journal resumes the run (validating
-/// that the corpus and configuration are unchanged). `shutdown` — when
-/// set by the caller, e.g. from a `#shutdown` stdin line — triggers a
-/// graceful drain.
-///
-/// Returns `Err` only for coordinator-level I/O and setup failures;
-/// corpus decode errors travel in [`DispatchOutcome::error`] exactly as
-/// in [`crate::stream::JsonlServer::serve`], after the reports preceding
-/// the error were written.
+/// The dispatch coordinator over a purely local child-process fleet; see
+/// [`dispatch_fleet`] for the mixed local/remote version this wraps.
 pub fn dispatch<R: BufRead>(
     input: R,
     out_path: &Path,
@@ -1009,16 +1527,46 @@ pub fn dispatch<R: BufRead>(
     cfg: &DispatchConfig,
     shutdown: Option<&AtomicBool>,
 ) -> io::Result<DispatchOutcome> {
-    if cfg.worker_cmd.is_empty() {
+    dispatch_fleet(input, out_path, checkpoint_path, cfg, shutdown, None)
+}
+
+/// The dispatch coordinator: shards `input`, fans the shards out to a
+/// fleet of local child workers and/or remote TCP workers accepted on
+/// `remote`, and merges their reports in shard order into the file at
+/// `out_path`. With `checkpoint_path`, completed shards are journaled
+/// durably and an existing journal resumes the run (validating that the
+/// corpus and configuration are unchanged) — identically across
+/// transports. `shutdown` — when set by the caller, e.g. from a
+/// `#shutdown` stdin line — triggers a graceful drain.
+///
+/// Returns `Err` only for coordinator-level I/O and setup failures;
+/// corpus decode errors travel in [`DispatchOutcome::error`] exactly as
+/// in [`crate::stream::JsonlServer::serve`], after the reports preceding
+/// the error were written.
+pub fn dispatch_fleet<R: BufRead>(
+    input: R,
+    out_path: &Path,
+    checkpoint_path: Option<&Path>,
+    cfg: &DispatchConfig,
+    shutdown: Option<&AtomicBool>,
+    remote: Option<RemoteHub>,
+) -> io::Result<DispatchOutcome> {
+    if cfg.worker_cmd.is_empty() && cfg.workers > 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            "dispatch needs a non-empty worker command",
+            "dispatch needs a non-empty worker command (or workers = 0 with --listen)",
         ));
     }
-    if cfg.workers == 0 || cfg.shard_size == 0 || cfg.max_attempts == 0 {
+    if cfg.workers == 0 && remote.is_none() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            "dispatch needs workers ≥ 1, shard_size ≥ 1, max_attempts ≥ 1",
+            "dispatch with zero local workers needs a remote listener",
+        ));
+    }
+    if cfg.shard_size == 0 || cfg.max_attempts == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "dispatch needs shard_size ≥ 1, max_attempts ≥ 1",
         ));
     }
     let started = Instant::now();
@@ -1033,6 +1581,12 @@ pub fn dispatch<R: BufRead>(
     let mut shards_resumed = 0usize;
     let mut outcome_error: Option<CorpusError> = None;
     let mut source_done = false;
+
+    // --- remote acceptor --------------------------------------------------
+    let hub_stop = Arc::new(AtomicBool::new(false));
+    let acceptor = remote.map(|hub| {
+        crate::remote::spawn_acceptor(hub, coord.tx.clone(), cfg.config_fp, Arc::clone(&hub_stop))
+    });
 
     // --- resume / journal setup -------------------------------------------
     let header = CheckpointHeader {
@@ -1081,6 +1635,7 @@ pub fn dispatch<R: BufRead>(
                         coord.quarantined.push(QuarantinedShard {
                             shard: rec.shard,
                             attempts: rec.attempts,
+                            worker: None,
                             message: "quarantined in a previous run".into(),
                         });
                     } else {
@@ -1144,15 +1699,43 @@ pub fn dispatch<R: BufRead>(
                     coord.spawn_worker()?;
                     coord.workers.len() - 1
                 }
-                None => break,
+                None => {
+                    // No runner yet (a remote-only fleet waiting for workers
+                    // to dial in). Probe the source once anyway so an already
+                    // exhausted corpus terminates instead of waiting for a
+                    // worker that will never come; at most one shard is read
+                    // ahead and parked in the retry queue until a worker
+                    // joins.
+                    if retry_pos.is_none() && have_source {
+                        match source.next_shard(cfg.shard_size) {
+                            Ok(Some(shard)) => {
+                                let index = coord.track(shard);
+                                coord.retries.push(Retry {
+                                    index,
+                                    not_before: now,
+                                });
+                            }
+                            Ok(None) => source_done = true,
+                            Err(e) => {
+                                error_shard = Some(source.next_index);
+                                outcome_error = Some(e);
+                                source_done = true;
+                            }
+                        }
+                    }
+                    break;
+                }
             };
             if let Some(rpos) = retry_pos {
                 let retry = coord.retries.remove(rpos);
-                coord.assign(pos, retry.shard, retry.failures);
+                coord.assign(pos, retry.index);
                 continue;
             }
             match source.next_shard(cfg.shard_size) {
-                Ok(Some(shard)) => coord.assign(pos, shard, 0),
+                Ok(Some(shard)) => {
+                    let index = coord.track(shard);
+                    coord.assign(pos, index);
+                }
                 Ok(None) => source_done = true,
                 Err(e) => {
                     // The corpus itself is unreadable: the stream ends at
@@ -1162,6 +1745,9 @@ pub fn dispatch<R: BufRead>(
                     source_done = true;
                 }
             }
+        }
+        if !interrupted && error_shard.is_none() {
+            coord.maybe_hedge();
         }
 
         // Emit the contiguous completed prefix.
@@ -1202,7 +1788,7 @@ pub fn dispatch<R: BufRead>(
         }
 
         // Termination: nothing running, nothing queued, nothing to come.
-        let busy = coord.workers.iter().any(|w| w.busy);
+        let busy = coord.busy();
         let retry_pending = !coord.retries.is_empty();
         if error_shard.is_some_and(|e| next_emit >= e) {
             break;
@@ -1221,11 +1807,11 @@ pub fn dispatch<R: BufRead>(
 
         // Wait for the next event or deadline.
         match coord.rx.recv_timeout(coord.next_deadline()) {
-            Ok((ordinal, event)) => {
-                coord.handle_event(ordinal, event);
+            Ok(msg) => {
+                coord.handle_msg(msg);
                 // Drain whatever else is already queued before looping.
-                while let Ok((ordinal, event)) = coord.rx.try_recv() {
-                    coord.handle_event(ordinal, event);
+                while let Ok(msg) = coord.rx.try_recv() {
+                    coord.handle_msg(msg);
                 }
             }
             Err(RecvTimeoutError::Timeout) => coord.enforce_deadlines(),
@@ -1234,7 +1820,11 @@ pub fn dispatch<R: BufRead>(
     }
 
     out.flush()?;
+    hub_stop.store(true, Ordering::Relaxed);
     coord.shutdown_fleet();
+    if let Some(acceptor) = acceptor {
+        let _ = acceptor.join();
+    }
     coord.quarantined.sort_by_key(|q| q.shard);
     merged.wall_micros = started.elapsed().as_micros() as u64;
     Ok(DispatchOutcome {
@@ -1243,6 +1833,13 @@ pub fn dispatch<R: BufRead>(
         shards_resumed,
         retries: coord.retry_count,
         workers_spawned: coord.spawned,
+        remote_workers: coord.remote_workers,
+        reconnects: coord.reconnects,
+        lease_expiries: coord.lease_expiries,
+        hedges_launched: coord.hedges,
+        hedges_won: coord.hedge_wins,
+        hedges_wasted: coord.hedge_wasted,
+        stale_drops: coord.stale_drops,
         quarantined: coord.quarantined,
         interrupted,
         error: outcome_error,
@@ -1268,12 +1865,22 @@ mod tests {
         assert!(!f.fires(0, 1, Some(1)));
         assert!(!f.fires(0, 1, None));
 
+        let f = FaultSpec::parse("stall:shard=1,ms=1500").unwrap();
+        assert_eq!(f.kind, FaultKind::Stall);
+        assert_eq!(f.ms, 1500);
+        let f = FaultSpec::parse("slow:shard=2").unwrap();
+        assert_eq!(f.kind, FaultKind::Slow);
+        assert_eq!(f.ms, 1000); // default duration
+
         assert!(FaultSpec::parse("garble:shard=1").is_some());
         assert!(FaultSpec::parse("partial:shard=1").is_some());
+        assert!(FaultSpec::parse("disconnect:shard=1").is_some());
+        assert!(FaultSpec::parse("dup-done:shard=1").is_some());
         assert!(FaultSpec::parse("explode:shard=1").is_none());
         assert!(FaultSpec::parse("crash").is_none());
         assert!(FaultSpec::parse("crash:worker=1").is_none()); // shard required
         assert!(FaultSpec::parse("crash:shard=x").is_none());
+        assert!(FaultSpec::parse("stall:shard=1,ms=x").is_none());
     }
 
     #[test]
@@ -1326,9 +1933,23 @@ mod tests {
             },
         ];
         for e in cases {
-            let json = corpus_error_json(3, &e);
+            let json = corpus_error_json(3, 2, Some(1), &e);
+            // The attribution fields ride along for the merged stream.
+            assert_eq!(json.get("attempt").and_then(Json::as_usize), Some(2));
+            assert_eq!(json.get("worker").and_then(Json::as_usize), Some(1));
             let back = corpus_error_from_json(&json, 9).unwrap();
             assert_eq!(format!("{back}"), format!("{e}"));
         }
+        // Worker ordinal is optional (e.g. a bare `msrs worker` run).
+        let json = corpus_error_json(
+            3,
+            1,
+            None,
+            &CorpusError::Malformed {
+                line: 1,
+                reason: "x".into(),
+            },
+        );
+        assert!(json.get("worker").is_none());
     }
 }

@@ -71,6 +71,7 @@ pub mod json;
 pub mod jsonl;
 pub mod portfolio;
 pub mod profile;
+pub mod remote;
 pub mod report;
 pub mod service;
 pub mod stream;
@@ -79,13 +80,16 @@ pub use msrs_telemetry as telemetry;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
 pub use checkpoint::{CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
-pub use dispatch::{dispatch, run_worker, DispatchConfig, DispatchOutcome};
+pub use dispatch::{
+    dispatch, dispatch_fleet, run_worker, DispatchConfig, DispatchOutcome, QuarantinedShard,
+};
 pub use engine::{Engine, EngineConfig, EptasPolicy, ExactPolicy, DEFAULT_CACHE_CAPACITY};
 pub use families::{family, family_names, FamilySpec};
 pub use jsonl::LineDecoder;
 pub use portfolio::{plan, Portfolio, SolverKind};
 pub use profile::{classify, InstanceProfile, SizeTier};
 pub use rayon::PoolStats;
+pub use remote::{run_remote_worker, RemoteHub, RemoteWorkerConfig, REMOTE_PROTO_VERSION};
 pub use report::{RunStatus, SolveReport, SolveRequest, SolverRun};
 pub use stream::{
     serve_jsonl, solve_stream, JsonlReader, JsonlServer, ServiceCore, StreamOutcome, StreamStats,

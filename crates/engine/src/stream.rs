@@ -647,7 +647,7 @@ const DECODE_UNIT_LINES: usize = 64;
 
 /// One worker-decoded line: the canonical fingerprint (when the serve
 /// cache was active at fan-out) and the materialized request.
-type DecodedLine = Result<(Option<u128>, SolveRequest), CorpusError>;
+pub(crate) type DecodedLine = Result<(Option<u128>, SolveRequest), CorpusError>;
 
 /// Decodes `shard.spans[lo..hi]` with thread-local decoder/scratch
 /// buffers (workers are persistent, so the buffers stay warm across
@@ -691,6 +691,81 @@ fn decode_range(shard: &RawShard, lo: usize, hi: usize, fingerprint: bool) -> Ve
         }
         out
     })
+}
+
+/// Like [`decode_range`], but an error does not stop the unit: serve
+/// sessions are conversations, so a malformed line gets an error
+/// response while the lines after it are still decoded and served.
+fn decode_range_lenient(
+    shard: &RawShard,
+    lo: usize,
+    hi: usize,
+    fingerprint: bool,
+) -> Vec<DecodedLine> {
+    thread_local! {
+        static DECODE_TLS: std::cell::RefCell<(LineDecoder, CanonicalScratch)> =
+            std::cell::RefCell::new((LineDecoder::new(), CanonicalScratch::default()));
+    }
+    DECODE_TLS.with(|tls| {
+        let (decoder, scratch) = &mut *tls.borrow_mut();
+        let mut out = Vec::with_capacity(hi - lo);
+        for &(line_no, start, end) in &shard.spans[lo..hi] {
+            let t0 = Instant::now();
+            match decoder.decode(line_no, &shard.text[start..end]) {
+                Ok(()) => {
+                    Stage::Decode.record_nanos(nanos(t0.elapsed()));
+                    let fp = if fingerprint {
+                        let t1 = Instant::now();
+                        let builder = decoder.builder();
+                        let fp = msrs_core::flat_fingerprint(
+                            builder.machines(),
+                            builder.sizes(),
+                            builder.offsets(),
+                            scratch,
+                        );
+                        Stage::Canonicalize.record_nanos(nanos(t1.elapsed()));
+                        Some(fp)
+                    } else {
+                        None
+                    };
+                    out.push(Ok((fp, decoder.build_request())));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        out
+    })
+}
+
+/// Decodes a burst of pipelined request lines on pool workers in
+/// deterministic fixed-size units: one result per input line, in input
+/// order, errors included ([`decode_range_lenient`]). Used by the serve
+/// sessions' `--decode-threads` path.
+pub(crate) fn decode_burst(
+    pool: &rayon::ThreadPool,
+    lines: &[(usize, &str)],
+    fingerprint: bool,
+) -> Vec<DecodedLine> {
+    let mut raw = RawShard::default();
+    for &(line_no, text) in lines {
+        let start = raw.text.len();
+        raw.text.push_str(text);
+        raw.spans.push((line_no, start, raw.text.len()));
+    }
+    let shard = Arc::new(raw);
+    let n = shard.spans.len();
+    let units: Vec<(usize, usize)> = (0..n)
+        .step_by(DECODE_UNIT_LINES)
+        .map(|lo| (lo, (lo + DECODE_UNIT_LINES).min(n)))
+        .collect();
+    let worker_shard = Arc::clone(&shard);
+    let decoded: Vec<Vec<DecodedLine>> = pool.install(|| {
+        units
+            .into_par_iter()
+            .map(move |(lo, hi)| decode_range_lenient(&worker_shard, lo, hi, fingerprint))
+            .collect()
+    });
+    decoded.into_iter().flatten().collect()
 }
 
 /// The JSONL **batch driver** over [`ServiceCore`]: reads a corpus from a

@@ -251,6 +251,10 @@ fn poison_shard_is_quarantined_and_the_run_degrades_gracefully() {
     assert_eq!(outcome.quarantined.len(), 1);
     assert_eq!(outcome.quarantined[0].shard, 1);
     assert_eq!(outcome.quarantined[0].attempts, 2);
+    assert!(
+        outcome.quarantined[0].worker.is_some(),
+        "the quarantine record attributes the failing worker"
+    );
     assert_eq!(outcome.shards_total, 5, "quarantined shards still count");
     assert_eq!(
         outcome.stats.instances, 14,
@@ -269,6 +273,10 @@ fn poison_shard_is_quarantined_and_the_run_degrades_gracefully() {
     assert!(matches!(record.get("shard"), Some(Json::Num(1))));
     assert!(matches!(record.get("attempts"), Some(Json::Num(2))));
     assert!(matches!(record.get("lines"), Some(Json::Num(4))));
+    assert!(
+        matches!(record.get("worker"), Some(Json::Num(_))),
+        "the structured record carries the failing worker's ordinal"
+    );
     let got = read_redacted(&out);
     assert_eq!(&got[..4], &reference[..4], "shard 0 is untouched");
     assert_eq!(&got[5..], &reference[8..], "shards 2..5 are untouched");

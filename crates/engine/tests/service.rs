@@ -517,6 +517,155 @@ fn session_limit_closes_after_max_requests() {
     assert_eq!(summary.requests, 2, "exactly the session limit");
 }
 
+/// With `--decode-threads`, pipelined sessions coalesce bursts and decode
+/// them in parallel — but responses still come back strictly in request
+/// order, bit-identical to the sequential batch run, with a mid-burst
+/// parse error answered in-line at its exact position.
+#[test]
+fn decode_threads_sessions_answer_in_order_with_interleaved_errors() {
+    let _guard = serialized();
+    let lines = corpus_lines();
+    let corpus_text = format!("{}\n", lines.join("\n"));
+    let mut ref_out = Vec::new();
+    JsonlServer::new()
+        .serve(&engine(1, 1024), corpus_text.as_bytes(), &mut ref_out, 64)
+        .expect("reference batch run");
+    let reference: Vec<String> = String::from_utf8(ref_out)
+        .expect("utf8 reports")
+        .lines()
+        .map(redacted)
+        .collect();
+
+    let handle = serve(
+        engine(1, 1024),
+        "127.0.0.1:0",
+        ServeConfig {
+            decode_threads: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+    const BAD_AT: usize = 5;
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let lines = lines.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connects");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                // Pipeline the whole conversation in one write so the
+                // session sees a multi-line burst, with a malformed line
+                // planted mid-burst.
+                let mut payload = String::new();
+                for (i, line) in lines.iter().enumerate() {
+                    if i == BAD_AT {
+                        payload.push_str("this is not json\n");
+                    }
+                    payload.push_str(line);
+                    payload.push('\n');
+                }
+                stream.write_all(payload.as_bytes()).expect("write burst");
+                stream.flush().expect("flush");
+                let mut got = Vec::new();
+                for _ in 0..=lines.len() {
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("read");
+                    got.push(resp.trim().to_string());
+                }
+                got
+            })
+        })
+        .collect();
+    let transcripts: Vec<Vec<String>> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client"))
+        .collect();
+    handle.begin_shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 2);
+    assert_eq!(summary.requests, 2 * lines.len() as u64);
+    assert_eq!(summary.errors, 2, "one planted parse error per session");
+    for (client, transcript) in transcripts.iter().enumerate() {
+        assert_eq!(transcript.len(), reference.len() + 1);
+        for (i, resp) in transcript.iter().enumerate() {
+            if i == BAD_AT {
+                let err = Json::parse(resp).expect("error line parses");
+                assert_eq!(
+                    err.get("error").and_then(Json::as_str),
+                    Some("parse"),
+                    "client {client}: the planted error answers in position"
+                );
+            } else {
+                let want = if i < BAD_AT {
+                    &reference[i]
+                } else {
+                    &reference[i - 1]
+                };
+                assert_eq!(
+                    &redacted(resp),
+                    want,
+                    "client {client} response {i} out of order"
+                );
+            }
+        }
+    }
+}
+
+/// A client that dies mid-request-line (torn write, no trailing newline)
+/// on the parallel-decode path ends its session cleanly: the torn prefix
+/// is answered as a parse error (or the dead peer's write fails as a
+/// counted disconnect), and the next client is served normally.
+#[test]
+fn client_dying_mid_request_line_is_a_clean_session_end() {
+    let _guard = serialized();
+    let handle = serve(
+        engine(1, 0),
+        "127.0.0.1:0",
+        ServeConfig {
+            decode_threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.local_addr();
+
+    let mut torn = TcpStream::connect(addr).expect("connects");
+    torn.write_all(format!("{}\n", tiny_line("whole")).as_bytes())
+        .expect("write whole line");
+    torn.write_all(br#"{"id":"torn","machines":2,"cla"#)
+        .expect("write torn prefix");
+    torn.flush().expect("flush");
+    drop(torn);
+
+    // The torn prefix is a parse error, never a served request; the
+    // session winds down without taking the server with it.
+    let t0 = Instant::now();
+    while telemetry::registry().serve_sessions_open.get() > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "torn session never closed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut polite = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(polite.try_clone().expect("clone"));
+    polite
+        .write_all(format!("{}\n", tiny_line("after")).as_bytes())
+        .expect("write");
+    polite.flush().expect("flush");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read report");
+    let report = Json::parse(resp.trim()).expect("report parses");
+    assert_eq!(report.get("id").and_then(Json::as_str), Some("after"));
+
+    handle.begin_shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sessions, 2);
+    assert_eq!(summary.requests, 2, "the whole lines were served");
+    assert_eq!(summary.errors, 1, "the torn prefix became a parse error");
+}
+
 /// A peer that pipelines requests and hangs up without reading ends its
 /// session as a counted disconnect — the server keeps running and serves
 /// the next client normally.

@@ -611,6 +611,29 @@ pub struct Registry {
     /// Shards skipped on startup because a checkpoint journal already
     /// recorded them as complete.
     pub dispatch_shards_resumed_total: Counter,
+    /// Remote TCP workers admitted by the dispatch coordinator after a
+    /// successful handshake (reconnects count again).
+    pub dispatch_remote_workers_total: Counter,
+    /// Remote worker handshakes refused (protocol version or engine
+    /// configuration fingerprint mismatch).
+    pub dispatch_handshake_rejects_total: Counter,
+    /// Remote workers that dialed back in after losing their connection
+    /// (the worker reports its reconnect in the handshake).
+    pub dispatch_reconnects_total: Counter,
+    /// Shard leases revoked because the owning attempt went silent past
+    /// the heartbeat timeout or overran its per-shard deadline.
+    pub dispatch_lease_expiries_total: Counter,
+    /// Speculative duplicate shard attempts launched against stragglers.
+    pub dispatch_hedges_total: Counter,
+    /// Hedged shards where the speculative attempt committed first.
+    pub dispatch_hedge_wins_total: Counter,
+    /// Completed shard attempts discarded because their twin committed
+    /// first (the losing half of a hedge, either direction).
+    pub dispatch_hedge_wasted_total: Counter,
+    /// `#done`/`#error` lines dropped because their lease had lapsed or
+    /// their shard was already committed (zombie workers, duplicate
+    /// `#done`s) — never merged into the output.
+    pub dispatch_stale_drops_total: Counter,
     /// Live entries resident in the canonical-form cache.
     pub cache_entries: Gauge,
     /// Configured capacity of the most recently constructed cache.
@@ -658,6 +681,14 @@ impl Registry {
             dispatch_quarantines_total: Counter::new(),
             dispatch_shards_total: Counter::new(),
             dispatch_shards_resumed_total: Counter::new(),
+            dispatch_remote_workers_total: Counter::new(),
+            dispatch_handshake_rejects_total: Counter::new(),
+            dispatch_reconnects_total: Counter::new(),
+            dispatch_lease_expiries_total: Counter::new(),
+            dispatch_hedges_total: Counter::new(),
+            dispatch_hedge_wins_total: Counter::new(),
+            dispatch_hedge_wasted_total: Counter::new(),
+            dispatch_stale_drops_total: Counter::new(),
             cache_entries: Gauge::new(),
             cache_capacity: Gauge::new(),
             pool_workers_alive: Gauge::new(),
@@ -674,7 +705,7 @@ impl Registry {
         &self.stages[stage as usize]
     }
 
-    fn counters(&self) -> [(&'static str, &Counter); 26] {
+    fn counters(&self) -> [(&'static str, &Counter); 34] {
         [
             ("msrs_requests_total", &self.requests_total),
             ("msrs_serve_fast_path_total", &self.serve_fast_path_total),
@@ -728,6 +759,35 @@ impl Registry {
             (
                 "msrs_dispatch_shards_resumed_total",
                 &self.dispatch_shards_resumed_total,
+            ),
+            (
+                "msrs_dispatch_remote_workers_total",
+                &self.dispatch_remote_workers_total,
+            ),
+            (
+                "msrs_dispatch_handshake_rejects_total",
+                &self.dispatch_handshake_rejects_total,
+            ),
+            (
+                "msrs_dispatch_reconnects_total",
+                &self.dispatch_reconnects_total,
+            ),
+            (
+                "msrs_dispatch_lease_expiries_total",
+                &self.dispatch_lease_expiries_total,
+            ),
+            ("msrs_dispatch_hedges_total", &self.dispatch_hedges_total),
+            (
+                "msrs_dispatch_hedge_wins_total",
+                &self.dispatch_hedge_wins_total,
+            ),
+            (
+                "msrs_dispatch_hedge_wasted_total",
+                &self.dispatch_hedge_wasted_total,
+            ),
+            (
+                "msrs_dispatch_stale_drops_total",
+                &self.dispatch_stale_drops_total,
             ),
         ]
     }
