@@ -95,6 +95,9 @@ BATCH FLAGS:
     --metrics-format <F> Snapshot format: json|prometheus        [default: json]
     --decode-threads <N> Decode shards on N pool workers instead of inline on
                          the reader thread (0/1 = inline)        [default: 1]
+    --cache-path <P>     Durable result-cache store: warm-load compatible
+                         records on start, persist fresh solves write-through
+                         (crash-safe append-only segment log)
 
 SERVE FLAGS:
     --addr <A>           JSONL listen address          [default: 127.0.0.1:7463]
@@ -115,6 +118,9 @@ SERVE FLAGS:
     --decode-threads <N> Decode bursts of pipelined request lines on N pool
                          workers instead of inline (0/1 = inline; response
                          order is preserved)                     [default: 1]
+    --cache-path <P>     Durable result-cache store: a restarted server
+                         answers previously served traffic from the fast
+                         path immediately (warm restart)
 
 DISPATCH FLAGS:
     --input <PATH|->     JSONL corpus (shard boundaries identical to `batch`)
@@ -148,6 +154,10 @@ DISPATCH FLAGS:
     --quiet              Suppress the run summary on stderr
     --metrics-out <P>    Write the end-of-run telemetry snapshot
     --metrics-format <F> Snapshot format: json|prometheus        [default: json]
+    --cache-path <P>     Durable fleet-shared result cache: the coordinator
+                         becomes the cache authority — workers probe it
+                         before solving (`#cacheq`) and share fresh solves
+                         back (`#cachefill`), all persisted crash-safe
                          A `#shutdown` line on stdin (file-input runs) also
                          drains gracefully; a killed coordinator resumes
                          from the checkpoint.
@@ -161,6 +171,8 @@ WORKER FLAGS:
                                                                  [default: 200]
     --reconnect-max <N>  Consecutive failed connection attempts before the
                          worker gives up                         [default: 8]
+    --decode-threads <N> Decode shard lines on N pool workers instead of
+                         inline (0/1 = inline)                   [default: 1]
 
 STATS FLAGS:
     --input <PATH|->     A JSON telemetry snapshot (from `batch --metrics-out`)
@@ -213,6 +225,7 @@ fn main() -> ExitCode {
             "--metrics-out",
             "--metrics-format",
             "--decode-threads",
+            "--cache-path",
         ],
         "serve" => &[
             "--addr",
@@ -222,6 +235,7 @@ fn main() -> ExitCode {
             "--idle-timeout-ms",
             "--max-requests-per-session",
             "--decode-threads",
+            "--cache-path",
         ],
         "dispatch" => &[
             "--input",
@@ -242,12 +256,14 @@ fn main() -> ExitCode {
             "--quiet",
             "--metrics-out",
             "--metrics-format",
+            "--cache-path",
         ],
         "worker" => &[
             "--heartbeat-ms",
             "--connect",
             "--reconnect-ms",
             "--reconnect-max",
+            "--decode-threads",
         ],
         "stats" => &["--input"],
         "bench" => &[
@@ -371,6 +387,34 @@ impl Flags {
 
 fn engine_from_flags(flags: &Flags) -> Result<Engine, String> {
     engine_config_from_flags(flags).map(Engine::new)
+}
+
+/// Wires `--cache-path` (when given) into the engine: warm-loads every
+/// compatible record into the in-memory cache and starts write-through
+/// persistence. A store written under a different engine configuration
+/// is a hard error, not a silent cold start.
+fn attach_cache_path(flags: &Flags, engine: &Engine) -> Result<(), String> {
+    let Some(path) = flags.get("--cache-path") else {
+        return Ok(());
+    };
+    let stats = engine
+        .attach_cache_store(std::path::Path::new(path))
+        .map_err(|e| format!("opening cache store {path}: {e}"))?;
+    if !flags.has("--quiet") {
+        let quarantine = if stats.segments_quarantined > 0 {
+            format!(
+                ", {} segment(s) quarantined ({} corrupt record(s))",
+                stats.segments_quarantined, stats.errors
+            )
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "cache store: {} report(s) warm-loaded from {path}{quarantine}",
+            stats.loaded
+        );
+    }
+    Ok(())
 }
 
 fn engine_config_from_flags(flags: &Flags) -> Result<EngineConfig, String> {
@@ -544,6 +588,7 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
         return Err("--shard-size must be ≥ 1".into());
     }
     let engine = engine_from_flags(flags)?;
+    attach_cache_path(flags, &engine)?;
     let input = open_input(flags)?;
     let stdout = std::io::stdout();
     let mut out: Box<dyn Write> = match flags.get("--out") {
@@ -655,6 +700,7 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
 /// flush before the listener exits) or the process is killed.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let engine = engine_from_flags(flags)?;
+    attach_cache_path(flags, &engine)?;
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:7463");
     let idle_timeout = match flags.get_num("--idle-timeout-ms", 0u64)? {
         0 => None,
@@ -750,6 +796,7 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
         hedge_multiplier: flags.get_num("--hedge-multiplier", 0.0f64)?,
         hedge_min: Duration::from_millis(flags.get_num("--hedge-min-ms", 250u64)?),
         config_fp: engine_cfg.content_fingerprint(),
+        cache_path: flags.get("--cache-path").map(std::path::PathBuf::from),
     };
     let metrics_format = match flags.get("--metrics-format") {
         None | Some("json") => "json",
@@ -854,6 +901,13 @@ fn cmd_dispatch(flags: &Flags) -> Result<(), String> {
                 outcome.stale_drops,
             );
         }
+        if flags.has("--cache-path") {
+            eprintln!(
+                "cache plane: {} probe(s) answered from the shared store, \
+                 {} stale fill(s) dropped",
+                outcome.fleet_cache_hits, outcome.stale_fills_dropped,
+            );
+        }
         for q in &outcome.quarantined {
             let worker = q
                 .worker
@@ -895,6 +949,7 @@ fn cmd_worker(flags: &Flags) -> Result<(), String> {
         "--heartbeat-ms",
         dispatch::DEFAULT_HEARTBEAT.as_millis() as u64,
     )?;
+    let decode_threads: usize = flags.get_num("--decode-threads", 1)?;
     if let Some(addr) = flags.get("--connect") {
         let defaults = RemoteWorkerConfig::default();
         let cfg = RemoteWorkerConfig {
@@ -907,6 +962,7 @@ fn cmd_worker(flags: &Flags) -> Result<(), String> {
                     .max(1),
             ),
             reconnect_attempts: flags.get_num("--reconnect-max", defaults.reconnect_attempts)?,
+            decode_threads,
             ..defaults
         };
         return run_remote_worker(&engine, &cfg).map_err(|e| format!("worker: {e}"));
@@ -917,6 +973,7 @@ fn cmd_worker(flags: &Flags) -> Result<(), String> {
         stdin.lock(),
         std::io::stdout(),
         Duration::from_millis(hb.max(1)),
+        decode_threads,
     )
     .map_err(|e| format!("worker: {e}"))
 }
@@ -956,6 +1013,65 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
                 _ => out!("  {name:<34} ?"),
             }
         }
+    }
+    // Dispatch/fleet summary: the operator-facing counter families from
+    // the coordinator (worker health, leases, hedging, cache plane),
+    // surfaced with labels instead of leaving them buried in the raw
+    // counter dump above.
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .map_or(0, |v| v.as_u64().unwrap_or(0))
+    };
+    let dispatch_active = [
+        "msrs_dispatch_shards_total",
+        "msrs_dispatch_workers_spawned_total",
+        "msrs_dispatch_remote_workers_total",
+        "msrs_cache_store_loads_total",
+        "msrs_cache_store_flushes_total",
+    ]
+    .iter()
+    .any(|name| counter(name) > 0);
+    if dispatch_active {
+        out!("dispatch/fleet:");
+        out!(
+            "  shards: {} emitted ({} resumed from checkpoint), {} retry(ies), \
+             {} quarantined",
+            counter("msrs_dispatch_shards_total"),
+            counter("msrs_dispatch_shards_resumed_total"),
+            counter("msrs_dispatch_retries_total"),
+            counter("msrs_dispatch_quarantines_total"),
+        );
+        out!(
+            "  workers: {} spawned, {} crash(es), {} remote ({} reconnect(s), \
+             {} handshake reject(s))",
+            counter("msrs_dispatch_workers_spawned_total"),
+            counter("msrs_dispatch_worker_crashes_total"),
+            counter("msrs_dispatch_remote_workers_total"),
+            counter("msrs_dispatch_reconnects_total"),
+            counter("msrs_dispatch_handshake_rejects_total"),
+        );
+        out!(
+            "  leases: {} expiry(ies), {} stale attempt(s) dropped; hedges \
+             {} launched / {} won / {} wasted",
+            counter("msrs_dispatch_lease_expiries_total"),
+            counter("msrs_dispatch_stale_drops_total"),
+            counter("msrs_dispatch_hedges_total"),
+            counter("msrs_dispatch_hedge_wins_total"),
+            counter("msrs_dispatch_hedge_wasted_total"),
+        );
+        out!(
+            "  cache plane: {} fleet hit(s), {} stale fill(s) dropped; store \
+             {} loaded / {} load error(s) / {} segment(s) quarantined / \
+             {} flush(es) / {} queue drop(s)",
+            counter("msrs_dispatch_fleet_cache_hits_total"),
+            counter("msrs_dispatch_stale_fills_dropped_total"),
+            counter("msrs_cache_store_loads_total"),
+            counter("msrs_cache_store_load_errors_total"),
+            counter("msrs_cache_store_segments_quarantined_total"),
+            counter("msrs_cache_store_flushes_total"),
+            counter("msrs_cache_store_queue_drops_total"),
+        );
     }
     let field = |o: &Json, key: &str| o.get(key).map_or(0, num);
     if let Some(stages) = doc.get("stages").and_then(Json::as_arr) {

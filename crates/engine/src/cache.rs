@@ -24,19 +24,28 @@
 //! telemetry snapshot covers every cache in the process. Lookups
 //! additionally record a `cache_lookup` stage span. None of this allocates.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use msrs_telemetry::{registry, Stage};
 use parking_lot::Mutex;
 
+use crate::cachestore::CacheStore;
 use crate::report::SolveReport;
 
 /// Caches at most this many entries stay single-sharded (exact LRU).
 pub const SHARD_THRESHOLD: usize = 64;
 /// Shard count for caches above [`SHARD_THRESHOLD`].
 const SHARDS: usize = 8;
+/// Bounded depth of the persistence queue between [`ReportCache::insert`]
+/// and the background flusher; a full queue drops the enqueue (counted)
+/// rather than ever blocking the insert path on disk.
+const PERSIST_QUEUE: usize = 1024;
+/// Records the flusher drains per wakeup before fsyncing once.
+const PERSIST_BATCH: usize = 256;
 
 /// Cache key: the canonical-instance fingerprint plus the fingerprint of
 /// the report-content-relevant engine configuration.
@@ -70,6 +79,10 @@ struct Entry {
     report: Arc<SolveReport>,
 }
 
+/// One insert queued for durable persistence: the canonical instance
+/// fingerprint plus the report to append.
+type PersistItem = (u128, Arc<SolveReport>);
+
 #[derive(Default)]
 struct Shard {
     map: HashMap<CacheKey, Entry>,
@@ -85,6 +98,10 @@ pub struct ReportCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Write-through persistence: inserts are enqueued (never blocking)
+    /// for a background flusher that appends them to a [`CacheStore`].
+    persist: Mutex<Option<SyncSender<PersistItem>>>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ReportCache {
@@ -124,6 +141,8 @@ impl ReportCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            persist: Mutex::new(None),
+            flusher: Mutex::new(None),
         }
     }
 
@@ -167,6 +186,66 @@ impl ReportCache {
         }
     }
 
+    /// Looks `key` up *without* counting a hit/miss or refreshing its
+    /// recency — for side-channel consumers (the fleet cache exchange)
+    /// that must not perturb the cache metrics or eviction order.
+    pub(crate) fn peek(&self, key: &CacheKey) -> Option<Arc<SolveReport>> {
+        if !self.enabled() {
+            return None;
+        }
+        self.shard(key)
+            .lock()
+            .map
+            .get(key)
+            .map(|e| e.report.clone())
+    }
+
+    /// Attaches a durable [`CacheStore`]: from now on every insert is
+    /// enqueued for a background flusher thread that appends it to the
+    /// store (deduplicated against `seen`, typically the warm-loaded
+    /// fingerprints) and fsyncs per drained batch. The insert path never
+    /// blocks on disk — a full queue drops the enqueue and counts it as
+    /// `msrs_cache_store_queue_drops_total`.
+    pub(crate) fn attach_store(
+        &self,
+        mut store: CacheStore,
+        config_fp: u64,
+        mut seen: HashSet<u128>,
+    ) {
+        let (tx, rx) = mpsc::sync_channel::<(u128, Arc<SolveReport>)>(PERSIST_QUEUE);
+        let handle = std::thread::spawn(move || {
+            // recv drains messages queued before the sender dropped, so
+            // everything enqueued is flushed before the thread exits.
+            while let Ok(first) = rx.recv() {
+                let mut batch = vec![first];
+                while batch.len() < PERSIST_BATCH {
+                    match rx.try_recv() {
+                        Ok(item) => batch.push(item),
+                        Err(_) => break,
+                    }
+                }
+                let mut wrote = false;
+                for (fp, report) in batch {
+                    if !seen.insert(fp) {
+                        continue; // already durable (warm load or earlier insert)
+                    }
+                    let payload = report.to_store_json().to_string();
+                    match store.append(fp, config_fp, &payload) {
+                        Ok(()) => wrote = true,
+                        Err(e) => eprintln!("msrs: cache store append failed: {e}"),
+                    }
+                }
+                if wrote {
+                    if let Err(e) = store.sync() {
+                        eprintln!("msrs: cache store sync failed: {e}");
+                    }
+                }
+            }
+        });
+        *self.persist.lock() = Some(tx);
+        *self.flusher.lock() = Some(handle);
+    }
+
     /// Records a hit that was answered without consulting the map (the
     /// intra-batch dedup fan-out path, which shares one solve across
     /// duplicate requests exactly like a cache hit would).
@@ -180,6 +259,17 @@ impl ReportCache {
     pub fn insert(&self, key: CacheKey, report: Arc<SolveReport>) {
         if !self.enabled() {
             return;
+        }
+        {
+            // Offer the entry to the persistence queue first (an Arc
+            // clone and a bounded try_send — no allocation, no disk I/O;
+            // the flusher deduplicates, so re-inserts are harmless).
+            let persist = self.persist.lock();
+            if let Some(tx) = persist.as_ref() {
+                if let Err(TrySendError::Full(_)) = tx.try_send((key.instance, report.clone())) {
+                    registry().cache_store_queue_drops_total.inc();
+                }
+            }
         }
         let mut shard = self.shard(&key).lock();
         shard.clock += 1;
@@ -224,6 +314,13 @@ impl ReportCache {
 
 impl Drop for ReportCache {
     fn drop(&mut self) {
+        // Closing the sender lets the flusher drain its queue and exit;
+        // joining it makes "process exited cleanly" imply "every
+        // enqueued entry is durable".
+        drop(self.persist.lock().take());
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
         // Return this cache's residency to the global gauge so it tracks
         // live entries across engines coming and going.
         let resident: usize = self.shards.iter().map(|s| s.lock().map.len()).sum();

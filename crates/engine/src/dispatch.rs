@@ -15,9 +15,11 @@
 //! Coordinator → worker:
 //!
 //! ```text
-//! #shard <index> <attempt> <lines>     shard assignment header
+//! #shard <index> <attempt> <lines> [cache]   shard assignment header
 //! <instance line> × lines              raw corpus lines (never `#`-prefixed)
 //! #run                                 solve the shard now
+//! #cachehit <fp> <payload>             cache-probe reply: stored report
+//! #cachemiss <fp>                      cache-probe reply: not cached
 //! #shutdown                            exit cleanly (EOF works too)
 //! ```
 //!
@@ -26,6 +28,8 @@
 //! ```text
 //! {…report…}                           one JSONL report per admitted line
 //! #hb                                  heartbeat (periodic, from a side thread)
+//! #cacheq <fp>                         probe the coordinator's result cache
+//! #cachefill <fp> <payload>            share a freshly solved canonical report
 //! #done {"shard":…,"attempt":…,…}      shard complete; stats for the merge
 //! #error {"shard":…,"attempt":…,…}     decode error after the prefix reports
 //! ```
@@ -93,12 +97,42 @@
 //! shard `K` while the attempt number is ≤ `N` (default 1), optionally
 //! only in the worker whose ordinal (`MSRS_WORKER_INDEX`, set by the
 //! coordinator) is `W`; `ms` defaults to 1000.
+//!
+//! Three kinds target the durable cache plane instead:
+//! `cache-torn:at=N` truncates the cache store to `N` bytes before it is
+//! loaded (simulated torn tail), `cache-flip:record=K` flips one bit in
+//! its `K`-th record line (corruption-quarantine probe) — both fire at
+//! [`crate::cachestore::CacheStore::open`] and need no `shard=` — and
+//! `cache-stale-fill:shard=K[,ms=T]` makes the worker solving shard `K`
+//! go dark for `ms` after solving and send its `#cachefill` entries (and
+//! `#done`) only once its lease has lapsed, so the coordinator must drop
+//! them as stale.
+//!
+//! ## Fleet-shared cache plane
+//!
+//! When the coordinator is started with a cache store
+//! ([`DispatchConfig::cache_path`]), it becomes the fleet's cache
+//! authority and advertises it with a trailing `cache` token on each
+//! `#shard` header. A worker whose serve cache is active then decodes
+//! the shard *before* solving, sends one `#cacheq <fp>` probe per
+//! distinct locally-unknown canonical fingerprint, and reads exactly one
+//! `#cachehit <fp> <payload>` / `#cachemiss <fp>` reply per probe —
+//! installing hits into its local cache so they serve from the fast path
+//! bit-identically to local hits. After solving, the worker sends a
+//! `#cachefill <fp> <payload>` for every probed miss it now holds
+//! (before `#done`, while its lease is live); the coordinator verifies,
+//! re-serializes, and persists each fill, and drops fills from zombie or
+//! idle workers (counted as `msrs_dispatch_stale_fills_dropped_total`).
+//! Payloads are [`crate::report::SolveReport::to_store_json`] lines. The
+//! exchange is versioned through the remote handshake
+//! ([`crate::remote::REMOTE_PROTO_VERSION`]), so pre-cache workers are
+//! rejected before they can mis-parse it.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::net::{Shutdown, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -108,10 +142,12 @@ use std::time::{Duration, Instant};
 
 use msrs_telemetry::registry;
 
+use crate::cachestore::CacheStore;
 use crate::checkpoint::{self, CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
 use crate::json::{Json, JsonError};
 use crate::jsonl::CorpusError;
 use crate::remote::{RemoteHub, REMOTE_PROTO_VERSION};
+use crate::report::SolveReport;
 use crate::stream::{ServiceCore, StreamStats};
 use crate::Engine;
 
@@ -143,7 +179,7 @@ pub(crate) fn is_disconnect(e: &io::Error) -> bool {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FaultKind {
+pub(crate) enum FaultKind {
     Crash,
     Hang,
     Garble,
@@ -152,21 +188,53 @@ enum FaultKind {
     Stall,
     DupDone,
     Slow,
+    /// Truncate the cache store to `at` bytes before loading it.
+    CacheTorn,
+    /// Flip one bit in the cache store's `record`-th record line before
+    /// loading it.
+    CacheFlip,
+    /// Go dark (heartbeats off) for `ms` after solving, then send the
+    /// `#cachefill` entries and `#done` — by then the lease has lapsed
+    /// and the fills must be dropped as stale.
+    CacheStaleFill,
+}
+
+/// A cache-store mutation derived from a [`FaultSpec`]; applied by
+/// [`crate::cachestore`] when opening a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheFault {
+    /// Truncate the file to `at` bytes (a simulated torn tail).
+    Torn {
+        /// Byte length to keep.
+        at: u64,
+    },
+    /// Flip one bit in the `record`-th record line.
+    Flip {
+        /// 0-based record ordinal.
+        record: u64,
+    },
 }
 
 /// Parsed `MSRS_FAULT` spec; see the module docs for the grammar.
 #[derive(Debug, Clone, Copy)]
-struct FaultSpec {
-    kind: FaultKind,
-    shard: usize,
+pub(crate) struct FaultSpec {
+    pub(crate) kind: FaultKind,
+    /// Target shard; irrelevant (and optional) for the store-mutation
+    /// kinds `cache-torn`/`cache-flip`, which fire at store open.
+    shard: Option<usize>,
     worker: Option<u64>,
     attempts: u32,
-    /// Duration parameter for `stall`/`slow`, in milliseconds.
-    ms: u64,
+    /// Duration parameter for `stall`/`slow`/`cache-stale-fill`, in
+    /// milliseconds.
+    pub(crate) ms: u64,
+    /// Byte offset parameter for `cache-torn`.
+    at: u64,
+    /// Record ordinal parameter for `cache-flip`.
+    record: u64,
 }
 
 impl FaultSpec {
-    fn parse(spec: &str) -> Option<FaultSpec> {
+    pub(crate) fn parse(spec: &str) -> Option<FaultSpec> {
         let (kind, params) = spec.split_once(':')?;
         let kind = match kind {
             "crash" => FaultKind::Crash,
@@ -177,12 +245,17 @@ impl FaultSpec {
             "stall" => FaultKind::Stall,
             "dup-done" => FaultKind::DupDone,
             "slow" => FaultKind::Slow,
+            "cache-torn" => FaultKind::CacheTorn,
+            "cache-flip" => FaultKind::CacheFlip,
+            "cache-stale-fill" => FaultKind::CacheStaleFill,
             _ => return None,
         };
         let mut shard = None;
         let mut worker = None;
         let mut attempts = 1u32;
         let mut ms = 1000u64;
+        let mut at = 0u64;
+        let mut record = 0u64;
         for kv in params.split(',') {
             let (k, v) = kv.split_once('=')?;
             match k {
@@ -190,31 +263,49 @@ impl FaultSpec {
                 "worker" => worker = Some(v.parse().ok()?),
                 "attempts" => attempts = v.parse().ok()?,
                 "ms" => ms = v.parse().ok()?,
+                "at" => at = v.parse().ok()?,
+                "record" => record = v.parse().ok()?,
                 _ => return None,
             }
         }
+        if shard.is_none() && !matches!(kind, FaultKind::CacheTorn | FaultKind::CacheFlip) {
+            return None; // every worker-side fault targets a shard
+        }
         Some(FaultSpec {
             kind,
-            shard: shard?,
+            shard,
             worker,
             attempts,
             ms,
+            at,
+            record,
         })
     }
 
-    fn from_env() -> Option<FaultSpec> {
+    pub(crate) fn from_env() -> Option<FaultSpec> {
         let spec = std::env::var("MSRS_FAULT").ok()?;
         let parsed = FaultSpec::parse(&spec);
         if parsed.is_none() {
-            eprintln!("msrs worker: ignoring unparsable MSRS_FAULT `{spec}`");
+            eprintln!("msrs: ignoring unparsable MSRS_FAULT `{spec}`");
         }
         parsed
+    }
+
+    /// The cache-store mutation this spec asks for, if any.
+    pub(crate) fn cache_fault(&self) -> Option<CacheFault> {
+        match self.kind {
+            FaultKind::CacheTorn => Some(CacheFault::Torn { at: self.at }),
+            FaultKind::CacheFlip => Some(CacheFault::Flip {
+                record: self.record,
+            }),
+            _ => None,
+        }
     }
 
     /// Should the fault fire for this (shard, 1-based attempt) in the
     /// worker with ordinal `worker_index`?
     fn fires(&self, shard: usize, attempt: u32, worker_index: Option<u64>) -> bool {
-        self.shard == shard
+        self.shard == Some(shard)
             && attempt <= self.attempts
             && match self.worker {
                 None => true,
@@ -247,7 +338,13 @@ pub(crate) enum WorkerExit {
 /// Injected faults (`MSRS_FAULT`) mostly terminate the *process* via
 /// [`std::process::exit`]; they exist for the crash-tolerance test suite
 /// and CI.
-pub fn run_worker<R, W>(engine: &Engine, input: R, output: W, heartbeat: Duration) -> io::Result<()>
+pub fn run_worker<R, W>(
+    engine: &Engine,
+    input: R,
+    output: W,
+    heartbeat: Duration,
+    decode_threads: usize,
+) -> io::Result<()>
 where
     R: BufRead,
     W: Write + Send + 'static,
@@ -255,7 +352,15 @@ where
     let worker_index = std::env::var("MSRS_WORKER_INDEX")
         .ok()
         .and_then(|v| v.parse().ok());
-    run_worker_conn(engine, input, output, heartbeat, worker_index).map(|_| ())
+    run_worker_conn(
+        engine,
+        input,
+        output,
+        heartbeat,
+        worker_index,
+        decode_threads,
+    )
+    .map(|_| ())
 }
 
 /// Transport-generic worker conversation: one connected session over any
@@ -268,6 +373,7 @@ pub(crate) fn run_worker_conn<R, W>(
     output: W,
     heartbeat: Duration,
     worker_index: Option<u64>,
+    decode_threads: usize,
 ) -> io::Result<WorkerExit>
 where
     R: BufRead,
@@ -282,7 +388,14 @@ where
         Arc::clone(&hb_enabled),
         heartbeat,
     );
-    let result = worker_loop(engine, input, &out, &hb_enabled, worker_index);
+    let result = worker_loop(
+        engine,
+        input,
+        &out,
+        &hb_enabled,
+        worker_index,
+        decode_threads,
+    );
     stop.store(true, Ordering::Relaxed);
     let _ = hb_thread.join();
     match result {
@@ -320,11 +433,15 @@ fn worker_loop<R: BufRead, W: Write + Send>(
     out: &Arc<Mutex<W>>,
     hb_enabled: &Arc<AtomicBool>,
     worker_index: Option<u64>,
+    decode_threads: usize,
 ) -> io::Result<WorkerExit> {
     let fault = FaultSpec::from_env();
     let mut core = ServiceCore::new();
     let mut buf = String::new();
     let mut lines: Vec<String> = Vec::new();
+    // Built lazily: only shards that use the burst-decode path (the
+    // fleet cache exchange, or `--decode-threads` > 1) need a pool.
+    let mut pool: Option<rayon::ThreadPool> = None;
     loop {
         buf.clear();
         if input.read_line(&mut buf)? == 0 {
@@ -334,7 +451,7 @@ fn worker_loop<R: BufRead, W: Write + Send>(
         if header == "#shutdown" {
             return Ok(WorkerExit::Shutdown);
         }
-        let Some((shard, attempt, n)) = parse_shard_header(header) else {
+        let Some((shard, attempt, n, cache_plane)) = parse_shard_header(header) else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected coordinator line `{header}`"),
@@ -357,26 +474,66 @@ fn worker_loop<R: BufRead, W: Write + Send>(
             ));
         }
         let mut dup_done = false;
+        let mut stale_fill_ms = None;
         if let Some(f) = fault.filter(|f| f.fires(shard, attempt, worker_index)) {
-            match inject_fault(f, out, hb_enabled)? {
-                FaultOutcome::Normal => {}
-                FaultOutcome::DupDone => dup_done = true,
+            match f.kind {
+                FaultKind::CacheStaleFill => stale_fill_ms = Some(f.ms),
+                // Store-mutation kinds act at CacheStore::open, not here.
+                FaultKind::CacheTorn | FaultKind::CacheFlip => {}
+                _ => match inject_fault(f, out, hb_enabled)? {
+                    FaultOutcome::Normal => {}
+                    FaultOutcome::DupDone => dup_done = true,
+                },
             }
+        }
+        // Burst-decode up front when the coordinator offers the shared
+        // cache (we need fingerprints before solving to probe it) or when
+        // pipelined decode was requested; otherwise keep the sequential
+        // admit path byte-for-byte as before.
+        let serve_cache = engine.serve_cache_active();
+        let mut decoded = None;
+        let mut fills = Vec::new();
+        if ((cache_plane && serve_cache) || decode_threads > 1) && !lines.is_empty() {
+            let pool = pool.get_or_insert_with(|| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(decode_threads.max(1))
+                    .build()
+                    .expect("pool handles are always constructible")
+            });
+            let numbered: Vec<(usize, &str)> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (i + 1, l.as_str()))
+                .collect();
+            let burst = crate::stream::decode_burst(pool, &numbered, serve_cache);
+            if cache_plane && serve_cache {
+                match cache_exchange(engine, &mut input, out, &burst)? {
+                    Some(f) => fills = f,
+                    None => return Ok(WorkerExit::Eof),
+                }
+            }
+            decoded = Some(burst);
         }
         solve_shard(
             engine,
             &mut core,
-            shard,
-            attempt,
-            worker_index,
-            &lines,
+            ShardJob {
+                shard,
+                attempt,
+                worker_index,
+                lines: &lines,
+                decoded,
+                fills,
+                dup_done,
+                stale_fill_ms,
+            },
             out,
-            dup_done,
+            hb_enabled,
         )?;
     }
 }
 
-fn parse_shard_header(line: &str) -> Option<(usize, u32, usize)> {
+fn parse_shard_header(line: &str) -> Option<(usize, u32, usize, bool)> {
     let mut it = line.split_whitespace();
     if it.next()? != "#shard" {
         return None;
@@ -384,10 +541,91 @@ fn parse_shard_header(line: &str) -> Option<(usize, u32, usize)> {
     let shard = it.next()?.parse().ok()?;
     let attempt = it.next()?.parse().ok()?;
     let n = it.next()?.parse().ok()?;
+    let cache = match it.next() {
+        None => false,
+        Some("cache") => true,
+        Some(_) => return None,
+    };
     if it.next().is_some() {
         return None;
     }
-    Some((shard, attempt, n))
+    Some((shard, attempt, n, cache))
+}
+
+/// Probes the coordinator's shared cache for every distinct canonical
+/// fingerprint the decoded shard needs that the local cache lacks, and
+/// installs the returned hits. Returns the fingerprints the coordinator
+/// reported missing (the post-solve `#cachefill` obligations), or `None`
+/// when the coordinator closed the transport mid-exchange.
+fn cache_exchange<R: BufRead, W: Write + Send>(
+    engine: &Engine,
+    input: &mut R,
+    out: &Arc<Mutex<W>>,
+    decoded: &[crate::stream::DecodedLine],
+) -> io::Result<Option<Vec<u128>>> {
+    let mut probes: Vec<u128> = Vec::new();
+    let mut seen: HashSet<u128> = HashSet::new();
+    for line in decoded {
+        if let Ok((Some(fp), _)) = line {
+            if seen.insert(*fp) && engine.serve_cached_peek(*fp).is_none() {
+                probes.push(*fp);
+            }
+        }
+    }
+    if probes.is_empty() {
+        return Ok(Some(Vec::new()));
+    }
+    {
+        let mut w = out.lock().expect("worker output lock");
+        for fp in &probes {
+            writeln!(w, "#cacheq {fp:032x}")?;
+        }
+        w.flush()?;
+    }
+    // The coordinator answers every probe, in order, before anything
+    // else travels down this transport (the worker holds the lease).
+    let mut fills = Vec::new();
+    let mut buf = String::new();
+    for _ in 0..probes.len() {
+        buf.clear();
+        if input.read_line(&mut buf)? == 0 {
+            return Ok(None);
+        }
+        let line = buf.trim_end();
+        if let Some(rest) = line.strip_prefix("#cachehit ") {
+            let payload = rest
+                .split_once(' ')
+                .and_then(|(fp_hex, payload)| {
+                    let fp = u128::from_str_radix(fp_hex, 16).ok()?;
+                    Some((fp, payload))
+                })
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed #cachehit reply")
+                })?;
+            let (fp, payload) = payload;
+            match Json::parse(payload)
+                .ok()
+                .as_ref()
+                .and_then(crate::report::SolveReport::from_store_json)
+            {
+                // An unverifiable payload degrades to a local solve;
+                // never a wrong answer.
+                Some(report) => engine.serve_cache_install(fp, Arc::new(report)),
+                None => fills.push(fp),
+            }
+        } else if let Some(fp_hex) = line.strip_prefix("#cachemiss ") {
+            let fp = u128::from_str_radix(fp_hex.trim(), 16).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "malformed #cachemiss reply")
+            })?;
+            fills.push(fp);
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected line during cache exchange: `{line}`"),
+            ));
+        }
+    }
+    Ok(Some(fills))
 }
 
 /// What an injected fault asks the normal solve path to do afterwards.
@@ -444,51 +682,104 @@ fn inject_fault<W: Write + Send>(
             Ok(FaultOutcome::Normal)
         }
         FaultKind::DupDone => Ok(FaultOutcome::DupDone),
+        // Routed before inject_fault (store mutation / fill timing).
+        FaultKind::CacheTorn | FaultKind::CacheFlip | FaultKind::CacheStaleFill => {
+            Ok(FaultOutcome::Normal)
+        }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn solve_shard<W: Write + Send>(
-    engine: &Engine,
-    core: &mut ServiceCore,
+/// One shard assignment as the worker solves it: the raw lines, the
+/// optional pre-decoded burst, and the cache-plane obligations attached
+/// to it.
+struct ShardJob<'a> {
     shard: usize,
     attempt: u32,
     worker_index: Option<u64>,
-    lines: &[String],
-    out: &Arc<Mutex<W>>,
+    lines: &'a [String],
+    decoded: Option<Vec<crate::stream::DecodedLine>>,
+    fills: Vec<u128>,
     dup_done: bool,
+    stale_fill_ms: Option<u64>,
+}
+
+fn solve_shard<W: Write + Send>(
+    engine: &Engine,
+    core: &mut ServiceCore,
+    job: ShardJob<'_>,
+    out: &Arc<Mutex<W>>,
+    hb_enabled: &Arc<AtomicBool>,
 ) -> io::Result<()> {
     let started = Instant::now();
-    core.begin(lines.len().max(1));
+    core.begin(job.lines.len().max(1));
     let mut error = None;
-    for (i, line) in lines.iter().enumerate() {
-        // Line numbers are shard-local 1-based ordinals; the coordinator
-        // translates them back to physical corpus line numbers.
-        if let Err(e) = core.admit_line(engine, i + 1, line, Instant::now()) {
-            error = Some(e);
-            break;
+    match job.decoded {
+        Some(decoded) => {
+            // Decoded lines carry their shard-local 1-based ordinal
+            // already (decode_burst is handed numbered lines), so the
+            // first error matches the sequential path byte-for-byte.
+            for line in decoded {
+                match line {
+                    Ok((fingerprint, request)) => {
+                        core.admit_prepared(engine, fingerprint, request, Instant::now());
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        None => {
+            for (i, line) in job.lines.iter().enumerate() {
+                // Line numbers are shard-local 1-based ordinals; the
+                // coordinator translates them back to physical corpus
+                // line numbers.
+                if let Err(e) = core.admit_line(engine, i + 1, line, Instant::now()) {
+                    error = Some(e);
+                    break;
+                }
+            }
         }
     }
     core.flush_with(engine, |bytes, _| {
         out.lock().expect("worker output lock").write_all(bytes)
     })?;
     let outcome = core.finish(started, error);
+    // Honour #cachefill obligations before #done: the lease is still
+    // live here, so the coordinator attributes the fills to this
+    // attempt. The stale-fill fault delays them past lease expiry with
+    // heartbeats dark, proving the coordinator drops what arrives late.
+    if outcome.error.is_none() && !job.fills.is_empty() {
+        if let Some(ms) = job.stale_fill_ms {
+            hb_enabled.store(false, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(ms));
+            hb_enabled.store(true, Ordering::Relaxed);
+        }
+        let mut w = out.lock().expect("worker output lock");
+        for fp in &job.fills {
+            if let Some(report) = engine.serve_cached_peek(*fp) {
+                writeln!(w, "#cachefill {fp:032x} {}", report.to_store_json())?;
+            }
+        }
+        w.flush()?;
+    }
     let tail = match &outcome.error {
         None => {
             let mut obj = vec![
-                ("shard".into(), Json::Num(shard as i128)),
-                ("attempt".into(), Json::Num(attempt as i128)),
+                ("shard".into(), Json::Num(job.shard as i128)),
+                ("attempt".into(), Json::Num(job.attempt as i128)),
             ];
             obj.extend(ShardStats::from_stream(&outcome.stats).to_json_fields());
             format!("#done {}", Json::Obj(obj))
         }
         Some(e) => format!(
             "#error {}",
-            corpus_error_json(shard, attempt, worker_index, e)
+            corpus_error_json(job.shard, job.attempt, job.worker_index, e)
         ),
     };
     let mut w = out.lock().expect("worker output lock");
-    for _ in 0..if dup_done { 2 } else { 1 } {
+    for _ in 0..if job.dup_done { 2 } else { 1 } {
         w.write_all(tail.as_bytes())?;
         w.write_all(b"\n")?;
     }
@@ -576,6 +867,9 @@ pub struct DispatchConfig {
     /// configuration the workers run — the checkpoint's run key and the
     /// remote handshake's compatibility check.
     pub config_fp: u64,
+    /// Durable cache store backing the fleet-shared cache plane; `None`
+    /// disables the plane (workers solve everything locally).
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for DispatchConfig {
@@ -592,6 +886,7 @@ impl Default for DispatchConfig {
             hedge_multiplier: 0.0,
             hedge_min: Duration::from_millis(250),
             config_fp: 0,
+            cache_path: None,
         }
     }
 }
@@ -637,6 +932,10 @@ pub struct DispatchOutcome {
     pub hedges_wasted: u64,
     /// Stale-attempt `#done`/`#error` lines discarded un-committed.
     pub stale_drops: u64,
+    /// `#cacheq` probes answered from the coordinator's durable store.
+    pub fleet_cache_hits: u64,
+    /// `#cachefill` entries dropped because the sending lease had lapsed.
+    pub stale_fills_dropped: u64,
     /// Shards that exhausted their retry budget, in shard order.
     pub quarantined: Vec<QuarantinedShard>,
     /// True when the run stopped early (graceful drain) with a
@@ -749,6 +1048,11 @@ pub(crate) enum Event {
     },
     /// `#error` with the parsed corpus-error payload.
     Error(Json),
+    /// `#cacheq` — a shared-cache probe for a canonical fingerprint.
+    CacheQ(u128),
+    /// `#cachefill` — a freshly solved report offered to the shared
+    /// cache (fingerprint + still-unverified payload text).
+    CacheFill(u128, String),
     /// A line that is not part of the protocol (garbled output, torn
     /// trailing line at EOF).
     Garbage(String),
@@ -883,8 +1187,17 @@ struct Completed {
     error: Option<CorpusError>,
 }
 
+/// The coordinator's side of the fleet-shared cache plane: the durable
+/// store plus an in-memory index of every payload it holds.
+struct CacheAuthority {
+    store: CacheStore,
+    map: HashMap<u128, Arc<str>>,
+}
+
 struct Coordinator<'a> {
     cfg: &'a DispatchConfig,
+    /// `Some` when a `--cache-path` store backs the fleet cache plane.
+    cache: Option<CacheAuthority>,
     workers: Vec<WorkerHandle>,
     inflight: HashMap<u64, Inflight>,
     tracks: HashMap<usize, ShardTrack>,
@@ -907,6 +1220,8 @@ struct Coordinator<'a> {
     hedge_wins: u64,
     hedge_wasted: u64,
     stale_drops: u64,
+    fleet_cache_hits: u64,
+    stale_fills_dropped: u64,
     quarantined: Vec<QuarantinedShard>,
 }
 
@@ -915,6 +1230,7 @@ impl<'a> Coordinator<'a> {
         let (tx, rx) = mpsc::channel();
         Coordinator {
             cfg,
+            cache: None,
             workers: Vec::new(),
             inflight: HashMap::new(),
             tracks: HashMap::new(),
@@ -934,6 +1250,8 @@ impl<'a> Coordinator<'a> {
             hedge_wins: 0,
             hedge_wasted: 0,
             stale_drops: 0,
+            fleet_cache_hits: 0,
+            stale_fills_dropped: 0,
             quarantined: Vec::new(),
         }
     }
@@ -1030,11 +1348,14 @@ impl<'a> Coordinator<'a> {
         let shard = Arc::clone(&track.shard);
         let mut payload =
             String::with_capacity(shard.lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
+        // The trailing `cache` token advertises the shared cache plane;
+        // workers without a serve-mode cache simply ignore the offer.
         payload.push_str(&format!(
-            "#shard {} {} {}\n",
+            "#shard {} {} {}{}\n",
             shard.index,
             attempt,
-            shard.lines.len()
+            shard.lines.len(),
+            if self.cache.is_some() { " cache" } else { "" }
         ));
         for line in &shard.lines {
             payload.push_str(line);
@@ -1302,6 +1623,8 @@ impl<'a> Coordinator<'a> {
                 stats,
             } => self.handle_done(pos, ordinal, shard, attempt, stats),
             Event::Error(payload) => self.handle_error(pos, ordinal, payload),
+            Event::CacheQ(fp) => self.handle_cacheq(pos, ordinal, fp),
+            Event::CacheFill(fp, payload) => self.handle_cachefill(pos, ordinal, fp, &payload),
             Event::Garbage(line) => {
                 let reason = format!("garbled worker output: `{}`", truncate(&line, 120));
                 self.fail_worker(ordinal, &reason);
@@ -1430,6 +1753,65 @@ impl<'a> Coordinator<'a> {
         );
     }
 
+    /// Answers a `#cacheq` probe. Every probe gets exactly one reply —
+    /// even a zombie's, and even without a cache authority — because the
+    /// probing worker blocks reading one reply line per probe; silence
+    /// here would deadlock it into a lease expiry.
+    fn handle_cacheq(&mut self, pos: usize, ordinal: u64, fp: u128) {
+        let hit = if self.workers[pos].state == WorkerState::Zombie {
+            None // stale lease: don't leak cache state to a revoked attempt
+        } else {
+            self.cache.as_ref().and_then(|c| c.map.get(&fp)).cloned()
+        };
+        let reply = match hit {
+            Some(payload) => {
+                registry().dispatch_fleet_cache_hits_total.inc();
+                self.fleet_cache_hits += 1;
+                format!("#cachehit {fp:032x} {payload}\n")
+            }
+            None => format!("#cachemiss {fp:032x}\n"),
+        };
+        if let Err(e) = self.workers[pos].transport.send(reply.as_bytes()) {
+            self.fail_worker(ordinal, &format!("failed to answer cache probe: {e}"));
+        }
+    }
+
+    /// Accepts (or drops) a `#cachefill` offer. Fills are only trusted
+    /// from a live lease: a zombie or idle sender means the lease lapsed
+    /// before the fill arrived, so it is dropped as stale. Accepted
+    /// payloads are re-parsed and re-serialized — the store only ever
+    /// holds bytes the coordinator produced itself.
+    fn handle_cachefill(&mut self, pos: usize, ordinal: u64, fp: u128, payload: &str) {
+        if self.workers[pos].state == WorkerState::Zombie || !self.inflight.contains_key(&ordinal) {
+            registry().dispatch_stale_fills_dropped_total.inc();
+            self.stale_fills_dropped += 1;
+            return;
+        }
+        let Some(cache) = self.cache.as_mut() else {
+            return; // no authority: a confused worker's fill is harmless
+        };
+        if cache.map.contains_key(&fp) {
+            return; // racing fill from a twin attempt: first one wins
+        }
+        let Some(report) = Json::parse(payload)
+            .ok()
+            .as_ref()
+            .and_then(SolveReport::from_store_json)
+        else {
+            return; // unverifiable payload: never persist it
+        };
+        let canonical: Arc<str> = report.to_store_json().to_string().into();
+        let append = cache
+            .store
+            .append(fp, self.cfg.config_fp, &canonical)
+            .and_then(|()| cache.store.sync());
+        if let Err(e) = append {
+            eprintln!("msrs: cache store append failed: {e}");
+            return;
+        }
+        cache.map.insert(fp, canonical);
+    }
+
     /// Any leased attempt for a still-tracked shard? (Stale leases held
     /// by zombies don't count: their shard already committed.)
     fn busy(&self) -> bool {
@@ -1497,6 +1879,18 @@ pub(crate) fn read_worker_lines<R: Read>(ordinal: u64, input: R, tx: &Sender<Msg
             match Json::parse(payload) {
                 Ok(v) => Event::Error(v),
                 Err(_) => Event::Garbage(line.to_string()),
+            }
+        } else if let Some(fp_hex) = line.strip_prefix("#cacheq ") {
+            match u128::from_str_radix(fp_hex.trim(), 16) {
+                Ok(fp) => Event::CacheQ(fp),
+                Err(_) => Event::Garbage(line.to_string()),
+            }
+        } else if let Some(rest) = line.strip_prefix("#cachefill ") {
+            match rest.split_once(' ').and_then(|(fp_hex, payload)| {
+                Some((u128::from_str_radix(fp_hex, 16).ok()?, payload))
+            }) {
+                Some((fp, payload)) => Event::CacheFill(fp, payload.to_string()),
+                None => Event::Garbage(line.to_string()),
             }
         } else if line.starts_with('{') {
             Event::Report(line.to_string())
@@ -1576,6 +1970,14 @@ pub fn dispatch_fleet<R: BufRead>(
         ..StreamStats::default()
     };
     let mut coord = Coordinator::new(cfg);
+    if let Some(path) = cfg.cache_path.as_deref() {
+        let (store, entries, _stats) = CacheStore::open(path, cfg.config_fp)?;
+        let map = entries
+            .into_iter()
+            .map(|e| (e.fingerprint, e.payload))
+            .collect();
+        coord.cache = Some(CacheAuthority { store, map });
+    }
     let mut next_emit = 0usize;
     let mut emitted_bytes = 0u64;
     let mut shards_resumed = 0usize;
@@ -1840,6 +2242,8 @@ pub fn dispatch_fleet<R: BufRead>(
         hedges_won: coord.hedge_wins,
         hedges_wasted: coord.hedge_wasted,
         stale_drops: coord.stale_drops,
+        fleet_cache_hits: coord.fleet_cache_hits,
+        stale_fills_dropped: coord.stale_fills_dropped,
         quarantined: coord.quarantined,
         interrupted,
         error: outcome_error,
@@ -1881,13 +2285,37 @@ mod tests {
         assert!(FaultSpec::parse("crash:worker=1").is_none()); // shard required
         assert!(FaultSpec::parse("crash:shard=x").is_none());
         assert!(FaultSpec::parse("stall:shard=1,ms=x").is_none());
+
+        // Cache-plane kinds: store mutations don't need a shard, the
+        // stale fill (a worker-side behavior) still does.
+        let f = FaultSpec::parse("cache-torn:at=64").unwrap();
+        assert_eq!(f.kind, FaultKind::CacheTorn);
+        assert_eq!(f.cache_fault(), Some(CacheFault::Torn { at: 64 }));
+        let f = FaultSpec::parse("cache-flip:record=2").unwrap();
+        assert_eq!(f.kind, FaultKind::CacheFlip);
+        assert_eq!(f.cache_fault(), Some(CacheFault::Flip { record: 2 }));
+        let f = FaultSpec::parse("cache-stale-fill:shard=1,ms=500").unwrap();
+        assert_eq!(f.kind, FaultKind::CacheStaleFill);
+        assert_eq!(f.ms, 500);
+        assert!(f.cache_fault().is_none());
+        assert!(f.fires(1, 1, None));
+        assert!(FaultSpec::parse("cache-stale-fill").is_none()); // shard required
+        assert!(FaultSpec::parse("cache-torn:at=x").is_none());
     }
 
     #[test]
     fn shard_header_round_trip() {
-        assert_eq!(parse_shard_header("#shard 7 2 128"), Some((7, 2, 128)));
+        assert_eq!(
+            parse_shard_header("#shard 7 2 128"),
+            Some((7, 2, 128, false))
+        );
+        assert_eq!(
+            parse_shard_header("#shard 7 2 128 cache"),
+            Some((7, 2, 128, true))
+        );
         assert_eq!(parse_shard_header("#shard 7 2"), None);
         assert_eq!(parse_shard_header("#shard 7 2 128 9"), None);
+        assert_eq!(parse_shard_header("#shard 7 2 128 cache x"), None);
         assert_eq!(parse_shard_header("#run"), None);
     }
 

@@ -12,6 +12,8 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -327,6 +329,55 @@ impl Engine {
     /// level — the same event the typed batch counts via its dedup fan-out.
     pub(crate) fn count_serve_dedup_hit(&self) {
         self.cache.count_dedup_hit();
+    }
+
+    /// Metric-neutral cache probe by fingerprint: no hit/miss counters,
+    /// no recency refresh. The fleet cache exchange uses this to decide
+    /// what to ask the coordinator for without perturbing cache stats.
+    pub(crate) fn serve_cached_peek(&self, fingerprint: u128) -> Option<Arc<SolveReport>> {
+        self.cache.peek(&CacheKey {
+            instance: fingerprint,
+            config: self.config_fp,
+        })
+    }
+
+    /// Installs a canonical report fetched from the coordinator's shared
+    /// cache under `fingerprint`, so subsequent lines serve it from the
+    /// local fast path.
+    pub(crate) fn serve_cache_install(&self, fingerprint: u128, report: Arc<SolveReport>) {
+        self.cache.insert(
+            CacheKey {
+                instance: fingerprint,
+                config: self.config_fp,
+            },
+            report,
+        );
+    }
+
+    /// Attaches the durable cache store at `path` (`--cache-path`): loads
+    /// every compatible record into the in-memory cache (warm restart),
+    /// then starts the background flusher so future inserts are persisted
+    /// write-through. Returns the load statistics. Refuses a store written
+    /// under a different engine-config fingerprint, and is a no-op with
+    /// caching disabled (capacity 0).
+    pub fn attach_cache_store(&self, path: &Path) -> io::Result<crate::cachestore::CacheLoadStats> {
+        let (store, entries, stats) = crate::cachestore::CacheStore::open(path, self.config_fp)?;
+        if !self.cache.enabled() {
+            return Ok(stats);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(entries.len());
+        for entry in entries {
+            seen.insert(entry.fingerprint);
+            self.cache.insert(
+                CacheKey {
+                    instance: entry.fingerprint,
+                    config: self.config_fp,
+                },
+                entry.report,
+            );
+        }
+        self.cache.attach_store(store, self.config_fp, seen);
+        Ok(stats)
     }
 
     /// Solves one request with the planned portfolio (parallel across

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cachestore;
 pub mod checkpoint;
 pub mod dispatch;
 pub mod engine;
@@ -79,6 +80,7 @@ pub mod stream;
 pub use msrs_telemetry as telemetry;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
+pub use cachestore::{CacheLoadStats, CacheStore, CacheStoreEntry};
 pub use checkpoint::{CheckpointHeader, CheckpointLog, ShardRecord, ShardStats};
 pub use dispatch::{
     dispatch, dispatch_fleet, run_worker, DispatchConfig, DispatchOutcome, QuarantinedShard,

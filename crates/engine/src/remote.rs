@@ -1,7 +1,7 @@
 //! Remote TCP workers for `msrs dispatch`: the coordinator's listener +
 //! handshake acceptor, and the `msrs worker --connect` client loop.
 //!
-//! The shard protocol itself is transport-agnostic ([`crate::dispatch`]
+//! The shard protocol itself is transport-agnostic ([`mod@crate::dispatch`]
 //! module docs); this module adds the connection layer:
 //!
 //! ## Handshake
@@ -45,7 +45,9 @@ use crate::Engine;
 
 /// Version of the dispatch wire protocol spoken after the handshake.
 /// Bump on any incompatible change to the `#shard`/`#done` framing.
-pub const REMOTE_PROTO_VERSION: u64 = 1;
+/// Version 2 added the fleet cache plane (`#shard … cache` headers and
+/// the `#cacheq`/`#cachehit`/`#cachemiss`/`#cachefill` exchange).
+pub const REMOTE_PROTO_VERSION: u64 = 2;
 
 /// How long the coordinator waits for a dialing worker's `#hello` (and a
 /// worker for the coordinator's reply) before giving up on the socket.
@@ -219,6 +221,8 @@ pub struct RemoteWorkerConfig {
     pub reconnect_cap: Duration,
     /// Consecutive dial/handshake failures tolerated before giving up.
     pub reconnect_attempts: u32,
+    /// Threads for burst-decoding shard lines (1 = sequential).
+    pub decode_threads: usize,
 }
 
 impl Default for RemoteWorkerConfig {
@@ -230,6 +234,7 @@ impl Default for RemoteWorkerConfig {
             reconnect_base: Duration::from_millis(200),
             reconnect_cap: Duration::from_secs(5),
             reconnect_attempts: 8,
+            decode_threads: 1,
         }
     }
 }
@@ -286,6 +291,7 @@ pub fn run_remote_worker(engine: &Engine, cfg: &RemoteWorkerConfig) -> io::Resul
                     stream,
                     cfg.heartbeat,
                     env_index.or(Some(ordinal)),
+                    cfg.decode_threads,
                 )?;
                 sessions += 1;
                 match exit {

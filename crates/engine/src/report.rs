@@ -56,6 +56,18 @@ impl RunStatus {
             RunStatus::Invalid(_) => "invalid",
         }
     }
+
+    /// Parses a [`label`](Self::label) back; the `invalid` label restores
+    /// its diagnostic from `message` (empty when absent).
+    pub fn from_label(label: &str, message: Option<&str>) -> Option<Self> {
+        Some(match label {
+            "completed" => RunStatus::Completed,
+            "exhausted" => RunStatus::Exhausted,
+            "timed_out" => RunStatus::TimedOut,
+            "invalid" => RunStatus::Invalid(message.unwrap_or("").to_string()),
+            _ => return None,
+        })
+    }
 }
 
 /// Outcome of one portfolio member.
@@ -247,6 +259,108 @@ impl SolveReport {
         Json::Obj(obj)
     }
 
+    /// Serializes the report for durable storage: the [`to_json`](Self::to_json)
+    /// wire object *plus* the fields the wire format elides because the
+    /// caller already has them — the canonical `schedule` (as
+    /// `[[machine, start], …]` pairs in job order) and the diagnostic of any
+    /// `invalid` run. The output is canonical: serializing, parsing with
+    /// [`from_store_json`](Self::from_store_json), and serializing again is
+    /// bit-identical, which is what lets the cache store checksum records by
+    /// re-serialization.
+    pub fn to_store_json(&self) -> Json {
+        let Json::Obj(mut obj) = self.to_json() else {
+            unreachable!("to_json always returns an object")
+        };
+        if let Some((_, Json::Arr(runs))) = obj.iter_mut().find(|(k, _)| k == "runs") {
+            for (run_json, run) in runs.iter_mut().zip(&self.runs) {
+                if let (Json::Obj(fields), RunStatus::Invalid(msg)) = (run_json, &run.status) {
+                    fields.push(("error".into(), Json::Str(msg.clone())));
+                }
+            }
+        }
+        let schedule = self
+            .schedule
+            .assignments()
+            .iter()
+            .map(|a| {
+                Json::Arr(vec![
+                    Json::Num(a.machine as i128),
+                    Json::Num(a.start as i128),
+                ])
+            })
+            .collect();
+        obj.push(("schedule".into(), Json::Arr(schedule)));
+        Json::Obj(obj)
+    }
+
+    /// Parses a [`to_store_json`](Self::to_store_json) object back into a
+    /// typed report. Returns `None` on any structural mismatch — an unknown
+    /// solver or status name, a missing field, a malformed schedule pair —
+    /// never panics on foreign input.
+    pub fn from_store_json(v: &Json) -> Option<SolveReport> {
+        let id = match v.get("id") {
+            Some(j) => Some(j.as_str()?.to_string()),
+            None => None,
+        };
+        let as_bool = |key: &str| match v.get(key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        };
+        let runs = v
+            .get("runs")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                let opt_num = |key: &str| match r.get(key) {
+                    Some(j) => j.as_u64().map(Some),
+                    None => Some(None),
+                };
+                Some(SolverRun {
+                    solver: SolverKind::from_name(r.get("solver")?.as_str()?)?,
+                    status: RunStatus::from_label(
+                        r.get("status")?.as_str()?,
+                        r.get("error").and_then(Json::as_str),
+                    )?,
+                    makespan: opt_num("makespan")?,
+                    certified_horizon: opt_num("certified_horizon")?,
+                    nodes: opt_num("nodes")?,
+                    wall_micros: r.get("wall_micros")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let assignments = v
+            .get("schedule")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                Some(msrs_core::Assignment {
+                    machine: pair[0].as_usize()?,
+                    start: pair[1].as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(SolveReport {
+            id,
+            jobs: v.get("jobs")?.as_usize()?,
+            machines: v.get("machines")?.as_usize()?,
+            classes: v.get("classes")?.as_usize()?,
+            lower_bound: v.get("lower_bound")?.as_u64()?,
+            makespan: v.get("makespan")?.as_u64()?,
+            winner: SolverKind::from_name(v.get("winner")?.as_str()?)?,
+            certified_horizon: v.get("certified_horizon")?.as_u64()?,
+            certified_by: SolverKind::from_name(v.get("certified_by")?.as_str()?)?,
+            proven_optimal: as_bool("proven_optimal")?,
+            cache_hit: as_bool("cache_hit")?,
+            wall_micros: v.get("wall_micros")?.as_u64()?,
+            runs,
+            schedule: Schedule::new(assignments),
+        })
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
@@ -359,6 +473,48 @@ mod tests {
             std::str::from_utf8(&buf).unwrap(),
             over.to_json().to_string()
         );
+    }
+
+    #[test]
+    fn store_serialization_round_trips_bit_identically() {
+        use msrs_core::Assignment;
+        let mut r = sample_report();
+        r.runs.push(SolverRun {
+            solver: SolverKind::Exact,
+            status: RunStatus::Invalid("ghost overlap on machine 1".into()),
+            makespan: None,
+            certified_horizon: None,
+            nodes: Some(77),
+            wall_micros: 5,
+        });
+        r.schedule = Schedule::new(vec![
+            Assignment {
+                machine: 0,
+                start: 0,
+            },
+            Assignment {
+                machine: 1,
+                start: 3,
+            },
+        ]);
+        for id in [Some("x"), None] {
+            r.id = id.map(str::to_owned);
+            let text = r.to_store_json().to_string();
+            assert!(text.contains("\"schedule\":[[0,0],[1,3]]"), "{text}");
+            assert!(text.contains("\"error\":\"ghost overlap on machine 1\""));
+            let back = SolveReport::from_store_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.to_store_json().to_string(), text, "id {id:?}");
+            assert_eq!(back.runs[1].status, r.runs[1].status);
+            assert_eq!(back.schedule, r.schedule);
+            // The stored report still serves the wire format bit-identically.
+            let mut wire = Vec::new();
+            back.write_json_line(&mut wire);
+            let mut expect = Vec::new();
+            r.write_json_line(&mut expect);
+            assert_eq!(wire, expect);
+        }
+        assert!(SolveReport::from_store_json(&Json::parse("{\"jobs\":1}").unwrap()).is_none());
+        assert_eq!(RunStatus::from_label("bogus", None), None);
     }
 
     #[test]

@@ -283,6 +283,59 @@ fn poison_shard_is_quarantined_and_the_run_degrades_gracefully() {
     fs::remove_file(&out).ok();
 }
 
+/// The coordinator-backed cache plane: a dispatch run with a `--cache-path`
+/// store persists every solved report, and a second run over the same
+/// corpus answers worker probes from the shared store — with a merged
+/// stream still bit-identical to the batch reference.
+#[test]
+fn fleet_cache_plane_serves_probes_and_output_is_identical() {
+    // Duplicate-heavy: 18 lines over 6 distinct canonical forms, so the
+    // second run's probes all land on durable records.
+    let mut text = String::from("# cache plane corpus\n\n");
+    for i in 0..18u64 {
+        text.push_str(&jsonl::write_instance_line(
+            Some(&format!("c-{i}")),
+            &msrs_gen::uniform(i % 6, 3, 12, 3, 1, 40),
+        ));
+        text.push('\n');
+    }
+    let (reference, _) = reference_run(&text, 4);
+    let store = tmp("cache-plane.mcache");
+    fs::remove_file(&store).ok();
+    let mut cfg = config(2, 4, 1, None);
+    cfg.cache_path = Some(store.clone());
+
+    let out = tmp("cache-plane-1.jsonl");
+    let first = dispatch::dispatch(Cursor::new(text.clone()), &out, None, &cfg, None)
+        .expect("first cache-plane run");
+    assert!(first.error.is_none());
+    assert!(first.quarantined.is_empty());
+    assert_eq!(
+        read_redacted(&out),
+        reference,
+        "cold store run is unperturbed"
+    );
+
+    // Second run, same store: every distinct form is already durable.
+    let out2 = tmp("cache-plane-2.jsonl");
+    let second = dispatch::dispatch(Cursor::new(text), &out2, None, &cfg, None)
+        .expect("second cache-plane run");
+    assert!(second.error.is_none());
+    assert!(
+        second.fleet_cache_hits >= 6,
+        "the warm store answers at least one probe per distinct form, got {}",
+        second.fleet_cache_hits
+    );
+    assert_eq!(
+        read_redacted(&out2),
+        reference,
+        "cache-served reports are bit-identical to the batch reference"
+    );
+    fs::remove_file(&out).ok();
+    fs::remove_file(&out2).ok();
+    fs::remove_file(&store).ok();
+}
+
 /// Resuming against a corpus that changed since the checkpoint was
 /// written is refused — silently recomputing would splice reports of two
 /// different corpora into one output file.

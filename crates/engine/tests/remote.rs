@@ -398,6 +398,53 @@ fn straggler_is_hedged_and_the_first_verified_done_commits() {
     fs::remove_file(&out).ok();
 }
 
+/// A worker that solves its shard, then goes dark *before* sending its
+/// cache fills (`cache-stale-fill`): heartbeat silence revokes the lease,
+/// the shard is requeued, and the zombie's late fills are refused at the
+/// cache authority — a revoked attempt can never write the shared store.
+#[test]
+fn zombie_cache_fills_are_dropped_and_never_reach_the_store() {
+    // Canonically distinct lines: shard 1 must still be unfilled when it
+    // probes, so its worker owes fills — the fault delays exactly those.
+    let mut text = String::from("# stale fill corpus\n\n");
+    for i in 0..18u64 {
+        text.push_str(&jsonl::write_instance_line(
+            Some(&format!("s-{i}")),
+            &msrs_gen::uniform(i, 3, 12, 3, 1, 40),
+        ));
+        text.push('\n');
+    }
+    let reference = reference_run(&text, 4);
+    let store = tmp("stale-fill.mcache");
+    fs::remove_file(&store).ok();
+    let (hub, addr) = bind_hub();
+    let _worker = spawn_worker(
+        &addr,
+        Some("cache-stale-fill:shard=1,ms=1200"),
+        &["--heartbeat-ms", "50", "--reconnect-ms", "50"],
+    );
+    let out = tmp("stale-fill.jsonl");
+    let mut cfg = fleet_config(0, 4);
+    cfg.heartbeat_timeout = Duration::from_millis(300);
+    cfg.cache_path = Some(store.clone());
+    let outcome = dispatch::dispatch_fleet(Cursor::new(text), &out, None, &cfg, None, Some(hub))
+        .expect("dispatch survives the stale fill");
+    assert!(outcome.error.is_none());
+    assert!(outcome.quarantined.is_empty());
+    assert!(
+        outcome.lease_expiries >= 1,
+        "the dark fill window revoked the lease"
+    );
+    assert!(
+        outcome.stale_fills_dropped >= 1,
+        "the zombie's fills were refused at the cache authority"
+    );
+    assert!(outcome.retries >= 1, "the revoked shard was requeued");
+    assert_eq!(read_redacted(&out), reference);
+    fs::remove_file(&out).ok();
+    fs::remove_file(&store).ok();
+}
+
 /// A remote worker killed mid-report-line (torn write, no newline) is a
 /// counted clean failure: the shard is retried on a surviving worker and
 /// the torn bytes never reach the merged stream.

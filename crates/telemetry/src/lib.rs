@@ -634,6 +634,26 @@ pub struct Registry {
     /// their shard was already committed (zombie workers, duplicate
     /// `#done`s) — never merged into the output.
     pub dispatch_stale_drops_total: Counter,
+    /// Cache records loaded from a durable cache store on warm restart.
+    pub cache_store_loads_total: Counter,
+    /// Cache store records rejected on load (checksum mismatch, torn or
+    /// unparsable line) — the damage that triggered a segment quarantine.
+    pub cache_store_load_errors_total: Counter,
+    /// Cache store segments quarantined on load because a record inside
+    /// them failed verification; loading continued past them.
+    pub cache_store_segments_quarantined_total: Counter,
+    /// Durable batches the cache store's background flusher fsync'd to
+    /// disk (each flush covers one or more queued records).
+    pub cache_store_flushes_total: Counter,
+    /// Cache entries dropped instead of persisted because the flusher's
+    /// bounded queue was full (the fast path never blocks on disk).
+    pub cache_store_queue_drops_total: Counter,
+    /// `#cacheq` probes the dispatch coordinator answered from its
+    /// fleet-shared cache with a `#cachehit` payload.
+    pub dispatch_fleet_cache_hits_total: Counter,
+    /// `#cachefill` entries the coordinator discarded because the sending
+    /// worker's lease had lapsed (zombie) or it held no assignment.
+    pub dispatch_stale_fills_dropped_total: Counter,
     /// Live entries resident in the canonical-form cache.
     pub cache_entries: Gauge,
     /// Configured capacity of the most recently constructed cache.
@@ -689,6 +709,13 @@ impl Registry {
             dispatch_hedge_wins_total: Counter::new(),
             dispatch_hedge_wasted_total: Counter::new(),
             dispatch_stale_drops_total: Counter::new(),
+            cache_store_loads_total: Counter::new(),
+            cache_store_load_errors_total: Counter::new(),
+            cache_store_segments_quarantined_total: Counter::new(),
+            cache_store_flushes_total: Counter::new(),
+            cache_store_queue_drops_total: Counter::new(),
+            dispatch_fleet_cache_hits_total: Counter::new(),
+            dispatch_stale_fills_dropped_total: Counter::new(),
             cache_entries: Gauge::new(),
             cache_capacity: Gauge::new(),
             pool_workers_alive: Gauge::new(),
@@ -705,7 +732,7 @@ impl Registry {
         &self.stages[stage as usize]
     }
 
-    fn counters(&self) -> [(&'static str, &Counter); 34] {
+    fn counters(&self) -> [(&'static str, &Counter); 41] {
         [
             ("msrs_requests_total", &self.requests_total),
             ("msrs_serve_fast_path_total", &self.serve_fast_path_total),
@@ -788,6 +815,34 @@ impl Registry {
             (
                 "msrs_dispatch_stale_drops_total",
                 &self.dispatch_stale_drops_total,
+            ),
+            (
+                "msrs_cache_store_loads_total",
+                &self.cache_store_loads_total,
+            ),
+            (
+                "msrs_cache_store_load_errors_total",
+                &self.cache_store_load_errors_total,
+            ),
+            (
+                "msrs_cache_store_segments_quarantined_total",
+                &self.cache_store_segments_quarantined_total,
+            ),
+            (
+                "msrs_cache_store_flushes_total",
+                &self.cache_store_flushes_total,
+            ),
+            (
+                "msrs_cache_store_queue_drops_total",
+                &self.cache_store_queue_drops_total,
+            ),
+            (
+                "msrs_dispatch_fleet_cache_hits_total",
+                &self.dispatch_fleet_cache_hits_total,
+            ),
+            (
+                "msrs_dispatch_stale_fills_dropped_total",
+                &self.dispatch_stale_fills_dropped_total,
             ),
         ]
     }
